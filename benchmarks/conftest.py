@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+All benches share one :class:`ExperimentConfig` (selected by ``REPRO_SCALE``,
+default ``small``) and the module-level cache in
+:mod:`repro.experiments.runner`, so each (model, problem, setting) trains
+exactly once per pytest session regardless of how many tables reuse it.
+"""
+
+import pytest
+
+from repro.experiments.config import default_config
+
+
+@pytest.fixture(scope="session")
+def cfg():
+    return default_config()
+
+
+def run_once(benchmark, fn, *args):
+    """Run ``fn`` exactly once under the benchmark timer and return it.
+
+    The paper tables are deterministic per config, and the heavy artifacts
+    are cached, so one round measures the true cost of regenerating the
+    table while keeping the suite's total runtime bounded.
+    """
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

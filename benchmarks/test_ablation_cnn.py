@@ -1,0 +1,11 @@
+"""Ablation bench: ccnn window sizes {3,4,5} vs single, max vs mean pooling."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import ablation_cnn_architecture
+
+
+def test_ablation_cnn_architecture(benchmark, cfg):
+    output = run_once(benchmark, ablation_cnn_architecture, cfg)
+    print("\n" + output)
+    assert "mean-pool" in output

@@ -1,0 +1,12 @@
+"""Ablation bench: <DIGIT> masking on vs off (Sec 4.4.1)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import ablation_digit_masking
+
+
+def test_ablation_digit_masking(benchmark, cfg):
+    output = run_once(benchmark, ablation_digit_masking, cfg)
+    print("\n" + output)
+    assert "<DIGIT> masked" in output
+    assert "raw digits" in output

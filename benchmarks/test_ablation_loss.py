@@ -1,0 +1,11 @@
+"""Ablation bench: Huber vs squared loss × log transform (Section 4.4.1)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import ablation_loss_and_transform
+
+
+def test_ablation_loss_and_transform(benchmark, cfg):
+    output = run_once(benchmark, ablation_loss_and_transform, cfg)
+    print("\n" + output)
+    assert "huber" in output and "squared" in output

@@ -1,0 +1,11 @@
+"""Ablation bench: clstm depth 1 vs the paper's 3 layers."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import ablation_lstm_depth
+
+
+def test_ablation_lstm_depth(benchmark, cfg):
+    output = run_once(benchmark, ablation_lstm_depth, cfg)
+    print("\n" + output)
+    assert "layers" in output

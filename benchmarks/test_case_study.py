@@ -1,0 +1,11 @@
+"""Bench: regenerate the Section 6.3.3 case study (Q1/Q2 predictions)."""
+
+from conftest import run_once
+
+from repro.experiments.case_study import case_study
+
+
+def test_case_study(benchmark, cfg):
+    output = run_once(benchmark, case_study, cfg)
+    print("\n" + output)
+    assert "Q1" in output and "Q2" in output

@@ -1,0 +1,12 @@
+"""Extension bench: workload compression for training (Sec. 8, [8])."""
+
+from conftest import run_once
+
+from repro.experiments.compression_extension import compression_experiment
+
+
+def test_extension_compression(benchmark, cfg):
+    output = run_once(benchmark, compression_experiment, cfg)
+    print("\n" + output)
+    assert "kcenter" in output
+    assert "full" in output

@@ -1,0 +1,12 @@
+"""Extension bench: deep character CNN depth sweep (Sec. 8)."""
+
+from conftest import run_once
+
+from repro.experiments.deep_cnn_extension import deep_cnn_experiment
+
+
+def test_extension_deep_cnn(benchmark, cfg):
+    output = run_once(benchmark, deep_cnn_experiment, cfg)
+    print("\n" + output)
+    assert "cdeep2" in output
+    assert "ccnn (shallow, Kim)" in output

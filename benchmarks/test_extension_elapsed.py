@@ -1,0 +1,12 @@
+"""Extension bench: elapsed-time vs CPU-time prediction (Sec. 8)."""
+
+from conftest import run_once
+
+from repro.experiments.elapsed_extension import elapsed_time_experiment
+
+
+def test_extension_elapsed_time(benchmark, cfg):
+    output = run_once(benchmark, elapsed_time_experiment, cfg)
+    print("\n" + output)
+    assert "elapsed_time" in output
+    assert "cpu_time" in output

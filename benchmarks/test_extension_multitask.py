@@ -1,0 +1,12 @@
+"""Extension bench: multi-task vs single-task ccnn (Sec. 8)."""
+
+from conftest import run_once
+
+from repro.experiments.extensions import multitask_experiment
+
+
+def test_extension_multitask(benchmark, cfg):
+    output = run_once(benchmark, multitask_experiment, cfg)
+    print("\n" + output)
+    assert "multi-task ccnn" in output
+    assert "answer_size" in output

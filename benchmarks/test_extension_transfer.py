@@ -1,0 +1,11 @@
+"""Extension bench: transfer learning under Heterogeneous Schema (Sec. 8)."""
+
+from conftest import run_once
+
+from repro.experiments.extensions import transfer_learning_experiment
+
+
+def test_extension_transfer_learning(benchmark, cfg):
+    output = run_once(benchmark, transfer_learning_experiment, cfg)
+    print("\n" + output)
+    assert "fine-tuned" in output

@@ -1,0 +1,13 @@
+"""Extension bench: Child-Sum Tree-LSTM over ASTs vs sequential models."""
+
+from conftest import run_once
+
+from repro.experiments.tree_extension import tree_lstm_experiment
+
+
+def test_extension_tree_lstm(benchmark, cfg):
+    output = run_once(benchmark, tree_lstm_experiment, cfg)
+    print("\n" + output)
+    assert "treelstm" in output
+    assert "ccnn" in output
+    assert "clstm" in output

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 12 (regression MSE by session class, SDSS)."""
+
+from conftest import run_once
+
+from repro.experiments.error_analysis import fig12_mse_by_session
+
+
+def test_fig12_mse_by_session(benchmark, cfg):
+    output = run_once(benchmark, fig12_mse_by_session, cfg)
+    print("\n" + output)
+    assert "Figure 12a" in output and "Figure 12b" in output

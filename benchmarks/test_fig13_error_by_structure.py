@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 13 (answer size error vs structure, SDSS)."""
+
+from conftest import run_once
+
+from repro.experiments.error_analysis import fig13_error_by_structure
+
+
+def test_fig13_error_by_structure(benchmark, cfg):
+    output = run_once(benchmark, fig13_error_by_structure, cfg)
+    print("\n" + output)
+    assert "number of characters" in output

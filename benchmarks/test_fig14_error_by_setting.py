@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 14 (CPU time error across the three settings)."""
+
+from conftest import run_once
+
+from repro.experiments.error_analysis import fig14_error_by_setting
+
+
+def test_fig14_error_by_setting(benchmark, cfg):
+    output = run_once(benchmark, fig14_error_by_setting, cfg)
+    print("\n" + output)
+    assert "Homogeneous Instance" in output
+    assert "Heterogeneous Schema" in output

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 20 (statement repetition histogram)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig20_repetition
+
+
+def test_fig20_repetition(benchmark, cfg):
+    output = run_once(benchmark, fig20_repetition, cfg)
+    print("\n" + output)
+    assert "times repeated" in output

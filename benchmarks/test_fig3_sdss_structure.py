@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 3 (SDSS structural property distributions)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig3_sdss_structure
+
+
+def test_fig3_sdss_structure(benchmark, cfg):
+    output = run_once(benchmark, fig3_sdss_structure, cfg)
+    print("\n" + output)
+    assert "num_characters" in output
+    assert "nested aggregation" in output

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 4 (SQLShare structural property distributions)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig4_sqlshare_structure
+
+
+def test_fig4_sqlshare_structure(benchmark, cfg):
+    output = run_once(benchmark, fig4_sqlshare_structure, cfg)
+    print("\n" + output)
+    assert "nestedness_level" in output

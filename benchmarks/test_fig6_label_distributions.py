@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 6 (label distributions, both workloads)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig6_label_distributions
+
+
+def test_fig6_label_distributions(benchmark, cfg):
+    output = run_once(benchmark, fig6_label_distributions, cfg)
+    print("\n" + output)
+    assert "error class" in output
+    assert "SQLShare CPU time" in output

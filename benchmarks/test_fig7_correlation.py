@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 7 (structural property correlation matrices)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig7_correlation
+
+
+def test_fig7_correlation(benchmark, cfg):
+    output = run_once(benchmark, fig7_correlation, cfg)
+    print("\n" + output)
+    assert "SDSS" in output and "SQLShare" in output

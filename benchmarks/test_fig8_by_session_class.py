@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 8 (SDSS analysis by session class)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig8_by_session_class
+
+
+def test_fig8_by_session_class(benchmark, cfg):
+    output = run_once(benchmark, fig8_by_session_class, cfg)
+    print("\n" + output)
+    assert "answer_size by session class" in output
+    assert "bot" in output

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 1 (dataset sizes and splits)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table1_splits
+
+
+def test_table1_splits(benchmark, cfg):
+    output = run_once(benchmark, table1_splits, cfg)
+    print("\n" + output)
+    assert "Homogeneous Instance" in output
+    assert "Train" in output

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 2 (error classification + CPU time + answer size
+prediction, Homogeneous Instance / SDSS)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table2_homogeneous_instance
+
+
+def test_table2_homogeneous_instance(benchmark, cfg):
+    output = run_once(benchmark, table2_homogeneous_instance, cfg)
+    print("\n" + output)
+    for model in ("mfreq", "ctfidf", "ccnn", "clstm", "wtfidf", "wcnn", "wlstm"):
+        assert model in output

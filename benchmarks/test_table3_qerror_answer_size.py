@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 3 (answer size prediction qerror, SDSS)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table3_answer_size_qerror
+
+
+def test_table3_qerror_answer_size(benchmark, cfg):
+    output = run_once(benchmark, table3_answer_size_qerror, cfg)
+    print("\n" + output)
+    assert "50%" in output and "95%" in output

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 4 (session classification, SDSS)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table4_session_classification
+
+
+def test_table4_session_classification(benchmark, cfg):
+    output = run_once(benchmark, table4_session_classification, cfg)
+    print("\n" + output)
+    assert "F_no_web_hit" in output
+    assert "mfreq" in output

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 5 (CPU time prediction, SQLShare, both
+schema settings, including the `opt` optimizer-cost baseline)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table5_sqlshare_cpu
+
+
+def test_table5_sqlshare_cpu(benchmark, cfg):
+    output = run_once(benchmark, table5_sqlshare_cpu, cfg)
+    print("\n" + output)
+    assert "opt" in output
+    assert "HeterogSchema" in output

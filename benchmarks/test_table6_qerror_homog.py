@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 6 (CPU time qerror, SQLShare Homog. Schema)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table6_qerror_homogeneous_schema
+
+
+def test_table6_qerror_homog(benchmark, cfg):
+    output = run_once(benchmark, table6_qerror_homogeneous_schema, cfg)
+    print("\n" + output)
+    assert "40%" in output

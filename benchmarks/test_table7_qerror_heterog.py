@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 7 (CPU time qerror, SQLShare Heterog. Schema)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table7_qerror_heterogeneous_schema
+
+
+def test_table7_qerror_heterog(benchmark, cfg):
+    output = run_once(benchmark, table7_qerror_heterogeneous_schema, cfg)
+    print("\n" + output)
+    assert "10%" in output

@@ -1,0 +1,61 @@
+"""Generalization scenario: the three problem settings of Definition 5.
+
+Trains CPU-time predictors under Homogeneous Schema (random SQLShare split)
+and Heterogeneous Schema (split by user, so test users' schemas were never
+seen) and shows how each model degrades — the paper's core finding that
+character-level CNNs generalize best while word-level models drown in rare
+tokens (Section 6.2).
+
+Run:  python examples/cross_database_generalization.py
+"""
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_regression
+from repro.core.problems import Problem
+from repro.core.splits import random_split, user_split
+from repro.models.base import TaskKind
+from repro.models.factory import ModelScale, build_model
+from repro.workloads.sqlshare import generate_sqlshare_workload
+
+
+def main() -> None:
+    print("Generating the SQLShare workload (per-user private schemas)...")
+    workload = generate_sqlshare_workload(n_users=50, seed=5)
+    print(f"  {len(workload)} queries from "
+          f"{len(set(workload.users()))} users\n")
+
+    scale = ModelScale(epochs=8)
+    model_names = ["baseline", "ctfidf", "ccnn", "wtfidf", "wcnn"]
+    results: dict[str, dict[str, float]] = {}
+    for setting_name, split in [
+        ("Homogeneous Schema", random_split(workload, seed=3)),
+        ("Heterogeneous Schema", user_split(workload, seed=3)),
+    ]:
+        models = {
+            ("median" if n == "baseline" else n): build_model(
+                n, TaskKind.REGRESSION, scale=scale
+            )
+            for n in model_names
+        }
+        outcome = evaluate_regression(Problem.CPU_TIME, split, models)
+        for report in outcome.reports:
+            results.setdefault(report.model, {})[setting_name] = report.loss
+
+    print(f"{'model':8s} {'HomogSchema loss':>18s} {'HeterogSchema loss':>20s}"
+          f" {'degradation':>12s}")
+    for model, losses in results.items():
+        homog = losses.get("Homogeneous Schema", np.nan)
+        heterog = losses.get("Heterogeneous Schema", np.nan)
+        factor = heterog / homog if homog else float("inf")
+        print(f"{model:8s} {homog:18.4f} {heterog:20.4f} {factor:11.2f}x")
+
+    print(
+        "\nExpected shape (paper Table 5): every model gets worse under "
+        "Heterogeneous Schema,\nword-level models degrade the most, and "
+        "ccnn holds up best."
+    )
+
+
+if __name__ == "__main__":
+    main()

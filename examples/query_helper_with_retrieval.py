@@ -1,0 +1,79 @@
+"""Interactive query helper: predictions plus similar historical queries.
+
+The SDSS help pages offer a *static* set of sample queries as templates
+(Section 2). This example makes that resource dynamic: for a draft
+statement the helper shows
+
+1. the model's pre-execution insights (error class, CPU time, elapsed
+   wall-clock time, answer size), and
+2. the most similar queries from the historical workload with their
+   *observed* outcomes — "the last time someone wrote this, here is what
+   happened".
+
+It also demonstrates workload compression (the Section 8 extension):
+the retrieval index is built over a 10x smaller k-center subset and still
+surfaces structurally similar precedents.
+
+Run:  python examples/query_helper_with_retrieval.py
+"""
+
+from repro.core.facilitator import QueryFacilitator
+from repro.models.factory import ModelScale
+from repro.models.knn import SimilarQueryIndex
+from repro.workloads.compression import compress_workload
+from repro.workloads.sdss import generate_sdss_workload
+
+DRAFTS = [
+    # a cone search, close to what programs submit all day
+    "SELECT p.objid, p.ra, p.dec FROM PhotoObj AS p "
+    "WHERE p.ra BETWEEN 180.0 AND 180.4 AND p.dec BETWEEN 2.1 AND 2.5",
+    # the Figure 1b trap: a UDF invoked once per scanned row
+    "SELECT objID FROM PhotoObj WHERE flags & dbo.fPhotoFlags('BLENDED') > 0",
+]
+
+
+def main() -> None:
+    print("Generating the historical workload and training the helper...")
+    workload = generate_sdss_workload(n_sessions=1500, seed=7)
+    facilitator = QueryFacilitator(
+        model_name="ccnn", scale=ModelScale(epochs=8)
+    ).fit(workload)
+
+    print(
+        f"Compressing {len(workload)} statements to a 10% k-center subset "
+        "for the retrieval index..."
+    )
+    compressed = compress_workload(
+        workload, ratio=0.1, strategy="kcenter", seed=7
+    )
+    index = SimilarQueryIndex().fit(compressed.workload)
+
+    for draft in DRAFTS:
+        print("\n" + "=" * 72)
+        print(f"draft: {draft[:70]}")
+        insights = facilitator.insights(draft)
+        print(f"  predicted error class : {insights.error_class}")
+        print(f"  predicted CPU time    : {insights.cpu_time_seconds:,.2f} s")
+        if insights.elapsed_seconds is not None:
+            print(
+                f"  predicted elapsed time: {insights.elapsed_seconds:,.2f} s"
+                "  (CPU + I/O + transfer + queueing)"
+            )
+        print(f"  predicted answer size : {insights.answer_size:,.0f} rows")
+
+        print("  similar historical queries and their observed outcomes:")
+        for neighbor in index.lookup(draft, k=3):
+            record = neighbor.record
+            print(
+                f"    [{neighbor.similarity:.2f}] "
+                f"{' '.join(record.statement.split())[:56]}"
+            )
+            print(
+                f"          ran as {record.error_class}, "
+                f"{record.cpu_time:,.2f} s CPU, "
+                f"{record.answer_size:,.0f} rows"
+            )
+
+
+if __name__ == "__main__":
+    main()

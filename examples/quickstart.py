@@ -1,0 +1,49 @@
+"""Quickstart: train a QueryFacilitator and get pre-execution insights.
+
+Generates a small synthetic SDSS workload, trains the paper's ccnn model
+on every query facilitation problem, and prints predicted properties
+for a few unseen statements — all without touching a real database.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.facilitator import QueryFacilitator
+from repro.models.factory import ModelScale
+from repro.workloads.sdss import generate_sdss_workload
+
+
+def main() -> None:
+    print("Generating a synthetic SDSS workload (this trains the labels)...")
+    workload = generate_sdss_workload(n_sessions=2000, seed=42)
+    print(f"  {len(workload)} unique statements extracted\n")
+
+    print("Training ccnn models for every problem...")
+    facilitator = QueryFacilitator(
+        model_name="ccnn", scale=ModelScale()
+    ).fit(workload)
+    print(f"  trained problems: {[p.name for p in facilitator.problems]}\n")
+
+    candidates = [
+        # a cheap point lookup
+        "SELECT * FROM PhotoTag WHERE objID=0x112d075f80360018",
+        # an expensive scan with a per-row UDF (the paper's Figure 1b)
+        "SELECT objID,ra,dec FROM PhotoObj "
+        "WHERE flags & dbo.fPhotoFlags('BLENDED') > 0",
+        # not SQL at all — a user typed a question into the query box
+        "how do I find the brightest galaxies please",
+    ]
+    for statement in candidates:
+        insights = facilitator.insights(statement)
+        print(f"query: {statement[:70]}...")
+        print(f"  predicted error class : {insights.error_class}")
+        print(f"  predicted CPU time    : {insights.cpu_time_seconds:,.2f} s")
+        print(f"  predicted answer size : {insights.answer_size:,.0f} rows")
+        print(f"  predicted session type: {insights.session_class}")
+        if insights.likely_to_fail:
+            print("  >> warning: this query is likely to fail — fix it "
+                  "before submitting")
+        print()
+
+
+if __name__ == "__main__":
+    main()

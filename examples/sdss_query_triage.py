@@ -1,0 +1,70 @@
+"""End-user scenario: triage a batch of queries before submission.
+
+SDSS advises users to run a COUNT query first and to avoid per-row UDFs
+(Section 2, Figure 1). This example automates that advice: given a batch
+of queries an astronomer wants to run, it flags the ones that are likely
+to fail, to return a huge result, or to run for a long time — before
+spending any database time.
+
+Run:  python examples/sdss_query_triage.py
+"""
+
+from repro.core.facilitator import QueryFacilitator
+from repro.models.factory import ModelScale
+from repro.workloads.sdss import generate_sdss_workload
+
+#: The user's submission queue: a realistic mix of good and bad queries.
+BATCH = [
+    "SELECT COUNT(*) FROM Galaxy WHERE ra BETWEEN 180 AND 181",
+    "SELECT objID,ra,dec,u,g,r,i,z FROM PhotoObj WHERE type=6 "
+    "AND ra BETWEEN 195.0 AND 195.2 AND dec BETWEEN 2.1 AND 2.3",
+    # per-row UDF over the full PhotoObj table: the Figure 1b anti-pattern
+    "SELECT objID FROM PhotoObj WHERE flags & dbo.fPhotoFlags('CHILD') > 0",
+    # broad scan that will return an enormous result
+    "SELECT * FROM PhotoObjAll WHERE ra BETWEEN 0 AND 180",
+    # typo'd SQL that the portal will reject
+    "SELECT ra dec FORM Star WHERE u - g > 2.27",
+    # three-way join over large tables with ORDER BY
+    "SELECT s.z,p.ra,p.dec,q.distance FROM SpecObj AS s, PhotoObj AS p, "
+    "Neighbors AS q WHERE s.bestObjID=p.objID AND q.objID=p.objID "
+    "ORDER BY s.z",
+]
+
+CPU_BUDGET_SECONDS = 100.0
+ROW_BUDGET = 1_000_000
+
+
+def main() -> None:
+    print("Training the triage model on historical workload...")
+    workload = generate_sdss_workload(n_sessions=2400, seed=7)
+    facilitator = QueryFacilitator(
+        model_name="ccnn", scale=ModelScale()
+    ).fit(workload)
+
+    print(f"\nTriaging {len(BATCH)} queued queries "
+          f"(budget: {CPU_BUDGET_SECONDS:.0f}s CPU, {ROW_BUDGET:,} rows)\n")
+    for i, insights in enumerate(facilitator.insights_batch(BATCH), 1):
+        verdict = "OK"
+        reasons = []
+        if insights.likely_to_fail:
+            verdict = "REJECT"
+            reasons.append(f"predicted error: {insights.error_class}")
+        if (insights.cpu_time_seconds or 0) > CPU_BUDGET_SECONDS:
+            verdict = "REVIEW"
+            reasons.append(
+                f"predicted {insights.cpu_time_seconds:,.0f}s CPU"
+            )
+        if (insights.answer_size or 0) > ROW_BUDGET:
+            verdict = "REVIEW"
+            reasons.append(
+                f"predicted {insights.answer_size:,.0f} rows"
+            )
+        print(f"[{verdict:6s}] #{i}: {insights.statement[:64]}...")
+        for reason in reasons:
+            print(f"          - {reason}")
+    print("\nOnly the OK queries should be submitted as-is; REVIEW queries "
+          "deserve a COUNT(*) probe or a TOP clause first.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Future-work extensions in action: transfer + multi-task learning.
+
+The paper's Section 8 proposes two follow-ups, both implemented here:
+
+1. **Transfer learning** — pre-train the character CNN on a big workload
+   (SDSS), then fine-tune on a small, schema-heterogeneous one (SQLShare).
+2. **Multi-task learning** — one shared encoder predicting all four query
+   properties at once, exploiting label correlations.
+
+Run:  python examples/transfer_and_multitask.py
+"""
+
+import numpy as np
+
+from repro.core.splits import user_split
+from repro.ml.preprocessing import LabelEncoder, LogLabelTransform
+from repro.models.base import TaskKind
+from repro.models.cnn_model import TextCNNModel
+from repro.models.multitask import MultiTaskTextCNN, TaskSpec
+from repro.models.neural_base import NeuralHyperParams
+from repro.workloads.sdss import generate_sdss_workload
+from repro.workloads.sqlshare import generate_sqlshare_workload
+
+HYPER = NeuralHyperParams(
+    embed_dim=32, epochs=8, lr=3e-3, max_len_char=140, batch_size=16
+)
+
+
+def transfer_demo() -> None:
+    print("=" * 64)
+    print("1. Transfer learning: SDSS -> SQLShare (heterogeneous schemas)")
+    source = generate_sdss_workload(n_sessions=1200, seed=11)
+    target = generate_sqlshare_workload(n_users=35, seed=12)
+    split = user_split(target, seed=1)
+
+    transform = LogLabelTransform().fit(split.train.labels("cpu_time"))
+    y_train = transform.transform(split.train.labels("cpu_time"))
+    y_test = transform.transform(split.test.labels("cpu_time"))
+
+    scratch = TextCNNModel(
+        task=TaskKind.REGRESSION, num_kernels=48, hyper=HYPER
+    )
+    scratch.fit(split.train.statements(), y_train)
+    scratch_mse = float(
+        ((scratch.predict(split.test.statements()) - y_test) ** 2).mean()
+    )
+
+    source_tf = LogLabelTransform().fit(source.labels("cpu_time"))
+    transferred = TextCNNModel(
+        task=TaskKind.REGRESSION, num_kernels=48, hyper=HYPER
+    )
+    transferred.fit(
+        source.statements(), source_tf.transform(source.labels("cpu_time"))
+    )
+    transferred.finetune(split.train.statements(), y_train)
+    transfer_mse = float(
+        ((transferred.predict(split.test.statements()) - y_test) ** 2).mean()
+    )
+    print(f"  ccnn from scratch on target : MSE {scratch_mse:.3f}")
+    print(f"  ccnn pretrained + fine-tuned: MSE {transfer_mse:.3f}")
+
+
+def multitask_demo() -> None:
+    print("=" * 64)
+    print("2. Multi-task CNN: four properties from one shared encoder")
+    workload = generate_sdss_workload(n_sessions=1200, seed=13)
+    statements = workload.statements()
+    split = int(0.85 * len(statements))
+
+    error_enc = LabelEncoder().fit(list(workload.labels("error_class")))
+    session_enc = LabelEncoder().fit(list(workload.labels("session_class")))
+    cpu_tf = LogLabelTransform().fit(workload.labels("cpu_time")[:split])
+    ans_tf = LogLabelTransform().fit(workload.labels("answer_size")[:split])
+
+    labels = {
+        "error_class": error_enc.transform(
+            list(workload.labels("error_class"))
+        ),
+        "session_class": session_enc.transform(
+            list(workload.labels("session_class"))
+        ),
+        "cpu_time": cpu_tf.transform(workload.labels("cpu_time")),
+        "answer_size": ans_tf.transform(workload.labels("answer_size")),
+    }
+    tasks = [
+        TaskSpec("error_class", TaskKind.CLASSIFICATION, error_enc.num_classes),
+        TaskSpec(
+            "session_class", TaskKind.CLASSIFICATION, session_enc.num_classes
+        ),
+        TaskSpec("cpu_time", TaskKind.REGRESSION),
+        TaskSpec("answer_size", TaskKind.REGRESSION),
+    ]
+    model = MultiTaskTextCNN(tasks, num_kernels=48, hyper=HYPER)
+    model.fit(
+        statements[:split], {k: v[:split] for k, v in labels.items()}
+    )
+    test = statements[split:]
+    for task in tasks:
+        pred = model.predict(task.name, test)
+        truth = labels[task.name][split:]
+        if task.kind is TaskKind.CLASSIFICATION:
+            print(f"  {task.name:14s} accuracy {np.mean(pred == truth):.3f}")
+        else:
+            print(f"  {task.name:14s} MSE      {np.mean((pred - truth) ** 2):.3f}")
+
+
+if __name__ == "__main__":
+    transfer_demo()
+    multitask_demo()

@@ -1,0 +1,6 @@
+"""Setup shim for environments without the `wheel` package (offline PEP-660
+builds need it); `pip install -e . --no-build-isolation` works where wheel
+is available, and `python setup.py develop` works everywhere."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Facilitating SQL Query Composition and Analysis".
+
+Zolaktaf, Milani, Pottinger (SIGMOD 2020, arXiv:2002.09091).
+
+The library predicts properties of a SQL query *before execution* — error
+class, CPU time, answer size, and the session class of the client that wrote
+it — using only the raw query text and a historical query workload. No access
+to the database instance, its statistics, or execution plans is required.
+
+Public entry points:
+
+- :class:`repro.core.QueryFacilitator` — train on a workload, then ask for
+  pre-execution insights about new queries.
+- :mod:`repro.workloads` — synthetic SDSS / SQLShare workload generators
+  (substitutes for the proprietary logs; see DESIGN.md).
+- :mod:`repro.models` — the paper's model zoo (mfreq, median, opt,
+  ctfidf/wtfidf, ccnn/wcnn, clstm/wlstm).
+- :mod:`repro.experiments` — drivers that regenerate every table and figure
+  of the paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+_LAZY_EXPORTS = {
+    "QueryFacilitator": ("repro.core.facilitator", "QueryFacilitator"),
+    "QueryInsights": ("repro.core.facilitator", "QueryInsights"),
+    "Problem": ("repro.core.problems", "Problem"),
+    "Setting": ("repro.core.problems", "Setting"),
+    "TaskType": ("repro.core.problems", "TaskType"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the public API so `import repro` stays cheap."""
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attr = _LAZY_EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+__all__ = [
+    "QueryFacilitator",
+    "QueryInsights",
+    "Problem",
+    "Setting",
+    "TaskType",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Workload analysis (Section 4.3): the machinery behind Figures 3-8 and 20."""
+
+from repro.analysis.stats import DistributionSummary, summarize
+from repro.analysis.structural import StructuralTable, structural_table
+from repro.analysis.label_analysis import (
+    class_distribution,
+    regression_label_summary,
+)
+from repro.analysis.correlation import structural_correlation_matrix
+from repro.analysis.by_session import BoxStats, by_session_class
+from repro.analysis.repetition import repetition_histogram_of_log
+from repro.analysis.templates import (
+    TemplateStats,
+    mine_log_templates,
+    mine_workload_templates,
+)
+
+__all__ = [
+    "DistributionSummary",
+    "summarize",
+    "StructuralTable",
+    "structural_table",
+    "class_distribution",
+    "regression_label_summary",
+    "structural_correlation_matrix",
+    "BoxStats",
+    "by_session_class",
+    "repetition_histogram_of_log",
+    "TemplateStats",
+    "mine_workload_templates",
+    "mine_log_templates",
+]

@@ -1,0 +1,76 @@
+"""Per-session-class label and size analysis (Figure 8).
+
+Box-plot statistics (quartiles, median, mean) of answer size, CPU time and
+statement length, broken down by session class — the evidence that
+no_web_hit and browser queries are the complex, human-authored ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sqlang.normalize import word_tokens
+from repro.workloads.records import Workload
+
+__all__ = ["BoxStats", "by_session_class"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Box-plot summary for one session class and one quantity."""
+
+    q1: float
+    median: float
+    q3: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "BoxStats":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return cls(0.0, 0.0, 0.0, 0.0, 0)
+        return cls(
+            q1=float(np.percentile(values, 25)),
+            median=float(np.percentile(values, 50)),
+            q3=float(np.percentile(values, 75)),
+            mean=float(values.mean()),
+            count=int(values.size),
+        )
+
+
+def by_session_class(workload: Workload) -> dict[str, dict[str, BoxStats]]:
+    """Figure 8 statistics: quantity → session class → box stats.
+
+    Quantities: ``answer_size``, ``cpu_time`` (error sentinels excluded),
+    ``num_characters``, ``num_words``.
+    """
+    classes: dict[str, list[int]] = {}
+    for idx, record in enumerate(workload):
+        if record.session_class is None:
+            raise ValueError("workload records lack session_class labels")
+        classes.setdefault(record.session_class, []).append(idx)
+    answer = workload.labels("answer_size")
+    cpu = workload.labels("cpu_time")
+    chars = np.asarray(
+        [len(r.statement) for r in workload], dtype=np.float64
+    )
+    words = np.asarray(
+        [len(word_tokens(r.statement)) for r in workload], dtype=np.float64
+    )
+    out: dict[str, dict[str, BoxStats]] = {
+        "answer_size": {},
+        "cpu_time": {},
+        "num_characters": {},
+        "num_words": {},
+    }
+    for cls, indices in sorted(classes.items()):
+        idx = np.asarray(indices)
+        ans = answer[idx]
+        out["answer_size"][cls] = BoxStats.from_values(ans[ans >= 0])
+        out["cpu_time"][cls] = BoxStats.from_values(cpu[idx])
+        out["num_characters"][cls] = BoxStats.from_values(chars[idx])
+        out["num_words"][cls] = BoxStats.from_values(words[idx])
+    return out

@@ -1,0 +1,49 @@
+"""Correlation matrix of structural properties (Figure 7).
+
+Pearson correlations between the ten Section 4.3.1 features. The paper uses
+this matrix to choose a non-redundant subset of complexity proxies for its
+qualitative analysis (number of characters, functions, joins, nestedness
+level, nested aggregation) — exported here as
+:data:`COMPLEXITY_PROXY_FEATURES`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.structural import StructuralTable
+
+__all__ = ["structural_correlation_matrix", "COMPLEXITY_PROXY_FEATURES"]
+
+#: The Section 4.4.2 complexity-proxy subset.
+COMPLEXITY_PROXY_FEATURES = [
+    "num_characters",
+    "num_functions",
+    "num_joins",
+    "nestedness_level",
+    "nested_aggregation",
+]
+
+
+def structural_correlation_matrix(table: StructuralTable) -> np.ndarray:
+    """Pearson correlation matrix over the feature columns.
+
+    Constant columns (zero variance) yield zero correlation rather than
+    NaN so downstream reporting stays clean.
+    """
+    matrix = table.matrix
+    if matrix.shape[0] < 2:
+        return np.eye(matrix.shape[1])
+    stds = matrix.std(axis=0)
+    safe = matrix.copy()
+    # give constant columns unit variance noise-free placeholder to avoid
+    # divide-by-zero; their correlations are forced to 0 below
+    constant = stds < 1e-12
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.corrcoef(safe, rowvar=False)
+    corr = np.nan_to_num(corr, nan=0.0)
+    for i in np.flatnonzero(constant):
+        corr[i, :] = 0.0
+        corr[:, i] = 0.0
+        corr[i, i] = 1.0
+    return corr

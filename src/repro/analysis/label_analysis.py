@@ -1,0 +1,42 @@
+"""Label distribution analysis (Figure 6).
+
+Class shares for the two classification problems (6a, 6b) and heavy-tail
+summaries for the regression labels (6c-6e).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.analysis.stats import DistributionSummary, summarize
+from repro.workloads.records import Workload
+
+__all__ = ["class_distribution", "regression_label_summary"]
+
+
+def class_distribution(
+    workload: Workload, label_column: str
+) -> dict[str, tuple[int, float]]:
+    """Per-class (count, share) for a classification label column."""
+    labels = [str(v) for v in workload.labels(label_column)]
+    counts = Counter(labels)
+    total = max(len(labels), 1)
+    return {
+        cls: (count, count / total)
+        for cls, count in sorted(counts.items(), key=lambda kv: -kv[1])
+    }
+
+
+def regression_label_summary(
+    workload: Workload, label_column: str
+) -> DistributionSummary:
+    """Figure 6c-6e panel statistics for a regression label column.
+
+    Error sentinels (answer size -1 for failed queries) are excluded, like
+    the paper's Figure 6c whose minimum is the smallest *returned* size.
+    """
+    values = workload.labels(label_column)
+    valid = values[np.asarray(values, dtype=np.float64) >= 0]
+    return summarize(valid)

@@ -1,0 +1,20 @@
+"""Statement repetition analysis (Figure 20 / Appendix B.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.dedup import repetition_histogram, sample_one_per_session
+from repro.workloads.records import LogEntry
+
+__all__ = ["repetition_histogram_of_log"]
+
+
+def repetition_histogram_of_log(
+    log: list[LogEntry], seed: int = 0
+) -> dict[str, int]:
+    """Figure 20 from a raw log: sample one hit per session, then bucket
+    sampled entries by how often their statement recurs."""
+    rng = np.random.default_rng(seed)
+    sampled = sample_one_per_session(log, rng)
+    return repetition_histogram(sampled)

@@ -1,0 +1,79 @@
+"""Distribution summaries matching the stat boxes in Figures 3, 4 and 6."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DistributionSummary", "summarize", "log_histogram"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """The five-number-ish summary the paper annotates on each panel:
+    mean (μ), standard deviation (σ), min, max, mode, median."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    mode: float
+    median: float
+    count: int
+
+    def as_row(self) -> list[float]:
+        return [
+            self.mean,
+            self.std,
+            self.minimum,
+            self.maximum,
+            self.mode,
+            self.median,
+        ]
+
+
+def summarize(values: np.ndarray) -> DistributionSummary:
+    """Compute the Figure 3/4/6 panel statistics for one distribution."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty distribution")
+    counts = Counter(values.tolist())
+    mode_value = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+    return DistributionSummary(
+        mean=float(values.mean()),
+        std=float(values.std()),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        mode=float(mode_value),
+        median=float(np.median(values)),
+        count=int(values.size),
+    )
+
+
+def log_histogram(
+    values: np.ndarray, num_bins: int = 12
+) -> list[tuple[float, float, int]]:
+    """Histogram with log-spaced bins (the figures' log-log panels).
+
+    Returns (bin_low, bin_high, count) triples; non-positive values fall
+    into the first bin.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return []
+    positive = values[values > 0]
+    if positive.size == 0:
+        return [(0.0, 1.0, int(values.size))]
+    lo = max(positive.min(), 1e-9)
+    hi = max(positive.max(), lo * 10)
+    edges = np.logspace(np.log10(lo), np.log10(hi), num_bins + 1)
+    counts, _ = np.histogram(positive, bins=edges)
+    out: list[tuple[float, float, int]] = []
+    non_positive = int((values <= 0).sum())
+    if non_positive:
+        out.append((0.0, float(edges[0]), non_positive))
+    for i in range(num_bins):
+        out.append((float(edges[i]), float(edges[i + 1]), int(counts[i])))
+    return out

@@ -1,0 +1,67 @@
+"""Structural property analysis of query statements (Figures 3 and 4).
+
+Extracts the ten Section 4.3.1 syntactic properties for every statement in
+a workload and summarizes each property's distribution — the machinery
+behind the ten panels of Figure 3 (SDSS) and Figure 4 (SQLShare), plus the
+prose statistics (fraction with joins, nested, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.stats import DistributionSummary, summarize
+from repro.sqlang.features import FEATURE_NAMES, extract_features
+from repro.workloads.records import Workload
+
+__all__ = ["StructuralTable", "structural_table"]
+
+
+@dataclass
+class StructuralTable:
+    """Per-statement feature matrix plus per-feature summaries."""
+
+    feature_names: list[str]
+    matrix: np.ndarray  # (n_statements, n_features)
+    summaries: dict[str, DistributionSummary] = field(default_factory=dict)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.matrix[:, self.feature_names.index(name)]
+
+    # -- the prose statistics of Section 4.3.1 ------------------------------ #
+
+    @property
+    def fraction_with_joins(self) -> float:
+        return float((self.column("num_joins") >= 1).mean())
+
+    @property
+    def fraction_multi_table(self) -> float:
+        return float((self.column("num_tables") > 1).mean())
+
+    @property
+    def fraction_nested(self) -> float:
+        return float((self.column("nestedness_level") >= 1).mean())
+
+    @property
+    def fraction_nested_aggregation(self) -> float:
+        return float((self.column("nested_aggregation") > 0).mean())
+
+
+def structural_table(workload: Workload) -> StructuralTable:
+    """Extract and summarize structural features for a whole workload."""
+    rows = [
+        extract_features(statement).as_vector()
+        for statement in workload.statements()
+    ]
+    matrix = (
+        np.asarray(rows, dtype=np.float64)
+        if rows
+        else np.zeros((0, len(FEATURE_NAMES)))
+    )
+    table = StructuralTable(feature_names=list(FEATURE_NAMES), matrix=matrix)
+    for i, name in enumerate(FEATURE_NAMES):
+        if matrix.shape[0]:
+            table.summaries[name] = summarize(matrix[:, i])
+    return table

@@ -1,0 +1,104 @@
+"""Template mining over workloads and raw logs.
+
+Appendix B.3 observes that bot and administrative sessions resubmit the
+same statement *template* with different constants — 18.5% of unique SDSS
+statements repeat, and whole sessions are template-generated. Grouping by
+template (digits and string literals masked, case folded) is how a DBA
+separates mechanical traffic from genuinely new queries; this module turns
+that observation into a report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sqlang.normalize import template_of
+from repro.workloads.records import LogEntry, Workload
+
+__all__ = ["TemplateStats", "mine_workload_templates", "mine_log_templates"]
+
+
+@dataclass
+class TemplateStats:
+    """Aggregate statistics for one statement template."""
+
+    template: str
+    count: int
+    distinct_statements: int
+    example: str
+    mean_cpu_time: float | None = None
+    session_classes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def constants_only_vary(self) -> bool:
+        """True when the template repeats with different constants —
+        the bot/admin signature of Appendix B.3."""
+        return self.count > 1 and self.distinct_statements > 1
+
+
+def _summarize(
+    groups: dict[str, list],
+    statements: dict[str, list[str]],
+    cpu: dict[str, list[float]],
+    classes: dict[str, Counter],
+    top: int | None,
+) -> list[TemplateStats]:
+    stats = []
+    for template, members in groups.items():
+        cpu_values = [v for v in cpu[template] if v is not None]
+        stats.append(
+            TemplateStats(
+                template=template,
+                count=len(members),
+                distinct_statements=len(set(statements[template])),
+                example=statements[template][0],
+                mean_cpu_time=(
+                    float(np.mean(cpu_values)) if cpu_values else None
+                ),
+                session_classes=dict(classes[template]),
+            )
+        )
+    stats.sort(key=lambda s: (-s.count, s.template))
+    return stats[:top] if top is not None else stats
+
+
+def mine_workload_templates(
+    workload: Workload, top: int | None = None
+) -> list[TemplateStats]:
+    """Group a deduplicated workload's statements by template.
+
+    ``count`` weighs each record by its ``num_duplicates`` so the report
+    reflects the raw log volume, not just unique statements.
+    """
+    groups: dict[str, list] = defaultdict(list)
+    statements: dict[str, list[str]] = defaultdict(list)
+    cpu: dict[str, list[float]] = defaultdict(list)
+    classes: dict[str, Counter] = defaultdict(Counter)
+    for record in workload:
+        template = template_of(record.statement)
+        groups[template].extend([record] * record.num_duplicates)
+        statements[template].append(record.statement)
+        cpu[template].append(record.cpu_time)
+        if record.session_class is not None:
+            classes[template][record.session_class] += record.num_duplicates
+    return _summarize(groups, statements, cpu, classes, top)
+
+
+def mine_log_templates(
+    entries: list[LogEntry], top: int | None = None
+) -> list[TemplateStats]:
+    """Group raw (pre-dedup) log entries by template."""
+    groups: dict[str, list] = defaultdict(list)
+    statements: dict[str, list[str]] = defaultdict(list)
+    cpu: dict[str, list[float]] = defaultdict(list)
+    classes: dict[str, Counter] = defaultdict(Counter)
+    for entry in entries:
+        template = template_of(entry.statement)
+        groups[template].append(entry)
+        statements[template].append(entry.statement)
+        cpu[template].append(entry.cpu_time)
+        classes[template][entry.session_class] += 1
+    return _summarize(groups, statements, cpu, classes, top)

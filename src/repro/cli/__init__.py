@@ -1,0 +1,76 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI wires the library's pieces into the workflow a downstream user
+actually runs:
+
+- ``generate``  — synthesize an SDSS/SQLShare-shaped workload to a JSONL file
+- ``analyze``   — the Section 4.3 workload analysis for a workload file
+- ``train``     — fit a :class:`~repro.core.facilitator.QueryFacilitator`
+- ``predict``   — pre-execution insights for new statements
+- ``evaluate``  — train/test split evaluation with the paper's metrics
+- ``experiment``— regenerate any table/figure of the paper's evaluation
+- ``compress``  — workload compression (Section 8 future work)
+
+Every command reads/writes plain files so the steps compose::
+
+    python -m repro generate sdss --sessions 2000 -o sdss.jsonl
+    python -m repro train sdss.jsonl --model ccnn -o facilitator.pkl
+    python -m repro predict facilitator.pkl "SELECT * FROM PhotoObj"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.cli import (
+    analyze_cmd,
+    compress_cmd,
+    evaluate_cmd,
+    experiment_cmd,
+    generate_cmd,
+    predict_cmd,
+    train_cmd,
+)
+
+__all__ = ["main", "build_parser"]
+
+_COMMANDS = (
+    generate_cmd,
+    analyze_cmd,
+    train_cmd,
+    predict_cmd,
+    evaluate_cmd,
+    experiment_cmd,
+    compress_cmd,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with every subcommand registered."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Pre-execution SQL query property prediction "
+            "(Zolaktaf et al., SIGMOD 2020 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", metavar="command")
+    for module in _COMMANDS:
+        module.register(subparsers)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code instead of calling exit()."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,83 @@
+"""Shared helpers for CLI subcommands: IO plumbing and argument groups."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.models.factory import MODEL_NAMES, ModelScale
+from repro.workloads.io import load_workload
+from repro.workloads.records import Workload
+
+__all__ = [
+    "add_scale_arguments",
+    "scale_from_args",
+    "load_workload_arg",
+    "read_statements",
+    "emit",
+]
+
+
+def add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    """Model-capacity knobs shared by ``train`` and ``evaluate``."""
+    group = parser.add_argument_group("model scale")
+    group.add_argument(
+        "--epochs", type=int, default=None, help="training epochs"
+    )
+    group.add_argument(
+        "--embed-dim", type=int, default=None, help="token embedding width"
+    )
+    group.add_argument(
+        "--tfidf-features",
+        type=int,
+        default=None,
+        help="TF-IDF vocabulary cap (ctfidf/wtfidf)",
+    )
+    group.add_argument(
+        "--seed", type=int, default=0, help="model initialization seed"
+    )
+
+
+def scale_from_args(args: argparse.Namespace) -> ModelScale:
+    """A :class:`ModelScale` overridden by whichever knobs were passed."""
+    overrides = {}
+    for field_name, arg_name in (
+        ("epochs", "epochs"),
+        ("embed_dim", "embed_dim"),
+        ("tfidf_features", "tfidf_features"),
+        ("seed", "seed"),
+    ):
+        value = getattr(args, arg_name, None)
+        if value is not None:
+            overrides[field_name] = value
+    return ModelScale(**overrides)
+
+
+def load_workload_arg(path: str) -> Workload:
+    """Load a workload file, raising a plain ValueError the CLI can print."""
+    return load_workload(Path(path))
+
+
+def read_statements(args: argparse.Namespace) -> list[str]:
+    """Statements from positional args, ``--file``, or stdin (one per line)."""
+    if getattr(args, "statements", None):
+        return list(args.statements)
+    if getattr(args, "file", None):
+        text = Path(args.file).read_text(encoding="utf-8")
+        return [line for line in text.splitlines() if line.strip()]
+    data = sys.stdin.read()
+    statements = [line for line in data.splitlines() if line.strip()]
+    if not statements:
+        raise ValueError("no statements given (args, --file, or stdin)")
+    return statements
+
+
+def emit(text: str) -> None:
+    """Print a block of report text (kept separate for test capture)."""
+    print(text)
+
+
+def model_name_choices() -> list[str]:
+    """Model names accepted by --model flags."""
+    return sorted(MODEL_NAMES)

@@ -1,0 +1,208 @@
+"""``repro analyze`` — the Section 4.3 workload analysis for a file.
+
+Prints, for any workload JSONL file, the reports the paper builds before
+modeling: structural property statistics (Figures 3/4), label distributions
+(Figure 6), the structural correlation matrix (Figure 7), per-session-class
+box statistics (Figure 8, when session labels exist), and — for raw logs —
+the statement repetition histogram (Figure 20).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.by_session import by_session_class
+from repro.analysis.correlation import structural_correlation_matrix
+from repro.analysis.label_analysis import (
+    class_distribution,
+    regression_label_summary,
+)
+from repro.analysis.repetition import repetition_histogram_of_log
+from repro.analysis.structural import StructuralTable, structural_table
+from repro.cli._common import emit
+from repro.evalx.reporting import format_table
+from repro.workloads.io import load_log, load_workload
+from repro.workloads.records import Workload
+
+__all__ = ["register"]
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "analyze",
+        help="Section 4.3 workload analysis for a workload JSONL file",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("workload", help="workload JSONL file (from generate)")
+    parser.add_argument(
+        "--repetition",
+        action="store_true",
+        help="treat the input as a raw log and print the Figure 20 histogram",
+    )
+    parser.add_argument(
+        "--templates",
+        type=int,
+        metavar="N",
+        default=None,
+        help="also print the top-N statement templates (Appendix B.3)",
+    )
+    parser.set_defaults(func=run)
+
+
+def _structure_section(table: StructuralTable) -> str:
+    rows = []
+    for name in table.feature_names:
+        column = table.column(name)
+        rows.append(
+            [
+                name,
+                float(column.mean()),
+                float(column.std()),
+                float(column.min()),
+                float(column.max()),
+                float(np.median(column)),
+            ]
+        )
+    summary = format_table(
+        ["property", "mean", "std", "min", "max", "median"],
+        rows,
+        title="Structural properties (Figures 3/4 panels)",
+    )
+    shares = format_table(
+        ["share", "value"],
+        [
+            ["queries with >=1 join", f"{table.fraction_with_joins:.2%}"],
+            ["queries touching >1 table", f"{table.fraction_multi_table:.2%}"],
+            ["nested queries", f"{table.fraction_nested:.2%}"],
+            [
+                "nested queries with aggregation",
+                f"{table.fraction_nested_aggregation:.2%}",
+            ],
+        ],
+        title="Headline shares (Section 4.3.1)",
+    )
+    return summary + "\n\n" + shares
+
+
+def _labels_section(workload: Workload) -> str:
+    blocks: list[str] = []
+    for column, title in (
+        ("error_class", "Error class distribution (Figure 6a)"),
+        ("session_class", "Session class distribution (Figure 6b)"),
+    ):
+        try:
+            dist = class_distribution(workload, column)
+        except ValueError:
+            continue
+        rows = [
+            [cls, count, f"{share:.2%}"] for cls, (count, share) in dist.items()
+        ]
+        blocks.append(format_table(["class", "count", "share"], rows, title=title))
+    for column, title in (
+        ("answer_size", "Answer size (Figure 6c)"),
+        ("cpu_time", "CPU time (Figures 6d/6e)"),
+    ):
+        try:
+            summary = regression_label_summary(workload, column)
+        except ValueError:
+            continue
+        rows = [
+            ["mean", summary.mean],
+            ["std", summary.std],
+            ["min", summary.minimum],
+            ["max", summary.maximum],
+            ["mode", summary.mode],
+            ["median", summary.median],
+        ]
+        blocks.append(format_table(["stat", "value"], rows, title=title))
+    return "\n\n".join(blocks)
+
+
+def _correlation_section(table: StructuralTable) -> str:
+    matrix = structural_correlation_matrix(table)
+    names = table.feature_names
+    short = [name[:12] for name in names]
+    rows = [
+        [short[i]] + [f"{matrix[i, j]:+.2f}" for j in range(len(names))]
+        for i in range(len(names))
+    ]
+    return format_table(
+        ["property"] + short,
+        rows,
+        title="Structural property correlation (Figure 7)",
+    )
+
+
+def _session_section(workload: Workload) -> str:
+    try:
+        stats = by_session_class(workload)
+    except ValueError:
+        return ""
+    rows = []
+    for cls, box in stats.get("cpu_time", {}).items():
+        rows.append([cls, box.q1, box.median, box.q3, box.mean])
+    if not rows:
+        return ""
+    return format_table(
+        ["session class", "cpu q1", "cpu median", "cpu q3", "cpu mean"],
+        rows,
+        title="CPU time by session class (Figure 8b)",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.repetition:
+        entries = load_log(args.workload)
+        histogram = repetition_histogram_of_log(entries)
+        rows = [[bucket, count] for bucket, count in histogram.items()]
+        emit(
+            format_table(
+                ["times repeated", "statements"],
+                rows,
+                title="Statement repetition (Figure 20)",
+            )
+        )
+        return 0
+
+    workload = load_workload(args.workload)
+    emit(f"workload {workload.name!r}: {len(workload)} unique statements\n")
+    table = structural_table(workload)
+    emit(_structure_section(table))
+    labels = _labels_section(workload)
+    if labels:
+        emit("")
+        emit(labels)
+    emit("")
+    emit(_correlation_section(table))
+    session = _session_section(workload)
+    if session:
+        emit("")
+        emit(session)
+    if args.templates is not None:
+        from repro.analysis.templates import mine_workload_templates
+
+        stats = mine_workload_templates(workload, top=args.templates)
+        rows = [
+            [
+                " ".join(s.template.split())[:44],
+                s.count,
+                s.distinct_statements,
+                "-" if s.mean_cpu_time is None else f"{s.mean_cpu_time:.2f}",
+                max(s.session_classes, key=s.session_classes.get)
+                if s.session_classes
+                else "-",
+            ]
+            for s in stats
+        ]
+        emit("")
+        emit(
+            format_table(
+                ["template", "hits", "variants", "mean cpu", "top class"],
+                rows,
+                title=f"Top {args.templates} templates (Appendix B.3)",
+            )
+        )
+    return 0

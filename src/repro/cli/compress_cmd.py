@@ -1,0 +1,74 @@
+"""``repro compress`` — weighted workload compression (Section 8).
+
+Reads a workload file, keeps a structurally diverse weighted subset, and
+writes it back out. ``num_duplicates`` on each kept record carries its
+rounded weight so downstream consumers can reconstruct weighted statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._common import emit, load_workload_arg
+from repro.workloads.compression import (
+    STRATEGIES,
+    compress_workload,
+    coverage_radius,
+)
+from repro.workloads.io import save_workload
+from repro.workloads.records import QueryRecord, Workload
+
+__all__ = ["register"]
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "compress",
+        help="compress a workload to a weighted representative subset",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("workload", help="workload JSONL file (from generate)")
+    parser.add_argument(
+        "-o", "--output", required=True, help="output JSONL path"
+    )
+    parser.add_argument(
+        "--ratio", type=float, default=0.1, help="kept fraction (default 0.1)"
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="kcenter",
+        help="selection strategy (default kcenter)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="sampling seed")
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    workload = load_workload_arg(args.workload)
+    compressed = compress_workload(
+        workload, ratio=args.ratio, strategy=args.strategy, seed=args.seed
+    )
+    records = []
+    for record, weight in zip(compressed.workload.records, compressed.weights):
+        records.append(
+            QueryRecord(
+                statement=record.statement,
+                error_class=record.error_class,
+                answer_size=record.answer_size,
+                cpu_time=record.cpu_time,
+                session_class=record.session_class,
+                user=record.user,
+                num_duplicates=max(1, int(round(float(weight)))),
+            )
+        )
+    out = Workload(f"{workload.name}-compressed", records)
+    save_workload(out, args.output)
+    radius = coverage_radius(workload, compressed)
+    emit(
+        f"kept {len(out)}/{len(workload)} statements "
+        f"({compressed.ratio:.1%}, strategy={args.strategy}, "
+        f"coverage radius {radius:.2f}) -> {args.output}"
+    )
+    return 0

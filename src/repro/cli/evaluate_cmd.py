@@ -1,0 +1,126 @@
+"""``repro evaluate`` — split a workload, train models, report paper metrics.
+
+Runs one query facilitation problem end to end on a workload file: random
+(or by-user) 80/10/10 split, training for each requested model, and a
+paper-shaped report — accuracy/per-class F/cross-entropy for classification
+(Tables 2 and 4), Huber loss/MSE/qerror percentiles for regression
+(Tables 2, 3, 5-7).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._common import (
+    add_scale_arguments,
+    emit,
+    load_workload_arg,
+    model_name_choices,
+    scale_from_args,
+)
+from repro.core.evaluation import evaluate_classification, evaluate_regression
+from repro.core.problems import Problem
+from repro.core.splits import random_split, user_split
+from repro.evalx.reporting import format_table
+from repro.models.factory import build_model
+
+__all__ = ["register"]
+
+_PROBLEMS = {
+    "error": Problem.ERROR_CLASSIFICATION,
+    "cpu-time": Problem.CPU_TIME,
+    "answer-size": Problem.ANSWER_SIZE,
+    "session": Problem.SESSION_CLASSIFICATION,
+    "elapsed": Problem.ELAPSED_TIME,
+}
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "evaluate",
+        help="train/test evaluation of models on one problem",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("workload", help="workload JSONL file (from generate)")
+    parser.add_argument(
+        "--problem",
+        required=True,
+        choices=sorted(_PROBLEMS),
+        help="query facilitation problem to evaluate",
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=["baseline", "ctfidf", "ccnn"],
+        choices=model_name_choices(),
+        metavar="MODEL",
+        help="models to compare (default: baseline ctfidf ccnn)",
+    )
+    parser.add_argument(
+        "--split",
+        choices=("random", "user"),
+        default="random",
+        help="random = homogeneous settings; user = heterogeneous schema",
+    )
+    parser.add_argument(
+        "--split-seed", type=int, default=0, help="split shuffling seed"
+    )
+    add_scale_arguments(parser)
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    workload = load_workload_arg(args.workload)
+    problem = _PROBLEMS[args.problem]
+    scale = scale_from_args(args)
+
+    if args.split == "user":
+        split = user_split(workload, seed=args.split_seed)
+    else:
+        split = random_split(workload, seed=args.split_seed)
+    n_train, n_valid, n_test = split.sizes()
+    emit(
+        f"workload {workload.name!r}: {len(workload)} statements "
+        f"(train {n_train} / valid {n_valid} / test {n_test})"
+    )
+
+    if problem.is_classification:
+        labels = workload.labels(problem.label_column)
+        num_classes = len({str(v) for v in labels})
+        models = {
+            name: build_model(
+                name, problem.task, num_classes=num_classes, scale=scale
+            )
+            for name in args.models
+        }
+        outcome = evaluate_classification(problem, split, models)
+        headers = (
+            ["model", "accuracy", "loss"]
+            + [f"F_{c}" for c in outcome.class_names]
+            + ["params"]
+        )
+        rows = [
+            [r.model, r.accuracy, r.loss]
+            + [r.f_per_class.get(c, 0.0) for c in outcome.class_names]
+            + [r.num_parameters]
+            for r in outcome.reports
+        ]
+        emit(format_table(headers, rows, title=f"{args.problem} classification"))
+    else:
+        models = {
+            name: build_model(name, problem.task, scale=scale)
+            for name in args.models
+        }
+        outcome = evaluate_regression(problem, split, models)
+        percentiles = sorted(outcome.reports[0].qerror_percentiles)
+        headers = ["model", "loss", "MSE"] + [
+            f"q{int(p)}%" for p in percentiles
+        ]
+        rows = [
+            [r.model, r.loss, r.mse]
+            + [r.qerror_percentiles[p] for p in percentiles]
+            for r in outcome.reports
+        ]
+        emit(format_table(headers, rows, title=f"{args.problem} regression"))
+    return 0

@@ -1,0 +1,138 @@
+"""``repro experiment`` — regenerate any table or figure of the paper.
+
+``repro experiment --list`` enumerates every experiment id; ``repro
+experiment table2 fig8`` runs specific ones. Experiments run at the scale
+selected by ``REPRO_SCALE`` (small/medium/large), sharing one in-process
+cache of generated workloads and trained models across ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Callable
+
+from repro.cli._common import emit
+from repro.experiments import ablations, case_study, error_analysis, extensions
+from repro.experiments import figures, tables
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.compression_extension import compression_experiment
+from repro.experiments.deep_cnn_extension import deep_cnn_experiment
+from repro.experiments.elapsed_extension import elapsed_time_experiment
+from repro.experiments.tree_extension import tree_lstm_experiment
+
+__all__ = ["register", "EXPERIMENTS"]
+
+#: Experiment id → (driver, one-line description). One entry per measured
+#: table/figure in the paper plus the ablation/extension studies.
+EXPERIMENTS: dict[str, tuple[Callable[[ExperimentConfig], str], str]] = {
+    "table1": (tables.table1_splits, "dataset sizes and splits"),
+    "table2": (
+        tables.table2_homogeneous_instance,
+        "error/CPU/answer-size models on SDSS",
+    ),
+    "table3": (tables.table3_answer_size_qerror, "answer-size qerror (SDSS)"),
+    "table4": (tables.table4_session_classification, "session classification"),
+    "table5": (tables.table5_sqlshare_cpu, "CPU time across SQLShare settings"),
+    "table6": (
+        tables.table6_qerror_homogeneous_schema,
+        "CPU qerror, Homogeneous Schema",
+    ),
+    "table7": (
+        tables.table7_qerror_heterogeneous_schema,
+        "CPU qerror, Heterogeneous Schema",
+    ),
+    "fig3": (figures.fig3_sdss_structure, "SDSS structural distributions"),
+    "fig4": (figures.fig4_sqlshare_structure, "SQLShare structural distributions"),
+    "fig6": (figures.fig6_label_distributions, "label distributions"),
+    "fig7": (figures.fig7_correlation, "structural correlation matrix"),
+    "fig8": (figures.fig8_by_session_class, "SDSS metrics by session class"),
+    "fig12": (error_analysis.fig12_mse_by_session, "MSE by session class"),
+    "fig13": (
+        error_analysis.fig13_error_by_structure,
+        "answer-size error vs structure",
+    ),
+    "fig14": (
+        error_analysis.fig14_error_by_setting,
+        "CPU error across the three settings",
+    ),
+    "fig20": (figures.fig20_repetition, "statement repetition histogram"),
+    "case-study": (case_study.case_study, "Figures 15/16 sample queries"),
+    "ablation-loss": (
+        ablations.ablation_loss_and_transform,
+        "Huber vs squared loss x log transform",
+    ),
+    "ablation-cnn": (
+        ablations.ablation_cnn_architecture,
+        "CNN kernel sizes and pooling",
+    ),
+    "ablation-lstm-depth": (ablations.ablation_lstm_depth, "LSTM depth 1 vs 3"),
+    "ablation-digit-mask": (
+        ablations.ablation_digit_masking,
+        "<DIGIT> masking on vs off (Sec 4.4.1)",
+    ),
+    "ext-transfer": (
+        extensions.transfer_learning_experiment,
+        "SDSS->SQLShare transfer (Section 8)",
+    ),
+    "ext-multitask": (
+        extensions.multitask_experiment,
+        "multi-task vs single-task ccnn (Section 8)",
+    ),
+    "ext-deep-cnn": (
+        deep_cnn_experiment,
+        "deep character CNN vs shallow (Section 8)",
+    ),
+    "ext-tree-lstm": (
+        tree_lstm_experiment,
+        "Child-Sum Tree-LSTM over ASTs (Section 8)",
+    ),
+    "ext-elapsed": (
+        elapsed_time_experiment,
+        "elapsed-time vs CPU-time prediction (Section 8)",
+    ),
+    "ext-compression": (
+        compression_experiment,
+        "training on compressed workloads (Section 8)",
+    ),
+}
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "experiment",
+        help="regenerate tables/figures of the paper's evaluation",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids (see --list); default: all tables and figures",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list:
+        width = max(len(key) for key in EXPERIMENTS)
+        for key, (_, description) in EXPERIMENTS.items():
+            emit(f"{key.ljust(width)}  {description}")
+        return 0
+
+    ids = args.ids or [k for k in EXPERIMENTS if k.startswith(("table", "fig"))]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(
+            f"unknown experiment ids {unknown}; see `repro experiment --list`"
+        )
+    config = default_config()
+    for key in ids:
+        driver, _ = EXPERIMENTS[key]
+        emit(f"== {key} (scale: {config.name}) ==")
+        emit(driver(config))
+        emit("")
+    return 0

@@ -1,0 +1,72 @@
+"""``repro generate`` — synthesize a workload file.
+
+Produces the library's substitute for the paper's proprietary inputs: an
+SDSS-shaped or SQLShare-shaped workload written as JSON lines. With
+``--raw-log`` the pre-deduplication SDSS log (one entry per hit, with
+session metadata) is written instead, which feeds the ``analyze
+--repetition`` report and any custom dedup pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._common import emit
+from repro.workloads.io import save_log, save_workload
+from repro.workloads.sdss import generate_sdss_log, generate_sdss_workload
+from repro.workloads.sqlshare import generate_sqlshare_workload
+
+__all__ = ["register"]
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generate",
+        help="synthesize an SDSS/SQLShare-shaped workload to a JSONL file",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "source",
+        choices=("sdss", "sqlshare"),
+        help="which workload shape to synthesize",
+    )
+    parser.add_argument(
+        "-o", "--output", required=True, help="output JSONL path"
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=2000,
+        help="SDSS sessions to simulate (sdss only)",
+    )
+    parser.add_argument(
+        "--users",
+        type=int,
+        default=60,
+        help="SQLShare users to simulate (sqlshare only)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="generator seed")
+    parser.add_argument(
+        "--raw-log",
+        action="store_true",
+        help="write the raw pre-dedup SDSS log instead of the workload",
+    )
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.source == "sdss":
+        if args.raw_log:
+            entries = generate_sdss_log(n_sessions=args.sessions, seed=args.seed)
+            save_log(entries, args.output, name="sdss-log")
+            emit(f"wrote {len(entries)} log entries to {args.output}")
+            return 0
+        workload = generate_sdss_workload(n_sessions=args.sessions, seed=args.seed)
+    else:
+        if args.raw_log:
+            raise ValueError("--raw-log is only available for the sdss source")
+        workload = generate_sqlshare_workload(n_users=args.users, seed=args.seed)
+    save_workload(workload, args.output)
+    emit(f"wrote {len(workload)} records to {args.output}")
+    return 0

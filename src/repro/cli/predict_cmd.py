@@ -1,0 +1,98 @@
+"""``repro predict`` — pre-execution insights for new statements.
+
+Loads a facilitator saved by ``repro train`` and prints, for each input
+statement, the paper's four predicted properties. Statements come from
+positional arguments, ``--file`` (one per line), or stdin. ``--json``
+emits one JSON object per statement for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.cli._common import emit, read_statements
+from repro.core.facilitator import QueryFacilitator
+from repro.evalx.reporting import format_table
+
+__all__ = ["register"]
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "predict",
+        help="pre-execution insights for statements, from a saved facilitator",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("facilitator", help="file saved by `repro train`")
+    parser.add_argument(
+        "statements", nargs="*", help="SQL statements (default: stdin)"
+    )
+    parser.add_argument(
+        "--file", help="read statements from this file, one per line"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON lines instead of a table"
+    )
+    parser.set_defaults(func=run)
+
+
+def _abbreviate(statement: str, width: int = 48) -> str:
+    flat = " ".join(statement.split())
+    return flat if len(flat) <= width else flat[: width - 3] + "..."
+
+
+def run(args: argparse.Namespace) -> int:
+    facilitator = QueryFacilitator.load(args.facilitator)
+    statements = read_statements(args)
+    insights = facilitator.insights_batch(statements)
+
+    if args.json:
+        for item in insights:
+            emit(
+                json.dumps(
+                    {
+                        "statement": item.statement,
+                        "error_class": item.error_class,
+                        "likely_to_fail": item.likely_to_fail,
+                        "cpu_time_seconds": item.cpu_time_seconds,
+                        "answer_size": item.answer_size,
+                        "session_class": item.session_class,
+                        "elapsed_seconds": item.elapsed_seconds,
+                    }
+                )
+            )
+        return 0
+
+    rows = []
+    for item in insights:
+        rows.append(
+            [
+                _abbreviate(item.statement),
+                item.error_class or "-",
+                "-"
+                if item.cpu_time_seconds is None
+                else f"{item.cpu_time_seconds:.2f}",
+                "-"
+                if item.elapsed_seconds is None
+                else f"{item.elapsed_seconds:.2f}",
+                "-" if item.answer_size is None else f"{item.answer_size:.0f}",
+                item.session_class or "-",
+            ]
+        )
+    emit(
+        format_table(
+            [
+                "statement",
+                "error",
+                "cpu (s)",
+                "elapsed (s)",
+                "answer size",
+                "session",
+            ],
+            rows,
+            title="Pre-execution insights",
+        )
+    )
+    return 0

@@ -1,0 +1,59 @@
+"""``repro train`` — fit a QueryFacilitator on a workload file.
+
+Trains one model per label column the workload provides (the problems of
+Definition 4, plus elapsed time when present) and saves the fitted
+facilitator for ``repro predict``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.cli._common import (
+    add_scale_arguments,
+    emit,
+    load_workload_arg,
+    model_name_choices,
+    scale_from_args,
+)
+from repro.core.facilitator import QueryFacilitator
+
+__all__ = ["register"]
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "train",
+        help="fit a QueryFacilitator on a workload JSONL file",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("workload", help="workload JSONL file (from generate)")
+    parser.add_argument(
+        "-o", "--output", required=True, help="path for the saved facilitator"
+    )
+    parser.add_argument(
+        "--model",
+        default="ccnn",
+        choices=model_name_choices(),
+        help="paper model to train for every problem (default: ccnn)",
+    )
+    add_scale_arguments(parser)
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    workload = load_workload_arg(args.workload)
+    scale = scale_from_args(args)
+    facilitator = QueryFacilitator(model_name=args.model, scale=scale)
+    start = time.perf_counter()
+    facilitator.fit(workload)
+    elapsed = time.perf_counter() - start
+    facilitator.save(args.output)
+    problems = ", ".join(p.name.lower() for p in facilitator.problems)
+    emit(
+        f"trained {args.model} on {len(workload)} statements "
+        f"({problems}) in {elapsed:.1f}s -> {args.output}"
+    )
+    return 0

@@ -1,0 +1,30 @@
+"""Core API: the paper's problems, settings, splits, and facilitator.
+
+The centrepiece is :class:`QueryFacilitator`: fit it on a query workload,
+then ask for pre-execution insights (predicted error class, CPU time,
+answer size, session class) about any new statement — the user-facing
+capability the paper motivates in Sections 1-2.
+"""
+
+from repro.core.problems import Problem, Setting, TaskType
+from repro.core.splits import DataSplit, random_split, user_split
+from repro.core.facilitator import QueryFacilitator, QueryInsights
+from repro.core.evaluation import (
+    evaluate_classification,
+    evaluate_regression,
+    train_and_predict,
+)
+
+__all__ = [
+    "Problem",
+    "Setting",
+    "TaskType",
+    "DataSplit",
+    "random_split",
+    "user_split",
+    "QueryFacilitator",
+    "QueryInsights",
+    "evaluate_classification",
+    "evaluate_regression",
+    "train_and_predict",
+]

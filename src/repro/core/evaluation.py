@@ -1,0 +1,157 @@
+"""Experiment runner: fit models on a split, evaluate on its test set.
+
+One function per task kind. Both return the paper-style reports *and* the
+raw per-query predictions, because the qualitative analyses (Figures 12-14)
+slice squared errors by session class and structural properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.problems import Problem
+from repro.core.splits import DataSplit
+from repro.evalx.metrics import (
+    ClassificationReport,
+    RegressionReport,
+    classification_report,
+    regression_report,
+)
+from repro.ml.preprocessing import LabelEncoder, LogLabelTransform
+from repro.models.base import QueryModel
+
+__all__ = [
+    "ClassificationOutcome",
+    "RegressionOutcome",
+    "evaluate_classification",
+    "evaluate_regression",
+    "train_and_predict",
+]
+
+
+@dataclass
+class ClassificationOutcome:
+    """Reports plus raw predictions for one classification experiment."""
+
+    problem: Problem
+    class_names: list[str]
+    reports: list[ClassificationReport] = field(default_factory=list)
+    y_true: np.ndarray | None = None
+    predictions: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class RegressionOutcome:
+    """Reports plus raw (log-space) predictions for one regression run."""
+
+    problem: Problem
+    transform: LogLabelTransform | None = None
+    reports: list[RegressionReport] = field(default_factory=list)
+    y_true_log: np.ndarray | None = None
+    y_true_raw: np.ndarray | None = None
+    predictions_log: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def train_and_predict(
+    model: QueryModel,
+    train_statements: list[str],
+    train_labels: np.ndarray,
+    test_statements: list[str],
+) -> np.ndarray:
+    """Convenience: fit then predict (used by ablation benches)."""
+    model.fit(train_statements, train_labels)
+    return model.predict(test_statements)
+
+
+def evaluate_classification(
+    problem: Problem,
+    split: DataSplit,
+    models: dict[str, QueryModel],
+) -> ClassificationOutcome:
+    """Fit every model on the split's train set; report on its test set.
+
+    Args:
+        problem: A classification problem (error/session classification).
+        split: Data split whose workload carries the problem's labels.
+        models: Mapping display name → unfitted model. Models must accept
+            integer class ids produced by a LabelEncoder fitted on the
+            *whole* workload label column (so train/test agree on ids).
+    """
+    if not problem.is_classification:
+        raise ValueError(f"{problem} is not a classification problem")
+    labels_all = split.workload.labels(problem.label_column)
+    encoder = LabelEncoder().fit(list(labels_all))
+    train = split.train
+    test = split.test
+    y_train = encoder.transform(list(train.labels(problem.label_column)))
+    y_test = encoder.transform(list(test.labels(problem.label_column)))
+    outcome = ClassificationOutcome(
+        problem=problem, class_names=[str(c) for c in encoder.classes_]
+    )
+    outcome.y_true = y_test
+    train_statements = train.statements()
+    test_statements = test.statements()
+    for name, model in models.items():
+        model.fit(train_statements, y_train)
+        y_pred = model.predict(test_statements)
+        probs = model.predict_proba(test_statements)
+        outcome.predictions[name] = y_pred
+        outcome.reports.append(
+            classification_report(
+                name,
+                y_test,
+                y_pred,
+                probs,
+                outcome.class_names,
+                vocab_size=model.vocab_size,
+                num_parameters=model.num_parameters,
+            )
+        )
+    return outcome
+
+
+def evaluate_regression(
+    problem: Problem,
+    split: DataSplit,
+    models: dict[str, QueryModel],
+    percentiles: tuple[float, ...] = (50, 75, 80, 85, 90, 95),
+) -> RegressionOutcome:
+    """Fit every model on log-transformed labels; report on the test set.
+
+    The log transform (Section 4.4.1) is fitted on the training labels only
+    and applied to both partitions; qerror percentiles are computed on the
+    original label scale after inverting the transform.
+    """
+    if problem.is_classification:
+        raise ValueError(f"{problem} is not a regression problem")
+    train = split.train
+    test = split.test
+    y_train_raw = train.labels(problem.label_column)
+    y_test_raw = test.labels(problem.label_column)
+    transform = LogLabelTransform().fit(y_train_raw)
+    y_train_log = transform.transform(y_train_raw)
+    y_test_log = transform.transform(y_test_raw)
+    outcome = RegressionOutcome(problem=problem, transform=transform)
+    outcome.y_true_log = y_test_log
+    outcome.y_true_raw = y_test_raw
+    train_statements = train.statements()
+    test_statements = test.statements()
+    for name, model in models.items():
+        model.fit(train_statements, y_train_log)
+        y_pred_log = model.predict(test_statements)
+        outcome.predictions_log[name] = y_pred_log
+        outcome.reports.append(
+            regression_report(
+                name,
+                y_test_log,
+                y_pred_log,
+                y_test_raw,
+                transform.inverse(y_pred_log),
+                percentiles=percentiles,
+                vocab_size=model.vocab_size,
+                num_parameters=model.num_parameters,
+            )
+        )
+    return outcome

@@ -1,0 +1,259 @@
+"""QueryFacilitator: pre-execution insights about SQL statements.
+
+The user-facing entry point of the library. Fit it on a historical query
+workload; it trains one model per available query facilitation problem and
+then answers, for any new statement and *before execution*:
+
+- will it fail (and how badly)?
+- roughly how long will it run?
+- roughly how many rows will it return?
+- what class of client does it look like (for DBAs)?
+
+>>> facilitator = QueryFacilitator().fit(workload)
+>>> insights = facilitator.insights("SELECT * FROM PhotoObj")
+>>> insights.cpu_time_seconds, insights.error_class
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.problems import Problem
+from repro.ml.preprocessing import LabelEncoder, LogLabelTransform
+from repro.models.base import QueryModel
+from repro.models.factory import ModelScale, build_model
+from repro.workloads.records import Workload
+
+__all__ = ["QueryFacilitator", "QueryInsights"]
+
+
+@dataclass
+class QueryInsights:
+    """Predicted properties of one statement, prior to execution.
+
+    Fields are None when the facilitator was not trained for that problem
+    (e.g. SQLShare workloads carry only CPU time).
+    """
+
+    statement: str
+    error_class: Optional[str] = None
+    error_probabilities: dict[str, float] = field(default_factory=dict)
+    cpu_time_seconds: Optional[float] = None
+    answer_size: Optional[float] = None
+    session_class: Optional[str] = None
+    elapsed_seconds: Optional[float] = None
+
+    @property
+    def likely_to_fail(self) -> bool:
+        """True when the predicted error class is not ``success``."""
+        return self.error_class is not None and self.error_class != "success"
+
+
+class _FittedProblem:
+    """A trained model plus its label codec for one problem."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        model: QueryModel,
+        encoder: LabelEncoder | None,
+        transform: LogLabelTransform | None,
+    ):
+        self.problem = problem
+        self.model = model
+        self.encoder = encoder
+        self.transform = transform
+
+
+class QueryFacilitator:
+    """Train per-problem models on a workload; predict query properties.
+
+    Args:
+        model_name: Paper model to use for every problem (default ``ccnn``
+            — the architecture the paper found generalizes best).
+        scale: Capacity/runtime knobs (see :class:`ModelScale`).
+
+    The facilitator trains on whichever of the four label columns the
+    workload provides; missing labels simply disable that insight.
+    """
+
+    def __init__(
+        self,
+        model_name: str = "ccnn",
+        scale: ModelScale | None = None,
+        index_similar: bool = False,
+    ):
+        self.model_name = model_name
+        self.scale = scale or ModelScale()
+        self.index_similar = index_similar
+        self.fitted: dict[Problem, _FittedProblem] = {}
+        self.similar_index = None
+
+    # -- training ----------------------------------------------------------- #
+
+    def fit(
+        self,
+        workload: Workload,
+        problems: Sequence[Problem] | None = None,
+    ) -> "QueryFacilitator":
+        """Train one model per problem available in ``workload``.
+
+        Args:
+            workload: Labelled historical queries.
+            problems: Restrict to these problems (default: every problem
+                whose label column is fully present).
+        """
+        statements = workload.statements()
+        wanted = list(problems) if problems is not None else list(Problem)
+        for problem in wanted:
+            if not self._has_labels(workload, problem):
+                if problems is not None:
+                    raise ValueError(
+                        f"workload {workload.name!r} lacks labels for {problem}"
+                    )
+                continue
+            labels = workload.labels(problem.label_column)
+            if problem.is_classification:
+                encoder = LabelEncoder().fit(list(labels))
+                model = build_model(
+                    self.model_name,
+                    problem.task,
+                    num_classes=encoder.num_classes,
+                    scale=self.scale,
+                )
+                model.fit(statements, encoder.transform(list(labels)))
+                self.fitted[problem] = _FittedProblem(
+                    problem, model, encoder, None
+                )
+            else:
+                transform = LogLabelTransform().fit(labels)
+                model = build_model(
+                    self.model_name, problem.task, scale=self.scale
+                )
+                model.fit(statements, transform.transform(labels))
+                self.fitted[problem] = _FittedProblem(
+                    problem, model, None, transform
+                )
+        if not self.fitted:
+            raise ValueError(
+                f"workload {workload.name!r} has no usable label columns"
+            )
+        if self.index_similar:
+            from repro.models.knn import SimilarQueryIndex
+
+            self.similar_index = SimilarQueryIndex().fit(workload)
+        return self
+
+    @staticmethod
+    def _has_labels(workload: Workload, problem: Problem) -> bool:
+        return all(
+            getattr(r, problem.label_column) is not None for r in workload
+        )
+
+    # -- prediction ---------------------------------------------------------- #
+
+    def insights(self, statement: str) -> QueryInsights:
+        """Pre-execution insights for a single statement."""
+        return self.insights_batch([statement])[0]
+
+    def insights_batch(self, statements: Sequence[str]) -> list[QueryInsights]:
+        """Pre-execution insights for many statements at once."""
+        if not self.fitted:
+            raise RuntimeError("QueryFacilitator must be fitted first")
+        statements = list(statements)
+        results = [QueryInsights(statement=s) for s in statements]
+        for problem, fitted in self.fitted.items():
+            if problem.is_classification:
+                assert fitted.encoder is not None
+                pred = fitted.model.predict(statements)
+                names = fitted.encoder.inverse(pred)
+                if problem is Problem.ERROR_CLASSIFICATION:
+                    probs = fitted.model.predict_proba(statements)
+                    for i, result in enumerate(results):
+                        result.error_class = str(names[i])
+                        result.error_probabilities = {
+                            str(c): float(probs[i, j])
+                            for j, c in enumerate(fitted.encoder.classes_)
+                        }
+                else:
+                    for i, result in enumerate(results):
+                        result.session_class = str(names[i])
+            else:
+                assert fitted.transform is not None
+                pred_raw = fitted.transform.inverse(
+                    fitted.model.predict(statements)
+                )
+                pred_raw = np.maximum(pred_raw, 0.0)
+                attr = {
+                    Problem.CPU_TIME: "cpu_time_seconds",
+                    Problem.ANSWER_SIZE: "answer_size",
+                    Problem.ELAPSED_TIME: "elapsed_seconds",
+                }[problem]
+                for i, result in enumerate(results):
+                    setattr(result, attr, float(pred_raw[i]))
+        return results
+
+    def similar_queries(self, statement: str, k: int = 5):
+        """The ``k`` most similar historical queries with their outcomes.
+
+        Requires ``index_similar=True`` at construction (the index stores
+        the training workload, which costs memory).
+
+        Returns:
+            list[repro.models.knn.QueryNeighbor], best match first.
+        """
+        if self.similar_index is None:
+            raise RuntimeError(
+                "similar-query retrieval needs QueryFacilitator("
+                "index_similar=True) before fit()"
+            )
+        return self.similar_index.lookup(statement, k=k)
+
+    @property
+    def problems(self) -> list[Problem]:
+        """Problems this facilitator was trained for."""
+        return list(self.fitted)
+
+    # -- persistence --------------------------------------------------------- #
+
+    def save(self, path: str | Path) -> None:
+        """Persist the fitted facilitator (models + label codecs) to a file.
+
+        Uses pickle, the same trade-off scikit-learn makes: load only files
+        you wrote yourself. Raises if called before :meth:`fit`.
+        """
+        if not self.fitted:
+            raise RuntimeError("cannot save an unfitted QueryFacilitator")
+        payload = {
+            "format": "repro.facilitator",
+            "version": 1,
+            "model_name": self.model_name,
+            "facilitator": self,
+        }
+        with Path(path).open("wb") as handle:
+            pickle.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QueryFacilitator":
+        """Load a facilitator saved by :meth:`save`.
+
+        Raises:
+            ValueError: the file was not written by :meth:`save`.
+        """
+        with Path(path).open("rb") as handle:
+            payload = pickle.load(handle)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != "repro.facilitator"
+        ):
+            raise ValueError(f"{path}: not a saved QueryFacilitator")
+        facilitator = payload["facilitator"]
+        if not isinstance(facilitator, cls):
+            raise ValueError(f"{path}: payload is {type(facilitator).__name__}")
+        return facilitator

@@ -1,0 +1,116 @@
+"""Train/validation/test splits (Table 1).
+
+Homogeneous settings use a uniform random split. The Heterogeneous Schema
+setting splits *by user* so train and test queries come from different
+schemas — decreasing the likelihood of data sharing, exactly as Section 6.1
+describes for SQLShare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.records import Workload
+
+__all__ = ["DataSplit", "random_split", "user_split"]
+
+
+@dataclass
+class DataSplit:
+    """Index-based split of one workload."""
+
+    workload: Workload
+    train_idx: np.ndarray
+    valid_idx: np.ndarray
+    test_idx: np.ndarray
+
+    @property
+    def train(self) -> Workload:
+        return self.workload.subset(self.train_idx.tolist())
+
+    @property
+    def valid(self) -> Workload:
+        return self.workload.subset(self.valid_idx.tolist())
+
+    @property
+    def test(self) -> Workload:
+        return self.workload.subset(self.test_idx.tolist())
+
+    def sizes(self) -> tuple[int, int, int]:
+        return len(self.train_idx), len(self.valid_idx), len(self.test_idx)
+
+
+def _check_fractions(fractions: tuple[float, float, float]) -> None:
+    if len(fractions) != 3 or any(f < 0 for f in fractions):
+        raise ValueError("fractions must be three non-negative numbers")
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError("fractions must sum to 1")
+
+
+def random_split(
+    workload: Workload,
+    fractions: tuple[float, float, float] = (0.8, 0.1, 0.1),
+    seed: int = 0,
+) -> DataSplit:
+    """Uniform random split (Homogeneous Instance / Homogeneous Schema)."""
+    _check_fractions(fractions)
+    n = len(workload)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_train = int(round(fractions[0] * n))
+    n_valid = int(round(fractions[1] * n))
+    return DataSplit(
+        workload=workload,
+        train_idx=np.sort(order[:n_train]),
+        valid_idx=np.sort(order[n_train : n_train + n_valid]),
+        test_idx=np.sort(order[n_train + n_valid :]),
+    )
+
+
+def user_split(
+    workload: Workload,
+    fractions: tuple[float, float, float] = (0.8, 0.1, 0.1),
+    seed: int = 0,
+) -> DataSplit:
+    """Split by submitting user (Heterogeneous Schema).
+
+    Users are shuffled and assigned greedily to test, then validation, then
+    train until each partition's query quota is covered — so partition sizes
+    only approximate the fractions (compare the paper's uneven Table 1
+    column for this setting). All of a user's queries land in one partition.
+
+    Raises:
+        ValueError: If any record lacks a user.
+    """
+    _check_fractions(fractions)
+    users = workload.users()
+    if any(u is None for u in users):
+        raise ValueError("user_split requires every record to have a user")
+    rng = np.random.default_rng(seed)
+    unique_users = sorted(set(users))  # type: ignore[arg-type]
+    rng.shuffle(unique_users)
+    by_user: dict[str, list[int]] = {}
+    for idx, user in enumerate(users):
+        by_user.setdefault(user, []).append(idx)  # type: ignore[arg-type]
+    n = len(workload)
+    quota_test = fractions[2] * n
+    quota_valid = fractions[1] * n
+    test_idx: list[int] = []
+    valid_idx: list[int] = []
+    train_idx: list[int] = []
+    for user in unique_users:
+        indices = by_user[user]
+        if len(test_idx) < quota_test:
+            test_idx.extend(indices)
+        elif len(valid_idx) < quota_valid:
+            valid_idx.extend(indices)
+        else:
+            train_idx.extend(indices)
+    return DataSplit(
+        workload=workload,
+        train_idx=np.sort(np.asarray(train_idx, dtype=np.int64)),
+        valid_idx=np.sort(np.asarray(valid_idx, dtype=np.int64)),
+        test_idx=np.sort(np.asarray(test_idx, dtype=np.int64)),
+    )

@@ -1,0 +1,31 @@
+"""Evaluation metrics and paper-style reporting (Section 6.1)."""
+
+from repro.evalx.metrics import (
+    ClassificationReport,
+    RegressionReport,
+    accuracy,
+    classification_report,
+    cross_entropy_loss,
+    huber_loss,
+    mse,
+    per_class_f_measure,
+    qerror,
+    qerror_percentiles,
+    regression_report,
+)
+from repro.evalx.reporting import format_table
+
+__all__ = [
+    "accuracy",
+    "per_class_f_measure",
+    "cross_entropy_loss",
+    "huber_loss",
+    "mse",
+    "qerror",
+    "qerror_percentiles",
+    "classification_report",
+    "regression_report",
+    "ClassificationReport",
+    "RegressionReport",
+    "format_table",
+]

@@ -1,0 +1,186 @@
+"""Performance metrics (Section 6.1).
+
+Classification: accuracy, per-class F-measure, test-average cross-entropy.
+Regression: test-average Huber loss, MSE on log-transformed labels, and
+qerror percentiles (the factor by which an estimate differs from the truth,
+``max(y/ŷ, ŷ/y)`` [37]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "per_class_f_measure",
+    "cross_entropy_loss",
+    "huber_loss",
+    "mse",
+    "qerror",
+    "qerror_percentiles",
+    "ClassificationReport",
+    "RegressionReport",
+    "classification_report",
+    "regression_report",
+]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch between y_true and y_pred")
+    if y_true.size == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def per_class_f_measure(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """F1 per class: ``F_C = 2·P_C·R_C / (P_C + R_C)``, 0 when undefined."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    scores = np.zeros(num_classes)
+    for cls in range(num_classes):
+        true_pos = int(((y_pred == cls) & (y_true == cls)).sum())
+        pred_pos = int((y_pred == cls).sum())
+        actual_pos = int((y_true == cls).sum())
+        if pred_pos == 0 or actual_pos == 0 or true_pos == 0:
+            scores[cls] = 0.0
+            continue
+        precision = true_pos / pred_pos
+        recall = true_pos / actual_pos
+        scores[cls] = 2 * precision * recall / (precision + recall)
+    return scores
+
+
+def cross_entropy_loss(probs: np.ndarray, y_true: np.ndarray) -> float:
+    """Mean negative log-probability of the true class (Eq. A.3)."""
+    probs = np.asarray(probs, dtype=np.float64)
+    y_true = np.asarray(y_true, dtype=np.int64)
+    if probs.ndim != 2 or probs.shape[0] != y_true.shape[0]:
+        raise ValueError("probs must be (n, classes) aligned with y_true")
+    picked = np.clip(probs[np.arange(len(y_true)), y_true], 1e-12, 1.0)
+    return float(-np.log(picked).mean())
+
+
+def huber_loss(
+    y_true: np.ndarray, y_pred: np.ndarray, delta: float = 1.0
+) -> float:
+    """Mean Huber loss (Eq. A.1/A.2)."""
+    residual = np.asarray(y_pred, dtype=np.float64) - np.asarray(
+        y_true, dtype=np.float64
+    )
+    abs_r = np.abs(residual)
+    loss = np.where(
+        abs_r <= delta, 0.5 * residual**2, delta * (abs_r - 0.5 * delta)
+    )
+    return float(loss.mean()) if loss.size else 0.0
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error (on log-transformed labels, Section 6.1)."""
+    diff = np.asarray(y_pred, dtype=np.float64) - np.asarray(
+        y_true, dtype=np.float64
+    )
+    return float((diff**2).mean()) if diff.size else 0.0
+
+
+def qerror(
+    y_true: np.ndarray, y_pred: np.ndarray, floor: float = 1.0
+) -> np.ndarray:
+    """Per-query qerror ``max(y/ŷ, ŷ/y)`` on the original label scale.
+
+    Both sides are clamped to ``floor`` (default 1) so zero/negative labels
+    — absent answers, sub-second CPU times — do not blow the ratio up; the
+    minimum attainable qerror is 1 (a perfect estimate).
+    """
+    y_true = np.maximum(np.asarray(y_true, dtype=np.float64), floor)
+    y_pred = np.maximum(np.asarray(y_pred, dtype=np.float64), floor)
+    return np.maximum(y_true / y_pred, y_pred / y_true)
+
+
+def qerror_percentiles(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    percentiles: tuple[float, ...] = (50, 75, 80, 85, 90, 95),
+) -> dict[float, float]:
+    """qerror at the given percentiles (Tables 3, 6, 7)."""
+    errors = qerror(y_true, y_pred)
+    if errors.size == 0:
+        return {p: float("nan") for p in percentiles}
+    return {
+        p: float(np.percentile(errors, p)) for p in percentiles
+    }
+
+
+@dataclass
+class ClassificationReport:
+    """All classification metrics for one (model, problem) pair."""
+
+    model: str
+    accuracy: float
+    loss: float
+    f_per_class: dict[str, float] = field(default_factory=dict)
+    vocab_size: int = 0
+    num_parameters: int = 0
+
+
+@dataclass
+class RegressionReport:
+    """All regression metrics for one (model, problem) pair."""
+
+    model: str
+    loss: float  # test-average Huber loss on log labels
+    mse: float
+    qerror_percentiles: dict[float, float] = field(default_factory=dict)
+    vocab_size: int = 0
+    num_parameters: int = 0
+
+
+def classification_report(
+    model_name: str,
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    probs: np.ndarray,
+    class_names: list[str],
+    vocab_size: int = 0,
+    num_parameters: int = 0,
+) -> ClassificationReport:
+    """Bundle the Table 2/4 classification columns for one model."""
+    scores = per_class_f_measure(y_true, y_pred, len(class_names))
+    return ClassificationReport(
+        model=model_name,
+        accuracy=accuracy(y_true, y_pred),
+        loss=cross_entropy_loss(probs, y_true),
+        f_per_class={name: float(scores[i]) for i, name in enumerate(class_names)},
+        vocab_size=vocab_size,
+        num_parameters=num_parameters,
+    )
+
+
+def regression_report(
+    model_name: str,
+    y_true_log: np.ndarray,
+    y_pred_log: np.ndarray,
+    y_true_raw: np.ndarray,
+    y_pred_raw: np.ndarray,
+    percentiles: tuple[float, ...] = (50, 75, 80, 85, 90, 95),
+    vocab_size: int = 0,
+    num_parameters: int = 0,
+) -> RegressionReport:
+    """Bundle the Table 2/5 regression columns plus qerror percentiles."""
+    return RegressionReport(
+        model=model_name,
+        loss=huber_loss(y_true_log, y_pred_log),
+        mse=mse(y_true_log, y_pred_log),
+        qerror_percentiles=qerror_percentiles(
+            y_true_raw, y_pred_raw, percentiles
+        ),
+        vocab_size=vocab_size,
+        num_parameters=num_parameters,
+    )

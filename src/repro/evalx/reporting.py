@@ -1,0 +1,54 @@
+"""Plain-text table formatting shaped like the paper's tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Compact float: fixed-point for moderate values, scientific for big."""
+    if value != value:  # NaN
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e6 or abs(value) < 10 ** (-digits):
+        return f"{value:.2e}"
+    return f"{value:.{digits}f}".rstrip("0").rstrip(".")
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Cell values; floats are formatted, everything else is str()d.
+        title: Optional caption printed above the table.
+    """
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells: list[str] = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(format_float(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(r[i]) for r in rendered) for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for idx, cells in enumerate(rendered):
+        line = " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per table/figure of the evaluation.
+
+Every driver takes an :class:`~repro.experiments.config.ExperimentConfig`
+and returns a formatted report string (plus structured data where useful).
+Heavy artifacts — generated workloads, fitted models, prediction vectors —
+are cached per config in :mod:`repro.experiments.runner`, so the benchmark
+suite can regenerate all tables without retraining for each one.
+"""
+
+from repro.experiments.config import ExperimentConfig, default_config
+
+__all__ = ["ExperimentConfig", "default_config"]

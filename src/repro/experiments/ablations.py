@@ -1,0 +1,205 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+All on SDSS answer-size prediction (the problem where the design choices
+matter most):
+
+- **loss**: Huber vs squared training loss (Section 4.4.1 robustness);
+- **transform**: log label transform on vs off (Section 4.4.1 skew);
+- **cnn**: window sizes {3,4,5} vs single windows; max vs mean pooling;
+- **lstm depth**: 1 layer vs the paper's 3 layers;
+- **digit masking**: the ``<DIGIT>`` open-vocabulary control on vs off
+  for word-level features (Section 4.4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problems import Problem
+from repro.evalx.metrics import mse
+from repro.evalx.reporting import format_table
+from repro.experiments import runner
+from repro.experiments.config import ExperimentConfig
+from repro.ml.preprocessing import LogLabelTransform
+from repro.models.base import TaskKind
+from repro.models.cnn_model import TextCNNModel
+from repro.models.lstm_model import TextLSTMModel
+from repro.models.tfidf_model import TfidfRegressor
+from repro.nn.losses import SquaredLoss
+
+__all__ = [
+    "ablation_loss_and_transform",
+    "ablation_cnn_architecture",
+    "ablation_lstm_depth",
+    "ablation_digit_masking",
+]
+
+
+def _answer_size_data(config: ExperimentConfig):
+    split = runner.sdss_split(config)
+    train = split.train
+    test = split.test
+    label = Problem.ANSWER_SIZE.label_column
+    y_train_raw = train.labels(label)
+    y_test_raw = test.labels(label)
+    transform = LogLabelTransform().fit(y_train_raw)
+    return (
+        train.statements(),
+        test.statements(),
+        y_train_raw,
+        y_test_raw,
+        transform,
+    )
+
+
+def _make_cnn(config: ExperimentConfig, **kwargs) -> TextCNNModel:
+    scale = config.model_scale
+    return TextCNNModel(
+        level="char",
+        task=TaskKind.REGRESSION,
+        num_kernels=kwargs.pop("num_kernels", scale.num_kernels),
+        hyper=scale.hyper(),
+        **kwargs,
+    )
+
+
+def ablation_loss_and_transform(config: ExperimentConfig) -> str:
+    """Huber vs squared loss × log transform on vs off (ccnn, answer size)."""
+    (
+        train_statements,
+        test_statements,
+        y_train_raw,
+        y_test_raw,
+        transform,
+    ) = _answer_size_data(config)
+    y_train_log = transform.transform(y_train_raw)
+    y_test_log = transform.transform(y_test_raw)
+    rows = []
+    for loss_name in ("huber", "squared"):
+        for use_log in (True, False):
+            model = _make_cnn(config)
+            if loss_name == "squared":
+                model._loss = SquaredLoss()
+            y_fit = y_train_log if use_log else y_train_raw
+            model.fit(train_statements, y_fit)
+            pred = model.predict(test_statements)
+            if not use_log:
+                # map raw-scale predictions onto the log scale for a fair
+                # comparison (clamp to the transform's domain first)
+                pred = transform.transform(np.maximum(pred, transform.min_y))
+            rows.append(
+                [
+                    loss_name,
+                    "log" if use_log else "raw",
+                    mse(y_test_log, pred),
+                ]
+            )
+    return format_table(
+        ["train loss", "labels", "test MSE (log scale)"],
+        rows,
+        title="Ablation: Huber vs squared loss x log transform (ccnn, answer size)",
+    )
+
+
+def ablation_cnn_architecture(config: ExperimentConfig) -> str:
+    """Window-size sets and pooling variants of the ccnn (answer size)."""
+    (
+        train_statements,
+        test_statements,
+        y_train_raw,
+        y_test_raw,
+        transform,
+    ) = _answer_size_data(config)
+    y_train_log = transform.transform(y_train_raw)
+    y_test_log = transform.transform(y_test_raw)
+    rows = []
+    variants = [
+        ("windows {3,4,5}, max-pool", dict(windows=(3, 4, 5), pooling="max")),
+        ("windows {3}, max-pool", dict(windows=(3,), pooling="max")),
+        ("windows {5}, max-pool", dict(windows=(5,), pooling="max")),
+        ("windows {3,4,5}, mean-pool", dict(windows=(3, 4, 5), pooling="mean")),
+    ]
+    for label, kwargs in variants:
+        model = _make_cnn(config, **kwargs)
+        model.fit(train_statements, y_train_log)
+        pred = model.predict(test_statements)
+        rows.append([label, mse(y_test_log, pred), model.num_parameters])
+    return format_table(
+        ["variant", "test MSE (log scale)", "params"],
+        rows,
+        title="Ablation: ccnn window sizes and pooling (answer size)",
+    )
+
+
+def ablation_lstm_depth(config: ExperimentConfig) -> str:
+    """1-layer vs 3-layer clstm (answer size)."""
+    (
+        train_statements,
+        test_statements,
+        y_train_raw,
+        y_test_raw,
+        transform,
+    ) = _answer_size_data(config)
+    y_train_log = transform.transform(y_train_raw)
+    y_test_log = transform.transform(y_test_raw)
+    scale = config.model_scale
+    rows = []
+    for depth in (1, 3):
+        model = TextLSTMModel(
+            level="char",
+            task=TaskKind.REGRESSION,
+            hidden=scale.lstm_hidden,
+            num_layers=depth,
+            hyper=scale.hyper(),
+        )
+        model.fit(train_statements, y_train_log)
+        pred = model.predict(test_statements)
+        rows.append([depth, mse(y_test_log, pred), model.num_parameters])
+    return format_table(
+        ["layers", "test MSE (log scale)", "params"],
+        rows,
+        title="Ablation: clstm depth (answer size)",
+    )
+
+
+def ablation_digit_masking(config: ExperimentConfig) -> str:
+    """<DIGIT> masking on vs off for word-level TF-IDF (answer size).
+
+    Section 4.4.1's open-vocabulary argument: literal digits explode the
+    word vocabulary with rare tokens that never recur at test time. The
+    bench compares wtfidf with masking (the paper's configuration) against
+    raw digits, reporting feature-space size alongside accuracy.
+    """
+    (
+        train_statements,
+        test_statements,
+        y_train_raw,
+        y_test_raw,
+        transform,
+    ) = _answer_size_data(config)
+    y_train_log = transform.transform(y_train_raw)
+    y_test_log = transform.transform(y_test_raw)
+    scale = config.model_scale
+    rows = []
+    for mask in (True, False):
+        model = TfidfRegressor(
+            level="word",
+            max_features=scale.tfidf_features,
+            max_len=scale.tfidf_max_len,
+            epochs=scale.epochs,
+            mask_digits=mask,
+        )
+        model.fit(train_statements, y_train_log)
+        pred = model.predict(test_statements)
+        rows.append(
+            [
+                "<DIGIT> masked" if mask else "raw digits",
+                model.vocab_size,
+                mse(y_test_log, pred),
+            ]
+        )
+    return format_table(
+        ["tokenization", "features", "test MSE (log scale)"],
+        rows,
+        title="Ablation: digit masking for word-level models (answer size)",
+    )

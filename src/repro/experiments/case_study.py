@@ -1,0 +1,94 @@
+"""Section 6.3.3 case study: per-query predictions for the Q1/Q2 shapes.
+
+The paper inspects two queries — Q1, a long three-way join over large
+tables (Figure 15), and Q2, a short but deeply nested admin query over
+small tables (Figure 16) — and compares per-model CPU time and answer size
+predictions. This driver reproduces the comparison on the synthetic SDSS
+workload's trained models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problems import Problem
+from repro.evalx.reporting import format_table
+from repro.experiments import runner
+from repro.experiments.config import ExperimentConfig
+from repro.sqlang.features import extract_features
+
+__all__ = ["Q1", "Q2", "case_study"]
+
+#: The paper's Q1 shape: long statement, three large tables, many columns.
+Q1 = (
+    "SELECT q.objID AS qname,dbo.fDistanceArcMinEq(q.ra,q.dec,p.ra,p.dec),"
+    "s.specObjID,s.z,s.zErr,s.zConf,s.specClass,s.modelMag_u,s.modelMag_g,"
+    "p.objID,p.ra,p.dec,p.u,p.g,p.r,p.i,p.z,p.type,p.mode,p.flags,p.status,"
+    "p.modelMag_u,p.modelMag_g,p.modelMag_r,p.psfMag_r,p.psfMagErr_u,"
+    "p.petroR50_r,p.extinction_r,q.run,q.rerun,q.camcol,q.field "
+    "FROM SpecObj AS s, PhotoTag AS q, PhotoObj AS p "
+    "WHERE ((s.bestObjID=p.objID) AND (s.ra BETWEEN 185 AND 190) "
+    "AND (q.type=6)) ORDER BY q.ra"
+)
+
+#: The paper's Q2 shape: short, nestedness 3, small admin tables.
+Q2 = (
+    "SELECT j.target,cast(j.estimate AS varchar) AS queue,j.status "
+    "FROM Jobs j,Users u,Status s,"
+    "(SELECT DISTINCT target,queue FROM Servers s1 WHERE s1.name NOT IN "
+    "(SELECT name FROM Servers s,(SELECT target,min(queue) AS queue "
+    "FROM Servers GROUP BY target) AS a WHERE a.target=s.target)) b "
+    "WHERE j.outputtype LIKE '%QUERY%' AND j.jobID>500"
+)
+
+
+def case_study(config: ExperimentConfig) -> str:
+    """ccnn CPU time and answer size predictions for Q1 and Q2."""
+    queries = {"Q1": Q1, "Q2": Q2}
+    parts = []
+    feature_rows = []
+    for name, statement in queries.items():
+        features = extract_features(statement)
+        feature_rows.append(
+            [
+                name,
+                features.num_characters,
+                features.num_words,
+                features.num_functions,
+                features.num_joins,
+                features.nestedness_level,
+            ]
+        )
+    parts.append(
+        format_table(
+            ["query", "chars", "words", "functions", "joins", "nestedness"],
+            feature_rows,
+            title="Case study queries (Figures 15-16 shapes)",
+        )
+    )
+    rows = []
+    from repro.core.facilitator import QueryFacilitator
+
+    facilitator = QueryFacilitator(
+        model_name="ccnn", scale=config.model_scale
+    ).fit(
+        runner.sdss_workload(config),
+        problems=[Problem.CPU_TIME, Problem.ANSWER_SIZE],
+    )
+    for name, statement in queries.items():
+        insights = facilitator.insights(statement)
+        rows.append(
+            [
+                name,
+                float(np.round(insights.cpu_time_seconds or 0.0, 2)),
+                float(np.round(insights.answer_size or 0.0, 1)),
+            ]
+        )
+    parts.append(
+        format_table(
+            ["query", "ccnn CPU time (s)", "ccnn answer size"],
+            rows,
+            title="ccnn pre-execution predictions",
+        )
+    )
+    return "\n\n".join(parts)

@@ -1,0 +1,98 @@
+"""Extension experiment: training on compressed workloads (Section 8).
+
+The paper names workload compression [8] as an orthogonal extension of its
+data-extraction stage. This driver quantifies the trade: compress the SDSS
+workload to 10% / 25% with each strategy, train ccnn for answer-size
+prediction on the kept (weight-expanded) records, and compare test MSE
+against training on the full workload.
+
+The strategies optimize different objectives and the bench shows it:
+k-center minimizes the coverage radius (best for retrieval indexes —
+see ``coverage_radius``) but deliberately over-samples structural
+outliers, which distorts the *training* distribution; stratified
+sampling preserves the label mix and is the strongest training
+compressor, with uniform random in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problems import Problem
+from repro.evalx.metrics import mse
+from repro.evalx.reporting import format_table
+from repro.experiments import runner
+from repro.experiments.config import ExperimentConfig
+from repro.ml.preprocessing import LogLabelTransform
+from repro.models.base import TaskKind
+from repro.models.cnn_model import TextCNNModel
+from repro.workloads.compression import compress_workload
+from repro.workloads.records import Workload
+
+__all__ = ["compression_experiment"]
+
+
+def _train_mse(
+    config: ExperimentConfig,
+    train: Workload,
+    test_statements: list[str],
+    y_test: np.ndarray,
+    transform: LogLabelTransform,
+) -> float:
+    scale = config.model_scale
+    model = TextCNNModel(
+        level="char",
+        task=TaskKind.REGRESSION,
+        num_kernels=scale.num_kernels,
+        hyper=scale.hyper(),
+    )
+    label = Problem.ANSWER_SIZE.label_column
+    y_train = transform.transform(train.labels(label))
+    model.fit(train.statements(), y_train)
+    return mse(y_test, model.predict(test_statements))
+
+
+def compression_experiment(config: ExperimentConfig) -> str:
+    """ccnn answer-size MSE: full workload vs compressed training sets."""
+    split = runner.sdss_split(config)
+    train, test = split.train, split.test
+    label = Problem.ANSWER_SIZE.label_column
+    transform = LogLabelTransform().fit(train.labels(label))
+    y_test = transform.transform(test.labels(label))
+    test_statements = test.statements()
+
+    rows = [
+        [
+            "full",
+            "-",
+            len(train),
+            _train_mse(config, train, test_statements, y_test, transform),
+        ]
+    ]
+    for ratio in (0.25, 0.1):
+        for strategy in ("kcenter", "stratified", "random"):
+            compressed = compress_workload(
+                train, ratio=ratio, strategy=strategy, seed=config.seed
+            )
+            expanded = Workload(
+                f"{train.name}-{strategy}-{ratio}",
+                compressed.repeated_records(),
+            )
+            rows.append(
+                [
+                    f"{ratio:.0%}",
+                    strategy,
+                    len(compressed.workload),
+                    _train_mse(
+                        config, expanded, test_statements, y_test, transform
+                    ),
+                ]
+            )
+    return format_table(
+        ["kept", "strategy", "unique statements", "test MSE (log answer size)"],
+        rows,
+        title=(
+            "Extension: workload compression for training "
+            "(paper Sec. 8, Chaudhuri et al. [8])"
+        ),
+    )

@@ -1,0 +1,103 @@
+"""Experiment scaling configuration.
+
+The paper trains on 618k (SDSS) / 27k (SQLShare) statements with 500k-token
+TF-IDF vocabularies and full-width networks. That is not CPU-friendly, so
+experiments run at a configurable scale; set the ``REPRO_SCALE`` environment
+variable to ``small`` (default), ``medium``, or ``large``. Every generator
+and model takes its size from this config, so scaling up is one env var.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.models.factory import ModelScale
+
+__all__ = ["ExperimentConfig", "default_config", "SCALES"]
+
+#: Models compared in the SDSS tables (paper order).
+SDSS_MODEL_NAMES = ["baseline", "ctfidf", "ccnn", "clstm", "wtfidf", "wcnn", "wlstm"]
+
+#: Models compared in the SQLShare tables (Table 5 adds ``opt``).
+SQLSHARE_MODEL_NAMES = [
+    "baseline",
+    "opt",
+    "ctfidf",
+    "ccnn",
+    "clstm",
+    "wtfidf",
+    "wcnn",
+    "wlstm",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Reproducible experiment sizing. Hashable so results can be cached."""
+
+    name: str = "small"
+    sdss_sessions: int = 3200
+    sqlshare_users: int = 70
+    seed: int = 13
+    model_scale: ModelScale = field(default_factory=ModelScale)
+
+    @property
+    def sdss_seed(self) -> int:
+        return self.seed
+
+    @property
+    def sqlshare_seed(self) -> int:
+        return self.seed + 1000
+
+
+SCALES: dict[str, ExperimentConfig] = {
+    # sized so the full benchmark suite finishes in under an hour on one
+    # CPU core while every Section 6 ordering still reproduces
+    "small": ExperimentConfig(
+        name="small",
+        sdss_sessions=2200,
+        sqlshare_users=60,
+        model_scale=ModelScale(
+            epochs=8,
+            lstm_hidden=48,
+            max_len_char=144,
+        ),
+    ),
+    "medium": ExperimentConfig(
+        name="medium",
+        sdss_sessions=8000,
+        sqlshare_users=200,
+        model_scale=ModelScale(
+            epochs=10,
+            tfidf_features=50_000,
+            embed_dim=64,
+            num_kernels=100,
+            lstm_hidden=96,
+        ),
+    ),
+    "large": ExperimentConfig(
+        name="large",
+        sdss_sessions=30_000,
+        sqlshare_users=600,
+        model_scale=ModelScale(
+            epochs=8,
+            tfidf_features=200_000,
+            embed_dim=100,
+            num_kernels=100,
+            lstm_hidden=150,
+            max_len_char=400,
+            max_len_word=128,
+        ),
+    ),
+}
+
+
+def default_config() -> ExperimentConfig:
+    """Config selected by the ``REPRO_SCALE`` env var (default ``small``)."""
+    scale = os.environ.get("REPRO_SCALE", "small").lower()
+    if scale not in SCALES:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(SCALES)}, got {scale!r}"
+        )
+    return SCALES[scale]

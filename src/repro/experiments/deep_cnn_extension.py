@@ -1,0 +1,80 @@
+"""Extension experiment: deep character CNN vs the shallow Kim CNN.
+
+The paper's future work cites very deep character CNNs [9] as a possible
+upgrade. This driver sweeps depth on SDSS answer-size prediction to show
+the trade-off at workload scale: parameters and runtime grow, accuracy
+saturates (or regresses) on small training sets.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.problems import Problem
+from repro.evalx.metrics import mse
+from repro.evalx.reporting import format_table
+from repro.experiments import runner
+from repro.experiments.config import ExperimentConfig
+from repro.ml.preprocessing import LogLabelTransform
+from repro.models.base import TaskKind
+from repro.models.cnn_model import TextCNNModel
+from repro.models.deep_cnn import DeepTextCNN
+
+__all__ = ["deep_cnn_experiment"]
+
+
+def deep_cnn_experiment(config: ExperimentConfig) -> str:
+    """Shallow ccnn vs deep variants on SDSS answer-size prediction."""
+    scale = config.model_scale
+    split = runner.sdss_split(config)
+    train, test = split.train, split.test
+    label = Problem.ANSWER_SIZE.label_column
+    transform = LogLabelTransform().fit(train.labels(label))
+    y_train = transform.transform(train.labels(label))
+    y_test = transform.transform(test.labels(label))
+
+    rows = []
+    shallow = TextCNNModel(
+        level="char",
+        task=TaskKind.REGRESSION,
+        num_kernels=scale.num_kernels,
+        hyper=scale.hyper(),
+    )
+    start = time.perf_counter()
+    shallow.fit(train.statements(), y_train)
+    elapsed = time.perf_counter() - start
+    rows.append(
+        [
+            "ccnn (shallow, Kim)",
+            mse(y_test, shallow.predict(test.statements())),
+            shallow.num_parameters,
+            round(elapsed, 1),
+        ]
+    )
+    for depth in (1, 2):
+        model = DeepTextCNN(
+            level="char",
+            task=TaskKind.REGRESSION,
+            depth=depth,
+            channels=scale.num_kernels // 2,
+            hyper=scale.hyper(),
+        )
+        start = time.perf_counter()
+        model.fit(train.statements(), y_train)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                f"cdeep{depth}",
+                mse(y_test, model.predict(test.statements())),
+                model.num_parameters,
+                round(elapsed, 1),
+            ]
+        )
+    return format_table(
+        ["model", "test MSE (log answer size)", "params", "train s"],
+        rows,
+        title=(
+            "Extension: deep character CNN vs shallow ccnn "
+            "(paper Sec. 8 future work)"
+        ),
+    )

@@ -1,0 +1,73 @@
+"""Extension experiment: elapsed-time prediction (paper Section 8).
+
+The paper's conclusion proposes predicting the *elapsed* time of queries —
+the SqlLog ``elapsed`` column — in addition to the ``busy`` CPU time its
+evaluation uses. Elapsed time adds I/O stalls, result transfer, and
+queueing delay on top of CPU work, so the label is strictly noisier; this
+driver trains the same models on both targets and reports how much of the
+CPU-time accuracy survives.
+"""
+
+from __future__ import annotations
+
+from repro.core.problems import Problem
+from repro.evalx.metrics import mse
+from repro.evalx.reporting import format_table
+from repro.experiments import runner
+from repro.experiments.config import ExperimentConfig
+from repro.ml.preprocessing import LogLabelTransform
+from repro.models.base import TaskKind
+from repro.models.baselines import MedianRegressor
+from repro.models.cnn_model import TextCNNModel
+from repro.models.tfidf_model import TfidfRegressor
+
+__all__ = ["elapsed_time_experiment"]
+
+
+def _models(config: ExperimentConfig) -> dict:
+    scale = config.model_scale
+    return {
+        "median": MedianRegressor(),
+        "ctfidf": TfidfRegressor(
+            level="char",
+            max_features=scale.tfidf_features,
+            max_len=scale.tfidf_max_len,
+            epochs=scale.epochs,
+        ),
+        "ccnn": TextCNNModel(
+            level="char",
+            task=TaskKind.REGRESSION,
+            num_kernels=scale.num_kernels,
+            hyper=scale.hyper(),
+        ),
+    }
+
+
+def elapsed_time_experiment(config: ExperimentConfig) -> str:
+    """CPU time vs elapsed time predictability on SDSS."""
+    split = runner.sdss_split(config)
+    train, test = split.train, split.test
+
+    rows = []
+    for problem in (Problem.CPU_TIME, Problem.ELAPSED_TIME):
+        label = problem.label_column
+        transform = LogLabelTransform().fit(train.labels(label))
+        y_train = transform.transform(train.labels(label))
+        y_test = transform.transform(test.labels(label))
+        for name, model in _models(config).items():
+            model.fit(train.statements(), y_train)
+            rows.append(
+                [
+                    label,
+                    name,
+                    mse(y_test, model.predict(test.statements())),
+                ]
+            )
+    return format_table(
+        ["target", "model", "test MSE (log scale)"],
+        rows,
+        title=(
+            "Extension: elapsed-time prediction vs CPU time "
+            "(paper Sec. 8 future work)"
+        ),
+    )

@@ -1,0 +1,222 @@
+"""Drivers for Figures 12-14: error analysis of the regression models.
+
+These slice per-query squared errors (on log labels) by session class
+(Figure 12), by structural properties (Figure 13), and across the three
+problem settings (Figure 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problems import Problem, Setting
+from repro.evalx.reporting import format_table
+from repro.experiments import runner
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import sdss_structural_table
+from repro.sqlang.features import extract_features
+
+__all__ = [
+    "fig12_mse_by_session",
+    "fig13_error_by_structure",
+    "fig14_error_by_setting",
+    "mse_by_session_class",
+]
+
+_SESSION_ORDER = [
+    "no_web_hit",
+    "unknown",
+    "bot",
+    "admin",
+    "program",
+    "anonymous",
+    "browser",
+]
+
+
+def mse_by_session_class(
+    config: ExperimentConfig, problem: Problem
+) -> dict[str, dict[str, float]]:
+    """model → session class → MSE on the SDSS test set (plus 'all')."""
+    outcome = runner.regression_outcome(
+        config, problem, Setting.HOMOGENEOUS_INSTANCE
+    )
+    split = runner.sdss_split(config)
+    session = np.asarray(
+        [r.session_class for r in split.test], dtype=object
+    )
+    y_true = outcome.y_true_log
+    assert y_true is not None
+    result: dict[str, dict[str, float]] = {}
+    for model, pred in outcome.predictions_log.items():
+        squared = (pred - y_true) ** 2
+        per_class = {"all": float(squared.mean())}
+        for cls in _SESSION_ORDER:
+            mask = session == cls
+            if mask.any():
+                per_class[cls] = float(squared[mask].mean())
+        result[model] = per_class
+    return result
+
+
+def fig12_mse_by_session(config: ExperimentConfig) -> str:
+    """Figure 12: MSE by session class for both regression problems."""
+    parts = []
+    for problem, label in [
+        (Problem.CPU_TIME, "Figure 12a: CPU time prediction MSE by session class"),
+        (Problem.ANSWER_SIZE, "Figure 12b: answer size prediction MSE by session class"),
+    ]:
+        data = mse_by_session_class(config, problem)
+        classes = ["all"] + [
+            c for c in _SESSION_ORDER if any(c in d for d in data.values())
+        ]
+        rows = []
+        for model, per_class in data.items():
+            rows.append(
+                [model]
+                + [per_class.get(c, float("nan")) for c in classes]
+            )
+        parts.append(format_table(["Model", *classes], rows, title=label))
+    return "\n\n".join(parts)
+
+
+_CHAR_BINS = [(0, 60), (60, 120), (120, 240), (240, 480), (480, 10**9)]
+
+
+def _binned_mse(
+    squared: np.ndarray, values: np.ndarray, bins: list[tuple[float, float]]
+) -> list[float]:
+    out = []
+    for lo, hi in bins:
+        mask = (values >= lo) & (values < hi)
+        out.append(float(squared[mask].mean()) if mask.any() else float("nan"))
+    return out
+
+
+def fig13_error_by_structure(config: ExperimentConfig) -> str:
+    """Figure 13: answer size squared error vs structural properties (SDSS)."""
+    outcome = runner.regression_outcome(
+        config, Problem.ANSWER_SIZE, Setting.HOMOGENEOUS_INSTANCE
+    )
+    split = runner.sdss_split(config)
+    table = sdss_structural_table(config)
+    test_idx = split.test_idx
+    chars = table.column("num_characters")[test_idx]
+    functions = table.column("num_functions")[test_idx]
+    joins = table.column("num_joins")[test_idx]
+    nested = table.column("nestedness_level")[test_idx]
+    nested_agg = table.column("nested_aggregation")[test_idx]
+    y_true = outcome.y_true_log
+    assert y_true is not None
+
+    parts = []
+    char_rows = []
+    for model, pred in outcome.predictions_log.items():
+        squared = (pred - y_true) ** 2
+        char_rows.append([model] + _binned_mse(squared, chars, _CHAR_BINS))
+    parts.append(
+        format_table(
+            ["Model"] + [f"chars[{lo},{hi})" for lo, hi in _CHAR_BINS[:-1]]
+            + [f"chars>={_CHAR_BINS[-1][0]}"],
+            char_rows,
+            title="Figure 13a: answer size sq. error by number of characters",
+        )
+    )
+
+    ccnn_pred = outcome.predictions_log.get("ccnn")
+    if ccnn_pred is not None:
+        squared = (ccnn_pred - y_true) ** 2
+        rows = []
+        for name, values, levels in [
+            ("num_functions", functions, [0, 1, 2, 3]),
+            ("num_joins", joins, [0, 1, 2, 3]),
+            ("nestedness_level", nested, [0, 1, 2, 3]),
+            ("nested_aggregation", nested_agg, [0, 1]),
+        ]:
+            for level in levels:
+                mask = values == level
+                if not mask.any():
+                    continue
+                rows.append(
+                    [name, level, float(squared[mask].mean()), int(mask.sum())]
+                )
+            tail = values > levels[-1]
+            if tail.any():
+                rows.append(
+                    [
+                        name,
+                        f">{levels[-1]}",
+                        float(squared[tail].mean()),
+                        int(tail.sum()),
+                    ]
+                )
+        parts.append(
+            format_table(
+                ["property", "value", "ccnn sq. error", "n"],
+                rows,
+                title="Figures 13b-13e: ccnn answer size error by structure",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def fig14_error_by_setting(config: ExperimentConfig) -> str:
+    """Figure 14: CPU time error across the three problem settings."""
+    settings = [
+        (Setting.HOMOGENEOUS_INSTANCE, "Homogeneous Instance"),
+        (Setting.HOMOGENEOUS_SCHEMA, "Homogeneous Schema"),
+        (Setting.HETEROGENEOUS_SCHEMA, "Heterogeneous Schema"),
+    ]
+    parts = []
+    mse_rows: dict[str, list[object]] = {}
+    for setting, label in settings:
+        outcome = runner.regression_outcome(
+            config, Problem.CPU_TIME, setting
+        )
+        y_true = outcome.y_true_log
+        assert y_true is not None
+        for model, pred in outcome.predictions_log.items():
+            mse_value = float(((pred - y_true) ** 2).mean())
+            mse_rows.setdefault(model, [model]).append(mse_value)
+    rows = [row for row in mse_rows.values() if len(row) == len(settings) + 1]
+    parts.append(
+        format_table(
+            ["Model"] + [label for _, label in settings],
+            rows,
+            title="Figure 14 (left): CPU time MSE per setting",
+        )
+    )
+
+    nested_rows = []
+    for setting, label in settings:
+        outcome = runner.regression_outcome(config, Problem.CPU_TIME, setting)
+        pred = outcome.predictions_log.get("ccnn")
+        y_true = outcome.y_true_log
+        if pred is None or y_true is None:
+            continue
+        if setting is Setting.HOMOGENEOUS_INSTANCE:
+            split = runner.sdss_split(config)
+        else:
+            split = runner.sqlshare_split(config, setting)
+        nested = np.asarray(
+            [
+                extract_features(r.statement).nestedness_level
+                for r in split.test
+            ],
+            dtype=np.float64,
+        )
+        squared = (pred - y_true) ** 2
+        for level in [0, 1, 2, 3]:
+            mask = nested == level
+            if mask.any():
+                nested_rows.append(
+                    [label, level, float(squared[mask].mean()), int(mask.sum())]
+                )
+    parts.append(
+        format_table(
+            ["setting", "nestedness", "ccnn sq. error", "n"],
+            nested_rows,
+            title="Figure 14 (right): ccnn CPU time error by nestedness level",
+        )
+    )
+    return "\n\n".join(parts)

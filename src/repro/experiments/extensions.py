@@ -1,0 +1,175 @@
+"""Future-work extensions (paper Section 8): transfer and multi-task learning.
+
+Two experiments beyond the paper's evaluation:
+
+- **transfer**: pre-train ccnn for CPU-time prediction on the large SDSS
+  workload, then fine-tune on the Heterogeneous-Schema SQLShare split —
+  the paper's proposed remedy for heterogeneity. Compared against training
+  from scratch on the target data alone.
+- **multi-task**: one shared ccnn encoder with four heads (error class,
+  session class, CPU time, answer size) versus four independently trained
+  single-task ccnn models on SDSS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problems import Problem, Setting
+from repro.evalx.metrics import accuracy, huber_loss, mse
+from repro.evalx.reporting import format_table
+from repro.experiments import runner
+from repro.experiments.config import ExperimentConfig
+from repro.ml.preprocessing import LabelEncoder, LogLabelTransform
+from repro.models.base import TaskKind
+from repro.models.cnn_model import TextCNNModel
+from repro.models.multitask import MultiTaskTextCNN, TaskSpec
+
+__all__ = ["transfer_learning_experiment", "multitask_experiment"]
+
+
+def transfer_learning_experiment(config: ExperimentConfig) -> str:
+    """ccnn from scratch vs SDSS-pretrained + fine-tuned, CPU time,
+    Heterogeneous Schema."""
+    scale = config.model_scale
+    source = runner.sdss_workload(config)
+    target_split = runner.sqlshare_split(
+        config, Setting.HETEROGENEOUS_SCHEMA
+    )
+    train = target_split.train
+    test = target_split.test
+    y_train_raw = train.labels("cpu_time")
+    y_test_raw = test.labels("cpu_time")
+    transform = LogLabelTransform().fit(y_train_raw)
+    y_train = transform.transform(y_train_raw)
+    y_test = transform.transform(y_test_raw)
+
+    # from scratch on the target only
+    scratch = TextCNNModel(
+        level="char",
+        task=TaskKind.REGRESSION,
+        num_kernels=scale.num_kernels,
+        hyper=scale.hyper(),
+    )
+    scratch.fit(train.statements(), y_train)
+    scratch_mse = mse(y_test, scratch.predict(test.statements()))
+
+    # pre-train on SDSS CPU time, fine-tune on the target
+    source_transform = LogLabelTransform().fit(source.labels("cpu_time"))
+    pretrained = TextCNNModel(
+        level="char",
+        task=TaskKind.REGRESSION,
+        num_kernels=scale.num_kernels,
+        hyper=scale.hyper(),
+    )
+    pretrained.fit(
+        source.statements(),
+        source_transform.transform(source.labels("cpu_time")),
+    )
+    pretrained.finetune(train.statements(), y_train)
+    transfer_mse = mse(y_test, pretrained.predict(test.statements()))
+
+    rows = [
+        ["ccnn (scratch, target only)", scratch_mse],
+        ["ccnn (SDSS-pretrained + fine-tuned)", transfer_mse],
+    ]
+    return format_table(
+        ["variant", "test MSE (log CPU time)"],
+        rows,
+        title=(
+            "Extension: transfer learning for Heterogeneous Schema "
+            "(paper Sec. 8 future work)"
+        ),
+    )
+
+
+def multitask_experiment(config: ExperimentConfig) -> str:
+    """Multi-task ccnn vs four single-task ccnn models on SDSS."""
+    scale = config.model_scale
+    split = runner.sdss_split(config)
+    train, test = split.train, split.test
+
+    error_enc = LabelEncoder().fit(
+        list(split.workload.labels("error_class"))
+    )
+    session_enc = LabelEncoder().fit(
+        list(split.workload.labels("session_class"))
+    )
+    cpu_tf = LogLabelTransform().fit(train.labels("cpu_time"))
+    ans_tf = LogLabelTransform().fit(train.labels("answer_size"))
+
+    train_labels = {
+        "error_class": error_enc.transform(
+            list(train.labels("error_class"))
+        ),
+        "session_class": session_enc.transform(
+            list(train.labels("session_class"))
+        ),
+        "cpu_time": cpu_tf.transform(train.labels("cpu_time")),
+        "answer_size": ans_tf.transform(train.labels("answer_size")),
+    }
+    test_labels = {
+        "error_class": error_enc.transform(list(test.labels("error_class"))),
+        "session_class": session_enc.transform(
+            list(test.labels("session_class"))
+        ),
+        "cpu_time": cpu_tf.transform(test.labels("cpu_time")),
+        "answer_size": ans_tf.transform(test.labels("answer_size")),
+    }
+
+    tasks = [
+        TaskSpec("error_class", TaskKind.CLASSIFICATION, error_enc.num_classes),
+        TaskSpec(
+            "session_class", TaskKind.CLASSIFICATION, session_enc.num_classes
+        ),
+        TaskSpec("cpu_time", TaskKind.REGRESSION),
+        TaskSpec("answer_size", TaskKind.REGRESSION),
+    ]
+    multitask = MultiTaskTextCNN(
+        tasks,
+        level="char",
+        num_kernels=scale.num_kernels,
+        hyper=scale.hyper(),
+    )
+    multitask.fit(train.statements(), train_labels)
+
+    rows = []
+    for task in tasks:
+        # single-task counterpart
+        single = TextCNNModel(
+            level="char",
+            task=task.kind,
+            num_classes=task.num_classes,
+            num_kernels=scale.num_kernels,
+            hyper=scale.hyper(),
+        )
+        single.fit(train.statements(), train_labels[task.name])
+        single_pred = single.predict(test.statements())
+        multi_pred = multitask.predict(task.name, test.statements())
+        truth = test_labels[task.name]
+        if task.kind is TaskKind.CLASSIFICATION:
+            rows.append(
+                [
+                    task.name,
+                    "accuracy",
+                    accuracy(truth, single_pred),
+                    accuracy(truth, multi_pred),
+                ]
+            )
+        else:
+            rows.append(
+                [
+                    task.name,
+                    "huber loss",
+                    huber_loss(truth, single_pred),
+                    huber_loss(truth, multi_pred),
+                ]
+            )
+    return format_table(
+        ["task", "metric", "single-task ccnn", "multi-task ccnn"],
+        rows,
+        title=(
+            "Extension: multi-task ccnn vs single-task ccnn on SDSS "
+            "(paper Sec. 8 future work)"
+        ),
+    )

@@ -1,0 +1,219 @@
+"""Drivers for Figures 3-8 and 20: workload analysis reproductions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.by_session import by_session_class
+from repro.analysis.correlation import structural_correlation_matrix
+from repro.analysis.label_analysis import (
+    class_distribution,
+    regression_label_summary,
+)
+from repro.analysis.repetition import repetition_histogram_of_log
+from repro.analysis.structural import StructuralTable, structural_table
+from repro.evalx.reporting import format_table
+from repro.experiments import runner
+from repro.experiments.config import ExperimentConfig
+
+__all__ = [
+    "fig3_sdss_structure",
+    "fig4_sqlshare_structure",
+    "fig6_label_distributions",
+    "fig7_correlation",
+    "fig8_by_session_class",
+    "fig20_repetition",
+    "sdss_structural_table",
+    "sqlshare_structural_table",
+]
+
+_STRUCTURE_CACHE: dict[tuple, StructuralTable] = {}
+
+
+def sdss_structural_table(config: ExperimentConfig) -> StructuralTable:
+    key = ("sdss", config)
+    if key not in _STRUCTURE_CACHE:
+        _STRUCTURE_CACHE[key] = structural_table(runner.sdss_workload(config))
+    return _STRUCTURE_CACHE[key]
+
+
+def sqlshare_structural_table(config: ExperimentConfig) -> StructuralTable:
+    key = ("sqlshare", config)
+    if key not in _STRUCTURE_CACHE:
+        _STRUCTURE_CACHE[key] = structural_table(
+            runner.sqlshare_workload(config)
+        )
+    return _STRUCTURE_CACHE[key]
+
+
+def _structure_report(table: StructuralTable, title: str) -> str:
+    rows = []
+    for name in table.feature_names:
+        summary = table.summaries[name]
+        rows.append(
+            [
+                name,
+                summary.mean,
+                summary.std,
+                summary.minimum,
+                summary.maximum,
+                summary.mode,
+                summary.median,
+            ]
+        )
+    header = format_table(
+        ["property", "mean", "std", "min", "max", "mode", "median"],
+        rows,
+        title=title,
+    )
+    extras = (
+        f"\nwith >=1 join: {table.fraction_with_joins:.2%}   "
+        f"multi-table: {table.fraction_multi_table:.2%}   "
+        f"nested: {table.fraction_nested:.2%}   "
+        f"nested aggregation: {table.fraction_nested_aggregation:.2%}"
+    )
+    return header + extras
+
+
+def fig3_sdss_structure(config: ExperimentConfig) -> str:
+    """Figure 3: structural properties of SDSS query statements."""
+    return _structure_report(
+        sdss_structural_table(config),
+        "Figure 3: structural properties of SDSS statements",
+    )
+
+
+def fig4_sqlshare_structure(config: ExperimentConfig) -> str:
+    """Figure 4: structural properties of SQLShare query statements."""
+    return _structure_report(
+        sqlshare_structural_table(config),
+        "Figure 4: structural properties of SQLShare statements",
+    )
+
+
+def fig6_label_distributions(config: ExperimentConfig) -> str:
+    """Figure 6: label distributions for all four problems."""
+    sdss = runner.sdss_workload(config)
+    sqlshare = runner.sqlshare_workload(config)
+    parts: list[str] = []
+
+    error_rows = [
+        [cls, count, share]
+        for cls, (count, share) in class_distribution(
+            sdss, "error_class"
+        ).items()
+    ]
+    parts.append(
+        format_table(
+            ["error class", "queries", "share"],
+            error_rows,
+            title="Figure 6a: SDSS error class distribution",
+        )
+    )
+    session_rows = [
+        [cls, count, share]
+        for cls, (count, share) in class_distribution(
+            sdss, "session_class"
+        ).items()
+    ]
+    parts.append(
+        format_table(
+            ["session class", "queries", "share"],
+            session_rows,
+            title="Figure 6b: SDSS session class distribution",
+        )
+    )
+    reg_rows = []
+    for title, workload, column in [
+        ("SDSS answer size", sdss, "answer_size"),
+        ("SDSS CPU time", sdss, "cpu_time"),
+        ("SQLShare CPU time", sqlshare, "cpu_time"),
+    ]:
+        summary = regression_label_summary(workload, column)
+        reg_rows.append(
+            [
+                title,
+                summary.mean,
+                summary.std,
+                summary.minimum,
+                summary.maximum,
+                summary.mode,
+                summary.median,
+            ]
+        )
+    parts.append(
+        format_table(
+            ["label", "mean", "std", "min", "max", "mode", "median"],
+            reg_rows,
+            title="Figures 6c-6e: regression label distributions",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+def fig7_correlation(config: ExperimentConfig) -> str:
+    """Figure 7: correlation matrices of the structural properties."""
+    parts = []
+    for label, table in [
+        ("SDSS", sdss_structural_table(config)),
+        ("SQLShare", sqlshare_structural_table(config)),
+    ]:
+        corr = structural_correlation_matrix(table)
+        short = [n.replace("num_", "")[:12] for n in table.feature_names]
+        rows = [
+            [short[i]] + [float(corr[i, j]) for j in range(len(short))]
+            for i in range(len(short))
+        ]
+        parts.append(
+            format_table(
+                ["", *short],
+                rows,
+                title=f"Figure 7 ({label}): structural property correlations",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def fig8_by_session_class(config: ExperimentConfig) -> str:
+    """Figure 8: SDSS label/length box statistics by session class."""
+    stats = by_session_class(runner.sdss_workload(config))
+    parts = []
+    for quantity, per_class in stats.items():
+        rows = [
+            [cls, box.q1, box.median, box.q3, box.mean, box.count]
+            for cls, box in per_class.items()
+        ]
+        parts.append(
+            format_table(
+                ["session class", "q1", "median", "q3", "mean", "n"],
+                rows,
+                title=f"Figure 8: {quantity} by session class",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def fig20_repetition(config: ExperimentConfig) -> str:
+    """Figure 20: histogram of statement repetition in the sampled log."""
+    histogram = repetition_histogram_of_log(
+        runner.sdss_log(config), seed=config.seed
+    )
+    total = max(sum(histogram.values()), 1)
+    repeated = sum(v for k, v in histogram.items() if k != "1")
+    rows = [[label, count] for label, count in histogram.items()]
+    table = format_table(
+        ["times repeated", "samples in dataset"],
+        rows,
+        title="Figure 20: statement repetition histogram",
+    )
+    return table + (
+        f"\nsamples with a repeated statement: {repeated / total:.1%}"
+    )
+
+
+def fig6_answer_size_histogram(config: ExperimentConfig) -> list[tuple]:
+    """Log-histogram data behind Figure 6c (used by tests/benches)."""
+    from repro.analysis.stats import log_histogram
+
+    values = runner.sdss_workload(config).labels("answer_size")
+    return log_histogram(values[np.asarray(values) >= 0])

@@ -1,0 +1,226 @@
+"""Shared cached artifacts: workloads, splits, and fitted-model outcomes.
+
+Tables 2-7 and Figures 12-14 reuse the same trained models and prediction
+vectors; everything here is memoized per :class:`ExperimentConfig` so the
+full table suite trains each (model, problem, setting) combination once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.evaluation import (
+    ClassificationOutcome,
+    RegressionOutcome,
+    evaluate_classification,
+    evaluate_regression,
+)
+from repro.core.problems import Problem, Setting
+from repro.core.splits import DataSplit, random_split, user_split
+from repro.experiments.config import (
+    SDSS_MODEL_NAMES,
+    SQLSHARE_MODEL_NAMES,
+    ExperimentConfig,
+)
+from repro.models.base import QueryModel, TaskKind
+from repro.models.factory import build_model
+from repro.workloads.records import LogEntry, Workload
+from repro.workloads.schema import (
+    Catalog,
+    sdss_catalog,
+    sqlshare_catalog,
+    sqlshare_username,
+)
+from repro.workloads.sdss import generate_sdss_log, generate_sdss_workload
+from repro.workloads.sqlshare import generate_sqlshare_workload
+
+__all__ = [
+    "sdss_log",
+    "sdss_workload",
+    "sqlshare_workload",
+    "sdss_split",
+    "sqlshare_split",
+    "classification_outcome",
+    "regression_outcome",
+    "clear_cache",
+]
+
+_CACHE: dict[tuple[Any, ...], Any] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached workloads and outcomes (mainly for tests)."""
+    _CACHE.clear()
+
+
+def _cached(key: tuple[Any, ...], factory) -> Any:
+    if key not in _CACHE:
+        _CACHE[key] = factory()
+    return _CACHE[key]
+
+
+# -- workloads ------------------------------------------------------------ #
+
+
+def sdss_log(config: ExperimentConfig) -> list[LogEntry]:
+    """The raw (pre-dedup) SDSS log for this config."""
+    return _cached(
+        ("sdss_log", config),
+        lambda: generate_sdss_log(
+            n_sessions=config.sdss_sessions, seed=config.sdss_seed
+        ),
+    )
+
+
+def sdss_workload(config: ExperimentConfig) -> Workload:
+    """The extracted (deduplicated) SDSS workload."""
+    return _cached(
+        ("sdss_workload", config),
+        lambda: generate_sdss_workload(
+            n_sessions=config.sdss_sessions, seed=config.sdss_seed
+        ),
+    )
+
+
+def sqlshare_workload(config: ExperimentConfig) -> Workload:
+    """The SQLShare workload (CPU time labels only)."""
+    return _cached(
+        ("sqlshare_workload", config),
+        lambda: generate_sqlshare_workload(
+            n_users=config.sqlshare_users, seed=config.sqlshare_seed
+        ),
+    )
+
+
+# -- splits (Table 1) ------------------------------------------------------- #
+
+
+def sdss_split(config: ExperimentConfig) -> DataSplit:
+    """Homogeneous Instance: random 80/10/10 split of SDSS."""
+    return _cached(
+        ("sdss_split", config),
+        lambda: random_split(sdss_workload(config), seed=config.seed),
+    )
+
+
+def sqlshare_split(config: ExperimentConfig, setting: Setting) -> DataSplit:
+    """Homogeneous Schema (random) or Heterogeneous Schema (by-user)."""
+    if setting is Setting.HOMOGENEOUS_SCHEMA:
+        return _cached(
+            ("sqlshare_random_split", config),
+            lambda: random_split(sqlshare_workload(config), seed=config.seed),
+        )
+    if setting is Setting.HETEROGENEOUS_SCHEMA:
+        return _cached(
+            ("sqlshare_user_split", config),
+            lambda: user_split(sqlshare_workload(config), seed=config.seed),
+        )
+    raise ValueError(f"SQLShare has no split for {setting}")
+
+
+# -- model construction ------------------------------------------------------ #
+
+
+def sqlshare_catalog_union(config: ExperimentConfig) -> Catalog:
+    """Union of every SQLShare user's catalog (what the real optimizer sees)."""
+
+    def build() -> Catalog:
+        union = Catalog("sqlshare-union")
+        for user_idx in range(config.sqlshare_users):
+            user = sqlshare_username(user_idx)
+            user_seed = config.sqlshare_seed * 100_003 + user_idx
+            per_user = sqlshare_catalog(user, seed=user_seed)
+            union.tables.update(per_user.tables)
+            union.functions.update(per_user.functions)
+        return union
+
+    return _cached(("sqlshare_catalog_union", config), build)
+
+
+def _build_models(
+    config: ExperimentConfig,
+    names: list[str],
+    task: TaskKind,
+    num_classes: int,
+    catalog: Catalog | None = None,
+) -> dict[str, QueryModel]:
+    catalog = catalog if catalog is not None else sdss_catalog()
+    models: dict[str, QueryModel] = {}
+    for name in names:
+        models[name] = build_model(
+            name,
+            task,
+            num_classes=num_classes,
+            scale=config.model_scale,
+            catalog=catalog,
+        )
+    return models
+
+
+def _display_name(name: str, task: TaskKind) -> str:
+    if name != "baseline":
+        return name
+    return "mfreq" if task is TaskKind.CLASSIFICATION else "median"
+
+
+# -- outcomes ------------------------------------------------------------- #
+
+
+def classification_outcome(
+    config: ExperimentConfig, problem: Problem
+) -> ClassificationOutcome:
+    """Cached Table 2/4 classification run on SDSS (Homogeneous Instance)."""
+    if not problem.is_classification:
+        raise ValueError(f"{problem} is not a classification problem")
+
+    def run() -> ClassificationOutcome:
+        split = sdss_split(config)
+        labels = split.workload.labels(problem.label_column)
+        num_classes = len(set(labels.tolist()))
+        built = _build_models(
+            config, SDSS_MODEL_NAMES, TaskKind.CLASSIFICATION, num_classes
+        )
+        models = {
+            _display_name(name, TaskKind.CLASSIFICATION): model
+            for name, model in built.items()
+        }
+        return evaluate_classification(problem, split, models)
+
+    return _cached(("classification", config, problem), run)
+
+
+def regression_outcome(
+    config: ExperimentConfig,
+    problem: Problem,
+    setting: Setting,
+    percentiles: tuple[float, ...] = (10, 20, 30, 40, 50, 60, 70, 75, 80, 85, 90, 95),
+) -> RegressionOutcome:
+    """Cached regression run for (problem, setting).
+
+    SDSS serves Homogeneous Instance; SQLShare serves the other two
+    settings (Table 5) and includes the ``opt`` model.
+    """
+    if problem.is_classification:
+        raise ValueError(f"{problem} is not a regression problem")
+
+    def run() -> RegressionOutcome:
+        if setting is Setting.HOMOGENEOUS_INSTANCE:
+            split = sdss_split(config)
+            names = SDSS_MODEL_NAMES
+            catalog = sdss_catalog()
+        else:
+            split = sqlshare_split(config, setting)
+            names = SQLSHARE_MODEL_NAMES
+            catalog = sqlshare_catalog_union(config)
+        built = _build_models(
+            config, names, TaskKind.REGRESSION, 2, catalog=catalog
+        )
+        models = {
+            _display_name(name, TaskKind.REGRESSION): model
+            for name, model in built.items()
+        }
+        return evaluate_regression(
+            problem, split, models, percentiles=percentiles
+        )
+
+    return _cached(("regression", config, problem, setting), run)

@@ -1,0 +1,216 @@
+"""Drivers for Tables 1-7: formatted reproductions of the paper's tables."""
+
+from __future__ import annotations
+
+from repro.core.problems import Problem, Setting
+from repro.evalx.reporting import format_table
+from repro.experiments import runner
+from repro.experiments.config import ExperimentConfig
+
+__all__ = [
+    "table1_splits",
+    "table2_homogeneous_instance",
+    "table3_answer_size_qerror",
+    "table4_session_classification",
+    "table5_sqlshare_cpu",
+    "table6_qerror_homogeneous_schema",
+    "table7_qerror_heterogeneous_schema",
+]
+
+
+def table1_splits(config: ExperimentConfig) -> str:
+    """Table 1: query counts per partition for the three settings."""
+    sdss = runner.sdss_split(config)
+    homog = runner.sqlshare_split(config, Setting.HOMOGENEOUS_SCHEMA)
+    heterog = runner.sqlshare_split(config, Setting.HETEROGENEOUS_SCHEMA)
+    rows = []
+    for label, split in [
+        ("Total", None),
+        ("Train", 0),
+        ("Valid.", 1),
+        ("Test", 2),
+    ]:
+        if split is None:
+            rows.append(
+                [
+                    label,
+                    len(sdss.workload),
+                    len(homog.workload),
+                    len(heterog.workload),
+                ]
+            )
+        else:
+            rows.append(
+                [
+                    label,
+                    sdss.sizes()[split],
+                    homog.sizes()[split],
+                    heterog.sizes()[split],
+                ]
+            )
+    return format_table(
+        ["", "Homogeneous Instance", "Homogeneous Schema", "Heterogeneous Schema"],
+        rows,
+        title="Table 1: number of queries and data split",
+    )
+
+
+def table2_homogeneous_instance(config: ExperimentConfig) -> str:
+    """Table 2: error classification + CPU time + answer size on SDSS."""
+    error = runner.classification_outcome(config, Problem.ERROR_CLASSIFICATION)
+    cpu = runner.regression_outcome(
+        config, Problem.CPU_TIME, Setting.HOMOGENEOUS_INSTANCE
+    )
+    answer = runner.regression_outcome(
+        config, Problem.ANSWER_SIZE, Setting.HOMOGENEOUS_INSTANCE
+    )
+    cpu_loss = {r.model: r.loss for r in cpu.reports}
+    answer_loss = {r.model: r.loss for r in answer.reports}
+    rows = []
+    for report in error.reports:
+        name = report.model
+        reg_name = "median" if name == "mfreq" else name
+        rows.append(
+            [
+                name,
+                report.vocab_size,
+                report.num_parameters,
+                report.accuracy,
+                report.f_per_class.get("severe", 0.0),
+                report.f_per_class.get("success", 0.0),
+                report.f_per_class.get("non_severe", 0.0),
+                report.loss,
+                cpu_loss.get(reg_name, float("nan")),
+                answer_loss.get(reg_name, float("nan")),
+            ]
+        )
+    return format_table(
+        [
+            "Model",
+            "v",
+            "p",
+            "Accuracy",
+            "F_severe",
+            "F_success",
+            "F_non_severe",
+            "Loss(err)",
+            "Loss(cpu)",
+            "Loss(answer)",
+        ],
+        rows,
+        title=(
+            "Table 2: error classification (left), CPU time and answer size "
+            "prediction (right), Homogeneous Instance (SDSS)"
+        ),
+    )
+
+
+def _qerror_table(
+    outcome, percentiles: tuple[float, ...], title: str
+) -> str:
+    rows = []
+    for report in outcome.reports:
+        row: list[object] = [report.model]
+        for p in percentiles:
+            row.append(report.qerror_percentiles.get(p, float("nan")))
+        rows.append(row)
+    headers = ["Model"] + [f"{int(p)}%" for p in percentiles]
+    return format_table(headers, rows, title=title)
+
+
+def table3_answer_size_qerror(config: ExperimentConfig) -> str:
+    """Table 3: answer size qerror percentiles on SDSS."""
+    outcome = runner.regression_outcome(
+        config, Problem.ANSWER_SIZE, Setting.HOMOGENEOUS_INSTANCE
+    )
+    return _qerror_table(
+        outcome,
+        (50, 75, 80, 85, 90, 95),
+        "Table 3: answer size prediction qerror (SDSS)",
+    )
+
+
+def table4_session_classification(config: ExperimentConfig) -> str:
+    """Table 4: session classification on SDSS."""
+    outcome = runner.classification_outcome(
+        config, Problem.SESSION_CLASSIFICATION
+    )
+    class_order = [
+        "no_web_hit",
+        "unknown",
+        "bot",
+        "program",
+        "anonymous",
+        "browser",
+    ]
+    rows = []
+    for report in outcome.reports:
+        row: list[object] = [
+            report.model,
+            report.vocab_size,
+            report.num_parameters,
+            report.loss,
+        ]
+        for cls in class_order:
+            row.append(report.f_per_class.get(cls, 0.0))
+        row.append(report.accuracy)
+        rows.append(row)
+    headers = (
+        ["Model", "v", "p", "Loss"]
+        + [f"F_{c}" for c in class_order]
+        + ["Accuracy"]
+    )
+    return format_table(
+        headers, rows, title="Table 4: session classification (SDSS)"
+    )
+
+
+def table5_sqlshare_cpu(config: ExperimentConfig) -> str:
+    """Table 5: CPU time prediction on SQLShare, both schema settings."""
+    homog = runner.regression_outcome(
+        config, Problem.CPU_TIME, Setting.HOMOGENEOUS_SCHEMA
+    )
+    heterog = runner.regression_outcome(
+        config, Problem.CPU_TIME, Setting.HETEROGENEOUS_SCHEMA
+    )
+    heterog_loss = {r.model: r.loss for r in heterog.reports}
+    rows = []
+    for report in homog.reports:
+        rows.append(
+            [
+                report.model,
+                report.vocab_size,
+                report.num_parameters,
+                report.loss,
+                heterog_loss.get(report.model, float("nan")),
+            ]
+        )
+    return format_table(
+        ["Model", "v", "p", "Loss(HomogSchema)", "Loss(HeterogSchema)"],
+        rows,
+        title="Table 5: query CPU time prediction (SQLShare)",
+    )
+
+
+def table6_qerror_homogeneous_schema(config: ExperimentConfig) -> str:
+    """Table 6: CPU time qerror, SQLShare Homogeneous Schema."""
+    outcome = runner.regression_outcome(
+        config, Problem.CPU_TIME, Setting.HOMOGENEOUS_SCHEMA
+    )
+    return _qerror_table(
+        outcome,
+        (40, 50, 60, 70, 75, 80),
+        "Table 6: CPU time prediction qerror (SQLShare, Homogeneous Schema)",
+    )
+
+
+def table7_qerror_heterogeneous_schema(config: ExperimentConfig) -> str:
+    """Table 7: CPU time qerror, SQLShare Heterogeneous Schema."""
+    outcome = runner.regression_outcome(
+        config, Problem.CPU_TIME, Setting.HETEROGENEOUS_SCHEMA
+    )
+    return _qerror_table(
+        outcome,
+        (10, 20, 30, 40, 50, 60),
+        "Table 7: CPU time prediction qerror (SQLShare, Heterogeneous Schema)",
+    )

@@ -1,0 +1,101 @@
+"""Extension experiment: Tree-LSTM over ASTs vs sequential models.
+
+The paper's future work (Section 8) cites tree-structured architectures
+[52] as a possible upgrade over flat token sequences. This driver trains
+the Child-Sum Tree-LSTM on SDSS answer-size prediction and compares it
+against the sequential clstm and the paper's winning ccnn, both on overall
+test MSE and specifically on *nested* queries — the inputs whose structure
+the flat models cannot see.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.problems import Problem
+from repro.evalx.metrics import mse
+from repro.evalx.reporting import format_table
+from repro.experiments import runner
+from repro.experiments.config import ExperimentConfig
+from repro.ml.preprocessing import LogLabelTransform
+from repro.models.base import TaskKind
+from repro.models.cnn_model import TextCNNModel
+from repro.models.lstm_model import TextLSTMModel
+from repro.models.tree_model import TreeLSTMModel
+from repro.sqlang.features import extract_features
+
+__all__ = ["tree_lstm_experiment"]
+
+
+def tree_lstm_experiment(config: ExperimentConfig) -> str:
+    """treelstm vs clstm vs ccnn on SDSS answer size, overall and nested."""
+    scale = config.model_scale
+    split = runner.sdss_split(config)
+    train, test = split.train, split.test
+    label = Problem.ANSWER_SIZE.label_column
+    transform = LogLabelTransform().fit(train.labels(label))
+    y_train = transform.transform(train.labels(label))
+    y_test = transform.transform(test.labels(label))
+
+    test_statements = test.statements()
+    nested_mask = np.asarray(
+        [
+            extract_features(s).nestedness_level > 0
+            for s in test_statements
+        ]
+    )
+
+    models = {
+        "ccnn": TextCNNModel(
+            level="char",
+            task=TaskKind.REGRESSION,
+            num_kernels=scale.num_kernels,
+            hyper=scale.hyper(),
+        ),
+        "clstm": TextLSTMModel(
+            level="char",
+            task=TaskKind.REGRESSION,
+            hidden=scale.lstm_hidden,
+            hyper=scale.hyper(),
+        ),
+        "treelstm": TreeLSTMModel(
+            task=TaskKind.REGRESSION,
+            embed_dim=scale.embed_dim,
+            hidden=scale.lstm_hidden,
+            epochs=max(scale.epochs // 2, 3),
+            lr=scale.lr,
+            seed=scale.seed,
+        ),
+    }
+
+    rows = []
+    for name, model in models.items():
+        start = time.perf_counter()
+        model.fit(train.statements(), y_train)
+        elapsed = time.perf_counter() - start
+        preds = model.predict(test_statements)
+        overall = mse(y_test, preds)
+        nested = (
+            mse(y_test[nested_mask], preds[nested_mask])
+            if nested_mask.any()
+            else float("nan")
+        )
+        rows.append(
+            [name, overall, nested, model.num_parameters, round(elapsed, 1)]
+        )
+    return format_table(
+        [
+            "model",
+            "test MSE (log answer size)",
+            f"MSE on nested (n={int(nested_mask.sum())})",
+            "params",
+            "train s",
+        ],
+        rows,
+        title=(
+            "Extension: Child-Sum Tree-LSTM over ASTs "
+            "(paper Sec. 8 future work, Tai et al. [52])"
+        ),
+    )

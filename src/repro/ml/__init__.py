@@ -1,0 +1,21 @@
+"""Traditional machine-learning substrate (scikit-learn replacement).
+
+Implements the prediction stage of the paper's traditional models
+(Section 5.1): multinomial logistic regression for classification and
+Huber-loss linear regression for regression, both operating on sparse
+TF-IDF matrices, plus ordinary least squares for the ``opt`` baseline
+and the label preprocessing of Section 4.4.1.
+"""
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.huber import HuberLinearRegression
+from repro.ml.linear import LeastSquaresRegression
+from repro.ml.preprocessing import LabelEncoder, LogLabelTransform
+
+__all__ = [
+    "LogisticRegression",
+    "HuberLinearRegression",
+    "LeastSquaresRegression",
+    "LabelEncoder",
+    "LogLabelTransform",
+]

@@ -1,0 +1,100 @@
+"""Huber-loss linear regression on sparse feature matrices.
+
+The prediction stage of ``ctfidf``/``wtfidf`` for regression problems
+(Section 5.1): a linear model trained with the Huber loss of Eq. A.1 on
+log-transformed labels, robust to the workloads' outliers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["HuberLinearRegression"]
+
+
+class HuberLinearRegression:
+    """Linear regressor ``y = X w + b`` trained with Huber loss via Adam.
+
+    Args:
+        delta: Huber transition point between quadratic and linear regime.
+        lr: Adam learning rate.
+        l2: L2 penalty on weights.
+        epochs: Passes over the training data.
+        batch_size: Mini-batch size.
+        seed: Shuffling seed.
+    """
+
+    def __init__(
+        self,
+        delta: float = 1.0,
+        lr: float = 0.05,
+        l2: float = 1e-6,
+        epochs: int = 10,
+        batch_size: int = 64,
+        seed: int = 0,
+    ):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+        self.lr = lr
+        self.l2 = l2
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.weight: np.ndarray | None = None
+        self.bias: float = 0.0
+
+    def fit(self, x: sparse.spmatrix, y: np.ndarray) -> "HuberLinearRegression":
+        x = sparse.csr_matrix(x)
+        y = np.asarray(y, dtype=np.float64)
+        n, num_features = x.shape
+        if n == 0:
+            raise ValueError("cannot fit on empty data")
+        rng = np.random.default_rng(self.seed)
+        w = np.zeros(num_features)
+        b = float(np.median(y))  # warm-start at the median
+        m_w = np.zeros_like(w)
+        v_w = np.zeros_like(w)
+        m_b = 0.0
+        v_b = 0.0
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        t = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                xb = x[batch]
+                yb = y[batch]
+                pred = xb @ w + b
+                residual = pred - yb
+                grad_out = np.where(
+                    np.abs(residual) <= self.delta,
+                    residual,
+                    self.delta * np.sign(residual),
+                ) / len(yb)
+                grad_w = xb.T @ grad_out + self.l2 * w
+                grad_b = float(grad_out.sum())
+                t += 1
+                bias1 = 1.0 - beta1**t
+                bias2 = 1.0 - beta2**t
+                m_w = beta1 * m_w + (1 - beta1) * grad_w
+                v_w = beta2 * v_w + (1 - beta2) * grad_w**2
+                m_b = beta1 * m_b + (1 - beta1) * grad_b
+                v_b = beta2 * v_b + (1 - beta2) * grad_b**2
+                w -= self.lr * (m_w / bias1) / (np.sqrt(v_w / bias2) + eps)
+                b -= self.lr * (m_b / bias1) / (np.sqrt(v_b / bias2) + eps)
+        self.weight = w
+        self.bias = b
+        return self
+
+    def predict(self, x: sparse.spmatrix) -> np.ndarray:
+        if self.weight is None:
+            raise RuntimeError("HuberLinearRegression must be fitted first")
+        return sparse.csr_matrix(x) @ self.weight + self.bias
+
+    @property
+    def num_parameters(self) -> int:
+        if self.weight is None:
+            raise RuntimeError("HuberLinearRegression must be fitted first")
+        return int(self.weight.size + 1)

@@ -1,0 +1,42 @@
+"""Ordinary least squares — the prediction stage of the ``opt`` baseline.
+
+Following [2, 14, 39], the ``opt`` model fits a linear regression from the
+query optimizer's cost estimate to the (log-transformed) CPU time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LeastSquaresRegression"]
+
+
+class LeastSquaresRegression:
+    """Closed-form OLS on dense (low-dimensional) features."""
+
+    def __init__(self):
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LeastSquaresRegression":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[0] == 1 and x.shape[1] > 1 and np.ndim(y) == 1 and len(y) > 1:
+            x = x.T  # accept 1-D feature vectors
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x rows ({x.shape[0]}) must match y length ({y.shape[0]})"
+            )
+        design = np.column_stack([x, np.ones(x.shape[0])])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.coef_ = solution[:-1]
+        self.intercept_ = float(solution[-1])
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("LeastSquaresRegression must be fitted first")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.coef_.shape[0]:
+            x = x.T
+        return x @ self.coef_ + self.intercept_

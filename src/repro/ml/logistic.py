@@ -1,0 +1,118 @@
+"""Multinomial logistic regression on sparse feature matrices.
+
+The prediction stage of ``ctfidf``/``wtfidf`` for classification problems
+(Section 5.1): unweighted cross-entropy loss (Section 4.4.1), trained with
+mini-batch Adam, optional L2 regularization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.nn.losses import log_softmax, softmax
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression:
+    """Softmax classifier ``p = softmax(X W + b)``.
+
+    Args:
+        num_classes: Number of output classes.
+        lr: Adam learning rate.
+        l2: L2 penalty on the weight matrix (not the bias).
+        epochs: Passes over the training data.
+        batch_size: Mini-batch size.
+        seed: Shuffling seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        lr: float = 0.05,
+        l2: float = 1e-6,
+        epochs: int = 10,
+        batch_size: int = 64,
+        seed: int = 0,
+    ):
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        self.num_classes = num_classes
+        self.lr = lr
+        self.l2 = l2
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.weight: np.ndarray | None = None
+        self.bias: np.ndarray | None = None
+
+    def fit(self, x: sparse.spmatrix, y: np.ndarray) -> "LogisticRegression":
+        """Train on sparse features ``x`` and integer labels ``y``."""
+        x = sparse.csr_matrix(x)
+        y = np.asarray(y, dtype=np.int64)
+        n, num_features = x.shape
+        if n == 0:
+            raise ValueError("cannot fit on empty data")
+        rng = np.random.default_rng(self.seed)
+        w = np.zeros((num_features, self.num_classes))
+        b = np.zeros(self.num_classes)
+        # Adam state
+        m_w = np.zeros_like(w)
+        v_w = np.zeros_like(w)
+        m_b = np.zeros_like(b)
+        v_b = np.zeros_like(b)
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        t = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                xb = x[batch]
+                yb = y[batch]
+                logits = xb @ w + b
+                probs = softmax(logits)
+                probs[np.arange(len(yb)), yb] -= 1.0
+                probs /= len(yb)
+                grad_w = xb.T @ probs + self.l2 * w
+                grad_b = probs.sum(axis=0)
+                t += 1
+                bias1 = 1.0 - beta1**t
+                bias2 = 1.0 - beta2**t
+                m_w = beta1 * m_w + (1 - beta1) * grad_w
+                v_w = beta2 * v_w + (1 - beta2) * grad_w**2
+                m_b = beta1 * m_b + (1 - beta1) * grad_b
+                v_b = beta2 * v_b + (1 - beta2) * grad_b**2
+                w -= self.lr * (m_w / bias1) / (np.sqrt(v_w / bias2) + eps)
+                b -= self.lr * (m_b / bias1) / (np.sqrt(v_b / bias2) + eps)
+        self.weight = w
+        self.bias = b
+        return self
+
+    def _require_fitted(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.weight is None or self.bias is None:
+            raise RuntimeError("LogisticRegression must be fitted first")
+        return self.weight, self.bias
+
+    def decision_function(self, x: sparse.spmatrix) -> np.ndarray:
+        """Raw logits ``X W + b``."""
+        w, b = self._require_fitted()
+        return sparse.csr_matrix(x) @ w + b
+
+    def predict_proba(self, x: sparse.spmatrix) -> np.ndarray:
+        """Class probabilities."""
+        return softmax(self.decision_function(x))
+
+    def predict_log_proba(self, x: sparse.spmatrix) -> np.ndarray:
+        """Log class probabilities."""
+        return log_softmax(self.decision_function(x))
+
+    def predict(self, x: sparse.spmatrix) -> np.ndarray:
+        """Most likely class per row."""
+        return self.decision_function(x).argmax(axis=1)
+
+    @property
+    def num_parameters(self) -> int:
+        """Scalar parameter count (the paper's ``p`` column)."""
+        w, b = self._require_fitted()
+        return int(w.size + b.size)

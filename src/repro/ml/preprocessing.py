@@ -1,0 +1,82 @@
+"""Label preprocessing: the paper's log transform and a label encoder.
+
+Section 4.4.1: regression labels (answer size, CPU time) are heavy-tailed,
+so models are trained on ``y' = ln(y + eps - min(y))`` with ``eps = 1``,
+making the transform non-negative and defined at the minimum.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["LogLabelTransform", "LabelEncoder"]
+
+
+class LogLabelTransform:
+    """Invertible log transform ``y' = ln(y + eps - min_y)``.
+
+    ``min_y`` is learned from the training labels; ``eps > 0`` keeps the
+    logarithm's argument positive at the minimum (paper uses 1).
+    """
+
+    def __init__(self, eps: float = 1.0):
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.eps = eps
+        self.min_y: float | None = None
+
+    def fit(self, y: np.ndarray) -> "LogLabelTransform":
+        y = np.asarray(y, dtype=np.float64)
+        if y.size == 0:
+            raise ValueError("cannot fit on empty labels")
+        self.min_y = float(y.min())
+        return self
+
+    def transform(self, y: np.ndarray) -> np.ndarray:
+        if self.min_y is None:
+            raise RuntimeError("LogLabelTransform must be fitted first")
+        y = np.asarray(y, dtype=np.float64)
+        # values below the training minimum (possible at test time) are
+        # clamped so the log stays defined
+        shifted = np.maximum(y - self.min_y, 0.0) + self.eps
+        return np.log(shifted)
+
+    def fit_transform(self, y: np.ndarray) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse(self, y_log: np.ndarray) -> np.ndarray:
+        """Map transformed values back to the original label scale."""
+        if self.min_y is None:
+            raise RuntimeError("LogLabelTransform must be fitted first")
+        return np.exp(np.asarray(y_log, dtype=np.float64)) - self.eps + self.min_y
+
+
+class LabelEncoder:
+    """String/class labels ↔ contiguous integer ids (stable, sorted)."""
+
+    def __init__(self):
+        self.classes_: list = []
+        self._index: dict = {}
+
+    def fit(self, labels: Sequence) -> "LabelEncoder":
+        self.classes_ = sorted(set(labels), key=str)
+        self._index = {c: i for i, c in enumerate(self.classes_)}
+        return self
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes_)
+
+    def transform(self, labels: Sequence) -> np.ndarray:
+        try:
+            return np.asarray([self._index[label] for label in labels])
+        except KeyError as exc:
+            raise ValueError(f"unseen label: {exc.args[0]!r}") from exc
+
+    def fit_transform(self, labels: Sequence) -> np.ndarray:
+        return self.fit(labels).transform(labels)
+
+    def inverse(self, ids: Sequence[int]) -> list:
+        return [self.classes_[int(i)] for i in ids]

@@ -1,0 +1,46 @@
+"""The paper's model zoo (Section 5).
+
+Naming follows the paper: a leading ``c`` means character-level input, a
+leading ``w`` word-level input with digits masked to ``<DIGIT>``.
+
+- ``mfreq`` / ``median`` — trivial baselines;
+- ``ctfidf`` / ``wtfidf`` — bag-of-ngrams TF-IDF + logistic / Huber linear;
+- ``ccnn`` / ``wcnn`` — shallow Kim-style text CNN;
+- ``clstm`` / ``wlstm`` — three-layer LSTM;
+- ``opt`` — linear regression over simulated optimizer cost estimates.
+
+Build any of them by paper name via :func:`repro.models.factory.build_model`.
+
+Beyond the paper's zoo, the Section 8 extensions add ``treelstm``
+(:class:`~repro.models.tree_model.TreeLSTMModel`, Child-Sum Tree-LSTM over
+ASTs) and ``knn`` (:class:`~repro.models.knn.KnnModel`, instance-based
+retrieval) plus :class:`~repro.models.knn.SimilarQueryIndex` for surfacing
+similar historical queries.
+"""
+
+from repro.models.base import QueryModel, TaskKind
+from repro.models.baselines import MedianRegressor, MostFrequentClassifier
+from repro.models.tfidf_model import TfidfClassifier, TfidfRegressor
+from repro.models.cnn_model import TextCNNModel
+from repro.models.lstm_model import TextLSTMModel
+from repro.models.opt_model import OptimizerCostRegressor
+from repro.models.knn import KnnModel, SimilarQueryIndex
+from repro.models.tree_model import TreeLSTMModel
+from repro.models.factory import MODEL_NAMES, build_model
+
+__all__ = [
+    "QueryModel",
+    "TaskKind",
+    "MostFrequentClassifier",
+    "MedianRegressor",
+    "TfidfClassifier",
+    "TfidfRegressor",
+    "TextCNNModel",
+    "TextLSTMModel",
+    "OptimizerCostRegressor",
+    "KnnModel",
+    "SimilarQueryIndex",
+    "TreeLSTMModel",
+    "build_model",
+    "MODEL_NAMES",
+]

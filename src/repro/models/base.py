@@ -1,0 +1,63 @@
+"""Common interface for all query-property prediction models."""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["TaskKind", "QueryModel"]
+
+
+class TaskKind(enum.Enum):
+    """Whether a model predicts a class or a real value."""
+
+    CLASSIFICATION = "classification"
+    REGRESSION = "regression"
+
+
+class QueryModel(ABC):
+    """A model mapping raw statements to a query-property prediction.
+
+    Conventions:
+
+    - classification models consume integer class ids (the harness owns the
+      :class:`~repro.ml.preprocessing.LabelEncoder`) and must implement
+      :meth:`predict_proba`;
+    - regression models consume already log-transformed labels
+      (Section 4.4.1) and predict in the same transformed space.
+    """
+
+    #: Paper-style model name, e.g. ``ccnn``; set by subclasses.
+    name: str = "model"
+    task: TaskKind = TaskKind.CLASSIFICATION
+
+    @abstractmethod
+    def fit(
+        self,
+        statements: Sequence[str],
+        labels: np.ndarray,
+    ) -> "QueryModel":
+        """Train on raw statements and their labels."""
+
+    @abstractmethod
+    def predict(self, statements: Sequence[str]) -> np.ndarray:
+        """Class ids (classification) or transformed values (regression)."""
+
+    def predict_proba(self, statements: Sequence[str]) -> np.ndarray:
+        """Class probabilities; only valid for classification models."""
+        raise NotImplementedError(
+            f"{self.name} does not produce class probabilities"
+        )
+
+    @property
+    def vocab_size(self) -> int:
+        """Token/feature vocabulary size (the paper's ``v`` column)."""
+        return 0
+
+    @property
+    def num_parameters(self) -> int:
+        """Trainable scalar parameter count (the paper's ``p`` column)."""
+        return 0

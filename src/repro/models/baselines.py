@@ -1,0 +1,75 @@
+"""Trivial baselines: most-frequent class and training median (Section 6.1)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.models.base import QueryModel, TaskKind
+
+__all__ = ["MostFrequentClassifier", "MedianRegressor"]
+
+
+class MostFrequentClassifier(QueryModel):
+    """``mfreq``: always predicts the majority training class.
+
+    Its probability vector is the training class distribution, which gives
+    the constant-prediction cross-entropy the paper reports as the
+    baseline loss.
+    """
+
+    name = "mfreq"
+    task = TaskKind.CLASSIFICATION
+
+    def __init__(self, num_classes: int):
+        if num_classes < 1:
+            raise ValueError("num_classes must be positive")
+        self.num_classes = num_classes
+        self.majority_: int | None = None
+        self.class_distribution_: np.ndarray | None = None
+
+    def fit(self, statements: Sequence[str], labels: np.ndarray):
+        del statements
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.size == 0:
+            raise ValueError("cannot fit on empty labels")
+        counts = np.bincount(labels, minlength=self.num_classes).astype(
+            np.float64
+        )
+        self.majority_ = int(counts.argmax())
+        self.class_distribution_ = counts / counts.sum()
+        return self
+
+    def predict(self, statements: Sequence[str]) -> np.ndarray:
+        if self.majority_ is None:
+            raise RuntimeError("model must be fitted first")
+        return np.full(len(statements), self.majority_, dtype=np.int64)
+
+    def predict_proba(self, statements: Sequence[str]) -> np.ndarray:
+        if self.class_distribution_ is None:
+            raise RuntimeError("model must be fitted first")
+        return np.tile(self.class_distribution_, (len(statements), 1))
+
+
+class MedianRegressor(QueryModel):
+    """``median``: always predicts the median training label."""
+
+    name = "median"
+    task = TaskKind.REGRESSION
+
+    def __init__(self):
+        self.median_: float | None = None
+
+    def fit(self, statements: Sequence[str], labels: np.ndarray):
+        del statements
+        labels = np.asarray(labels, dtype=np.float64)
+        if labels.size == 0:
+            raise ValueError("cannot fit on empty labels")
+        self.median_ = float(np.median(labels))
+        return self
+
+    def predict(self, statements: Sequence[str]) -> np.ndarray:
+        if self.median_ is None:
+            raise RuntimeError("model must be fitted first")
+        return np.full(len(statements), self.median_, dtype=np.float64)

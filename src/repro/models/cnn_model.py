@@ -1,0 +1,116 @@
+"""``ccnn`` / ``wcnn``: the shallow Kim-style text CNN (Section 5.3).
+
+Architecture (Figure 11): embedding → parallel convolutions with window
+sizes {3, 4, 5} → ReLU → max-over-time pooling → dropout → fully connected
+output layer. Softmax + cross-entropy for classification, linear unit +
+Huber loss for regression; AdaMax optimizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import TaskKind
+from repro.models.neural_base import NeuralHyperParams, NeuralTextModel
+from repro.nn.conv import MultiKernelTextConv
+from repro.nn.layers import Dropout, Embedding, Linear
+from repro.nn.module import Module
+
+__all__ = ["TextCNNModel"]
+
+
+class _CNNNetwork(Module):
+    """embedding → multi-kernel conv/pool → dropout → linear head."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        pad_id: int,
+        embed_dim: int,
+        windows: tuple[int, ...],
+        num_kernels: int,
+        dropout: float,
+        out_dim: int,
+        rng: np.random.Generator,
+        pooling: str = "max",
+    ):
+        super().__init__()
+        self.embedding = self.add_module(
+            "embedding", Embedding(vocab_size, embed_dim, rng, pad_id=pad_id)
+        )
+        self.conv = self.add_module(
+            "conv",
+            MultiKernelTextConv(embed_dim, windows, num_kernels, rng, pooling),
+        )
+        self.dropout = self.add_module("dropout", Dropout(dropout, rng))
+        self.head = self.add_module(
+            "head", Linear(self.conv.out_dim, out_dim, rng)
+        )
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        embedded = self.embedding.forward(ids)
+        pooled = self.conv.forward(embedded)
+        dropped = self.dropout.forward(pooled)
+        return self.head.forward(dropped)
+
+    def backward(self, dout: np.ndarray) -> None:
+        dpooled = self.dropout.backward(self.head.backward(dout))
+        dembedded = self.conv.backward(dpooled)
+        self.embedding.backward(dembedded)
+
+
+class TextCNNModel(NeuralTextModel):
+    """The paper's CNN model at char (``ccnn``) or word (``wcnn``) level.
+
+    Args:
+        level: ``"char"`` or ``"word"``.
+        task: Classification or regression.
+        num_classes: Output classes (classification only).
+        windows: Convolution window sizes (paper: (3, 4, 5)).
+        num_kernels: Kernels per window size (paper tried 100 and 250).
+        dropout: Dropout rate on the pooled features (paper tried 0.5, 0).
+        hyper: Shared training hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        level: str = "char",
+        task: TaskKind = TaskKind.CLASSIFICATION,
+        num_classes: int = 2,
+        windows: tuple[int, ...] = (3, 4, 5),
+        num_kernels: int = 100,
+        dropout: float = 0.5,
+        pooling: str = "max",
+        hyper: NeuralHyperParams | None = None,
+    ):
+        super().__init__(level, task, num_classes, hyper)
+        self.windows = windows
+        self.num_kernels = num_kernels
+        self.dropout_rate = dropout
+        self.pooling = pooling
+        prefix = "c" if level == "char" else "w"
+        self.name = f"{prefix}cnn"
+        self._net: _CNNNetwork | None = None
+
+    def _build_network(self, vocab_size: int, pad_id: int) -> Module:
+        self._net = _CNNNetwork(
+            vocab_size,
+            pad_id,
+            self.hyper.embed_dim,
+            self.windows,
+            self.num_kernels,
+            self.dropout_rate,
+            self.out_dim,
+            self.rng,
+            self.pooling,
+        )
+        return self._net
+
+    def _forward(self, ids: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        del lengths  # max-over-time pooling is length-agnostic
+        assert self._net is not None
+        return self._net.forward(ids)
+
+    def _backward(self, dout: np.ndarray) -> None:
+        assert self._net is not None
+        self._net.backward(dout)

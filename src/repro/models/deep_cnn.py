@@ -1,0 +1,124 @@
+"""Deep character-level CNN — the paper's cited future-work model ([9]).
+
+A VDCNN-flavoured stack: embedding → N × (same-padded conv → ReLU) with a
+stride-2 temporal max-pool between blocks → global max-over-time → dropout
+→ linear head. The block count is the depth knob the extension benchmark
+sweeps against the shallow Kim CNN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import TaskKind
+from repro.models.neural_base import NeuralHyperParams, NeuralTextModel
+from repro.nn.deep_conv import GlobalMaxPool, SequenceConv1d, TemporalMaxPool
+from repro.nn.layers import Dropout, Embedding, Linear, Relu
+from repro.nn.module import Module
+
+__all__ = ["DeepTextCNN"]
+
+
+class _DeepCNNNetwork(Module):
+    """The stacked architecture with cached intermediates for backprop."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        pad_id: int,
+        embed_dim: int,
+        channels: int,
+        depth: int,
+        dropout: float,
+        out_dim: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.embedding = self.add_module(
+            "embedding", Embedding(vocab_size, embed_dim, rng, pad_id=pad_id)
+        )
+        self.blocks: list[tuple[SequenceConv1d, Relu, TemporalMaxPool | None]] = []
+        in_dim = embed_dim
+        for idx in range(depth):
+            conv = SequenceConv1d(in_dim, channels, 3, rng)
+            relu = Relu()
+            pool = TemporalMaxPool(2) if idx < depth - 1 else None
+            self.add_module(f"conv{idx}", conv)
+            self.add_module(f"relu{idx}", relu)
+            if pool is not None:
+                self.add_module(f"pool{idx}", pool)
+            self.blocks.append((conv, relu, pool))
+            in_dim = channels
+        self.global_pool = self.add_module("global_pool", GlobalMaxPool())
+        self.dropout = self.add_module("dropout", Dropout(dropout, rng))
+        self.head = self.add_module("head", Linear(channels, out_dim, rng))
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        x = self.embedding.forward(ids)
+        for conv, relu, pool in self.blocks:
+            x = relu.forward(conv.forward(x))
+            if pool is not None:
+                x = pool.forward(x)
+        pooled = self.global_pool.forward(x)
+        return self.head.forward(self.dropout.forward(pooled))
+
+    def backward(self, dout: np.ndarray) -> None:
+        dx = self.dropout.backward(self.head.backward(dout))
+        dx = self.global_pool.backward(dx)
+        for conv, relu, pool in reversed(self.blocks):
+            if pool is not None:
+                dx = pool.backward(dx)
+            dx = conv.backward(relu.backward(dx))
+        self.embedding.backward(dx)
+
+
+class DeepTextCNN(NeuralTextModel):
+    """Deep character CNN (``cdeep``); depth 1 degenerates to a single
+    same-padded conv + global pooling.
+
+    Args:
+        depth: Number of conv blocks (paper cites 9-29-layer variants; on
+            CPU 2-3 blocks already demonstrate the trade-off).
+        channels: Kernels per block.
+    """
+
+    def __init__(
+        self,
+        level: str = "char",
+        task: TaskKind = TaskKind.CLASSIFICATION,
+        num_classes: int = 2,
+        depth: int = 2,
+        channels: int = 64,
+        dropout: float = 0.5,
+        hyper: NeuralHyperParams | None = None,
+    ):
+        super().__init__(level, task, num_classes, hyper)
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        self.channels = channels
+        self.dropout_rate = dropout
+        self.name = f"{'c' if level == 'char' else 'w'}deep{depth}"
+        self._net: _DeepCNNNetwork | None = None
+
+    def _build_network(self, vocab_size: int, pad_id: int) -> Module:
+        self._net = _DeepCNNNetwork(
+            vocab_size,
+            pad_id,
+            self.hyper.embed_dim,
+            self.channels,
+            self.depth,
+            self.dropout_rate,
+            self.out_dim,
+            self.rng,
+        )
+        return self._net
+
+    def _forward(self, ids: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        del lengths
+        assert self._net is not None
+        return self._net.forward(ids)
+
+    def _backward(self, dout: np.ndarray) -> None:
+        assert self._net is not None
+        self._net.backward(dout)

@@ -1,0 +1,148 @@
+"""Model factory: build any paper model by its paper name.
+
+``build_model("ccnn", task, num_classes=3)`` returns a ready-to-fit model.
+A single ``scale`` knob shrinks the neural/TF-IDF capacities uniformly so
+experiments can trade fidelity for CPU time without touching per-model
+hyper-parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.base import QueryModel, TaskKind
+from repro.models.baselines import MedianRegressor, MostFrequentClassifier
+from repro.models.cnn_model import TextCNNModel
+from repro.models.lstm_model import TextLSTMModel
+from repro.models.neural_base import NeuralHyperParams
+from repro.models.opt_model import OptimizerCostRegressor
+from repro.models.tfidf_model import TfidfClassifier, TfidfRegressor
+from repro.workloads.schema import Catalog
+
+__all__ = ["MODEL_NAMES", "ModelScale", "build_model"]
+
+#: All model names the paper compares (Section 6.1). ``baseline`` resolves
+#: to mfreq or median depending on the task; ``opt`` needs a catalog.
+MODEL_NAMES = [
+    "baseline",
+    "ctfidf",
+    "ccnn",
+    "clstm",
+    "wtfidf",
+    "wcnn",
+    "wlstm",
+]
+
+
+@dataclass(frozen=True)
+class ModelScale:
+    """Capacity/runtime knobs shared by experiment drivers.
+
+    The paper's full-scale settings (500k TF-IDF features, embedding 100,
+    100-250 kernels, hidden 150-300, long inputs) are CPU-hostile; the
+    default scale keeps every architectural property while shrinking widths.
+    """
+
+    tfidf_features: int = 12_000
+    tfidf_max_len: int = 300
+    embed_dim: int = 48
+    num_kernels: int = 96
+    lstm_hidden: int = 64
+    epochs: int = 14
+    # the paper fixes lr=1e-3 for ~500k-sample training runs; at our
+    # default (few-thousand-sample) scale the same optimizer needs a
+    # larger step to leave the majority-class basin within the budget
+    lr: float = 3e-3
+    max_len_char: int = 168
+    max_len_word: int = 48
+    batch_size: int = 16
+    seed: int = 0
+
+    def hyper(self) -> NeuralHyperParams:
+        return NeuralHyperParams(
+            lr=self.lr,
+            embed_dim=self.embed_dim,
+            epochs=self.epochs,
+            max_len_char=self.max_len_char,
+            max_len_word=self.max_len_word,
+            batch_size=self.batch_size,
+            seed=self.seed,
+        )
+
+
+#: Paper-faithful scale (Section 6.1 hyper-parameters).
+PAPER_SCALE = ModelScale(
+    tfidf_features=500_000,
+    tfidf_max_len=2048,
+    embed_dim=100,
+    num_kernels=100,
+    lstm_hidden=150,
+    epochs=10,
+    lr=1e-3,
+    max_len_char=1024,
+    max_len_word=512,
+)
+
+
+def build_model(
+    name: str,
+    task: TaskKind,
+    num_classes: int = 2,
+    scale: ModelScale | None = None,
+    catalog: Catalog | None = None,
+) -> QueryModel:
+    """Instantiate a model by paper name.
+
+    Args:
+        name: One of :data:`MODEL_NAMES`, or ``mfreq``/``median``/``opt``.
+        task: Classification or regression.
+        num_classes: Class count for classification tasks.
+        scale: Capacity knobs (default :class:`ModelScale`).
+        catalog: Required for ``opt`` (the optimizer needs the schema).
+
+    Raises:
+        ValueError: Unknown name or ``opt`` without a catalog.
+    """
+    scale = scale or ModelScale()
+    is_classification = task is TaskKind.CLASSIFICATION
+    if name in ("baseline", "mfreq", "median"):
+        if is_classification:
+            return MostFrequentClassifier(num_classes)
+        return MedianRegressor()
+    if name == "opt":
+        if catalog is None:
+            raise ValueError("the opt model requires a catalog")
+        return OptimizerCostRegressor(catalog)
+    if name in ("ctfidf", "wtfidf"):
+        level = "char" if name[0] == "c" else "word"
+        if is_classification:
+            return TfidfClassifier(
+                num_classes=num_classes,
+                level=level,
+                max_features=scale.tfidf_features,
+                max_len=scale.tfidf_max_len,
+                seed=scale.seed,
+            )
+        return TfidfRegressor(
+            level=level,
+            max_features=scale.tfidf_features,
+            max_len=scale.tfidf_max_len,
+            seed=scale.seed,
+        )
+    if name in ("ccnn", "wcnn"):
+        return TextCNNModel(
+            level="char" if name[0] == "c" else "word",
+            task=task,
+            num_classes=num_classes,
+            num_kernels=scale.num_kernels,
+            hyper=scale.hyper(),
+        )
+    if name in ("clstm", "wlstm"):
+        return TextLSTMModel(
+            level="char" if name[0] == "c" else "word",
+            task=task,
+            num_classes=num_classes,
+            hidden=scale.lstm_hidden,
+            hyper=scale.hyper(),
+        )
+    raise ValueError(f"unknown model name: {name!r}")

@@ -1,0 +1,108 @@
+"""``clstm`` / ``wlstm``: the three-layer LSTM model (Section 5.2).
+
+Architecture (Figure 18): embedding → 3 stacked LSTM layers → the last
+layer's hidden state at the final token is the query representation →
+linear head. Softmax + cross-entropy for classification, linear unit +
+Huber loss for regression; AdaMax optimizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import TaskKind
+from repro.models.neural_base import NeuralHyperParams, NeuralTextModel
+from repro.nn.layers import Embedding, Linear
+from repro.nn.lstm import StackedLSTM, gather_last, scatter_last
+from repro.nn.module import Module
+
+__all__ = ["TextLSTMModel"]
+
+
+class _LSTMNetwork(Module):
+    """embedding → stacked LSTM → last hidden state → linear head."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        pad_id: int,
+        embed_dim: int,
+        hidden: int,
+        num_layers: int,
+        out_dim: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.embedding = self.add_module(
+            "embedding", Embedding(vocab_size, embed_dim, rng, pad_id=pad_id)
+        )
+        self.lstm = self.add_module(
+            "lstm", StackedLSTM(embed_dim, hidden, num_layers, rng)
+        )
+        self.head = self.add_module("head", Linear(hidden, out_dim, rng))
+        self._lengths: np.ndarray | None = None
+        self._time: int = 0
+
+    def forward(self, ids: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        self._lengths = lengths
+        self._time = ids.shape[1]
+        embedded = self.embedding.forward(ids)
+        h_seq = self.lstm.forward(embedded)
+        last = gather_last(h_seq, lengths)
+        return self.head.forward(last)
+
+    def backward(self, dout: np.ndarray) -> None:
+        assert self._lengths is not None
+        dlast = self.head.backward(dout)
+        dh_seq = scatter_last(dlast, self._lengths, self._time)
+        dembedded = self.lstm.backward(dh_seq)
+        self.embedding.backward(dembedded)
+
+
+class TextLSTMModel(NeuralTextModel):
+    """The paper's 3-layer LSTM at char (``clstm``) or word (``wlstm``) level.
+
+    Args:
+        level: ``"char"`` or ``"word"``.
+        task: Classification or regression.
+        num_classes: Output classes (classification only).
+        hidden: Hidden units per layer (paper tried 150 and 300).
+        num_layers: LSTM depth (paper: 3).
+        hyper: Shared training hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        level: str = "char",
+        task: TaskKind = TaskKind.CLASSIFICATION,
+        num_classes: int = 2,
+        hidden: int = 150,
+        num_layers: int = 3,
+        hyper: NeuralHyperParams | None = None,
+    ):
+        super().__init__(level, task, num_classes, hyper)
+        self.hidden = hidden
+        self.num_layers = num_layers
+        prefix = "c" if level == "char" else "w"
+        self.name = f"{prefix}lstm"
+        self._net: _LSTMNetwork | None = None
+
+    def _build_network(self, vocab_size: int, pad_id: int) -> Module:
+        self._net = _LSTMNetwork(
+            vocab_size,
+            pad_id,
+            self.hyper.embed_dim,
+            self.hidden,
+            self.num_layers,
+            self.out_dim,
+            self.rng,
+        )
+        return self._net
+
+    def _forward(self, ids: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        assert self._net is not None
+        return self._net.forward(ids, lengths)
+
+    def _backward(self, dout: np.ndarray) -> None:
+        assert self._net is not None
+        self._net.backward(dout)

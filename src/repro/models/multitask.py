@@ -1,0 +1,288 @@
+"""Multi-task CNN — the paper's Section 8 future-work extension.
+
+One shared text encoder (embedding → multi-kernel convolution → dropout)
+feeds one output head per query facilitation problem; the training loss is
+the sum of the per-task losses, so the representation learns the label
+correlations the paper conjectures about (e.g. failing queries have zero
+answers; complex queries are slow *and* human-authored).
+
+Only tasks whose labels are supplied participate; at prediction time each
+task's head is read out independently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.base import TaskKind
+from repro.models.neural_base import NeuralHyperParams
+from repro.nn.conv import MultiKernelTextConv
+from repro.nn.layers import Dropout, Embedding, Linear
+from repro.nn.losses import HuberLoss, SoftmaxCrossEntropy, softmax
+from repro.nn.module import Module
+from repro.nn.optim import AdaMax, clip_grad_norm
+from repro.text.encode import SequenceEncoder, pad_sequences
+from repro.text.vocab import build_char_vocab, build_word_vocab
+
+__all__ = ["TaskSpec", "MultiTaskTextCNN"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One prediction task sharing the encoder.
+
+    Attributes:
+        name: Task key (e.g. ``"error_class"``).
+        kind: Classification or regression.
+        num_classes: Output width for classification tasks.
+        weight: Contribution of this task's loss to the training objective.
+    """
+
+    name: str
+    kind: TaskKind
+    num_classes: int = 1
+    weight: float = 1.0
+
+    @property
+    def out_dim(self) -> int:
+        return (
+            self.num_classes
+            if self.kind is TaskKind.CLASSIFICATION
+            else 1
+        )
+
+
+class _SharedEncoder(Module):
+    """embedding → conv/pool → dropout, shared by all heads."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        pad_id: int,
+        embed_dim: int,
+        windows: tuple[int, ...],
+        num_kernels: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.embedding = self.add_module(
+            "embedding", Embedding(vocab_size, embed_dim, rng, pad_id=pad_id)
+        )
+        self.conv = self.add_module(
+            "conv", MultiKernelTextConv(embed_dim, windows, num_kernels, rng)
+        )
+        self.dropout = self.add_module("dropout", Dropout(dropout, rng))
+        self.out_dim = self.conv.out_dim
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        return self.dropout.forward(
+            self.conv.forward(self.embedding.forward(ids))
+        )
+
+    def backward(self, dout: np.ndarray) -> None:
+        self.embedding.backward(
+            self.conv.backward(self.dropout.backward(dout))
+        )
+
+
+class MultiTaskTextCNN(Module):
+    """Shared-encoder CNN with one head per task.
+
+    Args:
+        tasks: Task specifications (labels are passed to :meth:`fit` in the
+            same order by name).
+        level: ``"char"`` or ``"word"`` tokenization.
+        num_kernels / dropout: Encoder hyper-parameters (Kim CNN).
+        hyper: Shared training hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[TaskSpec],
+        level: str = "char",
+        num_kernels: int = 96,
+        dropout: float = 0.5,
+        hyper: NeuralHyperParams | None = None,
+    ):
+        super().__init__()
+        if not tasks:
+            raise ValueError("need at least one task")
+        if level not in ("char", "word"):
+            raise ValueError(f"level must be 'char' or 'word', got {level!r}")
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise ValueError("task names must be unique")
+        self.tasks = list(tasks)
+        self.level = level
+        self.num_kernels = num_kernels
+        self.dropout_rate = dropout
+        self.hyper = hyper or NeuralHyperParams()
+        self.rng = np.random.default_rng(self.hyper.seed)
+        self.encoder: SequenceEncoder | None = None
+        self.shared: _SharedEncoder | None = None
+        self.heads: dict[str, Linear] = {}
+        self._ce = SoftmaxCrossEntropy()
+        self._huber = HuberLoss(delta=1.0)
+        self._target_stats: dict[str, tuple[float, float]] = {}
+        self.history: list[float] = []
+
+    # -- construction ---------------------------------------------------- #
+
+    def _build(self, statements: Sequence[str]) -> None:
+        if self.level == "char":
+            vocab = build_char_vocab(
+                statements, max_size=self.hyper.max_vocab_char
+            )
+            max_len = self.hyper.max_len_char
+        else:
+            vocab = build_word_vocab(
+                statements, max_size=self.hyper.max_vocab_word, min_count=2
+            )
+            max_len = self.hyper.max_len_word
+        self.encoder = SequenceEncoder(vocab, self.level, max_len)
+        self.shared = self.add_module(
+            "shared",
+            _SharedEncoder(
+                len(vocab),
+                vocab.pad_id,
+                self.hyper.embed_dim,
+                (3, 4, 5),
+                self.num_kernels,
+                self.dropout_rate,
+                self.rng,
+            ),
+        )
+        for task in self.tasks:
+            head = Linear(self.shared.out_dim, task.out_dim, self.rng)
+            self.add_module(f"head_{task.name}", head)
+            self.heads[task.name] = head
+
+    # -- training ----------------------------------------------------------- #
+
+    def fit(
+        self,
+        statements: Sequence[str],
+        labels: dict[str, np.ndarray],
+    ) -> "MultiTaskTextCNN":
+        """Jointly train all heads.
+
+        Args:
+            statements: Raw statements.
+            labels: Mapping task name → label array. Classification labels
+                are integer class ids; regression labels are log-transformed
+                values (standardized internally per task).
+        """
+        missing = {t.name for t in self.tasks} - set(labels)
+        if missing:
+            raise ValueError(f"missing labels for tasks: {sorted(missing)}")
+        statements = list(statements)
+        self._build(statements)
+        assert self.shared is not None and self.encoder is not None
+        targets: dict[str, np.ndarray] = {}
+        for task in self.tasks:
+            raw = labels[task.name]
+            if task.kind is TaskKind.CLASSIFICATION:
+                targets[task.name] = np.asarray(raw, dtype=np.int64)
+            else:
+                values = np.asarray(raw, dtype=np.float64)
+                center = float(np.median(values))
+                spread = float(values.std()) or 1.0
+                self._target_stats[task.name] = (center, spread)
+                targets[task.name] = (values - center) / spread
+        optimizer = AdaMax(self.parameters(), lr=self.hyper.lr)
+        encoded = [self.encoder.encode(s) for s in statements]
+        n = len(statements)
+        batch = self.hyper.batch_size
+        self.train()
+        for _ in range(self.hyper.epochs):
+            order = self.rng.permutation(n)
+            epoch_loss = 0.0
+            steps = 0
+            for start in range(0, n, batch):
+                chosen = order[start : start + batch]
+                ids = pad_sequences(
+                    [encoded[i] for i in chosen],
+                    pad_id=self.encoder.vocab.pad_id,
+                )
+                self.zero_grad()
+                features = self.shared.forward(ids)
+                dfeatures = np.zeros_like(features)
+                loss_total = 0.0
+                for task in self.tasks:
+                    head = self.heads[task.name]
+                    output = head.forward(features)
+                    if task.kind is TaskKind.CLASSIFICATION:
+                        loss, dout = self._ce(
+                            output, targets[task.name][chosen]
+                        )
+                    else:
+                        loss, dgrad = self._huber(
+                            output[:, 0], targets[task.name][chosen]
+                        )
+                        dout = dgrad[:, None]
+                    loss_total += task.weight * loss
+                    # scaling dout scales both the head gradients and the
+                    # feature gradient by the task weight
+                    dfeatures += head.backward(task.weight * dout)
+                self.shared.backward(dfeatures)
+                if self.hyper.clip_norm > 0:
+                    clip_grad_norm(self.parameters(), self.hyper.clip_norm)
+                optimizer.step()
+                epoch_loss += loss_total
+                steps += 1
+            self.history.append(epoch_loss / max(steps, 1))
+        self.eval()
+        return self
+
+    # -- prediction --------------------------------------------------------- #
+
+    def _features(self, statements: Sequence[str]) -> np.ndarray:
+        if self.shared is None or self.encoder is None:
+            raise RuntimeError("model must be fitted first")
+        self.eval()
+        out: list[np.ndarray] = []
+        statements = list(statements)
+        step = max(self.hyper.batch_size * 4, 64)
+        for start in range(0, len(statements), step):
+            chunk = statements[start : start + step]
+            ids = pad_sequences(
+                [self.encoder.encode(s) for s in chunk],
+                pad_id=self.encoder.vocab.pad_id,
+            )
+            out.append(self.shared.forward(ids))
+        if not out:
+            return np.zeros((0, self.shared.out_dim))
+        return np.concatenate(out, axis=0)
+
+    def predict(self, task_name: str, statements: Sequence[str]) -> np.ndarray:
+        """Predictions for one task: class ids or de-standardized values."""
+        if self.shared is None:
+            raise RuntimeError("model must be fitted first")
+        task = self._task(task_name)
+        output = self.heads[task_name].forward(self._features(statements))
+        if task.kind is TaskKind.CLASSIFICATION:
+            return output.argmax(axis=1)
+        center, spread = self._target_stats[task_name]
+        return output[:, 0] * spread + center
+
+    def predict_proba(
+        self, task_name: str, statements: Sequence[str]
+    ) -> np.ndarray:
+        if self.shared is None:
+            raise RuntimeError("model must be fitted first")
+        task = self._task(task_name)
+        if task.kind is not TaskKind.CLASSIFICATION:
+            raise NotImplementedError(f"{task_name} is a regression task")
+        return softmax(
+            self.heads[task_name].forward(self._features(statements))
+        )
+
+    def _task(self, name: str) -> TaskSpec:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(f"unknown task: {name!r}")

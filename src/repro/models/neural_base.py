@@ -1,0 +1,273 @@
+"""Shared training harness for the neural text models (Sections 5.2-5.3).
+
+Subclasses define the network (embedding → encoder → head) and the two
+hooks ``_forward`` / ``_backward``; this base class owns vocabulary
+construction, batching, the AdaMax loop with gradient clipping, and
+prediction. Hyper-parameters default to the paper's fixed choices
+(Section 6.1): learning rate 1e-3, batch size 16, embedding size 100.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.base import QueryModel, TaskKind
+from repro.nn.losses import HuberLoss, SoftmaxCrossEntropy, softmax
+from repro.nn.module import Module
+from repro.nn.optim import AdaMax, clip_grad_norm
+from repro.text.encode import SequenceEncoder
+from repro.text.vocab import Vocabulary, build_char_vocab, build_word_vocab
+
+__all__ = ["NeuralHyperParams", "NeuralTextModel"]
+
+
+@dataclass
+class NeuralHyperParams:
+    """Training hyper-parameters (paper defaults, Section 6.1)."""
+
+    lr: float = 1e-3
+    batch_size: int = 16
+    embed_dim: int = 100
+    epochs: int = 4
+    clip_norm: float = 0.25  # 0 disables clipping
+    weight_decay: float = 0.0
+    max_len_char: int = 200
+    max_len_word: int = 64
+    max_vocab_char: int = 512
+    max_vocab_word: int = 20_000
+    seed: int = 0
+
+
+class NeuralTextModel(QueryModel):
+    """Base class for ``ccnn``/``wcnn``/``clstm``/``wlstm``."""
+
+    def __init__(
+        self,
+        level: str,
+        task: TaskKind,
+        num_classes: int = 2,
+        hyper: NeuralHyperParams | None = None,
+    ):
+        if level not in ("char", "word"):
+            raise ValueError(f"level must be 'char' or 'word', got {level!r}")
+        self.level = level
+        self.task = task
+        self.num_classes = num_classes
+        self.hyper = hyper or NeuralHyperParams()
+        self.rng = np.random.default_rng(self.hyper.seed)
+        self.encoder: SequenceEncoder | None = None
+        self.network: Module | None = None
+        self.out_dim = num_classes if task is TaskKind.CLASSIFICATION else 1
+        self.history: list[float] = []
+        if task is TaskKind.CLASSIFICATION:
+            self._loss = SoftmaxCrossEntropy()
+        else:
+            self._loss = HuberLoss(delta=1.0)
+        # regression targets are standardized internally so the Huber
+        # transition point sits at one robust standard deviation;
+        # predictions are mapped back to the caller's (log-label) scale
+        self._target_center = 0.0
+        self._target_scale = 1.0
+
+    # -- subclass hooks --------------------------------------------------- #
+
+    @abstractmethod
+    def _build_network(self, vocab_size: int, pad_id: int) -> Module:
+        """Construct the network; called once, after the vocab is known."""
+
+    @abstractmethod
+    def _forward(self, ids: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """(B, T) ids → (B, out_dim) outputs. Must cache for backward."""
+
+    @abstractmethod
+    def _backward(self, dout: np.ndarray) -> None:
+        """Backprop from (B, out_dim) output gradient."""
+
+    # -- shared machinery -------------------------------------------------- #
+
+    def _build_vocab(self, statements: Sequence[str]) -> Vocabulary:
+        if self.level == "char":
+            return build_char_vocab(statements, max_size=self.hyper.max_vocab_char)
+        return build_word_vocab(
+            statements, max_size=self.hyper.max_vocab_word, min_count=2
+        )
+
+    def _max_len(self) -> int:
+        return (
+            self.hyper.max_len_char
+            if self.level == "char"
+            else self.hyper.max_len_word
+        )
+
+    @staticmethod
+    def _lengths(ids: np.ndarray, pad_id: int) -> np.ndarray:
+        lengths = (ids != pad_id).sum(axis=1)
+        return np.maximum(lengths, 1)
+
+    def fit(self, statements: Sequence[str], labels: np.ndarray):
+        statements = list(statements)
+        vocab = self._build_vocab(statements)
+        self.encoder = SequenceEncoder(vocab, self.level, self._max_len())
+        self.network = self._build_network(len(vocab), vocab.pad_id)
+        optimizer = AdaMax(
+            self.network.parameters(),
+            lr=self.hyper.lr,
+            weight_decay=self.hyper.weight_decay,
+        )
+        if self.task is TaskKind.CLASSIFICATION:
+            targets = np.asarray(labels, dtype=np.int64)
+        else:
+            raw = np.asarray(labels, dtype=np.float64)
+            self._target_center = float(np.median(raw))
+            spread = float(raw.std())
+            self._target_scale = spread if spread > 1e-9 else 1.0
+            targets = (raw - self._target_center) / self._target_scale
+        encoded = [self.encoder.encode(s) for s in statements]
+        n = len(statements)
+        batch = self.hyper.batch_size
+        self.network.train()
+        for _ in range(self.hyper.epochs):
+            order = self.rng.permutation(n)
+            epoch_loss = 0.0
+            steps = 0
+            for start in range(0, n, batch):
+                chosen = order[start : start + batch]
+                ids = self._pad([encoded[i] for i in chosen])
+                lengths = self._lengths(ids, self.encoder.vocab.pad_id)
+                output = self._forward(ids, lengths)
+                if self.task is TaskKind.CLASSIFICATION:
+                    loss, dout = self._loss(output, targets[chosen])
+                else:
+                    loss, dgrad = self._loss(
+                        output[:, 0], targets[chosen]
+                    )
+                    dout = dgrad[:, None]
+                self.network.zero_grad()
+                self._backward(dout)
+                if self.hyper.clip_norm > 0:
+                    clip_grad_norm(
+                        self.network.parameters(), self.hyper.clip_norm
+                    )
+                optimizer.step()
+                epoch_loss += loss
+                steps += 1
+            self.history.append(epoch_loss / max(steps, 1))
+        self.network.eval()
+        return self
+
+    def finetune(
+        self,
+        statements: Sequence[str],
+        labels: np.ndarray,
+        epochs: int | None = None,
+        reset_head: bool = True,
+    ) -> "NeuralTextModel":
+        """Continue training a fitted model on a new labelled corpus.
+
+        Implements the paper's future-work transfer-learning idea
+        (Section 8): the embedding and encoder weights learned on a large
+        source workload are kept; only the output head is re-initialised
+        (``reset_head``), and a short optimisation run adapts the model to
+        the target workload. Tokens unseen during pre-training map to UNK.
+
+        Args:
+            statements: Target-workload statements.
+            labels: Target labels (same task as pre-training).
+            epochs: Fine-tuning epochs (default: half the original budget).
+            reset_head: Re-initialise the output layer before adapting.
+        """
+        if self.network is None or self.encoder is None:
+            raise RuntimeError("finetune requires a fitted model")
+        statements = list(statements)
+        if self.task is TaskKind.CLASSIFICATION:
+            targets = np.asarray(labels, dtype=np.int64)
+        else:
+            raw = np.asarray(labels, dtype=np.float64)
+            self._target_center = float(np.median(raw))
+            spread = float(raw.std())
+            self._target_scale = spread if spread > 1e-9 else 1.0
+            targets = (raw - self._target_center) / self._target_scale
+        head = getattr(self.network, "head", None)
+        if reset_head and head is not None:
+            from repro.nn.initializers import glorot_uniform
+
+            head.weight.value[...] = glorot_uniform(
+                self.rng, *head.weight.value.shape
+            )
+            head.bias.value[...] = 0.0
+        optimizer = AdaMax(
+            self.network.parameters(),
+            lr=self.hyper.lr,
+            weight_decay=self.hyper.weight_decay,
+        )
+        encoded = [self.encoder.encode(s) for s in statements]
+        n = len(statements)
+        batch = self.hyper.batch_size
+        budget = epochs if epochs is not None else max(self.hyper.epochs // 2, 1)
+        self.network.train()
+        for _ in range(budget):
+            order = self.rng.permutation(n)
+            for start in range(0, n, batch):
+                chosen = order[start : start + batch]
+                ids = self._pad([encoded[i] for i in chosen])
+                lengths = self._lengths(ids, self.encoder.vocab.pad_id)
+                output = self._forward(ids, lengths)
+                if self.task is TaskKind.CLASSIFICATION:
+                    _, dout = self._loss(output, targets[chosen])
+                else:
+                    _, dgrad = self._loss(output[:, 0], targets[chosen])
+                    dout = dgrad[:, None]
+                self.network.zero_grad()
+                self._backward(dout)
+                if self.hyper.clip_norm > 0:
+                    clip_grad_norm(
+                        self.network.parameters(), self.hyper.clip_norm
+                    )
+                optimizer.step()
+        self.network.eval()
+        return self
+
+    def _pad(self, sequences: list[list[int]]) -> np.ndarray:
+        from repro.text.encode import pad_sequences
+
+        assert self.encoder is not None
+        return pad_sequences(sequences, pad_id=self.encoder.vocab.pad_id)
+
+    def _batched_outputs(self, statements: Sequence[str]) -> np.ndarray:
+        if self.encoder is None or self.network is None:
+            raise RuntimeError("model must be fitted first")
+        self.network.eval()
+        outputs: list[np.ndarray] = []
+        statements = list(statements)
+        batch = max(self.hyper.batch_size * 4, 64)
+        for start in range(0, len(statements), batch):
+            chunk = statements[start : start + batch]
+            ids = self._pad([self.encoder.encode(s) for s in chunk])
+            lengths = self._lengths(ids, self.encoder.vocab.pad_id)
+            outputs.append(self._forward(ids, lengths))
+        if not outputs:
+            return np.zeros((0, self.out_dim))
+        return np.concatenate(outputs, axis=0)
+
+    def predict(self, statements: Sequence[str]) -> np.ndarray:
+        output = self._batched_outputs(statements)
+        if self.task is TaskKind.CLASSIFICATION:
+            return output.argmax(axis=1)
+        return output[:, 0] * self._target_scale + self._target_center
+
+    def predict_proba(self, statements: Sequence[str]) -> np.ndarray:
+        if self.task is not TaskKind.CLASSIFICATION:
+            raise NotImplementedError("regression model has no probabilities")
+        return softmax(self._batched_outputs(statements))
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.encoder.vocab) if self.encoder is not None else 0
+
+    @property
+    def num_parameters(self) -> int:
+        return self.network.num_parameters() if self.network is not None else 0

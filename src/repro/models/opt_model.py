@@ -1,0 +1,50 @@
+"""``opt``: linear regression over query-optimizer cost estimates.
+
+Following [2, 14, 39] (Section 6.1), the feature is the analytic cost
+estimate of the simulated optimizer and the target is the log-transformed
+CPU time. The log of the cost is used as the regression feature since both
+distributions are heavy-tailed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ml.linear import LeastSquaresRegression
+from repro.models.base import QueryModel, TaskKind
+from repro.optimizer.cost import OptimizerCostModel
+from repro.workloads.schema import Catalog
+
+__all__ = ["OptimizerCostRegressor"]
+
+
+class OptimizerCostRegressor(QueryModel):
+    """Linear model from optimizer cost estimate → log CPU time."""
+
+    name = "opt"
+    task = TaskKind.REGRESSION
+
+    def __init__(self, catalog: Catalog):
+        self.cost_model = OptimizerCostModel(catalog)
+        self.regression = LeastSquaresRegression()
+
+    def _features(self, statements: Sequence[str]) -> np.ndarray:
+        costs = np.asarray(
+            [self.cost_model.estimate_cost(s) for s in statements]
+        )
+        return np.log1p(np.maximum(costs, 0.0)).reshape(-1, 1)
+
+    def fit(self, statements: Sequence[str], labels: np.ndarray):
+        self.regression.fit(
+            self._features(statements), np.asarray(labels, dtype=np.float64)
+        )
+        return self
+
+    def predict(self, statements: Sequence[str]) -> np.ndarray:
+        return self.regression.predict(self._features(statements))
+
+    @property
+    def num_parameters(self) -> int:
+        return 2  # slope + intercept

@@ -1,0 +1,128 @@
+"""Traditional two-stage models: ``ctfidf`` and ``wtfidf`` (Section 5.1).
+
+Stage 1 extracts bag-of-ngrams TF-IDF features; stage 2 is multinomial
+logistic regression (classification) or Huber-loss linear regression
+(regression). Unlike the neural models, the representation is fixed — only
+the prediction weights are learned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ml.huber import HuberLinearRegression
+from repro.ml.logistic import LogisticRegression
+from repro.models.base import QueryModel, TaskKind
+from repro.text.tfidf import TfidfVectorizer
+
+__all__ = ["TfidfClassifier", "TfidfRegressor"]
+
+
+class _TfidfBase(QueryModel):
+    """Shared feature-extraction plumbing for the two TF-IDF models."""
+
+    def __init__(
+        self,
+        level: str = "char",
+        max_features: int = 20_000,
+        max_n: int = 5,
+        max_len: int = 512,
+        mask_digits: bool = True,
+    ):
+        self.vectorizer = TfidfVectorizer(
+            level=level,
+            max_features=max_features,
+            min_n=1,
+            max_n=max_n,
+            max_len=max_len,
+            mask_digits=mask_digits,
+        )
+        prefix = "c" if level == "char" else "w"
+        self.name = f"{prefix}tfidf"
+        self.level = level
+
+    @property
+    def vocab_size(self) -> int:
+        return self.vectorizer.num_features
+
+
+class TfidfClassifier(_TfidfBase):
+    """TF-IDF features + multinomial logistic regression."""
+
+    task = TaskKind.CLASSIFICATION
+
+    def __init__(
+        self,
+        num_classes: int,
+        level: str = "char",
+        max_features: int = 20_000,
+        max_n: int = 5,
+        max_len: int = 512,
+        lr: float = 0.05,
+        epochs: int = 12,
+        l2: float = 1e-6,
+        seed: int = 0,
+        mask_digits: bool = True,
+    ):
+        super().__init__(level, max_features, max_n, max_len, mask_digits)
+        self.classifier = LogisticRegression(
+            num_classes=num_classes, lr=lr, epochs=epochs, l2=l2, seed=seed
+        )
+
+    def fit(self, statements: Sequence[str], labels: np.ndarray):
+        features = self.vectorizer.fit_transform(list(statements))
+        self.classifier.fit(features, np.asarray(labels, dtype=np.int64))
+        return self
+
+    def predict(self, statements: Sequence[str]) -> np.ndarray:
+        return self.classifier.predict(
+            self.vectorizer.transform(list(statements))
+        )
+
+    def predict_proba(self, statements: Sequence[str]) -> np.ndarray:
+        return self.classifier.predict_proba(
+            self.vectorizer.transform(list(statements))
+        )
+
+    @property
+    def num_parameters(self) -> int:
+        return self.classifier.num_parameters
+
+
+class TfidfRegressor(_TfidfBase):
+    """TF-IDF features + Huber-loss linear regression."""
+
+    task = TaskKind.REGRESSION
+
+    def __init__(
+        self,
+        level: str = "char",
+        max_features: int = 20_000,
+        max_n: int = 5,
+        max_len: int = 512,
+        lr: float = 0.05,
+        epochs: int = 12,
+        delta: float = 1.0,
+        seed: int = 0,
+        mask_digits: bool = True,
+    ):
+        super().__init__(level, max_features, max_n, max_len, mask_digits)
+        self.regressor = HuberLinearRegression(
+            delta=delta, lr=lr, epochs=epochs, seed=seed
+        )
+
+    def fit(self, statements: Sequence[str], labels: np.ndarray):
+        features = self.vectorizer.fit_transform(list(statements))
+        self.regressor.fit(features, np.asarray(labels, dtype=np.float64))
+        return self
+
+    def predict(self, statements: Sequence[str]) -> np.ndarray:
+        return self.regressor.predict(
+            self.vectorizer.transform(list(statements))
+        )
+
+    @property
+    def num_parameters(self) -> int:
+        return self.regressor.num_parameters

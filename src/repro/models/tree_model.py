@@ -1,0 +1,329 @@
+"""Tree-LSTM query model over parsed SQL ASTs (paper Section 8).
+
+The paper's sequential models read a query as a flat token stream; its
+future work proposes tree-structured architectures [52] that read the
+*parse* instead. This model wires the library's own recursive-descent
+parser to a :class:`~repro.nn.tree_lstm.ChildSumTreeLSTM`:
+
+statement → AST → symbol per node → embedding → Tree-LSTM → root state
+→ linear head.
+
+Node symbols keep what matters for the prediction problems: node kinds,
+operators, join kinds, function names (aggregates marked), table names,
+and literal kinds — while column names and literal values collapse to
+their kinds, the same open-vocabulary control word-level models get from
+``<DIGIT>`` masking (Section 4.4.1). Unparseable statements degrade to a
+single ``stmt:unknown`` node rather than failing, mirroring how the rest
+of the library treats junk input.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.models.base import QueryModel, TaskKind
+from repro.nn.layers import Embedding, Linear
+from repro.nn.losses import HuberLoss, SoftmaxCrossEntropy, softmax
+from repro.nn.module import Module
+from repro.nn.optim import AdaMax, clip_grad_norm
+from repro.nn.tree_lstm import ChildSumTreeLSTM, EncodedTree
+from repro.sqlang import ast_nodes as ast
+from repro.sqlang.parser import parse_sql
+from repro.text.vocab import Vocabulary
+
+__all__ = ["TreeLSTMModel", "node_symbol", "encode_tree"]
+
+
+def node_symbol(node: ast.Node) -> str:
+    """The embedding symbol for one AST node (see module docstring)."""
+    if isinstance(node, ast.Statement):
+        return f"stmt:{node.statement_type.lower()}"
+    if isinstance(node, ast.SelectQuery):
+        return "select:distinct" if node.distinct else "select"
+    if isinstance(node, ast.SelectItem):
+        return "selectitem"
+    if isinstance(node, ast.TableRef):
+        return f"table:{node.base_name.lower()}"
+    if isinstance(node, ast.SubquerySource):
+        return "derived"
+    if isinstance(node, ast.Join):
+        return f"join:{node.kind.lower()}"
+    if isinstance(node, ast.Subquery):
+        return "subquery"
+    if isinstance(node, ast.FunctionCall):
+        if node.is_aggregate:
+            return f"agg:{node.name.lower()}"
+        return f"fn:{node.name.rsplit('.', 1)[-1].lower()}"
+    if isinstance(node, ast.BinaryOp):
+        return f"op:{node.op.lower()}"
+    if isinstance(node, ast.UnaryOp):
+        return f"uop:{node.op.lower()}"
+    if isinstance(node, ast.Between):
+        return "between"
+    if isinstance(node, ast.InList):
+        return "in"
+    if isinstance(node, ast.CaseExpr):
+        return "case"
+    if isinstance(node, ast.OrderItem):
+        return "order:desc" if node.descending else "order"
+    if isinstance(node, ast.Literal):
+        return "lit:num" if node.is_number else "lit:str"
+    if isinstance(node, ast.Star):
+        return "star"
+    if isinstance(node, ast.ColumnRef):
+        return "col"
+    if isinstance(node, ast.VarRef):
+        return "var"
+    return type(node).__name__.lower()
+
+
+def _flatten_post_order(root: ast.Node, max_nodes: int) -> tuple[list[ast.Node], list[list[int]]]:
+    """Post-order node list (children before parents) + child index lists.
+
+    Subtrees beyond ``max_nodes`` are truncated: a node whose children
+    would overflow the budget keeps only the children that fit.
+    """
+    nodes: list[ast.Node] = []
+    children: list[list[int]] = []
+
+    def visit(node: ast.Node) -> int | None:
+        kid_ids: list[int] = []
+        for child in node.children():
+            if len(nodes) >= max_nodes - 1:
+                break
+            child_id = visit(child)
+            if child_id is not None:
+                kid_ids.append(child_id)
+        if len(nodes) >= max_nodes:
+            return None
+        nodes.append(node)
+        children.append(kid_ids)
+        return len(nodes) - 1
+
+    visit(root)
+    return nodes, children
+
+
+def encode_tree(
+    statement: str, vocab: Vocabulary | None = None, max_nodes: int = 200
+) -> tuple[EncodedTree, list[str]]:
+    """Parse ``statement`` and flatten its AST to an :class:`EncodedTree`.
+
+    Returns the encoded tree plus the symbol list (for vocabulary
+    construction). Without a vocabulary, ``symbol_ids`` are all zero.
+    """
+    result = parse_sql(statement)
+    if result.statements:
+        root: ast.Node = result.statements[0]
+    else:
+        root = ast.Statement(statement_type="UNKNOWN")
+    nodes, children = _flatten_post_order(root, max_nodes=max_nodes)
+    symbols = [node_symbol(n) for n in nodes]
+    if vocab is None:
+        ids = np.zeros(len(nodes), dtype=np.int64)
+    else:
+        ids = np.asarray(vocab.encode(symbols), dtype=np.int64)
+    return EncodedTree(symbol_ids=ids, children=children), symbols
+
+
+class _TreeNetwork(Module):
+    """Embedding → ChildSumTreeLSTM → Linear head."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int,
+        hidden: int,
+        out_dim: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        # pad_id=None: every vocabulary row (including UNK) is trainable,
+        # trees have no padding
+        self.embedding = self.add_module(
+            "embedding", Embedding(vocab_size, embed_dim, rng, pad_id=None)
+        )
+        self.tree = self.add_module(
+            "tree", ChildSumTreeLSTM(embed_dim, hidden, rng)
+        )
+        self.head = self.add_module("head", Linear(hidden, out_dim, rng))
+
+    def forward(self, tree: EncodedTree) -> np.ndarray:
+        x = self.embedding.forward(tree.symbol_ids)
+        root = self.tree.forward_tree(x, tree)
+        return self.head.forward(root[None, :])[0]
+
+    def backward(self, dout: np.ndarray) -> None:
+        droot = self.head.backward(dout[None, :])[0]
+        dx = self.tree.backward_tree(droot)
+        self.embedding.backward(dx)
+
+
+class TreeLSTMModel(QueryModel):
+    """Child-Sum Tree-LSTM over ASTs, trained like the sequential models.
+
+    Same conventions as the rest of the model zoo: classification consumes
+    integer class ids; regression consumes log-transformed labels
+    (standardized internally so the Huber transition point is meaningful).
+    Training is per-tree (trees do not batch), with gradients accumulated
+    over mini-batches before each AdaMax step.
+
+    Args:
+        task: Classification or regression.
+        num_classes: Output classes (classification only).
+        embed_dim: Node-symbol embedding width.
+        hidden: Tree-LSTM hidden width.
+        epochs / lr / batch_size / clip_norm: Optimization knobs.
+        max_vocab: Node-symbol vocabulary cap.
+        max_nodes: AST truncation bound (very long statements).
+        seed: Initialization/shuffling seed.
+    """
+
+    name = "treelstm"
+
+    def __init__(
+        self,
+        task: TaskKind = TaskKind.REGRESSION,
+        num_classes: int = 2,
+        embed_dim: int = 32,
+        hidden: int = 48,
+        epochs: int = 6,
+        lr: float = 3e-3,
+        batch_size: int = 16,
+        clip_norm: float = 0.25,
+        max_vocab: int = 2000,
+        max_nodes: int = 200,
+        seed: int = 0,
+    ):
+        self.task = task
+        self.num_classes = num_classes
+        self.embed_dim = embed_dim
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.clip_norm = clip_norm
+        self.max_vocab = max_vocab
+        self.max_nodes = max_nodes
+        self.rng = np.random.default_rng(seed)
+        self.out_dim = num_classes if task is TaskKind.CLASSIFICATION else 1
+        self.vocab: Vocabulary | None = None
+        self.network: _TreeNetwork | None = None
+        self.history: list[float] = []
+        self._loss = (
+            SoftmaxCrossEntropy()
+            if task is TaskKind.CLASSIFICATION
+            else HuberLoss(delta=1.0)
+        )
+        self._target_center = 0.0
+        self._target_scale = 1.0
+
+    # -- training ---------------------------------------------------------- #
+
+    def fit(self, statements: Sequence[str], labels: np.ndarray) -> "TreeLSTMModel":
+        statements = list(statements)
+        if not statements:
+            raise ValueError("cannot fit TreeLSTMModel on an empty training set")
+        if len(statements) != len(labels):
+            raise ValueError("statements and labels must have equal length")
+
+        counts: Counter[str] = Counter()
+        parsed: list[tuple[EncodedTree, list[str]]] = []
+        for statement in statements:
+            tree, symbols = encode_tree(statement, max_nodes=self.max_nodes)
+            parsed.append((tree, symbols))
+            counts.update(symbols)
+        self.vocab = Vocabulary.from_counts(counts, max_size=self.max_vocab)
+        trees: list[EncodedTree] = []
+        for tree, symbols in parsed:
+            tree.symbol_ids = np.asarray(
+                self.vocab.encode(symbols), dtype=np.int64
+            )
+            trees.append(tree)
+
+        if self.task is TaskKind.CLASSIFICATION:
+            targets = np.asarray(labels, dtype=np.int64)
+        else:
+            raw = np.asarray(labels, dtype=np.float64)
+            self._target_center = float(np.median(raw))
+            spread = float(raw.std())
+            self._target_scale = spread if spread > 1e-9 else 1.0
+            targets = (raw - self._target_center) / self._target_scale
+
+        self.network = _TreeNetwork(
+            vocab_size=len(self.vocab),
+            embed_dim=self.embed_dim,
+            hidden=self.hidden,
+            out_dim=self.out_dim,
+            rng=self.rng,
+        )
+        optimizer = AdaMax(self.network.parameters(), lr=self.lr)
+        n = len(trees)
+        self.network.train()
+        for _ in range(self.epochs):
+            order = self.rng.permutation(n)
+            epoch_loss = 0.0
+            steps = 0
+            for start in range(0, n, self.batch_size):
+                chosen = order[start : start + self.batch_size]
+                self.network.zero_grad()
+                batch_loss = 0.0
+                for idx in chosen:
+                    output = self.network.forward(trees[idx])
+                    if self.task is TaskKind.CLASSIFICATION:
+                        loss, dout = self._loss(
+                            output[None, :], targets[idx : idx + 1]
+                        )
+                        self.network.backward(dout[0] / len(chosen))
+                    else:
+                        loss, dgrad = self._loss(
+                            output[:1], targets[idx : idx + 1]
+                        )
+                        self.network.backward(
+                            np.asarray([dgrad[0]]) / len(chosen)
+                        )
+                    batch_loss += loss
+                if self.clip_norm > 0:
+                    clip_grad_norm(self.network.parameters(), self.clip_norm)
+                optimizer.step()
+                epoch_loss += batch_loss / len(chosen)
+                steps += 1
+            self.history.append(epoch_loss / max(steps, 1))
+        self.network.eval()
+        return self
+
+    # -- prediction --------------------------------------------------------- #
+
+    def _outputs(self, statements: Sequence[str]) -> np.ndarray:
+        if self.network is None or self.vocab is None:
+            raise RuntimeError("TreeLSTMModel must be fitted first")
+        self.network.eval()
+        outputs = np.zeros((len(statements), self.out_dim))
+        for row, statement in enumerate(statements):
+            tree, symbols = encode_tree(
+                statement, vocab=self.vocab, max_nodes=self.max_nodes
+            )
+            outputs[row] = self.network.forward(tree)
+        return outputs
+
+    def predict(self, statements: Sequence[str]) -> np.ndarray:
+        output = self._outputs(list(statements))
+        if self.task is TaskKind.CLASSIFICATION:
+            return output.argmax(axis=1)
+        return output[:, 0] * self._target_scale + self._target_center
+
+    def predict_proba(self, statements: Sequence[str]) -> np.ndarray:
+        if self.task is not TaskKind.CLASSIFICATION:
+            raise NotImplementedError("regression model has no probabilities")
+        return softmax(self._outputs(list(statements)))
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab) if self.vocab is not None else 0
+
+    @property
+    def num_parameters(self) -> int:
+        return self.network.num_parameters() if self.network is not None else 0

@@ -1,0 +1,43 @@
+"""Neural-network substrate: numpy modules with hand-written backprop.
+
+A minimal deep-learning stack sufficient for the paper's two architectures
+(shallow Kim-style text CNN, Section 5.3; 3-layer LSTM, Section 5.2):
+
+- :mod:`repro.nn.parameter` / :mod:`repro.nn.module` — parameter containers;
+- :mod:`repro.nn.layers` — Embedding, Linear, Dropout, activations;
+- :mod:`repro.nn.conv` — n-gram convolution + max-over-time pooling;
+- :mod:`repro.nn.lstm` — stacked LSTM with full BPTT;
+- :mod:`repro.nn.losses` — softmax cross-entropy and Huber loss;
+- :mod:`repro.nn.optim` — SGD, Adam, AdaMax, gradient clipping.
+
+Every layer's backward pass is verified against numerical gradients in
+``tests/nn/``.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.module import Module
+from repro.nn.layers import Dropout, Embedding, Linear, Relu, Tanh
+from repro.nn.conv import MultiKernelTextConv, TextConv1d
+from repro.nn.lstm import LSTMLayer, StackedLSTM
+from repro.nn.losses import HuberLoss, SoftmaxCrossEntropy
+from repro.nn.optim import SGD, Adam, AdaMax, clip_grad_norm
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Embedding",
+    "Linear",
+    "Dropout",
+    "Relu",
+    "Tanh",
+    "TextConv1d",
+    "MultiKernelTextConv",
+    "LSTMLayer",
+    "StackedLSTM",
+    "SoftmaxCrossEntropy",
+    "HuberLoss",
+    "SGD",
+    "Adam",
+    "AdaMax",
+    "clip_grad_norm",
+]

@@ -1,0 +1,159 @@
+"""Text convolution + max-over-time pooling (Section 5.3, Figure 11).
+
+:class:`TextConv1d` applies ``num_kernels`` kernels of one window size ``m``
+over the concatenated token embeddings, exactly the 1-D convolution of
+Figure 10: each output position is the dot product of the kernel with an
+``m``-token window. ReLU and max-over-time pooling produce one feature per
+kernel. :class:`MultiKernelTextConv` runs several window sizes (the paper
+uses {3, 4, 5}) and concatenates the pooled features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform
+from repro.nn.module import Module
+
+__all__ = ["TextConv1d", "MultiKernelTextConv"]
+
+
+class TextConv1d(Module):
+    """One window size of the Kim CNN: conv → ReLU → max-over-time.
+
+    Args:
+        embed_dim: Embedding width D.
+        window: n-gram window m.
+        num_kernels: Number of kernels K for this window size.
+        rng: Initialization randomness.
+
+    Forward maps ``(B, T, D)`` → ``(B, K)``. Inputs shorter than the window
+    are zero-padded on the time axis to one full window.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        window: int,
+        num_kernels: int,
+        rng: np.random.Generator,
+        pooling: str = "max",
+    ):
+        super().__init__()
+        if pooling not in ("max", "mean"):
+            raise ValueError(f"pooling must be 'max' or 'mean', got {pooling!r}")
+        self.embed_dim = embed_dim
+        self.window = window
+        self.num_kernels = num_kernels
+        self.pooling = pooling
+        self.weight = self.add_param(
+            "weight", glorot_uniform(rng, window * embed_dim, num_kernels)
+        )
+        self.bias = self.add_param("bias", np.zeros(num_kernels))
+        self._cache: tuple | None = None
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        """(B, T, D) → (B, T-m+1, m*D) window matrix."""
+        batch, time, dim = x.shape
+        m = self.window
+        positions = time - m + 1
+        cols = np.empty((batch, positions, m * dim), dtype=x.dtype)
+        for j in range(m):
+            cols[:, :, j * dim : (j + 1) * dim] = x[:, j : j + positions, :]
+        return cols
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        original_time = x.shape[1]
+        if original_time < self.window:  # pad short inputs to one window
+            pad = self.window - original_time
+            x = np.concatenate(
+                [x, np.zeros((x.shape[0], pad, x.shape[2]), dtype=x.dtype)],
+                axis=1,
+            )
+        cols = self._im2col(x)
+        linear = cols @ self.weight.value + self.bias.value  # (B, P, K)
+        active = linear > 0
+        activation = np.where(active, linear, 0.0)
+        if self.pooling == "max":
+            pooled_idx = activation.argmax(axis=1)  # (B, K)
+            batch_idx = np.arange(x.shape[0])[:, None]
+            pooled = activation[
+                batch_idx, pooled_idx, np.arange(self.num_kernels)
+            ]
+        else:
+            pooled_idx = None
+            pooled = activation.mean(axis=1)
+        self._cache = (cols, active, pooled_idx, x.shape, original_time)
+        return pooled
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """(B, K) grad → (B, T, D) grad w.r.t. the embedding input."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, active, pooled_idx, padded_shape, original_time = self._cache
+        batch, positions, _ = cols.shape
+        k = self.num_kernels
+
+        if self.pooling == "max":
+            # route pooled gradient to argmax positions, then through ReLU
+            dact = np.zeros((batch, positions, k))
+            batch_idx = np.arange(batch)[:, None]
+            dact[batch_idx, pooled_idx, np.arange(k)] = dout
+        else:
+            dact = np.broadcast_to(
+                dout[:, None, :] / positions, (batch, positions, k)
+            ).copy()
+        dlinear = np.where(active, dact, 0.0)
+
+        flat_cols = cols.reshape(-1, cols.shape[-1])
+        flat_d = dlinear.reshape(-1, k)
+        self.weight.grad += flat_cols.T @ flat_d
+        self.bias.grad += flat_d.sum(axis=0)
+
+        dcols = dlinear @ self.weight.value.T  # (B, P, m*D)
+        dx = np.zeros(padded_shape)
+        dim = self.embed_dim
+        for j in range(self.window):
+            dx[:, j : j + positions, :] += dcols[
+                :, :, j * dim : (j + 1) * dim
+            ]
+        return dx[:, :original_time, :]
+
+
+class MultiKernelTextConv(Module):
+    """Parallel window sizes with concatenated pooled outputs.
+
+    Maps ``(B, T, D)`` → ``(B, sum(num_kernels over windows))``.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        windows: tuple[int, ...],
+        num_kernels: int,
+        rng: np.random.Generator,
+        pooling: str = "max",
+    ):
+        super().__init__()
+        if not windows:
+            raise ValueError("need at least one window size")
+        self.convs: list[TextConv1d] = []
+        for window in windows:
+            conv = TextConv1d(embed_dim, window, num_kernels, rng, pooling)
+            self.add_module(f"conv{window}", conv)
+            self.convs.append(conv)
+        self.out_dim = num_kernels * len(windows)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.concatenate([conv.forward(x) for conv in self.convs], axis=1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        dx: np.ndarray | None = None
+        offset = 0
+        for conv in self.convs:
+            k = conv.num_kernels
+            piece = conv.backward(dout[:, offset : offset + k])
+            dx = piece if dx is None else dx + piece
+            offset += k
+        assert dx is not None
+        return dx

@@ -1,0 +1,146 @@
+"""Sequence-preserving convolution blocks for deep text CNNs.
+
+The shallow Kim CNN pools immediately after one convolution. The deep
+character CNNs the paper cites as future work ([9], VDCNN-style) stack
+convolutions, which requires layers that map sequences to sequences:
+
+- :class:`SequenceConv1d` — same-padded 1-D convolution (B,T,C_in) →
+  (B,T,C_out);
+- :class:`TemporalMaxPool` — stride-k max-pooling over time;
+- :class:`GlobalMaxPool` — final max-over-time readout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform
+from repro.nn.module import Module
+
+__all__ = ["SequenceConv1d", "TemporalMaxPool", "GlobalMaxPool"]
+
+
+class SequenceConv1d(Module):
+    """Same-padded 1-D convolution over the time axis.
+
+    Args:
+        in_dim: Input channels.
+        out_dim: Output channels (kernels).
+        window: Odd kernel width (same padding needs symmetry).
+        rng: Initialization randomness.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        window: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        if window % 2 != 1:
+            raise ValueError("window must be odd for same padding")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.window = window
+        self.weight = self.add_param(
+            "weight", glorot_uniform(rng, window * in_dim, out_dim)
+        )
+        self.bias = self.add_param("bias", np.zeros(out_dim))
+        self._cols: np.ndarray | None = None
+        self._in_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, time, dim = x.shape
+        half = self.window // 2
+        padded = np.zeros((batch, time + 2 * half, dim))
+        padded[:, half : half + time, :] = x
+        cols = np.empty((batch, time, self.window * dim))
+        for j in range(self.window):
+            cols[:, :, j * dim : (j + 1) * dim] = padded[:, j : j + time, :]
+        self._cols = cols
+        self._in_shape = x.shape
+        return cols @ self.weight.value + self.bias.value
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, time, dim = self._in_shape
+        flat_cols = self._cols.reshape(-1, self._cols.shape[-1])
+        flat_d = dout.reshape(-1, self.out_dim)
+        self.weight.grad += flat_cols.T @ flat_d
+        self.bias.grad += flat_d.sum(axis=0)
+        dcols = dout @ self.weight.value.T
+        half = self.window // 2
+        dpadded = np.zeros((batch, time + 2 * half, dim))
+        for j in range(self.window):
+            dpadded[:, j : j + time, :] += dcols[
+                :, :, j * dim : (j + 1) * dim
+            ]
+        return dpadded[:, half : half + time, :]
+
+
+class TemporalMaxPool(Module):
+    """Non-overlapping max pooling over time with the given stride."""
+
+    def __init__(self, stride: int = 2):
+        super().__init__()
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.stride = stride
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, time, channels = x.shape
+        stride = self.stride
+        out_time = (time + stride - 1) // stride
+        pad = out_time * stride - time
+        if pad:
+            filler = np.full((batch, pad, channels), -np.inf)
+            x_padded = np.concatenate([x, filler], axis=1)
+        else:
+            x_padded = x
+        blocks = x_padded.reshape(batch, out_time, stride, channels)
+        argmax = blocks.argmax(axis=2)  # (B, out_time, C)
+        out = np.take_along_axis(
+            blocks, argmax[:, :, None, :], axis=2
+        ).squeeze(2)
+        self._cache = (x.shape, argmax, out_time)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        in_shape, argmax, out_time = self._cache
+        batch, time, channels = in_shape
+        stride = self.stride
+        dblocks = np.zeros((batch, out_time, stride, channels))
+        np.put_along_axis(
+            dblocks, argmax[:, :, None, :], dout[:, :, None, :], axis=2
+        )
+        dx = dblocks.reshape(batch, out_time * stride, channels)
+        return dx[:, :time, :]
+
+
+class GlobalMaxPool(Module):
+    """Max over the whole time axis: (B, T, C) → (B, C)."""
+
+    def __init__(self):
+        super().__init__()
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        argmax = x.argmax(axis=1)  # (B, C)
+        batch_idx = np.arange(x.shape[0])[:, None]
+        out = x[batch_idx, argmax, np.arange(x.shape[2])]
+        self._cache = (x.shape, argmax)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        shape, argmax = self._cache
+        dx = np.zeros(shape)
+        batch_idx = np.arange(shape[0])[:, None]
+        dx[batch_idx, argmax, np.arange(shape[2])] = dout
+        return dx

@@ -1,0 +1,35 @@
+"""Weight initialization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform", "glorot_uniform", "orthogonal"]
+
+
+def uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], scale: float = 0.05
+) -> np.ndarray:
+    """U(-scale, scale) initialization (embeddings, biases-with-noise)."""
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def glorot_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform init for dense and convolution weights."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def orthogonal(
+    rng: np.random.Generator, shape: tuple[int, int], gain: float = 1.0
+) -> np.ndarray:
+    """Orthogonal init — standard for LSTM recurrent weights."""
+    rows, cols = shape
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))  # deterministic sign convention
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]

@@ -1,0 +1,152 @@
+"""Core layers: Embedding, Linear, Dropout, and pointwise activations.
+
+Each layer caches what its backward pass needs during ``forward`` and
+exposes ``backward(dout) -> dinput``. Layers are single-use per step:
+call forward, then backward, then the next forward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, uniform
+from repro.nn.module import Module
+
+__all__ = ["Embedding", "Linear", "Dropout", "Relu", "Tanh", "sigmoid"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    exp_x = np.exp(x[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class Embedding(Module):
+    """Token-id → dense vector lookup (the matrix X of Definition 2).
+
+    Args:
+        vocab_size: Number of rows.
+        dim: Embedding width (paper: 100).
+        rng: Source of initialization randomness.
+        pad_id: Row kept frozen at zero (padding positions contribute
+            nothing and receive no gradient).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        rng: np.random.Generator,
+        pad_id: int | None = 0,
+    ):
+        super().__init__()
+        weight = uniform(rng, (vocab_size, dim), scale=0.05)
+        if pad_id is not None:
+            weight[pad_id] = 0.0
+        self.weight = self.add_param("weight", weight)
+        self.pad_id = pad_id
+        self._ids: np.ndarray | None = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        """(B, T) int ids → (B, T, D) embeddings."""
+        self._ids = ids
+        return self.weight.value[ids]
+
+    def backward(self, dout: np.ndarray) -> None:
+        """Accumulate into weight.grad; embeddings have no input gradient."""
+        if self._ids is None:
+            raise RuntimeError("backward called before forward")
+        np.add.at(self.weight.grad, self._ids, dout)
+        if self.pad_id is not None:
+            self.weight.grad[self.pad_id] = 0.0
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` over the last axis."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.weight = self.add_param(
+            "weight", glorot_uniform(rng, in_dim, out_dim)
+        )
+        self.bias = self.add_param("bias", np.zeros(out_dim))
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_d = dout.reshape(-1, dout.shape[-1])
+        self.weight.grad += flat_x.T @ flat_d
+        self.bias.grad += flat_d.sum(axis=0)
+        return dout @ self.weight.value.T
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (
+            self.rng.random(x.shape) < keep
+        ).astype(np.float64) / keep
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dout
+        return dout * self._mask
+
+
+class Relu(Module):
+    """Rectified linear activation."""
+
+    def __init__(self):
+        super().__init__()
+        self._active: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._active = x > 0
+        return np.where(self._active, x, 0.0)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._active is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._active, dout, 0.0)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self):
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return dout * (1.0 - self._out**2)

@@ -1,0 +1,105 @@
+"""Training losses: softmax cross-entropy (Eq. A.3) and Huber loss (Eq. A.1).
+
+Both return ``(mean loss, gradient w.r.t. the model output)`` so models can
+chain straight into their backward passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SoftmaxCrossEntropy",
+    "HuberLoss",
+    "SquaredLoss",
+    "softmax",
+    "log_softmax",
+]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max subtraction for stability."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+class SoftmaxCrossEntropy:
+    """Mean cross-entropy over integer class targets (Eq. A.3)."""
+
+    def __call__(
+        self, logits: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Returns (mean loss, dlogits)."""
+        batch = logits.shape[0]
+        log_probs = log_softmax(logits)
+        rows = np.arange(batch)
+        loss = -log_probs[rows, targets].mean()
+        dlogits = softmax(logits)
+        dlogits[rows, targets] -= 1.0
+        return float(loss), dlogits / batch
+
+    @staticmethod
+    def eval_loss(probs: np.ndarray, targets: np.ndarray) -> float:
+        """Mean cross-entropy from already-normalised probabilities
+        (used when reporting the paper's test `Loss` column)."""
+        rows = np.arange(probs.shape[0])
+        clipped = np.clip(probs[rows, targets], 1e-12, 1.0)
+        return float(-np.log(clipped).mean())
+
+
+class HuberLoss:
+    """Mean Huber loss (Eq. A.1/A.2): quadratic for |r| ≤ delta, linear
+    beyond — robust to the heavy-tailed regression labels (Section 4.4.1).
+    """
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+
+    def __call__(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Returns (mean loss, dpredictions)."""
+        residual = predictions - targets
+        abs_r = np.abs(residual)
+        small = abs_r <= self.delta
+        loss_terms = np.where(
+            small,
+            0.5 * residual**2,
+            self.delta * (abs_r - 0.5 * self.delta),
+        )
+        grad = np.where(
+            small, residual, self.delta * np.sign(residual)
+        ) / max(len(residual), 1)
+        return float(loss_terms.mean()), grad
+
+    def eval_loss(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Mean Huber loss without the gradient (test-time reporting)."""
+        loss, _ = self(predictions, targets)
+        return loss
+
+
+class SquaredLoss:
+    """Mean squared error training loss — the non-robust alternative the
+    Section 4.4.1 ablation compares Huber against."""
+
+    def __call__(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Returns (mean loss, dpredictions)."""
+        residual = predictions - targets
+        loss = float(0.5 * (residual**2).mean()) if residual.size else 0.0
+        grad = residual / max(len(residual), 1)
+        return loss, grad
+
+    def eval_loss(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        loss, _ = self(predictions, targets)
+        return loss

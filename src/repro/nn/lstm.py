@@ -1,0 +1,173 @@
+"""Stacked LSTM with full backpropagation through time (Section 5.2, A.2).
+
+Implements the LSTM formulation of Appendix A.2 (Zaremba & Sutskever
+variant): gates i/f/o, candidate cell c̃, memory cell c, hidden state h.
+:class:`StackedLSTM` stacks layers so layer ``l``'s hidden sequence feeds
+layer ``l+1`` (Figure 18); the paper uses three layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.layers import sigmoid
+from repro.nn.module import Module
+
+__all__ = ["LSTMLayer", "StackedLSTM", "gather_last", "scatter_last"]
+
+
+@dataclass
+class _StepCache:
+    """Per-timestep values needed by BPTT."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    i: np.ndarray
+    f: np.ndarray
+    o: np.ndarray
+    g: np.ndarray
+    c: np.ndarray
+    tanh_c: np.ndarray
+
+
+class LSTMLayer(Module):
+    """A single LSTM layer over a full sequence.
+
+    Weight layout: ``W (D, 4K)``, ``U (K, 4K)``, ``b (4K,)`` with gate order
+    ``[input, forget, output, candidate]``. The forget-gate bias starts at 1
+    (standard trick to let memory flow early in training).
+    """
+
+    def __init__(self, in_dim: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.in_dim = in_dim
+        self.hidden = hidden
+        self.w = self.add_param("w", glorot_uniform(rng, in_dim, 4 * hidden))
+        recurrent = np.concatenate(
+            [orthogonal(rng, (hidden, hidden)) for _ in range(4)], axis=1
+        )
+        self.u = self.add_param("u", recurrent)
+        bias = np.zeros(4 * hidden)
+        bias[hidden : 2 * hidden] = 1.0
+        self.b = self.add_param("b", bias)
+        self._steps: list[_StepCache] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """(B, T, D) → hidden-state sequence (B, T, K)."""
+        batch, time, _ = x.shape
+        k = self.hidden
+        h = np.zeros((batch, k))
+        c = np.zeros((batch, k))
+        out = np.empty((batch, time, k))
+        self._steps = []
+        w, u, b = self.w.value, self.u.value, self.b.value
+        for t in range(time):
+            x_t = x[:, t, :]
+            z = x_t @ w + h @ u + b
+            i = sigmoid(z[:, :k])
+            f = sigmoid(z[:, k : 2 * k])
+            o = sigmoid(z[:, 2 * k : 3 * k])
+            g = np.tanh(z[:, 3 * k :])
+            c_new = f * c + i * g
+            tanh_c = np.tanh(c_new)
+            h_new = o * tanh_c
+            self._steps.append(
+                _StepCache(x_t, h, c, i, f, o, g, c_new, tanh_c)
+            )
+            h, c = h_new, c_new
+            out[:, t, :] = h
+        return out
+
+    def backward(self, dh_seq: np.ndarray) -> np.ndarray:
+        """Gradient of the hidden sequence → gradient of the input sequence."""
+        if not self._steps:
+            raise RuntimeError("backward called before forward")
+        batch, time, k = dh_seq.shape
+        dx = np.empty((batch, time, self.in_dim))
+        dh_carry = np.zeros((batch, k))
+        dc_carry = np.zeros((batch, k))
+        w_t = self.w.value.T
+        u_t = self.u.value.T
+        for t in range(time - 1, -1, -1):
+            step = self._steps[t]
+            dh = dh_seq[:, t, :] + dh_carry
+            do = dh * step.tanh_c
+            dc = dc_carry + dh * step.o * (1.0 - step.tanh_c**2)
+            di = dc * step.g
+            dg = dc * step.i
+            df = dc * step.c_prev
+            dc_carry = dc * step.f
+            dz = np.concatenate(
+                [
+                    di * step.i * (1.0 - step.i),
+                    df * step.f * (1.0 - step.f),
+                    do * step.o * (1.0 - step.o),
+                    dg * (1.0 - step.g**2),
+                ],
+                axis=1,
+            )
+            self.w.grad += step.x.T @ dz
+            self.u.grad += step.h_prev.T @ dz
+            self.b.grad += dz.sum(axis=0)
+            dx[:, t, :] = dz @ w_t
+            dh_carry = dz @ u_t
+        return dx
+
+
+class StackedLSTM(Module):
+    """``num_layers`` LSTM layers; each layer feeds the next (Figure 18)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: int,
+        num_layers: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.layers: list[LSTMLayer] = []
+        for idx in range(num_layers):
+            layer = LSTMLayer(in_dim if idx == 0 else hidden, hidden, rng)
+            self.add_module(f"layer{idx}", layer)
+            self.layers.append(layer)
+        self.hidden = hidden
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, dh_seq: np.ndarray) -> np.ndarray:
+        grad = dh_seq
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+
+def gather_last(h_seq: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Hidden state at each sequence's final valid (non-pad) position.
+
+    Args:
+        h_seq: (B, T, K) hidden sequence.
+        lengths: (B,) true sequence lengths (≥ 1).
+    """
+    batch_idx = np.arange(h_seq.shape[0])
+    return h_seq[batch_idx, np.maximum(lengths, 1) - 1, :]
+
+
+def scatter_last(
+    dout: np.ndarray, lengths: np.ndarray, time: int
+) -> np.ndarray:
+    """Inverse of :func:`gather_last` for the backward pass."""
+    batch, k = dout.shape
+    dh_seq = np.zeros((batch, time, k))
+    batch_idx = np.arange(batch)
+    dh_seq[batch_idx, np.maximum(lengths, 1) - 1, :] = dout
+    return dh_seq

@@ -1,0 +1,107 @@
+"""Module base class: explicit parameter/submodule registration.
+
+No ``__setattr__`` magic — layers register their parameters and children
+explicitly, which keeps the traversal obvious and the code debuggable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses call :meth:`add_param` / :meth:`add_module` in ``__init__``.
+    ``training`` toggles behaviours like dropout; :meth:`train` / :meth:`eval`
+    set it recursively.
+    """
+
+    def __init__(self):
+        self._params: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration ---------------------------------------------------- #
+
+    def add_param(self, name: str, value: np.ndarray) -> Parameter:
+        """Register and return a new trainable parameter."""
+        if name in self._params or name in self._modules:
+            raise ValueError(f"duplicate registration: {name}")
+        param = Parameter(value, name=name)
+        self._params[name] = param
+        return param
+
+    def add_module(self, name: str, module: "Module") -> "Module":
+        """Register and return a child module."""
+        if name in self._params or name in self._modules:
+            raise ValueError(f"duplicate registration: {name}")
+        self._modules[name] = module
+        return module
+
+    # -- traversal --------------------------------------------------------- #
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its children, depth-first."""
+        out = list(self._params.values())
+        for child in self._modules.values():
+            out.extend(child.parameters())
+        return out
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        """(dotted-name, parameter) pairs, depth-first."""
+        out = [
+            (f"{prefix}{name}", p) for name, p in self._params.items()
+        ]
+        for child_name, child in self._modules.items():
+            out.extend(child.named_parameters(prefix=f"{prefix}{child_name}."))
+        return out
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (the paper's ``p`` column)."""
+        return sum(p.size for p in self.parameters())
+
+    # -- state ------------------------------------------------------------- #
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        """Enable training mode recursively (dropout active)."""
+        self.training = True
+        for child in self._modules.values():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Enable inference mode recursively (dropout disabled)."""
+        self.training = False
+        for child in self._modules.values():
+            child.eval()
+        return self
+
+    # -- serialization ---------------------------------------------------- #
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter values keyed by dotted name."""
+        return {name: p.value.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load values saved by :meth:`state_dict` (shapes must match)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {param.value.shape}"
+                )
+            param.value[...] = value

@@ -1,0 +1,151 @@
+"""Gradient-based optimizers: SGD, Adam, AdaMax, plus norm clipping.
+
+The paper trains the neural models with AdaMax (Section 5.2: "We examined
+both Adam and AdaMax ... the latter performed better"), learning rate 1e-3,
+and optional gradient clipping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdaMax", "clip_grad_norm"]
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm. ``max_norm <= 0`` disables clipping
+    (mirroring the paper's clipping-rate-0 hyper-parameter option).
+    """
+    total = float(
+        np.sqrt(sum(float((p.grad**2).sum()) for p in params))
+    )
+    if max_norm > 0 and total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base class holding the parameter list."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        for p, vel in zip(self.params, self._velocity):
+            grad = p.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * p.value
+            if self.momentum > 0:
+                vel *= self.momentum
+                vel += grad
+                grad = vel
+            p.value -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2014) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            grad = p.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * p.value
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad**2
+            p.value -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+class AdaMax(Optimizer):
+    """AdaMax — the infinity-norm variant of Adam (Kingma & Ba 2014).
+
+    The paper's preferred optimizer for both LSTM and CNN models.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._u = [np.zeros_like(p.value) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1 = self.beta1
+        bias1 = 1.0 - b1**self._t
+        for p, m, u in zip(self.params, self._m, self._u):
+            grad = p.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * p.value
+            m *= b1
+            m += (1 - b1) * grad
+            np.maximum(self.beta2 * u, np.abs(grad) + self.eps, out=u)
+            p.value -= (self.lr / bias1) * m / u

@@ -1,0 +1,33 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A named trainable array with an accumulated gradient.
+
+    Attributes:
+        name: Dotted path assigned by the owning module tree.
+        value: The parameter array (updated in place by optimizers).
+        grad: Gradient accumulated by backward passes; same shape as value.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def size(self) -> int:
+        """Number of scalar entries."""
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name!r}, shape={self.value.shape})"

@@ -1,0 +1,24 @@
+"""Parameter serialization for trained models."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Save a module's parameters to an ``.npz`` file."""
+    state = module.state_dict()
+    np.savez(Path(path), **state)
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    with np.load(Path(path)) as data:
+        module.load_state_dict({name: data[name] for name in data.files})
+    return module

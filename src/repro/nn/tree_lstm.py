@@ -1,0 +1,212 @@
+"""Child-Sum Tree-LSTM over SQL ASTs (Tai et al. [52]; paper Section 8).
+
+The paper's future work proposes tree-structured architectures as a model
+that respects the compositional structure SQL shares with natural language
+(Appendix A.1). The Child-Sum Tree-LSTM generalizes the sequential LSTM of
+Section 5.2 to trees: a node's memory is gated by the *sum* of its
+children's hidden states, with one forget gate per child, so information
+composes bottom-up along the parse instead of left-to-right along the
+token stream.
+
+Per node :math:`j` with children :math:`C(j)`:
+
+.. math::
+    \\tilde h_j = \\sum_{k \\in C(j)} h_k \\\\
+    i_j = \\sigma(W^{(i)} x_j + U^{(i)} \\tilde h_j + b^{(i)}) \\\\
+    o_j = \\sigma(W^{(o)} x_j + U^{(o)} \\tilde h_j + b^{(o)}) \\\\
+    u_j = \\tanh(W^{(u)} x_j + U^{(u)} \\tilde h_j + b^{(u)}) \\\\
+    f_{jk} = \\sigma(W^{(f)} x_j + U^{(f)} h_k + b^{(f)}) \\\\
+    c_j = i_j \\odot u_j + \\sum_k f_{jk} \\odot c_k \\\\
+    h_j = o_j \\odot \\tanh(c_j)
+
+Backpropagation is hand-written, like every layer in :mod:`repro.nn`, and
+verified against numerical gradients in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.layers import sigmoid
+from repro.nn.module import Module
+
+__all__ = ["EncodedTree", "ChildSumTreeLSTM"]
+
+
+@dataclass
+class EncodedTree:
+    """A tree flattened in topological (children-before-parents) order.
+
+    ``symbol_ids[j]`` is the embedding-vocabulary id of node ``j``;
+    ``children[j]`` lists the indices of node ``j``'s children, all of
+    which are smaller than ``j``. The root is the last node.
+    """
+
+    symbol_ids: np.ndarray
+    children: list[list[int]] = field(default_factory=list)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(len(self.symbol_ids))
+
+    def validate(self) -> None:
+        """Raise ValueError unless the topological invariants hold."""
+        n = self.num_nodes
+        if n == 0:
+            raise ValueError("tree must have at least one node")
+        if len(self.children) != n:
+            raise ValueError("children list must have one entry per node")
+        seen: set[int] = set()
+        for j, kids in enumerate(self.children):
+            for k in kids:
+                if not 0 <= k < j:
+                    raise ValueError(
+                        f"child {k} of node {j} breaks topological order"
+                    )
+                if k in seen:
+                    raise ValueError(f"node {k} has two parents")
+                seen.add(k)
+
+
+@dataclass
+class _NodeCache:
+    """Forward values node ``j`` needs for its backward step."""
+
+    x: np.ndarray
+    h_sum: np.ndarray
+    i: np.ndarray
+    o: np.ndarray
+    u: np.ndarray
+    f: list[np.ndarray]
+    c: np.ndarray
+    tanh_c: np.ndarray
+
+
+class ChildSumTreeLSTM(Module):
+    """Child-Sum Tree-LSTM cell applied over whole trees.
+
+    Args:
+        in_dim: Node feature (embedding) width D.
+        hidden: Hidden/memory width K.
+        rng: Initialization randomness.
+
+    Weight layout: ``w_iou (D, 3K)`` / ``u_iou (K, 3K)`` / ``b_iou (3K,)``
+    with gate order ``[input, output, candidate]``, and a separate
+    per-child forget gate ``w_f (D, K)`` / ``u_f (K, K)`` / ``b_f (K,)``
+    whose bias starts at 1 (memory flows freely early in training).
+    """
+
+    def __init__(self, in_dim: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.in_dim = in_dim
+        self.hidden = hidden
+        self.w_iou = self.add_param(
+            "w_iou", glorot_uniform(rng, in_dim, 3 * hidden)
+        )
+        self.u_iou = self.add_param(
+            "u_iou",
+            np.concatenate(
+                [orthogonal(rng, (hidden, hidden)) for _ in range(3)], axis=1
+            ),
+        )
+        self.b_iou = self.add_param("b_iou", np.zeros(3 * hidden))
+        self.w_f = self.add_param("w_f", glorot_uniform(rng, in_dim, hidden))
+        self.u_f = self.add_param("u_f", orthogonal(rng, (hidden, hidden)))
+        self.b_f = self.add_param("b_f", np.ones(hidden))
+        self._tree: EncodedTree | None = None
+        self._cache: list[_NodeCache] = []
+        self._h: np.ndarray | None = None
+        self._c: np.ndarray | None = None
+
+    def forward_tree(self, x: np.ndarray, tree: EncodedTree) -> np.ndarray:
+        """(N, D) node features → (K,) root hidden state.
+
+        Nodes are visited in index order, which the tree's topological
+        layout guarantees is children-first.
+        """
+        n = tree.num_nodes
+        if x.shape != (n, self.in_dim):
+            raise ValueError(
+                f"features must be ({n}, {self.in_dim}), got {x.shape}"
+            )
+        k = self.hidden
+        h = np.zeros((n, k))
+        c = np.zeros((n, k))
+        cache: list[_NodeCache] = []
+        for j in range(n):
+            kids = tree.children[j]
+            h_sum = h[kids].sum(axis=0) if kids else np.zeros(k)
+            iou = x[j] @ self.w_iou.value + h_sum @ self.u_iou.value
+            iou = iou + self.b_iou.value
+            i = sigmoid(iou[:k])
+            o = sigmoid(iou[k : 2 * k])
+            u = np.tanh(iou[2 * k :])
+            forget: list[np.ndarray] = []
+            c_j = i * u
+            if kids:
+                f_shared = x[j] @ self.w_f.value + self.b_f.value
+                for child in kids:
+                    f_k = sigmoid(f_shared + h[child] @ self.u_f.value)
+                    forget.append(f_k)
+                    c_j = c_j + f_k * c[child]
+            tanh_c = np.tanh(c_j)
+            h[j] = o * tanh_c
+            c[j] = c_j
+            cache.append(
+                _NodeCache(
+                    x=x[j], h_sum=h_sum, i=i, o=o, u=u, f=forget,
+                    c=c_j, tanh_c=tanh_c,
+                )
+            )
+        self._tree = tree
+        self._cache = cache
+        self._h = h
+        self._c = c
+        return h[n - 1]
+
+    def backward_tree(self, dh_root: np.ndarray) -> np.ndarray:
+        """Gradient of the root hidden state w.r.t. node features.
+
+        Accumulates parameter gradients and returns ``dx`` of shape (N, D).
+        """
+        if self._tree is None or self._h is None or self._c is None:
+            raise RuntimeError("backward_tree called before forward_tree")
+        tree = self._tree
+        n = tree.num_nodes
+        k = self.hidden
+        dx = np.zeros((n, self.in_dim))
+        dh = np.zeros((n, k))
+        dc = np.zeros((n, k))
+        dh[n - 1] = dh_root
+        for j in range(n - 1, -1, -1):
+            node = self._cache[j]
+            do = dh[j] * node.tanh_c
+            dc_j = dc[j] + dh[j] * node.o * (1.0 - node.tanh_c**2)
+            di = dc_j * node.u
+            du = dc_j * node.i
+            d_iou = np.concatenate(
+                [
+                    di * node.i * (1.0 - node.i),
+                    do * node.o * (1.0 - node.o),
+                    du * (1.0 - node.u**2),
+                ]
+            )
+            self.w_iou.grad += np.outer(node.x, d_iou)
+            self.u_iou.grad += np.outer(node.h_sum, d_iou)
+            self.b_iou.grad += d_iou
+            dx[j] += d_iou @ self.w_iou.value.T
+            dh_sum = d_iou @ self.u_iou.value.T
+            for child, f_k in zip(tree.children[j], node.f):
+                dh[child] += dh_sum
+                dc[child] += dc_j * f_k
+                df = dc_j * self._c[child]
+                df_pre = df * f_k * (1.0 - f_k)
+                self.w_f.grad += np.outer(node.x, df_pre)
+                self.u_f.grad += np.outer(self._h[child], df_pre)
+                self.b_f.grad += df_pre
+                dx[j] += df_pre @ self.w_f.value.T
+                dh[child] += df_pre @ self.u_f.value.T
+        return dx

@@ -1,0 +1,16 @@
+"""Simulated query optimizer producing analytic cost estimates.
+
+The paper's ``opt`` baseline ([2, 14, 39]) fits a linear regression from the
+query optimizer's cost estimate to the observed CPU time. This package is
+the optimizer side of that baseline: a deliberately textbook System-R-style
+estimator — uniformity and independence assumptions, magic selectivity
+constants, I/O-dominated cost — so it exhibits exactly the imprecision the
+paper attributes to analytic cost models (Sections 1 and 6.2.3: "the query
+optimizer cost model assumes I/O is most time consuming, even though certain
+computations are performed in memory").
+"""
+
+from repro.optimizer.cardinality import NaiveCardinalityEstimator
+from repro.optimizer.cost import OptimizerCostModel
+
+__all__ = ["NaiveCardinalityEstimator", "OptimizerCostModel"]

@@ -1,0 +1,77 @@
+"""I/O-dominated optimizer cost model (the ``opt`` baseline's feature).
+
+Charges page I/O for scans, joins and sorts over the naive cardinality
+estimates — and deliberately nothing for in-memory computation (UDF calls,
+nested aggregates over numeric types). Section 6.2.3 explains that this
+omission is why ``opt`` collapses towards ``median`` on heterogeneous
+workloads; this model reproduces the failure mode by construction.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.cardinality import NaiveCardinalityEstimator
+from repro.sqlang import ast_nodes as ast
+from repro.sqlang.parser import parse_sql
+from repro.workloads.schema import Catalog
+
+__all__ = ["OptimizerCostModel"]
+
+_ROWS_PER_PAGE = 100.0
+_SEQ_PAGE_COST = 1.0
+_JOIN_PAGE_COST = 1.5
+_SORT_PAGE_COST = 2.0
+
+
+class OptimizerCostModel:
+    """Estimated plan cost (in abstract page-I/O units) for a statement."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.cardinality = NaiveCardinalityEstimator(catalog)
+
+    def estimate_cost(self, statement: str) -> float:
+        """Cost estimate for a raw statement; 0.0 for unparseable input."""
+        parsed = parse_sql(statement)
+        query = parsed.first_query()
+        if query is None:
+            return 0.0
+        return self._query_cost(query, depth=0)
+
+    def _query_cost(self, query: ast.SelectQuery, depth: int) -> float:
+        if depth > 8:
+            return 0.0
+        cost = 0.0
+        for item in query.from_items:
+            cost += self._source_cost(item, depth)
+        out_rows = self.cardinality.estimate_query(query)
+        if query.order_by:
+            cost += _SORT_PAGE_COST * max(out_rows / _ROWS_PER_PAGE, 1.0)
+        # subqueries in predicates are charged once (uncorrelated plan)
+        for expr in self._predicate_exprs(query):
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Subquery):
+                    cost += self._query_cost(node.query, depth + 1)
+        cost += out_rows / _ROWS_PER_PAGE  # result materialization
+        return cost
+
+    def _source_cost(self, item: ast.Node, depth: int) -> float:
+        if isinstance(item, ast.TableRef):
+            table = self.catalog.table(item.name)
+            rows = float(table.rows) if table is not None else 100_000.0
+            return _SEQ_PAGE_COST * max(rows / _ROWS_PER_PAGE, 1.0)
+        if isinstance(item, ast.SubquerySource):
+            return self._query_cost(item.query, depth + 1)
+        if isinstance(item, ast.Join):
+            left = self._source_cost(item.left, depth)
+            right = self._source_cost(item.right, depth)
+            return left + right + _JOIN_PAGE_COST * (left + right) / 2.0
+        return 0.0
+
+    @staticmethod
+    def _predicate_exprs(query: ast.SelectQuery) -> list[ast.Expr]:
+        exprs: list[ast.Expr] = []
+        if query.where is not None:
+            exprs.append(query.where)
+        if query.having is not None:
+            exprs.append(query.having)
+        return exprs

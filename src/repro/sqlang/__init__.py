@@ -1,0 +1,30 @@
+"""SQL language substrate: tolerant lexer, parser, AST, and feature extraction.
+
+The paper uses the ANTLR parser to build ASTs and extract ten syntactic
+properties of each query statement (Section 4.3.1). This package is a
+self-contained replacement: a lexer and recursive-descent parser for a
+T-SQL-flavoured dialect that *never raises* on malformed input (real
+workloads contain random text), plus the structural feature extractor.
+"""
+
+from repro.sqlang.lexer import Token, TokenKind, tokenize
+from repro.sqlang.parser import ParseResult, parse_sql
+from repro.sqlang.features import StructuralFeatures, extract_features
+from repro.sqlang.normalize import (
+    char_tokens,
+    normalize_statement,
+    word_tokens,
+)
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "ParseResult",
+    "parse_sql",
+    "StructuralFeatures",
+    "extract_features",
+    "char_tokens",
+    "word_tokens",
+    "normalize_statement",
+]

@@ -1,0 +1,305 @@
+"""AST node types produced by :mod:`repro.sqlang.parser`.
+
+The node set is intentionally small: it carries exactly the structure needed
+by the paper's syntactic feature extraction (Section 4.3.1) and by the
+simulated execution engine — select lists, table sources, joins, predicate
+expressions, function calls, and subqueries.
+
+All nodes expose ``children()`` so generic tree walks (:func:`walk`) can
+compute depths and counts without per-node visitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "Node",
+    "Expr",
+    "Literal",
+    "Star",
+    "ColumnRef",
+    "VarRef",
+    "UnaryOp",
+    "BinaryOp",
+    "FunctionCall",
+    "CaseExpr",
+    "InList",
+    "Between",
+    "Subquery",
+    "SelectItem",
+    "TableRef",
+    "SubquerySource",
+    "Join",
+    "FromItem",
+    "OrderItem",
+    "SelectQuery",
+    "Statement",
+    "walk",
+]
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    def children(self) -> Iterable["Node"]:
+        """Child nodes, in source order. Default: no children."""
+        return ()
+
+
+class Expr(Node):
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    """A literal constant: number or string."""
+
+    value: str
+    is_number: bool = False
+
+
+@dataclass
+class Star(Expr):
+    """The ``*`` select item (optionally qualified: ``t.*``)."""
+
+    table: Optional[str] = None
+
+
+@dataclass
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference like ``p.objid``."""
+
+    name: str
+    table: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        """Dotted form, e.g. ``p.objid`` or just ``objid``."""
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class VarRef(Expr):
+    """A T-SQL ``@variable`` reference."""
+
+    name: str
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary operator application (``NOT x``, ``-x``)."""
+
+    op: str
+    operand: Expr
+
+    def children(self) -> Iterable[Node]:
+        return (self.operand,)
+
+
+@dataclass
+class BinaryOp(Expr):
+    """Binary operator application (arithmetic, comparison, AND/OR, LIKE)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Iterable[Node]:
+        return (self.left, self.right)
+
+
+@dataclass
+class FunctionCall(Expr):
+    """Function invocation, e.g. ``dbo.fPhotoFlags('BLENDED')``.
+
+    ``name`` keeps the full dotted name. ``is_aggregate`` marks the standard
+    SQL aggregates (COUNT/SUM/AVG/MIN/MAX) for nested-aggregation detection.
+    """
+
+    name: str
+    args: list[Expr] = field(default_factory=list)
+    is_aggregate: bool = False
+
+    def children(self) -> Iterable[Node]:
+        return tuple(self.args)
+
+
+@dataclass
+class CaseExpr(Expr):
+    """``CASE WHEN .. THEN .. ELSE .. END`` expression."""
+
+    whens: list[tuple[Expr, Expr]] = field(default_factory=list)
+    default: Optional[Expr] = None
+
+    def children(self) -> Iterable[Node]:
+        out: list[Node] = []
+        for cond, result in self.whens:
+            out.append(cond)
+            out.append(result)
+        if self.default is not None:
+            out.append(self.default)
+        return tuple(out)
+
+
+@dataclass
+class InList(Expr):
+    """``expr [NOT] IN (item, item, ...)`` — items may include a subquery."""
+
+    operand: Expr
+    items: list[Expr] = field(default_factory=list)
+    negated: bool = False
+
+    def children(self) -> Iterable[Node]:
+        return (self.operand, *self.items)
+
+
+@dataclass
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def children(self) -> Iterable[Node]:
+        return (self.operand, self.low, self.high)
+
+
+@dataclass
+class Subquery(Expr):
+    """A parenthesised ``SELECT`` used as an expression."""
+
+    query: "SelectQuery"
+
+    def children(self) -> Iterable[Node]:
+        return (self.query,)
+
+
+@dataclass
+class SelectItem(Node):
+    """One item of a select list: expression plus optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+    def children(self) -> Iterable[Node]:
+        return (self.expr,)
+
+
+@dataclass
+class TableRef(Node):
+    """Base table reference in FROM, with optional alias.
+
+    ``name`` keeps the full dotted name (``db.schema.table``); ``base_name``
+    is the final component used for catalog lookups.
+    """
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def base_name(self) -> str:
+        return self.name.rsplit(".", 1)[-1]
+
+
+@dataclass
+class SubquerySource(Node):
+    """A derived table: ``(SELECT ...) alias`` in FROM."""
+
+    query: "SelectQuery"
+    alias: Optional[str] = None
+
+    def children(self) -> Iterable[Node]:
+        return (self.query,)
+
+
+#: Anything that can appear as a FROM source.
+FromItem = "TableRef | SubquerySource | Join"
+
+
+@dataclass
+class Join(Node):
+    """Explicit join between two FROM sources.
+
+    ``kind`` is the join keyword sequence (``INNER``, ``LEFT OUTER``, ...).
+    ``condition`` is the ON expression (None for CROSS joins).
+    """
+
+    kind: str
+    left: Node
+    right: Node
+    condition: Optional[Expr] = None
+
+    def children(self) -> Iterable[Node]:
+        out: list[Node] = [self.left, self.right]
+        if self.condition is not None:
+            out.append(self.condition)
+        return tuple(out)
+
+
+@dataclass
+class OrderItem(Node):
+    """One ORDER BY item."""
+
+    expr: Expr
+    descending: bool = False
+
+    def children(self) -> Iterable[Node]:
+        return (self.expr,)
+
+
+@dataclass
+class SelectQuery(Node):
+    """A single SELECT query block."""
+
+    select_items: list[SelectItem] = field(default_factory=list)
+    from_items: list[Node] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    distinct: bool = False
+    top: Optional[int] = None
+    into_table: Optional[str] = None
+
+    def children(self) -> Iterable[Node]:
+        out: list[Node] = []
+        out.extend(self.select_items)
+        out.extend(self.from_items)
+        if self.where is not None:
+            out.append(self.where)
+        out.extend(self.group_by)
+        if self.having is not None:
+            out.append(self.having)
+        out.extend(self.order_by)
+        return tuple(out)
+
+
+@dataclass
+class Statement(Node):
+    """A top-level statement.
+
+    ``statement_type`` is the leading verb (``SELECT``, ``CREATE``,
+    ``EXECUTE``, ... or ``UNKNOWN`` for unparseable text). ``body`` is the
+    parsed SELECT block when the statement is (or contains) a query;
+    non-SELECT statements keep any embedded query (e.g. ``INSERT ... SELECT``)
+    in ``body`` too.
+    """
+
+    statement_type: str
+    body: Optional[SelectQuery] = None
+
+    def children(self) -> Iterable[Node]:
+        return (self.body,) if self.body is not None else ()
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and all descendants, pre-order."""
+    stack: list[Node] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(list(current.children())))

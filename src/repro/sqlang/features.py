@@ -1,0 +1,195 @@
+"""Structural feature extraction — the ten syntactic properties of Sec 4.3.1.
+
+Given a raw statement, :func:`extract_features` parses it and computes:
+
+1.  number of characters
+2.  number of words (digits replaced by ``<DIGIT>``)
+3.  number of function calls
+4.  number of join operators (explicit JOINs plus comma-joins)
+5.  number of unique table names
+6.  number of selected columns (unique column names inside SELECT lists)
+7.  number of predicates (atomic logical conditions in WHERE/ON/HAVING)
+8.  number of predicate columns (column references inside predicates)
+9.  nestedness level (maximum subquery depth)
+10. nested aggregation (a nested block uses an aggregate function)
+
+The counting conventions follow the paper's worked Example 3 exactly: the
+Figure 5 query yields 2 functions, 2 unique tables, 3 selected columns,
+5 predicates, 7 predicate columns, nestedness 1, nested aggregation true.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.sqlang import ast_nodes as ast
+from repro.sqlang.normalize import word_tokens
+from repro.sqlang.parser import ParseResult, parse_sql
+
+__all__ = ["StructuralFeatures", "extract_features", "FEATURE_NAMES"]
+
+
+@dataclass(frozen=True)
+class StructuralFeatures:
+    """The ten syntactic properties of one query statement."""
+
+    num_characters: int
+    num_words: int
+    num_functions: int
+    num_joins: int
+    num_tables: int
+    num_select_columns: int
+    num_predicates: int
+    num_predicate_columns: int
+    nestedness_level: int
+    nested_aggregation: bool
+
+    def as_vector(self) -> list[float]:
+        """Numeric feature vector in declaration order."""
+        return [float(getattr(self, f.name)) for f in fields(self)]
+
+
+#: Feature names in vector order (used by analysis/reporting modules).
+FEATURE_NAMES = [f.name for f in fields(StructuralFeatures)]
+
+
+def _walk_no_subquery(expr: ast.Node):
+    """Walk an expression subtree without descending into subqueries."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.Subquery, ast.SubquerySource)):
+            continue
+        stack.extend(node.children())
+
+
+def _count_atoms(expr: ast.Node) -> int:
+    """Count atomic predicates in a boolean expression.
+
+    Atoms are comparisons, LIKE, BETWEEN, IN, IS [NOT] NULL and EXISTS;
+    AND/OR/NOT are connectives and do not count.
+    """
+    comparison_ops = {"=", "<", ">", "<=", ">=", "<>", "!=", "LIKE"}
+    count = 0
+    for node in _walk_no_subquery(expr):
+        if isinstance(node, ast.BinaryOp) and node.op in comparison_ops:
+            count += 1
+        elif isinstance(node, (ast.Between, ast.InList)):
+            count += 1
+        elif isinstance(node, ast.UnaryOp) and node.op in (
+            "IS NULL",
+            "IS NOT NULL",
+            "EXISTS",
+        ):
+            count += 1
+    return count
+
+
+def _count_predicate_columns(expr: ast.Node) -> int:
+    """Count column-reference occurrences inside a predicate expression."""
+    return sum(
+        1
+        for node in _walk_no_subquery(expr)
+        if isinstance(node, ast.ColumnRef)
+    )
+
+
+def _query_depths(root: ast.Node) -> list[tuple[ast.SelectQuery, int]]:
+    """All SelectQuery nodes with their nesting depth (outermost = 0)."""
+    out: list[tuple[ast.SelectQuery, int]] = []
+    stack: list[tuple[ast.Node, int]] = [(root, -1)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, ast.SelectQuery):
+            depth += 1
+            out.append((node, depth))
+        for child in node.children():
+            stack.append((child, depth))
+    return out
+
+
+def _predicate_exprs(query: ast.SelectQuery) -> list[ast.Expr]:
+    """The predicate-bearing expressions of one SELECT block."""
+    exprs: list[ast.Expr] = []
+    if query.where is not None:
+        exprs.append(query.where)
+    if query.having is not None:
+        exprs.append(query.having)
+    for item in query.from_items:
+        stack: list[ast.Node] = [item]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Join):
+                if node.condition is not None:
+                    exprs.append(node.condition)
+                stack.append(node.left)
+                stack.append(node.right)
+    return exprs
+
+
+def extract_features(
+    statement: str, parsed: ParseResult | None = None
+) -> StructuralFeatures:
+    """Compute the ten structural properties of ``statement``.
+
+    Args:
+        statement: Raw statement text (any input is acceptable).
+        parsed: Optional pre-computed parse result to avoid re-parsing.
+
+    Returns:
+        StructuralFeatures. For unparseable text only the textual counts
+        (characters, words) are non-zero.
+    """
+    result = parsed if parsed is not None else parse_sql(statement)
+
+    num_functions = 0
+    num_joins = 0
+    table_names: set[str] = set()
+    select_columns: set[str] = set()
+    num_predicates = 0
+    num_predicate_columns = 0
+    max_depth = 0
+    nested_aggregation = False
+
+    for stmt in result.statements:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.FunctionCall):
+                num_functions += 1
+            elif isinstance(node, ast.Join):
+                num_joins += 1
+            elif isinstance(node, ast.TableRef):
+                table_names.add(node.base_name.lower())
+
+        if stmt.body is None:
+            continue
+        for query, depth in _query_depths(stmt):
+            max_depth = max(max_depth, depth)
+            # comma-joins: N comma-separated FROM items imply N-1 joins
+            if len(query.from_items) > 1:
+                num_joins += len(query.from_items) - 1
+            for item in query.select_items:
+                for node in _walk_no_subquery(item.expr):
+                    if isinstance(node, ast.ColumnRef):
+                        select_columns.add(node.name.lower())
+            for expr in _predicate_exprs(query):
+                num_predicates += _count_atoms(expr)
+                num_predicate_columns += _count_predicate_columns(expr)
+            if depth >= 1 and not nested_aggregation:
+                for node in ast.walk(query):
+                    if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+                        nested_aggregation = True
+                        break
+
+    return StructuralFeatures(
+        num_characters=len(statement),
+        num_words=len(word_tokens(statement)),
+        num_functions=num_functions,
+        num_joins=num_joins,
+        num_tables=len(table_names),
+        num_select_columns=len(select_columns),
+        num_predicates=num_predicates,
+        num_predicate_columns=num_predicate_columns,
+        nestedness_level=max_depth,
+        nested_aggregation=nested_aggregation,
+    )

@@ -1,0 +1,247 @@
+"""Tolerant SQL lexer.
+
+Splits an arbitrary string into SQL tokens. The lexer is *total*: any input,
+including random natural-language text found in real workloads, produces a
+token stream without raising. Unrecognised bytes become ``TokenKind.JUNK``
+tokens so downstream consumers can count or skip them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TokenKind", "Token", "tokenize", "KEYWORDS", "FUNCTION_KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    SEMICOLON = "semicolon"
+    COMMENT = "comment"
+    VARIABLE = "variable"  # T-SQL @variable
+    JUNK = "junk"
+    EOF = "eof"
+
+
+#: Reserved words recognised as keywords (upper-cased comparison).
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER ASC DESC TOP DISTINCT ALL
+    INSERT INTO VALUES UPDATE SET DELETE CREATE TABLE VIEW INDEX DROP
+    ALTER ADD COLUMN EXEC EXECUTE DECLARE AS ON AND OR NOT IN EXISTS
+    BETWEEN LIKE IS NULL JOIN INNER LEFT RIGHT FULL OUTER CROSS UNION
+    EXCEPT INTERSECT CASE WHEN THEN ELSE END CAST CONVERT WITH LIMIT
+    OFFSET PRIMARY KEY FOREIGN REFERENCES
+    DEFAULT CHECK UNIQUE CONSTRAINT TRUNCATE GRANT REVOKE USE GO
+    PROCEDURE FUNCTION RETURNS RETURN BEGIN IF WHILE PRINT OPTION
+    """.split()
+)
+
+#: Keywords that act as built-in aggregate / scalar functions when followed
+#: by ``(``. Kept separate from KEYWORDS so ``count(*)`` is a function call.
+FUNCTION_KEYWORDS = frozenset(
+    """
+    COUNT SUM AVG MIN MAX ABS ROUND FLOOR CEILING POWER SQRT LOG EXP
+    SUBSTRING LEN UPPER LOWER LTRIM RTRIM REPLACE CHARINDEX COALESCE
+    ISNULL NULLIF GETDATE DATEDIFF DATEADD DATEPART STR RAND SIGN
+    """.split()
+)
+
+_OPERATOR_CHARS = set("+-*/%=<>!&|^~")
+_TWO_CHAR_OPERATORS = frozenset(
+    ["<=", ">=", "<>", "!=", "!<", "!>", "||", "&&", "**"]
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: Lexical category.
+        text: Exact source text of the token (comments keep delimiters).
+        pos: Character offset of the first character in the input.
+    """
+
+    kind: TokenKind
+    text: str
+    pos: int
+
+    @property
+    def upper(self) -> str:
+        """Token text upper-cased — convenient for keyword comparison."""
+        return self.text.upper()
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch in "_#"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_#$"
+
+
+def _scan_line_comment(text: str, i: int) -> int:
+    end = text.find("\n", i)
+    return len(text) if end < 0 else end
+
+
+def _scan_block_comment(text: str, i: int) -> int:
+    end = text.find("*/", i + 2)
+    return len(text) if end < 0 else end + 2
+
+
+def _scan_string(text: str, i: int, quote: str) -> int:
+    """Scan a quoted string starting at ``i``; handles doubled quotes."""
+    j = i + 1
+    n = len(text)
+    while j < n:
+        if text[j] == quote:
+            if j + 1 < n and text[j + 1] == quote:  # escaped '' or ""
+                j += 2
+                continue
+            return j + 1
+        j += 1
+    return n  # unterminated string: consume the rest (tolerant)
+
+
+def _scan_number(text: str, i: int) -> int:
+    """Scan a numeric literal (int, float, scientific, 0x hex)."""
+    n = len(text)
+    j = i
+    if text[j] == "0" and j + 1 < n and text[j + 1] in "xX":
+        j += 2
+        while j < n and (text[j] in "0123456789abcdefABCDEF"):
+            j += 1
+        return j
+    while j < n and text[j].isdigit():
+        j += 1
+    if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+        j += 1
+        while j < n and text[j].isdigit():
+            j += 1
+    if j < n and text[j] in "eE":
+        k = j + 1
+        if k < n and text[k] in "+-":
+            k += 1
+        if k < n and text[k].isdigit():
+            j = k
+            while j < n and text[j].isdigit():
+                j += 1
+    return j
+
+
+def _iter_tokens(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            end = _scan_line_comment(text, i)
+            yield Token(TokenKind.COMMENT, text[i:end], i)
+            i = end
+            continue
+        if ch == "/" and text[i : i + 2] == "/*":
+            end = _scan_block_comment(text, i)
+            yield Token(TokenKind.COMMENT, text[i:end], i)
+            i = end
+            continue
+        if ch in "'\"":
+            end = _scan_string(text, i, ch)
+            yield Token(TokenKind.STRING, text[i:end], i)
+            i = end
+            continue
+        if ch == "[":  # T-SQL bracketed identifier
+            end = text.find("]", i + 1)
+            end = n if end < 0 else end + 1
+            yield Token(TokenKind.IDENTIFIER, text[i:end], i)
+            i = end
+            continue
+        if ch.isdigit():
+            end = _scan_number(text, i)
+            yield Token(TokenKind.NUMBER, text[i:end], i)
+            i = end
+            continue
+        if ch == "@":
+            j = i + 1
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            yield Token(TokenKind.VARIABLE, text[i:j], i)
+            i = j
+            continue
+        if _is_ident_start(ch):
+            j = i + 1
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            word = text[i:j]
+            kind = (
+                TokenKind.KEYWORD
+                if word.upper() in KEYWORDS
+                else TokenKind.IDENTIFIER
+            )
+            yield Token(kind, word, i)
+            i = j
+            continue
+        if ch == ",":
+            yield Token(TokenKind.COMMA, ch, i)
+            i += 1
+            continue
+        if ch == ".":
+            yield Token(TokenKind.DOT, ch, i)
+            i += 1
+            continue
+        if ch == "(":
+            yield Token(TokenKind.LPAREN, ch, i)
+            i += 1
+            continue
+        if ch == ")":
+            yield Token(TokenKind.RPAREN, ch, i)
+            i += 1
+            continue
+        if ch == ";":
+            yield Token(TokenKind.SEMICOLON, ch, i)
+            i += 1
+            continue
+        if ch in _OPERATOR_CHARS:
+            two = text[i : i + 2]
+            if two in _TWO_CHAR_OPERATORS:
+                yield Token(TokenKind.OPERATOR, two, i)
+                i += 2
+            else:
+                yield Token(TokenKind.OPERATOR, ch, i)
+                i += 1
+            continue
+        yield Token(TokenKind.JUNK, ch, i)
+        i += 1
+
+
+def tokenize(text: str, include_comments: bool = False) -> list[Token]:
+    """Lex ``text`` into a list of tokens.
+
+    Args:
+        text: Arbitrary input; never raises on malformed SQL.
+        include_comments: Keep ``COMMENT`` tokens in the output. They are
+            dropped by default because the parser and the paper's feature
+            counts ignore comments.
+
+    Returns:
+        List of tokens, without a trailing EOF marker.
+    """
+    tokens = list(_iter_tokens(text))
+    if not include_comments:
+        tokens = [t for t in tokens if t.kind is not TokenKind.COMMENT]
+    return tokens

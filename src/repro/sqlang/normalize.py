@@ -1,0 +1,95 @@
+"""Statement normalization and model-facing tokenization.
+
+The paper applies every model at two granularities (Definition 1):
+
+- **character level** (``c*`` models) — the raw character sequence;
+- **word level** (``w*`` models) — words with every digit run replaced by a
+  ``<DIGIT>`` marker to control the open-vocabulary problem (Section 4.4.1).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "DIGIT_TOKEN",
+    "normalize_statement",
+    "word_tokens",
+    "char_tokens",
+    "template_of",
+]
+
+#: Marker substituted for digit runs in word-level tokenization.
+DIGIT_TOKEN = "<DIGIT>"
+
+_WHITESPACE_RE = re.compile(r"\s+")
+# numbers (hex, float, scientific), words (identifiers possibly containing
+# digits), or any single non-space symbol — keeps operators/punctuation as
+# their own tokens. Numbers are matched first so `0x1f` is one token.
+_WORD_RE = re.compile(
+    r"0[xX][0-9a-fA-F]+"
+    r"|\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
+    r"|[A-Za-z_][A-Za-z0-9_#$]*"
+    r"|\S"
+)
+_DIGIT_RUN_RE = re.compile(r"\d+(?:\.\d+)?")
+
+
+def normalize_statement(statement: str) -> str:
+    """Collapse all whitespace runs to single spaces and strip the ends."""
+    return _WHITESPACE_RE.sub(" ", statement).strip()
+
+
+def word_tokens(statement: str, mask_digits: bool = True) -> list[str]:
+    """Word-level tokens, digits masked by default (Section 4.4.1).
+
+    Identifiers and keywords are lower-cased; digit runs (inside or outside
+    identifiers) become :data:`DIGIT_TOKEN`; operators and punctuation are
+    single-character tokens. ``mask_digits=False`` keeps literal digits —
+    the open-vocabulary configuration the paper argues against; it exists
+    for the ablation bench.
+
+    >>> word_tokens("SELECT TOP 10 objid FROM PhotoObj")
+    ['select', 'top', '<DIGIT>', 'objid', 'from', 'photoobj']
+    """
+    tokens: list[str] = []
+    for match in _WORD_RE.finditer(statement):
+        tok = match.group(0)
+        if not mask_digits:
+            tokens.append(tok.lower())
+            continue
+        if tok[0].isdigit():  # covers plain, float, scientific, and 0x hex
+            tokens.append(DIGIT_TOKEN)
+            continue
+        masked = _DIGIT_RUN_RE.sub(DIGIT_TOKEN, tok.lower())
+        tokens.append(masked)
+    return tokens
+
+
+def char_tokens(statement: str, max_len: int | None = None) -> list[str]:
+    """Character-level tokens (whitespace normalised, case preserved)."""
+    text = normalize_statement(statement)
+    if max_len is not None:
+        text = text[:max_len]
+    return list(text)
+
+
+#: Digit runs including dotted sequences (version-like `1.2.3`), so the
+#: substitution is idempotent.
+_TEMPLATE_DIGIT_RE = re.compile(r"\d+(?:\.\d+)*")
+#: Hex literals collapse as a whole (SDSS object ids are hex constants);
+#: matched before the digit pass so `0x112d07...` → `0` not `0x0d0...`.
+_TEMPLATE_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+")
+
+
+def template_of(statement: str) -> str:
+    """Canonical template of a statement: constants masked, case folded.
+
+    Number and hex literals become ``0``, string literals become ``'?'``.
+    Used to detect statement repetition in logs (Appendix B.3): bot and
+    admin sessions resubmit the same template with different constants.
+    """
+    masked = _TEMPLATE_HEX_RE.sub("0", statement)
+    masked = _TEMPLATE_DIGIT_RE.sub("0", masked)
+    masked = re.sub(r"'[^']*'", "'?'", masked)
+    return normalize_statement(masked).lower()

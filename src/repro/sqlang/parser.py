@@ -1,0 +1,682 @@
+"""Tolerant recursive-descent parser for a T-SQL-flavoured dialect.
+
+Design goals, in order:
+
+1. **Totality** — real workloads contain random text (the paper's SDSS
+   statements "can range from a correct SQL statement to random text").
+   ``parse_sql`` never raises; unparseable regions are skipped and counted
+   in :attr:`ParseResult.error_count`.
+2. **Structural fidelity** — the AST carries everything the Section 4.3.1
+   feature extractor and the simulated execution engine need: select lists,
+   table sources, join chains, predicates, function calls, and subqueries.
+3. **No grammar completeness** — this is not a general SQL frontend. Exotic
+   constructs degrade gracefully into skipped tokens rather than failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlang import ast_nodes as ast
+from repro.sqlang.lexer import Token, TokenKind, tokenize
+
+__all__ = ["ParseResult", "parse_sql"]
+
+_AGGREGATES = frozenset(["COUNT", "SUM", "AVG", "MIN", "MAX"])
+_COMPARISON_OPS = frozenset(["=", "<", ">", "<=", ">=", "<>", "!=", "!<", "!>"])
+_STATEMENT_VERBS = frozenset(
+    [
+        "SELECT",
+        "INSERT",
+        "UPDATE",
+        "DELETE",
+        "CREATE",
+        "DROP",
+        "ALTER",
+        "EXEC",
+        "EXECUTE",
+        "DECLARE",
+        "TRUNCATE",
+        "USE",
+        "GRANT",
+        "REVOKE",
+        "WITH",
+        "PRINT",
+        "IF",
+        "BEGIN",
+    ]
+)
+_MAX_DEPTH = 60
+
+
+@dataclass
+class ParseResult:
+    """Outcome of parsing one input string.
+
+    Attributes:
+        statements: Parsed top-level statements (possibly empty).
+        error_count: Number of tokens that had to be skipped plus structural
+            errors encountered. Zero means a clean parse.
+        ok: True when at least one statement parsed and no errors occurred.
+    """
+
+    statements: list[ast.Statement] = field(default_factory=list)
+    error_count: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.statements) and self.error_count == 0
+
+    @property
+    def statement_type(self) -> str:
+        """Type of the first statement, or ``UNKNOWN``."""
+        if not self.statements:
+            return "UNKNOWN"
+        return self.statements[0].statement_type
+
+    def first_query(self) -> ast.SelectQuery | None:
+        """The first SELECT block found in any statement, if any."""
+        for stmt in self.statements:
+            if stmt.body is not None:
+                return stmt.body
+        return None
+
+
+class _Parser:
+    """Single-use recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.errors = 0
+        self.depth = 0
+
+    # ------------------------------------------------------------------ #
+    # token stream helpers
+
+    def peek(self, offset: int = 0) -> Token | None:
+        idx = self.pos + offset
+        return self.tokens[idx] if idx < len(self.tokens) else None
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def check_keyword(self, *words: str) -> bool:
+        tok = self.peek()
+        return (
+            tok is not None
+            and tok.kind is TokenKind.KEYWORD
+            and tok.upper in words
+        )
+
+    def match_keyword(self, *words: str) -> bool:
+        if self.check_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def check_kind(self, kind: TokenKind) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.kind is kind
+
+    def match_kind(self, kind: TokenKind) -> bool:
+        if self.check_kind(kind):
+            self.advance()
+            return True
+        return False
+
+    def check_operator(self, *ops: str) -> bool:
+        tok = self.peek()
+        return (
+            tok is not None
+            and tok.kind is TokenKind.OPERATOR
+            and tok.text in ops
+        )
+
+    def skip_token(self) -> None:
+        """Skip one token, recording an error."""
+        self.errors += 1
+        self.pos += 1
+
+    # ------------------------------------------------------------------ #
+    # statements
+
+    def parse_statements(self) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        while not self.at_end():
+            if self.match_kind(TokenKind.SEMICOLON):
+                continue
+            before = self.pos
+            stmt = self.parse_statement()
+            if stmt is not None:
+                statements.append(stmt)
+            if self.pos == before:  # no progress: skip the offending token
+                self.skip_token()
+        return statements
+
+    def parse_statement(self) -> ast.Statement | None:
+        tok = self.peek()
+        if tok is None:
+            return None
+        verb = tok.upper
+        if tok.kind is TokenKind.KEYWORD and verb == "SELECT":
+            query = self.parse_select()
+            return ast.Statement("SELECT", body=query)
+        if tok.kind is TokenKind.KEYWORD and verb in _STATEMENT_VERBS:
+            return self.parse_non_select(verb)
+        # Not a recognisable statement start (random text). Consume up to
+        # the next semicolon so repeated calls terminate.
+        self.errors += 1
+        while not self.at_end() and not self.check_kind(TokenKind.SEMICOLON):
+            self.advance()
+        return ast.Statement("UNKNOWN")
+
+    def parse_non_select(self, verb: str) -> ast.Statement:
+        """Parse a non-SELECT statement shallowly.
+
+        The statement verb is recorded and any embedded SELECT block (e.g.
+        ``INSERT INTO t SELECT ...`` or ``CREATE VIEW v AS SELECT ...``) is
+        parsed so its structure contributes to feature extraction.
+        """
+        self.advance()  # consume the verb
+        if verb == "EXEC":
+            verb = "EXECUTE"
+        body: ast.SelectQuery | None = None
+        while not self.at_end() and not self.check_kind(TokenKind.SEMICOLON):
+            if self.check_keyword("SELECT"):
+                body = self.parse_select()
+                continue
+            next_tok = self.peek()
+            if (
+                body is None
+                and next_tok is not None
+                and next_tok.kind is TokenKind.KEYWORD
+                and next_tok.upper in ("UPDATE", "DELETE", "INSERT")
+                and next_tok.upper != verb
+            ):
+                # combination statements like DELETE|UPDATE|INSERT batches
+                verb = f"{verb}|{next_tok.upper()}"
+            self.advance()
+        return ast.Statement(verb, body=body)
+
+    # ------------------------------------------------------------------ #
+    # SELECT
+
+    def parse_select(self) -> ast.SelectQuery:
+        """Parse a SELECT block; the SELECT keyword is at the cursor."""
+        self.advance()  # SELECT
+        query = ast.SelectQuery()
+        if self.match_keyword("DISTINCT"):
+            query.distinct = True
+        elif self.match_keyword("ALL"):
+            pass
+        if self.match_keyword("TOP"):
+            top_tok = self.peek()
+            if top_tok is not None and top_tok.kind is TokenKind.NUMBER:
+                self.advance()
+                try:
+                    query.top = int(float(top_tok.text))
+                except ValueError:
+                    self.errors += 1
+            elif self.match_kind(TokenKind.LPAREN):
+                inner = self.peek()
+                if inner is not None and inner.kind is TokenKind.NUMBER:
+                    self.advance()
+                    query.top = int(float(inner.text))
+                self.match_kind(TokenKind.RPAREN)
+        query.select_items = self.parse_select_list()
+        if self.match_keyword("INTO"):
+            query.into_table = self.parse_dotted_name()
+        if self.match_keyword("FROM"):
+            query.from_items = self.parse_from_list()
+        if self.match_keyword("WHERE"):
+            query.where = self.parse_expr()
+        if self.check_keyword("GROUP"):
+            self.advance()
+            self.match_keyword("BY")
+            query.group_by = self.parse_expr_list()
+        if self.match_keyword("HAVING"):
+            query.having = self.parse_expr()
+        if self.check_keyword("ORDER"):
+            self.advance()
+            self.match_keyword("BY")
+            query.order_by = self.parse_order_list()
+        # UNION / EXCEPT / INTERSECT: parse the right side as a sibling block
+        # and merge its structure into the FROM list via a derived source so
+        # counts include it (faithful enough for feature extraction).
+        if self.check_keyword("UNION", "EXCEPT", "INTERSECT"):
+            self.advance()
+            self.match_keyword("ALL")
+            if self.check_keyword("SELECT"):
+                sibling = self.parse_select()
+                query.from_items.append(ast.SubquerySource(sibling))
+        return query
+
+    def parse_select_list(self) -> list[ast.SelectItem]:
+        items: list[ast.SelectItem] = []
+        while not self.at_end():
+            before = self.pos
+            expr = self.parse_expr()
+            alias = self.parse_alias()
+            items.append(ast.SelectItem(expr, alias))
+            if not self.match_kind(TokenKind.COMMA):
+                break
+            if self.pos == before:
+                self.skip_token()
+                break
+        return items
+
+    def parse_alias(self) -> str | None:
+        if self.match_keyword("AS"):
+            tok = self.peek()
+            if tok is not None and tok.kind in (
+                TokenKind.IDENTIFIER,
+                TokenKind.STRING,
+            ):
+                self.advance()
+                return tok.text.strip("[]'\"")
+            self.errors += 1
+            return None
+        tok = self.peek()
+        if tok is not None and tok.kind is TokenKind.IDENTIFIER:
+            nxt = self.peek(1)
+            # bare alias only when not followed by '.' or '(' (those start
+            # qualified references / function calls)
+            if nxt is None or nxt.kind not in (TokenKind.DOT, TokenKind.LPAREN):
+                self.advance()
+                return tok.text.strip("[]")
+        return None
+
+    # ------------------------------------------------------------------ #
+    # FROM clause
+
+    def parse_from_list(self) -> list[ast.Node]:
+        items: list[ast.Node] = []
+        while not self.at_end():
+            before = self.pos
+            item = self.parse_join_chain()
+            if item is not None:
+                items.append(item)
+            if not self.match_kind(TokenKind.COMMA):
+                break
+            if self.pos == before:
+                self.skip_token()
+                break
+        return items
+
+    def parse_join_chain(self) -> ast.Node | None:
+        left = self.parse_from_source()
+        if left is None:
+            return None
+        while True:
+            kind = self.parse_join_kind()
+            if kind is None:
+                return left
+            right = self.parse_from_source()
+            if right is None:
+                self.errors += 1
+                return left
+            condition: ast.Expr | None = None
+            if self.match_keyword("ON"):
+                condition = self.parse_expr()
+            left = ast.Join(kind, left, right, condition)
+
+    def parse_join_kind(self) -> str | None:
+        words: list[str] = []
+        if self.check_keyword("INNER", "LEFT", "RIGHT", "FULL", "CROSS"):
+            words.append(self.advance().upper)
+            if self.match_keyword("OUTER"):
+                words.append("OUTER")
+            if not self.match_keyword("JOIN"):
+                self.errors += 1
+                return None
+            words.append("JOIN")
+            return " ".join(words)
+        if self.match_keyword("JOIN"):
+            return "JOIN"
+        return None
+
+    def parse_from_source(self) -> ast.Node | None:
+        if self.check_kind(TokenKind.LPAREN):
+            nxt = self.peek(1)
+            if nxt is not None and nxt.kind is TokenKind.KEYWORD and nxt.upper == "SELECT":
+                self.advance()  # (
+                query = self.parse_select()
+                self.match_kind(TokenKind.RPAREN)
+                self.match_keyword("AS")
+                alias = self.parse_bare_identifier()
+                return ast.SubquerySource(query, alias)
+            # parenthesised join chain
+            self.advance()
+            inner = self.parse_join_chain()
+            self.match_kind(TokenKind.RPAREN)
+            return inner
+        name = self.parse_dotted_name()
+        if name is None:
+            return None
+        self.match_keyword("AS")
+        alias = self.parse_bare_identifier()
+        return ast.TableRef(name, alias)
+
+    def parse_dotted_name(self) -> str | None:
+        tok = self.peek()
+        if tok is None or tok.kind is not TokenKind.IDENTIFIER:
+            return None
+        parts = [self.advance().text.strip("[]")]
+        while self.check_kind(TokenKind.DOT):
+            nxt = self.peek(1)
+            if nxt is not None and nxt.kind is TokenKind.IDENTIFIER:
+                self.advance()  # .
+                parts.append(self.advance().text.strip("[]"))
+            else:
+                break
+        return ".".join(parts)
+
+    def parse_bare_identifier(self) -> str | None:
+        tok = self.peek()
+        if tok is not None and tok.kind is TokenKind.IDENTIFIER:
+            nxt = self.peek(1)
+            if nxt is None or nxt.kind is not TokenKind.LPAREN:
+                self.advance()
+                return tok.text.strip("[]")
+        return None
+
+    # ------------------------------------------------------------------ #
+    # expressions (precedence climbing)
+
+    def parse_expr_list(self) -> list[ast.Expr]:
+        exprs: list[ast.Expr] = []
+        while not self.at_end():
+            before = self.pos
+            exprs.append(self.parse_expr())
+            if not self.match_kind(TokenKind.COMMA):
+                break
+            if self.pos == before:
+                self.skip_token()
+                break
+        return exprs
+
+    def parse_order_list(self) -> list[ast.OrderItem]:
+        items: list[ast.OrderItem] = []
+        while not self.at_end():
+            before = self.pos
+            expr = self.parse_expr()
+            descending = False
+            if self.match_keyword("DESC"):
+                descending = True
+            else:
+                self.match_keyword("ASC")
+            items.append(ast.OrderItem(expr, descending))
+            if not self.match_kind(TokenKind.COMMA):
+                break
+            if self.pos == before:
+                self.skip_token()
+                break
+        return items
+
+    def parse_expr(self) -> ast.Expr:
+        if self.depth >= _MAX_DEPTH:
+            self.errors += 1
+            return ast.Literal("", is_number=False)
+        self.depth += 1
+        try:
+            return self.parse_or()
+        finally:
+            self.depth -= 1
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.match_keyword("OR"):
+            right = self.parse_and()
+            left = ast.BinaryOp("OR", left, right)
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.match_keyword("AND"):
+            right = self.parse_not()
+            left = ast.BinaryOp("AND", left, right)
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.match_keyword("NOT"):
+            return ast.UnaryOp("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        tok = self.peek()
+        if tok is None:
+            return left
+        if tok.kind is TokenKind.OPERATOR and tok.text in _COMPARISON_OPS:
+            op = self.advance().text
+            right = self.parse_additive()
+            return ast.BinaryOp(op, left, right)
+        if self.check_keyword("LIKE"):
+            self.advance()
+            return ast.BinaryOp("LIKE", left, self.parse_additive())
+        if self.check_keyword("IS"):
+            self.advance()
+            negated = self.match_keyword("NOT")
+            self.match_keyword("NULL")
+            op = "IS NOT NULL" if negated else "IS NULL"
+            return ast.UnaryOp(op, left)
+        negated = False
+        if self.check_keyword("NOT"):
+            nxt = self.peek(1)
+            if nxt is not None and nxt.upper in ("IN", "BETWEEN", "LIKE"):
+                self.advance()
+                negated = True
+        if self.check_keyword("LIKE"):
+            self.advance()
+            expr = ast.BinaryOp("LIKE", left, self.parse_additive())
+            return ast.UnaryOp("NOT", expr) if negated else expr
+        if self.check_keyword("IN"):
+            self.advance()
+            return self.parse_in_tail(left, negated)
+        if self.check_keyword("BETWEEN"):
+            self.advance()
+            low = self.parse_additive()
+            self.match_keyword("AND")
+            high = self.parse_additive()
+            return ast.Between(left, low, high, negated)
+        return left
+
+    def parse_in_tail(self, operand: ast.Expr, negated: bool) -> ast.Expr:
+        items: list[ast.Expr] = []
+        if self.match_kind(TokenKind.LPAREN):
+            if self.check_keyword("SELECT"):
+                items.append(ast.Subquery(self.parse_select()))
+            else:
+                while not self.at_end() and not self.check_kind(TokenKind.RPAREN):
+                    before = self.pos
+                    items.append(self.parse_expr())
+                    if not self.match_kind(TokenKind.COMMA):
+                        break
+                    if self.pos == before:
+                        self.skip_token()
+                        break
+            self.match_kind(TokenKind.RPAREN)
+        else:
+            self.errors += 1
+        return ast.InList(operand, items, negated)
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.check_operator("+", "-", "&", "|", "^", "||"):
+            op = self.advance().text
+            right = self.parse_multiplicative()
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.check_operator("*", "/", "%"):
+            # `*` might be a select-list star, but by the time we are inside
+            # an expression a bare `*` after an operand is multiplication.
+            op = self.advance().text
+            right = self.parse_unary()
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.check_operator("-", "+", "~"):
+            op = self.advance().text
+            return ast.UnaryOp(op, self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok is None:
+            self.errors += 1
+            return ast.Literal("")
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            return ast.Literal(tok.text, is_number=True)
+        if tok.kind is TokenKind.STRING:
+            self.advance()
+            return ast.Literal(tok.text)
+        if tok.kind is TokenKind.VARIABLE:
+            self.advance()
+            return ast.VarRef(tok.text)
+        if tok.kind is TokenKind.OPERATOR and tok.text == "*":
+            self.advance()
+            return ast.Star()
+        if tok.kind is TokenKind.LPAREN:
+            self.advance()
+            if self.check_keyword("SELECT"):
+                query = self.parse_select()
+                self.match_kind(TokenKind.RPAREN)
+                return ast.Subquery(query)
+            expr = self.parse_expr()
+            self.match_kind(TokenKind.RPAREN)
+            return expr
+        if tok.kind is TokenKind.KEYWORD:
+            return self.parse_keyword_primary(tok)
+        if tok.kind is TokenKind.IDENTIFIER:
+            return self.parse_reference()
+        # junk or stray punctuation
+        self.skip_token()
+        return ast.Literal(tok.text)
+
+    def parse_keyword_primary(self, tok: Token) -> ast.Expr:
+        word = tok.upper
+        if word == "CASE":
+            return self.parse_case()
+        if word in ("CAST", "CONVERT"):
+            self.advance()
+            call = ast.FunctionCall(word)
+            if self.match_kind(TokenKind.LPAREN):
+                call.args.append(self.parse_expr())
+                # CAST(expr AS type) / CONVERT(type, expr)
+                if self.match_keyword("AS"):
+                    self.parse_dotted_name()
+                while self.match_kind(TokenKind.COMMA):
+                    call.args.append(self.parse_expr())
+                self.match_kind(TokenKind.RPAREN)
+            return call
+        if word == "EXISTS":
+            self.advance()
+            if self.match_kind(TokenKind.LPAREN):
+                if self.check_keyword("SELECT"):
+                    sub = ast.Subquery(self.parse_select())
+                    self.match_kind(TokenKind.RPAREN)
+                    return ast.UnaryOp("EXISTS", sub)
+                expr = self.parse_expr()
+                self.match_kind(TokenKind.RPAREN)
+                return ast.UnaryOp("EXISTS", expr)
+            return ast.Literal(word)
+        if word == "NULL":
+            self.advance()
+            return ast.Literal("NULL")
+        # other keyword in expression position: treat as opaque literal
+        self.advance()
+        self.errors += 1
+        return ast.Literal(tok.text)
+
+    def parse_case(self) -> ast.Expr:
+        self.advance()  # CASE
+        case = ast.CaseExpr()
+        # simple CASE: CASE expr WHEN v THEN r ...
+        if not self.check_keyword("WHEN"):
+            self.parse_expr()
+        while self.match_keyword("WHEN"):
+            cond = self.parse_expr()
+            self.match_keyword("THEN")
+            result = self.parse_expr()
+            case.whens.append((cond, result))
+        if self.match_keyword("ELSE"):
+            case.default = self.parse_expr()
+        self.match_keyword("END")
+        return case
+
+    def parse_reference(self) -> ast.Expr:
+        """Parse dotted identifier, then decide: function call / column / star."""
+        name = self.parse_dotted_name()
+        if name is None:
+            self.skip_token()
+            return ast.Literal("")
+        # t.* qualified star
+        if self.check_kind(TokenKind.DOT):
+            nxt = self.peek(1)
+            if (
+                nxt is not None
+                and nxt.kind is TokenKind.OPERATOR
+                and nxt.text == "*"
+            ):
+                self.advance()
+                self.advance()
+                return ast.Star(table=name)
+        if self.check_kind(TokenKind.LPAREN):
+            self.advance()
+            call = ast.FunctionCall(
+                name, is_aggregate=name.upper() in _AGGREGATES
+            )
+            if self.check_kind(TokenKind.RPAREN):
+                self.advance()
+                return call
+            self.match_keyword("DISTINCT")
+            while not self.at_end():
+                before = self.pos
+                if self.check_operator("*"):
+                    self.advance()
+                    call.args.append(ast.Star())
+                else:
+                    call.args.append(self.parse_expr())
+                if not self.match_kind(TokenKind.COMMA):
+                    break
+                if self.pos == before:
+                    self.skip_token()
+                    break
+            self.match_kind(TokenKind.RPAREN)
+            return call
+        if "." in name:
+            table, column = name.rsplit(".", 1)
+            return ast.ColumnRef(column, table)
+        return ast.ColumnRef(name)
+
+
+def parse_sql(text: str) -> ParseResult:
+    """Parse ``text`` into a :class:`ParseResult`. Never raises.
+
+    Args:
+        text: Arbitrary input — valid SQL, broken SQL, or random text.
+
+    Returns:
+        ParseResult with the parsed statements and the number of recovery
+        actions taken (``error_count``). Random text yields one ``UNKNOWN``
+        statement per semicolon-separated chunk with a non-zero error count.
+    """
+    tokens = tokenize(text)
+    parser = _Parser(tokens)
+    try:
+        statements = parser.parse_statements()
+    except RecursionError:  # pragma: no cover - defensive backstop
+        statements = []
+        parser.errors += 1
+    return ParseResult(statements=statements, error_count=parser.errors)

@@ -1,0 +1,23 @@
+"""Text substrate: vocabularies, sequence encoding, n-grams, and TF-IDF.
+
+Implements the representation machinery of Definitions 1-2 and Section 5.1:
+char/word vocabularies with one-hot index spaces, padded id-sequence batches
+for the neural models, and the bag-of-ngrams TF-IDF features used by the
+traditional models.
+"""
+
+from repro.text.vocab import Vocabulary, build_char_vocab, build_word_vocab
+from repro.text.encode import SequenceEncoder, pad_sequences
+from repro.text.ngrams import extract_ngrams, ngram_counts
+from repro.text.tfidf import TfidfVectorizer
+
+__all__ = [
+    "Vocabulary",
+    "build_char_vocab",
+    "build_word_vocab",
+    "SequenceEncoder",
+    "pad_sequences",
+    "extract_ngrams",
+    "ngram_counts",
+    "TfidfVectorizer",
+]

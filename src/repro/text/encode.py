@@ -1,0 +1,81 @@
+"""Sequence encoding and batching for the neural models.
+
+Turns raw statements into fixed-width integer id matrices: tokenize at the
+chosen granularity, map through a vocabulary, truncate to ``max_len``, and
+pad with the PAD id so a batch forms one ``(batch, time)`` array.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.sqlang.normalize import char_tokens, word_tokens
+from repro.text.vocab import Vocabulary
+
+__all__ = ["SequenceEncoder", "pad_sequences"]
+
+
+def pad_sequences(
+    sequences: Sequence[Sequence[int]],
+    pad_id: int = 0,
+    max_len: int | None = None,
+) -> np.ndarray:
+    """Right-pad integer sequences into a dense ``(batch, time)`` array.
+
+    Args:
+        sequences: Variable-length id sequences.
+        pad_id: Fill value.
+        max_len: Optional hard cap; longer sequences are truncated. Without
+            it the batch width is the longest sequence.
+
+    Returns:
+        ``int64`` array of shape ``(len(sequences), width)``; width ≥ 1 even
+        for an all-empty batch so downstream models see a valid time axis.
+    """
+    if max_len is not None:
+        sequences = [seq[:max_len] for seq in sequences]
+    width = max((len(s) for s in sequences), default=0)
+    width = max(width, 1)
+    out = np.full((len(sequences), width), pad_id, dtype=np.int64)
+    for row, seq in enumerate(sequences):
+        if seq:
+            out[row, : len(seq)] = seq
+    return out
+
+
+class SequenceEncoder:
+    """Statement → padded id matrix at char or word granularity.
+
+    Args:
+        vocab: Vocabulary built at the matching granularity.
+        level: ``"char"`` or ``"word"``.
+        max_len: Truncation length (the paper's statements reach thousands
+            of tokens; CPU training needs a cap).
+    """
+
+    def __init__(self, vocab: Vocabulary, level: str, max_len: int = 256):
+        if level not in ("char", "word"):
+            raise ValueError(f"level must be 'char' or 'word', got {level!r}")
+        self.vocab = vocab
+        self.level = level
+        self.max_len = max_len
+
+    def tokens(self, statement: str) -> list[str]:
+        """Tokenize one statement at this encoder's granularity."""
+        if self.level == "char":
+            return char_tokens(statement, max_len=self.max_len)
+        return word_tokens(statement)[: self.max_len]
+
+    def encode(self, statement: str) -> list[int]:
+        """Id sequence for one statement (truncated, not padded)."""
+        return self.vocab.encode(self.tokens(statement))
+
+    def encode_batch(self, statements: Sequence[str]) -> np.ndarray:
+        """Padded ``(batch, time)`` id matrix for a list of statements."""
+        return pad_sequences(
+            [self.encode(s) for s in statements],
+            pad_id=self.vocab.pad_id,
+            max_len=self.max_len,
+        )

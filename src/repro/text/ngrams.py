@@ -1,0 +1,53 @@
+"""N-gram extraction for the bag-of-ngrams features (Section 5.1).
+
+The traditional models select the most frequent n-grams (up to 5-grams)
+from the training set as the feature vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+__all__ = ["extract_ngrams", "ngram_counts"]
+
+#: Separator joining tokens of an n-gram into one feature key. The unit
+#: separator control char cannot occur in tokens, so keys are unambiguous.
+NGRAM_SEP = "\x1f"
+
+
+def extract_ngrams(
+    tokens: Sequence[str], min_n: int = 1, max_n: int = 5
+) -> list[str]:
+    """All n-grams of ``tokens`` for n in [min_n, max_n], as joined keys.
+
+    >>> extract_ngrams(["a", "b", "c"], 1, 2)
+    ['a', 'b', 'c', 'a\\x1fb', 'b\\x1fc']
+    """
+    if min_n < 1:
+        raise ValueError("min_n must be >= 1")
+    if max_n < min_n:
+        raise ValueError("max_n must be >= min_n")
+    out: list[str] = []
+    length = len(tokens)
+    for n in range(min_n, max_n + 1):
+        if n > length:
+            break
+        if n == 1:
+            out.extend(tokens)
+        else:
+            out.extend(
+                NGRAM_SEP.join(tokens[i : i + n])
+                for i in range(length - n + 1)
+            )
+    return out
+
+
+def ngram_counts(
+    token_sequences: Iterable[Sequence[str]], min_n: int = 1, max_n: int = 5
+) -> Counter[str]:
+    """Corpus-level n-gram frequency counter."""
+    counts: Counter[str] = Counter()
+    for tokens in token_sequences:
+        counts.update(extract_ngrams(tokens, min_n, max_n))
+    return counts

@@ -1,0 +1,136 @@
+"""Sparse TF-IDF vectorizer over bag-of-ngrams features (Section 5.1).
+
+Reimplements the paper's traditional feature stage without scikit-learn:
+
+- feature vocabulary = the ``max_features`` most frequent n-grams (1..5)
+  of the training corpus;
+- TF = within-query frequency normalised by query length (prevents bias
+  towards longer queries);
+- IDF(t) = log(|Q| / (1 + df(t))) — the paper's formulation, Section 5.1.
+
+Produces ``scipy.sparse.csr_matrix`` feature matrices.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.sqlang.normalize import char_tokens, word_tokens
+from repro.text.ngrams import extract_ngrams
+
+__all__ = ["TfidfVectorizer"]
+
+
+class TfidfVectorizer:
+    """Bag-of-ngrams TF-IDF features at char or word granularity.
+
+    Args:
+        level: ``"char"`` or ``"word"`` tokenization.
+        max_features: Vocabulary cap — most frequent n-grams win (the paper
+            uses 500 000; scale down for small synthetic workloads).
+        min_n / max_n: n-gram range (paper: 1..5).
+        max_len: Token-stream truncation applied before n-gram extraction.
+    """
+
+    def __init__(
+        self,
+        level: str = "char",
+        max_features: int = 50_000,
+        min_n: int = 1,
+        max_n: int = 5,
+        max_len: int = 2048,
+        mask_digits: bool = True,
+    ):
+        if level not in ("char", "word"):
+            raise ValueError(f"level must be 'char' or 'word', got {level!r}")
+        self.level = level
+        self.max_features = max_features
+        self.min_n = min_n
+        self.max_n = max_n
+        self.max_len = max_len
+        self.mask_digits = mask_digits
+        self._tokenizer: Callable[[str], list[str]] = (
+            self._char_tokens if level == "char" else self._word_tokens
+        )
+        self.vocabulary_: dict[str, int] = {}
+        self.idf_: np.ndarray | None = None
+
+    # -- tokenization ---------------------------------------------------- #
+
+    def _char_tokens(self, statement: str) -> list[str]:
+        return char_tokens(statement, max_len=self.max_len)
+
+    def _word_tokens(self, statement: str) -> list[str]:
+        return word_tokens(statement, mask_digits=self.mask_digits)[
+            : self.max_len
+        ]
+
+    def _ngrams(self, statement: str) -> list[str]:
+        return extract_ngrams(
+            self._tokenizer(statement), self.min_n, self.max_n
+        )
+
+    # -- fitting ----------------------------------------------------------- #
+
+    @property
+    def num_features(self) -> int:
+        """Size of the fitted feature space."""
+        return len(self.vocabulary_)
+
+    def fit(self, statements: Sequence[str]) -> "TfidfVectorizer":
+        """Select the feature vocabulary and compute IDF weights."""
+        if not statements:
+            raise ValueError("cannot fit TF-IDF on an empty corpus")
+        totals: Counter[str] = Counter()
+        doc_freq: Counter[str] = Counter()
+        for stmt in statements:
+            grams = self._ngrams(stmt)
+            totals.update(grams)
+            doc_freq.update(set(grams))
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+        selected = [gram for gram, _ in ranked[: self.max_features]]
+        self.vocabulary_ = {gram: i for i, gram in enumerate(selected)}
+        n_docs = len(statements)
+        idf = np.zeros(len(selected), dtype=np.float64)
+        for gram, idx in self.vocabulary_.items():
+            idf[idx] = np.log(n_docs / (1.0 + doc_freq[gram]))
+        # IDF can dip below zero when df(t)+1 > |Q| (a term in every doc);
+        # clamp so weights stay non-negative as in the paper's description.
+        self.idf_ = np.maximum(idf, 0.0)
+        return self
+
+    def transform(self, statements: Sequence[str]) -> sparse.csr_matrix:
+        """TF-IDF matrix of shape ``(len(statements), num_features)``."""
+        if self.idf_ is None:
+            raise RuntimeError("TfidfVectorizer must be fitted first")
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        vocab = self.vocabulary_
+        idf = self.idf_
+        for stmt in statements:
+            grams = self._ngrams(stmt)
+            counts: Counter[int] = Counter(
+                vocab[g] for g in grams if g in vocab
+            )
+            total = max(len(grams), 1)
+            for idx, cnt in sorted(counts.items()):
+                indices.append(idx)
+                data.append((cnt / total) * idf[idx])
+            indptr.append(len(indices))
+        return sparse.csr_matrix(
+            (
+                np.asarray(data, dtype=np.float64),
+                np.asarray(indices, dtype=np.int32),
+                np.asarray(indptr, dtype=np.int32),
+            ),
+            shape=(len(statements), len(vocab)),
+        )
+
+    def fit_transform(self, statements: Sequence[str]) -> sparse.csr_matrix:
+        """Fit on ``statements`` then transform them."""
+        return self.fit(statements).transform(statements)

@@ -1,0 +1,127 @@
+"""Token vocabularies for character- and word-level models (Definition 1).
+
+A :class:`Vocabulary` maps tokens to contiguous integer ids. Index 0 is the
+padding id and index 1 the unknown-token id; both are always present so the
+neural models can rely on them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.sqlang.normalize import char_tokens, word_tokens
+
+__all__ = [
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "Vocabulary",
+    "build_char_vocab",
+    "build_word_vocab",
+]
+
+PAD_TOKEN = "<PAD>"
+UNK_TOKEN = "<UNK>"
+
+
+class Vocabulary:
+    """Bidirectional token ↔ id mapping with PAD/UNK handling.
+
+    Args:
+        tokens: Unique tokens in rank order (PAD/UNK must not be included).
+    """
+
+    def __init__(self, tokens: Sequence[str]):
+        self._tokens: list[str] = [PAD_TOKEN, UNK_TOKEN, *tokens]
+        self._index: dict[str, int] = {
+            tok: i for i, tok in enumerate(self._tokens)
+        }
+        if len(self._index) != len(self._tokens):
+            raise ValueError("vocabulary contains duplicate tokens")
+
+    # -- properties ---------------------------------------------------- #
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    # -- mapping ------------------------------------------------------- #
+
+    def id_of(self, token: str) -> int:
+        """Id of ``token``; unknown tokens map to :attr:`unk_id`."""
+        return self._index.get(token, self.unk_id)
+
+    def token_of(self, token_id: int) -> str:
+        """Inverse mapping; raises IndexError for out-of-range ids."""
+        return self._tokens[token_id]
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Map a token sequence to ids (unknowns become UNK)."""
+        index = self._index
+        unk = self.unk_id
+        return [index.get(tok, unk) for tok in tokens]
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        """Map ids back to tokens (PAD ids are kept; slice them off first
+        if you need the original sequence)."""
+        return [self._tokens[i] for i in ids]
+
+    # -- construction --------------------------------------------------- #
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: Counter[str],
+        max_size: int | None = None,
+        min_count: int = 1,
+    ) -> "Vocabulary":
+        """Build from token counts, most frequent first.
+
+        Args:
+            counts: Token frequency counter.
+            max_size: Cap on vocabulary size excluding PAD/UNK.
+            min_count: Drop tokens rarer than this (open-vocabulary control,
+                Section 4.4.1).
+        """
+        ranked = [
+            tok
+            for tok, cnt in sorted(
+                counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            if cnt >= min_count
+        ]
+        if max_size is not None:
+            ranked = ranked[:max_size]
+        return cls(ranked)
+
+
+def build_char_vocab(
+    statements: Iterable[str], max_size: int | None = None
+) -> Vocabulary:
+    """Character-level vocabulary over a statement collection."""
+    counts: Counter[str] = Counter()
+    for stmt in statements:
+        counts.update(char_tokens(stmt))
+    return Vocabulary.from_counts(counts, max_size=max_size)
+
+
+def build_word_vocab(
+    statements: Iterable[str],
+    max_size: int | None = None,
+    min_count: int = 1,
+) -> Vocabulary:
+    """Word-level vocabulary (digits already masked to ``<DIGIT>``)."""
+    counts: Counter[str] = Counter()
+    for stmt in statements:
+        counts.update(word_tokens(stmt))
+    return Vocabulary.from_counts(counts, max_size=max_size, min_count=min_count)

@@ -1,0 +1,53 @@
+"""Workload substrate: synthetic SDSS and SQLShare query workloads.
+
+The paper's experiments run on two proprietary-to-download, large-scale
+query logs: the Sloan Digital Sky Survey (SDSS) SqlLog/WebLog dump and the
+SQLShare multi-year service log. This package is the substitution documented
+in DESIGN.md: catalogs that mirror the published schemas' shape, per-session-
+class query generators, and a simulated execution engine that assigns
+ground-truth labels (error class, answer size, CPU time) with the same
+structural dependencies the real systems exhibit.
+"""
+
+from repro.workloads.records import LogEntry, QueryRecord, Workload
+from repro.workloads.schema import Catalog, Column, DbFunction, Table
+from repro.workloads.schema import sdss_catalog, sqlshare_catalog
+from repro.workloads.execution import ExecutionOutcome, SimulatedDatabase
+from repro.workloads.sdss import generate_sdss_log, generate_sdss_workload
+from repro.workloads.sqlshare import generate_sqlshare_workload
+from repro.workloads.dedup import (
+    aggregate_duplicates,
+    repetition_histogram,
+    sample_one_per_session,
+)
+from repro.workloads.sessionize import Hit, sessionize
+from repro.workloads.io import load_log, load_workload, save_log, save_workload
+from repro.workloads.compression import CompressedWorkload, compress_workload
+
+__all__ = [
+    "LogEntry",
+    "QueryRecord",
+    "Workload",
+    "Catalog",
+    "Table",
+    "Column",
+    "DbFunction",
+    "sdss_catalog",
+    "sqlshare_catalog",
+    "ExecutionOutcome",
+    "SimulatedDatabase",
+    "generate_sdss_log",
+    "generate_sdss_workload",
+    "generate_sqlshare_workload",
+    "sample_one_per_session",
+    "aggregate_duplicates",
+    "repetition_histogram",
+    "Hit",
+    "sessionize",
+    "save_workload",
+    "load_workload",
+    "save_log",
+    "load_log",
+    "CompressedWorkload",
+    "compress_workload",
+]

@@ -1,0 +1,244 @@
+"""Workload compression (Section 8 future work; Chaudhuri et al. [8]).
+
+Large workloads create practical problems for downstream tasks — the paper
+notes this for its own 194M-entry SDSS log and proposes workload
+compression as "an orthogonal extension for the data extraction part of
+our work". This module implements that extension: pick a small, weighted
+subset of a workload that preserves its diversity, so models can be
+trained on the subset at a fraction of the cost.
+
+Three strategies, in increasing awareness of query structure:
+
+- ``random`` — uniform sample (the baseline any compression must beat);
+- ``stratified`` — sample proportionally per label stratum, guaranteeing
+  at least one representative per class (protects the minority error
+  classes the paper's Tables 2/4 care about);
+- ``kcenter`` — greedy farthest-point selection over normalized structural
+  feature vectors (Gonzalez's 2-approximation to the k-center objective):
+  representatives cover the workload's *structural* diversity, in the
+  spirit of [8], where each kept query is weighted by how many original
+  queries it stands in for.
+
+All strategies return a :class:`CompressedWorkload` carrying per-record
+multiplicities so that weighted statistics over the subset estimate
+statistics over the original workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sqlang.features import extract_features
+from repro.workloads.records import QueryRecord, Workload
+
+__all__ = [
+    "CompressedWorkload",
+    "compress_workload",
+    "structural_feature_matrix",
+    "coverage_radius",
+    "STRATEGIES",
+]
+
+STRATEGIES = ("random", "stratified", "kcenter")
+
+
+@dataclass
+class CompressedWorkload:
+    """A weighted subset of a workload.
+
+    ``weights[i]`` counts how many original records the i-th kept record
+    represents; weights sum to the original workload size.
+    """
+
+    workload: Workload
+    weights: np.ndarray
+    original_size: int
+    kept_indices: np.ndarray = field(default_factory=lambda: np.empty(0, int))
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of the original workload that was kept."""
+        if self.original_size == 0:
+            return 1.0
+        return len(self.workload) / self.original_size
+
+    def repeated_records(self) -> list[QueryRecord]:
+        """Records repeated per weight — a drop-in weighted training set.
+
+        Rounds weights to the nearest positive integer, so the expanded
+        list approximates the original size while containing only kept
+        statements.
+        """
+        out: list[QueryRecord] = []
+        for record, weight in zip(self.workload.records, self.weights):
+            out.extend([record] * max(1, int(round(float(weight)))))
+        return out
+
+
+def structural_feature_matrix(workload: Workload) -> np.ndarray:
+    """Z-normalized structural feature matrix (n_records, 10).
+
+    Constant features normalize to zero so they do not contribute to
+    distances.
+    """
+    rows = [
+        extract_features(record.statement).as_vector() for record in workload
+    ]
+    matrix = (
+        np.asarray(rows, dtype=np.float64)
+        if rows
+        else np.zeros((0, 10), dtype=np.float64)
+    )
+    if matrix.shape[0] == 0:
+        return matrix
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std[std == 0] = 1.0
+    return (matrix - mean) / std
+
+
+def _assign_to_centers(matrix: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Index of the nearest center for every row of ``matrix``."""
+    # (n, k) squared distances, computed blockwise to bound memory
+    n = matrix.shape[0]
+    assignment = np.empty(n, dtype=np.int64)
+    block = 4096
+    center_rows = matrix[centers]
+    for start in range(0, n, block):
+        chunk = matrix[start : start + block]
+        d2 = (
+            (chunk**2).sum(axis=1, keepdims=True)
+            - 2 * chunk @ center_rows.T
+            + (center_rows**2).sum(axis=1)
+        )
+        assignment[start : start + block] = np.argmin(d2, axis=1)
+    return assignment
+
+
+def _kcenter_select(matrix: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Greedy farthest-point traversal: k center indices."""
+    n = matrix.shape[0]
+    first = int(rng.integers(n))
+    centers = [first]
+    dist2 = ((matrix - matrix[first]) ** 2).sum(axis=1)
+    while len(centers) < k:
+        nxt = int(np.argmax(dist2))
+        if dist2[nxt] == 0.0:
+            # all remaining points coincide with a center; fill with
+            # arbitrary distinct indices to honour the requested size
+            remaining = [i for i in range(n) if i not in set(centers)]
+            centers.extend(remaining[: k - len(centers)])
+            break
+        centers.append(nxt)
+        dist2 = np.minimum(dist2, ((matrix - matrix[nxt]) ** 2).sum(axis=1))
+    return np.asarray(sorted(centers[:k]), dtype=np.int64)
+
+
+def _stratified_select(
+    workload: Workload, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-label-stratum proportional sample, >=1 per stratum."""
+    strata: dict[str, list[int]] = {}
+    for idx, record in enumerate(workload):
+        key = f"{record.error_class}|{record.session_class}"
+        strata.setdefault(key, []).append(idx)
+    n = len(workload)
+    chosen: list[int] = []
+    # guarantee one per stratum first, then fill proportionally
+    for indices in strata.values():
+        chosen.append(int(rng.choice(indices)))
+    remaining_budget = k - len(chosen)
+    if remaining_budget > 0:
+        chosen_set = set(chosen)
+        pool = np.asarray(
+            [i for i in range(n) if i not in chosen_set], dtype=np.int64
+        )
+        if pool.size:
+            extra = rng.choice(
+                pool, size=min(remaining_budget, pool.size), replace=False
+            )
+            chosen.extend(int(i) for i in extra)
+    return np.asarray(sorted(set(chosen))[:k], dtype=np.int64)
+
+
+def compress_workload(
+    workload: Workload,
+    ratio: float = 0.1,
+    strategy: str = "kcenter",
+    seed: int = 0,
+) -> CompressedWorkload:
+    """Compress ``workload`` to roughly ``ratio`` of its size.
+
+    Args:
+        workload: The workload to compress.
+        ratio: Target kept fraction in (0, 1].
+        strategy: One of :data:`STRATEGIES`.
+        seed: Randomness seed (tie-breaking, sampling).
+
+    Returns:
+        A :class:`CompressedWorkload` whose weights sum to ``len(workload)``.
+
+    Raises:
+        ValueError: empty workload, bad ratio, or unknown strategy.
+    """
+    if len(workload) == 0:
+        raise ValueError("cannot compress an empty workload")
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    if strategy not in STRATEGIES:
+        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+
+    n = len(workload)
+    k = max(1, min(n, int(round(ratio * n))))
+    rng = np.random.default_rng(seed)
+
+    if strategy == "random":
+        kept = np.sort(rng.choice(n, size=k, replace=False))
+        weights = np.full(k, n / k, dtype=np.float64)
+        return CompressedWorkload(
+            workload=workload.subset(kept.tolist()),
+            weights=weights,
+            original_size=n,
+            kept_indices=kept,
+        )
+
+    if strategy == "stratified":
+        kept = _stratified_select(workload, k, rng)
+        weights = np.full(len(kept), n / len(kept), dtype=np.float64)
+        return CompressedWorkload(
+            workload=workload.subset(kept.tolist()),
+            weights=weights,
+            original_size=n,
+            kept_indices=kept,
+        )
+
+    matrix = structural_feature_matrix(workload)
+    kept = _kcenter_select(matrix, k, rng)
+    assignment = _assign_to_centers(matrix, kept)
+    weights = np.bincount(assignment, minlength=len(kept)).astype(np.float64)
+    return CompressedWorkload(
+        workload=workload.subset(kept.tolist()),
+        weights=weights,
+        original_size=n,
+        kept_indices=kept,
+    )
+
+
+def coverage_radius(
+    workload: Workload, compressed: CompressedWorkload
+) -> float:
+    """Max distance from any original record to its nearest kept record.
+
+    The k-center objective: lower is better coverage. Distances are in the
+    z-normalized structural feature space of
+    :func:`structural_feature_matrix` on the *original* workload.
+    """
+    if len(compressed.kept_indices) == 0:
+        raise ValueError("compressed workload does not carry kept_indices")
+    matrix = structural_feature_matrix(workload)
+    assignment = _assign_to_centers(matrix, compressed.kept_indices)
+    centers = matrix[compressed.kept_indices]
+    deltas = matrix - centers[assignment]
+    return float(np.sqrt((deltas**2).sum(axis=1)).max())

@@ -1,0 +1,115 @@
+"""Workload extraction pipeline: sampling, grouping, label aggregation.
+
+Implements the two redundancy-resolution steps of Section 4.1 / Appendix B.3:
+
+1. randomly sample one SQL query log per session (bot/admin sessions contain
+   thousands of near-identical hits);
+2. group logs with identical statements and aggregate their labels — mean
+   for answer size / CPU time, majority vote (random tie-break) for error
+   and session class.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro.workloads.records import LogEntry, QueryRecord
+
+__all__ = [
+    "sample_one_per_session",
+    "aggregate_duplicates",
+    "repetition_histogram",
+    "REPETITION_BINS",
+]
+
+
+def sample_one_per_session(
+    log: list[LogEntry], rng: np.random.Generator
+) -> list[LogEntry]:
+    """One uniformly sampled entry per session, in session order."""
+    by_session: dict[int, list[LogEntry]] = defaultdict(list)
+    for entry in log:
+        by_session[entry.session_id].append(entry)
+    sampled: list[LogEntry] = []
+    for session_id in sorted(by_session):
+        entries = by_session[session_id]
+        sampled.append(entries[int(rng.integers(len(entries)))])
+    return sampled
+
+
+def _majority(values: list[str], rng: np.random.Generator) -> str:
+    """Majority vote with random tie-breaking (Section 4.1)."""
+    counts = Counter(values)
+    top = max(counts.values())
+    winners = sorted(v for v, c in counts.items() if c == top)
+    return winners[int(rng.integers(len(winners)))]
+
+
+def aggregate_duplicates(
+    entries: list[LogEntry], rng: np.random.Generator
+) -> list[QueryRecord]:
+    """Group identical statements and aggregate their labels.
+
+    Answer size and CPU time become means over the duplicates; error class
+    and session class become majority votes. The returned records preserve
+    first-appearance order; ``num_duplicates`` records the group size.
+    """
+    groups: dict[str, list[LogEntry]] = defaultdict(list)
+    order: list[str] = []
+    for entry in entries:
+        if entry.statement not in groups:
+            order.append(entry.statement)
+        groups[entry.statement].append(entry)
+    records: list[QueryRecord] = []
+    for statement in order:
+        group = groups[statement]
+        records.append(
+            QueryRecord(
+                statement=statement,
+                error_class=_majority([e.error_class for e in group], rng),
+                answer_size=float(
+                    np.mean([e.answer_size for e in group])
+                ),
+                cpu_time=float(np.mean([e.cpu_time for e in group])),
+                session_class=_majority(
+                    [e.session_class for e in group], rng
+                ),
+                user=group[0].user,
+                num_duplicates=len(group),
+                elapsed_time=float(
+                    np.mean([e.elapsed_time for e in group])
+                ),
+            )
+        )
+    return records
+
+
+#: Histogram bin upper bounds for Figure 20 (repetition counts).
+REPETITION_BINS = [
+    ("1", 1, 1),
+    ("2", 2, 2),
+    ("3", 3, 3),
+    ("4-20", 4, 20),
+    ("21-100", 21, 100),
+    ("101-1000", 101, 1000),
+    (">1000", 1001, None),
+]
+
+
+def repetition_histogram(entries: list[LogEntry]) -> dict[str, int]:
+    """Figure 20: number of sampled entries per statement-repetition bin.
+
+    Counts, for each unique statement, how many sampled logs share it, then
+    buckets *samples* (not unique statements) by that repetition count —
+    matching the figure's y-axis "number of samples in dataset".
+    """
+    counts = Counter(e.statement for e in entries)
+    histogram = {label: 0 for label, _, _ in REPETITION_BINS}
+    for _, repetitions in counts.items():
+        for label, lo, hi in REPETITION_BINS:
+            if repetitions >= lo and (hi is None or repetitions <= hi):
+                histogram[label] += repetitions
+                break
+    return histogram

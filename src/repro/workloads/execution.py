@@ -1,0 +1,515 @@
+"""Simulated execution engine: assigns ground-truth labels to statements.
+
+This replaces the real CAS / SQLShare servers in the label-generation role
+(see the substitution table in DESIGN.md). Given a catalog and a statement:
+
+- **error class** — ``severe`` if the statement does not parse (the web
+  portal rejects it before submission), ``non_severe`` if it parses but
+  fails at "run time" (unknown table/function, or an injected transient
+  failure), ``success`` otherwise;
+- **answer size** — a textbook cardinality estimate (per-predicate
+  selectivities, equi-join keys, GROUP BY/DISTINCT/TOP handling) perturbed
+  by log-normal noise, so the mapping from structure to label is realistic
+  but not exactly invertible;
+- **CPU time** — a cost model over the same traversal: scan cost per row,
+  join build/probe costs, sort cost, and a per-row charge for UDFs invoked
+  in WHERE clauses (the paper's Figure 1b inefficiency).
+
+Label noise is drawn from the engine's RNG; a fixed seed makes whole
+workloads reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sqlang import ast_nodes as ast
+from repro.sqlang.parser import ParseResult, parse_sql
+from repro.workloads.schema import Catalog, Table
+
+__all__ = ["ExecutionOutcome", "SimulatedDatabase", "CostParameters"]
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """Labels produced by one simulated execution.
+
+    ``elapsed_time`` is the wall-clock lapse of the query (the SqlLog
+    ``elapsed`` column): CPU time inflated by I/O stalls, plus result
+    transfer proportional to the answer size, plus queueing delay. The
+    paper's future work proposes predicting it (Section 8).
+    """
+
+    error_class: str
+    answer_size: float
+    cpu_time: float
+    elapsed_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Tunable constants of the cost model (seconds per unit of work)."""
+
+    scan_per_row: float = 4e-9
+    join_per_row: float = 1.2e-8
+    sort_factor: float = 6e-9
+    output_per_row: float = 2e-8
+    base_overhead: float = 0.004
+    noise_sigma: float = 0.35
+    answer_noise_sigma: float = 0.25
+    transient_failure_rate: float = 0.008
+    max_rows: float = 1e9
+    max_cpu: float = 1e8
+    # elapsed-time model (SqlLog ``elapsed``): I/O stall multiplier on CPU,
+    # per-row result transfer, and mean queueing delay
+    io_wait_sigma: float = 0.5
+    transfer_per_row: float = 5e-7
+    queue_delay_mean: float = 0.05
+
+
+_DEFAULT_TABLE_ROWS = 1_000_000
+_COMPARISON_OPS = {"=", "<", ">", "<=", ">=", "<>", "!="}
+
+
+class SimulatedDatabase:
+    """Executes parsed statements against a catalog to produce labels.
+
+    Args:
+        catalog: Schema to resolve tables/functions against.
+        seed: RNG seed for label noise and transient failures.
+        params: Cost model constants.
+        speed_factor: Per-deployment multiplier on CPU times (used to give
+            each SQLShare user's backend its own performance level).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        seed: int = 0,
+        params: CostParameters | None = None,
+        speed_factor: float = 1.0,
+    ):
+        self.catalog = catalog
+        self.rng = np.random.default_rng(seed)
+        # elapsed-time noise comes from its own stream so adding the
+        # elapsed label does not disturb the calibrated error/rows/CPU
+        # label draws
+        self._elapsed_rng = np.random.default_rng((seed, 0xE1A))
+        self.params = params or CostParameters()
+        self.speed_factor = speed_factor
+
+    # -- public API --------------------------------------------------------- #
+
+    def execute(self, statement: str) -> ExecutionOutcome:
+        """Simulate executing ``statement``; never raises."""
+        parsed = parse_sql(statement)
+        if self._is_rejected(parsed):
+            # rejected at the portal: the server never sees the query
+            return ExecutionOutcome("severe", -1.0, 0.0, 0.0)
+        runtime_error = self._runtime_error(parsed)
+        if runtime_error:
+            # the server starts work, fails, and charges a little CPU
+            cpu = self.params.base_overhead * float(
+                1.0 + self.rng.exponential(2.0)
+            )
+            return ExecutionOutcome(
+                "non_severe", -1.0, round(cpu, 6), self._elapsed(cpu, 0.0)
+            )
+        query = parsed.first_query()
+        if query is None:
+            # parsed non-SELECT without embedded query (DROP, EXEC, ...)
+            cpu = self.params.base_overhead * float(
+                1.0 + self.rng.exponential(4.0)
+            )
+            return ExecutionOutcome(
+                "success", 0.0, round(cpu, 6), self._elapsed(cpu, 0.0)
+            )
+        rows, cost = self._estimate_query(query, depth=0)
+        rows = self._noisy_rows(rows)
+        if query.top is not None:  # TOP caps the result exactly
+            rows = min(rows, float(max(query.top, 0)))
+        cpu = self._noisy_cpu(cost)
+        return ExecutionOutcome("success", rows, cpu, self._elapsed(cpu, rows))
+
+    def _elapsed(self, cpu: float, rows: float) -> float:
+        """Wall-clock lapse: CPU inflated by I/O, transfer, queueing."""
+        io_factor = float(
+            np.exp(self._elapsed_rng.normal(0.4, self.params.io_wait_sigma))
+        )
+        transfer = max(rows, 0.0) * self.params.transfer_per_row
+        queue = float(
+            self._elapsed_rng.exponential(self.params.queue_delay_mean)
+        )
+        return round(cpu * (1.0 + io_factor) + transfer + queue, 6)
+
+    # -- error model ------------------------------------------------------- #
+
+    def _is_rejected(self, parsed: ParseResult) -> bool:
+        """Portal rejection: unparseable input never reaches the server."""
+        if not parsed.statements:
+            return True
+        if all(s.statement_type == "UNKNOWN" for s in parsed.statements):
+            return True
+        # heavily broken SQL (several recovery actions needed): well-formed
+        # template queries parse with zero recoveries, so this only fires
+        # on genuinely broken input
+        if parsed.error_count >= 3:
+            return True
+        return False
+
+    def _runtime_error(self, parsed: ParseResult) -> bool:
+        """Server-side failure: bad references or transient faults."""
+        for stmt in parsed.statements:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.TableRef):
+                    known = self.catalog.table(node.name) is not None
+                    is_mydb = node.name.lower().startswith(
+                        ("mydb", "tempdb", "#")
+                    )
+                    if not known and not is_mydb and not self._is_alias(
+                        node, parsed
+                    ):
+                        return True
+                if isinstance(node, ast.FunctionCall):
+                    builtin = node.is_aggregate or "." not in node.name
+                    if not builtin and self.catalog.function(node.name) is None:
+                        return True
+        if parsed.error_count > 0 and self.rng.random() < 0.5:
+            return True
+        return self.rng.random() < self.params.transient_failure_rate
+
+    @staticmethod
+    def _is_alias(ref: ast.TableRef, parsed: ParseResult) -> bool:
+        """True when ``ref`` re-uses an alias defined elsewhere (tolerate)."""
+        target = ref.base_name.lower()
+        for stmt in parsed.statements:
+            for node in ast.walk(stmt):
+                alias = getattr(node, "alias", None)
+                if alias and alias.lower() == target and node is not ref:
+                    return True
+        return False
+
+    # -- cardinality + cost ------------------------------------------------- #
+
+    def _estimate_query(
+        self, query: ast.SelectQuery, depth: int
+    ) -> tuple[float, float]:
+        """Estimate (output rows, CPU cost) of one SELECT block."""
+        if depth > 8:  # degenerate nesting: stop recursing
+            return 1.0, self.params.base_overhead
+
+        source_rows, source_cost, scanned = self._estimate_from(
+            query.from_items, depth
+        )
+        selectivity, predicate_cost = self._estimate_predicate(
+            query.where, scanned, depth
+        )
+        rows = max(source_rows * selectivity, 0.0)
+        if query.where is not None and self._has_id_equality(query.where):
+            # point lookups on a key column find their object: ~1 row
+            rows = max(rows, 1.0)
+        cost = source_cost + predicate_cost
+
+        has_aggregate = any(
+            isinstance(node, ast.FunctionCall) and node.is_aggregate
+            for item in query.select_items
+            for node in _walk_no_subquery(item.expr)
+        )
+        if query.group_by:
+            groups = 1.0
+            for _ in query.group_by:
+                groups *= 31.0
+            rows = min(rows, groups)
+            cost += source_rows * self.params.join_per_row
+        elif has_aggregate:
+            rows = 1.0
+        if query.having is not None:
+            having_sel, having_cost = self._estimate_predicate(
+                query.having, rows, depth
+            )
+            rows *= having_sel
+            cost += having_cost
+        if query.distinct:
+            rows = min(rows, max(np.sqrt(source_rows), 1.0))
+            cost += rows * self.params.join_per_row
+        if query.order_by:
+            sortable = max(rows, 2.0)
+            cost += self.params.sort_factor * sortable * np.log2(sortable)
+        if query.top is not None:
+            rows = min(rows, float(max(query.top, 0)))
+
+        # subqueries and expensive functions in the SELECT list run once
+        # per output row
+        per_row_cost = 0.0
+        for item in query.select_items:
+            per_row_cost += self._expression_cost(item.expr, depth)
+        cost += per_row_cost * min(
+            rows if rows > 0 else 1.0, self.params.max_rows
+        )
+        cost += rows * self.params.output_per_row
+        cost += self.params.base_overhead
+        rows = min(rows, self.params.max_rows)
+        return rows, min(cost, self.params.max_cpu)
+
+    def _estimate_from(
+        self, from_items: list[ast.Node], depth: int
+    ) -> tuple[float, float, float]:
+        """Estimate (rows, cost, rows_scanned) of the FROM clause."""
+        if not from_items:
+            return 1.0, 0.0, 1.0
+        rows = 1.0
+        cost = 0.0
+        scanned = 0.0
+        first = True
+        for item in from_items:
+            item_rows, item_cost, item_scanned = self._estimate_source(
+                item, depth
+            )
+            cost += item_cost
+            scanned += item_scanned
+            if first:
+                rows = item_rows
+                first = False
+            else:
+                # comma join: assume an implicit equi-join predicate will
+                # restrict it; keep the larger side like a key join
+                rows = max(rows, item_rows)
+                cost += (rows + item_rows) * self.params.join_per_row
+        return rows, cost, max(scanned, 1.0)
+
+    def _estimate_source(
+        self, item: ast.Node, depth: int
+    ) -> tuple[float, float, float]:
+        if isinstance(item, ast.TableRef):
+            table = self.catalog.table(item.name)
+            n = float(table.rows) if table is not None else _DEFAULT_TABLE_ROWS
+            return n, n * self.params.scan_per_row, n
+        if isinstance(item, ast.SubquerySource):
+            rows, cost = self._estimate_query(item.query, depth + 1)
+            return rows, cost, rows
+        if isinstance(item, ast.Join):
+            left_rows, left_cost, left_scan = self._estimate_source(
+                item.left, depth
+            )
+            right_rows, right_cost, right_scan = self._estimate_source(
+                item.right, depth
+            )
+            cost = left_cost + right_cost
+            scanned = left_scan + right_scan
+            if item.condition is None:
+                rows = min(
+                    left_rows * right_rows, self.params.max_rows * 10
+                )
+            else:
+                join_kind = self._join_condition_kind(item.condition)
+                if join_kind == "key":
+                    rows = min(left_rows, right_rows)
+                else:
+                    rows = left_rows * right_rows / 1000.0
+                extra_sel, extra_cost = self._estimate_predicate(
+                    item.condition, left_scan + right_scan, depth
+                )
+                # the equi-join itself is not a filter on top of the key
+                # estimate; only charge evaluation cost
+                cost += extra_cost
+                del extra_sel
+            cost += (left_rows + right_rows) * self.params.join_per_row
+            return rows, cost, scanned
+        return 1.0, 0.0, 1.0
+
+    @staticmethod
+    def _join_condition_kind(condition: ast.Expr) -> str:
+        """``key`` when the ON clause equates two id-like columns."""
+        for node in _walk_no_subquery(condition):
+            if isinstance(node, ast.BinaryOp) and node.op == "=":
+                left_id = isinstance(node.left, ast.ColumnRef) and (
+                    "id" in node.left.name.lower()
+                )
+                right_id = isinstance(node.right, ast.ColumnRef) and (
+                    "id" in node.right.name.lower()
+                )
+                if left_id and right_id:
+                    return "key"
+        return "generic"
+
+    # -- predicates ---------------------------------------------------------- #
+
+    def _estimate_predicate(
+        self, expr: ast.Expr | None, rows_scanned: float, depth: int
+    ) -> tuple[float, float]:
+        """(selectivity, evaluation cost) of a boolean expression.
+
+        UDF calls inside the predicate are charged once per scanned row —
+        the Figure 1b behaviour that makes such queries slow.
+        """
+        if expr is None:
+            return 1.0, 0.0
+        selectivity = self._selectivity(expr)
+        cost = self._expression_cost(expr, depth) * max(rows_scanned, 1.0)
+        return selectivity, cost
+
+    def _selectivity(self, expr: ast.Expr) -> float:
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op == "AND":
+                return self._selectivity(expr.left) * self._selectivity(
+                    expr.right
+                )
+            if expr.op == "OR":
+                left = self._selectivity(expr.left)
+                right = self._selectivity(expr.right)
+                return min(left + right - left * right, 1.0)
+            if expr.op == "=":
+                return self._equality_selectivity(expr)
+            if expr.op in ("<", ">", "<=", ">="):
+                return 0.3
+            if expr.op in ("<>", "!="):
+                return 0.9
+            if expr.op == "LIKE":
+                return 0.05
+            return 0.5
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op == "NOT":
+                return 1.0 - self._selectivity(expr.operand)
+            if expr.op == "IS NULL":
+                return 0.02
+            if expr.op == "IS NOT NULL":
+                return 0.98
+            if expr.op == "EXISTS":
+                return 0.5
+            return 0.5
+        if isinstance(expr, ast.Between):
+            return self._range_selectivity(expr)
+        if isinstance(expr, ast.InList):
+            base = min(0.02 * max(len(expr.items), 1), 0.8)
+            return 1.0 - base if expr.negated else base
+        return 1.0  # non-boolean expression used as predicate
+
+    def _equality_selectivity(self, expr: ast.BinaryOp) -> float:
+        column = _first_column(expr)
+        if column is None:
+            return 0.1
+        info = self._column_info(column)
+        if info is None:
+            return 1e-4
+        if info.kind == "id":
+            return 1e-9  # ~unique key: the id-equality clamp restores 1 row
+        if info.kind == "category":
+            return 1.0 / max(info.distinct, 2)
+        return 1e-4  # equality on a continuous value is very selective
+
+    def _has_id_equality(self, expr: ast.Expr) -> bool:
+        """True when the predicate pins an id-kind column with equality."""
+        for node in _walk_no_subquery(expr):
+            if isinstance(node, ast.BinaryOp) and node.op == "=":
+                column = _first_column(node)
+                if column is None:
+                    continue
+                info = self._column_info(column)
+                if info is not None and info.kind == "id":
+                    return True
+        return False
+
+    def _range_selectivity(self, between: ast.Between) -> float:
+        column = (
+            between.operand
+            if isinstance(between.operand, ast.ColumnRef)
+            else _first_column(between.operand)
+        )
+        low = _literal_value(between.low)
+        high = _literal_value(between.high)
+        info = self._column_info(column) if column is not None else None
+        if info is not None and low is not None and high is not None:
+            domain = max(info.hi - info.lo, 1e-9)
+            fraction = max(high - low, 0.0) / domain
+            sel = float(np.clip(fraction, 1e-8, 1.0))
+        else:
+            sel = 0.05
+        return 1.0 - sel if between.negated else sel
+
+    def _column_info(self, column: ast.ColumnRef | None):
+        if column is None:
+            return None
+        for table in self.catalog.table_list():
+            col = table.column(column.name)
+            if col is not None:
+                return col
+        return None
+
+    def _expression_cost(self, expr: ast.Expr, depth: int) -> float:
+        """Per-evaluation cost of an expression (UDFs + subqueries)."""
+        cost = 0.0
+        for node in _walk_no_subquery(expr):
+            if isinstance(node, ast.FunctionCall):
+                func = self.catalog.function(node.name)
+                if func is not None:
+                    cost += func.cost_per_call
+                elif not node.is_aggregate:
+                    cost += 1e-6
+            elif isinstance(node, ast.Subquery):
+                _, sub_cost = self._estimate_query(node.query, depth + 1)
+                # uncorrelated subquery: evaluated once, amortised here
+                cost += sub_cost / 1e4
+        return cost
+
+    # -- noise ---------------------------------------------------------------- #
+
+    def _noisy_rows(self, rows: float) -> float:
+        noise = float(
+            np.exp(self.rng.normal(0.0, self.params.answer_noise_sigma))
+        )
+        return float(np.floor(min(max(rows * noise, 0.0), self.params.max_rows)))
+
+    def _noisy_cpu(self, cost: float) -> float:
+        noise = float(np.exp(self.rng.normal(0.0, self.params.noise_sigma)))
+        cpu = max(cost * noise * self.speed_factor, 0.0)
+        return round(min(cpu, self.params.max_cpu), 6)
+
+
+def _walk_no_subquery(expr: ast.Node):
+    """Walk an expression without descending into subqueries."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.Subquery, ast.SubquerySource)):
+            continue
+        stack.extend(node.children())
+
+
+def _first_column(expr: ast.Expr) -> ast.ColumnRef | None:
+    for node in _walk_no_subquery(expr):
+        if isinstance(node, ast.ColumnRef):
+            return node
+    return None
+
+
+def _literal_value(expr: ast.Expr) -> float | None:
+    """Numeric value of a literal or simple arithmetic over literals."""
+    if isinstance(expr, ast.Literal) and expr.is_number:
+        try:
+            return float(expr.value)
+        except ValueError:
+            try:
+                return float(int(expr.value, 16))
+            except ValueError:
+                return None
+    if isinstance(expr, ast.UnaryOp) and expr.op in ("-", "+"):
+        inner = _literal_value(expr.operand)
+        if inner is None:
+            return None
+        return -inner if expr.op == "-" else inner
+    if isinstance(expr, ast.BinaryOp) and expr.op in ("+", "-", "*", "/"):
+        left = _literal_value(expr.left)
+        right = _literal_value(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        return left / right if right != 0 else None
+    return None

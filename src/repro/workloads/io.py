@@ -1,0 +1,193 @@
+"""Workload persistence: JSON-lines readers and writers.
+
+The paper's pipeline starts from logged queries on disk (the SDSS SqlLog
+dump, the SQLShare release). This module gives the library the same
+boundary: workloads and raw logs round-trip through a line-oriented JSON
+format, one record per line, so they can be generated once, inspected with
+standard shell tools, and shared between the CLI commands.
+
+Format: each line is one JSON object. The first line is a header object
+``{"repro_workload": 1, "name": ...}`` (``"repro_log": 1`` for raw logs)
+so readers can fail fast on the wrong file kind. Missing labels are
+serialized as JSON ``null`` and come back as ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.workloads.records import LogEntry, QueryRecord, Workload
+
+__all__ = [
+    "save_workload",
+    "load_workload",
+    "save_log",
+    "load_log",
+    "WorkloadFormatError",
+]
+
+_WORKLOAD_MAGIC = "repro_workload"
+_LOG_MAGIC = "repro_log"
+_FORMAT_VERSION = 1
+
+
+class WorkloadFormatError(ValueError):
+    """Raised when a file is not a valid workload/log JSONL file."""
+
+
+def _record_to_dict(record: QueryRecord) -> dict:
+    return {
+        "statement": record.statement,
+        "error_class": record.error_class,
+        "answer_size": record.answer_size,
+        "cpu_time": record.cpu_time,
+        "session_class": record.session_class,
+        "user": record.user,
+        "num_duplicates": record.num_duplicates,
+        "elapsed_time": record.elapsed_time,
+    }
+
+
+def _record_from_dict(data: dict, line_no: int) -> QueryRecord:
+    try:
+        return QueryRecord(
+            statement=data["statement"],
+            error_class=data.get("error_class"),
+            answer_size=data.get("answer_size"),
+            cpu_time=data.get("cpu_time"),
+            session_class=data.get("session_class"),
+            user=data.get("user"),
+            num_duplicates=int(data.get("num_duplicates", 1)),
+            elapsed_time=data.get("elapsed_time"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkloadFormatError(f"bad record on line {line_no}: {exc}") from exc
+
+
+def save_workload(workload: Workload, path: str | Path) -> None:
+    """Write ``workload`` to ``path`` as JSON lines (see module docstring)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            _WORKLOAD_MAGIC: _FORMAT_VERSION,
+            "name": workload.name,
+            "records": len(workload),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in workload:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+
+
+def _read_header(path: Path, magic: str) -> dict:
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+    if not first.strip():
+        raise WorkloadFormatError(f"{path}: empty file")
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise WorkloadFormatError(f"{path}: header is not JSON: {exc}") from exc
+    if not isinstance(header, dict) or magic not in header:
+        raise WorkloadFormatError(
+            f"{path}: missing {magic!r} header (is this the right file kind?)"
+        )
+    if header[magic] != _FORMAT_VERSION:
+        raise WorkloadFormatError(
+            f"{path}: unsupported format version {header[magic]!r}"
+        )
+    return header
+
+
+def load_workload(path: str | Path) -> Workload:
+    """Read a workload written by :func:`save_workload`.
+
+    Raises:
+        WorkloadFormatError: file is missing, empty, or malformed.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadFormatError(f"{path}: no such file")
+    header = _read_header(path, _WORKLOAD_MAGIC)
+    records: list[QueryRecord] = []
+    with path.open("r", encoding="utf-8") as handle:
+        next(handle)  # header
+        for line_no, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadFormatError(
+                    f"{path}: line {line_no} is not JSON: {exc}"
+                ) from exc
+            records.append(_record_from_dict(data, line_no))
+    return Workload(str(header.get("name", path.stem)), records)
+
+
+def _entry_to_dict(entry: LogEntry) -> dict:
+    return {
+        "statement": entry.statement,
+        "session_id": entry.session_id,
+        "session_class": entry.session_class,
+        "error_class": entry.error_class,
+        "answer_size": entry.answer_size,
+        "cpu_time": entry.cpu_time,
+        "user": entry.user,
+        "ip": entry.ip,
+        "timestamp": entry.timestamp,
+        "agent_string": entry.agent_string,
+        "elapsed_time": entry.elapsed_time,
+    }
+
+
+def _entry_from_dict(data: dict, line_no: int) -> LogEntry:
+    try:
+        return LogEntry(
+            statement=data["statement"],
+            session_id=int(data["session_id"]),
+            session_class=data["session_class"],
+            error_class=data["error_class"],
+            answer_size=float(data["answer_size"]),
+            cpu_time=float(data["cpu_time"]),
+            user=data.get("user"),
+            ip=data.get("ip", "0.0.0.0"),
+            timestamp=float(data.get("timestamp", 0.0)),
+            agent_string=data.get("agent_string"),
+            elapsed_time=float(data.get("elapsed_time", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkloadFormatError(f"bad log entry on line {line_no}: {exc}") from exc
+
+
+def save_log(entries: list[LogEntry], path: str | Path, name: str = "log") -> None:
+    """Write raw (pre-dedup) log entries to ``path`` as JSON lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {_LOG_MAGIC: _FORMAT_VERSION, "name": name, "entries": len(entries)}
+        handle.write(json.dumps(header) + "\n")
+        for entry in entries:
+            handle.write(json.dumps(_entry_to_dict(entry)) + "\n")
+
+
+def load_log(path: str | Path) -> list[LogEntry]:
+    """Read log entries written by :func:`save_log`."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadFormatError(f"{path}: no such file")
+    _read_header(path, _LOG_MAGIC)
+    entries: list[LogEntry] = []
+    with path.open("r", encoding="utf-8") as handle:
+        next(handle)
+        for line_no, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadFormatError(
+                    f"{path}: line {line_no} is not JSON: {exc}"
+                ) from exc
+            entries.append(_entry_from_dict(data, line_no))
+    return entries

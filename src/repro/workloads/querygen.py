@@ -1,0 +1,530 @@
+"""Template-based SQL query generators for the synthetic workloads.
+
+Each template is a function ``(rng, catalog) -> statement`` producing one
+family of queries observed in the real logs: bot point lookups, browser
+cone searches (Figure 2b), the Figure 1b per-row-UDF anti-pattern, CasJobs
+``INTO mydb`` batch queries, admin monitoring queries (the paper's Q2),
+nested/aggregating analytics, malformed SQL, and plain natural language.
+
+Constants in bot-style templates are drawn from small pools so identical
+statements recur across sessions — the redundancy that Section 4.1 and
+Figure 20 measure and the dedup pipeline collapses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.workloads.schema import Catalog, Table
+
+__all__ = ["SDSS_TEMPLATES", "SQLSHARE_TEMPLATES", "generate_statement"]
+
+TemplateFn = Callable[[np.random.Generator, Catalog], str]
+
+# pools of "popular" constants so bot/admin statements repeat verbatim
+_OBJID_POOL_SIZE = 48
+_RA_POOL_SIZE = 64
+
+
+def _pick_table(rng: np.random.Generator, catalog: Catalog, *names: str) -> Table:
+    """A named table if present, else a random catalog table."""
+    candidates = [catalog.table(n) for n in names]
+    candidates = [t for t in candidates if t is not None]
+    if candidates:
+        return candidates[int(rng.integers(len(candidates)))]
+    tables = catalog.table_list()
+    return tables[int(rng.integers(len(tables)))]
+
+
+def _random_table(rng: np.random.Generator, catalog: Catalog) -> Table:
+    tables = catalog.table_list()
+    return tables[int(rng.integers(len(tables)))]
+
+
+def _some_columns(
+    rng: np.random.Generator, table: Table, low: int, high: int
+) -> list[str]:
+    names = [c.name for c in table.columns]
+    if not names:
+        return ["objID"]
+    k = int(rng.integers(low, min(high, len(names)) + 1))
+    k = max(k, 1)
+    picked = rng.choice(np.asarray(names, dtype=object), size=k, replace=False)
+    return [str(c) for c in picked]
+
+
+def _pool_objid(rng: np.random.Generator) -> str:
+    """A hex object id from a finite pool (drives statement repetition)."""
+    value = 0x112D000000000000 + int(rng.integers(_OBJID_POOL_SIZE)) * 1789
+    return hex(value)
+
+
+def _pool_ra(rng: np.random.Generator) -> float:
+    return round(float(rng.integers(_RA_POOL_SIZE)) * 1.44, 6)
+
+
+def _numeric_predicate(rng: np.random.Generator, table: Table) -> str:
+    cols = table.numeric_columns()
+    if not cols:
+        return "1=1"
+    col = cols[int(rng.integers(len(cols)))]
+    op = str(rng.choice(np.asarray(["<", ">", "<=", ">="], dtype=object)))
+    value = round(float(rng.uniform(col.lo, col.hi)), 4)
+    return f"{col.name}{op}{value}"
+
+
+def _category_predicate(rng: np.random.Generator, table: Table) -> str:
+    cols = table.category_columns()
+    if not cols:
+        return _numeric_predicate(rng, table)
+    col = cols[int(rng.integers(len(cols)))]
+    return f"{col.name}={int(rng.integers(col.distinct))}"
+
+
+def _between_predicate(
+    rng: np.random.Generator, table: Table, width_scale: float = 0.01
+) -> str:
+    cols = table.numeric_columns()
+    if not cols:
+        return _category_predicate(rng, table)
+    col = cols[int(rng.integers(len(cols)))]
+    center = float(rng.uniform(col.lo, col.hi))
+    width = (col.hi - col.lo) * width_scale * float(rng.uniform(0.2, 3.0))
+    lo = round(center - width / 2, 6)
+    hi = round(center + width / 2, 6)
+    return f"{col.name} BETWEEN {lo} AND {hi}"
+
+
+# --------------------------------------------------------------------------- #
+# SDSS templates
+
+
+def point_lookup(rng: np.random.Generator, catalog: Catalog) -> str:
+    # bots overwhelmingly target PhotoTag (the Figure 2a pattern)
+    table = _pick_table(
+        rng, catalog, "PhotoTag", "PhotoTag", "PhotoTag", "PhotoObj", "SpecObj"
+    )
+    id_cols = table.id_columns()
+    id_col = id_cols[0].name if id_cols else "objID"
+    return f"SELECT * FROM {table.name} WHERE {id_col}={_pool_objid(rng)}"
+
+
+def count_star(rng: np.random.Generator, catalog: Catalog) -> str:
+    table = _pick_table(rng, catalog, "Galaxy", "Star", "PhotoObj")
+    predicate = _between_predicate(rng, table, width_scale=0.02)
+    return f"SELECT COUNT(*) FROM {table.name} WHERE {predicate}"
+
+
+def cone_search(rng: np.random.Generator, catalog: Catalog) -> str:
+    """The Figure 2b browser query: photometry in a small sky window."""
+    table = _pick_table(rng, catalog, "PhotoObj", "PhotoPrimary", "Galaxy")
+    cols = ",".join(f"p.{c}" for c in _some_columns(rng, table, 3, 9))
+    ra = _pool_ra(rng)
+    dec = round(float(rng.uniform(-20, 80)), 6)
+    radius = round(float(rng.uniform(0.05, 0.4)), 6)
+    order = " ORDER BY p.objID" if rng.random() < 0.5 else ""
+    query_type = int(rng.integers(3, 7))
+    return (
+        f"SELECT {cols} FROM {table.name} AS p WHERE type={query_type} "
+        f"AND p.ra BETWEEN ({ra}-{radius}) AND ({ra}+{radius}) "
+        f"AND p.dec BETWEEN ({dec}-{radius}) AND ({dec}+{radius}){order}"
+    )
+
+
+def top_sample(rng: np.random.Generator, catalog: Catalog) -> str:
+    table = _random_table(rng, catalog)
+    cols = ",".join(_some_columns(rng, table, 1, 5))
+    top = int(rng.choice(np.asarray([10, 50, 100, 1000])))
+    predicate = _category_predicate(rng, table)
+    return f"SELECT TOP {top} {cols} FROM {table.name} WHERE {predicate}"
+
+
+def function_where(rng: np.random.Generator, catalog: Catalog) -> str:
+    """The Figure 1b anti-pattern: UDF invoked once per scanned row."""
+    table = _pick_table(rng, catalog, "PhotoObj", "PhotoObjAll", "Galaxy")
+    flag = str(
+        rng.choice(
+            np.asarray(
+                ["BLENDED", "SATURATED", "EDGE", "CHILD", "DEBLENDED_AS_PSF"],
+                dtype=object,
+            )
+        )
+    )
+    cols = ",".join(_some_columns(rng, table, 2, 6))
+    return (
+        f"SELECT {cols} FROM {table.name} "
+        f"WHERE flags & dbo.fPhotoFlags('{flag}') > 0"
+    )
+
+
+def function_select(rng: np.random.Generator, catalog: Catalog) -> str:
+    table = _pick_table(rng, catalog, "SpecObj", "SpecPhoto", "PhotoObj")
+    functions = list(catalog.functions.values())
+    func = functions[int(rng.integers(len(functions)))]
+    cols = _some_columns(rng, table, 1, 4)
+    predicate = _between_predicate(rng, table, width_scale=0.005)
+    return (
+        f"SELECT {func.name}({cols[0]}),{','.join(cols)} "
+        f"FROM {table.name} WHERE {predicate}"
+    )
+
+
+def join_query(rng: np.random.Generator, catalog: Catalog) -> str:
+    left = _pick_table(rng, catalog, "SpecObj", "SpecPhoto")
+    right = _pick_table(rng, catalog, "PhotoObj", "PhotoPrimary", "Galaxy")
+    lcols = ",".join(f"s.{c}" for c in _some_columns(rng, left, 1, 4))
+    rcols = ",".join(f"p.{c}" for c in _some_columns(rng, right, 1, 4))
+    predicate = _between_predicate(rng, right, width_scale=0.003)
+    explicit = rng.random() < 0.6
+    if explicit:
+        kind = str(
+            rng.choice(np.asarray(["INNER JOIN", "JOIN", "LEFT JOIN"], dtype=object))
+        )
+        return (
+            f"SELECT {lcols},{rcols} FROM {left.name} AS s {kind} "
+            f"{right.name} AS p ON s.bestObjID=p.objID WHERE p.{predicate}"
+        )
+    return (
+        f"SELECT {lcols},{rcols} FROM {left.name} AS s, {right.name} AS p "
+        f"WHERE s.bestObjID=p.objID AND p.{predicate}"
+    )
+
+
+def three_way_join(rng: np.random.Generator, catalog: Catalog) -> str:
+    """The paper's Q1 shape: three large tables, long select list."""
+    spec = _pick_table(rng, catalog, "SpecObj", "SpecPhoto")
+    photo = _pick_table(rng, catalog, "PhotoObj", "Galaxy")
+    extra = _pick_table(rng, catalog, "PhotoTag", "Neighbors", "TwoMass")
+    cols = ",".join(
+        [f"s.{c}" for c in _some_columns(rng, spec, 3, 8)]
+        + [f"p.{c}" for c in _some_columns(rng, photo, 5, 20)]
+        + [f"q.{c}" for c in _some_columns(rng, extra, 2, 6)]
+    )
+    func = "dbo.fDistanceArcMinEq(q.ra,q.dec,p.ra,p.dec)"
+    ra = _pool_ra(rng)
+    return (
+        f"SELECT q.objID AS qname,{func},{cols} "
+        f"FROM {spec.name} AS s, {extra.name} AS q, {photo.name} AS p "
+        f"WHERE ((s.bestObjID=p.objID) AND (s.ra BETWEEN {ra} AND {ra + 5}) "
+        f"AND (q.type=6)) ORDER BY q.ra"
+    )
+
+
+def nested_in(rng: np.random.Generator, catalog: Catalog) -> str:
+    outer = _pick_table(rng, catalog, "PhotoObj", "Galaxy", "Star")
+    inner = _pick_table(rng, catalog, "SpecObj", "SpecPhoto")
+    cols = ",".join(_some_columns(rng, outer, 1, 5))
+    predicate = _category_predicate(rng, inner)
+    return (
+        f"SELECT {cols} FROM {outer.name} WHERE objID IN "
+        f"(SELECT bestObjID FROM {inner.name} WHERE {predicate})"
+    )
+
+
+def nested_scalar_agg(rng: np.random.Generator, catalog: Catalog) -> str:
+    """Nested aggregation, like the paper's Figure 5 example."""
+    table = _pick_table(rng, catalog, "SpecPhoto", "SpecObj")
+    numeric = table.numeric_columns()
+    col = numeric[int(rng.integers(len(numeric)))].name if numeric else "z"
+    agg = str(rng.choice(np.asarray(["MIN", "MAX"], dtype=object)))
+    predicate = _numeric_predicate(rng, table)
+    return (
+        f"SELECT dbo.fGetUrlExpId(specObjID) FROM {table.name} "
+        f"WHERE {col} = (SELECT {agg}({col}) FROM {table.name} "
+        f"WHERE {predicate})"
+    )
+
+
+def group_agg(rng: np.random.Generator, catalog: Catalog) -> str:
+    table = _random_table(rng, catalog)
+    cats = table.category_columns()
+    group_col = cats[int(rng.integers(len(cats)))].name if cats else "type"
+    agg = str(rng.choice(np.asarray(["COUNT(*)", "AVG(ra)", "MAX(dec)"], dtype=object)))
+    having = (
+        f" HAVING COUNT(*) > {int(rng.integers(1, 100))}"
+        if rng.random() < 0.3
+        else ""
+    )
+    return (
+        f"SELECT {group_col},{agg} FROM {table.name} "
+        f"WHERE {_numeric_predicate(rng, table)} GROUP BY {group_col}{having}"
+    )
+
+
+def wide_select(rng: np.random.Generator, catalog: Catalog) -> str:
+    """Long ad-hoc human query: many columns, several predicates."""
+    table = _pick_table(rng, catalog, "PhotoObj", "PhotoObjAll", "Galaxy")
+    cols = ",".join(f"p.{c}" for c in _some_columns(rng, table, 8, 24))
+    predicates = " AND ".join(
+        _numeric_predicate(rng, table) for _ in range(int(rng.integers(2, 7)))
+    )
+    return f"SELECT {cols} FROM {table.name} AS p WHERE {predicates}"
+
+
+def into_mydb(rng: np.random.Generator, catalog: Catalog) -> str:
+    """CasJobs batch query writing into the user's MyDB (no_web_hit style)."""
+    table = _pick_table(rng, catalog, "PhotoObj", "SpecObj", "Galaxy")
+    cols = ",".join(_some_columns(rng, table, 3, 10))
+    target = f"mydb.batch_{int(rng.integers(10000))}"
+    predicate = _between_predicate(rng, table, width_scale=0.05)
+    return (
+        f"SELECT {cols} INTO {target} FROM {table.name} WHERE {predicate}"
+    )
+
+
+def admin_monitor(rng: np.random.Generator, catalog: Catalog) -> str:
+    """The paper's Q2 shape: service-monitoring query over Jobs/Servers."""
+    variant = int(rng.integers(3))
+    if variant == 0:
+        return (
+            "SELECT j.target,cast(j.estimate AS varchar) AS queue,j.status "
+            "FROM Jobs j,Users u,Status s,"
+            "(SELECT DISTINCT target,queue FROM Servers s1 WHERE s1.name "
+            "NOT IN (SELECT name FROM Servers s,(SELECT target,min(queue) "
+            "AS queue FROM Servers GROUP BY target) AS a "
+            "WHERE a.target=s.target)) b "
+            f"WHERE j.outputtype LIKE '%QUERY%' AND j.jobID>{int(rng.integers(9000))}"
+        )
+    if variant == 1:
+        return (
+            "SELECT target,COUNT(*) FROM Jobs WHERE "
+            f"status={int(rng.integers(8))} GROUP BY target"
+        )
+    return f"SELECT TOP 100 * FROM Jobs WHERE userID={_pool_objid(rng)}"
+
+
+#: Canned statements mimicking the SDSS help-page sample queries that users
+#: copy-paste verbatim (Section 2). A large source of exact-statement
+#: repetition across sessions (Figure 20).
+_SAMPLE_GALLERY = [
+    "SELECT COUNT(*) FROM Galaxy",
+    "SELECT TOP 10 objID,ra,dec FROM PhotoObj WHERE type=6",
+    "SELECT TOP 100 * FROM SpecObj WHERE zConf>0.35 AND specClass=3",
+    "SELECT objID,u,g,r,i,z FROM Star WHERE u-g>2.27 AND g-r>1.35",
+    "SELECT COUNT(*) FROM PhotoObj WHERE type=3",
+    "SELECT TOP 10 ra,dec,modelMag_r FROM Galaxy WHERE modelMag_r<17",
+    "SELECT objID FROM PhotoPrimary WHERE ra BETWEEN 140 AND 141 AND dec BETWEEN 20 AND 21",
+    "SELECT specObjID,z,zErr FROM SpecObj WHERE zWarning=0 AND z>3",
+    "SELECT TOP 50 p.objID,p.ra,p.dec,s.z FROM PhotoObj AS p JOIN SpecObj AS s ON s.bestObjID=p.objID WHERE s.z>2",
+    "SELECT COUNT(*) FROM SpecObj WHERE specClass=1",
+    "SELECT plate,mjd,COUNT(*) FROM SpecObj GROUP BY plate,mjd",
+    "SELECT TOP 10 * FROM PhotoTag",
+    "SELECT name FROM Servers",
+    "SELECT ra,dec FROM Galaxy WHERE petroR50_r>10",
+    "SELECT TOP 100 objID,flags FROM PhotoObj WHERE flags & dbo.fPhotoFlags('SATURATED') > 0",
+    "SELECT g,r,i FROM Star WHERE psfMag_r BETWEEN 15 AND 16",
+]
+
+
+def gallery_query(rng: np.random.Generator, catalog: Catalog) -> str:
+    """A verbatim sample query from the documentation gallery."""
+    del catalog
+    return _SAMPLE_GALLERY[int(rng.integers(len(_SAMPLE_GALLERY)))]
+
+
+_NL_SNIPPETS = [
+    "how do I find galaxies near ra {0}",
+    "show me all the quasars please",
+    "what is the magnitude of object {0}",
+    "list of stars brighter than 15 in the northern sky",
+    "help I cannot get my query to work",
+    "find photometric objects with redshift above {0}",
+    "test test test",
+    "select the good data",
+]
+
+
+def random_text(rng: np.random.Generator, catalog: Catalog) -> str:
+    del catalog
+    snippet = _NL_SNIPPETS[int(rng.integers(len(_NL_SNIPPETS)))]
+    return snippet.format(round(float(rng.uniform(0, 200)), 2))
+
+
+def malformed_sql(rng: np.random.Generator, catalog: Catalog) -> str:
+    """A valid query corrupted the way humans typo them.
+
+    Most corruptions leave the statement unparseable (the portal rejects it
+    → severe); the BETWEEN corruption produces a statement that reaches the
+    server and fails there (non-severe), like the real mix.
+    """
+    base = cone_search(rng, catalog)
+    corruption = int(rng.integers(4))
+    if corruption == 0:
+        return base.replace("SELECT", "SELCT", 1)
+    if corruption == 1:
+        return base.replace("FROM", "FORM", 1).replace("WHERE", "WHRE", 1)
+    if corruption == 2:
+        return base + " AND ((( OR AND ) ? ? ?"
+    return base.replace("BETWEEN", "BETWEEN AND", 1)
+
+
+def bad_reference(rng: np.random.Generator, catalog: Catalog) -> str:
+    """Syntactically valid query over a misspelled table (runtime error)."""
+    table = _random_table(rng, catalog)
+    typo = table.name + str(rng.choice(np.asarray(["s", "x", "2", "_old"], dtype=object)))
+    cols = ",".join(_some_columns(rng, table, 1, 4))
+    return f"SELECT {cols} FROM {typo} WHERE {_numeric_predicate(rng, table)}"
+
+
+def ddl_misc(rng: np.random.Generator, catalog: Catalog) -> str:
+    table = _random_table(rng, catalog)
+    variant = int(rng.integers(4))
+    if variant == 0:
+        return f"DROP TABLE mydb.batch_{int(rng.integers(10000))}"
+    if variant == 1:
+        return (
+            f"CREATE TABLE mydb.slice_{int(rng.integers(10000))} "
+            "(objid bigint, ra float, dec float)"
+        )
+    if variant == 2:
+        return f"EXEC spExecuteSQL 'SELECT COUNT(*) FROM {table.name}'"
+    return (
+        f"INSERT INTO mydb.collected SELECT TOP 500 * FROM {table.name} "
+        f"WHERE {_category_predicate(rng, table)}"
+    )
+
+
+SDSS_TEMPLATES: dict[str, TemplateFn] = {
+    "point_lookup": point_lookup,
+    "count_star": count_star,
+    "cone_search": cone_search,
+    "top_sample": top_sample,
+    "function_where": function_where,
+    "function_select": function_select,
+    "join_query": join_query,
+    "three_way_join": three_way_join,
+    "nested_in": nested_in,
+    "nested_scalar_agg": nested_scalar_agg,
+    "group_agg": group_agg,
+    "wide_select": wide_select,
+    "into_mydb": into_mydb,
+    "admin_monitor": admin_monitor,
+    "random_text": random_text,
+    "malformed_sql": malformed_sql,
+    "bad_reference": bad_reference,
+    "ddl_misc": ddl_misc,
+    "gallery_query": gallery_query,
+}
+
+
+# --------------------------------------------------------------------------- #
+# SQLShare templates (operate on a per-user catalog)
+
+
+def ss_select_all(rng: np.random.Generator, catalog: Catalog) -> str:
+    table = _random_table(rng, catalog)
+    if rng.random() < 0.4:
+        return f"SELECT * FROM {table.name}"
+    top = int(rng.choice(np.asarray([10, 100, 1000])))
+    return f"SELECT TOP {top} * FROM {table.name}"
+
+
+def ss_filter(rng: np.random.Generator, catalog: Catalog) -> str:
+    table = _random_table(rng, catalog)
+    cols = ",".join(_some_columns(rng, table, 1, 6))
+    predicate = _numeric_predicate(rng, table)
+    return f"SELECT {cols} FROM {table.name} WHERE {predicate}"
+
+
+def ss_agg(rng: np.random.Generator, catalog: Catalog) -> str:
+    table = _random_table(rng, catalog)
+    cats = table.category_columns()
+    numeric = table.numeric_columns()
+    group_col = cats[int(rng.integers(len(cats)))].name if cats else table.columns[0].name
+    value_col = numeric[int(rng.integers(len(numeric)))].name if numeric else group_col
+    agg = str(rng.choice(np.asarray(["AVG", "SUM", "MIN", "MAX", "COUNT"], dtype=object)))
+    return (
+        f"SELECT {group_col},{agg}({value_col}) FROM {table.name} "
+        f"GROUP BY {group_col}"
+    )
+
+
+def ss_join(rng: np.random.Generator, catalog: Catalog) -> str:
+    tables = catalog.table_list()
+    left = tables[int(rng.integers(len(tables)))]
+    right = tables[int(rng.integers(len(tables)))]
+    left_id = left.id_columns()[0].name if left.id_columns() else left.columns[0].name
+    right_id = right.id_columns()[0].name if right.id_columns() else right.columns[0].name
+    lcols = ",".join(f"a.{c}" for c in _some_columns(rng, left, 1, 4))
+    return (
+        f"SELECT {lcols} FROM {left.name} a JOIN {right.name} b "
+        f"ON a.{left_id}=b.{right_id} WHERE a.{_numeric_predicate(rng, left)}"
+    )
+
+
+def ss_derived(rng: np.random.Generator, catalog: Catalog) -> str:
+    """Derived-table analytics — SQLShare's hallmark nested style."""
+    table = _random_table(rng, catalog)
+    cats = table.category_columns()
+    numeric = table.numeric_columns()
+    group_col = cats[int(rng.integers(len(cats)))].name if cats else table.columns[0].name
+    value_col = numeric[int(rng.integers(len(numeric)))].name if numeric else group_col
+    return (
+        f"SELECT t.{group_col},t.avg_v FROM "
+        f"(SELECT {group_col},AVG({value_col}) AS avg_v FROM {table.name} "
+        f"GROUP BY {group_col}) t WHERE t.avg_v > "
+        f"(SELECT AVG({value_col}) FROM {table.name})"
+    )
+
+
+def ss_deep_nested(rng: np.random.Generator, catalog: Catalog) -> str:
+    table = _random_table(rng, catalog)
+    numeric = table.numeric_columns()
+    col = numeric[int(rng.integers(len(numeric)))].name if numeric else table.columns[0].name
+    id_col = table.id_columns()[0].name if table.id_columns() else table.columns[0].name
+    return (
+        f"SELECT {id_col} FROM {table.name} WHERE {col} IN "
+        f"(SELECT MAX({col}) FROM {table.name} WHERE {id_col} IN "
+        f"(SELECT {id_col} FROM {table.name} WHERE {col} > "
+        f"(SELECT AVG({col}) FROM {table.name})))"
+    )
+
+
+def ss_long_analytics(rng: np.random.Generator, catalog: Catalog) -> str:
+    """Long multi-case SELECT typical of uploaded-CSV cleanup queries."""
+    table = _random_table(rng, catalog)
+    cols = _some_columns(rng, table, 4, 12)
+    case_col = cols[0]
+    threshold = round(float(rng.uniform(0, 100)), 3)
+    case = (
+        f"CASE WHEN {case_col} > {threshold} THEN 'high' "
+        f"WHEN {case_col} > {threshold / 2} THEN 'mid' ELSE 'low' END AS bucket"
+    )
+    return (
+        f"SELECT {','.join(cols)},{case} FROM {table.name} "
+        f"WHERE {_numeric_predicate(rng, table)} "
+        f"AND {_numeric_predicate(rng, table)}"
+    )
+
+
+def ss_malformed(rng: np.random.Generator, catalog: Catalog) -> str:
+    base = ss_filter(rng, catalog)
+    if rng.random() < 0.5:
+        return base.replace("SELECT", "SELET", 1)
+    return base + " GROUP WHERE"
+
+
+SQLSHARE_TEMPLATES: dict[str, TemplateFn] = {
+    "ss_select_all": ss_select_all,
+    "ss_filter": ss_filter,
+    "ss_agg": ss_agg,
+    "ss_join": ss_join,
+    "ss_derived": ss_derived,
+    "ss_deep_nested": ss_deep_nested,
+    "ss_long_analytics": ss_long_analytics,
+    "ss_malformed": ss_malformed,
+}
+
+
+def generate_statement(
+    template: str,
+    rng: np.random.Generator,
+    catalog: Catalog,
+) -> str:
+    """Generate one statement from a named template (either registry)."""
+    registry = SDSS_TEMPLATES if template in SDSS_TEMPLATES else SQLSHARE_TEMPLATES
+    if template not in registry:
+        raise KeyError(f"unknown template: {template}")
+    return registry[template](rng, catalog)

@@ -1,0 +1,118 @@
+"""Data containers: log entries, deduplicated query records, workloads."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LogEntry", "QueryRecord", "Workload", "ERROR_CLASSES", "SESSION_CLASSES"]
+
+#: Error classes observed in the SDSS SqlLog.error column (Section 4.1).
+ERROR_CLASSES = ("severe", "success", "non_severe")
+
+#: Session classes from the SDSS WebAgent join (Section 4.1 / Appendix B.1).
+SESSION_CLASSES = (
+    "no_web_hit",
+    "unknown",
+    "bot",
+    "admin",
+    "program",
+    "anonymous",
+    "browser",
+)
+
+
+@dataclass
+class LogEntry:
+    """One raw hit in a (synthetic) query log, before deduplication.
+
+    Mirrors the columns the paper extracts from SqlLog/WebLog: the raw
+    statement plus the four label columns, and the session the hit belongs
+    to. ``answer_size`` is -1 when the query did not run. ``ip``,
+    ``timestamp`` and ``agent_string`` carry the WebLog-side metadata the
+    sessionization step (Section 2) consumes; ``agent_string`` is None for
+    hits that did not arrive through the web (the no_web_hit class).
+    """
+
+    statement: str
+    session_id: int
+    session_class: str
+    error_class: str
+    answer_size: float
+    cpu_time: float
+    user: Optional[str] = None
+    ip: str = "0.0.0.0"
+    timestamp: float = 0.0
+    agent_string: Optional[str] = None
+    elapsed_time: float = 0.0
+
+
+@dataclass
+class QueryRecord:
+    """One unique statement with aggregated labels (Section 4.1).
+
+    Regression labels are means over duplicate log entries; class labels
+    are majority votes. ``user`` is the submitting user for SQLShare
+    (drives the Heterogeneous Schema split).
+    """
+
+    statement: str
+    error_class: Optional[str] = None
+    answer_size: Optional[float] = None
+    cpu_time: Optional[float] = None
+    session_class: Optional[str] = None
+    user: Optional[str] = None
+    num_duplicates: int = 1
+    elapsed_time: Optional[float] = None
+
+
+@dataclass
+class Workload:
+    """A named collection of query records (Definition 3)."""
+
+    name: str
+    records: list[QueryRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, idx: int) -> QueryRecord:
+        return self.records[idx]
+
+    def statements(self) -> list[str]:
+        """All statements, in record order."""
+        return [r.statement for r in self.records]
+
+    def labels(self, name: str) -> np.ndarray:
+        """Label column as an array; raises if any record lacks it.
+
+        Args:
+            name: ``error_class``, ``answer_size``, ``cpu_time`` or
+                ``session_class``.
+        """
+        values = [getattr(r, name) for r in self.records]
+        if any(v is None for v in values):
+            raise ValueError(
+                f"workload {self.name!r} has records without {name!r} labels"
+            )
+        if name in ("answer_size", "cpu_time", "elapsed_time"):
+            return np.asarray(values, dtype=np.float64)
+        return np.asarray(values, dtype=object)
+
+    def users(self) -> list[Optional[str]]:
+        """Submitting user per record (None where unknown)."""
+        return [r.user for r in self.records]
+
+    def filter(self, predicate: Callable[[QueryRecord], bool]) -> "Workload":
+        """New workload containing the records satisfying ``predicate``."""
+        return Workload(self.name, [r for r in self.records if predicate(r)])
+
+    def subset(self, indices: Sequence[int]) -> "Workload":
+        """New workload with the records at ``indices`` (order preserved)."""
+        return Workload(self.name, [self.records[i] for i in indices])

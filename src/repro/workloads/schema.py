@@ -1,0 +1,381 @@
+"""Synthetic catalogs mirroring the SDSS and SQLShare schema shapes.
+
+The SDSS CAS schema has 87 tables, 46 views, and 467 functions (Section 2).
+:func:`sdss_catalog` reproduces the well-known core of that schema by name
+(PhotoObj at 794 328 715 rows, SpecObj at 4 311 571 rows — the row counts the
+paper quotes in its Section 6.3.3 case study) and fills the tail with
+generated astronomy-flavoured tables so the name distribution is realistic.
+
+SQLShare is a database-as-a-service where each user uploads private data, so
+:func:`sqlshare_catalog` creates a per-user catalog with user-specific table
+and column lexicons — exactly the rare-token heterogeneity that makes the
+paper's Heterogeneous Schema setting hard for word-level models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Column",
+    "Table",
+    "DbFunction",
+    "Catalog",
+    "sdss_catalog",
+    "sqlshare_catalog",
+    "sqlshare_username",
+    "alpha_tag",
+]
+
+
+def alpha_tag(value: int, width: int = 3) -> str:
+    """Deterministic letters-only tag for an integer (base-26, a-z).
+
+    Identifiers in the SQLShare catalogs use letter tags instead of numbers
+    because the word-level models mask every digit run to ``<DIGIT>`` —
+    numeric suffixes would make different users' tables indistinguishable
+    after masking and erase the heterogeneity the paper measures.
+    """
+    letters = []
+    value = abs(int(value))
+    for _ in range(width):
+        letters.append(chr(ord("a") + value % 26))
+        value //= 26
+    return "".join(reversed(letters))
+
+
+def sqlshare_username(index: int) -> str:
+    """Canonical SQLShare username for user ``index`` (letters only)."""
+    return f"user_{alpha_tag(index, width=3)}"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column with the metadata the cardinality model needs.
+
+    Attributes:
+        name: Column name.
+        kind: ``id`` (near-unique key), ``category`` (few distinct values),
+            ``numeric`` (continuous measurements), or ``text``.
+        lo / hi: Value domain for numeric columns (drives range selectivity).
+        distinct: Approximate distinct-value count for category columns.
+    """
+
+    name: str
+    kind: str = "numeric"
+    lo: float = 0.0
+    hi: float = 1.0
+    distinct: int = 10
+
+
+@dataclass(frozen=True)
+class Table:
+    """A base table: name, row count, and columns."""
+
+    name: str
+    rows: int
+    columns: tuple[Column, ...] = ()
+
+    def column(self, name: str) -> Column | None:
+        target = name.lower()
+        for col in self.columns:
+            if col.name.lower() == target:
+                return col
+        return None
+
+    def numeric_columns(self) -> list[Column]:
+        return [c for c in self.columns if c.kind == "numeric"]
+
+    def id_columns(self) -> list[Column]:
+        return [c for c in self.columns if c.kind == "id"]
+
+    def category_columns(self) -> list[Column]:
+        return [c for c in self.columns if c.kind == "category"]
+
+
+@dataclass(frozen=True)
+class DbFunction:
+    """A scalar UDF with a per-call CPU cost (seconds).
+
+    Per-row invocation of expensive UDFs in WHERE clauses is the paper's
+    Figure 1b inefficiency; the execution engine charges ``cost_per_call``
+    for every row the predicate is evaluated on.
+    """
+
+    name: str
+    cost_per_call: float = 1e-6
+
+
+@dataclass
+class Catalog:
+    """A queryable schema: tables and functions by lower-cased name."""
+
+    name: str
+    tables: dict[str, Table] = field(default_factory=dict)
+    functions: dict[str, DbFunction] = field(default_factory=dict)
+
+    def add_table(self, table: Table) -> None:
+        self.tables[table.name.lower()] = table
+
+    def add_function(self, func: DbFunction) -> None:
+        # key by the final name component so `dbo.fX` and `fX` both resolve
+        self.functions[func.name.rsplit(".", 1)[-1].lower()] = func
+
+    def table(self, name: str) -> Table | None:
+        """Lookup by (possibly qualified) name; unknown → None."""
+        return self.tables.get(name.rsplit(".", 1)[-1].lower())
+
+    def function(self, name: str) -> DbFunction | None:
+        return self.functions.get(name.rsplit(".", 1)[-1].lower())
+
+    def table_list(self) -> list[Table]:
+        return list(self.tables.values())
+
+
+# --------------------------------------------------------------------------- #
+# SDSS
+
+
+_PHOTO_COLUMNS = (
+    Column("objID", kind="id"),
+    Column("ra", kind="numeric", lo=0.0, hi=360.0),
+    Column("dec", kind="numeric", lo=-90.0, hi=90.0),
+    Column("u", kind="numeric", lo=10.0, hi=30.0),
+    Column("g", kind="numeric", lo=10.0, hi=30.0),
+    Column("r", kind="numeric", lo=10.0, hi=30.0),
+    Column("i", kind="numeric", lo=10.0, hi=30.0),
+    Column("z", kind="numeric", lo=10.0, hi=30.0),
+    Column("type", kind="category", distinct=9),
+    Column("mode", kind="category", distinct=4),
+    Column("flags", kind="category", distinct=64),
+    Column("status", kind="category", distinct=16),
+    Column("modelMag_u", kind="numeric", lo=10.0, hi=30.0),
+    Column("modelMag_g", kind="numeric", lo=10.0, hi=30.0),
+    Column("modelMag_r", kind="numeric", lo=10.0, hi=30.0),
+    Column("psfMag_r", kind="numeric", lo=10.0, hi=30.0),
+    Column("psfMagErr_u", kind="numeric", lo=0.0, hi=2.0),
+    Column("psfMagErr_g", kind="numeric", lo=0.0, hi=2.0),
+    Column("petroR50_r", kind="numeric", lo=0.0, hi=60.0),
+    Column("extinction_r", kind="numeric", lo=0.0, hi=2.0),
+    Column("run", kind="category", distinct=700),
+    Column("rerun", kind="category", distinct=50),
+    Column("camcol", kind="category", distinct=6),
+    Column("field", kind="category", distinct=1000),
+)
+
+_SPEC_COLUMNS = (
+    Column("specObjID", kind="id"),
+    Column("bestObjID", kind="id"),
+    Column("ra", kind="numeric", lo=0.0, hi=360.0),
+    Column("dec", kind="numeric", lo=-90.0, hi=90.0),
+    Column("z", kind="numeric", lo=-0.01, hi=7.0),
+    Column("zErr", kind="numeric", lo=0.0, hi=1.0),
+    Column("zConf", kind="numeric", lo=0.0, hi=1.0),
+    Column("zWarning", kind="category", distinct=32),
+    Column("specClass", kind="category", distinct=7),
+    Column("plate", kind="category", distinct=3000),
+    Column("mjd", kind="category", distinct=2000),
+    Column("fiberID", kind="category", distinct=640),
+    Column("modelMag_u", kind="numeric", lo=10.0, hi=30.0),
+    Column("modelMag_g", kind="numeric", lo=10.0, hi=30.0),
+)
+
+_ADMIN_COLUMNS = (
+    Column("name", kind="text"),
+    Column("target", kind="category", distinct=20),
+    Column("queue", kind="category", distinct=8),
+    Column("estimate", kind="numeric", lo=0.0, hi=5000.0),
+    Column("outputtype", kind="category", distinct=6),
+    Column("status", kind="category", distinct=8),
+    Column("jobID", kind="id"),
+    Column("userID", kind="id"),
+)
+
+#: (name, rows, columns) for the named core of the SDSS schema. Row counts
+#: for PhotoObj/SpecObj are the ones the paper quotes; others are realistic.
+_SDSS_CORE_TABLES: list[tuple[str, int, tuple[Column, ...]]] = [
+    ("PhotoObj", 794_328_715, _PHOTO_COLUMNS),
+    ("PhotoObjAll", 1_200_000_000, _PHOTO_COLUMNS),
+    ("PhotoPrimary", 400_000_000, _PHOTO_COLUMNS),
+    ("PhotoTag", 794_328_715, _PHOTO_COLUMNS[:12]),
+    ("Galaxy", 208_478_448, _PHOTO_COLUMNS),
+    ("Star", 260_562_744, _PHOTO_COLUMNS),
+    ("SpecObj", 4_311_571, _SPEC_COLUMNS),
+    ("SpecObjAll", 5_789_200, _SPEC_COLUMNS),
+    ("SpecPhoto", 3_929_000, _SPEC_COLUMNS + _PHOTO_COLUMNS[:8]),
+    ("SpecLine", 88_000_000, _SPEC_COLUMNS[:8]),
+    ("PlateX", 2_900, _SPEC_COLUMNS[8:]),
+    ("Field", 938_046, _PHOTO_COLUMNS[18:]),
+    ("Frame", 3_752_184, _PHOTO_COLUMNS[18:]),
+    ("Neighbors", 2_600_000_000, (
+        Column("objID", kind="id"),
+        Column("neighborObjID", kind="id"),
+        Column("distance", kind="numeric", lo=0.0, hi=0.5),
+        Column("type", kind="category", distinct=9),
+        Column("neighborType", kind="category", distinct=9),
+    )),
+    ("TwoMass", 470_000_000, _PHOTO_COLUMNS[:10]),
+    ("First", 946_000, _PHOTO_COLUMNS[:10]),
+    ("Rosat", 18_000, _PHOTO_COLUMNS[:10]),
+    ("USNO", 1_000_000_000, _PHOTO_COLUMNS[:10]),
+    ("Match", 60_000_000, (
+        Column("objID1", kind="id"),
+        Column("objID2", kind="id"),
+        Column("distance", kind="numeric", lo=0.0, hi=1.0),
+    )),
+    ("Region", 3_500_000, _PHOTO_COLUMNS[18:]),
+    ("Mask", 5_000_000, _PHOTO_COLUMNS[18:]),
+    ("Jobs", 150_000, _ADMIN_COLUMNS),
+    ("Users", 42_000, _ADMIN_COLUMNS),
+    ("Status", 96, _ADMIN_COLUMNS),
+    ("Servers", 24, _ADMIN_COLUMNS),
+    ("DBObjects", 3_100, _ADMIN_COLUMNS),
+    ("SiteConstants", 40, _ADMIN_COLUMNS),
+]
+
+#: Named core of the SDSS function catalog, with per-call CPU costs chosen so
+#: per-row WHERE-clause invocation is expensive (Figure 1b).
+_SDSS_CORE_FUNCTIONS = [
+    ("dbo.fPhotoFlags", 2e-6),
+    ("dbo.fPhotoStatus", 2e-6),
+    ("dbo.fGetNearbyObjEq", 5e-4),
+    ("dbo.fGetNearestObjEq", 5e-4),
+    ("dbo.fGetObjFromRect", 4e-4),
+    ("dbo.fDistanceArcMinEq", 3e-6),
+    ("dbo.fSpecZWarning", 2e-6),
+    ("dbo.fGetUrlExpId", 1e-5),
+    ("dbo.fGetUrlFitsCFrame", 1e-5),
+    ("dbo.fObjidFromSDSS", 4e-6),
+    ("dbo.fSDSSfromObjID", 4e-6),
+    ("dbo.fMJDToGMT", 1e-6),
+    ("dbo.fIAUFromEq", 2e-6),
+    ("dbo.fCosmoDl", 8e-6),
+    ("dbo.fWedgeV3", 6e-6),
+]
+
+_ASTRO_WORDS = (
+    "Photo Spec Obj Tile Target Sector Chunk Segment Stripe Run Field "
+    "Mask Region Sky Zone Best Plate Fiber Line Index Cross Match Prof "
+    "Gal Star QSO Neighbor Source Flux Mag Err Model Petro Psf Frame "
+    "Header Meta Data Quality QA Diag History Version Load Drop Zoom"
+).split()
+
+
+def _generated_tables(rng: np.random.Generator, count: int) -> list[Table]:
+    """Astronomy-flavoured filler tables so the catalog has SDSS's breadth."""
+    tables: list[Table] = []
+    seen: set[str] = set()
+    while len(tables) < count:
+        name = "".join(rng.choice(_ASTRO_WORDS, size=2, replace=False))
+        if name.lower() in seen:
+            continue
+        seen.add(name.lower())
+        rows = int(10 ** rng.uniform(2.0, 8.5))
+        cols = tuple(
+            rng.choice(
+                np.asarray(_PHOTO_COLUMNS + _SPEC_COLUMNS, dtype=object),
+                size=rng.integers(4, 12),
+                replace=False,
+            )
+        )
+        tables.append(Table(name, rows, cols))
+    return tables
+
+
+def sdss_catalog(seed: int = 7) -> Catalog:
+    """The synthetic SDSS catalog (deterministic for a given seed)."""
+    rng = np.random.default_rng(seed)
+    catalog = Catalog("sdss")
+    for name, rows, cols in _SDSS_CORE_TABLES:
+        catalog.add_table(Table(name, rows, cols))
+    for table in _generated_tables(rng, 87 - len(_SDSS_CORE_TABLES)):
+        if catalog.table(table.name) is None:
+            catalog.add_table(table)
+    for name, cost in _SDSS_CORE_FUNCTIONS:
+        catalog.add_function(DbFunction(name, cost))
+    # fill to a few hundred functions like the real schema
+    kinds = ["Get", "Calc", "Check", "From", "To", "Nearby", "Enum"]
+    while len(catalog.functions) < 120:
+        word = rng.choice(_ASTRO_WORDS)
+        kind = rng.choice(kinds)
+        fname = f"dbo.f{kind}{word}"
+        if catalog.function(fname) is None:
+            catalog.add_function(
+                DbFunction(fname, float(10 ** rng.uniform(-6.5, -3.5)))
+            )
+    return catalog
+
+
+# --------------------------------------------------------------------------- #
+# SQLShare
+
+
+_SQLSHARE_DOMAINS: dict[str, list[str]] = {
+    "bio": [
+        "gene", "protein", "sequence", "expression", "sample", "taxon",
+        "genome", "read", "contig", "annotation", "blast", "alignment",
+    ],
+    "ocean": [
+        "cruise", "station", "depth", "salinity", "temperature", "nitrate",
+        "oxygen", "chlorophyll", "cast", "bottle", "sensor", "tow",
+    ],
+    "social": [
+        "user", "post", "tag", "follower", "tweet", "hashtag", "mention",
+        "thread", "vote", "comment", "session", "click",
+    ],
+    "sensor": [
+        "reading", "device", "timestamp", "voltage", "signal", "event",
+        "trace", "packet", "node", "channel", "sample", "batch",
+    ],
+}
+
+
+def sqlshare_catalog(user: str, seed: int) -> Catalog:
+    """Per-user SQLShare catalog with a user-specific lexicon.
+
+    Each user gets 2-14 uploaded tables whose names embed user-specific
+    suffixes (dataset versions, upload dates), producing the rare-token
+    distribution that separates Homogeneous from Heterogeneous Schema.
+    """
+    rng = np.random.default_rng(seed)
+    domain = list(_SQLSHARE_DOMAINS)[int(rng.integers(len(_SQLSHARE_DOMAINS)))]
+    words = _SQLSHARE_DOMAINS[domain]
+    catalog = Catalog(f"sqlshare:{user}")
+    n_tables = int(rng.integers(2, 15))
+    for _ in range(n_tables):
+        stem = rng.choice(words)
+        suffix = alpha_tag(int(rng.integers(0, 26**3)))
+        name = f"{user}_{stem}_{suffix}"
+        if catalog.table(name) is not None:
+            continue
+        n_cols = int(rng.integers(3, 16))
+        cols: list[Column] = [Column(f"{stem}_id", kind="id")]
+        for _ in range(n_cols):
+            col_stem = rng.choice(words)
+            tag = alpha_tag(int(rng.integers(0, 26**2)), width=2)
+            kind = rng.choice(
+                np.asarray(["numeric", "category", "text"], dtype=object),
+                p=[0.6, 0.25, 0.15],
+            )
+            lo = float(rng.uniform(-100, 100))
+            cols.append(
+                Column(
+                    f"{col_stem}_{tag}",
+                    kind=str(kind),
+                    lo=lo,
+                    hi=lo + float(10 ** rng.uniform(0, 4)),
+                    distinct=int(rng.integers(2, 200)),
+                )
+            )
+        rows = int(10 ** rng.uniform(2.0, 7.0))
+        catalog.add_table(Table(name, rows, tuple(cols)))
+    for i in range(int(rng.integers(0, 4))):
+        catalog.add_function(
+            DbFunction(
+                f"dbo.f_{user}_udf_{alpha_tag(i, width=1)}",
+                float(10 ** rng.uniform(-6, -4)),
+            )
+        )
+    return catalog

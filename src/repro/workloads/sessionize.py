@@ -1,0 +1,63 @@
+"""Session identification from raw hits (Section 2 / [31, 45, 51]).
+
+The paper adopts the SkyServer convention: *a session is an ordered
+sequence of hits from a single IP address such that the gap between
+consecutive hits is no longer than 30 minutes*. The SDSS log generator
+emits per-hit IPs and timestamps; :func:`sessionize` reconstructs session
+ids from them — the preprocessing step the paper's pipeline assumes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["Hit", "sessionize", "SESSION_GAP_SECONDS"]
+
+#: The 30-minute inactivity threshold that ends a session.
+SESSION_GAP_SECONDS = 30 * 60
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One raw hit: who sent it and when (plus an opaque payload index)."""
+
+    ip: str
+    timestamp: float
+    index: int = 0
+    agent_string: Optional[str] = None
+
+
+def sessionize(
+    hits: Iterable[Hit], gap_seconds: float = SESSION_GAP_SECONDS
+) -> dict[int, list[Hit]]:
+    """Group hits into sessions by (IP, ≤ gap) chains.
+
+    Args:
+        hits: Raw hits in any order; they are sorted by timestamp per IP.
+        gap_seconds: Maximum silence within one session.
+
+    Returns:
+        Mapping session id → hits in timestamp order. Session ids are
+        assigned in order of each session's first hit, so the output is
+        deterministic for a given input multiset.
+    """
+    if gap_seconds <= 0:
+        raise ValueError("gap_seconds must be positive")
+    by_ip: dict[str, list[Hit]] = defaultdict(list)
+    for hit in hits:
+        by_ip[hit.ip].append(hit)
+    sessions: list[list[Hit]] = []
+    for ip in sorted(by_ip):
+        ordered = sorted(by_ip[ip], key=lambda h: (h.timestamp, h.index))
+        current: list[Hit] = []
+        for hit in ordered:
+            if current and hit.timestamp - current[-1].timestamp > gap_seconds:
+                sessions.append(current)
+                current = []
+            current.append(hit)
+        if current:
+            sessions.append(current)
+    sessions.sort(key=lambda chain: (chain[0].timestamp, chain[0].ip))
+    return {sid: chain for sid, chain in enumerate(sessions)}

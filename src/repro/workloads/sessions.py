@@ -1,0 +1,173 @@
+"""Session-class behaviour profiles (Section 2 / 4.1, Figure 8).
+
+Each SDSS session class is a distinct client population with its own query
+habits. The profiles encode three behaviours the paper's analysis relies on:
+
+- **class shares** match the Table 4 test-set distribution (no_web_hit is
+  the majority class at ~44.8%, admin is vanishingly rare);
+- **template mixtures** make session class correlate with syntactic
+  complexity (Figure 8): bots submit short templated lookups, browsers and
+  CasJobs (no_web_hit) users write long ad-hoc SQL with joins, nesting and
+  mistakes;
+- **template stickiness** — bots and admin jobs re-instantiate one template
+  per session, producing the statement repetition of Figure 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SessionProfile", "SDSS_SESSION_PROFILES", "sample_session_class"]
+
+
+@dataclass(frozen=True)
+class SessionProfile:
+    """Behaviour of one session class.
+
+    Attributes:
+        name: Session class label.
+        share: Probability a session belongs to this class.
+        templates: Mapping template name → mixture weight.
+        mean_length: Mean session length in hits (geometric distribution).
+        sticky: Whether all hits of a session reuse one template
+            (bot/admin behaviour).
+    """
+
+    name: str
+    share: float
+    templates: dict[str, float] = field(default_factory=dict)
+    mean_length: float = 5.0
+    sticky: bool = False
+
+    def pick_template(self, rng: np.random.Generator) -> str:
+        names = list(self.templates)
+        weights = np.asarray([self.templates[n] for n in names])
+        weights = weights / weights.sum()
+        return str(rng.choice(np.asarray(names, dtype=object), p=weights))
+
+    def session_length(self, rng: np.random.Generator, cap: int = 12) -> int:
+        length = 1 + int(rng.geometric(1.0 / max(self.mean_length, 1.0)) - 1)
+        return int(np.clip(length, 1, cap))
+
+
+SDSS_SESSION_PROFILES: list[SessionProfile] = [
+    SessionProfile(
+        name="no_web_hit",
+        share=0.4478,
+        mean_length=4.0,
+        templates={
+            "gallery_query": 0.03,
+            "into_mydb": 0.22,
+            "three_way_join": 0.13,
+            "wide_select": 0.16,
+            "join_query": 0.11,
+            "function_where": 0.07,
+            "function_select": 0.05,
+            "group_agg": 0.08,
+            "nested_scalar_agg": 0.02,
+            "nested_in": 0.03,
+            "ddl_misc": 0.05,
+            "cone_search": 0.04,
+            "malformed_sql": 0.025,
+            "random_text": 0.01,
+            "bad_reference": 0.045,
+        },
+    ),
+    SessionProfile(
+        name="bot",
+        share=0.2613,
+        mean_length=10.0,
+        sticky=True,
+        templates={
+            "point_lookup": 0.72,
+            "count_star": 0.14,
+            "top_sample": 0.14,
+        },
+    ),
+    SessionProfile(
+        name="browser",
+        share=0.2036,
+        mean_length=6.0,
+        templates={
+            "gallery_query": 0.09,
+            "cone_search": 0.30,
+            "wide_select": 0.17,
+            "join_query": 0.14,
+            "group_agg": 0.09,
+            "top_sample": 0.08,
+            "function_where": 0.05,
+            "function_select": 0.04,
+            "nested_in": 0.04,
+            "nested_scalar_agg": 0.01,
+            "count_star": 0.03,
+            "malformed_sql": 0.04,
+            "random_text": 0.02,
+            "bad_reference": 0.05,
+        },
+    ),
+    SessionProfile(
+        name="program",
+        share=0.0790,
+        mean_length=9.0,
+        sticky=True,
+        templates={
+            "gallery_query": 0.04,
+            "cone_search": 0.46,
+            "function_select": 0.18,
+            "count_star": 0.10,
+            "top_sample": 0.10,
+            "join_query": 0.10,
+            "into_mydb": 0.05,
+            "bad_reference": 0.02,
+        },
+    ),
+    SessionProfile(
+        name="anonymous",
+        share=0.0076,
+        mean_length=4.0,
+        templates={
+            "gallery_query": 0.25,
+            "cone_search": 0.38,
+            "top_sample": 0.28,
+            "count_star": 0.18,
+            "point_lookup": 0.12,
+            "malformed_sql": 0.03,
+            "random_text": 0.01,
+            "bad_reference": 0.04,
+        },
+    ),
+    SessionProfile(
+        name="unknown",
+        share=0.0010,
+        mean_length=4.0,
+        templates={
+            "gallery_query": 0.2,
+            "cone_search": 0.25,
+            "point_lookup": 0.25,
+            "top_sample": 0.2,
+            "count_star": 0.15,
+            "join_query": 0.1,
+            "random_text": 0.05,
+        },
+    ),
+    SessionProfile(
+        name="admin",
+        share=0.0007,
+        mean_length=8.0,
+        sticky=True,
+        templates={
+            "admin_monitor": 0.9,
+            "count_star": 0.1,
+        },
+    ),
+]
+
+
+def sample_session_class(rng: np.random.Generator) -> SessionProfile:
+    """Draw a session class according to the profile shares."""
+    shares = np.asarray([p.share for p in SDSS_SESSION_PROFILES])
+    shares = shares / shares.sum()
+    idx = int(rng.choice(len(SDSS_SESSION_PROFILES), p=shares))
+    return SDSS_SESSION_PROFILES[idx]

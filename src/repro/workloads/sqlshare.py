@@ -1,0 +1,112 @@
+"""Synthetic SQLShare workload generation (Section 4.2).
+
+SQLShare is a database-as-a-service deployment: each user uploads private
+datasets and writes short-term ad-hoc analytics over them. The generator
+gives every user their own catalog (:func:`~repro.workloads.schema.sqlshare_catalog`),
+their own backend speed, and a personal mixture over the analytics templates
+— so queries from different users share almost no table/column vocabulary.
+Only the CPU-time label is retained, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.dedup import aggregate_duplicates
+from repro.workloads.execution import CostParameters, SimulatedDatabase
+from repro.workloads.querygen import SQLSHARE_TEMPLATES
+from repro.workloads.records import LogEntry, QueryRecord, Workload
+
+__all__ = ["generate_sqlshare_workload", "SQLSHARE_TEMPLATE_WEIGHTS"]
+
+#: Base mixture over SQLShare templates; per-user Dirichlet jitter is applied
+#: so users have personal styles. The nesting-heavy templates get enough
+#: mass to reproduce SQLShare's higher nestedness (Figure 4i vs 3i).
+SQLSHARE_TEMPLATE_WEIGHTS: dict[str, float] = {
+    "ss_select_all": 0.22,
+    "ss_filter": 0.27,
+    "ss_agg": 0.16,
+    "ss_join": 0.09,
+    "ss_derived": 0.10,
+    "ss_deep_nested": 0.04,
+    "ss_long_analytics": 0.10,
+    "ss_malformed": 0.02,
+}
+
+
+def generate_sqlshare_workload(
+    n_users: int = 60,
+    seed: int = 29,
+    queries_per_user: tuple[int, int] = (8, 60),
+) -> Workload:
+    """Generate the SQLShare workload.
+
+    Args:
+        n_users: Number of distinct users (each with a private schema).
+        seed: Master seed.
+        queries_per_user: Inclusive (low, high) range of queries per user.
+
+    Returns:
+        Workload whose records carry ``cpu_time`` (integer seconds, like the
+        QExecTime column) and ``user``; the other labels are None.
+    """
+    rng = np.random.default_rng(seed)
+    template_names = list(SQLSHARE_TEMPLATE_WEIGHTS)
+    base_weights = np.asarray(
+        [SQLSHARE_TEMPLATE_WEIGHTS[t] for t in template_names]
+    )
+    entries: list[LogEntry] = []
+    for user_idx in range(n_users):
+        from repro.workloads.schema import sqlshare_catalog, sqlshare_username
+
+        user = sqlshare_username(user_idx)
+        user_seed = seed * 100_003 + user_idx
+        catalog = sqlshare_catalog(user, seed=user_seed)
+        # each user's data lives on a shared multi-tenant service with its
+        # own effective speed; the spread is kept at ~4x so per-user speed
+        # is a nuisance factor, not a noise floor that drowns the
+        # structural signal cross-user models must learn (for held-out
+        # users the speed factor is irreducible error)
+        speed = float(10 ** rng.uniform(2.85, 3.45))
+        database = SimulatedDatabase(
+            catalog,
+            seed=user_seed + 1,
+            speed_factor=speed,
+            # the service kills queries before the week-long mark: the
+            # published workload's QExecTime tops out around 4.3e6 s
+            params=CostParameters(max_cpu=4.3e6),
+        )
+        weights = rng.dirichlet(base_weights * 12.0)
+        n_queries = int(rng.integers(queries_per_user[0], queries_per_user[1] + 1))
+        for q in range(n_queries):
+            template = str(
+                rng.choice(np.asarray(template_names, dtype=object), p=weights)
+            )
+            statement = SQLSHARE_TEMPLATES[template](rng, catalog)
+            outcome = database.execute(statement)
+            cpu_seconds = float(int(outcome.cpu_time))  # QExecTime is integer
+            entries.append(
+                LogEntry(
+                    statement=statement,
+                    session_id=user_idx * 1_000_000 + q,
+                    session_class="unknown",
+                    error_class=outcome.error_class,
+                    answer_size=outcome.answer_size,
+                    cpu_time=cpu_seconds,
+                    user=user,
+                    elapsed_time=outcome.elapsed_time,
+                )
+            )
+    records = aggregate_duplicates(entries, rng)
+    cleaned: list[QueryRecord] = []
+    for record in records:
+        # the published workload carries only the statement + QExecTime
+        cleaned.append(
+            QueryRecord(
+                statement=record.statement,
+                cpu_time=record.cpu_time,
+                user=record.user,
+                num_duplicates=record.num_duplicates,
+            )
+        )
+    return Workload("sqlshare", cleaned)

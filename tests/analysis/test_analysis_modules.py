@@ -1,0 +1,138 @@
+"""Workload analysis tests (stats, structural, correlation, by-session)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.by_session import BoxStats, by_session_class
+from repro.analysis.correlation import (
+    COMPLEXITY_PROXY_FEATURES,
+    structural_correlation_matrix,
+)
+from repro.analysis.label_analysis import (
+    class_distribution,
+    regression_label_summary,
+)
+from repro.analysis.stats import log_histogram, summarize
+from repro.analysis.structural import structural_table
+from repro.sqlang.features import FEATURE_NAMES
+
+
+class TestSummarize:
+    def test_known_values(self):
+        summary = summarize(np.array([1.0, 1.0, 2.0, 10.0]))
+        assert summary.mean == pytest.approx(3.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 10.0
+        assert summary.mode == 1.0
+        assert summary.median == pytest.approx(1.5)
+        assert summary.count == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+
+    def test_as_row_order(self):
+        row = summarize(np.array([2.0])).as_row()
+        assert row == [2.0, 0.0, 2.0, 2.0, 2.0, 2.0]
+
+
+class TestLogHistogram:
+    def test_counts_preserved(self):
+        values = np.array([1.0, 10.0, 100.0, 1000.0, 0.0])
+        bins = log_histogram(values, num_bins=5)
+        assert sum(count for _, _, count in bins) == 5
+
+    def test_empty(self):
+        assert log_histogram(np.array([])) == []
+
+    def test_all_zero(self):
+        bins = log_histogram(np.zeros(4))
+        assert bins[0][2] == 4
+
+
+class TestStructuralTable:
+    def test_matrix_shape(self, sdss_workload_small):
+        table = structural_table(sdss_workload_small)
+        assert table.matrix.shape == (
+            len(sdss_workload_small),
+            len(FEATURE_NAMES),
+        )
+        assert set(table.summaries) == set(FEATURE_NAMES)
+
+    def test_fractions_in_unit_interval(self, sdss_workload_small):
+        table = structural_table(sdss_workload_small)
+        for value in (
+            table.fraction_with_joins,
+            table.fraction_multi_table,
+            table.fraction_nested,
+            table.fraction_nested_aggregation,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_nested_agg_subset_of_nested(self, sdss_workload_small):
+        table = structural_table(sdss_workload_small)
+        assert table.fraction_nested_aggregation <= table.fraction_nested
+
+
+class TestCorrelation:
+    def test_matrix_properties(self, sdss_workload_small):
+        table = structural_table(sdss_workload_small)
+        corr = structural_correlation_matrix(table)
+        n = len(FEATURE_NAMES)
+        assert corr.shape == (n, n)
+        assert np.allclose(np.diag(corr), 1.0)
+        assert np.allclose(corr, corr.T)
+        assert (corr <= 1.0 + 1e-9).all() and (corr >= -1.0 - 1e-9).all()
+
+    def test_chars_words_strongly_correlated(self, sdss_workload_small):
+        """Figure 7's headline observation."""
+        table = structural_table(sdss_workload_small)
+        corr = structural_correlation_matrix(table)
+        i = FEATURE_NAMES.index("num_characters")
+        j = FEATURE_NAMES.index("num_words")
+        assert corr[i, j] > 0.7
+
+    def test_proxy_features_exist(self):
+        assert set(COMPLEXITY_PROXY_FEATURES) <= set(FEATURE_NAMES)
+
+
+class TestLabelAnalysis:
+    def test_class_distribution_shares_sum_to_one(self, sdss_workload_small):
+        dist = class_distribution(sdss_workload_small, "error_class")
+        assert sum(share for _, share in dist.values()) == pytest.approx(1.0)
+
+    def test_sorted_by_count(self, sdss_workload_small):
+        dist = class_distribution(sdss_workload_small, "session_class")
+        counts = [count for count, _ in dist.values()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_regression_summary_excludes_sentinels(self, sdss_workload_small):
+        summary = regression_label_summary(
+            sdss_workload_small, "answer_size"
+        )
+        assert summary.minimum >= 0.0
+
+
+class TestBySession:
+    def test_structure(self, sdss_workload_small):
+        stats = by_session_class(sdss_workload_small)
+        assert set(stats) == {
+            "answer_size",
+            "cpu_time",
+            "num_characters",
+            "num_words",
+        }
+        for per_class in stats.values():
+            for box in per_class.values():
+                assert box.q1 <= box.median <= box.q3
+
+    def test_boxstats_from_empty(self):
+        box = BoxStats.from_values(np.array([]))
+        assert box.count == 0
+
+    def test_complexity_ordering(self, sdss_workload_small):
+        """no_web_hit statements are longer than bot statements (Fig 8c)."""
+        stats = by_session_class(sdss_workload_small)
+        chars = stats["num_characters"]
+        if "no_web_hit" in chars and "bot" in chars:
+            assert chars["no_web_hit"].median > chars["bot"].median

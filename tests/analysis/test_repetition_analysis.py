@@ -1,0 +1,20 @@
+"""Figure 20 analysis wrapper tests."""
+
+from repro.analysis.repetition import repetition_histogram_of_log
+
+
+class TestRepetitionOfLog:
+    def test_histogram_totals_sessions(self, sdss_log_small):
+        histogram = repetition_histogram_of_log(sdss_log_small, seed=1)
+        sessions = len({e.session_id for e in sdss_log_small})
+        assert sum(histogram.values()) == sessions
+
+    def test_some_repetition_exists(self, sdss_log_small):
+        histogram = repetition_histogram_of_log(sdss_log_small, seed=1)
+        repeated = sum(v for k, v in histogram.items() if k != "1")
+        assert repeated > 0
+
+    def test_deterministic_given_seed(self, sdss_log_small):
+        a = repetition_histogram_of_log(sdss_log_small, seed=5)
+        b = repetition_histogram_of_log(sdss_log_small, seed=5)
+        assert a == b

@@ -1,0 +1,133 @@
+"""Template mining (Appendix B.3)."""
+
+import pytest
+
+from repro.analysis.templates import (
+    mine_log_templates,
+    mine_workload_templates,
+)
+from repro.workloads.records import LogEntry, QueryRecord, Workload
+
+
+def _record(statement: str, dups: int = 1, cls: str = "bot") -> QueryRecord:
+    return QueryRecord(
+        statement=statement,
+        cpu_time=1.0,
+        session_class=cls,
+        num_duplicates=dups,
+    )
+
+
+class TestMineWorkloadTemplates:
+    def test_constant_variants_group_together(self):
+        workload = Workload(
+            "w",
+            [
+                _record("SELECT * FROM PhotoTag WHERE objId=1"),
+                _record("SELECT * FROM PhotoTag WHERE objId=2"),
+                _record("SELECT * FROM PhotoTag WHERE objId=0x3f"),
+                _record("SELECT name FROM Settings"),
+            ],
+        )
+        stats = mine_workload_templates(workload)
+        assert len(stats) == 2
+        top = stats[0]
+        assert top.count == 3
+        assert top.distinct_statements == 3
+        assert top.constants_only_vary
+
+    def test_string_literals_masked(self):
+        workload = Workload(
+            "w",
+            [
+                _record("SELECT dbo.f('BLENDED') FROM t"),
+                _record("SELECT dbo.f('SATURATED') FROM t"),
+            ],
+        )
+        stats = mine_workload_templates(workload)
+        assert len(stats) == 1
+        assert stats[0].count == 2
+
+    def test_case_folding_groups(self):
+        workload = Workload(
+            "w",
+            [
+                _record("select * from T"),
+                _record("SELECT * FROM t"),
+            ],
+        )
+        assert len(mine_workload_templates(workload)) == 1
+
+    def test_num_duplicates_weights_counts(self):
+        workload = Workload(
+            "w",
+            [
+                _record("SELECT a FROM t WHERE k=1", dups=10),
+                _record("SELECT b FROM u", dups=1),
+            ],
+        )
+        stats = mine_workload_templates(workload)
+        assert stats[0].count == 10
+        assert stats[0].distinct_statements == 1
+        assert not stats[0].constants_only_vary  # one statement repeated
+
+    def test_top_limits_output(self):
+        names = ["alpha", "beta", "gamma", "delta", "epsilon"]
+        workload = Workload(
+            "w", [_record(f"SELECT {n} FROM tbl_{n}") for n in names]
+        )
+        assert len(mine_workload_templates(workload, top=3)) == 3
+
+    def test_digit_suffixed_identifiers_share_a_template(self):
+        # digit masking applies inside identifiers too: c1/c2 collapse —
+        # the behaviour word-level models rely on (Section 4.4.1)
+        workload = Workload(
+            "w", [_record("SELECT c1 FROM t1"), _record("SELECT c2 FROM t2")]
+        )
+        assert len(mine_workload_templates(workload)) == 1
+
+    def test_session_class_tally(self):
+        workload = Workload(
+            "w",
+            [
+                _record("SELECT a FROM t WHERE k=1", cls="bot"),
+                _record("SELECT a FROM t WHERE k=2", cls="bot"),
+                _record("SELECT a FROM t WHERE k=3", cls="browser"),
+            ],
+        )
+        stats = mine_workload_templates(workload)
+        assert stats[0].session_classes == {"bot": 2, "browser": 1}
+
+    def test_missing_cpu_time_tolerated(self):
+        workload = Workload(
+            "w", [QueryRecord(statement="SELECT 1"), QueryRecord(statement="SELECT 2")]
+        )
+        stats = mine_workload_templates(workload)
+        assert stats[0].mean_cpu_time is None
+
+
+class TestMineLogTemplates:
+    def test_log_entries_grouped(self):
+        entries = [
+            LogEntry(
+                statement=f"SELECT * FROM PhotoTag WHERE objId={i}",
+                session_id=i,
+                session_class="bot",
+                error_class="success",
+                answer_size=1.0,
+                cpu_time=0.01,
+            )
+            for i in range(5)
+        ]
+        stats = mine_log_templates(entries)
+        assert len(stats) == 1
+        assert stats[0].count == 5
+        assert stats[0].session_classes == {"bot": 5}
+        assert stats[0].mean_cpu_time == pytest.approx(0.01)
+
+    def test_generated_log_shows_bot_templates(self, sdss_log_small):
+        stats = mine_log_templates(sdss_log_small, top=5)
+        assert stats, "generated log must contain templates"
+        # the most common template must repeat and be dominated by a
+        # mechanical class more often than not
+        assert stats[0].count > 1

@@ -1,0 +1,272 @@
+"""End-to-end CLI tests: every subcommand through ``repro.cli.main``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.io import load_workload
+
+
+@pytest.fixture(scope="module")
+def sdss_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "sdss.jsonl"
+    rc = main(
+        ["generate", "sdss", "--sessions", "150", "--seed", "3", "-o", str(path)]
+    )
+    assert rc == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def facilitator_file(tmp_path_factory, sdss_file):
+    path = tmp_path_factory.mktemp("cli") / "fac.pkl"
+    rc = main(
+        [
+            "train",
+            str(sdss_file),
+            "--model",
+            "ctfidf",
+            "--epochs",
+            "2",
+            "--tfidf-features",
+            "2000",
+            "-o",
+            str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "generate" in capsys.readouterr().out
+
+    def test_every_command_registered(self):
+        parser = build_parser()
+        actions = {
+            a.dest: a for a in parser._subparsers._group_actions
+        }
+        choices = actions["command"].choices
+        assert set(choices) == {
+            "generate",
+            "analyze",
+            "train",
+            "predict",
+            "evaluate",
+            "experiment",
+            "compress",
+        }
+
+
+class TestGenerate:
+    def test_sdss_file_is_loadable(self, sdss_file):
+        workload = load_workload(sdss_file)
+        assert len(workload) > 50
+        assert workload.name == "sdss"
+
+    def test_sqlshare_generation(self, tmp_path):
+        path = tmp_path / "sqlshare.jsonl"
+        rc = main(
+            ["generate", "sqlshare", "--users", "10", "--seed", "4", "-o", str(path)]
+        )
+        assert rc == 0
+        workload = load_workload(path)
+        assert len(workload) > 0
+        # SQLShare carries only CPU time labels
+        assert workload[0].cpu_time is not None
+        assert workload[0].error_class is None
+
+    def test_raw_log_generation(self, tmp_path, capsys):
+        path = tmp_path / "log.jsonl"
+        rc = main(
+            ["generate", "sdss", "--sessions", "20", "--raw-log", "-o", str(path)]
+        )
+        assert rc == 0
+        assert "log entries" in capsys.readouterr().out
+
+    def test_raw_log_rejected_for_sqlshare(self, tmp_path, capsys):
+        rc = main(
+            [
+                "generate",
+                "sqlshare",
+                "--raw-log",
+                "-o",
+                str(tmp_path / "x.jsonl"),
+            ]
+        )
+        assert rc == 1
+        assert "only available" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_workload_report_sections(self, sdss_file, capsys):
+        assert main(["analyze", str(sdss_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Structural properties" in out
+        assert "Error class distribution" in out
+        assert "correlation" in out
+        assert "session class" in out
+
+    def test_repetition_report(self, tmp_path, capsys):
+        log_path = tmp_path / "log.jsonl"
+        main(["generate", "sdss", "--sessions", "30", "--raw-log", "-o", str(log_path)])
+        capsys.readouterr()
+        assert main(["analyze", str(log_path), "--repetition"]) == 0
+        assert "repetition" in capsys.readouterr().out.lower()
+
+    def test_missing_file_is_reported(self, capsys):
+        assert main(["analyze", "/nonexistent/file.jsonl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTrainPredict:
+    def test_predict_table_output(self, facilitator_file, capsys):
+        rc = main(
+            [
+                "predict",
+                str(facilitator_file),
+                "SELECT * FROM PhotoObj WHERE objId=7",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Pre-execution insights" in out
+        assert "PhotoObj" in out
+
+    def test_predict_json_output(self, facilitator_file, capsys):
+        rc = main(
+            [
+                "predict",
+                str(facilitator_file),
+                "SELECT ra FROM SpecObj",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out.strip())
+        assert record["statement"] == "SELECT ra FROM SpecObj"
+        assert record["error_class"] is not None
+        assert isinstance(record["cpu_time_seconds"], float)
+
+    def test_predict_from_file(self, facilitator_file, tmp_path, capsys):
+        qfile = tmp_path / "queries.sql"
+        qfile.write_text("SELECT 1\nSELECT 2\n")
+        rc = main(
+            ["predict", str(facilitator_file), "--file", str(qfile), "--json"]
+        )
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+
+    def test_train_missing_workload_fails_cleanly(self, tmp_path, capsys):
+        rc = main(
+            ["train", str(tmp_path / "absent.jsonl"), "-o", str(tmp_path / "f.pkl")]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_classification_table(self, sdss_file, capsys):
+        rc = main(
+            [
+                "evaluate",
+                str(sdss_file),
+                "--problem",
+                "error",
+                "--models",
+                "baseline",
+                "ctfidf",
+                "--epochs",
+                "2",
+                "--tfidf-features",
+                "2000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "baseline" in out
+        assert "F_success" in out
+
+    def test_regression_table(self, sdss_file, capsys):
+        rc = main(
+            [
+                "evaluate",
+                str(sdss_file),
+                "--problem",
+                "answer-size",
+                "--models",
+                "baseline",
+                "--epochs",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MSE" in out
+        assert "q50%" in out
+
+    def test_user_split_on_sqlshare(self, tmp_path, capsys):
+        path = tmp_path / "ss.jsonl"
+        main(["generate", "sqlshare", "--users", "12", "--seed", "5", "-o", str(path)])
+        capsys.readouterr()
+        rc = main(
+            [
+                "evaluate",
+                str(path),
+                "--problem",
+                "cpu-time",
+                "--models",
+                "baseline",
+                "--split",
+                "user",
+            ]
+        )
+        assert rc == 0
+
+
+class TestExperiment:
+    def test_list_ids(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        for expected in ("table2", "fig8", "ablation-loss", "ext-transfer"):
+            assert expected in out
+
+    def test_unknown_id_fails_cleanly(self, capsys):
+        assert main(["experiment", "tableX"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_cheap_figure_experiment(self, capsys, monkeypatch):
+        # fig20 only generates a log: cheap enough for a unit test
+        assert main(["experiment", "fig20"]) == 0
+        out = capsys.readouterr().out
+        assert "fig20" in out
+
+
+class TestCompress:
+    def test_compress_round_trip(self, sdss_file, tmp_path, capsys):
+        out_path = tmp_path / "small.jsonl"
+        rc = main(
+            [
+                "compress",
+                str(sdss_file),
+                "--ratio",
+                "0.2",
+                "--strategy",
+                "kcenter",
+                "-o",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        assert "coverage radius" in capsys.readouterr().out
+        original = load_workload(sdss_file)
+        compressed = load_workload(out_path)
+        assert 0 < len(compressed) < len(original)
+        # weights are carried in num_duplicates and sum to ~original size
+        total = sum(r.num_duplicates for r in compressed)
+        assert abs(total - len(original)) <= 0.25 * len(original)

@@ -1,0 +1,60 @@
+"""CLI plumbing: statement input sources and scale overrides."""
+
+import argparse
+import io
+
+import pytest
+
+from repro.cli._common import read_statements, scale_from_args
+
+
+def _ns(**kwargs) -> argparse.Namespace:
+    defaults = {"statements": [], "file": None}
+    defaults.update(kwargs)
+    return argparse.Namespace(**defaults)
+
+
+class TestReadStatements:
+    def test_positional_arguments_win(self):
+        args = _ns(statements=["SELECT 1", "SELECT 2"])
+        assert read_statements(args) == ["SELECT 1", "SELECT 2"]
+
+    def test_file_source(self, tmp_path):
+        path = tmp_path / "queries.sql"
+        path.write_text("SELECT 1\n\nSELECT 2\n   \n")
+        args = _ns(file=str(path))
+        assert read_statements(args) == ["SELECT 1", "SELECT 2"]
+
+    def test_stdin_source(self, monkeypatch):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("SELECT a FROM t\nSELECT b FROM u\n")
+        )
+        assert read_statements(_ns()) == [
+            "SELECT a FROM t",
+            "SELECT b FROM u",
+        ]
+
+    def test_empty_stdin_raises(self, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("   \n\n"))
+        with pytest.raises(ValueError, match="no statements"):
+            read_statements(_ns())
+
+
+class TestScaleFromArgs:
+    def test_defaults_when_no_overrides(self):
+        args = argparse.Namespace(
+            epochs=None, embed_dim=None, tfidf_features=None, seed=0
+        )
+        scale = scale_from_args(args)
+        assert scale.seed == 0
+        assert scale.epochs > 0  # library default
+
+    def test_overrides_applied(self):
+        args = argparse.Namespace(
+            epochs=3, embed_dim=24, tfidf_features=5000, seed=9
+        )
+        scale = scale_from_args(args)
+        assert scale.epochs == 3
+        assert scale.embed_dim == 24
+        assert scale.tfidf_features == 5000
+        assert scale.seed == 9

@@ -1,0 +1,33 @@
+"""Shared test fixtures: small deterministic workloads, cached per session."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.schema import sdss_catalog
+from repro.workloads.sdss import generate_sdss_log, generate_sdss_workload
+from repro.workloads.sqlshare import generate_sqlshare_workload
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return sdss_catalog()
+
+
+@pytest.fixture(scope="session")
+def sdss_log_small():
+    return generate_sdss_log(n_sessions=300, seed=101)
+
+
+@pytest.fixture(scope="session")
+def sdss_workload_small():
+    return generate_sdss_workload(n_sessions=300, seed=101)
+
+
+@pytest.fixture(scope="session")
+def sqlshare_workload_small():
+    return generate_sqlshare_workload(n_users=18, seed=202)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

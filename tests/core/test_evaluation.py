@@ -1,0 +1,121 @@
+"""Experiment runner tests (evaluate_classification / evaluate_regression)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import evaluate_classification, evaluate_regression
+from repro.core.problems import Problem
+from repro.core.splits import random_split
+from repro.models.factory import ModelScale, build_model
+from repro.models.base import TaskKind
+from repro.workloads.records import QueryRecord, Workload
+
+_TINY = ModelScale(
+    tfidf_features=1500,
+    tfidf_max_len=100,
+    embed_dim=12,
+    num_kernels=8,
+    lstm_hidden=12,
+    epochs=3,
+    max_len_char=60,
+    max_len_word=20,
+)
+
+
+def _labelled_workload(rng, n=120):
+    records = []
+    for i in range(n):
+        if rng.random() < 0.5:
+            stmt = f"SELECT a FROM Small WHERE x={i}"
+            records.append(
+                QueryRecord(
+                    stmt,
+                    error_class="success",
+                    cpu_time=1.0 + rng.random(),
+                    answer_size=5.0,
+                    session_class="bot",
+                )
+            )
+        else:
+            stmt = f"SELECT {','.join(['c'] * 10)} FROM Big{i} WHERE y>{i}"
+            records.append(
+                QueryRecord(
+                    stmt,
+                    error_class="non_severe",
+                    cpu_time=1000.0 + rng.random() * 100,
+                    answer_size=1e6,
+                    session_class="browser",
+                )
+            )
+    return Workload("toy", records)
+
+
+class TestClassification:
+    def test_reports_and_predictions(self, rng):
+        workload = _labelled_workload(rng)
+        split = random_split(workload, seed=1)
+        models = {
+            "mfreq": build_model(
+                "baseline", TaskKind.CLASSIFICATION, num_classes=2
+            ),
+            "ctfidf": build_model(
+                "ctfidf", TaskKind.CLASSIFICATION, num_classes=2, scale=_TINY
+            ),
+        }
+        outcome = evaluate_classification(
+            Problem.ERROR_CLASSIFICATION, split, models
+        )
+        assert {r.model for r in outcome.reports} == {"mfreq", "ctfidf"}
+        assert set(outcome.class_names) == {"success", "non_severe"}
+        tfidf_report = next(
+            r for r in outcome.reports if r.model == "ctfidf"
+        )
+        mfreq_report = next(r for r in outcome.reports if r.model == "mfreq")
+        assert tfidf_report.accuracy >= mfreq_report.accuracy
+        assert outcome.predictions["ctfidf"].shape == (
+            len(split.test_idx),
+        )
+
+    def test_rejects_regression_problem(self, rng):
+        split = random_split(_labelled_workload(rng), seed=1)
+        with pytest.raises(ValueError):
+            evaluate_classification(Problem.CPU_TIME, split, {})
+
+
+class TestRegression:
+    def test_reports_and_transform(self, rng):
+        workload = _labelled_workload(rng)
+        split = random_split(workload, seed=1)
+        models = {
+            "median": build_model("baseline", TaskKind.REGRESSION),
+            "ctfidf": build_model(
+                "ctfidf", TaskKind.REGRESSION, scale=_TINY
+            ),
+        }
+        outcome = evaluate_regression(Problem.CPU_TIME, split, models)
+        median_report = next(
+            r for r in outcome.reports if r.model == "median"
+        )
+        tfidf_report = next(r for r in outcome.reports if r.model == "ctfidf")
+        assert tfidf_report.loss < median_report.loss  # bimodal is learnable
+        assert outcome.transform is not None
+        # predictions are on the log scale
+        assert outcome.predictions_log["ctfidf"].max() < 50
+
+    def test_qerror_percentiles_present(self, rng):
+        workload = _labelled_workload(rng)
+        split = random_split(workload, seed=1)
+        outcome = evaluate_regression(
+            Problem.CPU_TIME,
+            split,
+            {"median": build_model("baseline", TaskKind.REGRESSION)},
+            percentiles=(50, 90),
+        )
+        report = outcome.reports[0]
+        assert set(report.qerror_percentiles) == {50, 90}
+        assert report.qerror_percentiles[90] >= report.qerror_percentiles[50]
+
+    def test_rejects_classification_problem(self, rng):
+        split = random_split(_labelled_workload(rng), seed=1)
+        with pytest.raises(ValueError):
+            evaluate_regression(Problem.ERROR_CLASSIFICATION, split, {})

@@ -1,0 +1,87 @@
+"""QueryFacilitator API tests."""
+
+import pytest
+
+from repro.core.facilitator import QueryFacilitator, QueryInsights
+from repro.core.problems import Problem
+from repro.models.factory import ModelScale
+
+_TINY = ModelScale(
+    tfidf_features=1500,
+    tfidf_max_len=100,
+    embed_dim=12,
+    num_kernels=8,
+    lstm_hidden=12,
+    epochs=2,
+    max_len_char=60,
+    max_len_word=20,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(sdss_workload_small):
+    return QueryFacilitator(model_name="ctfidf", scale=_TINY).fit(
+        sdss_workload_small
+    )
+
+
+class TestFit:
+    def test_trains_every_problem_on_sdss(self, fitted):
+        # all of Definition 4 plus the elapsed-time extension: the SDSS
+        # workload carries every label column
+        assert set(fitted.problems) == set(Problem)
+
+    def test_trains_only_cpu_on_sqlshare(self, sqlshare_workload_small):
+        facilitator = QueryFacilitator(
+            model_name="ctfidf", scale=_TINY
+        ).fit(sqlshare_workload_small)
+        assert facilitator.problems == [Problem.CPU_TIME]
+
+    def test_explicit_missing_problem_raises(self, sqlshare_workload_small):
+        with pytest.raises(ValueError):
+            QueryFacilitator(model_name="ctfidf", scale=_TINY).fit(
+                sqlshare_workload_small,
+                problems=[Problem.SESSION_CLASSIFICATION],
+            )
+
+    def test_unfitted_insights_raise(self):
+        with pytest.raises(RuntimeError):
+            QueryFacilitator().insights("SELECT 1")
+
+
+class TestInsights:
+    def test_all_fields_populated(self, fitted):
+        insights = fitted.insights(
+            "SELECT objID FROM PhotoObj WHERE ra BETWEEN 1 AND 2"
+        )
+        assert isinstance(insights, QueryInsights)
+        assert insights.error_class is not None
+        assert insights.session_class is not None
+        assert insights.cpu_time_seconds is not None
+        assert insights.cpu_time_seconds >= 0.0
+        assert insights.answer_size is not None
+        assert insights.answer_size >= 0.0
+
+    def test_error_probabilities_normalized(self, fitted):
+        insights = fitted.insights("SELECT * FROM PhotoTag WHERE objID=0x1")
+        total = sum(insights.error_probabilities.values())
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_batch_matches_single(self, fitted):
+        statements = [
+            "SELECT * FROM PhotoTag WHERE objID=0x112d",
+            "how do I find galaxies",
+        ]
+        batch = fitted.insights_batch(statements)
+        assert len(batch) == 2
+        assert batch[0].statement == statements[0]
+        single = fitted.insights(statements[0])
+        assert single.error_class == batch[0].error_class
+
+    def test_likely_to_fail_flag(self):
+        insights = QueryInsights(statement="q", error_class="severe")
+        assert insights.likely_to_fail
+        ok = QueryInsights(statement="q", error_class="success")
+        assert not ok.likely_to_fail
+        unknown = QueryInsights(statement="q")
+        assert not unknown.likely_to_fail

@@ -1,0 +1,65 @@
+"""QueryFacilitator save/load round-trips."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.facilitator import QueryFacilitator
+from repro.models.factory import ModelScale
+from repro.workloads.sdss import generate_sdss_workload
+
+
+@pytest.fixture(scope="module")
+def fitted_facilitator() -> QueryFacilitator:
+    workload = generate_sdss_workload(n_sessions=120, seed=21)
+    scale = ModelScale(epochs=2, tfidf_features=2000)
+    return QueryFacilitator(model_name="ctfidf", scale=scale).fit(workload)
+
+
+class TestFacilitatorPersistence:
+    def test_round_trip_predictions_identical(self, fitted_facilitator, tmp_path):
+        path = tmp_path / "facilitator.pkl"
+        fitted_facilitator.save(path)
+        restored = QueryFacilitator.load(path)
+
+        statements = [
+            "SELECT * FROM PhotoObj WHERE objId=42",
+            "SELECT TOP 10 ra, dec FROM SpecObj ORDER BY ra",
+        ]
+        before = fitted_facilitator.insights_batch(statements)
+        after = restored.insights_batch(statements)
+        for b, a in zip(before, after):
+            assert a.error_class == b.error_class
+            assert a.session_class == b.session_class
+            assert a.cpu_time_seconds == pytest.approx(b.cpu_time_seconds)
+            assert a.answer_size == pytest.approx(b.answer_size)
+
+    def test_round_trip_preserves_problems(self, fitted_facilitator, tmp_path):
+        path = tmp_path / "facilitator.pkl"
+        fitted_facilitator.save(path)
+        restored = QueryFacilitator.load(path)
+        assert restored.problems == fitted_facilitator.problems
+        assert restored.model_name == fitted_facilitator.model_name
+
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="unfitted"):
+            QueryFacilitator().save(tmp_path / "nope.pkl")
+
+    def test_load_rejects_foreign_pickle(self, tmp_path):
+        path = tmp_path / "foreign.pkl"
+        with path.open("wb") as handle:
+            pickle.dump({"hello": "world"}, handle)
+        with pytest.raises(ValueError, match="not a saved QueryFacilitator"):
+            QueryFacilitator.load(path)
+
+    def test_load_rejects_plain_array_pickle(self, tmp_path):
+        path = tmp_path / "array.pkl"
+        with path.open("wb") as handle:
+            pickle.dump(np.arange(5), handle)
+        with pytest.raises(ValueError):
+            QueryFacilitator.load(path)
+
+    def test_load_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            QueryFacilitator.load(tmp_path / "absent.pkl")

@@ -1,0 +1,44 @@
+"""Problem/setting enum tests."""
+
+from repro.core.problems import Problem, Setting, TaskType
+from repro.models.base import TaskKind
+
+
+class TestProblem:
+    def test_paper_problems_plus_elapsed_extension(self):
+        # Definition 4 names four problems; ELAPSED_TIME is the Section 8
+        # future-work addition
+        assert len(Problem) == 5
+
+    def test_label_columns(self):
+        assert Problem.ERROR_CLASSIFICATION.label_column == "error_class"
+        assert Problem.CPU_TIME.label_column == "cpu_time"
+        assert Problem.ANSWER_SIZE.label_column == "answer_size"
+        assert Problem.SESSION_CLASSIFICATION.label_column == "session_class"
+        assert Problem.ELAPSED_TIME.label_column == "elapsed_time"
+
+    def test_task_kinds(self):
+        assert Problem.ERROR_CLASSIFICATION.is_classification
+        assert Problem.SESSION_CLASSIFICATION.is_classification
+        assert not Problem.CPU_TIME.is_classification
+        assert not Problem.ANSWER_SIZE.is_classification
+        assert not Problem.ELAPSED_TIME.is_classification
+
+
+class TestSetting:
+    def test_three_settings(self):
+        assert len(Setting) == 3
+
+
+class TestTaskTypeAlias:
+    def test_alias(self):
+        assert TaskType is TaskKind
+
+
+def test_top_level_lazy_exports():
+    import repro
+
+    assert repro.Problem is Problem
+    assert repro.Setting is Setting
+    assert repro.QueryFacilitator is not None
+    assert repro.__version__

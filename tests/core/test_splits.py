@@ -1,0 +1,86 @@
+"""Data split tests (Table 1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.splits import random_split, user_split
+from repro.workloads.records import QueryRecord, Workload
+
+
+def _workload(n=100, users=None):
+    records = []
+    for i in range(n):
+        user = None if users is None else users[i % len(users)]
+        records.append(
+            QueryRecord(f"SELECT {i} FROM T", cpu_time=float(i), user=user)
+        )
+    return Workload("w", records)
+
+
+class TestRandomSplit:
+    def test_partition_sizes(self):
+        split = random_split(_workload(100), fractions=(0.8, 0.1, 0.1))
+        assert split.sizes() == (80, 10, 10)
+
+    def test_partitions_disjoint_and_complete(self):
+        split = random_split(_workload(50), seed=1)
+        all_idx = np.concatenate(
+            [split.train_idx, split.valid_idx, split.test_idx]
+        )
+        assert sorted(all_idx.tolist()) == list(range(50))
+
+    def test_deterministic(self):
+        a = random_split(_workload(60), seed=5)
+        b = random_split(_workload(60), seed=5)
+        assert np.array_equal(a.train_idx, b.train_idx)
+
+    def test_different_seed_differs(self):
+        a = random_split(_workload(60), seed=5)
+        b = random_split(_workload(60), seed=6)
+        assert not np.array_equal(a.train_idx, b.train_idx)
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError):
+            random_split(_workload(10), fractions=(0.5, 0.2, 0.2))
+
+    def test_partition_workloads(self):
+        split = random_split(_workload(30), seed=2)
+        assert len(split.train) == len(split.train_idx)
+        assert set(split.test.statements()) <= set(
+            _workload(30).statements()
+        )
+
+
+class TestUserSplit:
+    def test_users_not_shared_across_partitions(self):
+        users = [f"u{i}" for i in range(10)]
+        split = user_split(_workload(200, users=users), seed=3)
+        train_users = {r.user for r in split.train}
+        valid_users = {r.user for r in split.valid}
+        test_users = {r.user for r in split.test}
+        assert not train_users & test_users
+        assert not train_users & valid_users
+        assert not valid_users & test_users
+
+    def test_complete(self):
+        users = [f"u{i}" for i in range(7)]
+        split = user_split(_workload(70, users=users), seed=3)
+        total = sum(split.sizes())
+        assert total == 70
+
+    def test_sizes_approximate_fractions(self):
+        users = [f"u{i}" for i in range(25)]
+        split = user_split(_workload(500, users=users), seed=4)
+        train, valid, test = split.sizes()
+        assert train > valid and train > test
+        assert abs(test - 50) < 40  # approximate, like the paper's Table 1
+
+    def test_requires_users(self):
+        with pytest.raises(ValueError):
+            user_split(_workload(10), seed=1)
+
+    def test_deterministic(self):
+        users = [f"u{i}" for i in range(5)]
+        a = user_split(_workload(50, users=users), seed=9)
+        b = user_split(_workload(50, users=users), seed=9)
+        assert np.array_equal(a.test_idx, b.test_idx)

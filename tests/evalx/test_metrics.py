@@ -1,0 +1,153 @@
+"""Metric tests, including the qerror properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evalx.metrics import (
+    accuracy,
+    classification_report,
+    cross_entropy_loss,
+    huber_loss,
+    mse,
+    per_class_f_measure,
+    qerror,
+    qerror_percentiles,
+    regression_report,
+)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+
+class TestFMeasure:
+    def test_perfect(self):
+        y = np.array([0, 1, 2, 0])
+        scores = per_class_f_measure(y, y, 3)
+        assert np.allclose(scores, 1.0)
+
+    def test_absent_class_zero(self):
+        y_true = np.array([0, 0])
+        y_pred = np.array([0, 0])
+        scores = per_class_f_measure(y_true, y_pred, 2)
+        assert scores[1] == 0.0
+
+    def test_known_value(self):
+        # class 0: TP=1, FP=1, FN=1 → P=R=0.5 → F=0.5
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 0, 1])
+        scores = per_class_f_measure(y_true, y_pred, 2)
+        assert scores[0] == pytest.approx(0.5)
+
+    def test_majority_predictor_fails_minority(self):
+        """The paper's mfreq pattern: high F on majority, 0 on minority."""
+        y_true = np.array([0] * 95 + [1] * 5)
+        y_pred = np.zeros(100, dtype=int)
+        scores = per_class_f_measure(y_true, y_pred, 2)
+        assert scores[0] > 0.95
+        assert scores[1] == 0.0
+
+
+class TestLosses:
+    def test_cross_entropy_perfect(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cross_entropy_loss(probs, np.array([0, 1])) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_cross_entropy_shape_check(self):
+        with pytest.raises(ValueError):
+            cross_entropy_loss(np.ones(3), np.array([0]))
+
+    def test_huber_matches_formula(self):
+        assert huber_loss(np.array([0.0]), np.array([0.5])) == pytest.approx(
+            0.125
+        )
+        assert huber_loss(np.array([0.0]), np.array([4.0])) == pytest.approx(
+            3.5
+        )
+
+    def test_mse(self):
+        assert mse(np.array([0.0, 0.0]), np.array([1.0, 3.0])) == pytest.approx(
+            5.0
+        )
+
+
+class TestQError:
+    def test_perfect_estimate_is_one(self):
+        assert (qerror(np.array([5.0]), np.array([5.0])) == 1.0).all()
+
+    def test_symmetric(self):
+        over = qerror(np.array([10.0]), np.array([100.0]))
+        under = qerror(np.array([100.0]), np.array([10.0]))
+        assert over[0] == under[0] == pytest.approx(10.0)
+
+    def test_floor_protects_against_zero(self):
+        errors = qerror(np.array([0.0]), np.array([0.0]))
+        assert errors[0] == 1.0
+
+    def test_percentiles_monotone(self):
+        y = np.array([1.0, 10.0, 100.0, 1000.0])
+        pred = np.array([1.0, 1.0, 1.0, 1.0])
+        pct = qerror_percentiles(y, pred, percentiles=(25, 50, 75))
+        assert pct[25] <= pct[50] <= pct[75]
+
+    def test_empty_is_nan(self):
+        pct = qerror_percentiles(np.array([]), np.array([]), percentiles=(50,))
+        assert np.isnan(pct[50])
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    ),
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_qerror_at_least_one(y_true, y_pred):
+    n = min(len(y_true), len(y_pred))
+    errors = qerror(np.array(y_true[:n]), np.array(y_pred[:n]))
+    assert (errors >= 1.0).all()
+
+
+class TestReports:
+    def test_classification_report_bundle(self):
+        y_true = np.array([0, 1, 0])
+        y_pred = np.array([0, 1, 1])
+        probs = np.array([[0.9, 0.1], [0.2, 0.8], [0.4, 0.6]])
+        report = classification_report(
+            "m", y_true, y_pred, probs, ["a", "b"], vocab_size=5,
+            num_parameters=10,
+        )
+        assert report.model == "m"
+        assert 0 <= report.accuracy <= 1
+        assert set(report.f_per_class) == {"a", "b"}
+        assert report.vocab_size == 5
+
+    def test_regression_report_bundle(self):
+        y_log = np.array([0.0, 1.0])
+        pred_log = np.array([0.1, 1.1])
+        y_raw = np.array([1.0, 10.0])
+        pred_raw = np.array([1.2, 9.0])
+        report = regression_report(
+            "m", y_log, pred_log, y_raw, pred_raw, percentiles=(50,)
+        )
+        assert report.loss > 0
+        assert report.mse == pytest.approx(0.01, abs=1e-9)
+        assert 50 in report.qerror_percentiles

@@ -1,0 +1,46 @@
+"""ASCII table formatting tests."""
+
+from repro.evalx.reporting import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_moderate_fixed_point(self):
+        assert format_float(0.9778) == "0.9778"
+
+    def test_trailing_zeros_stripped(self):
+        assert format_float(1.5) == "1.5"
+
+    def test_large_scientific(self):
+        assert "e" in format_float(2.5e8)
+
+    def test_tiny_scientific(self):
+        assert "e" in format_float(3e-7)
+
+    def test_nan_dash(self):
+        assert format_float(float("nan")) == "-"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["Model", "Loss"], [["ccnn", 0.1106], ["wlstm", 0.0691]]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("Model")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="Table X")
+        assert table.splitlines()[0] == "Table X"
+
+    def test_mixed_types(self):
+        table = format_table(["a", "b"], [["x", 1.2345], [3, "y"]])
+        assert "1.2345" in table
+
+    def test_empty_rows(self):
+        table = format_table(["only", "headers"], [])
+        assert "only" in table

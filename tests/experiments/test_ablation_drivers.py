@@ -1,0 +1,66 @@
+"""Ablation driver smoke tests at tiny scale."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_cnn_architecture,
+    ablation_loss_and_transform,
+    ablation_lstm_depth,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.models.factory import ModelScale
+
+
+@pytest.fixture(scope="module")
+def ablation_cfg():
+    return ExperimentConfig(
+        name="tiny-ablation",
+        sdss_sessions=200,
+        sqlshare_users=8,
+        seed=88,
+        model_scale=ModelScale(
+            tfidf_features=1000,
+            tfidf_max_len=80,
+            embed_dim=10,
+            num_kernels=6,
+            lstm_hidden=8,
+            epochs=2,
+            max_len_char=50,
+            max_len_word=16,
+        ),
+    )
+
+
+def test_loss_and_transform(ablation_cfg):
+    output = ablation_loss_and_transform(ablation_cfg)
+    assert "huber" in output and "squared" in output
+    assert "log" in output and "raw" in output
+    # four variants reported
+    assert len(output.splitlines()) >= 6
+
+
+def test_cnn_architecture(ablation_cfg):
+    output = ablation_cnn_architecture(ablation_cfg)
+    assert "windows {3,4,5}, max-pool" in output
+    assert "mean-pool" in output
+
+
+def test_lstm_depth(ablation_cfg):
+    output = ablation_lstm_depth(ablation_cfg)
+    lines = [l for l in output.splitlines() if l and l[0].isdigit()]
+    assert len(lines) == 2  # depth 1 and depth 3
+    # 3-layer model must have more parameters than 1-layer
+    params = [int(l.split("|")[-1]) for l in lines]
+    assert params[1] > params[0]
+
+
+def test_digit_masking(ablation_cfg):
+    from repro.experiments.ablations import ablation_digit_masking
+
+    output = ablation_digit_masking(ablation_cfg)
+    assert "<DIGIT> masked" in output and "raw digits" in output
+    # unmasked vocabulary must be at least as large: raw digits only add
+    # distinct tokens
+    lines = [l for l in output.splitlines() if "|" in l][1:]
+    features = [int(l.split("|")[1]) for l in lines]
+    assert features[1] >= features[0]

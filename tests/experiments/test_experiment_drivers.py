@@ -1,0 +1,138 @@
+"""Smoke tests for the experiment drivers at a tiny scale.
+
+These verify the full table/figure pipeline runs end-to-end and produces
+the expected row/column structure; the benchmark suite runs them at the
+real (configurable) scale.
+"""
+
+import pytest
+
+from repro.core.problems import Problem, Setting
+from repro.experiments import runner
+from repro.experiments.config import SCALES, ExperimentConfig, default_config
+from repro.experiments.figures import (
+    fig3_sdss_structure,
+    fig6_label_distributions,
+    fig7_correlation,
+    fig8_by_session_class,
+    fig20_repetition,
+)
+from repro.experiments.tables import table1_splits
+from repro.models.factory import ModelScale
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    return ExperimentConfig(
+        name="tiny",
+        sdss_sessions=220,
+        sqlshare_users=12,
+        seed=77,
+        model_scale=ModelScale(
+            tfidf_features=1500,
+            tfidf_max_len=100,
+            embed_dim=12,
+            num_kernels=8,
+            lstm_hidden=10,
+            epochs=2,
+            max_len_char=60,
+            max_len_word=20,
+        ),
+    )
+
+
+class TestConfig:
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert default_config().name == "small"
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert default_config().name == "medium"
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            default_config()
+
+    def test_scales_are_ordered(self):
+        assert (
+            SCALES["small"].sdss_sessions
+            < SCALES["medium"].sdss_sessions
+            < SCALES["large"].sdss_sessions
+        )
+
+
+class TestRunnerCaching:
+    def test_workload_cached(self, tiny_cfg):
+        a = runner.sdss_workload(tiny_cfg)
+        b = runner.sdss_workload(tiny_cfg)
+        assert a is b
+
+    def test_split_consistent_with_workload(self, tiny_cfg):
+        split = runner.sdss_split(tiny_cfg)
+        assert split.workload is runner.sdss_workload(tiny_cfg)
+
+    def test_sqlshare_settings_use_different_splits(self, tiny_cfg):
+        homog = runner.sqlshare_split(tiny_cfg, Setting.HOMOGENEOUS_SCHEMA)
+        heterog = runner.sqlshare_split(
+            tiny_cfg, Setting.HETEROGENEOUS_SCHEMA
+        )
+        assert homog.test_idx.tolist() != heterog.test_idx.tolist()
+
+    def test_sdss_has_no_schema_split(self, tiny_cfg):
+        with pytest.raises(ValueError):
+            runner.sqlshare_split(tiny_cfg, Setting.HOMOGENEOUS_INSTANCE)
+
+
+class TestAnalysisDrivers:
+    def test_table1(self, tiny_cfg):
+        output = table1_splits(tiny_cfg)
+        assert "Train" in output and "Test" in output
+
+    def test_fig3(self, tiny_cfg):
+        assert "num_joins" in fig3_sdss_structure(tiny_cfg)
+
+    def test_fig6(self, tiny_cfg):
+        output = fig6_label_distributions(tiny_cfg)
+        assert "success" in output
+
+    def test_fig7(self, tiny_cfg):
+        assert "characters" in fig7_correlation(tiny_cfg)
+
+    def test_fig8(self, tiny_cfg):
+        assert "cpu_time" in fig8_by_session_class(tiny_cfg)
+
+    def test_fig20(self, tiny_cfg):
+        assert ">1000" in fig20_repetition(tiny_cfg)
+
+
+class TestModelDrivers:
+    def test_classification_outcome_structure(self, tiny_cfg):
+        outcome = runner.classification_outcome(
+            tiny_cfg, Problem.ERROR_CLASSIFICATION
+        )
+        names = {r.model for r in outcome.reports}
+        assert "mfreq" in names and "ccnn" in names
+        assert outcome.y_true is not None
+
+    def test_classification_cached(self, tiny_cfg):
+        a = runner.classification_outcome(
+            tiny_cfg, Problem.ERROR_CLASSIFICATION
+        )
+        b = runner.classification_outcome(
+            tiny_cfg, Problem.ERROR_CLASSIFICATION
+        )
+        assert a is b
+
+    def test_regression_outcome_sqlshare_includes_opt(self, tiny_cfg):
+        outcome = runner.regression_outcome(
+            tiny_cfg, Problem.CPU_TIME, Setting.HOMOGENEOUS_SCHEMA
+        )
+        assert "opt" in {r.model for r in outcome.reports}
+
+    def test_rejects_mismatched_kinds(self, tiny_cfg):
+        with pytest.raises(ValueError):
+            runner.classification_outcome(tiny_cfg, Problem.CPU_TIME)
+        with pytest.raises(ValueError):
+            runner.regression_outcome(
+                tiny_cfg,
+                Problem.ERROR_CLASSIFICATION,
+                Setting.HOMOGENEOUS_INSTANCE,
+            )

@@ -1,0 +1,51 @@
+"""Smoke tests for the Section 8 extension drivers at tiny scale."""
+
+import pytest
+
+from repro.experiments.compression_extension import compression_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.elapsed_extension import elapsed_time_experiment
+from repro.experiments.tree_extension import tree_lstm_experiment
+from repro.models.factory import ModelScale
+
+
+@pytest.fixture(scope="module")
+def ext_cfg():
+    return ExperimentConfig(
+        name="tiny-ext",
+        sdss_sessions=200,
+        sqlshare_users=8,
+        seed=91,
+        model_scale=ModelScale(
+            tfidf_features=1000,
+            tfidf_max_len=80,
+            embed_dim=10,
+            num_kernels=6,
+            lstm_hidden=8,
+            epochs=2,
+            max_len_char=50,
+            max_len_word=16,
+        ),
+    )
+
+
+def test_tree_lstm_driver(ext_cfg):
+    output = tree_lstm_experiment(ext_cfg)
+    assert "treelstm" in output
+    assert "ccnn" in output and "clstm" in output
+    assert "nested" in output
+
+
+def test_elapsed_time_driver(ext_cfg):
+    output = elapsed_time_experiment(ext_cfg)
+    # both targets, three models each
+    assert output.count("cpu_time") == 3
+    assert output.count("elapsed_time") == 3
+    assert "median" in output and "ccnn" in output
+
+
+def test_compression_driver(ext_cfg):
+    output = compression_experiment(ext_cfg)
+    assert "full" in output
+    for strategy in ("kcenter", "stratified", "random"):
+        assert output.count(strategy) == 2  # 25% and 10% rows

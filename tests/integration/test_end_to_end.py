@@ -1,0 +1,157 @@
+"""End-to-end integration: the paper's headline claims at miniature scale.
+
+These are the repository's acceptance tests — each asserts one piece of the
+expected reproduction shape from DESIGN.md on freshly generated workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import evaluate_classification, evaluate_regression
+from repro.core.problems import Problem
+from repro.core.splits import random_split, user_split
+from repro.models.base import TaskKind
+from repro.models.factory import ModelScale, build_model
+from repro.workloads.sdss import generate_sdss_workload
+from repro.workloads.sqlshare import generate_sqlshare_workload
+
+_SCALE = ModelScale(
+    tfidf_features=6000,
+    tfidf_max_len=200,
+    embed_dim=32,
+    num_kernels=48,
+    lstm_hidden=24,
+    epochs=12,
+    max_len_char=140,
+    max_len_word=40,
+)
+
+
+@pytest.fixture(scope="module")
+def sdss_split_medium():
+    workload = generate_sdss_workload(n_sessions=1400, seed=55)
+    return random_split(workload, seed=2)
+
+
+@pytest.fixture(scope="module")
+def sqlshare_workload_medium():
+    return generate_sqlshare_workload(n_users=40, seed=66)
+
+
+def _models(names, task, num_classes=2):
+    built = {}
+    for name in names:
+        display = (
+            ("mfreq" if task is TaskKind.CLASSIFICATION else "median")
+            if name == "baseline"
+            else name
+        )
+        built[display] = build_model(
+            name, task, num_classes=num_classes, scale=_SCALE
+        )
+    return built
+
+
+class TestErrorClassificationShape:
+    def test_trained_models_beat_mfreq_on_minority_classes(
+        self, sdss_split_medium
+    ):
+        outcome = evaluate_classification(
+            Problem.ERROR_CLASSIFICATION,
+            sdss_split_medium,
+            _models(["baseline", "ctfidf", "ccnn"], TaskKind.CLASSIFICATION, 3),
+        )
+        by_model = {r.model: r for r in outcome.reports}
+        mfreq = by_model["mfreq"]
+        # mfreq gets 0 F-measure on every minority class by construction
+        minority_f_mfreq = sum(
+            v for k, v in mfreq.f_per_class.items() if k != "success"
+        )
+        assert minority_f_mfreq == 0.0
+        minority_f_ccnn = sum(
+            v for k, v in by_model["ccnn"].f_per_class.items()
+            if k != "success"
+        )
+        assert minority_f_ccnn > 0.2
+        assert by_model["ccnn"].loss < mfreq.loss
+
+
+class TestRegressionShape:
+    def test_all_models_beat_median_on_answer_size(self, sdss_split_medium):
+        outcome = evaluate_regression(
+            Problem.ANSWER_SIZE,
+            sdss_split_medium,
+            _models(
+                ["baseline", "ctfidf", "ccnn", "wcnn"], TaskKind.REGRESSION
+            ),
+        )
+        by_model = {r.model: r for r in outcome.reports}
+        median_loss = by_model["median"].loss
+        for name in ("ctfidf", "ccnn", "wcnn"):
+            assert by_model[name].loss < median_loss, name
+
+    def test_qerror_tail_improves_over_median(self, sdss_split_medium):
+        outcome = evaluate_regression(
+            Problem.ANSWER_SIZE,
+            sdss_split_medium,
+            _models(["baseline", "ccnn"], TaskKind.REGRESSION),
+            percentiles=(75, 90),
+        )
+        by_model = {r.model: r for r in outcome.reports}
+        assert (
+            by_model["ccnn"].qerror_percentiles[90]
+            < by_model["median"].qerror_percentiles[90]
+        )
+
+
+class TestHeterogeneityShape:
+    def test_loss_grows_with_heterogeneity(self, sqlshare_workload_medium):
+        """Table 5's central trends: losses grow from Homogeneous to
+        Heterogeneous Schema, and char-level models degrade the least."""
+        losses = {}
+        for setting, splitter in [
+            ("homog", random_split),
+            ("heterog", user_split),
+        ]:
+            split = splitter(sqlshare_workload_medium, seed=4)
+            outcome = evaluate_regression(
+                Problem.CPU_TIME,
+                split,
+                _models(["ctfidf", "wtfidf", "ccnn"], TaskKind.REGRESSION),
+            )
+            for report in outcome.reports:
+                losses[(report.model, setting)] = report.loss
+        # the two-stage models show the degradation crisply
+        assert losses[("ctfidf", "heterog")] > losses[("ctfidf", "homog")]
+        assert losses[("wtfidf", "heterog")] > losses[("wtfidf", "homog")]
+        # ccnn generalizes best: its relative degradation is the smallest
+        def degradation(model):
+            return losses[(model, "heterog")] / losses[(model, "homog")]
+
+        assert degradation("ccnn") < degradation("wtfidf")
+
+
+class TestFacilitatorIntegration:
+    def test_figure1b_query_flagged_expensive(self):
+        """The motivating example: the per-row-UDF query must be predicted
+        far slower than a point lookup."""
+        from repro.core.facilitator import QueryFacilitator
+
+        workload = generate_sdss_workload(n_sessions=1400, seed=77)
+        facilitator = QueryFacilitator(
+            model_name="ccnn", scale=_SCALE
+        ).fit(workload, problems=[Problem.CPU_TIME])
+        lookup = facilitator.insights(
+            "SELECT * FROM PhotoTag WHERE objID=0x112d075f80360018"
+        )
+        udf_scan = facilitator.insights(
+            "SELECT objID,ra,dec FROM PhotoObj "
+            "WHERE flags & dbo.fPhotoFlags('BLENDED') > 0"
+        )
+        assert udf_scan.cpu_time_seconds > 3 * lookup.cpu_time_seconds
+
+    def test_workload_roundtrip_determinism(self):
+        a = generate_sdss_workload(n_sessions=150, seed=31)
+        b = generate_sdss_workload(n_sessions=150, seed=31)
+        assert a.statements() == b.statements()
+        assert np.array_equal(a.labels("cpu_time"), b.labels("cpu_time"))

@@ -1,0 +1,51 @@
+"""Huber linear regression tests."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ml.huber import HuberLinearRegression
+
+
+def _linear_data(rng, n=400, noise=0.05):
+    x = rng.standard_normal((n, 4))
+    true_w = np.array([2.0, -1.0, 0.5, 0.0])
+    y = x @ true_w + 3.0 + rng.standard_normal(n) * noise
+    return sparse.csr_matrix(x), y, true_w
+
+
+class TestHuberLinearRegression:
+    def test_recovers_linear_relation(self, rng):
+        x, y, true_w = _linear_data(rng)
+        model = HuberLinearRegression(epochs=40, lr=0.1).fit(x, y)
+        pred = model.predict(x)
+        residual = np.abs(pred - y).mean()
+        assert residual < 0.5
+
+    def test_robust_to_outliers(self, rng):
+        x, y, _ = _linear_data(rng)
+        y_outliers = y.copy()
+        y_outliers[:5] += 1000.0  # gross corruption
+        model = HuberLinearRegression(epochs=40, lr=0.1).fit(x, y_outliers)
+        pred = model.predict(x)
+        clean_residual = np.abs(pred[5:] - y[5:]).mean()
+        assert clean_residual < 2.0  # outliers did not drag the fit away
+
+    def test_warm_start_at_median(self, rng):
+        x = sparse.csr_matrix(np.zeros((50, 2)))
+        y = np.full(50, 7.0)
+        model = HuberLinearRegression(epochs=1).fit(x, y)
+        assert model.predict(x)[0] == pytest.approx(7.0, abs=0.5)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            HuberLinearRegression(delta=-1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            HuberLinearRegression().predict(sparse.csr_matrix((1, 2)))
+
+    def test_num_parameters(self, rng):
+        x, y, _ = _linear_data(rng)
+        model = HuberLinearRegression(epochs=1).fit(x, y)
+        assert model.num_parameters == 5  # 4 weights + bias

@@ -1,0 +1,31 @@
+"""OLS tests (the opt baseline's prediction stage)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LeastSquaresRegression
+
+
+class TestLeastSquares:
+    def test_exact_fit_on_line(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1.0, 3.0, 5.0])
+        model = LeastSquaresRegression().fit(x, y)
+        assert model.coef_[0] == pytest.approx(2.0)
+        assert model.intercept_ == pytest.approx(1.0)
+        assert np.allclose(model.predict(x), y)
+
+    def test_multifeature(self, rng):
+        x = rng.standard_normal((100, 3))
+        w = np.array([1.0, -2.0, 0.5])
+        y = x @ w + 4.0
+        model = LeastSquaresRegression().fit(x, y)
+        assert np.allclose(model.coef_, w, atol=1e-8)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            LeastSquaresRegression().fit(np.zeros((3, 1)), np.zeros(4))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LeastSquaresRegression().predict(np.zeros((1, 1)))

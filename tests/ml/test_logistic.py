@@ -1,0 +1,64 @@
+"""Multinomial logistic regression tests."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ml.logistic import LogisticRegression
+
+
+def _separable_data(rng, n=300):
+    """Three linearly separable classes in a 6-dim sparse space."""
+    y = rng.integers(0, 3, n)
+    x = np.zeros((n, 6))
+    for i, cls in enumerate(y):
+        x[i, cls * 2] = 1.0 + rng.random()
+        x[i, cls * 2 + 1] = rng.random() * 0.1
+    return sparse.csr_matrix(x), y
+
+
+class TestLogisticRegression:
+    def test_learns_separable_problem(self, rng):
+        x, y = _separable_data(rng)
+        model = LogisticRegression(num_classes=3, epochs=20, seed=1).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_predict_proba_normalized(self, rng):
+        x, y = _separable_data(rng)
+        model = LogisticRegression(num_classes=3, epochs=5).fit(x, y)
+        probs = model.predict_proba(x)
+        assert probs.shape == (x.shape[0], 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_log_proba_consistent(self, rng):
+        x, y = _separable_data(rng)
+        model = LogisticRegression(num_classes=3, epochs=3).fit(x, y)
+        assert np.allclose(
+            model.predict_log_proba(x), np.log(model.predict_proba(x))
+        )
+
+    def test_num_parameters(self, rng):
+        x, y = _separable_data(rng)
+        model = LogisticRegression(num_classes=3, epochs=1).fit(x, y)
+        assert model.num_parameters == 6 * 3 + 3
+
+    def test_unfitted_raises(self):
+        model = LogisticRegression(num_classes=2)
+        with pytest.raises(RuntimeError):
+            model.predict(sparse.csr_matrix((1, 2)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(num_classes=2).fit(
+                sparse.csr_matrix((0, 3)), np.array([])
+            )
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(num_classes=1)
+
+    def test_deterministic_given_seed(self, rng):
+        x, y = _separable_data(rng)
+        a = LogisticRegression(num_classes=3, epochs=3, seed=7).fit(x, y)
+        b = LogisticRegression(num_classes=3, epochs=3, seed=7).fit(x, y)
+        assert np.array_equal(a.weight, b.weight)

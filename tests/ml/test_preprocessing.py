@@ -1,0 +1,92 @@
+"""Label preprocessing tests (log transform + label encoder)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.preprocessing import LabelEncoder, LogLabelTransform
+
+
+class TestLogLabelTransform:
+    def test_paper_formula(self):
+        """y' = ln(y + eps - min(y)) with eps=1 (Section 4.4.1)."""
+        y = np.array([-1.0, 0.0, 10.0])
+        transform = LogLabelTransform(eps=1.0).fit(y)
+        expected = np.log(y - (-1.0) + 1.0)
+        assert np.allclose(transform.transform(y), expected)
+
+    def test_non_negative_outputs(self):
+        y = np.array([5.0, 6.0, 1e9])
+        out = LogLabelTransform().fit(y).transform(y)
+        assert (out >= 0).all()
+
+    def test_inverse_roundtrip(self):
+        y = np.array([-1.0, 0.0, 3.5, 1e6])
+        transform = LogLabelTransform().fit(y)
+        assert np.allclose(transform.inverse(transform.transform(y)), y)
+
+    def test_monotone(self):
+        y = np.array([0.0, 1.0, 10.0, 100.0])
+        out = LogLabelTransform().fit(y).transform(y)
+        assert (np.diff(out) > 0).all()
+
+    def test_clamps_below_training_min(self):
+        transform = LogLabelTransform().fit(np.array([0.0, 5.0]))
+        out = transform.transform(np.array([-100.0]))
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(0.0)
+
+    def test_compresses_outliers(self):
+        y = np.array([1.0, 10.0, 1e9])
+        out = LogLabelTransform().fit(y).transform(y)
+        assert out[2] / out[1] < y[2] / y[1]
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            LogLabelTransform(eps=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogLabelTransform().transform(np.array([1.0]))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            LogLabelTransform().fit(np.array([]))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        labels = ["bot", "browser", "bot", "admin"]
+        encoder = LabelEncoder().fit(labels)
+        ids = encoder.transform(labels)
+        assert encoder.inverse(ids) == labels
+
+    def test_sorted_classes(self):
+        encoder = LabelEncoder().fit(["z", "a", "m"])
+        assert encoder.classes_ == ["a", "m", "z"]
+
+    def test_num_classes(self):
+        assert LabelEncoder().fit(["a", "b", "a"]).num_classes == 2
+
+    def test_unseen_label_raises(self):
+        encoder = LabelEncoder().fit(["a"])
+        with pytest.raises(ValueError):
+            encoder.transform(["b"])
+
+
+@given(
+    st.lists(
+        st.floats(
+            min_value=-1e6, max_value=1e12, allow_nan=False, allow_infinity=False
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_log_transform_roundtrip_property(values):
+    y = np.asarray(values)
+    transform = LogLabelTransform().fit(y)
+    restored = transform.inverse(transform.transform(y))
+    assert np.allclose(restored, y, rtol=1e-6, atol=1e-6)

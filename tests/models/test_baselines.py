@@ -1,0 +1,53 @@
+"""mfreq / median baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.models.baselines import MedianRegressor, MostFrequentClassifier
+
+
+class TestMostFrequent:
+    def test_predicts_majority(self):
+        model = MostFrequentClassifier(3)
+        model.fit(["a", "b", "c", "d"], np.array([1, 1, 1, 2]))
+        assert (model.predict(["x", "y"]) == 1).all()
+
+    def test_proba_is_class_distribution(self):
+        model = MostFrequentClassifier(3)
+        model.fit(["a"] * 4, np.array([0, 0, 1, 2]))
+        probs = model.predict_proba(["q"])
+        assert np.allclose(probs[0], [0.5, 0.25, 0.25])
+
+    def test_baseline_loss_equals_entropy_of_distribution(self):
+        """The constant-prediction cross-entropy the paper reports."""
+        from repro.evalx.metrics import cross_entropy_loss
+
+        y = np.array([0] * 90 + [1] * 10)
+        model = MostFrequentClassifier(2).fit(["s"] * 100, y)
+        probs = model.predict_proba(["s"] * 100)
+        loss = cross_entropy_loss(probs, y)
+        expected = -(0.9 * np.log(0.9) + 0.1 * np.log(0.1))
+        assert loss == pytest.approx(expected)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MostFrequentClassifier(2).predict(["q"])
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            MostFrequentClassifier(2).fit([], np.array([]))
+
+
+class TestMedian:
+    def test_predicts_median(self):
+        model = MedianRegressor().fit(["a", "b", "c"], np.array([1.0, 5.0, 100.0]))
+        assert (model.predict(["x", "y"]) == 5.0).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MedianRegressor().predict(["q"])
+
+    def test_zero_parameters(self):
+        model = MedianRegressor().fit(["a"], np.array([1.0]))
+        assert model.num_parameters == 0
+        assert model.vocab_size == 0

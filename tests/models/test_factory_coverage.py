@@ -1,0 +1,95 @@
+"""Factory coverage: every paper name builds the right class and task."""
+
+import pytest
+
+from repro.models.base import TaskKind
+from repro.models.baselines import MedianRegressor, MostFrequentClassifier
+from repro.models.cnn_model import TextCNNModel
+from repro.models.factory import (
+    MODEL_NAMES,
+    PAPER_SCALE,
+    ModelScale,
+    build_model,
+)
+from repro.models.lstm_model import TextLSTMModel
+from repro.models.opt_model import OptimizerCostRegressor
+from repro.models.tfidf_model import TfidfClassifier, TfidfRegressor
+
+_EXPECTED_CLASS = {
+    "ctfidf": (TfidfClassifier, TfidfRegressor),
+    "wtfidf": (TfidfClassifier, TfidfRegressor),
+    "ccnn": (TextCNNModel, TextCNNModel),
+    "wcnn": (TextCNNModel, TextCNNModel),
+    "clstm": (TextLSTMModel, TextLSTMModel),
+    "wlstm": (TextLSTMModel, TextLSTMModel),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_EXPECTED_CLASS))
+def test_classification_classes(name):
+    model = build_model(name, TaskKind.CLASSIFICATION, num_classes=3)
+    assert isinstance(model, _EXPECTED_CLASS[name][0])
+    assert model.task is TaskKind.CLASSIFICATION
+    assert model.name == name
+
+
+@pytest.mark.parametrize("name", sorted(_EXPECTED_CLASS))
+def test_regression_classes(name):
+    model = build_model(name, TaskKind.REGRESSION)
+    assert isinstance(model, _EXPECTED_CLASS[name][1])
+    assert model.task is TaskKind.REGRESSION
+    assert model.name == name
+
+
+def test_baseline_resolution():
+    assert isinstance(
+        build_model("baseline", TaskKind.CLASSIFICATION, num_classes=2),
+        MostFrequentClassifier,
+    )
+    assert isinstance(
+        build_model("baseline", TaskKind.REGRESSION), MedianRegressor
+    )
+    assert isinstance(
+        build_model("mfreq", TaskKind.CLASSIFICATION, num_classes=2),
+        MostFrequentClassifier,
+    )
+    assert isinstance(
+        build_model("median", TaskKind.REGRESSION), MedianRegressor
+    )
+
+
+def test_opt_with_catalog(catalog):
+    model = build_model("opt", TaskKind.REGRESSION, catalog=catalog)
+    assert isinstance(model, OptimizerCostRegressor)
+
+
+def test_model_names_list_complete():
+    assert set(MODEL_NAMES) == {
+        "baseline", "ctfidf", "ccnn", "clstm", "wtfidf", "wcnn", "wlstm",
+    }
+
+
+def test_scale_plumbs_into_hyper():
+    scale = ModelScale(embed_dim=7, epochs=3, lr=0.01, max_len_char=33)
+    hyper = scale.hyper()
+    assert hyper.embed_dim == 7
+    assert hyper.epochs == 3
+    assert hyper.lr == 0.01
+    assert hyper.max_len_char == 33
+
+
+def test_paper_scale_uses_paper_hyperparameters():
+    assert PAPER_SCALE.embed_dim == 100
+    assert PAPER_SCALE.lr == 1e-3
+    assert PAPER_SCALE.tfidf_features == 500_000
+
+
+def test_scale_controls_capacity():
+    small = build_model(
+        "ccnn",
+        TaskKind.CLASSIFICATION,
+        num_classes=2,
+        scale=ModelScale(num_kernels=4, embed_dim=8, epochs=1),
+    )
+    assert small.num_kernels == 4
+    assert small.hyper.embed_dim == 8

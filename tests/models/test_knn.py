@@ -1,0 +1,177 @@
+"""KnnModel and SimilarQueryIndex behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.base import TaskKind
+from repro.models.knn import KnnModel, SimilarQueryIndex
+from repro.workloads.records import QueryRecord, Workload
+
+_STATEMENTS = [
+    "SELECT * FROM PhotoObj WHERE objId=1",
+    "SELECT * FROM PhotoObj WHERE objId=2",
+    "SELECT * FROM PhotoObj WHERE objId=3",
+    "SELECT name, value FROM Settings ORDER BY name",
+    "SELECT name, value FROM Settings ORDER BY value",
+    "EXEC dbo.spGetNeighbors 100, 200",
+]
+
+
+class TestKnnRegression:
+    def test_identical_query_recovers_training_label(self):
+        labels = np.array([1.0, 1.0, 1.0, 9.0, 9.0, 4.0])
+        model = KnnModel(task=TaskKind.REGRESSION, k=1).fit(
+            _STATEMENTS, labels
+        )
+        pred = model.predict([_STATEMENTS[3]])
+        assert pred[0] == pytest.approx(9.0, abs=1e-6)
+
+    def test_prediction_interpolates_neighbours(self):
+        labels = np.array([2.0, 2.0, 2.0, 10.0, 10.0, 5.0])
+        model = KnnModel(task=TaskKind.REGRESSION, k=3).fit(
+            _STATEMENTS, labels
+        )
+        pred = model.predict(["SELECT * FROM PhotoObj WHERE objId=99"])[0]
+        # neighbours are the three PhotoObj queries, all labelled 2.0
+        assert pred == pytest.approx(2.0, abs=0.5)
+
+    def test_predictions_within_training_label_range(self):
+        labels = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+        model = KnnModel(task=TaskKind.REGRESSION, k=4).fit(
+            _STATEMENTS, labels
+        )
+        preds = model.predict(
+            ["SELECT anything FROM anywhere", "DROP TABLE students"]
+        )
+        assert np.all(preds >= 0.0) and np.all(preds <= 5.0)
+
+    def test_k_larger_than_training_set_is_clamped(self):
+        labels = np.arange(6, dtype=np.float64)
+        model = KnnModel(task=TaskKind.REGRESSION, k=50).fit(
+            _STATEMENTS, labels
+        )
+        assert model.predict(["SELECT 1"]).shape == (1,)
+
+
+class TestKnnClassification:
+    def test_vote_matches_dominant_neighbourhood(self):
+        labels = np.array([0, 0, 0, 1, 1, 2])
+        model = KnnModel(
+            task=TaskKind.CLASSIFICATION, k=3, num_classes=3
+        ).fit(_STATEMENTS, labels)
+        pred = model.predict(["SELECT * FROM PhotoObj WHERE objId=7"])
+        assert pred[0] == 0
+
+    def test_proba_rows_sum_to_one(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        model = KnnModel(
+            task=TaskKind.CLASSIFICATION, k=4, num_classes=3
+        ).fit(_STATEMENTS, labels)
+        probs = model.predict_proba(["SELECT name FROM Settings", "SELECT 1"])
+        assert probs.shape == (2, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_classification_requires_num_classes(self):
+        with pytest.raises(ValueError, match="num_classes"):
+            KnnModel(task=TaskKind.CLASSIFICATION)
+
+
+class TestKnnValidation:
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be"):
+            KnnModel(k=0)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            KnnModel().fit([], np.array([]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            KnnModel().fit(["SELECT 1"], np.array([1.0, 2.0]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            KnnModel().predict(["SELECT 1"])
+
+    def test_zero_parameters_reported(self):
+        model = KnnModel().fit(_STATEMENTS, np.arange(6, dtype=np.float64))
+        assert model.num_parameters == 0
+        assert model.vocab_size > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        labels=st.lists(
+            st.floats(min_value=-10, max_value=10),
+            min_size=6,
+            max_size=6,
+        )
+    )
+    def test_property_regression_bounded_by_neighbour_labels(self, labels):
+        arr = np.asarray(labels)
+        model = KnnModel(task=TaskKind.REGRESSION, k=3).fit(_STATEMENTS, arr)
+        preds = model.predict(["SELECT * FROM PhotoObj WHERE objId=5"])
+        assert arr.min() - 1e-9 <= preds[0] <= arr.max() + 1e-9
+
+
+class TestSimilarQueryIndex:
+    @pytest.fixture(scope="class")
+    def index(self) -> SimilarQueryIndex:
+        records = [
+            QueryRecord(statement=s, cpu_time=float(i), error_class="success")
+            for i, s in enumerate(_STATEMENTS)
+        ]
+        return SimilarQueryIndex().fit(Workload("w", records))
+
+    def test_exact_match_is_top_hit(self, index):
+        hits = index.lookup(_STATEMENTS[0], k=3)
+        assert hits[0].record.statement == _STATEMENTS[0]
+        assert hits[0].similarity == pytest.approx(1.0, abs=1e-9)
+
+    def test_hits_sorted_by_similarity(self, index):
+        hits = index.lookup("SELECT name FROM Settings", k=4)
+        sims = [h.similarity for h in hits]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_neighbors_carry_outcomes(self, index):
+        hits = index.lookup("SELECT * FROM PhotoObj WHERE objId=1", k=2)
+        assert all(h.record.cpu_time is not None for h in hits)
+
+    def test_k_validation(self, index):
+        with pytest.raises(ValueError, match="k must be"):
+            index.lookup("SELECT 1", k=0)
+
+    def test_lookup_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            SimilarQueryIndex().lookup("SELECT 1")
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SimilarQueryIndex().fit(Workload("empty", []))
+
+
+class TestFacilitatorSimilarQueries:
+    def test_facilitator_surfaces_similar_queries(self):
+        from repro.core.facilitator import QueryFacilitator
+        from repro.models.factory import ModelScale
+        from repro.workloads.sdss import generate_sdss_workload
+
+        workload = generate_sdss_workload(n_sessions=80, seed=33)
+        facilitator = QueryFacilitator(
+            model_name="ctfidf",
+            scale=ModelScale(epochs=1, tfidf_features=1000),
+            index_similar=True,
+        ).fit(workload)
+        statement = workload.statements()[0]
+        neighbors = facilitator.similar_queries(statement, k=3)
+        assert len(neighbors) == 3
+        assert neighbors[0].record.statement == statement
+
+    def test_without_index_raises(self):
+        from repro.core.facilitator import QueryFacilitator
+
+        facilitator = QueryFacilitator()
+        with pytest.raises(RuntimeError, match="index_similar"):
+            facilitator.similar_queries("SELECT 1")

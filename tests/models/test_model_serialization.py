@@ -1,0 +1,60 @@
+"""Trained-model serialization: save/load must preserve predictions."""
+
+import numpy as np
+
+from repro.models.base import TaskKind
+from repro.models.cnn_model import TextCNNModel
+from repro.models.lstm_model import TextLSTMModel
+from repro.models.neural_base import NeuralHyperParams
+from repro.nn.serialize import load_module, save_module
+
+_HYPER = NeuralHyperParams(
+    embed_dim=10, epochs=2, max_len_char=40, max_len_word=16, batch_size=8
+)
+
+_STATEMENTS = [
+    "SELECT a FROM T WHERE x > 1",
+    "DROP TABLE V",
+    "SELECT COUNT(*) FROM W",
+    "SELECT b,c FROM U WHERE y=2",
+] * 5
+_LABELS = np.array([0, 1, 0, 1] * 5)
+
+
+def _roundtrip(model_cls, tmp_path, **kwargs):
+    model = model_cls(num_classes=2, hyper=_HYPER, **kwargs)
+    model.fit(_STATEMENTS, _LABELS)
+    before = model.predict_proba(_STATEMENTS[:4])
+    path = tmp_path / "weights.npz"
+    save_module(model.network, path)
+    # clone with identical architecture, then load weights
+    clone = model_cls(num_classes=2, hyper=_HYPER, **kwargs)
+    clone.fit(_STATEMENTS[:8], _LABELS[:8])  # builds vocab + network
+    clone.encoder = model.encoder  # same vocabulary
+    load_module(clone.network, path)
+    after = clone.predict_proba(_STATEMENTS[:4])
+    return before, after
+
+
+class TestSerializationRoundtrip:
+    def test_cnn(self, tmp_path):
+        before, after = _roundtrip(TextCNNModel, tmp_path, num_kernels=6)
+        assert np.allclose(before, after)
+
+    def test_lstm(self, tmp_path):
+        before, after = _roundtrip(
+            TextLSTMModel, tmp_path, hidden=8, num_layers=2
+        )
+        assert np.allclose(before, after)
+
+    def test_regression_state(self, tmp_path):
+        model = TextCNNModel(
+            task=TaskKind.REGRESSION, num_kernels=6, hyper=_HYPER
+        )
+        labels = np.linspace(0, 10, len(_STATEMENTS))
+        model.fit(_STATEMENTS, labels)
+        before = model.predict(_STATEMENTS[:4])
+        path = tmp_path / "reg.npz"
+        save_module(model.network, path)
+        load_module(model.network, path)
+        assert np.allclose(model.predict(_STATEMENTS[:4]), before)

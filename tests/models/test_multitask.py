@@ -1,0 +1,130 @@
+"""Multi-task CNN tests."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import TaskKind
+from repro.models.multitask import MultiTaskTextCNN, TaskSpec
+from repro.models.neural_base import NeuralHyperParams
+
+_HYPER = NeuralHyperParams(
+    embed_dim=12, epochs=6, lr=3e-3, max_len_char=60, batch_size=8, seed=1
+)
+
+_TASKS = [
+    TaskSpec("kind", TaskKind.CLASSIFICATION, num_classes=2),
+    TaskSpec("size", TaskKind.REGRESSION),
+]
+
+
+def _data(rng, n=120):
+    statements, kinds, sizes = [], [], []
+    for _ in range(n):
+        k = int(rng.integers(1, 12))
+        if rng.random() < 0.5:
+            statements.append(
+                "SELECT " + ",".join(f"c{i}" for i in range(k)) + " FROM T"
+            )
+            kinds.append(0)
+        else:
+            statements.append(
+                "DROP TABLE " + "_".join(f"t{i}" for i in range(k))
+            )
+            kinds.append(1)
+        sizes.append(float(k))
+    return statements, np.array(kinds), np.array(sizes)
+
+
+class TestMultiTask:
+    def test_learns_both_tasks(self, rng):
+        statements, kinds, sizes = _data(rng)
+        model = MultiTaskTextCNN(_TASKS, num_kernels=12, hyper=_HYPER)
+        model.fit(
+            statements[:90],
+            {"kind": kinds[:90], "size": sizes[:90]},
+        )
+        kind_pred = model.predict("kind", statements[90:])
+        assert (kind_pred == kinds[90:]).mean() > 0.8
+        size_pred = model.predict("size", statements[90:])
+        baseline = np.full(30, np.median(sizes[:90]))
+        assert ((size_pred - sizes[90:]) ** 2).mean() < (
+            (baseline - sizes[90:]) ** 2
+        ).mean()
+
+    def test_proba_only_for_classification(self, rng):
+        statements, kinds, sizes = _data(rng, n=40)
+        model = MultiTaskTextCNN(_TASKS, num_kernels=6, hyper=_HYPER)
+        model.fit(statements, {"kind": kinds, "size": sizes})
+        probs = model.predict_proba("kind", statements[:5])
+        assert probs.shape == (5, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        with pytest.raises(NotImplementedError):
+            model.predict_proba("size", statements[:5])
+
+    def test_missing_labels_rejected(self, rng):
+        statements, kinds, _ = _data(rng, n=20)
+        model = MultiTaskTextCNN(_TASKS, num_kernels=6, hyper=_HYPER)
+        with pytest.raises(ValueError):
+            model.fit(statements, {"kind": kinds})
+
+    def test_unknown_task_rejected(self, rng):
+        statements, kinds, sizes = _data(rng, n=20)
+        model = MultiTaskTextCNN(_TASKS, num_kernels=6, hyper=_HYPER)
+        model.fit(statements, {"kind": kinds, "size": sizes})
+        with pytest.raises(KeyError):
+            model.predict("nope", statements[:2])
+
+    def test_duplicate_task_names_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTaskTextCNN(
+                [
+                    TaskSpec("x", TaskKind.REGRESSION),
+                    TaskSpec("x", TaskKind.REGRESSION),
+                ]
+            )
+
+    def test_needs_tasks(self):
+        with pytest.raises(ValueError):
+            MultiTaskTextCNN([])
+
+    def test_unfitted_predict_raises(self):
+        model = MultiTaskTextCNN(_TASKS)
+        with pytest.raises(RuntimeError):
+            model.predict("kind", ["SELECT 1"])
+
+
+class TestFinetune:
+    def test_finetune_adapts_to_shifted_target(self, rng):
+        """Transfer: pre-train on one scale, fine-tune onto another."""
+        from repro.models.cnn_model import TextCNNModel
+
+        statements, _, sizes = _data(rng)
+        model = TextCNNModel(
+            task=TaskKind.REGRESSION, num_kernels=12, hyper=_HYPER
+        )
+        model.fit(statements, sizes)
+        shifted = sizes * 3.0 + 100.0
+        model.finetune(statements, shifted, epochs=4)
+        pred = model.predict(statements[:20])
+        assert np.abs(pred - shifted[:20]).mean() < np.abs(
+            pred - sizes[:20]
+        ).mean()
+
+    def test_finetune_requires_fit(self):
+        from repro.models.cnn_model import TextCNNModel
+
+        model = TextCNNModel(task=TaskKind.REGRESSION, hyper=_HYPER)
+        with pytest.raises(RuntimeError):
+            model.finetune(["SELECT 1"], np.array([1.0]))
+
+    def test_finetune_keeps_vocabulary(self, rng):
+        from repro.models.cnn_model import TextCNNModel
+
+        statements, kinds, _ = _data(rng, n=40)
+        model = TextCNNModel(
+            num_classes=2, num_kernels=6, hyper=_HYPER
+        )
+        model.fit(statements, kinds)
+        vocab_before = model.vocab_size
+        model.finetune(statements, kinds, epochs=1)
+        assert model.vocab_size == vocab_before

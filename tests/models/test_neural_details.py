@@ -1,0 +1,129 @@
+"""Detailed behaviour tests for the neural model wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import TaskKind
+from repro.models.cnn_model import TextCNNModel
+from repro.models.lstm_model import TextLSTMModel
+from repro.models.neural_base import NeuralHyperParams
+
+_HYPER = NeuralHyperParams(
+    embed_dim=12,
+    epochs=2,
+    max_len_char=40,
+    max_len_word=16,
+    batch_size=8,
+    seed=3,
+)
+
+_STATEMENTS = [
+    "SELECT a FROM T WHERE x > 1",
+    "SELECT b,c FROM U",
+    "DROP TABLE V",
+    "SELECT COUNT(*) FROM W",
+] * 6
+
+
+class TestConstruction:
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            TextCNNModel(level="byte")
+
+    def test_names_follow_paper(self):
+        assert TextCNNModel(level="char", hyper=_HYPER).name == "ccnn"
+        assert TextCNNModel(level="word", hyper=_HYPER).name == "wcnn"
+        assert TextLSTMModel(level="char", hyper=_HYPER).name == "clstm"
+        assert TextLSTMModel(level="word", hyper=_HYPER).name == "wlstm"
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TextCNNModel(hyper=_HYPER).predict(["SELECT 1"])
+
+    def test_regression_has_no_proba(self):
+        model = TextCNNModel(
+            task=TaskKind.REGRESSION, num_kernels=4, hyper=_HYPER
+        )
+        model.fit(_STATEMENTS, np.ones(len(_STATEMENTS)))
+        with pytest.raises(NotImplementedError):
+            model.predict_proba(["SELECT 1"])
+
+
+class TestTraining:
+    def test_loss_history_recorded(self):
+        model = TextCNNModel(
+            task=TaskKind.CLASSIFICATION,
+            num_classes=2,
+            num_kernels=4,
+            hyper=_HYPER,
+        )
+        labels = np.array([0, 1] * (len(_STATEMENTS) // 2))
+        model.fit(_STATEMENTS, labels)
+        assert len(model.history) == _HYPER.epochs
+        assert all(np.isfinite(v) for v in model.history)
+
+    def test_deterministic_given_seed(self):
+        labels = np.array([0, 1] * (len(_STATEMENTS) // 2))
+        preds = []
+        for _ in range(2):
+            model = TextCNNModel(
+                num_classes=2, num_kernels=4, hyper=_HYPER
+            )
+            model.fit(_STATEMENTS, labels)
+            preds.append(model.predict_proba(_STATEMENTS[:4]))
+        assert np.array_equal(preds[0], preds[1])
+
+    def test_regression_targets_standardized_and_restored(self):
+        """Predictions come back on the caller's scale, not the internal
+        standardized scale."""
+        model = TextCNNModel(
+            task=TaskKind.REGRESSION, num_kernels=4, hyper=_HYPER
+        )
+        labels = np.full(len(_STATEMENTS), 50.0)
+        labels[::2] = 49.0
+        model.fit(_STATEMENTS, labels)
+        pred = model.predict(_STATEMENTS[:6])
+        assert np.all(np.abs(pred - 49.5) < 5.0)
+
+    def test_handles_empty_statement(self):
+        model = TextCNNModel(
+            num_classes=2, num_kernels=4, hyper=_HYPER
+        )
+        statements = ["", "SELECT 1"] * 8
+        labels = np.array([0, 1] * 8)
+        model.fit(statements, labels)
+        assert model.predict(["", "SELECT 1"]).shape == (2,)
+
+    def test_lstm_uses_last_valid_position(self):
+        """Predictions must not depend on how much padding a batch adds."""
+        model = TextLSTMModel(
+            task=TaskKind.CLASSIFICATION,
+            num_classes=2,
+            hidden=8,
+            num_layers=1,
+            hyper=_HYPER,
+        )
+        labels = np.array([0, 1] * (len(_STATEMENTS) // 2))
+        model.fit(_STATEMENTS, labels)
+        short = "SELECT a FROM T"
+        alone = model.predict_proba([short])
+        padded_batch = model.predict_proba(
+            [short, "SELECT " + ",".join(f"col{i}" for i in range(30))]
+        )
+        assert np.allclose(alone[0], padded_batch[0], atol=1e-9)
+
+
+class TestEncoding:
+    def test_word_vocab_smaller_than_char_stream(self):
+        model = TextCNNModel(level="word", num_kernels=4, hyper=_HYPER)
+        model.fit(_STATEMENTS, np.array([0, 1] * (len(_STATEMENTS) // 2)))
+        assert model.vocab_size < 100
+
+    def test_unseen_tokens_map_to_unk(self):
+        model = TextCNNModel(
+            level="word", num_classes=2, num_kernels=4, hyper=_HYPER
+        )
+        model.fit(_STATEMENTS, np.array([0, 1] * (len(_STATEMENTS) // 2)))
+        # entirely out-of-vocabulary statement still predicts
+        out = model.predict(["zzz qqq www"])
+        assert out.shape == (1,)

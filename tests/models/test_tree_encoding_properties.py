@@ -1,0 +1,63 @@
+"""Property-based tests: AST tree encoding is total and well-formed."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.tree_model import encode_tree, node_symbol
+from repro.sqlang import ast_nodes as ast
+from repro.sqlang.parser import parse_sql
+from repro.text.vocab import Vocabulary
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.text(max_size=200))
+def test_encode_tree_total_on_arbitrary_text(text):
+    """Any input — SQL, junk, unicode — yields a valid topological tree."""
+    tree, symbols = encode_tree(text)
+    tree.validate()
+    assert len(symbols) == tree.num_nodes
+    assert tree.num_nodes >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.text(
+        alphabet="SELECTFROMWHEREabcxyz0123456789*,()<>= '",
+        max_size=300,
+    )
+)
+def test_encode_tree_respects_max_nodes(sqlish):
+    tree, _ = encode_tree(sqlish, max_nodes=25)
+    assert tree.num_nodes <= 25
+    tree.validate()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(max_size=150))
+def test_symbols_encode_under_any_vocabulary(text):
+    """Unseen symbols must map to UNK, never crash."""
+    vocab = Vocabulary(["stmt:select", "col", "lit:num"])
+    tree, symbols = encode_tree(text, vocab=vocab)
+    assert tree.symbol_ids.shape == (tree.num_nodes,)
+    assert np.all(tree.symbol_ids >= 0)
+    assert np.all(tree.symbol_ids < len(vocab))
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.text(max_size=200))
+def test_every_ast_node_has_a_symbol(text):
+    """node_symbol is total over whatever the parser produces."""
+    result = parse_sql(text)
+    for statement in result.statements:
+        for node in ast.walk(statement):
+            symbol = node_symbol(node)
+            assert isinstance(symbol, str) and symbol
+
+
+def test_encoding_is_deterministic():
+    statement = "SELECT a, b FROM t WHERE x > 5 ORDER BY a DESC"
+    first_tree, first_symbols = encode_tree(statement)
+    second_tree, second_symbols = encode_tree(statement)
+    assert first_symbols == second_symbols
+    assert first_tree.children == second_tree.children

@@ -1,0 +1,160 @@
+"""TreeLSTMModel: AST encoding, training, prediction."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import TaskKind
+from repro.models.tree_model import TreeLSTMModel, encode_tree, node_symbol
+from repro.sqlang import ast_nodes as ast
+
+
+class TestNodeSymbols:
+    def test_statement_symbol_carries_type(self):
+        assert node_symbol(ast.Statement("SELECT")) == "stmt:select"
+
+    def test_table_symbol_keeps_base_name(self):
+        node = ast.TableRef(name="dbo.schema.PhotoObj")
+        assert node_symbol(node) == "table:photoobj"
+
+    def test_aggregate_function_marked(self):
+        agg = ast.FunctionCall(name="min", is_aggregate=True)
+        plain = ast.FunctionCall(name="dbo.fPhotoFlags")
+        assert node_symbol(agg) == "agg:min"
+        assert node_symbol(plain) == "fn:fphotoflags"
+
+    def test_literal_kinds_distinguished(self):
+        assert node_symbol(ast.Literal("5", is_number=True)) == "lit:num"
+        assert node_symbol(ast.Literal("'x'")) == "lit:str"
+
+    def test_column_names_collapse(self):
+        # open-vocabulary control: specific column names do not leak
+        assert node_symbol(ast.ColumnRef(name="ra")) == "col"
+        assert node_symbol(ast.ColumnRef(name="dec")) == "col"
+
+
+class TestEncodeTree:
+    def test_children_precede_parents(self):
+        tree, _ = encode_tree(
+            "SELECT a, b FROM t WHERE x > 5 AND y < 3 ORDER BY a"
+        )
+        tree.validate()
+
+    def test_root_is_statement(self):
+        tree, symbols = encode_tree("SELECT 1")
+        assert symbols[-1] == "stmt:select"
+
+    def test_junk_input_yields_single_unknown_tree(self):
+        tree, symbols = encode_tree("")
+        assert tree.num_nodes >= 1
+        tree.validate()
+
+    def test_random_text_still_encodes(self):
+        tree, symbols = encode_tree("how do I find galaxies near me?")
+        tree.validate()
+        assert tree.num_nodes >= 1
+
+    def test_truncation_bound_respected(self):
+        big = "SELECT " + ", ".join(f"c{i}" for i in range(300)) + " FROM t"
+        tree, _ = encode_tree(big, max_nodes=50)
+        assert tree.num_nodes <= 50
+        tree.validate()
+
+    def test_nested_query_encodes_subquery_symbol(self):
+        _, symbols = encode_tree(
+            "SELECT a FROM t WHERE x = (SELECT min(y) FROM u)"
+        )
+        assert "subquery" in symbols
+        assert "agg:min" in symbols
+
+
+def _labelled_corpus() -> tuple[list[str], np.ndarray]:
+    """Statements whose label is determined by an obvious structural cue:
+    queries with a join are expensive (label 5), the rest cheap (label 0)."""
+    cheap = [
+        f"SELECT c{i} FROM small WHERE k = {i}" for i in range(20)
+    ]
+    pricey = [
+        f"SELECT a.x, b.y FROM big AS a JOIN huge AS b ON a.k = b.k "
+        f"WHERE a.v > {i}"
+        for i in range(20)
+    ]
+    statements = cheap + pricey
+    labels = np.array([0.0] * 20 + [5.0] * 20)
+    return statements, labels
+
+
+class TestTreeLSTMModelRegression:
+    @pytest.fixture(scope="class")
+    def fitted(self) -> TreeLSTMModel:
+        statements, labels = _labelled_corpus()
+        model = TreeLSTMModel(
+            task=TaskKind.REGRESSION,
+            embed_dim=12,
+            hidden=16,
+            epochs=14,
+            seed=1,
+        )
+        return model.fit(statements, labels)
+
+    def test_learns_structural_signal(self, fitted):
+        cheap_pred = fitted.predict(["SELECT c99 FROM small WHERE k = 99"])[0]
+        pricey_pred = fitted.predict(
+            [
+                "SELECT a.x, b.y FROM big AS a JOIN huge AS b ON a.k = b.k "
+                "WHERE a.v > 99"
+            ]
+        )[0]
+        assert pricey_pred > cheap_pred + 1.0
+
+    def test_training_loss_decreases(self, fitted):
+        assert fitted.history[-1] < fitted.history[0]
+
+    def test_parameter_count_positive(self, fitted):
+        assert fitted.num_parameters > 0
+        assert fitted.vocab_size > 2  # PAD/UNK plus real symbols
+
+    def test_prediction_shape(self, fitted):
+        preds = fitted.predict(["SELECT 1", "SELECT 2", "junk ((("])
+        assert preds.shape == (3,)
+        assert np.all(np.isfinite(preds))
+
+
+class TestTreeLSTMModelClassification:
+    def test_separable_classes_learned(self):
+        statements, labels = _labelled_corpus()
+        classes = (labels > 0).astype(np.int64)
+        model = TreeLSTMModel(
+            task=TaskKind.CLASSIFICATION,
+            num_classes=2,
+            embed_dim=12,
+            hidden=16,
+            epochs=14,
+            seed=2,
+        ).fit(statements, classes)
+        preds = model.predict(statements)
+        assert (preds == classes).mean() >= 0.9
+        probs = model.predict_proba(statements)
+        assert probs.shape == (len(statements), 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestTreeLSTMModelValidation:
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            TreeLSTMModel().fit([], np.array([]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            TreeLSTMModel().fit(["SELECT 1"], np.array([1.0, 2.0]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            TreeLSTMModel().predict(["SELECT 1"])
+
+    def test_regression_proba_unsupported(self):
+        statements, labels = _labelled_corpus()
+        model = TreeLSTMModel(epochs=1, embed_dim=8, hidden=8).fit(
+            statements[:10], labels[:10]
+        )
+        with pytest.raises(NotImplementedError):
+            model.predict_proba(["SELECT 1"])

@@ -1,0 +1,27 @@
+"""Numerical gradient checking helper for the nn tests."""
+
+import numpy as np
+
+TOLERANCE = 1e-6
+
+
+def numerical_gradient(loss_fn, array, eps=1e-6):
+    """Central-difference gradient of ``loss_fn()`` w.r.t. ``array``."""
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        idx = iterator.multi_index
+        original = array[idx]
+        array[idx] = original + eps
+        plus = loss_fn()
+        array[idx] = original - eps
+        minus = loss_fn()
+        array[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        iterator.iternext()
+    return grad
+
+
+def assert_close(analytic, numeric, tol=TOLERANCE, label=""):
+    err = np.abs(analytic - numeric).max()
+    assert err < tol, f"gradient mismatch{label and f' ({label})'}: {err}"

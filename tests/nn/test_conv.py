@@ -1,0 +1,123 @@
+"""Gradient checks and behaviour tests for the text convolution."""
+
+import numpy as np
+import pytest
+
+from gradcheck import assert_close, numerical_gradient
+from repro.nn.conv import MultiKernelTextConv, TextConv1d
+
+
+class TestTextConv1d:
+    def test_output_shape(self, rng):
+        conv = TextConv1d(4, 3, 7, rng)
+        out = conv.forward(rng.standard_normal((2, 10, 4)))
+        assert out.shape == (2, 7)
+
+    def test_short_input_padded(self, rng):
+        conv = TextConv1d(4, 5, 3, rng)
+        out = conv.forward(rng.standard_normal((2, 2, 4)))
+        assert out.shape == (2, 3)
+
+    def test_gradients_max_pool(self, rng):
+        conv = TextConv1d(3, 2, 4, rng)
+        x = rng.standard_normal((2, 6, 3))
+        target = rng.standard_normal((2, 4))
+
+        def loss():
+            return 0.5 * float(((conv.forward(x) - target) ** 2).sum())
+
+        out = conv.forward(x)
+        conv.zero_grad()
+        dx = conv.backward(out - target)
+        assert_close(dx, numerical_gradient(loss, x), tol=1e-5, label="dx")
+        assert_close(
+            conv.weight.grad,
+            numerical_gradient(loss, conv.weight.value),
+            tol=1e-5,
+            label="dW",
+        )
+        assert_close(
+            conv.bias.grad,
+            numerical_gradient(loss, conv.bias.value),
+            tol=1e-5,
+            label="db",
+        )
+
+    def test_gradients_mean_pool(self, rng):
+        conv = TextConv1d(3, 2, 4, rng, pooling="mean")
+        x = rng.standard_normal((2, 6, 3))
+        target = rng.standard_normal((2, 4))
+
+        def loss():
+            return 0.5 * float(((conv.forward(x) - target) ** 2).sum())
+
+        out = conv.forward(x)
+        conv.zero_grad()
+        dx = conv.backward(out - target)
+        assert_close(dx, numerical_gradient(loss, x), tol=1e-5)
+
+    def test_gradients_with_short_padded_input(self, rng):
+        conv = TextConv1d(3, 4, 2, rng)
+        x = rng.standard_normal((1, 2, 3))  # shorter than window
+        target = rng.standard_normal((1, 2))
+
+        def loss():
+            return 0.5 * float(((conv.forward(x) - target) ** 2).sum())
+
+        out = conv.forward(x)
+        conv.zero_grad()
+        dx = conv.backward(out - target)
+        assert dx.shape == x.shape
+        assert_close(dx, numerical_gradient(loss, x), tol=1e-5)
+
+    def test_invalid_pooling(self, rng):
+        with pytest.raises(ValueError):
+            TextConv1d(3, 2, 4, rng, pooling="sum")
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            TextConv1d(3, 2, 4, rng).backward(np.zeros((1, 4)))
+
+
+class TestMultiKernelTextConv:
+    def test_concatenated_output(self, rng):
+        conv = MultiKernelTextConv(4, (2, 3, 4), 5, rng)
+        out = conv.forward(rng.standard_normal((3, 8, 4)))
+        assert out.shape == (3, 15)
+        assert conv.out_dim == 15
+
+    def test_gradients(self, rng):
+        conv = MultiKernelTextConv(3, (2, 3), 4, rng)
+        x = rng.standard_normal((2, 7, 3))
+        target = rng.standard_normal((2, conv.out_dim))
+
+        def loss():
+            return 0.5 * float(((conv.forward(x) - target) ** 2).sum())
+
+        out = conv.forward(x)
+        conv.zero_grad()
+        dx = conv.backward(out - target)
+        assert_close(dx, numerical_gradient(loss, x), tol=1e-5)
+        for name, param in conv.named_parameters():
+            assert_close(
+                param.grad,
+                numerical_gradient(loss, param.value),
+                tol=1e-5,
+                label=name,
+            )
+
+    def test_requires_windows(self, rng):
+        with pytest.raises(ValueError):
+            MultiKernelTextConv(3, (), 4, rng)
+
+    def test_max_pool_invariant_to_pad_suffix(self, rng):
+        """Appending zero embeddings must not change max-pooled features
+        when real activations dominate (length-robustness of the CNN)."""
+        conv = MultiKernelTextConv(3, (2,), 4, rng)
+        x = np.abs(rng.standard_normal((1, 6, 3))) + 1.0
+        base = conv.forward(x)
+        padded = np.concatenate([x, np.zeros((1, 3, 3))], axis=1)
+        out = conv.forward(padded)
+        # activations from zero-windows can only add non-positive or bias
+        # values; with strongly positive signal the max stays the same
+        assert np.allclose(np.maximum(base, out), out)

@@ -1,0 +1,141 @@
+"""Gradient checks for the deep-CNN building blocks."""
+
+import numpy as np
+import pytest
+
+from gradcheck import assert_close, numerical_gradient
+from repro.nn.deep_conv import GlobalMaxPool, SequenceConv1d, TemporalMaxPool
+
+
+class TestSequenceConv1d:
+    def test_shape_preserved(self, rng):
+        conv = SequenceConv1d(4, 6, 3, rng)
+        out = conv.forward(rng.standard_normal((2, 9, 4)))
+        assert out.shape == (2, 9, 6)
+
+    def test_even_window_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SequenceConv1d(4, 6, 2, rng)
+
+    def test_gradients(self, rng):
+        conv = SequenceConv1d(3, 4, 3, rng)
+        x = rng.standard_normal((2, 6, 3))
+        target = rng.standard_normal((2, 6, 4))
+
+        def loss():
+            return 0.5 * float(((conv.forward(x) - target) ** 2).sum())
+
+        out = conv.forward(x)
+        conv.zero_grad()
+        dx = conv.backward(out - target)
+        assert_close(dx, numerical_gradient(loss, x), tol=1e-5)
+        for name, param in conv.named_parameters():
+            assert_close(
+                param.grad,
+                numerical_gradient(loss, param.value),
+                tol=1e-5,
+                label=name,
+            )
+
+    def test_translation_consistency(self, rng):
+        """Interior outputs shift with the input (padding only affects
+        the borders)."""
+        conv = SequenceConv1d(2, 3, 3, rng)
+        x = rng.standard_normal((1, 8, 2))
+        out = conv.forward(x)
+        shifted = np.roll(x, 1, axis=1)
+        out_shifted = conv.forward(shifted)
+        assert np.allclose(out[:, 2:6, :], out_shifted[:, 3:7, :])
+
+
+class TestTemporalMaxPool:
+    def test_halves_time(self, rng):
+        pool = TemporalMaxPool(2)
+        out = pool.forward(rng.standard_normal((2, 8, 3)))
+        assert out.shape == (2, 4, 3)
+
+    def test_odd_length_padded(self, rng):
+        pool = TemporalMaxPool(2)
+        out = pool.forward(rng.standard_normal((1, 5, 2)))
+        assert out.shape == (1, 3, 2)
+
+    def test_values_are_block_maxima(self):
+        pool = TemporalMaxPool(2)
+        x = np.array([[[1.0], [5.0], [3.0], [2.0]]])
+        out = pool.forward(x)
+        assert out[0, :, 0].tolist() == [5.0, 3.0]
+
+    def test_gradients(self, rng):
+        pool = TemporalMaxPool(2)
+        x = rng.standard_normal((2, 7, 3))
+        target = rng.standard_normal((2, 4, 3))
+
+        def loss():
+            return 0.5 * float(((pool.forward(x) - target) ** 2).sum())
+
+        out = pool.forward(x)
+        dx = pool.backward(out - target)
+        assert_close(dx, numerical_gradient(loss, x), tol=1e-5)
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            TemporalMaxPool(0)
+
+
+class TestGlobalMaxPool:
+    def test_shape(self, rng):
+        pool = GlobalMaxPool()
+        out = pool.forward(rng.standard_normal((3, 9, 5)))
+        assert out.shape == (3, 5)
+
+    def test_gradients(self, rng):
+        pool = GlobalMaxPool()
+        x = rng.standard_normal((2, 5, 4))
+        target = rng.standard_normal((2, 4))
+
+        def loss():
+            return 0.5 * float(((pool.forward(x) - target) ** 2).sum())
+
+        out = pool.forward(x)
+        dx = pool.backward(out - target)
+        assert_close(dx, numerical_gradient(loss, x), tol=1e-5)
+
+
+class TestDeepTextCNN:
+    def test_learns_simple_task(self, rng):
+        from repro.models.base import TaskKind
+        from repro.models.deep_cnn import DeepTextCNN
+        from repro.models.neural_base import NeuralHyperParams
+
+        statements, labels = [], []
+        for _ in range(100):
+            if rng.random() < 0.5:
+                statements.append("SELECT a FROM T WHERE x > 1")
+                labels.append(0)
+            else:
+                statements.append("DROP TABLE junk_table_name")
+                labels.append(1)
+        hyper = NeuralHyperParams(
+            embed_dim=10, epochs=5, lr=3e-3, max_len_char=40, batch_size=8
+        )
+        model = DeepTextCNN(
+            task=TaskKind.CLASSIFICATION,
+            num_classes=2,
+            depth=2,
+            channels=12,
+            hyper=hyper,
+        )
+        model.fit(statements, np.array(labels))
+        acc = (model.predict(statements) == np.array(labels)).mean()
+        assert acc > 0.9
+
+    def test_depth_validation(self):
+        from repro.models.deep_cnn import DeepTextCNN
+
+        with pytest.raises(ValueError):
+            DeepTextCNN(depth=0)
+
+    def test_name_encodes_depth(self):
+        from repro.models.deep_cnn import DeepTextCNN
+
+        assert DeepTextCNN(depth=3).name == "cdeep3"

@@ -1,0 +1,154 @@
+"""Gradient checks and behaviour tests for the core layers."""
+
+import numpy as np
+import pytest
+
+from gradcheck import assert_close, numerical_gradient
+from repro.nn.layers import Dropout, Embedding, Linear, Relu, Tanh, sigmoid
+
+
+class TestSigmoid:
+    def test_range(self):
+        x = np.linspace(-50, 50, 101)
+        out = sigmoid(x)
+        assert (out >= 0).all() and (out <= 1).all()
+        inside = sigmoid(np.linspace(-20, 20, 41))
+        assert (inside > 0).all() and (inside < 1).all()
+
+    def test_extremes_stable(self):
+        assert np.isfinite(sigmoid(np.array([-1000.0, 1000.0]))).all()
+
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer.forward(rng.standard_normal((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_3d(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer.forward(rng.standard_normal((2, 7, 4)))
+        assert out.shape == (2, 7, 3)
+
+    def test_gradients(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.standard_normal((5, 4))
+        target = rng.standard_normal((5, 3))
+
+        def loss():
+            return 0.5 * float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        dx = layer.backward(out - target)
+        assert_close(dx, numerical_gradient(loss, x), label="dx")
+        assert_close(
+            layer.weight.grad,
+            numerical_gradient(loss, layer.weight.value),
+            label="dW",
+        )
+        assert_close(
+            layer.bias.grad,
+            numerical_gradient(loss, layer.bias.value),
+            label="db",
+        )
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2, rng).backward(np.zeros((1, 2)))
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        layer = Embedding(10, 4, rng, pad_id=0)
+        ids = np.array([[1, 2], [3, 0]])
+        out = layer.forward(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out[0, 0], layer.weight.value[1])
+
+    def test_pad_row_zero(self, rng):
+        layer = Embedding(10, 4, rng, pad_id=0)
+        assert np.allclose(layer.weight.value[0], 0.0)
+
+    def test_grad_accumulates_per_id(self, rng):
+        layer = Embedding(6, 3, rng, pad_id=0)
+        ids = np.array([[1, 1, 2]])
+        layer.forward(ids)
+        dout = np.ones((1, 3, 3))
+        layer.zero_grad()
+        layer.backward(dout)
+        assert np.allclose(layer.weight.grad[1], 2.0)  # id 1 used twice
+        assert np.allclose(layer.weight.grad[2], 1.0)
+        assert np.allclose(layer.weight.grad[0], 0.0)  # pad frozen
+
+    def test_pad_gradient_frozen(self, rng):
+        layer = Embedding(6, 3, rng, pad_id=0)
+        ids = np.array([[0, 0]])
+        layer.forward(ids)
+        layer.zero_grad()
+        layer.backward(np.ones((1, 2, 3)))
+        assert np.allclose(layer.weight.grad[0], 0.0)
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.eval()
+        x = rng.standard_normal((4, 4))
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_masks_in_train(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.train()
+        x = np.ones((100, 100))
+        out = layer.forward(x)
+        kept = (out != 0).mean()
+        assert 0.4 < kept < 0.6
+        # inverted dropout preserves expectation
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.train()
+        x = np.ones((10, 10))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+
+class TestActivations:
+    def test_relu_forward(self, rng):
+        relu = Relu()
+        x = np.array([[-1.0, 2.0]])
+        assert np.array_equal(relu.forward(x), [[0.0, 2.0]])
+
+    def test_relu_gradient(self, rng):
+        relu = Relu()
+        x = rng.standard_normal((4, 4)) + 0.1  # avoid kink at exactly 0
+        target = rng.standard_normal((4, 4))
+
+        def loss():
+            return 0.5 * float(((relu.forward(x) - target) ** 2).sum())
+
+        out = relu.forward(x)
+        dx = relu.backward(out - target)
+        assert_close(dx, numerical_gradient(loss, x))
+
+    def test_tanh_gradient(self, rng):
+        tanh = Tanh()
+        x = rng.standard_normal((3, 3))
+        target = rng.standard_normal((3, 3))
+
+        def loss():
+            return 0.5 * float(((tanh.forward(x) - target) ** 2).sum())
+
+        out = tanh.forward(x)
+        dx = tanh.backward(out - target)
+        assert_close(dx, numerical_gradient(loss, x))

@@ -1,0 +1,120 @@
+"""Loss function tests (values and gradients)."""
+
+import numpy as np
+import pytest
+
+from gradcheck import assert_close, numerical_gradient
+from repro.nn.losses import (
+    HuberLoss,
+    SoftmaxCrossEntropy,
+    SquaredLoss,
+    log_softmax,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.standard_normal((5, 4)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.standard_normal((3, 5))
+        assert np.allclose(log_softmax(logits), np.log(softmax(logits)))
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        ce = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = ce(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_loss_is_log_classes(self):
+        ce = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 3))
+        loss, _ = ce(logits, np.array([0, 1, 2, 0]))
+        assert loss == pytest.approx(np.log(3))
+
+    def test_gradient(self, rng):
+        ce = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((6, 4))
+        targets = rng.integers(0, 4, 6)
+
+        def loss():
+            return ce(logits, targets)[0]
+
+        _, dlogits = ce(logits, targets)
+        assert_close(dlogits, numerical_gradient(loss, logits))
+
+    def test_eval_loss_from_probs(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        loss = SoftmaxCrossEntropy.eval_loss(probs, np.array([0, 1]))
+        expected = -(np.log(0.9) + np.log(0.8)) / 2
+        assert loss == pytest.approx(expected)
+
+
+class TestHuber:
+    def test_quadratic_inside_delta(self):
+        huber = HuberLoss(1.0)
+        loss, _ = huber(np.array([0.5]), np.array([0.0]))
+        assert loss == pytest.approx(0.5 * 0.25)
+
+    def test_linear_outside_delta(self):
+        huber = HuberLoss(1.0)
+        loss, _ = huber(np.array([3.0]), np.array([0.0]))
+        assert loss == pytest.approx(3.0 - 0.5)
+
+    def test_gradient(self, rng):
+        huber = HuberLoss(1.0)
+        preds = rng.standard_normal(10) * 3
+        targets = rng.standard_normal(10)
+
+        def loss():
+            return huber(preds, targets)[0]
+
+        _, grad = huber(preds, targets)
+        assert_close(grad, numerical_gradient(loss, preds))
+
+    def test_gradient_capped(self):
+        huber = HuberLoss(1.0)
+        _, grad = huber(np.array([100.0]), np.array([0.0]))
+        assert abs(grad[0]) <= 1.0
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(0.0)
+
+    def test_robustness_vs_squared(self, rng):
+        """An outlier changes Huber loss less than squared loss."""
+        huber, squared = HuberLoss(1.0), SquaredLoss()
+        preds = np.zeros(10)
+        targets = np.zeros(10)
+        base_h, _ = huber(preds, targets)
+        base_s, _ = squared(preds, targets)
+        targets[0] = 100.0
+        out_h, _ = huber(preds, targets)
+        out_s, _ = squared(preds, targets)
+        assert (out_h - base_h) < (out_s - base_s)
+
+
+class TestSquared:
+    def test_value(self):
+        squared = SquaredLoss()
+        loss, _ = squared(np.array([2.0]), np.array([0.0]))
+        assert loss == pytest.approx(2.0)
+
+    def test_gradient(self, rng):
+        squared = SquaredLoss()
+        preds = rng.standard_normal(8)
+        targets = rng.standard_normal(8)
+
+        def loss():
+            return squared(preds, targets)[0]
+
+        _, grad = squared(preds, targets)
+        assert_close(grad, numerical_gradient(loss, preds))

@@ -1,0 +1,104 @@
+"""Gradient checks and behaviour tests for the stacked LSTM."""
+
+import numpy as np
+import pytest
+
+from gradcheck import assert_close, numerical_gradient
+from repro.nn.lstm import LSTMLayer, StackedLSTM, gather_last, scatter_last
+
+
+class TestLSTMLayer:
+    def test_output_shape(self, rng):
+        layer = LSTMLayer(3, 5, rng)
+        out = layer.forward(rng.standard_normal((2, 7, 3)))
+        assert out.shape == (2, 7, 5)
+
+    def test_hidden_bounded(self, rng):
+        layer = LSTMLayer(3, 5, rng)
+        out = layer.forward(rng.standard_normal((2, 20, 3)) * 10)
+        assert (np.abs(out) <= 1.0 + 1e-9).all()  # h = o * tanh(c)
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        layer = LSTMLayer(3, 4, rng)
+        assert np.allclose(layer.b.value[4:8], 1.0)
+
+    def test_gradients_full_sequence(self, rng):
+        layer = LSTMLayer(3, 4, rng)
+        x = rng.standard_normal((2, 5, 3))
+        target = rng.standard_normal((2, 5, 4))
+
+        def loss():
+            return 0.5 * float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        dx = layer.backward(out - target)
+        assert_close(dx, numerical_gradient(loss, x), tol=1e-6, label="dx")
+        for name, param in layer.named_parameters():
+            assert_close(
+                param.grad,
+                numerical_gradient(loss, param.value),
+                tol=1e-6,
+                label=name,
+            )
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            LSTMLayer(3, 4, rng).backward(np.zeros((1, 2, 4)))
+
+
+class TestStackedLSTM:
+    def test_depth_wiring(self, rng):
+        lstm = StackedLSTM(3, 4, 3, rng)
+        assert len(lstm.layers) == 3
+        assert lstm.layers[0].in_dim == 3
+        assert lstm.layers[1].in_dim == 4
+
+    def test_invalid_depth(self, rng):
+        with pytest.raises(ValueError):
+            StackedLSTM(3, 4, 0, rng)
+
+    def test_gradients_through_stack_and_gather(self, rng):
+        lstm = StackedLSTM(3, 4, 2, rng)
+        x = rng.standard_normal((2, 5, 3))
+        lengths = np.array([5, 3])
+        target = rng.standard_normal((2, 4))
+
+        def loss():
+            last = gather_last(lstm.forward(x), lengths)
+            return 0.5 * float(((last - target) ** 2).sum())
+
+        last = gather_last(lstm.forward(x), lengths)
+        lstm.zero_grad()
+        dx = lstm.backward(scatter_last(last - target, lengths, 5))
+        assert_close(dx, numerical_gradient(loss, x), tol=1e-6)
+        for name, param in lstm.named_parameters():
+            assert_close(
+                param.grad,
+                numerical_gradient(loss, param.value),
+                tol=1e-6,
+                label=name,
+            )
+
+
+class TestGatherScatter:
+    def test_gather_last_positions(self, rng):
+        h = rng.standard_normal((2, 4, 3))
+        lengths = np.array([4, 2])
+        out = gather_last(h, lengths)
+        assert np.array_equal(out[0], h[0, 3])
+        assert np.array_equal(out[1], h[1, 1])
+
+    def test_gather_handles_zero_length(self, rng):
+        h = rng.standard_normal((1, 4, 3))
+        out = gather_last(h, np.array([0]))
+        assert np.array_equal(out[0], h[0, 0])
+
+    def test_scatter_is_adjoint_of_gather(self, rng):
+        """<scatter(d), h> == <d, gather(h)> — adjointness property."""
+        h = rng.standard_normal((3, 5, 2))
+        d = rng.standard_normal((3, 2))
+        lengths = np.array([5, 1, 3])
+        lhs = float((scatter_last(d, lengths, 5) * h).sum())
+        rhs = float((d * gather_last(h, lengths)).sum())
+        assert lhs == pytest.approx(rhs)

@@ -1,0 +1,83 @@
+"""Module registration/traversal/serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.serialize import load_module, save_module
+
+
+class _TwoLayer(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = self.add_module("first", Linear(3, 4, rng))
+        self.second = self.add_module("second", Linear(4, 2, rng))
+
+
+class TestRegistration:
+    def test_parameters_recursive(self, rng):
+        net = _TwoLayer(rng)
+        assert len(net.parameters()) == 4  # two weights + two biases
+
+    def test_named_parameters_dotted(self, rng):
+        names = {name for name, _ in _TwoLayer(rng).named_parameters()}
+        assert names == {
+            "first.weight",
+            "first.bias",
+            "second.weight",
+            "second.bias",
+        }
+
+    def test_num_parameters(self, rng):
+        net = _TwoLayer(rng)
+        assert net.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_duplicate_registration_rejected(self, rng):
+        net = _TwoLayer(rng)
+        with pytest.raises(ValueError):
+            net.add_module("first", Linear(2, 2, rng))
+        with pytest.raises(ValueError):
+            net.add_param("first", np.zeros(2))
+
+    def test_zero_grad(self, rng):
+        net = _TwoLayer(rng)
+        for p in net.parameters():
+            p.grad[...] = 1.0
+        net.zero_grad()
+        assert all(np.allclose(p.grad, 0) for p in net.parameters())
+
+    def test_train_eval_recursive(self, rng):
+        net = _TwoLayer(rng)
+        net.eval()
+        assert not net.training
+        assert not net.first.training
+        net.train()
+        assert net.second.training
+
+
+class TestSerialization:
+    def test_state_dict_roundtrip(self, rng, tmp_path):
+        net = _TwoLayer(rng)
+        path = tmp_path / "model.npz"
+        save_module(net, path)
+        other = _TwoLayer(np.random.default_rng(99))
+        load_module(other, path)
+        for (_, a), (_, b) in zip(
+            net.named_parameters(), other.named_parameters()
+        ):
+            assert np.array_equal(a.value, b.value)
+
+    def test_load_missing_key_raises(self, rng):
+        net = _TwoLayer(rng)
+        state = net.state_dict()
+        state.pop("first.weight")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_shape_mismatch_raises(self, rng):
+        net = _TwoLayer(rng)
+        state = net.state_dict()
+        state["first.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)

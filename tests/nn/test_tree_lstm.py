@@ -1,0 +1,171 @@
+"""ChildSumTreeLSTM: forward semantics and numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tree_lstm import ChildSumTreeLSTM, EncodedTree
+
+from tests.nn.gradcheck import assert_close, numerical_gradient
+
+D, K = 4, 5
+
+
+def _chain_tree(n: int) -> EncodedTree:
+    """0 <- 1 <- 2 ... a degenerate chain (each node one child)."""
+    children = [[] if j == 0 else [j - 1] for j in range(n)]
+    return EncodedTree(
+        symbol_ids=np.zeros(n, dtype=np.int64), children=children
+    )
+
+
+def _branchy_tree() -> EncodedTree:
+    """Root with two children, one of which has two leaf children.
+
+        4 <- (2, 3); 2 <- (0, 1)
+    """
+    return EncodedTree(
+        symbol_ids=np.zeros(5, dtype=np.int64),
+        children=[[], [], [0, 1], [], [2, 3]],
+    )
+
+
+@pytest.fixture()
+def cell() -> ChildSumTreeLSTM:
+    return ChildSumTreeLSTM(D, K, np.random.default_rng(7))
+
+
+class TestForward:
+    def test_single_node_shapes(self, cell):
+        tree = _chain_tree(1)
+        x = np.random.default_rng(0).normal(size=(1, D))
+        root = cell.forward_tree(x, tree)
+        assert root.shape == (K,)
+        assert np.all(np.abs(root) < 1.0)  # o ⊙ tanh(c) is bounded
+
+    def test_chain_matches_manual_recurrence(self, cell):
+        """On a chain, Child-Sum Tree-LSTM degenerates to a plain LSTM."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, D))
+        root = cell.forward_tree(x, _chain_tree(3))
+
+        def sigmoid(z):
+            return 1.0 / (1.0 + np.exp(-z))
+
+        h = np.zeros(K)
+        c = np.zeros(K)
+        for t in range(3):
+            iou = x[t] @ cell.w_iou.value + h @ cell.u_iou.value
+            iou = iou + cell.b_iou.value
+            i = sigmoid(iou[:K])
+            o = sigmoid(iou[K : 2 * K])
+            u = np.tanh(iou[2 * K :])
+            if t == 0:
+                c = i * u
+            else:
+                f = sigmoid(
+                    x[t] @ cell.w_f.value + h @ cell.u_f.value + cell.b_f.value
+                )
+                c = i * u + f * c
+            h = o * np.tanh(c)
+        assert np.allclose(root, h)
+
+    def test_child_order_is_irrelevant(self, cell):
+        """Child-sum: permuting the children leaves the root unchanged."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(3, D))
+        forward = EncodedTree(
+            symbol_ids=np.zeros(3, dtype=np.int64), children=[[], [], [0, 1]]
+        )
+        swapped = EncodedTree(
+            symbol_ids=np.zeros(3, dtype=np.int64), children=[[], [], [1, 0]]
+        )
+        assert np.allclose(
+            cell.forward_tree(x, forward), cell.forward_tree(x, swapped)
+        )
+
+    def test_feature_shape_mismatch_raises(self, cell):
+        with pytest.raises(ValueError, match="features must be"):
+            cell.forward_tree(np.zeros((2, D + 1)), _chain_tree(2))
+
+    def test_backward_before_forward_raises(self, cell):
+        with pytest.raises(RuntimeError, match="forward_tree"):
+            cell.backward_tree(np.zeros(K))
+
+
+class TestTreeValidation:
+    def test_valid_tree_passes(self):
+        _branchy_tree().validate()
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            EncodedTree(
+                symbol_ids=np.zeros(0, dtype=np.int64), children=[]
+            ).validate()
+
+    def test_forward_reference_rejected(self):
+        tree = EncodedTree(
+            symbol_ids=np.zeros(2, dtype=np.int64), children=[[1], []]
+        )
+        with pytest.raises(ValueError, match="topological"):
+            tree.validate()
+
+    def test_shared_child_rejected(self):
+        tree = EncodedTree(
+            symbol_ids=np.zeros(3, dtype=np.int64), children=[[], [0], [0]]
+        )
+        with pytest.raises(ValueError, match="two parents"):
+            tree.validate()
+
+
+class TestGradients:
+    """Numerical gradient checks — the safety net for manual backprop."""
+
+    @pytest.mark.parametrize(
+        "tree_factory", [lambda: _chain_tree(4), _branchy_tree]
+    )
+    def test_parameter_gradients(self, tree_factory):
+        tree = tree_factory()
+        rng = np.random.default_rng(3)
+        cell = ChildSumTreeLSTM(D, K, rng)
+        x = rng.normal(size=(tree.num_nodes, D))
+        weight = rng.normal(size=K)  # random projection → scalar loss
+
+        def loss_fn():
+            return float(weight @ cell.forward_tree(x, tree))
+
+        loss_fn()
+        cell.zero_grad()
+        cell.backward_tree(weight)
+        for param in cell.parameters():
+            numeric = numerical_gradient(loss_fn, param.value)
+            assert_close(param.grad, numeric, tol=1e-6, label=param.name)
+
+    def test_input_gradients(self):
+        tree = _branchy_tree()
+        rng = np.random.default_rng(4)
+        cell = ChildSumTreeLSTM(D, K, rng)
+        x = rng.normal(size=(tree.num_nodes, D))
+        weight = rng.normal(size=K)
+
+        def loss_fn():
+            return float(weight @ cell.forward_tree(x, tree))
+
+        loss_fn()
+        cell.zero_grad()
+        dx = cell.backward_tree(weight)
+        numeric = numerical_gradient(loss_fn, x)
+        assert_close(dx, numeric, tol=1e-6, label="x")
+
+    def test_gradients_accumulate_across_trees(self):
+        rng = np.random.default_rng(5)
+        cell = ChildSumTreeLSTM(D, K, rng)
+        x = rng.normal(size=(4, D))
+        weight = rng.normal(size=K)
+        tree = _chain_tree(4)
+        cell.forward_tree(x, tree)
+        cell.zero_grad()
+        cell.backward_tree(weight)
+        first = cell.w_iou.grad.copy()
+        cell.forward_tree(x, tree)
+        cell.backward_tree(weight)  # no zero_grad: accumulates
+        assert np.allclose(cell.w_iou.grad, 2 * first)

@@ -1,0 +1,83 @@
+"""Naive cardinality estimator tests."""
+
+import pytest
+
+from repro.optimizer.cardinality import (
+    EQ_SELECTIVITY,
+    NaiveCardinalityEstimator,
+)
+from repro.sqlang.parser import parse_sql
+
+
+@pytest.fixture()
+def estimator(catalog):
+    return NaiveCardinalityEstimator(catalog)
+
+
+def _estimate(estimator, sql):
+    return estimator.estimate_query(parse_sql(sql).first_query())
+
+
+class TestSelectivityConstants:
+    def test_no_predicate_returns_table_rows(self, estimator, catalog):
+        rows = _estimate(estimator, "SELECT * FROM SpecObj")
+        assert rows == catalog.table("SpecObj").rows
+
+    def test_equality_is_one_tenth(self, estimator, catalog):
+        rows = _estimate(estimator, "SELECT * FROM SpecObj WHERE plate=5")
+        assert rows == pytest.approx(
+            catalog.table("SpecObj").rows * EQ_SELECTIVITY
+        )
+
+    def test_conjunction_multiplies(self, estimator, catalog):
+        rows = _estimate(
+            estimator, "SELECT * FROM SpecObj WHERE plate=5 AND mjd=3"
+        )
+        assert rows == pytest.approx(
+            catalog.table("SpecObj").rows * EQ_SELECTIVITY**2
+        )
+
+    def test_uniformity_ignores_range_width(self, estimator):
+        """The textbook model's flaw: width of a BETWEEN doesn't matter."""
+        narrow = _estimate(
+            estimator,
+            "SELECT * FROM SpecObj WHERE ra BETWEEN 1 AND 1.001",
+        )
+        wide = _estimate(
+            estimator, "SELECT * FROM SpecObj WHERE ra BETWEEN 0 AND 360"
+        )
+        assert narrow == wide
+
+    def test_unknown_table_gets_default(self, estimator):
+        rows = _estimate(estimator, "SELECT * FROM NoSuchThing")
+        assert rows == 100_000.0
+
+
+class TestQueryShapes:
+    def test_aggregate_returns_one(self, estimator):
+        assert _estimate(estimator, "SELECT COUNT(*) FROM SpecObj") == 1.0
+
+    def test_group_by_divides(self, estimator, catalog):
+        rows = _estimate(
+            estimator, "SELECT plate, COUNT(*) FROM SpecObj GROUP BY plate"
+        )
+        assert rows == pytest.approx(catalog.table("SpecObj").rows / 10.0)
+
+    def test_top_caps(self, estimator):
+        assert _estimate(estimator, "SELECT TOP 7 * FROM SpecObj") == 7.0
+
+    def test_join_applies_selectivity(self, estimator, catalog):
+        rows = _estimate(
+            estimator,
+            "SELECT 1 FROM SpecObj s JOIN PlateX p ON s.plate=p.plate",
+        )
+        spec = catalog.table("SpecObj").rows
+        plate = catalog.table("PlateX").rows
+        assert rows == pytest.approx(spec * plate * EQ_SELECTIVITY / 10.0)
+
+    def test_derived_table(self, estimator):
+        rows = _estimate(
+            estimator,
+            "SELECT * FROM (SELECT TOP 5 * FROM SpecObj) t",
+        )
+        assert rows == 5.0

@@ -1,0 +1,63 @@
+"""Optimizer cost model tests — including its designed blind spots."""
+
+import pytest
+
+from repro.optimizer.cost import OptimizerCostModel
+
+
+@pytest.fixture()
+def cost_model(catalog):
+    return OptimizerCostModel(catalog)
+
+
+class TestCostModel:
+    def test_unparseable_is_zero(self, cost_model):
+        assert cost_model.estimate_cost("not sql at all") == 0.0
+
+    def test_bigger_table_costs_more(self, cost_model):
+        big = cost_model.estimate_cost("SELECT * FROM PhotoObj")
+        small = cost_model.estimate_cost("SELECT * FROM Servers")
+        assert big > small * 1000
+
+    def test_join_costs_more_than_scan(self, cost_model):
+        scan = cost_model.estimate_cost("SELECT * FROM SpecObj")
+        join = cost_model.estimate_cost(
+            "SELECT 1 FROM SpecObj s JOIN SpecObjAll p ON s.specObjID=p.specObjID"
+        )
+        assert join > scan
+
+    def test_order_by_adds_cost(self, cost_model):
+        plain = cost_model.estimate_cost(
+            "SELECT ra FROM SpecObj WHERE plate=1"
+        )
+        ordered = cost_model.estimate_cost(
+            "SELECT ra FROM SpecObj WHERE plate=1 ORDER BY ra"
+        )
+        assert ordered > plain
+
+    def test_subquery_charged_once(self, cost_model):
+        flat = cost_model.estimate_cost("SELECT ra FROM SpecObj WHERE z>1")
+        nested = cost_model.estimate_cost(
+            "SELECT ra FROM SpecObj WHERE z = (SELECT MAX(z) FROM SpecObj)"
+        )
+        assert nested > flat
+
+    def test_udf_blind_spot(self, cost_model):
+        """The designed flaw (Section 6.2.3): per-row UDFs cost nothing in
+        the optimizer's I/O-centric model, although they dominate real CPU
+        time (Figure 1b)."""
+        without = cost_model.estimate_cost(
+            "SELECT objID FROM PhotoObj WHERE flags > 0"
+        )
+        with_udf = cost_model.estimate_cost(
+            "SELECT objID FROM PhotoObj "
+            "WHERE flags & dbo.fPhotoFlags('BLENDED') > 0"
+        )
+        assert with_udf == pytest.approx(without, rel=0.3)
+
+    def test_non_negative(self, cost_model, catalog, rng):
+        from repro.workloads.querygen import SDSS_TEMPLATES
+
+        for template in SDSS_TEMPLATES.values():
+            statement = template(rng, catalog)
+            assert cost_model.estimate_cost(statement) >= 0.0

@@ -1,0 +1,134 @@
+"""Feature extraction tests, anchored on the paper's worked Example 3."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlang.features import FEATURE_NAMES, extract_features
+
+#: The Figure 5 query of the paper, with the Example 3 ground truth.
+FIGURE5_QUERY = """SELECT dbo.fGetURLExpid(objid)
+FROM SpecPhoto
+WHERE modelmag_u -modelmag_g =
+(SELECT min(modelmag_u -modelmag_g)
+FROM SpecPhoto AS s INNER JOIN PhotoObj AS p
+ON s.objid=p.objid
+WHERE (s.flags_g =0 OR p.psfmagerr_g <=0.2 AND
+p.psfmagerr_u <=0.2))"""
+
+
+class TestPaperExample3:
+    """The counting conventions must match the paper's worked example."""
+
+    def setup_method(self):
+        self.features = extract_features(FIGURE5_QUERY)
+
+    def test_num_functions(self):
+        assert self.features.num_functions == 2
+
+    def test_num_tables(self):
+        assert self.features.num_tables == 2
+
+    def test_num_select_columns(self):
+        assert self.features.num_select_columns == 3
+
+    def test_num_predicates(self):
+        assert self.features.num_predicates == 5
+
+    def test_num_predicate_columns(self):
+        assert self.features.num_predicate_columns == 7
+
+    def test_nestedness_level(self):
+        assert self.features.nestedness_level == 1
+
+    def test_nested_aggregation(self):
+        assert self.features.nested_aggregation is True
+
+    def test_join_count(self):
+        assert self.features.num_joins == 1
+
+
+class TestSimpleQueries:
+    def test_figure2a_point_lookup(self):
+        features = extract_features(
+            "SELECT * FROM PhotoTag WHERE objId=0x112d075f80360018"
+        )
+        assert features.num_tables == 1
+        assert features.num_predicates == 1
+        assert features.num_select_columns == 0  # star is not a column
+        assert features.nestedness_level == 0
+        assert not features.nested_aggregation
+
+    def test_empty_statement(self):
+        features = extract_features("")
+        assert features.num_characters == 0
+        assert features.num_words == 0
+        assert features.num_tables == 0
+
+    def test_random_text_counts_only_text(self):
+        features = extract_features("find me galaxies")
+        assert features.num_characters == len("find me galaxies")
+        assert features.num_words == 3
+        assert features.num_predicates == 0
+
+    def test_comma_join_counted(self):
+        features = extract_features(
+            "SELECT 1 FROM A, B, C WHERE A.x=B.x AND B.y=C.y"
+        )
+        assert features.num_joins == 2
+
+    def test_mixed_join_styles(self):
+        features = extract_features(
+            "SELECT 1 FROM A JOIN B ON A.x=B.x, C WHERE C.y=1"
+        )
+        assert features.num_joins == 2  # one explicit + one comma
+
+    def test_unique_tables_deduplicated(self):
+        features = extract_features(
+            "SELECT 1 FROM Star s, Star t WHERE s.objID=t.objID"
+        )
+        assert features.num_tables == 1
+
+    def test_between_is_one_predicate(self):
+        features = extract_features(
+            "SELECT ra FROM Star WHERE ra BETWEEN 1 AND 2"
+        )
+        assert features.num_predicates == 1
+        assert features.num_predicate_columns == 1
+
+    def test_deep_nesting(self):
+        features = extract_features(
+            "SELECT a FROM T WHERE a IN (SELECT a FROM T WHERE a IN "
+            "(SELECT a FROM T WHERE a > 1))"
+        )
+        assert features.nestedness_level == 2
+
+    def test_aggregation_at_top_level_is_not_nested(self):
+        features = extract_features("SELECT COUNT(*) FROM Star")
+        assert not features.nested_aggregation
+
+    def test_digit_masking_in_word_count(self):
+        a = extract_features("SELECT 1 FROM T WHERE x=1")
+        b = extract_features("SELECT 999 FROM T WHERE x=123456")
+        assert a.num_words == b.num_words
+
+
+class TestVectorInterface:
+    def test_vector_matches_names(self):
+        features = extract_features("SELECT * FROM Star")
+        vector = features.as_vector()
+        assert len(vector) == len(FEATURE_NAMES)
+        assert vector[FEATURE_NAMES.index("num_tables")] == 1.0
+
+    def test_vector_is_floats(self):
+        vector = extract_features("SELECT 1").as_vector()
+        assert all(isinstance(v, float) for v in vector)
+
+
+@given(st.text(max_size=250))
+@settings(max_examples=100, deadline=None)
+def test_features_total_and_bounded(text):
+    """Extraction never raises; counts are non-negative and chars exact."""
+    features = extract_features(text)
+    assert features.num_characters == len(text)
+    vector = features.as_vector()
+    assert all(v >= 0 for v in vector)

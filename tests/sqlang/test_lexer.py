@@ -1,0 +1,123 @@
+"""Lexer unit and property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlang.lexer import Token, TokenKind, tokenize
+
+
+class TestBasicTokens:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.kind for t in tokens] == [TokenKind.KEYWORD] * 3
+
+    def test_identifier(self):
+        (tok,) = tokenize("PhotoObj")
+        assert tok.kind is TokenKind.IDENTIFIER
+        assert tok.text == "PhotoObj"
+
+    def test_numbers(self):
+        kinds = [t.kind for t in tokenize("1 2.5 1e6 1.5e-3 0x1Fa9")]
+        assert kinds == [TokenKind.NUMBER] * 5
+
+    def test_hex_literal_single_token(self):
+        (tok,) = tokenize("0x112d075f80360018")
+        assert tok.kind is TokenKind.NUMBER
+        assert tok.text == "0x112d075f80360018"
+
+    def test_string_literal(self):
+        (tok,) = tokenize("'BLENDED'")
+        assert tok.kind is TokenKind.STRING
+        assert tok.text == "'BLENDED'"
+
+    def test_string_with_escaped_quote(self):
+        (tok,) = tokenize("'it''s'")
+        assert tok.kind is TokenKind.STRING
+        assert tok.text == "'it''s'"
+
+    def test_unterminated_string_consumes_rest(self):
+        tokens = tokenize("'unterminated blah")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.STRING
+
+    def test_bracketed_identifier(self):
+        (tok,) = tokenize("[my table]")
+        assert tok.kind is TokenKind.IDENTIFIER
+        assert tok.text == "[my table]"
+
+    def test_variable(self):
+        (tok,) = tokenize("@limit")
+        assert tok.kind is TokenKind.VARIABLE
+
+    def test_punctuation(self):
+        kinds = [t.kind for t in tokenize("(),.;")]
+        assert kinds == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.COMMA,
+            TokenKind.DOT,
+            TokenKind.SEMICOLON,
+        ]
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize("<= >= <> != ||")]
+        assert texts == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_junk_tokens(self):
+        tokens = tokenize("?")
+        assert tokens[0].kind is TokenKind.JUNK
+
+
+class TestComments:
+    def test_line_comment_dropped_by_default(self):
+        tokens = tokenize("SELECT 1 -- trailing comment")
+        assert all(t.kind is not TokenKind.COMMENT for t in tokens)
+
+    def test_line_comment_kept_when_requested(self):
+        tokens = tokenize("-- note\nSELECT", include_comments=True)
+        assert tokens[0].kind is TokenKind.COMMENT
+        assert tokens[0].text == "-- note"
+
+    def test_block_comment(self):
+        tokens = tokenize("/* multi\nline */ SELECT", include_comments=True)
+        assert tokens[0].kind is TokenKind.COMMENT
+        assert tokens[1].upper == "SELECT"
+
+    def test_unterminated_block_comment(self):
+        tokens = tokenize("/* never ends", include_comments=True)
+        assert len(tokens) == 1
+
+
+class TestPositions:
+    def test_positions_point_into_source(self):
+        source = "SELECT ra FROM Star"
+        for tok in tokenize(source):
+            assert source[tok.pos : tok.pos + len(tok.text)] == tok.text
+
+
+class TestTokenDataclass:
+    def test_upper_property(self):
+        assert Token(TokenKind.KEYWORD, "select", 0).upper == "SELECT"
+
+    def test_frozen(self):
+        tok = Token(TokenKind.KEYWORD, "select", 0)
+        with pytest.raises(AttributeError):
+            tok.text = "x"
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=200, deadline=None)
+def test_lexer_total_on_arbitrary_text(text):
+    """The lexer never raises and never loses non-space characters."""
+    tokens = tokenize(text, include_comments=True)
+    reconstructed = "".join(t.text for t in tokens)
+    assert "".join(reconstructed.split()) == "".join(text.split())
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_lexer_positions_monotonic(text):
+    tokens = tokenize(text, include_comments=True)
+    positions = [t.pos for t in tokens]
+    assert positions == sorted(positions)

@@ -1,0 +1,97 @@
+"""Normalization and tokenization tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlang.normalize import (
+    DIGIT_TOKEN,
+    char_tokens,
+    normalize_statement,
+    template_of,
+    word_tokens,
+)
+
+
+class TestNormalizeStatement:
+    def test_collapses_whitespace(self):
+        assert normalize_statement("a  b\t\nc") == "a b c"
+
+    def test_strips(self):
+        assert normalize_statement("  x  ") == "x"
+
+    def test_empty(self):
+        assert normalize_statement("") == ""
+
+
+class TestWordTokens:
+    def test_basic(self):
+        assert word_tokens("SELECT TOP 10 objid FROM PhotoObj") == [
+            "select",
+            "top",
+            DIGIT_TOKEN,
+            "objid",
+            "from",
+            "photoobj",
+        ]
+
+    def test_hex_is_single_digit_token(self):
+        assert word_tokens("0x112d075f") == [DIGIT_TOKEN]
+
+    def test_float_and_scientific(self):
+        assert word_tokens("1.5 2e10") == [DIGIT_TOKEN, DIGIT_TOKEN]
+
+    def test_digits_inside_identifier_masked(self):
+        (tok,) = word_tokens("run42x")
+        assert tok == f"run{DIGIT_TOKEN}x"
+
+    def test_operators_are_tokens(self):
+        assert word_tokens("a<=b") == ["a", "<", "=", "b"]
+
+    def test_lowercasing(self):
+        assert word_tokens("PhotoObj") == ["photoobj"]
+
+    def test_empty(self):
+        assert word_tokens("") == []
+
+
+class TestCharTokens:
+    def test_preserves_case(self):
+        assert char_tokens("Ab") == ["A", "b"]
+
+    def test_whitespace_normalized(self):
+        assert char_tokens("a  b") == ["a", " ", "b"]
+
+    def test_max_len(self):
+        assert char_tokens("abcdef", max_len=3) == ["a", "b", "c"]
+
+
+class TestTemplateOf:
+    def test_constants_masked(self):
+        a = template_of("SELECT * FROM T WHERE id=123")
+        b = template_of("SELECT * FROM T WHERE id=456")
+        assert a == b
+
+    def test_strings_masked(self):
+        a = template_of("SELECT f('BLENDED') FROM T")
+        b = template_of("SELECT f('EDGE') FROM T")
+        assert a == b
+
+    def test_different_structure_differs(self):
+        assert template_of("SELECT a FROM T") != template_of(
+            "SELECT a,b FROM T"
+        )
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_word_tokens_never_contain_raw_digits(text):
+    for tok in word_tokens(text):
+        if tok != DIGIT_TOKEN:
+            assert not any(c.isdigit() for c in tok.replace(DIGIT_TOKEN, ""))
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_template_of_idempotent(text):
+    once = template_of(text)
+    assert template_of(once) == once

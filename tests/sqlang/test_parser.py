@@ -1,0 +1,270 @@
+"""Parser unit and property tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlang import ast_nodes as ast
+from repro.sqlang.parser import parse_sql
+
+
+class TestSelectBasics:
+    def test_select_star(self):
+        result = parse_sql("SELECT * FROM PhotoObj")
+        assert result.ok
+        query = result.first_query()
+        assert isinstance(query.select_items[0].expr, ast.Star)
+        assert isinstance(query.from_items[0], ast.TableRef)
+        assert query.from_items[0].name == "PhotoObj"
+
+    def test_statement_type(self):
+        assert parse_sql("SELECT 1").statement_type == "SELECT"
+        assert parse_sql("DROP TABLE t").statement_type == "DROP"
+        assert parse_sql("EXEC sp_help").statement_type == "EXECUTE"
+        assert parse_sql("random words here").statement_type == "UNKNOWN"
+
+    def test_distinct_and_top(self):
+        query = parse_sql("SELECT DISTINCT TOP 10 ra FROM Star").first_query()
+        assert query.distinct
+        assert query.top == 10
+
+    def test_select_into(self):
+        query = parse_sql(
+            "SELECT ra INTO mydb.out FROM Star WHERE ra>1"
+        ).first_query()
+        assert query.into_table == "mydb.out"
+
+    def test_aliases(self):
+        query = parse_sql(
+            "SELECT p.ra AS right_ascension FROM PhotoObj AS p"
+        ).first_query()
+        assert query.select_items[0].alias == "right_ascension"
+        assert query.from_items[0].alias == "p"
+
+    def test_bare_alias_without_as(self):
+        query = parse_sql("SELECT j.target FROM Jobs j").first_query()
+        assert query.from_items[0].alias == "j"
+
+    def test_order_by_desc(self):
+        query = parse_sql(
+            "SELECT ra FROM Star ORDER BY ra DESC, dec"
+        ).first_query()
+        assert query.order_by[0].descending
+        assert not query.order_by[1].descending
+
+    def test_group_by_having(self):
+        query = parse_sql(
+            "SELECT type,COUNT(*) FROM Star GROUP BY type HAVING COUNT(*)>5"
+        ).first_query()
+        assert len(query.group_by) == 1
+        assert query.having is not None
+
+
+class TestExpressions:
+    def test_between(self):
+        query = parse_sql(
+            "SELECT ra FROM Star WHERE ra BETWEEN 1 AND 2"
+        ).first_query()
+        assert isinstance(query.where, ast.Between)
+
+    def test_not_between(self):
+        query = parse_sql(
+            "SELECT ra FROM Star WHERE ra NOT BETWEEN 1 AND 2"
+        ).first_query()
+        assert isinstance(query.where, ast.Between)
+        assert query.where.negated
+
+    def test_in_list(self):
+        query = parse_sql(
+            "SELECT ra FROM Star WHERE type IN (1, 2, 3)"
+        ).first_query()
+        assert isinstance(query.where, ast.InList)
+        assert len(query.where.items) == 3
+
+    def test_in_subquery(self):
+        query = parse_sql(
+            "SELECT ra FROM Star WHERE objID IN (SELECT objID FROM Galaxy)"
+        ).first_query()
+        assert isinstance(query.where, ast.InList)
+        assert isinstance(query.where.items[0], ast.Subquery)
+
+    def test_like(self):
+        query = parse_sql(
+            "SELECT name FROM Jobs WHERE name LIKE '%QUERY%'"
+        ).first_query()
+        assert isinstance(query.where, ast.BinaryOp)
+        assert query.where.op == "LIKE"
+
+    def test_is_null(self):
+        query = parse_sql("SELECT ra FROM Star WHERE z IS NULL").first_query()
+        assert isinstance(query.where, ast.UnaryOp)
+        assert query.where.op == "IS NULL"
+
+    def test_and_or_precedence(self):
+        query = parse_sql(
+            "SELECT ra FROM Star WHERE a=1 OR b=2 AND c=3"
+        ).first_query()
+        # OR binds loosest: top node must be OR
+        assert isinstance(query.where, ast.BinaryOp)
+        assert query.where.op == "OR"
+        assert query.where.right.op == "AND"
+
+    def test_arithmetic_in_predicate(self):
+        query = parse_sql(
+            "SELECT ra FROM Star WHERE u - g > 2.27"
+        ).first_query()
+        assert isinstance(query.where, ast.BinaryOp)
+        assert query.where.op == ">"
+        assert isinstance(query.where.left, ast.BinaryOp)
+        assert query.where.left.op == "-"
+
+    def test_function_call_with_dotted_name(self):
+        query = parse_sql(
+            "SELECT dbo.fPhotoFlags('BLENDED') FROM PhotoObj"
+        ).first_query()
+        call = query.select_items[0].expr
+        assert isinstance(call, ast.FunctionCall)
+        assert call.name == "dbo.fPhotoFlags"
+        assert not call.is_aggregate
+
+    def test_aggregate_flag(self):
+        query = parse_sql("SELECT COUNT(*) FROM Star").first_query()
+        call = query.select_items[0].expr
+        assert isinstance(call, ast.FunctionCall)
+        assert call.is_aggregate
+
+    def test_case_expression(self):
+        query = parse_sql(
+            "SELECT CASE WHEN ra > 1 THEN 'a' ELSE 'b' END FROM Star"
+        ).first_query()
+        case = query.select_items[0].expr
+        assert isinstance(case, ast.CaseExpr)
+        assert len(case.whens) == 1
+        assert case.default is not None
+
+    def test_cast(self):
+        query = parse_sql(
+            "SELECT cast(estimate AS varchar) FROM Jobs"
+        ).first_query()
+        call = query.select_items[0].expr
+        assert isinstance(call, ast.FunctionCall)
+        assert call.name == "CAST"
+
+    def test_exists(self):
+        query = parse_sql(
+            "SELECT ra FROM Star WHERE EXISTS (SELECT 1 FROM Galaxy)"
+        ).first_query()
+        assert isinstance(query.where, ast.UnaryOp)
+        assert query.where.op == "EXISTS"
+
+    def test_qualified_star(self):
+        query = parse_sql("SELECT p.* FROM PhotoObj p").first_query()
+        star = query.select_items[0].expr
+        assert isinstance(star, ast.Star)
+        assert star.table == "p"
+
+
+class TestJoins:
+    def test_inner_join_on(self):
+        query = parse_sql(
+            "SELECT s.z FROM SpecObj s INNER JOIN PhotoObj p "
+            "ON s.bestObjID=p.objID"
+        ).first_query()
+        join = query.from_items[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "INNER JOIN"
+        assert join.condition is not None
+
+    def test_left_outer_join(self):
+        query = parse_sql(
+            "SELECT 1 FROM A LEFT OUTER JOIN B ON A.x=B.x"
+        ).first_query()
+        assert query.from_items[0].kind == "LEFT OUTER JOIN"
+
+    def test_comma_join(self):
+        query = parse_sql(
+            "SELECT 1 FROM SpecObj s, PhotoObj p WHERE s.bestObjID=p.objID"
+        ).first_query()
+        assert len(query.from_items) == 2
+
+    def test_chained_joins(self):
+        query = parse_sql(
+            "SELECT 1 FROM A JOIN B ON A.x=B.x JOIN C ON B.y=C.y"
+        ).first_query()
+        outer = query.from_items[0]
+        assert isinstance(outer, ast.Join)
+        assert isinstance(outer.left, ast.Join)
+
+    def test_derived_table(self):
+        query = parse_sql(
+            "SELECT t.n FROM (SELECT COUNT(*) AS n FROM Star) t"
+        ).first_query()
+        source = query.from_items[0]
+        assert isinstance(source, ast.SubquerySource)
+        assert source.alias == "t"
+
+
+class TestNesting:
+    def test_scalar_subquery(self):
+        query = parse_sql(
+            "SELECT ra FROM Star WHERE z = (SELECT MAX(z) FROM Star)"
+        ).first_query()
+        assert isinstance(query.where.right, ast.Subquery)
+
+    def test_union_merges_structure(self):
+        result = parse_sql("SELECT ra FROM Star UNION SELECT ra FROM Galaxy")
+        query = result.first_query()
+        tables = [
+            n.name for n in ast.walk(query) if isinstance(n, ast.TableRef)
+        ]
+        assert set(tables) == {"Star", "Galaxy"}
+
+
+class TestTolerance:
+    def test_random_text_yields_unknown(self):
+        result = parse_sql("how do I find galaxies near ra 42")
+        assert not result.ok
+        assert result.statement_type == "UNKNOWN"
+        assert result.error_count > 0
+
+    def test_empty_input(self):
+        result = parse_sql("")
+        assert result.statements == []
+        assert not result.ok
+
+    def test_unbalanced_parens(self):
+        result = parse_sql("SELECT ra FROM Star WHERE (((")
+        assert result.statements  # still produced a statement
+
+    def test_multiple_statements(self):
+        result = parse_sql("SELECT 1; SELECT 2; DROP TABLE t")
+        assert len(result.statements) == 3
+
+    def test_insert_select_captures_body(self):
+        result = parse_sql("INSERT INTO t SELECT ra FROM Star")
+        assert result.statement_type == "INSERT"
+        assert result.first_query() is not None
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_parser_total_on_arbitrary_text(text):
+    """parse_sql never raises, whatever the input."""
+    result = parse_sql(text)
+    assert result.error_count >= 0
+
+
+_SQL_FRAGMENTS = st.sampled_from(
+    [
+        "SELECT", "FROM", "WHERE", "AND", "OR", "JOIN", "ON", "GROUP BY",
+        "ORDER BY", "BETWEEN", "(", ")", ",", "*", "=", "<", "Star",
+        "PhotoObj", "ra", "dec", "1", "2.5", "'text'", "COUNT", "dbo.fX",
+    ]
+)
+
+
+@given(st.lists(_SQL_FRAGMENTS, max_size=30))
+@settings(max_examples=150, deadline=None)
+def test_parser_total_on_sql_like_soup(fragments):
+    """Near-SQL token soup also never crashes the parser."""
+    result = parse_sql(" ".join(fragments))
+    assert isinstance(result.statements, list)

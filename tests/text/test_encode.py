@@ -1,0 +1,58 @@
+"""Sequence encoder and padding tests."""
+
+import numpy as np
+import pytest
+
+from repro.text.encode import SequenceEncoder, pad_sequences
+from repro.text.vocab import build_char_vocab, build_word_vocab
+
+
+class TestPadSequences:
+    def test_pads_to_longest(self):
+        out = pad_sequences([[1, 2], [3]], pad_id=0)
+        assert out.shape == (2, 2)
+        assert out[1, 1] == 0
+
+    def test_truncates_to_max_len(self):
+        out = pad_sequences([[1, 2, 3, 4]], max_len=2)
+        assert out.shape == (1, 2)
+        assert list(out[0]) == [1, 2]
+
+    def test_empty_batch_has_width_one(self):
+        out = pad_sequences([[], []], pad_id=9)
+        assert out.shape == (2, 1)
+        assert (out == 9).all()
+
+    def test_dtype_int64(self):
+        assert pad_sequences([[1]]).dtype == np.int64
+
+
+class TestSequenceEncoder:
+    def test_char_level(self):
+        vocab = build_char_vocab(["ab"])
+        encoder = SequenceEncoder(vocab, "char", max_len=10)
+        ids = encoder.encode("ab")
+        assert vocab.decode(ids) == ["a", "b"]
+
+    def test_word_level_masks_digits(self):
+        vocab = build_word_vocab(["select 1"])
+        encoder = SequenceEncoder(vocab, "word", max_len=10)
+        tokens = encoder.tokens("select 42")
+        assert tokens == ["select", "<DIGIT>"]
+
+    def test_truncation(self):
+        vocab = build_char_vocab(["abcdef"])
+        encoder = SequenceEncoder(vocab, "char", max_len=3)
+        assert len(encoder.encode("abcdef")) == 3
+
+    def test_batch_shape(self):
+        vocab = build_char_vocab(["abc"])
+        encoder = SequenceEncoder(vocab, "char", max_len=16)
+        batch = encoder.encode_batch(["a", "abc"])
+        assert batch.shape == (2, 3)
+        assert batch[0, 1] == vocab.pad_id
+
+    def test_invalid_level(self):
+        vocab = build_char_vocab(["a"])
+        with pytest.raises(ValueError):
+            SequenceEncoder(vocab, "sentence")

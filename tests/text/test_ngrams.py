@@ -1,0 +1,54 @@
+"""N-gram extraction tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.ngrams import NGRAM_SEP, extract_ngrams, ngram_counts
+
+
+class TestExtractNgrams:
+    def test_unigrams_and_bigrams(self):
+        grams = extract_ngrams(["a", "b", "c"], 1, 2)
+        assert grams == [
+            "a",
+            "b",
+            "c",
+            f"a{NGRAM_SEP}b",
+            f"b{NGRAM_SEP}c",
+        ]
+
+    def test_n_larger_than_sequence(self):
+        assert extract_ngrams(["a"], 2, 5) == []
+
+    def test_exactly_sequence_length(self):
+        grams = extract_ngrams(["a", "b"], 2, 2)
+        assert grams == [f"a{NGRAM_SEP}b"]
+
+    def test_count_formula(self):
+        tokens = list("abcdefgh")
+        grams = extract_ngrams(tokens, 1, 3)
+        expected = len(tokens) + (len(tokens) - 1) + (len(tokens) - 2)
+        assert len(grams) == expected
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            extract_ngrams(["a"], 0, 2)
+        with pytest.raises(ValueError):
+            extract_ngrams(["a"], 3, 2)
+
+
+class TestNgramCounts:
+    def test_counts_across_corpus(self):
+        counts = ngram_counts([["a", "b"], ["a"]], 1, 1)
+        assert counts["a"] == 2
+        assert counts["b"] == 1
+
+
+@given(st.lists(st.text(alphabet="ab", min_size=1, max_size=3), max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_ngram_count_property(tokens):
+    """Total n-gram count obeys sum over n of max(0, len - n + 1)."""
+    grams = extract_ngrams(tokens, 1, 5)
+    expected = sum(max(0, len(tokens) - n + 1) for n in range(1, 6))
+    assert len(grams) == expected

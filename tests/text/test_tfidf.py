@@ -1,0 +1,86 @@
+"""TF-IDF vectorizer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.tfidf import TfidfVectorizer
+
+
+class TestFitTransform:
+    def test_shape(self):
+        corpus = ["SELECT a FROM t", "SELECT b FROM t", "DROP TABLE t"]
+        vec = TfidfVectorizer(level="word", max_features=100, max_n=2)
+        matrix = vec.fit_transform(corpus)
+        assert matrix.shape == (3, vec.num_features)
+
+    def test_non_negative(self):
+        corpus = ["SELECT a FROM t", "SELECT b FROM t"]
+        matrix = TfidfVectorizer(level="char", max_features=200).fit_transform(
+            corpus
+        )
+        assert (matrix.toarray() >= 0).all()
+
+    def test_ubiquitous_token_gets_zero_weight(self):
+        # 'x' appears in every document → IDF = log(n/(1+n)) < 0 → clamped 0
+        corpus = ["x a", "x b", "x c"]
+        vec = TfidfVectorizer(level="word", max_features=100, max_n=1)
+        matrix = vec.fit_transform(corpus).toarray()
+        x_col = vec.vocabulary_["x"]
+        assert np.allclose(matrix[:, x_col], 0.0)
+
+    def test_rare_token_weighted_higher_than_common(self):
+        corpus = ["rare a", "a b", "a c", "a d"]
+        vec = TfidfVectorizer(level="word", max_features=100, max_n=1)
+        matrix = vec.fit_transform(corpus).toarray()
+        rare_col = vec.vocabulary_["rare"]
+        common_col = vec.vocabulary_["a"]
+        assert matrix[0, rare_col] > matrix[0, common_col]
+
+    def test_max_features_cap(self):
+        corpus = ["a b c d e f g h i j"]
+        vec = TfidfVectorizer(level="word", max_features=3, max_n=1)
+        vec.fit(corpus)
+        assert vec.num_features == 3
+
+    def test_unknown_tokens_ignored_at_transform(self):
+        vec = TfidfVectorizer(level="word", max_features=50, max_n=1)
+        vec.fit(["a b"])
+        matrix = vec.transform(["zzz qqq"])
+        assert matrix.nnz == 0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(["x"])
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer().fit([])
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(level="token")
+
+    def test_deterministic(self):
+        corpus = ["SELECT a FROM t WHERE x=1", "SELECT b FROM u"]
+        m1 = TfidfVectorizer(level="char").fit_transform(corpus).toarray()
+        m2 = TfidfVectorizer(level="char").fit_transform(corpus).toarray()
+        assert np.array_equal(m1, m2)
+
+
+@given(
+    st.lists(
+        st.text(alphabet="abc ", min_size=1, max_size=30),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_tfidf_matrix_properties(corpus):
+    vec = TfidfVectorizer(level="char", max_features=500)
+    matrix = vec.fit_transform(corpus)
+    assert matrix.shape[0] == len(corpus)
+    dense = matrix.toarray()
+    assert np.isfinite(dense).all()
+    assert (dense >= 0).all()

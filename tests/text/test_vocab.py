@@ -1,0 +1,104 @@
+"""Vocabulary tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.vocab import (
+    PAD_TOKEN,
+    UNK_TOKEN,
+    Vocabulary,
+    build_char_vocab,
+    build_word_vocab,
+)
+
+
+class TestVocabulary:
+    def test_pad_and_unk_reserved(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert vocab.token_of(0) == PAD_TOKEN
+        assert vocab.token_of(1) == UNK_TOKEN
+
+    def test_len_includes_specials(self):
+        assert len(Vocabulary(["a", "b"])) == 4
+
+    def test_id_of_known_token(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.id_of("a") == 2
+        assert vocab.id_of("b") == 3
+
+    def test_id_of_unknown_token(self):
+        vocab = Vocabulary(["a"])
+        assert vocab.id_of("zzz") == vocab.unk_id
+
+    def test_duplicate_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(["a", "a"])
+
+    def test_contains(self):
+        vocab = Vocabulary(["a"])
+        assert "a" in vocab
+        assert PAD_TOKEN in vocab
+        assert "b" not in vocab
+
+    def test_encode_decode_roundtrip_known(self):
+        vocab = Vocabulary(["x", "y", "z"])
+        tokens = ["x", "z", "y"]
+        assert vocab.decode(vocab.encode(tokens)) == tokens
+
+    def test_encode_maps_unknown_to_unk(self):
+        vocab = Vocabulary(["x"])
+        assert vocab.encode(["q"]) == [vocab.unk_id]
+
+    def test_from_counts_frequency_order(self):
+        from collections import Counter
+
+        counts = Counter({"rare": 1, "common": 10, "mid": 5})
+        vocab = Vocabulary.from_counts(counts)
+        assert vocab.id_of("common") < vocab.id_of("mid") < vocab.id_of("rare")
+
+    def test_from_counts_max_size(self):
+        from collections import Counter
+
+        counts = Counter({"a": 3, "b": 2, "c": 1})
+        vocab = Vocabulary.from_counts(counts, max_size=2)
+        assert len(vocab) == 4  # 2 tokens + PAD/UNK
+        assert vocab.id_of("c") == vocab.unk_id
+
+    def test_from_counts_min_count(self):
+        from collections import Counter
+
+        counts = Counter({"a": 5, "b": 1})
+        vocab = Vocabulary.from_counts(counts, min_count=2)
+        assert "b" not in vocab
+
+
+class TestBuilders:
+    def test_char_vocab_covers_statements(self):
+        vocab = build_char_vocab(["SELECT a", "FROM b"])
+        for ch in "SELECT a":
+            assert ch in vocab
+
+    def test_word_vocab_masks_digits(self):
+        vocab = build_word_vocab(["SELECT 1 FROM t", "SELECT 2 FROM t"])
+        assert "<DIGIT>" in vocab
+        assert "1" not in vocab
+
+    def test_word_vocab_min_count(self):
+        vocab = build_word_vocab(
+            ["alpha alpha", "beta"], min_count=2
+        )
+        assert "alpha" in vocab
+        assert "beta" not in vocab
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), unique=True, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_property(tokens):
+    from repro.text.vocab import PAD_TOKEN, UNK_TOKEN
+
+    tokens = [t for t in tokens if t not in (PAD_TOKEN, UNK_TOKEN)]
+    vocab = Vocabulary(tokens)
+    assert vocab.decode(vocab.encode(tokens)) == tokens

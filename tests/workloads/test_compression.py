@@ -1,0 +1,178 @@
+"""Workload compression: weights, coverage, strategy behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.compression import (
+    STRATEGIES,
+    compress_workload,
+    coverage_radius,
+    structural_feature_matrix,
+)
+from repro.workloads.records import QueryRecord, Workload
+from repro.workloads.sdss import generate_sdss_workload
+
+
+@pytest.fixture(scope="module")
+def sdss_workload() -> Workload:
+    return generate_sdss_workload(n_sessions=250, seed=11)
+
+
+class TestCompressWorkload:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_weights_sum_to_original_size(self, sdss_workload, strategy):
+        compressed = compress_workload(
+            sdss_workload, ratio=0.2, strategy=strategy, seed=1
+        )
+        assert np.isclose(compressed.weights.sum(), len(sdss_workload))
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_target_size_respected(self, sdss_workload, strategy):
+        compressed = compress_workload(
+            sdss_workload, ratio=0.1, strategy=strategy, seed=1
+        )
+        expected = int(round(0.1 * len(sdss_workload)))
+        assert abs(len(compressed.workload) - expected) <= max(
+            2, expected // 5
+        )
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_kept_statements_come_from_original(self, sdss_workload, strategy):
+        compressed = compress_workload(
+            sdss_workload, ratio=0.15, strategy=strategy, seed=2
+        )
+        original = set(sdss_workload.statements())
+        assert set(compressed.workload.statements()) <= original
+
+    def test_ratio_property(self, sdss_workload):
+        compressed = compress_workload(sdss_workload, ratio=0.25, seed=0)
+        assert compressed.ratio == pytest.approx(
+            len(compressed.workload) / len(sdss_workload)
+        )
+
+    def test_ratio_one_keeps_everything(self, sdss_workload):
+        compressed = compress_workload(
+            sdss_workload, ratio=1.0, strategy="random", seed=0
+        )
+        assert len(compressed.workload) == len(sdss_workload)
+        assert np.allclose(compressed.weights, 1.0)
+
+    def test_deterministic_given_seed(self, sdss_workload):
+        first = compress_workload(sdss_workload, ratio=0.2, seed=9)
+        second = compress_workload(sdss_workload, ratio=0.2, seed=9)
+        assert first.workload.statements() == second.workload.statements()
+        assert np.array_equal(first.weights, second.weights)
+
+    def test_empty_workload_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            compress_workload(Workload("empty", []))
+
+    @pytest.mark.parametrize("ratio", [0.0, -0.5, 1.5])
+    def test_bad_ratio_raises(self, sdss_workload, ratio):
+        with pytest.raises(ValueError, match="ratio"):
+            compress_workload(sdss_workload, ratio=ratio)
+
+    def test_unknown_strategy_raises(self, sdss_workload):
+        with pytest.raises(ValueError, match="strategy"):
+            compress_workload(sdss_workload, strategy="magic")
+
+    def test_stratified_keeps_every_error_class(self, sdss_workload):
+        compressed = compress_workload(
+            sdss_workload, ratio=0.1, strategy="stratified", seed=3
+        )
+        original_classes = {r.error_class for r in sdss_workload}
+        kept_classes = {r.error_class for r in compressed.workload}
+        assert kept_classes == original_classes
+
+    def test_kcenter_beats_random_on_coverage(self, sdss_workload):
+        kcenter = compress_workload(
+            sdss_workload, ratio=0.1, strategy="kcenter", seed=4
+        )
+        random = compress_workload(
+            sdss_workload, ratio=0.1, strategy="random", seed=4
+        )
+        assert coverage_radius(sdss_workload, kcenter) <= coverage_radius(
+            sdss_workload, random
+        )
+
+    def test_repeated_records_expand_to_roughly_original_size(
+        self, sdss_workload
+    ):
+        compressed = compress_workload(
+            sdss_workload, ratio=0.2, strategy="kcenter", seed=5
+        )
+        expanded = compressed.repeated_records()
+        assert len(expanded) >= len(compressed.workload)
+        assert abs(len(expanded) - len(sdss_workload)) <= 0.2 * len(
+            sdss_workload
+        )
+
+    def test_duplicate_statements_do_not_break_kcenter(self):
+        records = [
+            QueryRecord(statement="SELECT * FROM t", error_class="success")
+            for _ in range(20)
+        ]
+        workload = Workload("dups", records)
+        compressed = compress_workload(
+            workload, ratio=0.5, strategy="kcenter", seed=0
+        )
+        assert len(compressed.workload) == 10
+        assert np.isclose(compressed.weights.sum(), 20)
+
+    @settings(max_examples=20, deadline=None)
+    @given(ratio=st.floats(min_value=0.05, max_value=1.0))
+    def test_property_weights_always_sum_to_n(self, ratio):
+        records = [
+            QueryRecord(
+                statement=f"SELECT c{i} FROM t{i % 3} WHERE x > {i}",
+                error_class="success",
+                session_class="bot",
+            )
+            for i in range(30)
+        ]
+        workload = Workload("prop", records)
+        compressed = compress_workload(workload, ratio=ratio, seed=1)
+        assert np.isclose(compressed.weights.sum(), len(workload))
+
+
+class TestStructuralFeatureMatrix:
+    def test_shape_and_normalization(self, sdss_workload):
+        matrix = structural_feature_matrix(sdss_workload)
+        assert matrix.shape == (len(sdss_workload), 10)
+        # z-normalized: every non-constant column has ~zero mean, unit std
+        stds = matrix.std(axis=0)
+        nonconstant = stds > 1e-12
+        assert np.allclose(matrix.mean(axis=0)[nonconstant], 0.0, atol=1e-9)
+        assert np.allclose(stds[nonconstant], 1.0, atol=1e-9)
+
+    def test_empty_workload_gives_empty_matrix(self):
+        matrix = structural_feature_matrix(Workload("empty", []))
+        assert matrix.shape == (0, 10)
+
+
+class TestAssignToCenters:
+    def test_blockwise_assignment_matches_naive(self):
+        from repro.workloads.compression import _assign_to_centers
+
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(50, 10))
+        centers = np.array([3, 17, 42])
+        fast = _assign_to_centers(matrix, centers)
+        # naive nearest-center by full pairwise distances
+        dists = np.linalg.norm(
+            matrix[:, None, :] - matrix[centers][None, :, :], axis=2
+        )
+        naive = np.argmin(dists, axis=1)
+        assert np.array_equal(fast, naive)
+
+    def test_center_rows_assign_to_themselves(self):
+        from repro.workloads.compression import _assign_to_centers
+
+        rng = np.random.default_rng(4)
+        matrix = rng.normal(size=(20, 5))
+        centers = np.array([2, 9, 15])
+        assignment = _assign_to_centers(matrix, centers)
+        for slot, center in enumerate(centers):
+            assert assignment[center] == slot

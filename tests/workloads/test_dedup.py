@@ -1,0 +1,113 @@
+"""Dedup pipeline tests: sampling, grouping, label aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.dedup import (
+    REPETITION_BINS,
+    aggregate_duplicates,
+    repetition_histogram,
+    sample_one_per_session,
+)
+from repro.workloads.records import LogEntry
+
+
+def _entry(statement, session_id, **kwargs):
+    defaults = dict(
+        session_class="bot",
+        error_class="success",
+        answer_size=1.0,
+        cpu_time=0.5,
+    )
+    defaults.update(kwargs)
+    return LogEntry(statement=statement, session_id=session_id, **defaults)
+
+
+class TestSampleOnePerSession:
+    def test_one_entry_per_session(self, rng):
+        log = [
+            _entry("a", 0),
+            _entry("b", 0),
+            _entry("c", 1),
+        ]
+        sampled = sample_one_per_session(log, rng)
+        assert len(sampled) == 2
+        assert {e.session_id for e in sampled} == {0, 1}
+
+    def test_sampled_entry_is_from_session(self, rng):
+        log = [_entry("a", 0), _entry("b", 0)]
+        (sampled,) = sample_one_per_session(log, rng)
+        assert sampled.statement in ("a", "b")
+
+    def test_deterministic_given_rng(self):
+        log = [_entry(s, 0) for s in "abcdef"]
+        a = sample_one_per_session(log, np.random.default_rng(1))
+        b = sample_one_per_session(log, np.random.default_rng(1))
+        assert a[0].statement == b[0].statement
+
+
+class TestAggregateDuplicates:
+    def test_groups_identical_statements(self, rng):
+        entries = [_entry("q", 0), _entry("q", 1), _entry("r", 2)]
+        records = aggregate_duplicates(entries, rng)
+        assert len(records) == 2
+        assert records[0].num_duplicates == 2
+
+    def test_regression_labels_averaged(self, rng):
+        entries = [
+            _entry("q", 0, answer_size=10.0, cpu_time=1.0),
+            _entry("q", 1, answer_size=20.0, cpu_time=3.0),
+        ]
+        (record,) = aggregate_duplicates(entries, rng)
+        assert record.answer_size == pytest.approx(15.0)
+        assert record.cpu_time == pytest.approx(2.0)
+
+    def test_class_labels_majority_voted(self, rng):
+        entries = [
+            _entry("q", 0, session_class="bot"),
+            _entry("q", 1, session_class="bot"),
+            _entry("q", 2, session_class="browser"),
+        ]
+        (record,) = aggregate_duplicates(entries, rng)
+        assert record.session_class == "bot"
+
+    def test_tie_broken_among_winners(self):
+        entries = [
+            _entry("q", 0, error_class="success"),
+            _entry("q", 1, error_class="non_severe"),
+        ]
+        outcomes = {
+            aggregate_duplicates(entries, np.random.default_rng(seed))[
+                0
+            ].error_class
+            for seed in range(30)
+        }
+        assert outcomes <= {"success", "non_severe"}
+        assert len(outcomes) == 2  # both winners appear across seeds
+
+    def test_first_appearance_order_preserved(self, rng):
+        entries = [_entry("b", 0), _entry("a", 1), _entry("b", 2)]
+        records = aggregate_duplicates(entries, rng)
+        assert [r.statement for r in records] == ["b", "a"]
+
+
+class TestRepetitionHistogram:
+    def test_bins_cover_counts(self):
+        entries = (
+            [_entry("once", 0)]
+            + [_entry("twice", i) for i in range(2)]
+            + [_entry("often", i) for i in range(10)]
+        )
+        histogram = repetition_histogram(entries)
+        assert histogram["1"] == 1
+        assert histogram["2"] == 2
+        assert histogram["4-20"] == 10
+
+    def test_total_is_sample_count(self):
+        entries = [_entry(f"q{i % 3}", i) for i in range(30)]
+        histogram = repetition_histogram(entries)
+        assert sum(histogram.values()) == 30
+
+    def test_bin_labels_stable(self):
+        labels = [label for label, _, _ in REPETITION_BINS]
+        assert labels == ["1", "2", "3", "4-20", "21-100", "101-1000", ">1000"]

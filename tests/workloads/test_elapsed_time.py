@@ -1,0 +1,83 @@
+"""Elapsed-time label generation (SqlLog ``elapsed``; Section 8 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.problems import Problem
+from repro.workloads.execution import SimulatedDatabase
+from repro.workloads.schema import sdss_catalog
+
+
+class TestExecutionElapsed:
+    @pytest.fixture(scope="class")
+    def database(self) -> SimulatedDatabase:
+        return SimulatedDatabase(sdss_catalog(), seed=5)
+
+    def test_severe_queries_have_zero_elapsed(self, database):
+        outcome = database.execute("complete ((( garbage")
+        assert outcome.error_class == "severe"
+        assert outcome.elapsed_time == 0.0
+
+    def test_successful_query_elapsed_exceeds_cpu(self, database):
+        # elapsed = cpu * (1 + io) + transfer + queue, all non-negative
+        outcome = database.execute(
+            "SELECT objID, ra, dec FROM PhotoObj WHERE ra BETWEEN 10 AND 20"
+        )
+        assert outcome.error_class == "success"
+        assert outcome.elapsed_time > outcome.cpu_time
+
+    def test_large_answers_pay_transfer_time(self, database):
+        # statistical check over repeated executions: big results take
+        # longer beyond their CPU cost
+        small_gap = []
+        big_gap = []
+        for _ in range(20):
+            small = database.execute(
+                "SELECT objID FROM PhotoObj WHERE objID=0x0001"
+            )
+            big = database.execute("SELECT objID FROM PhotoObj")
+            small_gap.append(small.elapsed_time - small.cpu_time)
+            big_gap.append(big.elapsed_time - big.cpu_time)
+        assert np.median(big_gap) > np.median(small_gap)
+
+    def test_elapsed_is_deterministic_per_seed(self):
+        catalog = sdss_catalog()
+        first = SimulatedDatabase(catalog, seed=9).execute(
+            "SELECT ra FROM SpecObj WHERE z > 0.1"
+        )
+        second = SimulatedDatabase(catalog, seed=9).execute(
+            "SELECT ra FROM SpecObj WHERE z > 0.1"
+        )
+        assert first.elapsed_time == second.elapsed_time
+
+
+class TestWorkloadElapsedLabels:
+    def test_sdss_workload_carries_elapsed(self, sdss_workload_small):
+        values = sdss_workload_small.labels("elapsed_time")
+        assert values.dtype == np.float64
+        assert np.all(values >= 0.0)
+        # at least the successful queries must show io/queueing overhead
+        cpu = sdss_workload_small.labels("cpu_time")
+        success = np.asarray(
+            [r.error_class == "success" for r in sdss_workload_small]
+        )
+        assert np.all(values[success] >= cpu[success])
+
+    def test_sqlshare_workload_has_no_elapsed(self, sqlshare_workload_small):
+        # the published SQLShare release only carries QExecTime
+        assert all(
+            r.elapsed_time is None for r in sqlshare_workload_small
+        )
+
+    def test_facilitator_learns_elapsed_on_sdss(self, sdss_workload_small):
+        from repro.core.facilitator import QueryFacilitator
+        from repro.models.factory import ModelScale
+
+        facilitator = QueryFacilitator(
+            model_name="ctfidf",
+            scale=ModelScale(epochs=1, tfidf_features=1000),
+        ).fit(sdss_workload_small, problems=[Problem.ELAPSED_TIME])
+        insight = facilitator.insights("SELECT * FROM PhotoObj")
+        assert insight.elapsed_seconds is not None
+        assert insight.elapsed_seconds >= 0.0
+        assert insight.cpu_time_seconds is None  # not trained for it

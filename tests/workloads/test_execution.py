@@ -1,0 +1,175 @@
+"""Simulated execution engine tests: error model, cardinality, cost."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.execution import (
+    CostParameters,
+    ExecutionOutcome,
+    SimulatedDatabase,
+)
+
+
+@pytest.fixture()
+def db(catalog):
+    return SimulatedDatabase(catalog, seed=3)
+
+
+class TestErrorModel:
+    def test_random_text_is_severe(self, db):
+        outcome = db.execute("how do I find galaxies")
+        assert outcome.error_class == "severe"
+        assert outcome.answer_size == -1.0
+        assert outcome.cpu_time == 0.0
+
+    def test_empty_is_severe(self, db):
+        assert db.execute("").error_class == "severe"
+
+    def test_unknown_table_is_non_severe(self, db):
+        outcome = db.execute("SELECT a FROM TotallyUnknownTable WHERE a>1")
+        assert outcome.error_class == "non_severe"
+        assert outcome.answer_size == -1.0
+        assert outcome.cpu_time > 0.0
+
+    def test_unknown_udf_is_non_severe(self, db):
+        outcome = db.execute(
+            "SELECT dbo.fNoSuchFunction(ra) FROM PhotoObj WHERE ra>1"
+        )
+        assert outcome.error_class == "non_severe"
+
+    def test_mydb_tables_tolerated(self, db):
+        outcome = db.execute("SELECT * FROM mydb.mystuff WHERE x>1")
+        assert outcome.error_class == "success"
+
+    def test_valid_select_succeeds(self, db):
+        outcome = db.execute(
+            "SELECT objID FROM PhotoObj WHERE ra BETWEEN 10 AND 11"
+        )
+        assert outcome.error_class == "success"
+        assert outcome.answer_size >= 0
+        assert outcome.cpu_time > 0
+
+    def test_non_select_statement_succeeds_fast(self, db):
+        outcome = db.execute("DROP TABLE mydb.batch_1")
+        assert outcome.error_class == "success"
+        assert outcome.answer_size == 0.0
+
+
+class TestCardinalityShape:
+    def test_point_lookup_returns_about_one_row(self, catalog):
+        db = SimulatedDatabase(catalog, seed=5)
+        sizes = [
+            db.execute(
+                "SELECT * FROM PhotoTag WHERE objID=0x112d075f80360018"
+            ).answer_size
+            for _ in range(20)
+        ]
+        assert np.median(sizes) <= 3
+
+    def test_count_star_returns_one_row(self, db):
+        outcome = db.execute("SELECT COUNT(*) FROM Galaxy WHERE ra>100")
+        assert outcome.answer_size <= 2
+
+    def test_top_caps_answer(self, db):
+        for _ in range(10):
+            outcome = db.execute(
+                "SELECT TOP 10 objID FROM PhotoObj WHERE ra>0"
+            )
+            assert outcome.answer_size <= 10
+
+    def test_wider_range_returns_more_rows(self, catalog):
+        db = SimulatedDatabase(catalog, seed=9)
+        narrow = np.median(
+            [
+                db.execute(
+                    "SELECT objID FROM PhotoObj WHERE ra BETWEEN 100 AND 100.01"
+                ).answer_size
+                for _ in range(10)
+            ]
+        )
+        wide = np.median(
+            [
+                db.execute(
+                    "SELECT objID FROM PhotoObj WHERE ra BETWEEN 100 AND 200"
+                ).answer_size
+                for _ in range(10)
+            ]
+        )
+        assert wide > narrow
+
+    def test_conjunction_more_selective(self, catalog):
+        db = SimulatedDatabase(catalog, seed=11)
+        loose = np.median(
+            [
+                db.execute(
+                    "SELECT objID FROM PhotoObj WHERE ra>180"
+                ).answer_size
+                for _ in range(10)
+            ]
+        )
+        tight = np.median(
+            [
+                db.execute(
+                    "SELECT objID FROM PhotoObj WHERE ra>180 AND type=6 AND g<20"
+                ).answer_size
+                for _ in range(10)
+            ]
+        )
+        assert tight < loose
+
+
+class TestCostShape:
+    def test_per_row_udf_in_where_is_expensive(self, catalog):
+        """The Figure 1b effect: a UDF in WHERE costs per scanned row."""
+        db = SimulatedDatabase(catalog, seed=13)
+        with_udf = np.median(
+            [
+                db.execute(
+                    "SELECT objID FROM PhotoObj "
+                    "WHERE flags & dbo.fPhotoFlags('BLENDED') > 0"
+                ).cpu_time
+                for _ in range(8)
+            ]
+        )
+        without = np.median(
+            [
+                db.execute(
+                    "SELECT objID FROM PhotoObj WHERE flags > 0"
+                ).cpu_time
+                for _ in range(8)
+            ]
+        )
+        assert with_udf > without * 10
+
+    def test_big_table_scan_costlier_than_small(self, catalog):
+        db = SimulatedDatabase(catalog, seed=17)
+        big = db.execute("SELECT COUNT(*) FROM PhotoObj WHERE ra>50").cpu_time
+        small = db.execute("SELECT COUNT(*) FROM Servers WHERE queue=1").cpu_time
+        assert big > small * 100
+
+    def test_speed_factor_scales_cpu(self, catalog):
+        slow = SimulatedDatabase(catalog, seed=19, speed_factor=100.0)
+        fast = SimulatedDatabase(catalog, seed=19, speed_factor=1.0)
+        q = "SELECT objID FROM PhotoObj WHERE ra BETWEEN 1 AND 2"
+        assert slow.execute(q).cpu_time > fast.execute(q).cpu_time * 10
+
+    def test_cpu_capped(self, catalog):
+        params = CostParameters(max_cpu=10.0)
+        db = SimulatedDatabase(catalog, seed=23, params=params)
+        outcome = db.execute(
+            "SELECT * FROM PhotoObjAll, Neighbors, USNO WHERE ra > 0"
+        )
+        assert outcome.cpu_time <= 10.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_labels(self, catalog):
+        q = "SELECT objID FROM PhotoObj WHERE ra BETWEEN 5 AND 6"
+        a = SimulatedDatabase(catalog, seed=31).execute(q)
+        b = SimulatedDatabase(catalog, seed=31).execute(q)
+        assert a == b
+
+    def test_outcome_is_frozen(self):
+        outcome = ExecutionOutcome("success", 1.0, 2.0)
+        with pytest.raises(AttributeError):
+            outcome.cpu_time = 5.0

@@ -1,0 +1,57 @@
+"""Property-based tests for the simulated execution engine.
+
+The engine must be total (never raise) and its labels must sit in valid
+domains for any input — including adversarial statements hypothesis
+composes from SQL fragments.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.execution import SimulatedDatabase
+from repro.workloads.records import ERROR_CLASSES
+from repro.workloads.schema import sdss_catalog
+
+_CATALOG = sdss_catalog()
+
+_FRAGMENTS = st.sampled_from(
+    [
+        "SELECT", "FROM", "WHERE", "AND", "OR", "JOIN", "ON", "GROUP BY",
+        "ORDER BY", "BETWEEN 1 AND 2", "(", ")", ",", "*", "=5", "<",
+        "PhotoObj", "SpecObj", "NoSuchTable", "ra", "dec", "COUNT(*)",
+        "dbo.fPhotoFlags('X')", "TOP 10", "DISTINCT", "0x1f", "'text'",
+        "INTO mydb.t", "HAVING", "MIN(ra)", ";", "DROP TABLE t",
+    ]
+)
+
+
+@given(st.lists(_FRAGMENTS, max_size=25), st.integers(0, 2**31 - 1))
+@settings(max_examples=150, deadline=None)
+def test_execute_total_and_labels_in_domain(fragments, seed):
+    db = SimulatedDatabase(_CATALOG, seed=seed)
+    outcome = db.execute(" ".join(fragments))
+    assert outcome.error_class in ERROR_CLASSES
+    assert np.isfinite(outcome.cpu_time)
+    assert outcome.cpu_time >= 0.0
+    assert outcome.cpu_time <= db.params.max_cpu
+    assert outcome.answer_size >= -1.0
+    assert outcome.answer_size <= db.params.max_rows
+    if outcome.error_class != "success":
+        assert outcome.answer_size == -1.0
+
+
+@given(st.text(max_size=300), st.integers(0, 2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_execute_total_on_arbitrary_text(text, seed):
+    outcome = SimulatedDatabase(_CATALOG, seed=seed).execute(text)
+    assert outcome.error_class in ERROR_CLASSES
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_execute_deterministic_per_seed(seed):
+    statement = "SELECT objID FROM PhotoObj WHERE ra BETWEEN 5 AND 6"
+    a = SimulatedDatabase(_CATALOG, seed=seed).execute(statement)
+    b = SimulatedDatabase(_CATALOG, seed=seed).execute(statement)
+    assert a == b

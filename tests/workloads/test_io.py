@@ -1,0 +1,196 @@
+"""Workload/log JSONL round-trips and format-error handling."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.io import (
+    WorkloadFormatError,
+    load_log,
+    load_workload,
+    save_log,
+    save_workload,
+)
+from repro.workloads.records import LogEntry, QueryRecord, Workload
+from repro.workloads.sdss import generate_sdss_log, generate_sdss_workload
+
+
+def _sample_workload() -> Workload:
+    return Workload(
+        "sample",
+        [
+            QueryRecord(
+                statement="SELECT * FROM PhotoObj",
+                error_class="success",
+                answer_size=12.0,
+                cpu_time=0.5,
+                session_class="bot",
+                user=None,
+                num_duplicates=3,
+            ),
+            QueryRecord(
+                statement="SELCT nonsense",
+                error_class="severe",
+                answer_size=-1.0,
+                cpu_time=0.0,
+                session_class="browser",
+            ),
+        ],
+    )
+
+
+class TestWorkloadRoundTrip:
+    def test_round_trip_preserves_records(self, tmp_path):
+        workload = _sample_workload()
+        path = tmp_path / "w.jsonl"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded.name == workload.name
+        assert len(loaded) == len(workload)
+        for original, restored in zip(workload, loaded):
+            assert restored == original
+
+    def test_round_trip_generated_sdss(self, tmp_path):
+        workload = generate_sdss_workload(n_sessions=60, seed=3)
+        path = tmp_path / "sdss.jsonl"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded.statements() == workload.statements()
+        assert list(loaded.labels("cpu_time")) == list(
+            workload.labels("cpu_time")
+        )
+
+    def test_missing_labels_stay_none(self, tmp_path):
+        workload = Workload(
+            "partial", [QueryRecord(statement="SELECT 1", cpu_time=2.0)]
+        )
+        path = tmp_path / "p.jsonl"
+        save_workload(workload, path)
+        restored = load_workload(path)[0]
+        assert restored.error_class is None
+        assert restored.session_class is None
+        assert restored.cpu_time == 2.0
+
+    def test_unicode_statement_survives(self, tmp_path):
+        statement = "SELECT 'héllo — ☃' FROM tbl WHERE x='日本語'"
+        workload = Workload("u", [QueryRecord(statement=statement)])
+        path = tmp_path / "u.jsonl"
+        save_workload(workload, path)
+        assert load_workload(path)[0].statement == statement
+
+    def test_newline_in_statement_survives(self, tmp_path):
+        statement = "SELECT *\nFROM PhotoObj\nWHERE ra > 10"
+        workload = Workload("nl", [QueryRecord(statement=statement)])
+        path = tmp_path / "nl.jsonl"
+        save_workload(workload, path)
+        assert load_workload(path)[0].statement == statement
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.text(min_size=1, max_size=80).filter(str.strip),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    def test_property_arbitrary_statements_round_trip(self, tmp_path_factory, statements):
+        workload = Workload(
+            "prop", [QueryRecord(statement=s) for s in statements]
+        )
+        path = tmp_path_factory.mktemp("io") / "prop.jsonl"
+        save_workload(workload, path)
+        assert load_workload(path).statements() == statements
+
+
+class TestWorkloadFormatErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadFormatError, match="no such file"):
+            load_workload(tmp_path / "absent.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(WorkloadFormatError, match="empty"):
+            load_workload(path)
+
+    def test_non_json_header(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(WorkloadFormatError, match="not JSON"):
+            load_workload(path)
+
+    def test_wrong_file_kind_rejected(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_log(generate_sdss_log(n_sessions=5, seed=1), path)
+        with pytest.raises(WorkloadFormatError, match="repro_workload"):
+            load_workload(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "v99.jsonl"
+        path.write_text(json.dumps({"repro_workload": 99}) + "\n")
+        with pytest.raises(WorkloadFormatError, match="version"):
+            load_workload(path)
+
+    def test_bad_record_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"repro_workload": 1, "name": "x"})
+            + "\n"
+            + json.dumps({"no_statement_key": True})
+            + "\n"
+        )
+        with pytest.raises(WorkloadFormatError, match="line 2"):
+            load_workload(path)
+
+    def test_corrupt_json_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            json.dumps({"repro_workload": 1, "name": "x"}) + "\n{oops\n"
+        )
+        with pytest.raises(WorkloadFormatError, match="line 2"):
+            load_workload(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        workload = _sample_workload()
+        path = tmp_path / "blank.jsonl"
+        save_workload(workload, path)
+        text = path.read_text()
+        head, rest = text.split("\n", 1)
+        path.write_text(head + "\n\n" + rest)
+        assert len(load_workload(path)) == len(workload)
+
+
+class TestLogRoundTrip:
+    def test_round_trip_preserves_entries(self, tmp_path):
+        entries = generate_sdss_log(n_sessions=20, seed=5)
+        path = tmp_path / "log.jsonl"
+        save_log(entries, path, name="sdss-log")
+        loaded = load_log(path)
+        assert len(loaded) == len(entries)
+        for original, restored in zip(entries, loaded):
+            assert restored.statement == original.statement
+            assert restored.session_id == original.session_id
+            assert restored.session_class == original.session_class
+            assert restored.error_class == original.error_class
+            assert restored.answer_size == original.answer_size
+            assert restored.cpu_time == original.cpu_time
+            assert restored.agent_string == original.agent_string
+
+    def test_workload_file_rejected_as_log(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        save_workload(_sample_workload(), path)
+        with pytest.raises(WorkloadFormatError, match="repro_log"):
+            load_log(path)
+
+    def test_entry_missing_required_field(self, tmp_path):
+        path = tmp_path / "bad_log.jsonl"
+        path.write_text(
+            json.dumps({"repro_log": 1, "name": "x"})
+            + "\n"
+            + json.dumps({"statement": "SELECT 1"})
+            + "\n"
+        )
+        with pytest.raises(WorkloadFormatError, match="line 2"):
+            load_log(path)

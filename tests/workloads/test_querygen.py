@@ -1,0 +1,105 @@
+"""Query template generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.sqlang.parser import parse_sql
+from repro.workloads.querygen import (
+    SDSS_TEMPLATES,
+    SQLSHARE_TEMPLATES,
+    generate_statement,
+)
+from repro.workloads.schema import sqlshare_catalog
+
+#: Templates intentionally producing broken input.
+_BROKEN = {"malformed_sql", "random_text", "ss_malformed"}
+
+
+class TestSdssTemplates:
+    @pytest.mark.parametrize("name", sorted(SDSS_TEMPLATES))
+    def test_template_produces_text(self, name, catalog, rng):
+        statement = SDSS_TEMPLATES[name](rng, catalog)
+        assert isinstance(statement, str) and statement
+
+    @pytest.mark.parametrize(
+        "name", sorted(set(SDSS_TEMPLATES) - _BROKEN)
+    )
+    def test_wellformed_templates_parse(self, name, catalog, rng):
+        for _ in range(10):
+            statement = SDSS_TEMPLATES[name](rng, catalog)
+            result = parse_sql(statement)
+            assert result.statements, statement
+            assert result.error_count == 0, statement
+
+    def test_point_lookup_shape(self, catalog, rng):
+        statement = SDSS_TEMPLATES["point_lookup"](rng, catalog)
+        assert statement.startswith("SELECT * FROM")
+        assert "0x" in statement
+
+    def test_nested_scalar_agg_is_nested(self, catalog, rng):
+        from repro.sqlang.features import extract_features
+
+        features = extract_features(
+            SDSS_TEMPLATES["nested_scalar_agg"](rng, catalog)
+        )
+        assert features.nestedness_level >= 1
+        assert features.nested_aggregation
+
+    def test_function_where_uses_udf(self, catalog, rng):
+        statement = SDSS_TEMPLATES["function_where"](rng, catalog)
+        assert "dbo.fPhotoFlags" in statement
+
+    def test_gallery_statements_finite_set(self, catalog, rng):
+        seen = {
+            SDSS_TEMPLATES["gallery_query"](rng, catalog) for _ in range(200)
+        }
+        assert len(seen) <= 16
+
+    def test_point_lookup_constants_pooled(self, catalog, rng):
+        seen = {
+            SDSS_TEMPLATES["point_lookup"](rng, catalog) for _ in range(400)
+        }
+        assert len(seen) < 350  # collisions must occur (finite pool)
+
+    def test_bad_reference_targets_unknown_table(self, catalog, rng):
+        statement = SDSS_TEMPLATES["bad_reference"](rng, catalog)
+        result = parse_sql(statement)
+        table = result.first_query().from_items[0]
+        assert catalog.table(table.name) is None
+
+
+class TestSqlShareTemplates:
+    @pytest.mark.parametrize("name", sorted(SQLSHARE_TEMPLATES))
+    def test_template_produces_text(self, name, rng):
+        cat = sqlshare_catalog("user0000", seed=5)
+        statement = SQLSHARE_TEMPLATES[name](rng, cat)
+        assert isinstance(statement, str) and statement
+
+    def test_deep_nested_has_depth(self, rng):
+        from repro.sqlang.features import extract_features
+
+        cat = sqlshare_catalog("user0000", seed=5)
+        features = extract_features(
+            SQLSHARE_TEMPLATES["ss_deep_nested"](rng, cat)
+        )
+        assert features.nestedness_level >= 2
+
+
+class TestGenerateStatement:
+    def test_dispatches_both_registries(self, catalog, rng):
+        assert generate_statement("point_lookup", rng, catalog)
+        cat = sqlshare_catalog("u", seed=1)
+        assert generate_statement("ss_filter", rng, cat)
+
+    def test_unknown_template(self, catalog, rng):
+        with pytest.raises(KeyError):
+            generate_statement("nope", rng, catalog)
+
+    def test_deterministic_given_rng(self, catalog):
+        a = generate_statement(
+            "cone_search", np.random.default_rng(5), catalog
+        )
+        b = generate_statement(
+            "cone_search", np.random.default_rng(5), catalog
+        )
+        assert a == b

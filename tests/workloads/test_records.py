@@ -1,0 +1,56 @@
+"""Workload container tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.records import QueryRecord, Workload
+
+
+def _workload():
+    return Workload(
+        "test",
+        [
+            QueryRecord("q1", error_class="success", answer_size=1.0,
+                        cpu_time=0.5, session_class="bot", user="u1"),
+            QueryRecord("q2", error_class="severe", answer_size=-1.0,
+                        cpu_time=0.0, session_class="browser", user="u2"),
+            QueryRecord("q3", error_class="success", answer_size=9.0,
+                        cpu_time=2.5, session_class="bot", user="u1"),
+        ],
+    )
+
+
+class TestWorkload:
+    def test_len_iter_getitem(self):
+        wl = _workload()
+        assert len(wl) == 3
+        assert [r.statement for r in wl] == ["q1", "q2", "q3"]
+        assert wl[1].statement == "q2"
+
+    def test_statements(self):
+        assert _workload().statements() == ["q1", "q2", "q3"]
+
+    def test_labels_regression_dtype(self):
+        labels = _workload().labels("cpu_time")
+        assert labels.dtype == np.float64
+        assert labels.tolist() == [0.5, 0.0, 2.5]
+
+    def test_labels_classification_dtype(self):
+        labels = _workload().labels("error_class")
+        assert labels.dtype == object
+
+    def test_labels_missing_raise(self):
+        wl = Workload("x", [QueryRecord("q")])
+        with pytest.raises(ValueError):
+            wl.labels("cpu_time")
+
+    def test_filter(self):
+        bots = _workload().filter(lambda r: r.session_class == "bot")
+        assert len(bots) == 2
+
+    def test_subset_preserves_order(self):
+        subset = _workload().subset([2, 0])
+        assert [r.statement for r in subset] == ["q3", "q1"]
+
+    def test_users(self):
+        assert _workload().users() == ["u1", "u2", "u1"]

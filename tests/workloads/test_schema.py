@@ -1,0 +1,106 @@
+"""Catalog tests."""
+
+from repro.workloads.schema import (
+    Catalog,
+    Column,
+    DbFunction,
+    Table,
+    sdss_catalog,
+    sqlshare_catalog,
+)
+
+
+class TestCatalogLookup:
+    def test_table_lookup_case_insensitive(self, catalog):
+        assert catalog.table("photoobj") is not None
+        assert catalog.table("PHOTOOBJ") is not None
+
+    def test_table_lookup_strips_qualification(self, catalog):
+        assert catalog.table("dbo.PhotoObj") is not None
+        assert catalog.table("BestDR7.dbo.PhotoObj") is not None
+
+    def test_unknown_table_is_none(self, catalog):
+        assert catalog.table("NoSuchTable") is None
+
+    def test_function_lookup_by_short_and_dotted_name(self, catalog):
+        assert catalog.function("dbo.fPhotoFlags") is not None
+        assert catalog.function("fPhotoFlags") is not None
+        assert catalog.function("fphotoflags") is not None
+
+
+class TestSdssCatalog:
+    def test_core_row_counts_match_paper(self, catalog):
+        # Section 6.3.3: PhotoObj 794,328,715 rows; SpecObj 4,311,571 rows
+        assert catalog.table("PhotoObj").rows == 794_328_715
+        assert catalog.table("SpecObj").rows == 4_311_571
+
+    def test_breadth_like_real_schema(self, catalog):
+        assert len(catalog.tables) >= 80  # the real schema has 87 tables
+        assert len(catalog.functions) >= 100
+
+    def test_admin_tables_exist(self, catalog):
+        for name in ("Jobs", "Users", "Status", "Servers"):
+            assert catalog.table(name) is not None
+
+    def test_deterministic(self):
+        a = sdss_catalog(seed=7)
+        b = sdss_catalog(seed=7)
+        assert sorted(a.tables) == sorted(b.tables)
+
+    def test_column_kinds(self, catalog):
+        photo = catalog.table("PhotoObj")
+        assert photo.column("objID").kind == "id"
+        assert photo.column("type").kind == "category"
+        assert photo.column("ra").kind == "numeric"
+
+    def test_column_lookup_case_insensitive(self, catalog):
+        photo = catalog.table("PhotoObj")
+        assert photo.column("OBJID") is not None
+        assert photo.column("nothere") is None
+
+
+class TestSqlShareCatalog:
+    def test_per_user_lexicons_differ(self):
+        a = sqlshare_catalog("user0001", seed=11)
+        b = sqlshare_catalog("user0002", seed=12)
+        assert not (set(a.tables) & set(b.tables))
+
+    def test_table_names_embed_user(self):
+        cat = sqlshare_catalog("user0042", seed=5)
+        assert all(name.startswith("user0042_") for name in cat.tables)
+
+    def test_deterministic_per_seed(self):
+        a = sqlshare_catalog("u", seed=3)
+        b = sqlshare_catalog("u", seed=3)
+        assert sorted(a.tables) == sorted(b.tables)
+
+    def test_has_id_column(self):
+        cat = sqlshare_catalog("u", seed=3)
+        for table in cat.table_list():
+            assert table.id_columns()
+
+
+class TestDataclasses:
+    def test_table_helpers(self):
+        table = Table(
+            "T",
+            10,
+            (
+                Column("a", kind="id"),
+                Column("b", kind="numeric"),
+                Column("c", kind="category"),
+            ),
+        )
+        assert [c.name for c in table.id_columns()] == ["a"]
+        assert [c.name for c in table.numeric_columns()] == ["b"]
+        assert [c.name for c in table.category_columns()] == ["c"]
+
+    def test_add_table(self):
+        cat = Catalog("x")
+        cat.add_table(Table("T", 5))
+        assert cat.table("t").rows == 5
+
+    def test_add_function_key(self):
+        cat = Catalog("x")
+        cat.add_function(DbFunction("dbo.fX", 1e-6))
+        assert cat.function("fx") is not None

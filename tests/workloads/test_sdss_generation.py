@@ -1,0 +1,103 @@
+"""SDSS log/workload generation tests: shape fidelity to Section 4."""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.workloads.records import ERROR_CLASSES, SESSION_CLASSES
+from repro.workloads.sdss import generate_sdss_log, generate_sdss_workload
+
+
+class TestLogGeneration:
+    def test_deterministic(self):
+        a = generate_sdss_log(n_sessions=40, seed=3)
+        b = generate_sdss_log(n_sessions=40, seed=3)
+        assert [e.statement for e in a] == [e.statement for e in b]
+        assert [e.cpu_time for e in a] == [e.cpu_time for e in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_sdss_log(n_sessions=40, seed=3)
+        b = generate_sdss_log(n_sessions=40, seed=4)
+        assert [e.statement for e in a] != [e.statement for e in b]
+
+    def test_sessions_contiguous_and_complete(self, sdss_log_small):
+        sessions = {e.session_id for e in sdss_log_small}
+        assert sessions == set(range(300))
+
+    def test_one_class_per_session(self, sdss_log_small):
+        per_session = {}
+        for entry in sdss_log_small:
+            per_session.setdefault(entry.session_id, set()).add(
+                entry.session_class
+            )
+        assert all(len(classes) == 1 for classes in per_session.values())
+
+    def test_valid_label_domains(self, sdss_log_small):
+        for entry in sdss_log_small:
+            assert entry.error_class in ERROR_CLASSES
+            assert entry.session_class in SESSION_CLASSES
+            assert entry.cpu_time >= 0.0
+            assert entry.answer_size >= -1.0
+
+    def test_error_entries_have_sentinel_answer(self, sdss_log_small):
+        for entry in sdss_log_small:
+            if entry.error_class != "success":
+                assert entry.answer_size == -1.0
+
+    def test_statement_replay_across_sessions(self):
+        log = generate_sdss_log(n_sessions=400, seed=9)
+        by_statement = Counter(e.statement for e in log)
+        repeated_across = sum(
+            1
+            for statement, count in by_statement.items()
+            if count > 1
+            and len(
+                {e.session_id for e in log if e.statement == statement}
+            )
+            > 1
+        )
+        assert repeated_across > 0
+
+
+class TestWorkloadExtraction:
+    def test_statements_unique(self, sdss_workload_small):
+        statements = sdss_workload_small.statements()
+        assert len(statements) == len(set(statements))
+
+    def test_all_labels_present(self, sdss_workload_small):
+        for record in sdss_workload_small:
+            assert record.error_class is not None
+            assert record.session_class is not None
+            assert record.answer_size is not None
+            assert record.cpu_time is not None
+
+    def test_error_shares_match_paper_shape(self):
+        """Success dominates (~97%), severe is the rarest (Figure 6a)."""
+        workload = generate_sdss_workload(n_sessions=1500, seed=5)
+        shares = Counter(r.error_class for r in workload)
+        n = len(workload)
+        assert shares["success"] / n > 0.93
+        assert 0.001 < shares["severe"] / n < 0.03
+        assert 0.005 < shares["non_severe"] / n < 0.05
+
+    def test_session_shares_match_paper_shape(self):
+        """no_web_hit is the majority class; bot and browser follow."""
+        workload = generate_sdss_workload(n_sessions=1500, seed=5)
+        shares = Counter(r.session_class for r in workload)
+        ranked = [cls for cls, _ in shares.most_common(3)]
+        assert ranked[0] == "no_web_hit"
+        assert set(ranked[1:]) == {"bot", "browser"}
+
+    def test_labels_heavy_tailed(self, sdss_workload_small):
+        answer = sdss_workload_small.labels("answer_size")
+        ok = answer[answer >= 0]
+        assert np.mean(ok) > 10 * np.median(ok)  # skew (Figure 6c)
+
+    def test_bot_queries_shorter_than_no_web_hit(self):
+        """Figure 8c: human CasJobs queries are longer than bot lookups."""
+        workload = generate_sdss_workload(n_sessions=1500, seed=5)
+        lengths = {"bot": [], "no_web_hit": []}
+        for record in workload:
+            if record.session_class in lengths:
+                lengths[record.session_class].append(len(record.statement))
+        assert np.median(lengths["no_web_hit"]) > np.median(lengths["bot"])

@@ -1,0 +1,57 @@
+"""Session profile tests."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.workloads.querygen import SDSS_TEMPLATES
+from repro.workloads.records import SESSION_CLASSES
+from repro.workloads.sessions import (
+    SDSS_SESSION_PROFILES,
+    sample_session_class,
+)
+
+
+class TestProfiles:
+    def test_all_session_classes_covered(self):
+        names = {p.name for p in SDSS_SESSION_PROFILES}
+        assert names == set(SESSION_CLASSES)
+
+    def test_shares_roughly_sum_to_one(self):
+        total = sum(p.share for p in SDSS_SESSION_PROFILES)
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_templates_exist(self):
+        for profile in SDSS_SESSION_PROFILES:
+            for template in profile.templates:
+                assert template in SDSS_TEMPLATES, (
+                    profile.name,
+                    template,
+                )
+
+    def test_bots_and_admin_sticky(self):
+        by_name = {p.name: p for p in SDSS_SESSION_PROFILES}
+        assert by_name["bot"].sticky
+        assert by_name["admin"].sticky
+        assert not by_name["browser"].sticky
+
+    def test_pick_template_respects_support(self, rng):
+        profile = next(
+            p for p in SDSS_SESSION_PROFILES if p.name == "bot"
+        )
+        picks = {profile.pick_template(rng) for _ in range(100)}
+        assert picks <= set(profile.templates)
+
+    def test_session_length_positive_and_capped(self, rng):
+        for profile in SDSS_SESSION_PROFILES:
+            lengths = [profile.session_length(rng, cap=12) for _ in range(50)]
+            assert all(1 <= length <= 12 for length in lengths)
+
+    def test_sampling_matches_shares(self):
+        rng = np.random.default_rng(5)
+        counts = Counter(
+            sample_session_class(rng).name for _ in range(8000)
+        )
+        assert counts["no_web_hit"] / 8000 == pytest.approx(0.45, abs=0.05)
+        assert counts["bot"] / 8000 == pytest.approx(0.26, abs=0.05)

@@ -1,0 +1,84 @@
+"""SQLShare workload generation tests."""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.sqlang.normalize import word_tokens
+from repro.workloads.sqlshare import generate_sqlshare_workload
+
+
+class TestSqlShareWorkload:
+    def test_deterministic(self):
+        a = generate_sqlshare_workload(n_users=5, seed=3)
+        b = generate_sqlshare_workload(n_users=5, seed=3)
+        assert a.statements() == b.statements()
+
+    def test_only_cpu_time_labels(self, sqlshare_workload_small):
+        for record in sqlshare_workload_small:
+            assert record.cpu_time is not None
+            assert record.error_class is None
+            assert record.session_class is None
+            assert record.answer_size is None
+
+    def test_cpu_time_integer_seconds_before_aggregation(
+        self, sqlshare_workload_small
+    ):
+        # QExecTime is an integer; only duplicate aggregation (mean over
+        # repeated statements) can introduce fractions
+        for record in sqlshare_workload_small:
+            if record.num_duplicates == 1:
+                assert record.cpu_time == int(record.cpu_time)
+        cpu = sqlshare_workload_small.labels("cpu_time")
+        assert (cpu >= 0).all()
+
+    def test_every_record_has_user(self, sqlshare_workload_small):
+        assert all(r.user is not None for r in sqlshare_workload_small)
+
+    def test_user_count(self, sqlshare_workload_small):
+        assert len(set(sqlshare_workload_small.users())) == 18
+
+    def test_statements_reference_own_users_tables(
+        self, sqlshare_workload_small
+    ):
+        hits = 0
+        for record in sqlshare_workload_small:
+            if record.user in record.statement:
+                hits += 1
+        assert hits / len(sqlshare_workload_small) > 0.9
+
+    def test_vocabulary_heterogeneity_across_users(
+        self, sqlshare_workload_small
+    ):
+        """Different users share almost no identifier tokens — the
+        rare-token effect that drives Table 5/7."""
+        sql_keywords = {
+            "select", "from", "where", "group", "by", "top", "join", "on",
+            "and", "or", "as", "avg", "sum", "min", "max", "count",
+            "distinct", "case", "when", "then", "else", "end", "in", "not",
+            "<DIGIT>", "*", ",", "(", ")", "=", "<", ">", ".", "'",
+        }
+        users = sorted(set(sqlshare_workload_small.users()))[:2]
+        vocabularies = []
+        for user in users:
+            tokens = set()
+            for record in sqlshare_workload_small:
+                if record.user == user:
+                    tokens.update(word_tokens(record.statement))
+            vocabularies.append(tokens - sql_keywords)
+        overlap = vocabularies[0] & vocabularies[1]
+        union = vocabularies[0] | vocabularies[1]
+        assert len(overlap) / max(len(union), 1) < 0.35
+
+    def test_cpu_heavy_tail(self, sqlshare_workload_small):
+        cpu = sqlshare_workload_small.labels("cpu_time")
+        assert cpu.max() > 100 * max(np.median(cpu), 1.0)
+
+    def test_queries_per_user_within_range(self):
+        workload = generate_sqlshare_workload(
+            n_users=6, seed=11, queries_per_user=(5, 10)
+        )
+        counts = Counter(workload.users())
+        # duplicates within a user can shrink counts slightly below 5
+        assert all(count <= 10 for count in counts.values())
+        assert all(count >= 3 for count in counts.values())
