@@ -1,0 +1,268 @@
+"""Featurization pipeline benchmark (perf tracked from this PR onward).
+
+Times lex / parse / featurize / encode over synthetic workloads generated
+with :mod:`repro.workloads.querygen` at two repetition levels:
+
+- **repetitive** — ~70% of statements are verbatim repeats, the regime the
+  paper's Figure 20 measures in real SDSS/SQLShare logs;
+- **unique** — every statement distinct (worst case for the cache).
+
+The "before" column is the seed implementation measured on the same
+corpora (same generator, same seeds, n=2000) and stored in
+``baseline_seed.json``; the "after" column is re-measured live. Results
+land in ``BENCH_featurization.json`` at the repo root.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_featurization.py [N]
+
+The pytest smoke mode lives in ``test_featurization_smoke.py`` (small N,
+asserts the cache actually speeds repeated analysis up) so tier-1 catches
+perf regressions without the full benchmark's runtime.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.sqlang.features import extract_features
+from repro.sqlang.lexer import tokenize
+from repro.sqlang.parser import parse_sql
+from repro.sqlang.pipeline import AnalysisPipeline
+from repro.text.encode import SequenceEncoder, pad_sequences
+from repro.text.vocab import build_char_vocab, build_word_vocab
+from repro.workloads.querygen import SDSS_TEMPLATES, generate_statement
+from repro.workloads.schema import sdss_catalog
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_seed.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_featurization.json"
+
+#: Paper-realistic repetition level (Figure 20: most statements recur).
+REPETITION = 0.70
+
+
+def make_corpus(n: int, repetition: float, seed: int = 7) -> list[str]:
+    """~``repetition`` fraction of statements are verbatim repeats.
+
+    Must stay in sync with the generator used for ``baseline_seed.json``
+    (same seeds → same statements → comparable timings).
+    """
+    rng = np.random.default_rng(seed)
+    catalog = sdss_catalog()
+    names = list(SDSS_TEMPLATES)
+    n_unique = max(1, int(round(n * (1.0 - repetition))))
+    unique = [
+        generate_statement(names[int(rng.integers(len(names)))], rng, catalog)
+        for _ in range(n_unique)
+    ]
+    corpus = list(unique)
+    while len(corpus) < n:
+        corpus.append(unique[int(rng.integers(len(unique)))])
+    rng.shuffle(corpus)
+    return corpus
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    out = fn(*args)
+    return time.perf_counter() - start, out
+
+
+def _bench_corpus(corpus: list[str], workers: int | None) -> dict:
+    """Time every stage over one corpus, verifying cache invariance."""
+    t_lex, _ = _timed(lambda: [tokenize(s) for s in corpus])
+    t_parse, _ = _timed(lambda: [parse_sql(s) for s in corpus])
+    t_uncached, uncached = _timed(lambda: [extract_features(s) for s in corpus])
+
+    pipe = AnalysisPipeline(max_size=len(corpus) + 1)
+    t_pipe, analyses = _timed(pipe.analyze_batch, corpus)
+    identical = all(
+        a.features == f for a, f in zip(analyses, uncached)
+    )
+    # repeat pass: everything is a cache hit (the serving steady state)
+    t_warm, _ = _timed(pipe.analyze_batch, corpus)
+
+    out = {
+        "lex_s": round(t_lex, 4),
+        "parse_s": round(t_parse, 4),
+        "featurize_uncached_s": round(t_uncached, 4),
+        "featurize_pipeline_s": round(t_pipe, 4),
+        "featurize_warm_s": round(t_warm, 4),
+        "cache_hit_rate": round(pipe.stats.hit_rate, 4),
+        "distinct_statements": pipe.stats.misses,
+        "invariant_cached_equals_uncached": identical,
+    }
+    if workers and workers > 1:
+        par = AnalysisPipeline(max_size=len(corpus) + 1, workers=workers)
+        t_par, par_analyses = _timed(par.analyze_batch, corpus)
+        out["featurize_pipeline_parallel_s"] = round(t_par, 4)
+        out["parallel_workers"] = workers
+        out["invariant_parallel_equals_uncached"] = all(
+            a.features == f for a, f in zip(par_analyses, uncached)
+        )
+    return out
+
+
+def _bench_encode(corpus: list[str]) -> dict:
+    char_vocab = build_char_vocab(corpus[:500])
+    word_vocab = build_word_vocab(corpus[:500])
+    cenc = SequenceEncoder(char_vocab, "char", max_len=200)
+    wenc = SequenceEncoder(word_vocab, "word", max_len=64)
+    t_char, _ = _timed(cenc.encode_batch, corpus)
+    t_word, _ = _timed(wenc.encode_batch, corpus)
+    seqs = [cenc.encode(s) for s in corpus]
+    t_pad, _ = _timed(lambda: pad_sequences(seqs, max_len=200))
+    return {
+        "char_batch_s": round(t_char, 4),
+        "word_batch_s": round(t_word, 4),
+        "pad_s": round(t_pad, 4),
+    }
+
+
+def _bench_memory(n: int = 1000) -> dict:
+    """Retained bytes of ASTs / token lists for ``n`` distinct statements.
+
+    Comparable to the ``memory`` block of ``baseline_seed.json`` (measured
+    pre-``__slots__``/NamedTuple on the same corpus).
+    """
+    corpus = make_corpus(n, 0.0, seed=11)
+    tracemalloc.start()
+    base, _ = tracemalloc.get_traced_memory()
+    asts = [parse_sql(s) for s in corpus]
+    cur, _ = tracemalloc.get_traced_memory()
+    ast_bytes = cur - base
+    del asts
+    base, _ = tracemalloc.get_traced_memory()
+    tokens = [tokenize(s) for s in corpus]
+    cur, _ = tracemalloc.get_traced_memory()
+    token_bytes = cur - base
+    del tokens
+    tracemalloc.stop()
+    return {
+        "ast_bytes_1000_stmts": ast_bytes,
+        "token_bytes_1000_stmts": token_bytes,
+    }
+
+
+def _ratio(before: float | None, after: float | None) -> float | None:
+    if not before or not after:
+        return None
+    return round(before / after, 2)
+
+
+def run(n: int = 2000, workers: int | None = None) -> dict:
+    """Full benchmark; returns the report dict and writes the JSON."""
+    baseline = (
+        json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
+    )
+    repetitive = make_corpus(n, REPETITION, seed=7)
+    unique = make_corpus(n, 0.0, seed=11)
+
+    after = {
+        "repetitive": _bench_corpus(repetitive, workers),
+        "unique": _bench_corpus(unique, workers),
+        "encode": _bench_encode(repetitive),
+        "memory": _bench_memory(),
+    }
+
+    before_rep = baseline.get("repetitive", {})
+    before_uniq = baseline.get("unique", {})
+    before_enc = baseline.get("encode", {})
+    before_mem = baseline.get("memory", {})
+    speedup = {
+        "featurize_repetitive": _ratio(
+            before_rep.get("featurize_s"),
+            after["repetitive"]["featurize_pipeline_s"],
+        ),
+        "featurize_unique": _ratio(
+            before_uniq.get("featurize_s"),
+            after["unique"]["featurize_pipeline_s"],
+        ),
+        "featurize_warm_repetitive": _ratio(
+            before_rep.get("featurize_s"),
+            after["repetitive"]["featurize_warm_s"],
+        ),
+        "lex_unique": _ratio(
+            before_uniq.get("lex_s"), after["unique"]["lex_s"]
+        ),
+        "parse_unique": _ratio(
+            before_uniq.get("parse_s"), after["unique"]["parse_s"]
+        ),
+        "encode_char": _ratio(
+            before_enc.get("char_batch_s"), after["encode"]["char_batch_s"]
+        ),
+        "encode_word": _ratio(
+            before_enc.get("word_batch_s"), after["encode"]["word_batch_s"]
+        ),
+        "pad": _ratio(before_enc.get("pad_s"), after["encode"]["pad_s"]),
+    }
+    memory_ratio = {
+        "ast_bytes": _ratio(
+            before_mem.get("ast_bytes_1000_stmts"),
+            after["memory"]["ast_bytes_1000_stmts"],
+        ),
+        "token_bytes": _ratio(
+            before_mem.get("token_bytes_1000_stmts"),
+            after["memory"]["token_bytes_1000_stmts"],
+        ),
+    }
+
+    report = {
+        "benchmark": "featurization",
+        "n_statements": n,
+        "repetition_levels": {"repetitive": REPETITION, "unique": 0.0},
+        "baseline": "benchmarks/baseline_seed.json (seed implementation, same corpora)",
+        "before": baseline,
+        "after": after,
+        "speedup_before_over_after": speedup,
+        "memory_reduction_before_over_after": memory_ratio,
+        "targets": {
+            "featurize_repetitive_min": 5.0,
+            "featurize_unique_min": 1.5,
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def run_smoke(n: int = 300) -> dict:
+    """Small-N smoke: cold batch vs warm batch on a repetitive corpus.
+
+    Wall-clock independent of the checked-in baseline; used by the tier-1
+    smoke test to assert the cache still speeds repeated analysis up.
+    """
+    corpus = make_corpus(n, REPETITION, seed=7)
+    pipe = AnalysisPipeline(max_size=n + 1)
+    t_cold, analyses = _timed(pipe.analyze_batch, corpus)
+    t_warm, warm = _timed(pipe.analyze_batch, corpus)
+    sample = corpus[:: max(n // 25, 1)]
+    identical = all(
+        pipe.analyze(s).features == extract_features(s) for s in sample
+    )
+    return {
+        "n": n,
+        "cold_s": t_cold,
+        "warm_s": t_warm,
+        "speedup_cached": t_cold / t_warm if t_warm > 0 else float("inf"),
+        "hit_rate": pipe.stats.hit_rate,
+        "invariant": identical,
+    }
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    workers = os.cpu_count() if "--parallel" in sys.argv else None
+    result = run(size, workers=workers)
+    print(json.dumps(result["speedup_before_over_after"], indent=2))
+    print(json.dumps(result["memory_reduction_before_over_after"], indent=2))
+    for level in ("repetitive", "unique"):
+        ok = result["after"][level]["invariant_cached_equals_uncached"]
+        print(f"{level}: cached == uncached: {ok}")

@@ -1,0 +1,22 @@
+"""Tier-1 smoke for the featurization pipeline (small N, fails fast).
+
+Unlike the table/figure benches this costs well under a second: it runs
+:func:`bench_featurization.run_smoke` on a 300-statement repetitive corpus
+and asserts the analysis cache still (a) speeds up repeated batches and
+(b) returns bit-identical features to the uncached path. The full harness
+(``PYTHONPATH=src python benchmarks/bench_featurization.py``) regenerates
+``BENCH_featurization.json`` with before/after numbers.
+"""
+
+from bench_featurization import run_smoke
+
+from conftest import run_once
+
+
+def test_featurization_cache_smoke(benchmark):
+    result = run_once(benchmark, run_smoke, 300)
+    assert result["invariant"], "cached features diverged from uncached"
+    assert result["hit_rate"] > 0.5, "repetitive corpus should mostly hit"
+    # the warm pass answers from the cache; even on a noisy CI box it must
+    # beat re-analyzing the whole batch
+    assert result["speedup_cached"] > 1.0

@@ -171,10 +171,11 @@ class QueryFacilitator:
         for problem, fitted in self.fitted.items():
             if problem.is_classification:
                 assert fitted.encoder is not None
-                pred = fitted.model.predict(statements)
-                names = fitted.encoder.inverse(pred)
                 if problem is Problem.ERROR_CLASSIFICATION:
+                    # one forward pass: class ids are the argmax of the
+                    # probabilities, so predict() would redo the work
                     probs = fitted.model.predict_proba(statements)
+                    names = fitted.encoder.inverse(probs.argmax(axis=1))
                     for i, result in enumerate(results):
                         result.error_class = str(names[i])
                         result.error_probabilities = {
@@ -182,6 +183,8 @@ class QueryFacilitator:
                             for j, c in enumerate(fitted.encoder.classes_)
                         }
                 else:
+                    pred = fitted.model.predict(statements)
+                    names = fitted.encoder.inverse(pred)
                     for i, result in enumerate(results):
                         result.session_class = str(names[i])
             else:

@@ -15,7 +15,7 @@ from repro.core.problems import Problem
 from repro.evalx.reporting import format_table
 from repro.experiments import runner
 from repro.experiments.config import ExperimentConfig
-from repro.sqlang.features import extract_features
+from repro.sqlang.pipeline import analyze_batch
 
 __all__ = ["Q1", "Q2", "case_study"]
 
@@ -47,8 +47,9 @@ def case_study(config: ExperimentConfig) -> str:
     queries = {"Q1": Q1, "Q2": Q2}
     parts = []
     feature_rows = []
-    for name, statement in queries.items():
-        features = extract_features(statement)
+    analyses = analyze_batch(list(queries.values()))
+    for (name, statement), analysis in zip(queries.items(), analyses):
+        features = analysis.features
         feature_rows.append(
             [
                 name,

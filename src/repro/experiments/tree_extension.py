@@ -24,7 +24,7 @@ from repro.models.base import TaskKind
 from repro.models.cnn_model import TextCNNModel
 from repro.models.lstm_model import TextLSTMModel
 from repro.models.tree_model import TreeLSTMModel
-from repro.sqlang.features import extract_features
+from repro.sqlang.pipeline import get_pipeline
 
 __all__ = ["tree_lstm_experiment"]
 
@@ -42,8 +42,8 @@ def tree_lstm_experiment(config: ExperimentConfig) -> str:
     test_statements = test.statements()
     nested_mask = np.asarray(
         [
-            extract_features(s).nestedness_level > 0
-            for s in test_statements
+            a.features.nestedness_level > 0
+            for a in get_pipeline().analyze_batch(test_statements)
         ]
     )
 

@@ -245,12 +245,12 @@ class MultiTaskTextCNN(Module):
             raise RuntimeError("model must be fitted first")
         self.eval()
         out: list[np.ndarray] = []
-        statements = list(statements)
+        # encode once up front; chunks reuse the id lists
+        encoded = [self.encoder.encode(s) for s in statements]
         step = max(self.hyper.batch_size * 4, 64)
-        for start in range(0, len(statements), step):
-            chunk = statements[start : start + step]
+        for start in range(0, len(encoded), step):
             ids = pad_sequences(
-                [self.encoder.encode(s) for s in chunk],
+                encoded[start : start + step],
                 pad_id=self.encoder.vocab.pad_id,
             )
             out.append(self.shared.forward(ids))

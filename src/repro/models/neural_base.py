@@ -242,11 +242,12 @@ class NeuralTextModel(QueryModel):
             raise RuntimeError("model must be fitted first")
         self.network.eval()
         outputs: list[np.ndarray] = []
-        statements = list(statements)
+        # encode each statement exactly once up front; chunks below reuse
+        # the id lists instead of re-running tokenization per chunk
+        encoded = [self.encoder.encode(s) for s in statements]
         batch = max(self.hyper.batch_size * 4, 64)
-        for start in range(0, len(statements), batch):
-            chunk = statements[start : start + batch]
-            ids = self._pad([self.encoder.encode(s) for s in chunk])
+        for start in range(0, len(encoded), batch):
+            ids = self._pad(encoded[start : start + batch])
             lengths = self._lengths(ids, self.encoder.vocab.pad_id)
             outputs.append(self._forward(ids, lengths))
         if not outputs:
@@ -254,7 +255,7 @@ class NeuralTextModel(QueryModel):
         return np.concatenate(outputs, axis=0)
 
     def predict(self, statements: Sequence[str]) -> np.ndarray:
-        output = self._batched_outputs(statements)
+        output = self._batched_outputs(list(statements))
         if self.task is TaskKind.CLASSIFICATION:
             return output.argmax(axis=1)
         return output[:, 0] * self._target_scale + self._target_center
@@ -262,7 +263,7 @@ class NeuralTextModel(QueryModel):
     def predict_proba(self, statements: Sequence[str]) -> np.ndarray:
         if self.task is not TaskKind.CLASSIFICATION:
             raise NotImplementedError("regression model has no probabilities")
-        return softmax(self._batched_outputs(statements))
+        return softmax(self._batched_outputs(list(statements)))
 
     @property
     def vocab_size(self) -> int:

@@ -31,9 +31,7 @@ class OptimizerCostRegressor(QueryModel):
         self.regression = LeastSquaresRegression()
 
     def _features(self, statements: Sequence[str]) -> np.ndarray:
-        costs = np.asarray(
-            [self.cost_model.estimate_cost(s) for s in statements]
-        )
+        costs = np.asarray(self.cost_model.estimate_batch(statements))
         return np.log1p(np.maximum(costs, 0.0)).reshape(-1, 1)
 
     def fit(self, statements: Sequence[str], labels: np.ndarray):

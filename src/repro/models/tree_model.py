@@ -31,7 +31,8 @@ from repro.nn.module import Module
 from repro.nn.optim import AdaMax, clip_grad_norm
 from repro.nn.tree_lstm import ChildSumTreeLSTM, EncodedTree
 from repro.sqlang import ast_nodes as ast
-from repro.sqlang.parser import parse_sql
+from repro.sqlang.parser import ParseResult
+from repro.sqlang.pipeline import analyze_batch, parse_cached
 from repro.text.vocab import Vocabulary
 
 __all__ = ["TreeLSTMModel", "node_symbol", "encode_tree"]
@@ -108,14 +109,19 @@ def _flatten_post_order(root: ast.Node, max_nodes: int) -> tuple[list[ast.Node],
 
 
 def encode_tree(
-    statement: str, vocab: Vocabulary | None = None, max_nodes: int = 200
+    statement: str,
+    vocab: Vocabulary | None = None,
+    max_nodes: int = 200,
+    parsed: ParseResult | None = None,
 ) -> tuple[EncodedTree, list[str]]:
     """Parse ``statement`` and flatten its AST to an :class:`EncodedTree`.
 
     Returns the encoded tree plus the symbol list (for vocabulary
     construction). Without a vocabulary, ``symbol_ids`` are all zero.
+    Parsing goes through the shared analysis pipeline unless a
+    pre-computed ``parsed`` result is supplied.
     """
-    result = parse_sql(statement)
+    result = parsed if parsed is not None else parse_cached(statement)
     if result.statements:
         root: ast.Node = result.statements[0]
     else:
@@ -125,7 +131,7 @@ def encode_tree(
     if vocab is None:
         ids = np.zeros(len(nodes), dtype=np.int64)
     else:
-        ids = np.asarray(vocab.encode(symbols), dtype=np.int64)
+        ids = vocab.encode_array(symbols)
     return EncodedTree(symbol_ids=ids, children=children), symbols
 
 
@@ -232,16 +238,16 @@ class TreeLSTMModel(QueryModel):
 
         counts: Counter[str] = Counter()
         parsed: list[tuple[EncodedTree, list[str]]] = []
-        for statement in statements:
-            tree, symbols = encode_tree(statement, max_nodes=self.max_nodes)
+        for statement, analysis in zip(statements, analyze_batch(statements)):
+            tree, symbols = encode_tree(
+                statement, max_nodes=self.max_nodes, parsed=analysis.parsed
+            )
             parsed.append((tree, symbols))
             counts.update(symbols)
         self.vocab = Vocabulary.from_counts(counts, max_size=self.max_vocab)
         trees: list[EncodedTree] = []
         for tree, symbols in parsed:
-            tree.symbol_ids = np.asarray(
-                self.vocab.encode(symbols), dtype=np.int64
-            )
+            tree.symbol_ids = self.vocab.encode_array(symbols)
             trees.append(tree)
 
         if self.task is TaskKind.CLASSIFICATION:
@@ -302,9 +308,13 @@ class TreeLSTMModel(QueryModel):
             raise RuntimeError("TreeLSTMModel must be fitted first")
         self.network.eval()
         outputs = np.zeros((len(statements), self.out_dim))
+        analyses = analyze_batch(statements)
         for row, statement in enumerate(statements):
             tree, symbols = encode_tree(
-                statement, vocab=self.vocab, max_nodes=self.max_nodes
+                statement,
+                vocab=self.vocab,
+                max_nodes=self.max_nodes,
+                parsed=analyses[row].parsed,
             )
             outputs[row] = self.network.forward(tree)
         return outputs

@@ -9,9 +9,11 @@ workloads; this model reproduces the failure mode by construction.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.optimizer.cardinality import NaiveCardinalityEstimator
 from repro.sqlang import ast_nodes as ast
-from repro.sqlang.parser import parse_sql
+from repro.sqlang.pipeline import analyze_batch, parse_cached
 from repro.workloads.schema import Catalog
 
 __all__ = ["OptimizerCostModel"]
@@ -30,12 +32,27 @@ class OptimizerCostModel:
         self.cardinality = NaiveCardinalityEstimator(catalog)
 
     def estimate_cost(self, statement: str) -> float:
-        """Cost estimate for a raw statement; 0.0 for unparseable input."""
-        parsed = parse_sql(statement)
+        """Cost estimate for a raw statement; 0.0 for unparseable input.
+
+        Parsing goes through the shared analysis pipeline, so repeated
+        estimates of the same statement (or of statements another layer
+        already analyzed) skip the parse entirely.
+        """
+        parsed = parse_cached(statement)
         query = parsed.first_query()
         if query is None:
             return 0.0
         return self._query_cost(query, depth=0)
+
+    def estimate_batch(self, statements: Sequence[str]) -> list[float]:
+        """Cost estimates for many statements, parsing each distinct one once."""
+        costs = []
+        for analysis in analyze_batch(statements):
+            query = analysis.parsed.first_query()
+            costs.append(
+                0.0 if query is None else self._query_cost(query, depth=0)
+            )
+        return costs
 
     def _query_cost(self, query: ast.SelectQuery, depth: int) -> float:
         if depth > 8:

@@ -15,6 +15,14 @@ from repro.sqlang.normalize import (
     normalize_statement,
     word_tokens,
 )
+from repro.sqlang.pipeline import (
+    AnalysisPipeline,
+    StatementAnalysis,
+    analyze,
+    analyze_batch,
+    feature_matrix,
+    get_pipeline,
+)
 
 __all__ = [
     "Token",
@@ -27,4 +35,10 @@ __all__ = [
     "char_tokens",
     "word_tokens",
     "normalize_statement",
+    "AnalysisPipeline",
+    "StatementAnalysis",
+    "analyze",
+    "analyze_batch",
+    "feature_matrix",
+    "get_pipeline",
 ]

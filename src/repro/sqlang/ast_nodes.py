@@ -7,6 +7,10 @@ expressions, function calls, and subqueries.
 
 All nodes expose ``children()`` so generic tree walks (:func:`walk`) can
 compute depths and counts without per-node visitors.
+
+Nodes are ``slots=True`` dataclasses: workload-scale parsing materializes
+millions of nodes and per-instance ``__dict__`` roughly doubles their
+memory footprint (measured in ``benchmarks/bench_featurization.py``).
 """
 
 from __future__ import annotations
@@ -43,6 +47,8 @@ __all__ = [
 class Node:
     """Base class for all AST nodes."""
 
+    __slots__ = ()
+
     def children(self) -> Iterable["Node"]:
         """Child nodes, in source order. Default: no children."""
         return ()
@@ -51,8 +57,10 @@ class Node:
 class Expr(Node):
     """Base class for expression nodes."""
 
+    __slots__ = ()
 
-@dataclass
+
+@dataclass(slots=True)
 class Literal(Expr):
     """A literal constant: number or string."""
 
@@ -60,14 +68,14 @@ class Literal(Expr):
     is_number: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Star(Expr):
     """The ``*`` select item (optionally qualified: ``t.*``)."""
 
     table: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ColumnRef(Expr):
     """A (possibly qualified) column reference like ``p.objid``."""
 
@@ -80,14 +88,14 @@ class ColumnRef(Expr):
         return f"{self.table}.{self.name}" if self.table else self.name
 
 
-@dataclass
+@dataclass(slots=True)
 class VarRef(Expr):
     """A T-SQL ``@variable`` reference."""
 
     name: str
 
 
-@dataclass
+@dataclass(slots=True)
 class UnaryOp(Expr):
     """Unary operator application (``NOT x``, ``-x``)."""
 
@@ -98,7 +106,7 @@ class UnaryOp(Expr):
         return (self.operand,)
 
 
-@dataclass
+@dataclass(slots=True)
 class BinaryOp(Expr):
     """Binary operator application (arithmetic, comparison, AND/OR, LIKE)."""
 
@@ -110,7 +118,7 @@ class BinaryOp(Expr):
         return (self.left, self.right)
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionCall(Expr):
     """Function invocation, e.g. ``dbo.fPhotoFlags('BLENDED')``.
 
@@ -126,7 +134,7 @@ class FunctionCall(Expr):
         return tuple(self.args)
 
 
-@dataclass
+@dataclass(slots=True)
 class CaseExpr(Expr):
     """``CASE WHEN .. THEN .. ELSE .. END`` expression."""
 
@@ -143,7 +151,7 @@ class CaseExpr(Expr):
         return tuple(out)
 
 
-@dataclass
+@dataclass(slots=True)
 class InList(Expr):
     """``expr [NOT] IN (item, item, ...)`` — items may include a subquery."""
 
@@ -155,7 +163,7 @@ class InList(Expr):
         return (self.operand, *self.items)
 
 
-@dataclass
+@dataclass(slots=True)
 class Between(Expr):
     """``expr [NOT] BETWEEN low AND high``."""
 
@@ -168,7 +176,7 @@ class Between(Expr):
         return (self.operand, self.low, self.high)
 
 
-@dataclass
+@dataclass(slots=True)
 class Subquery(Expr):
     """A parenthesised ``SELECT`` used as an expression."""
 
@@ -178,7 +186,7 @@ class Subquery(Expr):
         return (self.query,)
 
 
-@dataclass
+@dataclass(slots=True)
 class SelectItem(Node):
     """One item of a select list: expression plus optional alias."""
 
@@ -189,7 +197,7 @@ class SelectItem(Node):
         return (self.expr,)
 
 
-@dataclass
+@dataclass(slots=True)
 class TableRef(Node):
     """Base table reference in FROM, with optional alias.
 
@@ -205,7 +213,7 @@ class TableRef(Node):
         return self.name.rsplit(".", 1)[-1]
 
 
-@dataclass
+@dataclass(slots=True)
 class SubquerySource(Node):
     """A derived table: ``(SELECT ...) alias`` in FROM."""
 
@@ -220,7 +228,7 @@ class SubquerySource(Node):
 FromItem = "TableRef | SubquerySource | Join"
 
 
-@dataclass
+@dataclass(slots=True)
 class Join(Node):
     """Explicit join between two FROM sources.
 
@@ -240,7 +248,7 @@ class Join(Node):
         return tuple(out)
 
 
-@dataclass
+@dataclass(slots=True)
 class OrderItem(Node):
     """One ORDER BY item."""
 
@@ -251,7 +259,7 @@ class OrderItem(Node):
         return (self.expr,)
 
 
-@dataclass
+@dataclass(slots=True)
 class SelectQuery(Node):
     """A single SELECT query block."""
 
@@ -278,7 +286,7 @@ class SelectQuery(Node):
         return tuple(out)
 
 
-@dataclass
+@dataclass(slots=True)
 class Statement(Node):
     """A top-level statement.
 

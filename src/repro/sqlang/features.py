@@ -29,7 +29,7 @@ from repro.sqlang.parser import ParseResult, parse_sql
 __all__ = ["StructuralFeatures", "extract_features", "FEATURE_NAMES"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StructuralFeatures:
     """The ten syntactic properties of one query statement."""
 

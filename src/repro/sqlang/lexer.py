@@ -4,13 +4,17 @@ Splits an arbitrary string into SQL tokens. The lexer is *total*: any input,
 including random natural-language text found in real workloads, produces a
 token stream without raising. Unrecognised bytes become ``TokenKind.JUNK``
 tokens so downstream consumers can count or skip them.
+
+The scan is a single compiled master regex (one alternative per token
+class, tried in priority order) rather than a character-by-character
+Python loop, so the per-character work happens inside the regex engine.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Iterator
+import re
+from typing import NamedTuple
 
 __all__ = ["TokenKind", "Token", "tokenize", "KEYWORDS", "FUNCTION_KEYWORDS"]
 
@@ -64,9 +68,13 @@ _TWO_CHAR_OPERATORS = frozenset(
 )
 
 
-@dataclass(frozen=True)
-class Token:
+class Token(NamedTuple):
     """A single lexical token.
+
+    A NamedTuple rather than a dataclass: token construction sits on the
+    lexer's hot path and tuples are both faster to build and smaller than
+    ``__slots__`` instances. Instances stay immutable (frozen) like the
+    original dataclass.
 
     Attributes:
         kind: Lexical category.
@@ -84,149 +92,46 @@ class Token:
         return self.text.upper()
 
 
-def _is_ident_start(ch: str) -> bool:
-    return ch.isalpha() or ch in "_#"
+# Master scanner. Alternatives are ordered so longer / more specific
+# constructs win at the same start position (comments before operators,
+# hex before decimal, two-char operators before one-char). Unterminated
+# strings, brackets and block comments consume the rest of the input —
+# the lexer is tolerant, not strict.
+_MASTER_RE = re.compile(
+    r"""
+      (?P<WS>\s+)
+    | (?P<COMMENT>--[^\n]*|/\*(?s:.)*?(?:\*/|\Z))
+    | (?P<STRING>'(?:''|[^'])*'?|"(?:""|[^"])*"?)
+    | (?P<BRACKET>\[[^\]]*(?:\]|\Z))
+    | (?P<NUMBER>0[xX][0-9a-fA-F]*|\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+    | (?P<VARIABLE>@[\w\#$]*)
+    | (?P<IDENT>(?:[^\W\d]|\#)[\w\#$]*)
+    | (?P<COMMA>,)
+    | (?P<DOT>\.)
+    | (?P<LPAREN>\()
+    | (?P<RPAREN>\))
+    | (?P<SEMICOLON>;)
+    | (?P<OPERATOR><=|>=|<>|!=|!<|!>|\|\||&&|\*\*|[+\-*/%=<>!&|^~])
+    | (?P<JUNK>(?s:.))
+    """,
+    re.VERBOSE,
+)
 
-
-def _is_ident_char(ch: str) -> bool:
-    return ch.isalnum() or ch in "_#$"
-
-
-def _scan_line_comment(text: str, i: int) -> int:
-    end = text.find("\n", i)
-    return len(text) if end < 0 else end
-
-
-def _scan_block_comment(text: str, i: int) -> int:
-    end = text.find("*/", i + 2)
-    return len(text) if end < 0 else end + 2
-
-
-def _scan_string(text: str, i: int, quote: str) -> int:
-    """Scan a quoted string starting at ``i``; handles doubled quotes."""
-    j = i + 1
-    n = len(text)
-    while j < n:
-        if text[j] == quote:
-            if j + 1 < n and text[j + 1] == quote:  # escaped '' or ""
-                j += 2
-                continue
-            return j + 1
-        j += 1
-    return n  # unterminated string: consume the rest (tolerant)
-
-
-def _scan_number(text: str, i: int) -> int:
-    """Scan a numeric literal (int, float, scientific, 0x hex)."""
-    n = len(text)
-    j = i
-    if text[j] == "0" and j + 1 < n and text[j + 1] in "xX":
-        j += 2
-        while j < n and (text[j] in "0123456789abcdefABCDEF"):
-            j += 1
-        return j
-    while j < n and text[j].isdigit():
-        j += 1
-    if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
-        j += 1
-        while j < n and text[j].isdigit():
-            j += 1
-    if j < n and text[j] in "eE":
-        k = j + 1
-        if k < n and text[k] in "+-":
-            k += 1
-        if k < n and text[k].isdigit():
-            j = k
-            while j < n and text[j].isdigit():
-                j += 1
-    return j
-
-
-def _iter_tokens(text: str) -> Iterator[Token]:
-    i = 0
-    n = len(text)
-    while i < n:
-        ch = text[i]
-        if ch.isspace():
-            i += 1
-            continue
-        if ch == "-" and text[i : i + 2] == "--":
-            end = _scan_line_comment(text, i)
-            yield Token(TokenKind.COMMENT, text[i:end], i)
-            i = end
-            continue
-        if ch == "/" and text[i : i + 2] == "/*":
-            end = _scan_block_comment(text, i)
-            yield Token(TokenKind.COMMENT, text[i:end], i)
-            i = end
-            continue
-        if ch in "'\"":
-            end = _scan_string(text, i, ch)
-            yield Token(TokenKind.STRING, text[i:end], i)
-            i = end
-            continue
-        if ch == "[":  # T-SQL bracketed identifier
-            end = text.find("]", i + 1)
-            end = n if end < 0 else end + 1
-            yield Token(TokenKind.IDENTIFIER, text[i:end], i)
-            i = end
-            continue
-        if ch.isdigit():
-            end = _scan_number(text, i)
-            yield Token(TokenKind.NUMBER, text[i:end], i)
-            i = end
-            continue
-        if ch == "@":
-            j = i + 1
-            while j < n and _is_ident_char(text[j]):
-                j += 1
-            yield Token(TokenKind.VARIABLE, text[i:j], i)
-            i = j
-            continue
-        if _is_ident_start(ch):
-            j = i + 1
-            while j < n and _is_ident_char(text[j]):
-                j += 1
-            word = text[i:j]
-            kind = (
-                TokenKind.KEYWORD
-                if word.upper() in KEYWORDS
-                else TokenKind.IDENTIFIER
-            )
-            yield Token(kind, word, i)
-            i = j
-            continue
-        if ch == ",":
-            yield Token(TokenKind.COMMA, ch, i)
-            i += 1
-            continue
-        if ch == ".":
-            yield Token(TokenKind.DOT, ch, i)
-            i += 1
-            continue
-        if ch == "(":
-            yield Token(TokenKind.LPAREN, ch, i)
-            i += 1
-            continue
-        if ch == ")":
-            yield Token(TokenKind.RPAREN, ch, i)
-            i += 1
-            continue
-        if ch == ";":
-            yield Token(TokenKind.SEMICOLON, ch, i)
-            i += 1
-            continue
-        if ch in _OPERATOR_CHARS:
-            two = text[i : i + 2]
-            if two in _TWO_CHAR_OPERATORS:
-                yield Token(TokenKind.OPERATOR, two, i)
-                i += 2
-            else:
-                yield Token(TokenKind.OPERATOR, ch, i)
-                i += 1
-            continue
-        yield Token(TokenKind.JUNK, ch, i)
-        i += 1
+#: lastgroup → TokenKind for the groups that map one-to-one.
+_GROUP_KINDS = {
+    "COMMENT": TokenKind.COMMENT,
+    "STRING": TokenKind.STRING,
+    "BRACKET": TokenKind.IDENTIFIER,
+    "NUMBER": TokenKind.NUMBER,
+    "VARIABLE": TokenKind.VARIABLE,
+    "COMMA": TokenKind.COMMA,
+    "DOT": TokenKind.DOT,
+    "LPAREN": TokenKind.LPAREN,
+    "RPAREN": TokenKind.RPAREN,
+    "SEMICOLON": TokenKind.SEMICOLON,
+    "OPERATOR": TokenKind.OPERATOR,
+    "JUNK": TokenKind.JUNK,
+}
 
 
 def tokenize(text: str, include_comments: bool = False) -> list[Token]:
@@ -241,7 +146,23 @@ def tokenize(text: str, include_comments: bool = False) -> list[Token]:
     Returns:
         List of tokens, without a trailing EOF marker.
     """
-    tokens = list(_iter_tokens(text))
-    if not include_comments:
-        tokens = [t for t in tokens if t.kind is not TokenKind.COMMENT]
+    tokens: list[Token] = []
+    append = tokens.append
+    group_kinds = _GROUP_KINDS
+    keyword = TokenKind.KEYWORD
+    identifier = TokenKind.IDENTIFIER
+    comment = TokenKind.COMMENT
+    for match in _MASTER_RE.finditer(text):
+        group = match.lastgroup
+        if group == "WS":
+            continue
+        if group == "IDENT":
+            word = match.group()
+            kind = keyword if word.upper() in KEYWORDS else identifier
+            append(Token(kind, word, match.start()))
+            continue
+        kind = group_kinds[group]
+        if kind is comment and not include_comments:
+            continue
+        append(Token(kind, match.group(), match.start()))
     return tokens

@@ -200,7 +200,7 @@ class _Parser:
                 and next_tok.upper != verb
             ):
                 # combination statements like DELETE|UPDATE|INSERT batches
-                verb = f"{verb}|{next_tok.upper()}"
+                verb = f"{verb}|{next_tok.upper}"
             self.advance()
         return ast.Statement(verb, body=body)
 

@@ -1,0 +1,325 @@
+"""Shared, cached, batch-first statement analysis pipeline.
+
+Real SQL workloads are massively repetitive — the paper's Figure 20 shows
+most SDSS/SQLShare statements recur within and across sessions — yet lexing,
+parsing and featurizing a statement are pure functions of its text. This
+module runs that work **once per distinct statement** and shares the result
+across every consumer (feature extraction, the execution simulator, the
+optimizer cost model, workload compression, structural analysis, the tree
+model, and the experiment drivers).
+
+Three layers:
+
+- :func:`analyze_statement` — the pure, uncached unit of work
+  (lex → parse → features) producing a :class:`StatementAnalysis`;
+- :class:`AnalysisPipeline` — a thread-safe bounded LRU over statement
+  digests with hit/miss/eviction accounting, batch entry points, and
+  optional multiprocessing fan-out for workload-scale batches of distinct
+  statements;
+- a module-level default pipeline (:func:`get_pipeline`,
+  :func:`analyze`, :func:`analyze_batch`, :func:`parse_cached`,
+  :func:`features_cached`, :func:`feature_matrix`) that call sites share so
+  no layer parses the same statement twice.
+
+Results are cached by the blake2b digest of the **exact** statement text:
+the ten structural features include character counts, so two statements
+differing only in whitespace are distinct analyses. Cached and uncached
+results are bit-identical by construction — the cache stores the object
+the uncached path would have returned.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from collections.abc import Sequence
+from dataclasses import dataclass
+from hashlib import blake2b
+
+import numpy as np
+
+from repro.sqlang.features import (
+    FEATURE_NAMES,
+    StructuralFeatures,
+    extract_features,
+)
+from repro.sqlang.normalize import normalize_statement
+from repro.sqlang.parser import ParseResult, parse_sql
+
+__all__ = [
+    "StatementAnalysis",
+    "AnalysisPipeline",
+    "PipelineStats",
+    "analyze_statement",
+    "get_pipeline",
+    "set_pipeline",
+    "analyze",
+    "analyze_batch",
+    "parse_cached",
+    "features_cached",
+    "feature_matrix",
+]
+
+#: Default bound on the number of distinct statements kept in the cache.
+DEFAULT_MAX_SIZE = 8192
+
+#: Minimum number of distinct uncached statements before a batch is worth
+#: fanning out to worker processes (fork + pickle overhead otherwise wins).
+PARALLEL_THRESHOLD = 512
+
+
+def statement_digest(statement: str) -> bytes:
+    """Stable 16-byte digest of the exact statement text."""
+    return blake2b(statement.encode("utf-8", "surrogatepass"), digest_size=16).digest()
+
+
+@dataclass(frozen=True, slots=True)
+class StatementAnalysis:
+    """Everything the library derives from one statement's text.
+
+    Attributes:
+        statement: The exact input text.
+        normalized: Whitespace-collapsed form (for dedup/display).
+        digest: blake2b-128 digest of ``statement`` (the cache key).
+        parsed: Tolerant parse result (never ``None``; may be empty).
+        features: The ten Section 4.3.1 structural properties.
+    """
+
+    statement: str
+    normalized: str
+    digest: bytes
+    parsed: ParseResult
+    features: StructuralFeatures
+
+    def feature_vector(self) -> list[float]:
+        """Numeric feature vector in declaration order."""
+        return self.features.as_vector()
+
+
+def analyze_statement(statement: str) -> StatementAnalysis:
+    """The uncached unit of work: lex → parse → features, exactly once."""
+    parsed = parse_sql(statement)
+    features = extract_features(statement, parsed=parsed)
+    return StatementAnalysis(
+        statement=statement,
+        normalized=normalize_statement(statement),
+        digest=statement_digest(statement),
+        parsed=parsed,
+        features=features,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineStats:
+    """Cache accounting snapshot."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    max_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class AnalysisPipeline:
+    """Bounded, thread-safe LRU cache over :func:`analyze_statement`.
+
+    Args:
+        max_size: Number of distinct statements to retain (least recently
+            used evicted first). Must be positive.
+        workers: Default process count for batch fan-out. ``None`` or ``0``
+            analyzes serially; batches below :data:`PARALLEL_THRESHOLD`
+            distinct misses are always serial regardless.
+    """
+
+    def __init__(self, max_size: int = DEFAULT_MAX_SIZE, workers: int | None = None):
+        if max_size <= 0:
+            raise ValueError(f"max_size must be positive, got {max_size}")
+        self.max_size = max_size
+        self.workers = workers
+        self._cache: OrderedDict[bytes, StatementAnalysis] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- single statement --------------------------------------------------- #
+
+    def analyze(self, statement: str) -> StatementAnalysis:
+        """Cached analysis of one statement."""
+        key = statement_digest(statement)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return cached
+            self._misses += 1
+        analysis = analyze_statement(statement)
+        self._insert(key, analysis)
+        return analysis
+
+    def parse(self, statement: str) -> ParseResult:
+        """Cached parse result for one statement."""
+        return self.analyze(statement).parsed
+
+    def features(self, statement: str) -> StructuralFeatures:
+        """Cached structural features for one statement."""
+        return self.analyze(statement).features
+
+    # -- batches ------------------------------------------------------------ #
+
+    def analyze_batch(
+        self, statements: Sequence[str], workers: int | None = None
+    ) -> list[StatementAnalysis]:
+        """Analyze many statements, computing each distinct one once.
+
+        Duplicates inside the batch are collapsed before any work happens,
+        then results are fanned back out in input order. When the number of
+        distinct uncached statements reaches :data:`PARALLEL_THRESHOLD` and
+        ``workers`` (argument or constructor default) requests parallelism,
+        the misses are analyzed in a process pool.
+        """
+        statements = list(statements)
+        digests = [statement_digest(s) for s in statements]
+        results: dict[bytes, StatementAnalysis] = {}
+        miss_text: dict[bytes, str] = {}
+        with self._lock:
+            for key, text in zip(digests, statements):
+                if key in results or key in miss_text:
+                    # repeat occurrence inside this batch: served without
+                    # recomputation, so it counts as a hit
+                    self._hits += 1
+                    continue
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    results[key] = cached
+                else:
+                    self._misses += 1
+                    miss_text[key] = text
+        if miss_text:
+            computed = self._analyze_misses(
+                list(miss_text.values()),
+                workers if workers is not None else self.workers,
+            )
+            for analysis in computed:
+                results[analysis.digest] = analysis
+                self._insert(analysis.digest, analysis)
+        return [results[key] for key in digests]
+
+    def feature_matrix(self, statements: Sequence[str]) -> np.ndarray:
+        """``(n_statements, 10)`` float64 matrix of structural features."""
+        analyses = self.analyze_batch(statements)
+        if not analyses:
+            return np.zeros((0, len(FEATURE_NAMES)), dtype=np.float64)
+        return np.asarray(
+            [a.features.as_vector() for a in analyses], dtype=np.float64
+        )
+
+    # -- accounting ---------------------------------------------------------- #
+
+    @property
+    def stats(self) -> PipelineStats:
+        with self._lock:
+            return PipelineStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._cache),
+                max_size=self.max_size,
+            )
+
+    def clear(self) -> None:
+        """Drop all cached analyses and reset the counters."""
+        with self._lock:
+            self._cache.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    # -- internals ----------------------------------------------------------- #
+
+    def _insert(self, key: bytes, analysis: StatementAnalysis) -> None:
+        with self._lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                return
+            self._cache[key] = analysis
+            while len(self._cache) > self.max_size:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+
+    @staticmethod
+    def _analyze_misses(
+        texts: list[str], workers: int | None
+    ) -> list[StatementAnalysis]:
+        if (
+            workers
+            and workers > 1
+            and len(texts) >= PARALLEL_THRESHOLD
+            and os.cpu_count() not in (None, 1)
+        ):
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(
+                        pool.map(
+                            analyze_statement,
+                            texts,
+                            chunksize=max(len(texts) // (workers * 4), 16),
+                        )
+                    )
+            except Exception:  # pool unavailable (sandbox): fall back serial
+                pass
+        return [analyze_statement(text) for text in texts]
+
+
+# -- module-level default pipeline ------------------------------------------- #
+
+_default_pipeline = AnalysisPipeline()
+
+
+def get_pipeline() -> AnalysisPipeline:
+    """The process-wide shared pipeline every call site uses by default."""
+    return _default_pipeline
+
+
+def set_pipeline(pipeline: AnalysisPipeline) -> AnalysisPipeline:
+    """Swap the shared pipeline (tests, custom sizing); returns the old one."""
+    global _default_pipeline
+    previous = _default_pipeline
+    _default_pipeline = pipeline
+    return previous
+
+
+def analyze(statement: str) -> StatementAnalysis:
+    """Cached analysis of one statement via the shared pipeline."""
+    return _default_pipeline.analyze(statement)
+
+
+def analyze_batch(
+    statements: Sequence[str], workers: int | None = None
+) -> list[StatementAnalysis]:
+    """Batch analysis via the shared pipeline."""
+    return _default_pipeline.analyze_batch(statements, workers=workers)
+
+
+def parse_cached(statement: str) -> ParseResult:
+    """Cached :func:`repro.sqlang.parser.parse_sql` via the shared pipeline."""
+    return _default_pipeline.analyze(statement).parsed
+
+
+def features_cached(statement: str) -> StructuralFeatures:
+    """Cached :func:`repro.sqlang.features.extract_features` equivalent."""
+    return _default_pipeline.analyze(statement).features
+
+
+def feature_matrix(statements: Sequence[str]) -> np.ndarray:
+    """Structural feature matrix via the shared pipeline."""
+    return _default_pipeline.feature_matrix(statements)

@@ -8,6 +8,7 @@ pad with the PAD id so a batch forms one ``(batch, time)`` array.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from itertools import chain, islice
 
 import numpy as np
 
@@ -24,6 +25,11 @@ def pad_sequences(
 ) -> np.ndarray:
     """Right-pad integer sequences into a dense ``(batch, time)`` array.
 
+    Vectorized: lengths come from one ``fromiter`` pass, truncation happens
+    lazily via ``islice`` (no intermediate truncated-list copies), and the
+    values land in the output through a single flat scatter instead of a
+    per-token Python loop.
+
     Args:
         sequences: Variable-length id sequences.
         pad_id: Fill value.
@@ -34,14 +40,29 @@ def pad_sequences(
         ``int64`` array of shape ``(len(sequences), width)``; width ≥ 1 even
         for an all-empty batch so downstream models see a valid time axis.
     """
+    sequences = (
+        sequences if isinstance(sequences, (list, tuple)) else list(sequences)
+    )
+    n = len(sequences)
+    lengths = np.fromiter((len(s) for s in sequences), dtype=np.int64, count=n)
     if max_len is not None:
-        sequences = [seq[:max_len] for seq in sequences]
-    width = max((len(s) for s in sequences), default=0)
-    width = max(width, 1)
-    out = np.full((len(sequences), width), pad_id, dtype=np.int64)
-    for row, seq in enumerate(sequences):
-        if seq:
-            out[row, : len(seq)] = seq
+        np.minimum(lengths, max_len, out=lengths)
+    width = int(lengths.max()) if n else 0
+    out = np.full((n, max(width, 1)), pad_id, dtype=np.int64)
+    total = int(lengths.sum())
+    if total:
+        flat = np.fromiter(
+            chain.from_iterable(
+                islice(seq, length) if length < len(seq) else seq
+                for seq, length in zip(sequences, lengths.tolist())
+            ),
+            dtype=np.int64,
+            count=total,
+        )
+        starts = np.cumsum(lengths) - lengths
+        rows = np.repeat(np.arange(n, dtype=np.int64), lengths)
+        cols = np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+        out[rows, cols] = flat
     return out
 
 
@@ -73,9 +94,14 @@ class SequenceEncoder:
         return self.vocab.encode(self.tokens(statement))
 
     def encode_batch(self, statements: Sequence[str]) -> np.ndarray:
-        """Padded ``(batch, time)`` id matrix for a list of statements."""
+        """Padded ``(batch, time)`` id matrix for a list of statements.
+
+        Tokenization and vocabulary lookup happen once per statement; the
+        padded matrix is filled by :func:`pad_sequences`' flat scatter, so
+        no per-token Python loop runs over the batch twice.
+        """
         return pad_sequences(
-            [self.encode(s) for s in statements],
+            [self.vocab.encode(self.tokens(s)) for s in statements],
             pad_id=self.vocab.pad_id,
             max_len=self.max_len,
         )

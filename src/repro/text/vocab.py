@@ -10,6 +10,8 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.sqlang.normalize import char_tokens, word_tokens
 
 __all__ = [
@@ -70,6 +72,20 @@ class Vocabulary:
         index = self._index
         unk = self.unk_id
         return [index.get(tok, unk) for tok in tokens]
+
+    def encode_array(self, tokens: Sequence[str]) -> "np.ndarray":
+        """Map a token sequence straight to an ``int64`` NumPy array.
+
+        Skips the intermediate Python list of :meth:`encode` — the ids are
+        produced by a single C-level ``fromiter`` pass.
+        """
+        index = self._index
+        unk = self.unk_id
+        return np.fromiter(
+            (index.get(tok, unk) for tok in tokens),
+            dtype=np.int64,
+            count=len(tokens),
+        )
 
     def decode(self, ids: Iterable[int]) -> list[str]:
         """Map ids back to tokens (PAD ids are kept; slice them off first

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.sqlang.features import extract_features
+from repro.sqlang.pipeline import get_pipeline
 from repro.workloads.records import QueryRecord, Workload
 
 __all__ = [
@@ -83,13 +83,8 @@ def structural_feature_matrix(workload: Workload) -> np.ndarray:
     Constant features normalize to zero so they do not contribute to
     distances.
     """
-    rows = [
-        extract_features(record.statement).as_vector() for record in workload
-    ]
-    matrix = (
-        np.asarray(rows, dtype=np.float64)
-        if rows
-        else np.zeros((0, 10), dtype=np.float64)
+    matrix = get_pipeline().feature_matrix(
+        [record.statement for record in workload]
     )
     if matrix.shape[0] == 0:
         return matrix

@@ -25,8 +25,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from collections.abc import Sequence
+
 from repro.sqlang import ast_nodes as ast
-from repro.sqlang.parser import ParseResult, parse_sql
+from repro.sqlang.parser import ParseResult
+from repro.sqlang.pipeline import analyze_batch, parse_cached
 from repro.workloads.schema import Catalog, Table
 
 __all__ = ["ExecutionOutcome", "SimulatedDatabase", "CostParameters"]
@@ -103,8 +106,30 @@ class SimulatedDatabase:
     # -- public API --------------------------------------------------------- #
 
     def execute(self, statement: str) -> ExecutionOutcome:
-        """Simulate executing ``statement``; never raises."""
-        parsed = parse_sql(statement)
+        """Simulate executing ``statement``; never raises.
+
+        Parsing goes through the shared analysis pipeline — workload
+        generation executes millions of statements of which most are
+        verbatim repeats, so the parse is usually a cache hit. The label
+        noise is still drawn fresh per execution.
+        """
+        return self._execute_parsed(parse_cached(statement))
+
+    def execute_batch(
+        self, statements: Sequence[str]
+    ) -> list[ExecutionOutcome]:
+        """Simulate many statements, parsing each distinct one once.
+
+        Outcomes are drawn in input order from the same RNG streams as
+        sequential :meth:`execute` calls, so ``execute_batch(stmts)`` and
+        ``[execute(s) for s in stmts]`` produce identical labels.
+        """
+        return [
+            self._execute_parsed(analysis.parsed)
+            for analysis in analyze_batch(statements)
+        ]
+
+    def _execute_parsed(self, parsed: ParseResult) -> ExecutionOutcome:
         if self._is_rejected(parsed):
             # rejected at the portal: the server never sees the query
             return ExecutionOutcome("severe", -1.0, 0.0, 0.0)

@@ -109,8 +109,8 @@ def generate_sdss_log(
             rng.uniform(0, 600)
         )
         agent = _AGENT_STRINGS.get(class_name)
-        for statement in statements:
-            outcome = database.execute(statement)
+        outcomes = database.execute_batch(statements)
+        for statement, outcome in zip(statements, outcomes):
             log.append(
                 LogEntry(
                     statement=statement,

@@ -78,12 +78,14 @@ def generate_sqlshare_workload(
         )
         weights = rng.dirichlet(base_weights * 12.0)
         n_queries = int(rng.integers(queries_per_user[0], queries_per_user[1] + 1))
+        statements = []
         for q in range(n_queries):
             template = str(
                 rng.choice(np.asarray(template_names, dtype=object), p=weights)
             )
-            statement = SQLSHARE_TEMPLATES[template](rng, catalog)
-            outcome = database.execute(statement)
+            statements.append(SQLSHARE_TEMPLATES[template](rng, catalog))
+        outcomes = database.execute_batch(statements)
+        for q, (statement, outcome) in enumerate(zip(statements, outcomes)):
             cpu_seconds = float(int(outcome.cpu_time))  # QExecTime is integer
             entries.append(
                 LogEntry(

@@ -1,0 +1,189 @@
+"""Tests for the shared cached featurization pipeline."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.sqlang.features import extract_features
+from repro.sqlang.parser import parse_sql
+from repro.sqlang.pipeline import (
+    AnalysisPipeline,
+    analyze_statement,
+    get_pipeline,
+    set_pipeline,
+    statement_digest,
+)
+from repro.workloads.querygen import SDSS_TEMPLATES, generate_statement
+from repro.workloads.schema import sdss_catalog
+
+
+def querygen_corpus(n=120, seed=5):
+    rng = np.random.default_rng(seed)
+    catalog = sdss_catalog()
+    names = list(SDSS_TEMPLATES)
+    return [
+        generate_statement(names[int(rng.integers(len(names)))], rng, catalog)
+        for _ in range(n)
+    ]
+
+
+class TestAccounting:
+    def test_hit_miss_counts(self):
+        pipe = AnalysisPipeline(max_size=64)
+        pipe.analyze("SELECT 1")
+        pipe.analyze("SELECT 1")
+        pipe.analyze("SELECT 2")
+        stats = pipe.stats
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.size == 2
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_batch_collapses_duplicates(self):
+        pipe = AnalysisPipeline(max_size=64)
+        batch = ["SELECT a FROM t", "SELECT b FROM t", "SELECT a FROM t"] * 4
+        results = pipe.analyze_batch(batch)
+        assert len(results) == len(batch)
+        stats = pipe.stats
+        # 2 distinct statements: the first occurrence of each is a miss,
+        # the other 10 occurrences are served without recomputation (hits)
+        assert stats.misses == 2
+        assert stats.hits == 10
+        assert stats.size == 2
+        # same batch again: every occurrence is now a hit
+        pipe.analyze_batch(batch)
+        assert pipe.stats.misses == 2
+        assert pipe.stats.hits == 22
+
+    def test_whitespace_variants_are_distinct(self):
+        # num_characters counts raw characters, so whitespace variants
+        # must not share a cache entry
+        pipe = AnalysisPipeline(max_size=8)
+        a = pipe.analyze("SELECT  1")
+        b = pipe.analyze("SELECT 1")
+        assert a.features.num_characters != b.features.num_characters
+        assert pipe.stats.misses == 2
+
+    def test_clear_resets(self):
+        pipe = AnalysisPipeline(max_size=8)
+        pipe.analyze("SELECT 1")
+        pipe.clear()
+        stats = pipe.stats
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+
+
+class TestEviction:
+    def test_bounded_size(self):
+        pipe = AnalysisPipeline(max_size=10)
+        for i in range(50):
+            pipe.analyze(f"SELECT {i} FROM t")
+        stats = pipe.stats
+        assert stats.size == 10
+        assert stats.evictions == 40
+
+    def test_lru_order(self):
+        pipe = AnalysisPipeline(max_size=2)
+        pipe.analyze("SELECT 1")
+        pipe.analyze("SELECT 2")
+        pipe.analyze("SELECT 1")  # refresh 1; 2 is now LRU
+        pipe.analyze("SELECT 3")  # evicts 2
+        key1 = statement_digest("SELECT 1")
+        key2 = statement_digest("SELECT 2")
+        assert key1 in pipe._cache
+        assert key2 not in pipe._cache
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            AnalysisPipeline(max_size=0)
+
+
+class TestInvariance:
+    def test_cached_equals_uncached_over_querygen_corpus(self):
+        corpus = querygen_corpus()
+        pipe = AnalysisPipeline(max_size=1024)
+        # analyze twice: second pass is all cache hits
+        first = pipe.analyze_batch(corpus)
+        second = pipe.analyze_batch(corpus)
+        for stmt, a, b in zip(corpus, first, second):
+            uncached = extract_features(stmt)
+            assert a.features == uncached
+            assert b.features == uncached
+            assert a is b  # literally the same cached object
+
+    def test_parse_matches_direct_parse(self):
+        corpus = querygen_corpus(n=40, seed=9)
+        pipe = AnalysisPipeline()
+        for stmt in corpus:
+            cached = pipe.parse(stmt)
+            direct = parse_sql(stmt)
+            assert cached.error_count == direct.error_count
+            assert [s.statement_type for s in cached.statements] == [
+                s.statement_type for s in direct.statements
+            ]
+
+    def test_analysis_fields(self):
+        analysis = analyze_statement("SELECT  a FROM t")
+        assert analysis.statement == "SELECT  a FROM t"
+        assert analysis.normalized == "SELECT a FROM t"
+        assert analysis.digest == statement_digest("SELECT  a FROM t")
+        assert analysis.feature_vector() == analysis.features.as_vector()
+
+
+class TestThreadSafety:
+    def test_concurrent_analyze_smoke(self):
+        corpus = querygen_corpus(n=60, seed=3)
+        pipe = AnalysisPipeline(max_size=32)
+        errors = []
+
+        def worker():
+            try:
+                for stmt in corpus:
+                    analysis = pipe.analyze(stmt)
+                    assert analysis.statement == stmt
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = pipe.stats
+        assert stats.hits + stats.misses == 8 * len(corpus)
+        assert stats.size <= 32
+
+
+class TestParallelFanOut:
+    def test_process_pool_path_matches_serial(self, monkeypatch):
+        """Force the multiprocessing branch (threshold + cpu gate) and
+        check results/pickling match the serial path."""
+        from repro.sqlang import pipeline as pipeline_mod
+
+        monkeypatch.setattr(pipeline_mod, "PARALLEL_THRESHOLD", 4)
+        monkeypatch.setattr(pipeline_mod.os, "cpu_count", lambda: 2)
+        corpus = querygen_corpus(n=12, seed=17)
+        parallel = AnalysisPipeline(max_size=64, workers=2).analyze_batch(corpus)
+        serial = AnalysisPipeline(max_size=64).analyze_batch(corpus)
+        for p, s in zip(parallel, serial):
+            assert p.features == s.features
+            assert p.digest == s.digest
+
+
+class TestDefaultPipeline:
+    def test_module_level_pipeline_swap(self):
+        original = get_pipeline()
+        replacement = AnalysisPipeline(max_size=4)
+        try:
+            assert set_pipeline(replacement) is original
+            assert get_pipeline() is replacement
+        finally:
+            set_pipeline(original)
+
+    def test_feature_matrix_shape(self):
+        pipe = AnalysisPipeline()
+        matrix = pipe.feature_matrix(["SELECT 1", "SELECT a FROM t"])
+        assert matrix.shape == (2, 10)
+        assert matrix.dtype == np.float64
+        assert pipe.feature_matrix([]).shape == (0, 10)

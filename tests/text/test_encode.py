@@ -2,9 +2,24 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.text.encode import SequenceEncoder, pad_sequences
 from repro.text.vocab import build_char_vocab, build_word_vocab
+
+
+def _pad_sequences_reference(sequences, pad_id=0, max_len=None):
+    """The pre-vectorization implementation, kept as the test oracle."""
+    if max_len is not None:
+        sequences = [seq[:max_len] for seq in sequences]
+    width = max((len(s) for s in sequences), default=0)
+    width = max(width, 1)
+    out = np.full((len(sequences), width), pad_id, dtype=np.int64)
+    for row, seq in enumerate(sequences):
+        if seq:
+            out[row, : len(seq)] = seq
+    return out
 
 
 class TestPadSequences:
@@ -25,6 +40,33 @@ class TestPadSequences:
 
     def test_dtype_int64(self):
         assert pad_sequences([[1]]).dtype == np.int64
+
+    def test_no_truncation_needed_uses_sequence_directly(self):
+        out = pad_sequences([[5, 6, 7]], max_len=5)
+        assert list(out[0]) == [5, 6, 7]
+
+    def test_accepts_tuples_and_generator_batches(self):
+        out = pad_sequences(((1, 2), (3,)), pad_id=0)
+        assert out.shape == (2, 2)
+        out = pad_sequences(s for s in [[1], [2, 3]])
+        assert out.shape == (2, 2)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-(2**40), 2**40), max_size=12),
+            max_size=8,
+        ),
+        st.integers(-3, 3),
+        st.one_of(st.none(), st.integers(1, 8)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_implementation(self, seqs, pad_id, max_len):
+        """The vectorized scatter equals the old per-row implementation."""
+        got = pad_sequences(seqs, pad_id=pad_id, max_len=max_len)
+        want = _pad_sequences_reference(seqs, pad_id=pad_id, max_len=max_len)
+        assert got.shape == want.shape
+        assert got.dtype == want.dtype
+        assert (got == want).all()
 
 
 class TestSequenceEncoder:

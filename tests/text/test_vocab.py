@@ -102,3 +102,14 @@ def test_roundtrip_property(tokens):
     tokens = [t for t in tokens if t not in (PAD_TOKEN, UNK_TOKEN)]
     vocab = Vocabulary(tokens)
     assert vocab.decode(vocab.encode(tokens)) == tokens
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_encode_array_matches_encode(tokens):
+    import numpy as np
+
+    vocab = Vocabulary(["a", "b", "select"])
+    arr = vocab.encode_array(tokens)
+    assert arr.dtype == np.int64
+    assert arr.tolist() == vocab.encode(tokens)
