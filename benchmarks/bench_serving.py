@@ -1,0 +1,192 @@
+"""Serving-layer benchmark: micro-batching throughput and streaming I/O.
+
+Two serving-path claims are measured and recorded in
+``BENCH_serving.json`` at the repo root:
+
+1. **Micro-batched insights throughput** — a per-statement
+   ``facilitator.insights()`` loop (the naive serving loop) versus the
+   same request stream pushed through a :class:`FacilitatorService`
+   (micro-batching queue + duplicate collapsing + shared featurization +
+   insight memo), on the paper-realistic 70%-repetitive corpus of
+   ``bench_featurization.make_corpus``. Predictions must be identical.
+2. **Streaming workload I/O memory** — peak traced allocation of
+   materializing a gzipped log with ``load_log`` versus a single
+   streaming pass with ``iter_log``. The streaming pass must stay
+   bounded (constant in file size) instead of holding every entry.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [N]
+
+The pytest smoke mode lives in ``test_serving_smoke.py`` (small N,
+asserts the micro-batching speedup and the bounded streaming memory) so
+tier-1 catches serving regressions without the full benchmark's runtime.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from bench_featurization import make_corpus
+
+from repro.core.facilitator import QueryFacilitator
+from repro.models.factory import ModelScale
+from repro.serving import FacilitatorService
+from repro.workloads.io import iter_log, load_log, save_log
+from repro.workloads.sdss import generate_sdss_log, generate_sdss_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_serving.json"
+
+#: Paper-realistic repetition level (Figure 20: most statements recur).
+REPETITION = 0.70
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    out = fn(*args)
+    return time.perf_counter() - start, out
+
+
+def train_facilitator(
+    n_sessions: int = 120, tfidf_features: int = 2000
+) -> QueryFacilitator:
+    """Small ctfidf facilitator (the cheapest full-head paper model)."""
+    workload = generate_sdss_workload(n_sessions=n_sessions, seed=21)
+    scale = ModelScale(epochs=2, tfidf_features=tfidf_features)
+    return QueryFacilitator(model_name="ctfidf", scale=scale).fit(workload)
+
+
+def _identical(a, b) -> bool:
+    return (
+        a.statement == b.statement
+        and a.error_class == b.error_class
+        and a.session_class == b.session_class
+        and a.cpu_time_seconds == b.cpu_time_seconds
+        and a.answer_size == b.answer_size
+        and a.elapsed_seconds == b.elapsed_seconds
+        and a.error_probabilities == b.error_probabilities
+    )
+
+
+def bench_throughput(
+    facilitator: QueryFacilitator,
+    corpus: list[str],
+    max_batch: int = 64,
+    max_wait_ms: float = 5.0,
+) -> dict:
+    """Per-statement loop vs micro-batched service over one request stream."""
+    t_loop, sequential = _timed(
+        lambda: [facilitator.insights(s) for s in corpus]
+    )
+    with FacilitatorService(
+        facilitator, max_batch=max_batch, max_wait_ms=max_wait_ms
+    ) as service:
+
+        def drive() -> list:
+            pending = [service.submit(s) for s in corpus]
+            return [p.result(timeout=600)[0] for p in pending]
+
+        t_service, served = _timed(drive)
+        stats = service.stats
+    identical = all(_identical(a, b) for a, b in zip(sequential, served))
+    return {
+        "n_statements": len(corpus),
+        "max_batch": max_batch,
+        "per_statement_loop_s": round(t_loop, 4),
+        "micro_batched_s": round(t_service, 4),
+        "speedup_batched": round(t_loop / t_service, 2) if t_service else None,
+        "loop_throughput_stmt_per_s": round(len(corpus) / t_loop, 1),
+        "service_throughput_stmt_per_s": round(len(corpus) / t_service, 1),
+        "batches": stats.batches,
+        "mean_batch_size": round(stats.mean_batch_size, 1),
+        "latency_p50_ms": stats.latency_p50_ms,
+        "latency_p95_ms": stats.latency_p95_ms,
+        "insight_cache_hit_rate": stats.insight_cache["hit_rate"],
+        "invariant_batched_equals_loop": identical,
+    }
+
+
+def bench_streaming(n_sessions: int = 400) -> dict:
+    """Peak traced bytes: materialized ``load_log`` vs streaming ``iter_log``.
+
+    The log is written gzip-compressed; the streaming pass consumes it
+    record-by-record, so its peak allocation stays bounded regardless of
+    how many entries the file holds.
+    """
+    entries = generate_sdss_log(n_sessions=n_sessions, seed=17)
+    n_entries = len(entries)
+    with TemporaryDirectory() as tmp:
+        path = Path(tmp) / "log.jsonl.gz"
+        save_log(entries, path, name="bench-log")
+        del entries
+        compressed_bytes = path.stat().st_size
+
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        materialized = load_log(path)
+        _, peak_load = tracemalloc.get_traced_memory()
+        count_load = len(materialized)
+        del materialized
+        tracemalloc.reset_peak()
+        count_iter = 0
+        for _entry in iter_log(path):
+            count_iter += 1
+        _, peak_iter = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return {
+        "n_entries": n_entries,
+        "gz_file_bytes": compressed_bytes,
+        "materialized_peak_bytes": peak_load,
+        "streaming_peak_bytes": peak_iter,
+        "memory_ratio_materialized_over_streaming": (
+            round(peak_load / peak_iter, 1) if peak_iter else None
+        ),
+        "invariant_counts_equal": count_iter == count_load == n_entries,
+    }
+
+
+def run(n: int = 2000) -> dict:
+    """Full benchmark; returns the report dict and writes the JSON."""
+    facilitator = train_facilitator()
+    corpus = make_corpus(n, REPETITION, seed=7)
+    report = {
+        "benchmark": "serving",
+        "repetition_level": REPETITION,
+        # bulk-throughput configuration: larger micro-batches amortize the
+        # per-batch fixed cost (featurize setup + one numpy op per head);
+        # p50 latency stays ~150ms at this size
+        "throughput": bench_throughput(facilitator, corpus, max_batch=256),
+        "streaming_io": bench_streaming(),
+        "targets": {
+            "micro_batched_speedup_min": 5.0,
+            "streaming_memory_ratio_min": 4.0,
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def run_smoke(n: int = 250) -> dict:
+    """Small-N smoke for tier-1: same invariants, fraction of the runtime."""
+    facilitator = train_facilitator(n_sessions=60, tfidf_features=800)
+    corpus = make_corpus(n, REPETITION, seed=7)
+    throughput = bench_throughput(facilitator, corpus, max_batch=32)
+    streaming = bench_streaming(n_sessions=60)
+    return {"throughput": throughput, "streaming_io": streaming}
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    result = run(size)
+    print(json.dumps(result, indent=2))
+    throughput = result["throughput"]
+    ok = throughput["invariant_batched_equals_loop"]
+    print(f"micro-batched speedup: {throughput['speedup_batched']}x "
+          f"(target >= {result['targets']['micro_batched_speedup_min']}x); "
+          f"batched == loop: {ok}")

@@ -1,0 +1,34 @@
+"""Tier-1 smoke for the serving layer (small N, fails fast).
+
+Runs :func:`bench_serving.run_smoke` on a 250-statement repetitive corpus
+and asserts the serving path still (a) beats the per-statement insights
+loop via micro-batching, (b) returns predictions identical to it, and
+(c) streams gzipped logs with bounded memory instead of materializing
+them. The full harness (``PYTHONPATH=src python benchmarks/bench_serving.py``)
+regenerates ``BENCH_serving.json`` with the ≥5x acceptance numbers.
+"""
+
+from bench_serving import run_smoke
+
+from conftest import run_once
+
+
+def test_serving_smoke(benchmark):
+    result = run_once(benchmark, run_smoke, 250)
+
+    throughput = result["throughput"]
+    assert throughput["invariant_batched_equals_loop"], (
+        "micro-batched insights diverged from the per-statement loop"
+    )
+    # even at smoke scale the batched path must clearly win; the full
+    # benchmark guards the >= 5x acceptance target
+    assert throughput["speedup_batched"] > 2.0
+    assert throughput["batches"] < throughput["n_statements"]
+    assert throughput["insight_cache_hit_rate"] > 0.5
+
+    streaming = result["streaming_io"]
+    assert streaming["invariant_counts_equal"]
+    # streaming must stay bounded: well under the materialized peak and
+    # under an absolute per-pass allowance regardless of file size
+    assert streaming["streaming_peak_bytes"] < 0.5 * streaming["materialized_peak_bytes"]
+    assert streaming["streaming_peak_bytes"] < 2_000_000

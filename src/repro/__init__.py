@@ -17,6 +17,8 @@ Public entry points:
   ctfidf/wtfidf, ccnn/wcnn, clstm/wlstm).
 - :mod:`repro.experiments` — drivers that regenerate every table and figure
   of the paper's evaluation section.
+- :mod:`repro.serving` — run a fitted facilitator as a micro-batching
+  service (``FacilitatorService``) or JSON/HTTP endpoint (``repro serve``).
 """
 
 __version__ = "1.0.0"
@@ -24,9 +26,11 @@ __version__ = "1.0.0"
 _LAZY_EXPORTS = {
     "QueryFacilitator": ("repro.core.facilitator", "QueryFacilitator"),
     "QueryInsights": ("repro.core.facilitator", "QueryInsights"),
+    "ArtifactFormatError": ("repro.models.serialize", "ArtifactFormatError"),
     "Problem": ("repro.core.problems", "Problem"),
     "Setting": ("repro.core.problems", "Setting"),
     "TaskType": ("repro.core.problems", "TaskType"),
+    "FacilitatorService": ("repro.serving", "FacilitatorService"),
 }
 
 
@@ -42,8 +46,10 @@ def __getattr__(name: str):
 __all__ = [
     "QueryFacilitator",
     "QueryInsights",
+    "ArtifactFormatError",
     "Problem",
     "Setting",
     "TaskType",
+    "FacilitatorService",
     "__version__",
 ]

@@ -7,15 +7,18 @@ actually runs:
 - ``analyze``   — the Section 4.3 workload analysis for a workload file
 - ``train``     — fit a :class:`~repro.core.facilitator.QueryFacilitator`
 - ``predict``   — pre-execution insights for new statements
+- ``serve``     — micro-batching HTTP endpoint over a saved facilitator
 - ``evaluate``  — train/test split evaluation with the paper's metrics
 - ``experiment``— regenerate any table/figure of the paper's evaluation
 - ``compress``  — workload compression (Section 8 future work)
 
-Every command reads/writes plain files so the steps compose::
+Every command reads/writes plain files so the steps compose (workload
+paths ending in ``.gz`` are read/written gzip-compressed)::
 
     python -m repro generate sdss --sessions 2000 -o sdss.jsonl
-    python -m repro train sdss.jsonl --model ccnn -o facilitator.pkl
-    python -m repro predict facilitator.pkl "SELECT * FROM PhotoObj"
+    python -m repro train sdss.jsonl --model ccnn -o facilitator.bin
+    python -m repro predict facilitator.bin "SELECT * FROM PhotoObj"
+    python -m repro serve facilitator.bin --port 8080 --warm sdss.jsonl
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from repro.cli import (
     experiment_cmd,
     generate_cmd,
     predict_cmd,
+    serve_cmd,
     train_cmd,
 )
 
@@ -41,6 +45,7 @@ _COMMANDS = (
     analyze_cmd,
     train_cmd,
     predict_cmd,
+    serve_cmd,
     evaluate_cmd,
     experiment_cmd,
     compress_cmd,

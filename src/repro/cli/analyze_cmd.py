@@ -23,7 +23,8 @@ from repro.analysis.repetition import repetition_histogram_of_log
 from repro.analysis.structural import StructuralTable, structural_table
 from repro.cli._common import emit
 from repro.evalx.reporting import format_table
-from repro.workloads.io import load_log, load_workload
+from repro.sqlang.pipeline import get_pipeline
+from repro.workloads.io import iter_log, load_workload
 from repro.workloads.records import Workload
 
 __all__ = ["register"]
@@ -153,9 +154,30 @@ def _session_section(workload: Workload) -> str:
     )
 
 
+def _pipeline_section() -> str:
+    """Cache-effectiveness report for the shared analysis pipeline.
+
+    The same counters are exported by the serving layer's ``/stats``
+    endpoint; surfacing them here makes cache behavior observable in the
+    offline path too.
+    """
+    stats = get_pipeline().stats
+    rows = [
+        ["analyses served", stats.hits + stats.misses],
+        ["cache hits", stats.hits],
+        ["cache misses (distinct parses)", stats.misses],
+        ["hit rate", f"{stats.hit_rate:.2%}"],
+        ["evictions", stats.evictions],
+        ["cached entries", f"{stats.size} / {stats.max_size}"],
+    ]
+    return format_table(
+        ["counter", "value"], rows, title="Statement-analysis pipeline cache"
+    )
+
+
 def run(args: argparse.Namespace) -> int:
     if args.repetition:
-        entries = load_log(args.workload)
+        entries = list(iter_log(args.workload))
         histogram = repetition_histogram_of_log(entries)
         rows = [[bucket, count] for bucket, count in histogram.items()]
         emit(
@@ -205,4 +227,6 @@ def run(args: argparse.Namespace) -> int:
                 title=f"Top {args.templates} templates (Appendix B.3)",
             )
         )
+    emit("")
+    emit(_pipeline_section())
     return 0

@@ -32,7 +32,10 @@ def register(subparsers) -> None:
         help="which workload shape to synthesize",
     )
     parser.add_argument(
-        "-o", "--output", required=True, help="output JSONL path"
+        "-o",
+        "--output",
+        required=True,
+        help="output JSONL path (a .gz suffix writes gzip-compressed)",
     )
     parser.add_argument(
         "--sessions",

@@ -1,9 +1,15 @@
 """``repro predict`` — pre-execution insights for new statements.
 
-Loads a facilitator saved by ``repro train`` and prints, for each input
-statement, the paper's four predicted properties. Statements come from
-positional arguments, ``--file`` (one per line), or stdin. ``--json``
+Loads a facilitator artifact saved by ``repro train`` and prints, for each
+input statement, the paper's four predicted properties. Statements come
+from positional arguments, ``--file`` (one per line), or stdin. ``--json``
 emits one JSON object per statement for scripting.
+
+``predict`` is the one-shot path; for continuous traffic run the same
+artifact as a service instead — ``repro serve facilitator.bin --port
+8080`` answers ``POST /insights`` requests with micro-batched inference
+and exposes serving/cache stats at ``GET /stats`` (the JSON schema per
+statement is identical to ``--json`` output here).
 """
 
 from __future__ import annotations
@@ -50,19 +56,7 @@ def run(args: argparse.Namespace) -> int:
 
     if args.json:
         for item in insights:
-            emit(
-                json.dumps(
-                    {
-                        "statement": item.statement,
-                        "error_class": item.error_class,
-                        "likely_to_fail": item.likely_to_fail,
-                        "cpu_time_seconds": item.cpu_time_seconds,
-                        "answer_size": item.answer_size,
-                        "session_class": item.session_class,
-                        "elapsed_seconds": item.elapsed_seconds,
-                    }
-                )
-            )
+            emit(json.dumps(item.to_dict()))
         return 0
 
     rows = []

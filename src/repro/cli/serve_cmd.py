@@ -1,0 +1,106 @@
+"""``repro serve`` — run a saved facilitator as a JSON/HTTP service.
+
+Loads a facilitator artifact saved by ``repro train`` and serves
+pre-execution insights over HTTP with micro-batched inference: concurrent
+``POST /insights`` requests are coalesced into single ``insights_batch``
+calls (up to ``--max-batch`` statements or ``--max-wait-ms``). ``GET
+/stats`` exposes request counts, batch sizes, latency percentiles, and the
+statement-analysis cache hit rate; ``GET /healthz`` reports liveness.
+
+Typical workflow::
+
+    python -m repro generate sdss --sessions 2000 -o sdss.jsonl
+    python -m repro train sdss.jsonl --model ctfidf -o facilitator.bin
+    python -m repro serve facilitator.bin --port 8080 --warm sdss.jsonl
+
+    curl -s localhost:8080/insights -d '{"statement": "SELECT * FROM PhotoObj"}'
+    curl -s localhost:8080/stats
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._common import emit
+from repro.core.facilitator import QueryFacilitator
+
+__all__ = ["register"]
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="serve a saved facilitator as a micro-batching HTTP endpoint",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("facilitator", help="artifact saved by `repro train`")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="statements per micro-batch (default: 64)",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long a batch waits for co-riders (default: 2ms)",
+    )
+    parser.add_argument(
+        "--warm",
+        metavar="WORKLOAD",
+        default=None,
+        help="prime the analysis cache from this workload JSONL before serving",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    # imported lazily so `repro --help` stays fast
+    from repro.serving import FacilitatorService, make_server
+
+    facilitator = QueryFacilitator.load(args.facilitator)
+    service = FacilitatorService(
+        facilitator,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    with service:
+        if args.warm:
+            from repro.workloads.io import iter_workload
+
+            primed = service.warm_up(
+                record.statement for record in iter_workload(args.warm)
+            )
+            emit(f"warmed analysis cache with {primed} statements")
+        server = make_server(
+            service, host=args.host, port=args.port, quiet=not args.verbose
+        )
+        host, port = server.server_address[:2]
+        problems = ", ".join(p.name.lower() for p in facilitator.problems)
+        emit(
+            f"serving {facilitator.model_name} ({problems}) on "
+            f"http://{host}:{port} — POST /insights, GET /stats, GET /healthz"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+    stats = service.stats
+    emit(
+        f"served {stats.requests} requests / {stats.statements} statements "
+        f"in {stats.batches} batches "
+        f"(p50 {stats.latency_p50_ms}ms, p95 {stats.latency_p95_ms}ms, "
+        f"pipeline hit rate {stats.pipeline['hit_rate']:.0%})"
+    )
+    return 0

@@ -1,8 +1,9 @@
 """QueryFacilitator: pre-execution insights about SQL statements.
 
 The user-facing entry point of the library. Fit it on a historical query
-workload; it trains one model per available query facilitation problem and
-then answers, for any new statement and *before execution*:
+workload; it trains one :class:`~repro.core.heads.ProblemHead` per
+available query facilitation problem and then answers, for any new
+statement and *before execution*:
 
 - will it fail (and how badly)?
 - roughly how long will it run?
@@ -12,25 +13,43 @@ then answers, for any new statement and *before execution*:
 >>> facilitator = QueryFacilitator().fit(workload)
 >>> insights = facilitator.insights("SELECT * FROM PhotoObj")
 >>> insights.cpu_time_seconds, insights.error_class
+
+Fitted facilitators persist as versioned zip artifacts (a JSON manifest
+listing format version, model names, and label vocabularies, plus one
+binary payload per head — see :mod:`repro.models.serialize`). For serving
+them behind a micro-batching queue or HTTP endpoint, see
+:mod:`repro.serving`.
 """
 
 from __future__ import annotations
 
-import pickle
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Optional
 
-import numpy as np
-
+from repro.core.heads import ProblemHead
 from repro.core.problems import Problem
-from repro.ml.preprocessing import LabelEncoder, LogLabelTransform
-from repro.models.base import QueryModel
-from repro.models.factory import ModelScale, build_model
+from repro.models import serialize
+from repro.models.factory import ModelScale
+from repro.models.serialize import ArtifactFormatError
 from repro.workloads.records import Workload
 
-__all__ = ["QueryFacilitator", "QueryInsights"]
+__all__ = [
+    "QueryFacilitator",
+    "QueryInsights",
+    "ArtifactFormatError",
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+]
+
+#: Artifact manifest ``format`` name for saved facilitators.
+ARTIFACT_FORMAT = "repro.facilitator"
+
+#: Current artifact format version; bump when the layout changes.
+ARTIFACT_VERSION = 2
+
+_SIMILAR_INDEX_MEMBER = "similar_index.bin"
 
 
 @dataclass
@@ -54,21 +73,34 @@ class QueryInsights:
         """True when the predicted error class is not ``success``."""
         return self.error_class is not None and self.error_class != "success"
 
+    def copy(self) -> "QueryInsights":
+        """Independent copy (batch fan-out gives each caller its own).
 
-class _FittedProblem:
-    """A trained model plus its label codec for one problem."""
+        Direct construction, not ``dataclasses.replace`` — this runs once
+        per served duplicate statement on the serving hot path.
+        """
+        return QueryInsights(
+            statement=self.statement,
+            error_class=self.error_class,
+            error_probabilities=dict(self.error_probabilities),
+            cpu_time_seconds=self.cpu_time_seconds,
+            answer_size=self.answer_size,
+            session_class=self.session_class,
+            elapsed_seconds=self.elapsed_seconds,
+        )
 
-    def __init__(
-        self,
-        problem: Problem,
-        model: QueryModel,
-        encoder: LabelEncoder | None,
-        transform: LogLabelTransform | None,
-    ):
-        self.problem = problem
-        self.model = model
-        self.encoder = encoder
-        self.transform = transform
+    def to_dict(self) -> dict:
+        """JSON-safe dict (the ``predict --json`` / HTTP wire format)."""
+        return {
+            "statement": self.statement,
+            "error_class": self.error_class,
+            "likely_to_fail": self.likely_to_fail,
+            "error_probabilities": self.error_probabilities,
+            "cpu_time_seconds": self.cpu_time_seconds,
+            "answer_size": self.answer_size,
+            "session_class": self.session_class,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
 
 
 class QueryFacilitator:
@@ -80,7 +112,9 @@ class QueryFacilitator:
         scale: Capacity/runtime knobs (see :class:`ModelScale`).
 
     The facilitator trains on whichever of the four label columns the
-    workload provides; missing labels simply disable that insight.
+    workload provides; missing labels simply disable that insight. The
+    trained state is a dict of :class:`ProblemHead` objects, one per
+    problem, each owning its model and label codec.
     """
 
     def __init__(
@@ -92,7 +126,7 @@ class QueryFacilitator:
         self.model_name = model_name
         self.scale = scale or ModelScale()
         self.index_similar = index_similar
-        self.fitted: dict[Problem, _FittedProblem] = {}
+        self.heads: dict[Problem, ProblemHead] = {}
         self.similar_index = None
 
     # -- training ----------------------------------------------------------- #
@@ -102,7 +136,7 @@ class QueryFacilitator:
         workload: Workload,
         problems: Sequence[Problem] | None = None,
     ) -> "QueryFacilitator":
-        """Train one model per problem available in ``workload``.
+        """Train one head per problem available in ``workload``.
 
         Args:
             workload: Labelled historical queries.
@@ -119,28 +153,10 @@ class QueryFacilitator:
                     )
                 continue
             labels = workload.labels(problem.label_column)
-            if problem.is_classification:
-                encoder = LabelEncoder().fit(list(labels))
-                model = build_model(
-                    self.model_name,
-                    problem.task,
-                    num_classes=encoder.num_classes,
-                    scale=self.scale,
-                )
-                model.fit(statements, encoder.transform(list(labels)))
-                self.fitted[problem] = _FittedProblem(
-                    problem, model, encoder, None
-                )
-            else:
-                transform = LogLabelTransform().fit(labels)
-                model = build_model(
-                    self.model_name, problem.task, scale=self.scale
-                )
-                model.fit(statements, transform.transform(labels))
-                self.fitted[problem] = _FittedProblem(
-                    problem, model, None, transform
-                )
-        if not self.fitted:
+            self.heads[problem] = ProblemHead.train(
+                problem, self.model_name, self.scale, statements, labels
+            )
+        if not self.heads:
             raise ValueError(
                 f"workload {workload.name!r} has no usable label columns"
             )
@@ -163,44 +179,38 @@ class QueryFacilitator:
         return self.insights_batch([statement])[0]
 
     def insights_batch(self, statements: Sequence[str]) -> list[QueryInsights]:
-        """Pre-execution insights for many statements at once."""
-        if not self.fitted:
+        """Pre-execution insights for many statements at once.
+
+        Serving-oriented batch path: duplicate statements inside the batch
+        are collapsed before any model runs (real traffic is massively
+        repetitive — Figure 20), and heads whose models share a feature
+        fingerprint (every head, when the facilitator trained them with
+        one model name on one workload) featurize the batch once instead
+        of once per head. Predictions are identical to the naive
+        per-statement loop; only the work is smaller.
+        """
+        if not self.heads:
             raise RuntimeError("QueryFacilitator must be fitted first")
         statements = list(statements)
-        results = [QueryInsights(statement=s) for s in statements]
-        for problem, fitted in self.fitted.items():
-            if problem.is_classification:
-                assert fitted.encoder is not None
-                if problem is Problem.ERROR_CLASSIFICATION:
-                    # one forward pass: class ids are the argmax of the
-                    # probabilities, so predict() would redo the work
-                    probs = fitted.model.predict_proba(statements)
-                    names = fitted.encoder.inverse(probs.argmax(axis=1))
-                    for i, result in enumerate(results):
-                        result.error_class = str(names[i])
-                        result.error_probabilities = {
-                            str(c): float(probs[i, j])
-                            for j, c in enumerate(fitted.encoder.classes_)
-                        }
-                else:
-                    pred = fitted.model.predict(statements)
-                    names = fitted.encoder.inverse(pred)
-                    for i, result in enumerate(results):
-                        result.session_class = str(names[i])
-            else:
-                assert fitted.transform is not None
-                pred_raw = fitted.transform.inverse(
-                    fitted.model.predict(statements)
-                )
-                pred_raw = np.maximum(pred_raw, 0.0)
-                attr = {
-                    Problem.CPU_TIME: "cpu_time_seconds",
-                    Problem.ANSWER_SIZE: "answer_size",
-                    Problem.ELAPSED_TIME: "elapsed_seconds",
-                }[problem]
-                for i, result in enumerate(results):
-                    setattr(result, attr, float(pred_raw[i]))
-        return results
+        index_of: dict[str, int] = {}
+        unique: list[str] = []
+        for statement in statements:
+            if statement not in index_of:
+                index_of[statement] = len(unique)
+                unique.append(statement)
+        unique_results = [QueryInsights(statement=s) for s in unique]
+        shared_features: dict[bytes, object] = {}
+        for head in self.heads.values():
+            fingerprint = head.model.feature_fingerprint()
+            features = None
+            if fingerprint is not None:
+                if fingerprint not in shared_features:
+                    shared_features[fingerprint] = head.model.featurize(unique)
+                features = shared_features[fingerprint]
+            head.predict_into(unique, unique_results, features=features)
+        if len(unique) == len(statements):
+            return unique_results
+        return [unique_results[index_of[s]].copy() for s in statements]
 
     def similar_queries(self, statement: str, k: int = 5):
         """The ``k`` most similar historical queries with their outcomes.
@@ -221,42 +231,88 @@ class QueryFacilitator:
     @property
     def problems(self) -> list[Problem]:
         """Problems this facilitator was trained for."""
-        return list(self.fitted)
+        return list(self.heads)
 
     # -- persistence --------------------------------------------------------- #
 
     def save(self, path: str | Path) -> None:
-        """Persist the fitted facilitator (models + label codecs) to a file.
+        """Persist the fitted facilitator as a versioned artifact file.
 
-        Uses pickle, the same trade-off scikit-learn makes: load only files
-        you wrote yourself. Raises if called before :meth:`fit`.
+        The artifact is a zip container: a human-inspectable
+        ``manifest.json`` (format version, model names, scale, label
+        vocabularies, transform parameters) plus one binary payload per
+        head, encoded through the :mod:`repro.models.serialize` codec
+        registry. Raises if called before :meth:`fit`.
         """
-        if not self.fitted:
+        if not self.heads:
             raise RuntimeError("cannot save an unfitted QueryFacilitator")
-        payload = {
-            "format": "repro.facilitator",
-            "version": 1,
+        manifest = {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
             "model_name": self.model_name,
-            "facilitator": self,
+            "scale": asdict(self.scale),
+            "index_similar": self.index_similar,
+            "heads": [head.manifest_entry() for head in self.heads.values()],
+            "similar_index": (
+                _SIMILAR_INDEX_MEMBER if self.similar_index is not None else None
+            ),
         }
-        with Path(path).open("wb") as handle:
-            pickle.dump(payload, handle)
+        payloads = {
+            head.member_name(): head.payload() for head in self.heads.values()
+        }
+        if self.similar_index is not None:
+            payloads[_SIMILAR_INDEX_MEMBER] = serialize.encode_payload(
+                "pickle", self.similar_index
+            )
+        serialize.write_artifact(path, manifest, payloads)
 
     @classmethod
     def load(cls, path: str | Path) -> "QueryFacilitator":
-        """Load a facilitator saved by :meth:`save`.
+        """Load a facilitator artifact saved by :meth:`save`.
+
+        The format checks catch accidents (wrong file, stale version),
+        not attacks: head payloads are pickle-encoded, so — as with any
+        pickle — load only artifacts you wrote yourself.
 
         Raises:
-            ValueError: the file was not written by :meth:`save`.
+            ArtifactFormatError: ``path`` is not a saved QueryFacilitator
+                artifact (foreign file, pre-versioning pickle, corrupt
+                manifest) or carries an unsupported format version.
+            OSError: the file does not exist or cannot be read.
         """
-        with Path(path).open("rb") as handle:
-            payload = pickle.load(handle)
-        if (
-            not isinstance(payload, dict)
-            or payload.get("format") != "repro.facilitator"
-        ):
-            raise ValueError(f"{path}: not a saved QueryFacilitator")
-        facilitator = payload["facilitator"]
-        if not isinstance(facilitator, cls):
-            raise ValueError(f"{path}: payload is {type(facilitator).__name__}")
+        manifest, payloads = serialize.read_artifact(
+            path, ARTIFACT_FORMAT, ARTIFACT_VERSION
+        )
+        try:
+            scale = ModelScale(**manifest["scale"])
+            head_entries = manifest["heads"]
+        except (KeyError, TypeError) as exc:
+            raise ArtifactFormatError(
+                f"{path}: facilitator manifest is incomplete: {exc}"
+            ) from exc
+        facilitator = cls(
+            model_name=manifest.get("model_name", "ccnn"),
+            scale=scale,
+            index_similar=bool(manifest.get("index_similar", False)),
+        )
+        for entry in head_entries:
+            member = entry.get("payload")
+            if member not in payloads:
+                raise ArtifactFormatError(
+                    f"{path}: manifest references missing payload {member!r}"
+                )
+            head = ProblemHead.from_artifact(entry, payloads[member])
+            facilitator.heads[head.problem] = head
+        if not facilitator.heads:
+            raise ArtifactFormatError(f"{path}: artifact contains no heads")
+        index_member = manifest.get("similar_index")
+        if index_member:
+            if index_member not in payloads:
+                raise ArtifactFormatError(
+                    f"{path}: manifest references missing payload "
+                    f"{index_member!r}"
+                )
+            facilitator.similar_index = serialize.decode_payload(
+                "pickle", payloads[index_member]
+            )
         return facilitator

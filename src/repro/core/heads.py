@@ -1,0 +1,177 @@
+"""Problem heads: the model + label codec + transform for one problem.
+
+A :class:`QueryFacilitator` is a bundle of independent *heads*, one per
+facilitation problem (Definition 4): each head owns its trained model, the
+label codec that maps between model space and user space (a
+:class:`~repro.ml.preprocessing.LabelEncoder` for classification, a
+:class:`~repro.ml.preprocessing.LogLabelTransform` for regression), and
+knows how to write its predictions into :class:`QueryInsights` result
+objects and how to persist itself as one member of a versioned artifact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problems import Problem
+from repro.ml.preprocessing import LabelEncoder, LogLabelTransform
+from repro.models import serialize
+from repro.models.base import QueryModel
+from repro.models.factory import ModelScale, build_model
+from repro.models.serialize import ArtifactFormatError
+
+__all__ = ["ProblemHead", "REGRESSION_INSIGHT_ATTRS"]
+
+#: Which QueryInsights attribute each regression problem fills in.
+REGRESSION_INSIGHT_ATTRS = {
+    Problem.CPU_TIME: "cpu_time_seconds",
+    Problem.ANSWER_SIZE: "answer_size",
+    Problem.ELAPSED_TIME: "elapsed_seconds",
+}
+
+
+@dataclass
+class ProblemHead:
+    """One trained facilitation problem: model plus its label codec."""
+
+    problem: Problem
+    model: QueryModel
+    encoder: LabelEncoder | None = None
+    transform: LogLabelTransform | None = None
+
+    # -- training ----------------------------------------------------------- #
+
+    @classmethod
+    def train(
+        cls,
+        problem: Problem,
+        model_name: str,
+        scale: ModelScale,
+        statements: Sequence[str],
+        labels: np.ndarray,
+    ) -> "ProblemHead":
+        """Fit a fresh head for ``problem`` on labelled statements."""
+        if problem.is_classification:
+            encoder = LabelEncoder().fit(list(labels))
+            model = build_model(
+                model_name,
+                problem.task,
+                num_classes=encoder.num_classes,
+                scale=scale,
+            )
+            model.fit(statements, encoder.transform(list(labels)))
+            return cls(problem, model, encoder=encoder)
+        transform = LogLabelTransform().fit(labels)
+        model = build_model(model_name, problem.task, scale=scale)
+        model.fit(statements, transform.transform(labels))
+        return cls(problem, model, transform=transform)
+
+    # -- prediction ---------------------------------------------------------- #
+
+    def predict_into(
+        self,
+        statements: Sequence[str],
+        results: list,
+        features=None,
+    ) -> None:
+        """Write this head's predictions into the per-statement results.
+
+        ``results`` are :class:`~repro.core.facilitator.QueryInsights`
+        objects aligned with ``statements`` (duck-typed to avoid an import
+        cycle with the facilitator module). ``features`` is the optional
+        precomputed output of ``model.featurize(statements)`` — heads
+        whose models share a feature fingerprint are handed one shared
+        featurization instead of each re-extracting it.
+        """
+        if self.problem.is_classification:
+            assert self.encoder is not None
+            if self.problem is Problem.ERROR_CLASSIFICATION:
+                # one forward pass: class ids are the argmax of the
+                # probabilities, so predict() would redo the work
+                if features is not None:
+                    probs = self.model.predict_proba_from_features(features)
+                else:
+                    probs = self.model.predict_proba(statements)
+                names = self.encoder.inverse(probs.argmax(axis=1))
+                for i, result in enumerate(results):
+                    result.error_class = str(names[i])
+                    result.error_probabilities = {
+                        str(c): float(probs[i, j])
+                        for j, c in enumerate(self.encoder.classes_)
+                    }
+            else:
+                if features is not None:
+                    pred = self.model.predict_from_features(features)
+                else:
+                    pred = self.model.predict(statements)
+                names = self.encoder.inverse(pred)
+                for i, result in enumerate(results):
+                    result.session_class = str(names[i])
+            return
+        assert self.transform is not None
+        if features is not None:
+            pred = self.model.predict_from_features(features)
+        else:
+            pred = self.model.predict(statements)
+        pred_raw = np.maximum(self.transform.inverse(pred), 0.0)
+        attr = REGRESSION_INSIGHT_ATTRS[self.problem]
+        for i, result in enumerate(results):
+            setattr(result, attr, float(pred_raw[i]))
+
+    # -- persistence --------------------------------------------------------- #
+
+    def member_name(self) -> str:
+        """Artifact member carrying this head's model payload."""
+        return f"heads/{self.problem.name.lower()}.bin"
+
+    def manifest_entry(self, codec: str = "pickle") -> dict:
+        """JSON-safe description of this head for the artifact manifest.
+
+        Label vocabularies and transform parameters live here (inspectable
+        with ``unzip -p artifact manifest.json``); only the model object
+        itself goes into the binary payload.
+        """
+        return {
+            "problem": self.problem.name,
+            "model_class": type(self.model).__name__,
+            "codec": codec,
+            "payload": self.member_name(),
+            "classes": list(self.encoder.classes_) if self.encoder else None,
+            "transform": (
+                {"eps": self.transform.eps, "min_y": self.transform.min_y}
+                if self.transform
+                else None
+            ),
+        }
+
+    def payload(self, codec: str = "pickle") -> bytes:
+        """Encoded model bytes for the artifact."""
+        return serialize.encode_payload(codec, self.model)
+
+    @classmethod
+    def from_artifact(cls, entry: dict, data: bytes) -> "ProblemHead":
+        """Rebuild a head from its manifest entry and payload bytes."""
+        try:
+            problem = Problem[entry["problem"]]
+        except KeyError:
+            raise ArtifactFormatError(
+                f"artifact names unknown problem {entry.get('problem')!r}"
+            ) from None
+        model = serialize.decode_payload(entry.get("codec", "pickle"), data)
+        if not isinstance(model, QueryModel):
+            raise ArtifactFormatError(
+                f"head payload for {problem.name} is "
+                f"{type(model).__name__}, not a QueryModel"
+            )
+        encoder = None
+        if entry.get("classes") is not None:
+            encoder = LabelEncoder.from_classes(entry["classes"])
+        transform = None
+        if entry.get("transform") is not None:
+            spec = entry["transform"]
+            transform = LogLabelTransform(eps=float(spec["eps"]))
+            transform.min_y = float(spec["min_y"])
+        return cls(problem, model, encoder=encoder, transform=transform)

@@ -7,6 +7,8 @@ full table suite trains each (model, problem, setting) combination once.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Any
 
 from repro.core.evaluation import (
@@ -31,6 +33,7 @@ from repro.workloads.schema import (
     sqlshare_catalog,
     sqlshare_username,
 )
+from repro.workloads.io import load_log, load_workload, save_log, save_workload
 from repro.workloads.sdss import generate_sdss_log, generate_sdss_workload
 from repro.workloads.sqlshare import generate_sqlshare_workload
 
@@ -43,6 +46,7 @@ __all__ = [
     "classification_outcome",
     "regression_outcome",
     "clear_cache",
+    "workload_cache_dir",
 ]
 
 _CACHE: dict[tuple[Any, ...], Any] = {}
@@ -59,6 +63,72 @@ def _cached(key: tuple[Any, ...], factory) -> Any:
     return _CACHE[key]
 
 
+def workload_cache_dir() -> Path | None:
+    """Optional on-disk workload cache directory (``REPRO_WORKLOAD_CACHE``).
+
+    When set, generated workloads and logs persist as gzipped JSONL through
+    the streaming I/O core, so repeated experiment runs (benchmark suites,
+    CI) skip regeneration instead of re-simulating every session.
+    """
+    value = os.environ.get("REPRO_WORKLOAD_CACHE")
+    if not value:
+        return None
+    directory = Path(value)
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+#: On-disk workload cache schema/generation tag, part of every cache file
+#: name. Bump when workload generation or the simulated execution engine
+#: changes behaviour, so stale caches are bypassed instead of silently
+#: reused (``path.exists()`` is the only validity check).
+_CACHE_GENERATION = 1
+
+
+def _cache_path(directory: Path, stem: str) -> Path:
+    return directory / f"{stem}.v{_CACHE_GENERATION}.jsonl.gz"
+
+
+def _atomic_save(path: Path, write) -> None:
+    """Write through a same-directory temp file + ``os.replace``.
+
+    A crash mid-write (or two runs racing on the same stem) must never
+    leave a truncated file at ``path`` — ``path.exists()`` is the cache's
+    only validity check. The temp name keeps the final suffix so the
+    ``.gz``-sensitive writers compress it identically.
+    """
+    tmp = path.with_name(f"{path.stem}.tmp{os.getpid()}{path.suffix}")
+    try:
+        write(tmp)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _disk_cached_workload(stem: str, factory) -> Workload:
+    directory = workload_cache_dir()
+    if directory is None:
+        return factory()
+    path = _cache_path(directory, stem)
+    if path.exists():
+        return load_workload(path)
+    workload = factory()
+    _atomic_save(path, lambda tmp: save_workload(workload, tmp))
+    return workload
+
+
+def _disk_cached_log(stem: str, factory) -> list[LogEntry]:
+    directory = workload_cache_dir()
+    if directory is None:
+        return factory()
+    path = _cache_path(directory, stem)
+    if path.exists():
+        return load_log(path)
+    entries = factory()
+    _atomic_save(path, lambda tmp: save_log(entries, tmp, name=stem))
+    return entries
+
+
 # -- workloads ------------------------------------------------------------ #
 
 
@@ -66,8 +136,11 @@ def sdss_log(config: ExperimentConfig) -> list[LogEntry]:
     """The raw (pre-dedup) SDSS log for this config."""
     return _cached(
         ("sdss_log", config),
-        lambda: generate_sdss_log(
-            n_sessions=config.sdss_sessions, seed=config.sdss_seed
+        lambda: _disk_cached_log(
+            f"sdss-log-{config.sdss_sessions}-{config.sdss_seed}",
+            lambda: generate_sdss_log(
+                n_sessions=config.sdss_sessions, seed=config.sdss_seed
+            ),
         ),
     )
 
@@ -76,8 +149,11 @@ def sdss_workload(config: ExperimentConfig) -> Workload:
     """The extracted (deduplicated) SDSS workload."""
     return _cached(
         ("sdss_workload", config),
-        lambda: generate_sdss_workload(
-            n_sessions=config.sdss_sessions, seed=config.sdss_seed
+        lambda: _disk_cached_workload(
+            f"sdss-{config.sdss_sessions}-{config.sdss_seed}",
+            lambda: generate_sdss_workload(
+                n_sessions=config.sdss_sessions, seed=config.sdss_seed
+            ),
         ),
     )
 
@@ -86,8 +162,11 @@ def sqlshare_workload(config: ExperimentConfig) -> Workload:
     """The SQLShare workload (CPU time labels only)."""
     return _cached(
         ("sqlshare_workload", config),
-        lambda: generate_sqlshare_workload(
-            n_users=config.sqlshare_users, seed=config.sqlshare_seed
+        lambda: _disk_cached_workload(
+            f"sqlshare-{config.sqlshare_users}-{config.sqlshare_seed}",
+            lambda: generate_sqlshare_workload(
+                n_users=config.sqlshare_users, seed=config.sqlshare_seed
+            ),
         ),
     )
 

@@ -65,6 +65,18 @@ class LabelEncoder:
         self._index = {c: i for i, c in enumerate(self.classes_)}
         return self
 
+    @classmethod
+    def from_classes(cls, classes: Sequence) -> "LabelEncoder":
+        """Rebuild an encoder from a stored vocabulary, preserving order.
+
+        Artifact loading uses this instead of :meth:`fit`, which would
+        re-sort and could reorder ids relative to the trained model.
+        """
+        encoder = cls()
+        encoder.classes_ = list(classes)
+        encoder._index = {c: i for i, c in enumerate(encoder.classes_)}
+        return encoder
+
     @property
     def num_classes(self) -> int:
         return len(self.classes_)

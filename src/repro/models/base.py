@@ -52,6 +52,32 @@ class QueryModel(ABC):
             f"{self.name} does not produce class probabilities"
         )
 
+    # -- shared featurization (serving fast path) ---------------------------- #
+
+    def feature_fingerprint(self) -> bytes | None:
+        """Identity of this model's statement→feature map, or ``None``.
+
+        Two fitted models returning equal fingerprints are guaranteed to
+        produce identical :meth:`featurize` output, so a caller holding
+        several such models (the facilitator's batched insights path,
+        where every head was fit with the same name/scale on the same
+        statements) can featurize a batch once and fan the features out
+        across models. ``None`` (the default) disables sharing.
+        """
+        return None
+
+    def featurize(self, statements: Sequence[str]):
+        """Statement batch → feature representation (fingerprinted models)."""
+        raise NotImplementedError(f"{self.name} has no shared featurize path")
+
+    def predict_from_features(self, features) -> np.ndarray:
+        """:meth:`predict` on output of :meth:`featurize`."""
+        raise NotImplementedError(f"{self.name} has no shared featurize path")
+
+    def predict_proba_from_features(self, features) -> np.ndarray:
+        """:meth:`predict_proba` on output of :meth:`featurize`."""
+        raise NotImplementedError(f"{self.name} has no shared featurize path")
+
     @property
     def vocab_size(self) -> int:
         """Token/feature vocabulary size (the paper's ``v`` column)."""

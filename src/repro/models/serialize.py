@@ -1,0 +1,230 @@
+"""Unified model/artifact serialization: payload codecs and zip artifacts.
+
+Everything the library persists — facilitator artifacts, standalone module
+weights — routes through one registry of *payload codecs* (name ↔ encode/
+decode to bytes) so on-disk formats are named, versioned, and shared across
+layers instead of ad-hoc pickles:
+
+- the ``pickle`` codec carries arbitrary fitted model objects;
+- the ``npz`` codec carries ``nn.Module`` state dicts and is the same
+  byte format :mod:`repro.nn.serialize` writes for ``.npz`` weight files.
+
+On top of the codecs, :func:`write_artifact` / :func:`read_artifact`
+implement the versioned artifact container used by
+:meth:`repro.core.facilitator.QueryFacilitator.save`: a zip file holding a
+``manifest.json`` (format name, format version, model names, label
+vocabularies) plus named binary payload members. Readers fail fast with
+:class:`ArtifactFormatError` — never a raw ``UnpicklingError`` — when
+handed the wrong kind of file or a stale format version.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+import zipfile
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ArtifactFormatError",
+    "PayloadCodec",
+    "register_codec",
+    "get_codec",
+    "codec_names",
+    "encode_payload",
+    "decode_payload",
+    "pack_arrays",
+    "unpack_arrays",
+    "write_artifact",
+    "read_artifact",
+    "read_manifest",
+    "MANIFEST_NAME",
+]
+
+#: Zip member holding the JSON manifest of every artifact.
+MANIFEST_NAME = "manifest.json"
+
+
+class ArtifactFormatError(ValueError):
+    """Raised when a persisted artifact is missing, foreign, or stale.
+
+    Mirrors :class:`repro.workloads.io.WorkloadFormatError` for the model
+    side of the library: loaders name the offending path and the expected
+    format instead of surfacing pickle/zip internals.
+    """
+
+
+class PayloadCodec:
+    """A named bytes codec for one kind of persisted payload."""
+
+    def __init__(
+        self,
+        name: str,
+        encode: Callable[[Any], bytes],
+        decode: Callable[[bytes], Any],
+    ):
+        self.name = name
+        self.encode = encode
+        self.decode = decode
+
+
+_CODECS: dict[str, PayloadCodec] = {}
+
+
+def register_codec(
+    name: str,
+    encode: Callable[[Any], bytes],
+    decode: Callable[[bytes], Any],
+) -> PayloadCodec:
+    """Register (or replace) a payload codec under ``name``."""
+    codec = PayloadCodec(name, encode, decode)
+    _CODECS[name] = codec
+    return codec
+
+
+def get_codec(name: str) -> PayloadCodec:
+    """Look up a codec; unknown names raise :class:`ArtifactFormatError`."""
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise ArtifactFormatError(
+            f"unknown payload codec {name!r} (known: {sorted(_CODECS)}); "
+            "the artifact was written by a newer library version"
+        ) from None
+
+
+def codec_names() -> list[str]:
+    """Names of every registered codec."""
+    return sorted(_CODECS)
+
+
+def encode_payload(codec: str, obj: Any) -> bytes:
+    """Encode ``obj`` with the named codec."""
+    return get_codec(codec).encode(obj)
+
+
+def decode_payload(codec: str, data: bytes) -> Any:
+    """Decode ``data`` with the named codec."""
+    return get_codec(codec).decode(data)
+
+
+# -- built-in codecs ---------------------------------------------------------- #
+
+
+def pack_arrays(arrays: dict[str, np.ndarray]) -> bytes:
+    """``{name: array}`` → npz bytes (the ``.npz`` weight-file format)."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def unpack_arrays(data: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`pack_arrays`."""
+    try:
+        with np.load(io.BytesIO(data)) as loaded:
+            return {name: loaded[name] for name in loaded.files}
+    except (OSError, ValueError) as exc:
+        raise ArtifactFormatError(f"corrupt npz payload: {exc}") from exc
+
+
+def _pickle_decode(data: bytes) -> Any:
+    try:
+        return pickle.loads(data)
+    except Exception as exc:  # UnpicklingError, EOFError, AttributeError...
+        raise ArtifactFormatError(f"corrupt pickle payload: {exc}") from exc
+
+
+register_codec(
+    "pickle",
+    lambda obj: pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+    _pickle_decode,
+)
+register_codec("npz", pack_arrays, unpack_arrays)
+
+
+# -- versioned zip artifacts --------------------------------------------------- #
+
+
+def write_artifact(
+    path: str | Path,
+    manifest: dict,
+    payloads: dict[str, bytes] | None = None,
+) -> None:
+    """Write a versioned artifact: ``manifest.json`` + binary members.
+
+    ``manifest`` must carry at least ``format`` and ``version`` keys so
+    :func:`read_artifact` can validate before touching any payload.
+    """
+    if "format" not in manifest or "version" not in manifest:
+        raise ValueError("artifact manifest needs 'format' and 'version'")
+    with zipfile.ZipFile(Path(path), "w", zipfile.ZIP_DEFLATED) as archive:
+        archive.writestr(MANIFEST_NAME, json.dumps(manifest, indent=2))
+        for member, data in (payloads or {}).items():
+            archive.writestr(member, data)
+
+
+def read_manifest(
+    path: str | Path, expected_format: str, expected_version: int
+) -> dict:
+    """Read and validate just the manifest of an artifact file.
+
+    Raises:
+        ArtifactFormatError: not a zip artifact, manifest missing/corrupt,
+            wrong ``format`` name, or unsupported ``version``.
+        OSError: the file does not exist or cannot be read.
+    """
+    path = Path(path)
+    # surface missing files as the usual OSError, not a format error
+    with path.open("rb") as handle:
+        handle.read(0)
+    if not zipfile.is_zipfile(path):
+        raise ArtifactFormatError(
+            f"{path}: not a saved {expected_format} artifact "
+            f"(expected a zip container with a {MANIFEST_NAME}; "
+            "files from before the versioned format must be regenerated)"
+        )
+    with zipfile.ZipFile(path) as archive:
+        if MANIFEST_NAME not in archive.namelist():
+            raise ArtifactFormatError(
+                f"{path}: zip file without {MANIFEST_NAME} — "
+                f"not a saved {expected_format} artifact"
+            )
+        try:
+            manifest = json.loads(archive.read(MANIFEST_NAME))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ArtifactFormatError(
+                f"{path}: corrupt {MANIFEST_NAME}: {exc}"
+            ) from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != expected_format:
+        raise ArtifactFormatError(
+            f"{path}: artifact format is {manifest.get('format')!r}, "
+            f"expected {expected_format!r}"
+        )
+    if manifest.get("version") != expected_version:
+        raise ArtifactFormatError(
+            f"{path}: unsupported {expected_format} version "
+            f"{manifest.get('version')!r} (this library reads version "
+            f"{expected_version})"
+        )
+    return manifest
+
+
+def read_artifact(
+    path: str | Path, expected_format: str, expected_version: int
+) -> tuple[dict, dict[str, bytes]]:
+    """Read an artifact written by :func:`write_artifact`.
+
+    Returns the validated manifest and every non-manifest member's bytes.
+    """
+    manifest = read_manifest(path, expected_format, expected_version)
+    payloads: dict[str, bytes] = {}
+    with zipfile.ZipFile(Path(path)) as archive:
+        for member in archive.namelist():
+            if member != MANIFEST_NAME:
+                payloads[member] = archive.read(member)
+    return manifest, payloads

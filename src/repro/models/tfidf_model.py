@@ -9,6 +9,7 @@ the prediction weights are learned.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from hashlib import blake2b
 
 import numpy as np
 
@@ -42,10 +43,48 @@ class _TfidfBase(QueryModel):
         prefix = "c" if level == "char" else "w"
         self.name = f"{prefix}tfidf"
         self.level = level
+        self._fingerprint: bytes | None = None
 
     @property
     def vocab_size(self) -> int:
         return self.vectorizer.num_features
+
+    def feature_fingerprint(self) -> bytes | None:
+        """Digest of the fitted statement→TF-IDF map.
+
+        Heads fit with the same level/caps on the same statements end up
+        with byte-identical vocabularies and idf vectors, so the digest
+        matches and the facilitator featurizes each batch once for all of
+        them instead of once per head. The digest is memoized — the fitted
+        vectorizer is immutable, and ``insights_batch`` asks on every call.
+        """
+        vectorizer = self.vectorizer
+        if vectorizer.idf_ is None:
+            return None
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        digest = blake2b(digest_size=16)
+        digest.update(
+            repr(
+                (
+                    "tfidf",
+                    vectorizer.level,
+                    vectorizer.max_features,
+                    vectorizer.min_n,
+                    vectorizer.max_n,
+                    vectorizer.max_len,
+                    vectorizer.mask_digits,
+                )
+            ).encode()
+        )
+        digest.update("\x00".join(vectorizer.vocabulary_).encode())
+        digest.update(vectorizer.idf_.tobytes())
+        self._fingerprint = digest.digest()
+        return self._fingerprint
+
+    def featurize(self, statements: Sequence[str]):
+        return self.vectorizer.transform(list(statements))
 
 
 class TfidfClassifier(_TfidfBase):
@@ -72,6 +111,7 @@ class TfidfClassifier(_TfidfBase):
         )
 
     def fit(self, statements: Sequence[str], labels: np.ndarray):
+        self._fingerprint = None
         features = self.vectorizer.fit_transform(list(statements))
         self.classifier.fit(features, np.asarray(labels, dtype=np.int64))
         return self
@@ -85,6 +125,12 @@ class TfidfClassifier(_TfidfBase):
         return self.classifier.predict_proba(
             self.vectorizer.transform(list(statements))
         )
+
+    def predict_from_features(self, features) -> np.ndarray:
+        return self.classifier.predict(features)
+
+    def predict_proba_from_features(self, features) -> np.ndarray:
+        return self.classifier.predict_proba(features)
 
     @property
     def num_parameters(self) -> int:
@@ -114,6 +160,7 @@ class TfidfRegressor(_TfidfBase):
         )
 
     def fit(self, statements: Sequence[str], labels: np.ndarray):
+        self._fingerprint = None
         features = self.vectorizer.fit_transform(list(statements))
         self.regressor.fit(features, np.asarray(labels, dtype=np.float64))
         return self
@@ -122,6 +169,9 @@ class TfidfRegressor(_TfidfBase):
         return self.regressor.predict(
             self.vectorizer.transform(list(statements))
         )
+
+    def predict_from_features(self, features) -> np.ndarray:
+        return self.regressor.predict(features)
 
     @property
     def num_parameters(self) -> int:

@@ -1,10 +1,14 @@
-"""Parameter serialization for trained models."""
+"""Parameter serialization for trained models.
+
+The byte format is the ``npz`` codec of the unified
+:mod:`repro.models.serialize` registry, so weight files written here and
+the per-head payloads inside facilitator artifacts are the same format
+read by the same code path.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
-
-import numpy as np
 
 from repro.nn.module import Module
 
@@ -13,12 +17,14 @@ __all__ = ["save_module", "load_module"]
 
 def save_module(module: Module, path: str | Path) -> None:
     """Save a module's parameters to an ``.npz`` file."""
-    state = module.state_dict()
-    np.savez(Path(path), **state)
+    from repro.models.serialize import encode_payload
+
+    Path(path).write_bytes(encode_payload("npz", module.state_dict()))
 
 
 def load_module(module: Module, path: str | Path) -> Module:
     """Load parameters saved by :func:`save_module` into ``module``."""
-    with np.load(Path(path)) as data:
-        module.load_state_dict({name: data[name] for name in data.files})
+    from repro.models.serialize import decode_payload
+
+    module.load_state_dict(decode_payload("npz", Path(path).read_bytes()))
     return module

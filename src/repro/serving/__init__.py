@@ -1,0 +1,27 @@
+"""Serving layer: run a fitted facilitator as a low-latency service.
+
+The paper's end goal is pre-execution insights served to live database
+users. This package is that serving surface:
+
+- :class:`FacilitatorService` — wraps a fitted
+  :class:`~repro.core.facilitator.QueryFacilitator` behind a micro-batching
+  request queue (up to ``max_batch`` statements / ``max_wait_ms``, one
+  ``insights_batch`` call per batch), with warm-up priming of the shared
+  sqlang pipeline cache and per-service stats (requests, batch sizes,
+  p50/p95 latency, pipeline hit rate);
+- :func:`make_server` / :class:`InsightsHTTPServer` — a dependency-free
+  ``http.server`` JSON endpoint (``POST /insights``, ``GET /stats``,
+  ``GET /healthz``) whose handler threads coalesce into the queue;
+- the ``repro serve`` CLI command wires both to a saved artifact.
+"""
+
+from repro.serving.service import FacilitatorService, PendingRequest, ServiceStats
+from repro.serving.http import InsightsHTTPServer, make_server
+
+__all__ = [
+    "FacilitatorService",
+    "PendingRequest",
+    "ServiceStats",
+    "InsightsHTTPServer",
+    "make_server",
+]

@@ -1,0 +1,147 @@
+"""Stdlib JSON/HTTP endpoint over a :class:`FacilitatorService`.
+
+No framework dependency: a :class:`ThreadingHTTPServer` whose handler
+threads submit into the service's micro-batching queue and block until
+their batch runs — which is exactly how concurrent requests coalesce into
+one ``insights_batch`` call.
+
+Routes:
+
+- ``POST /insights`` — body ``{"statements": [...]}`` (or
+  ``{"statement": "..."}``); responds ``{"insights": [...]}`` with one
+  JSON object per statement (the ``QueryInsights.to_dict`` wire format).
+- ``GET /stats`` — serving counters + pipeline cache effectiveness.
+- ``GET /healthz`` — liveness plus the problems this facilitator answers.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from repro.serving.service import FacilitatorService
+
+__all__ = ["InsightsHTTPServer", "make_server"]
+
+#: Request bodies larger than this are rejected outright (64 MiB).
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class InsightsHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared service for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: FacilitatorService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _InsightsHandler)
+
+
+class _InsightsHandler(BaseHTTPRequestHandler):
+    server: InsightsHTTPServer
+
+    # -- plumbing ------------------------------------------------------------ #
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body_json(self) -> dict | None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._send_json(400, {"error": "bad Content-Length header"})
+            return None
+        if length <= 0:
+            self._send_json(400, {"error": "empty request body"})
+            return None
+        if length > _MAX_BODY_BYTES:
+            self._send_json(413, {"error": "request body too large"})
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_json(400, {"error": f"body is not JSON: {exc}"})
+            return None
+        if not isinstance(payload, dict):
+            self._send_json(400, {"error": "body must be a JSON object"})
+            return None
+        return payload
+
+    # -- routes -------------------------------------------------------------- #
+
+    def do_POST(self) -> None:
+        if urlsplit(self.path).path.rstrip("/") != "/insights":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        payload = self._read_body_json()
+        if payload is None:
+            return
+        statements = payload.get("statements")
+        if statements is None and "statement" in payload:
+            statements = [payload["statement"]]
+        if (
+            not isinstance(statements, list)
+            or not statements
+            or not all(isinstance(s, str) for s in statements)
+        ):
+            self._send_json(
+                400,
+                {
+                    "error": "body needs 'statements': [str, ...] "
+                    "(or 'statement': str)"
+                },
+            )
+            return
+        try:
+            insights = self.server.service.insights_many(statements)
+        except Exception as exc:
+            self._send_json(500, {"error": str(exc)})
+            return
+        self._send_json(
+            200, {"insights": [insight.to_dict() for insight in insights]}
+        )
+
+    def do_GET(self) -> None:
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        if path == "/stats":
+            self._send_json(200, self.server.service.stats.to_dict())
+        elif path == "/healthz":
+            facilitator = self.server.service.facilitator
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "model_name": facilitator.model_name,
+                    "problems": [
+                        p.name.lower() for p in facilitator.problems
+                    ],
+                },
+            )
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+
+def make_server(
+    service: FacilitatorService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+) -> InsightsHTTPServer:
+    """Bind (but do not start) the JSON endpoint for ``service``.
+
+    ``port=0`` binds an ephemeral port; read ``server.server_address``.
+    Call ``serve_forever()`` to run, ``shutdown()`` from another thread to
+    stop.
+    """
+    return InsightsHTTPServer((host, port), service, quiet=quiet)

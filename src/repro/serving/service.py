@@ -1,0 +1,476 @@
+"""FacilitatorService: a micro-batching request queue over a facilitator.
+
+Per-statement ``insights()`` calls pay per-call model overhead (one
+vectorizer pass, one forward per head, per statement). Real serving
+traffic is concurrent and massively repetitive (Figure 20), so the service
+collects in-flight requests into micro-batches — up to ``max_batch``
+statements or ``max_wait_ms`` after the first arrival, whichever comes
+first — and answers each batch with a single
+:meth:`~repro.core.facilitator.QueryFacilitator.insights_batch` call.
+
+The service also owns the serving-side observability: request counts,
+batch-size distribution, p50/p95 request latency, and the shared
+:mod:`repro.sqlang.pipeline` cache hit rate, all snapshotted by
+:attr:`FacilitatorService.stats`. ``warm_up()`` primes the pipeline cache
+(and the model code paths) before traffic arrives so the first requests
+don't pay cold-cache parses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from collections.abc import Iterable, Sequence
+from dataclasses import asdict, dataclass
+
+from repro.core.facilitator import QueryFacilitator, QueryInsights
+from repro.sqlang.pipeline import get_pipeline
+
+__all__ = ["FacilitatorService", "ServiceStats", "PendingRequest"]
+
+#: How many completed request latencies the stats window retains.
+_LATENCY_WINDOW = 4096
+
+#: Statements per ``analyze_batch`` chunk during warm-up (bounds memory
+#: when warming from a streaming workload pass).
+_WARM_CHUNK = 1024
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of a service's serving counters.
+
+    Attributes:
+        requests: Requests answered (one submit/insights call each).
+        statements: Statements predicted across all requests.
+        batches: Micro-batches executed (``insights_batch`` calls).
+        mean_batch_size: Statements per batch on average.
+        max_batch_size: Largest micro-batch executed.
+        latency_p50_ms / latency_p95_ms: Request latency percentiles over
+            the recent-request window (enqueue → result ready).
+        insight_cache: Serving-side insight memo counters (hits, misses,
+            hit_rate, size) — repeated statements are answered without
+            touching the models at all.
+        pipeline: ``repro.sqlang.pipeline`` cache counters (hits, misses,
+            hit_rate, size, ...) for cache-effectiveness observability.
+    """
+
+    requests: int
+    statements: int
+    batches: int
+    mean_batch_size: float
+    max_batch_size: int
+    latency_p50_ms: float
+    latency_p95_ms: float
+    warmed_statements: int
+    insight_cache: dict
+    pipeline: dict
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (the ``/stats`` wire format)."""
+        return asdict(self)
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+class PendingRequest:
+    """Handle for one submitted request; ``result()`` blocks until ready.
+
+    Completion is signalled through one condition shared by every request
+    of a service (the worker notifies once per finished micro-batch), not
+    a per-request ``threading.Event`` — allocating an event per request
+    costs more than an entire micro-batched prediction at high request
+    rates.
+    """
+
+    __slots__ = (
+        "statements",
+        "_done_cond",
+        "_done",
+        "_results",
+        "_error",
+        "_enqueued_at",
+        "latency_ms",
+    )
+
+    def __init__(
+        self,
+        statements: list[str],
+        done_cond: threading.Condition | None = None,
+    ):
+        self.statements = statements
+        self._done_cond = done_cond if done_cond is not None else threading.Condition()
+        self._done = False
+        self._results: list[QueryInsights] | None = None
+        self._error: BaseException | None = None
+        self._enqueued_at = time.perf_counter()
+        self.latency_ms: float | None = None
+
+    def _finish(
+        self,
+        results: list[QueryInsights] | None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Record the outcome; the worker notifies the shared condition
+        once per batch after finishing every request in it."""
+        self.latency_ms = (time.perf_counter() - self._enqueued_at) * 1000.0
+        self._results = results
+        self._error = error
+        self._done = True
+
+    def done(self) -> bool:
+        """True when the micro-batch carrying this request has run."""
+        return self._done
+
+    def result(self, timeout: float | None = None) -> list[QueryInsights]:
+        """Insights for this request's statements (blocks until computed)."""
+        if not self._done:
+            deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            with self._done_cond:
+                while not self._done:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise TimeoutError(
+                                "request was not answered within the timeout"
+                            )
+                    self._done_cond.wait(remaining)
+        if self._error is not None:
+            raise self._error
+        assert self._results is not None
+        return self._results
+
+
+class FacilitatorService:
+    """Serve a fitted facilitator behind a micro-batching queue.
+
+    Args:
+        facilitator: A fitted :class:`QueryFacilitator` (or the path
+            semantics of :meth:`from_artifact`).
+        max_batch: Statement budget per micro-batch; a forming batch is
+            dispatched as soon as it reaches this size.
+        max_wait_ms: How long a dispatched batch may wait for co-riders
+            after the first request arrives. Lower bounds latency under
+            light traffic; raise it to trade tail latency for throughput.
+        cache_size: Bound on the serving-side insight memo (distinct
+            statements whose finished insights are kept; LRU-evicted).
+            ``0`` disables it. Sound because a loaded facilitator is
+            immutable: insights are a pure function of statement text.
+
+    Use as a context manager (or call :meth:`start`/:meth:`stop`)::
+
+        with FacilitatorService(facilitator) as service:
+            insights = service.insights("SELECT * FROM PhotoObj")
+    """
+
+    def __init__(
+        self,
+        facilitator: QueryFacilitator,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 8192,
+    ):
+        if not facilitator.heads:
+            raise ValueError(
+                "FacilitatorService needs a fitted QueryFacilitator"
+            )
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self.facilitator = facilitator
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.cache_size = cache_size
+        self._queue: deque[PendingRequest] = deque()
+        self._condition = threading.Condition()
+        self._done_cond = threading.Condition()
+        self._running = False
+        self._worker: threading.Thread | None = None
+        # counters (guarded by _condition's lock)
+        self._requests = 0
+        self._statements = 0
+        self._batches = 0
+        self._max_batch_seen = 0
+        self._warmed = 0
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        # insight memo (only the worker thread mutates it)
+        self._insight_cache: OrderedDict[str, QueryInsights] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    @classmethod
+    def from_artifact(cls, path, **kwargs) -> "FacilitatorService":
+        """Service over an artifact saved by ``QueryFacilitator.save``."""
+        return cls(QueryFacilitator.load(path), **kwargs)
+
+    # -- lifecycle ----------------------------------------------------------- #
+
+    def start(self) -> "FacilitatorService":
+        """Start the batching worker thread (idempotent)."""
+        with self._condition:
+            if self._running:
+                return self
+            self._running = True
+        self._worker = threading.Thread(
+            target=self._run, name="facilitator-service", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain outstanding requests and stop the worker."""
+        with self._condition:
+            if not self._running:
+                return
+            self._running = False
+            self._condition.notify_all()
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+
+    def __enter__(self) -> "FacilitatorService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- warm-up ------------------------------------------------------------- #
+
+    def warm_up(self, statements: Iterable[str], predict: bool = True) -> int:
+        """Prime the shared sqlang pipeline cache (and model paths).
+
+        Args:
+            statements: Representative statements — typically the training
+                workload or recent traffic. May be any iterable, including
+                a streaming :func:`repro.workloads.io.iter_workload` pass;
+                it is consumed in bounded chunks, never materialized, and
+                priming stops at the pipeline cache's capacity (anything
+                beyond would only evict earlier entries).
+            predict: Also run one ``insights_batch`` over a slice so the
+                per-head predict paths (vocabulary lookups, feature
+                matrices) are warm too.
+
+        Returns:
+            Number of statements primed.
+        """
+        pipeline = get_pipeline()
+        capacity = pipeline.stats.max_size
+        primed = 0
+        predict_slice: list[str] = []
+        chunk: list[str] = []
+        for statement in statements:
+            if predict and len(predict_slice) < self.max_batch:
+                predict_slice.append(statement)
+            chunk.append(statement)
+            if len(chunk) >= _WARM_CHUNK:
+                pipeline.analyze_batch(chunk)
+                primed += len(chunk)
+                chunk.clear()
+                if primed >= capacity:
+                    break
+        if chunk:
+            pipeline.analyze_batch(chunk)
+            primed += len(chunk)
+        if predict_slice:
+            self.facilitator.insights_batch(predict_slice)
+        with self._condition:
+            self._warmed += primed
+        return primed
+
+    # -- request path -------------------------------------------------------- #
+
+    def submit(self, statements: str | Sequence[str]) -> PendingRequest:
+        """Enqueue a request; returns a handle whose ``result()`` blocks.
+
+        The service must be running (``start()`` or context manager).
+        """
+        if isinstance(statements, str):
+            statements = [statements]
+        request = PendingRequest(list(statements), self._done_cond)
+        with self._condition:
+            if not self._running:
+                raise RuntimeError(
+                    "FacilitatorService is not running (use `with service:` "
+                    "or call start())"
+                )
+            # the worker only ever blocks on an empty queue (a non-empty
+            # queue means it is computing or gathering co-riders), so a
+            # notify is needed only for the transition from empty
+            was_empty = not self._queue
+            self._queue.append(request)
+            if was_empty:
+                self._condition.notify()
+        return request
+
+    def insights(
+        self, statement: str, timeout: float | None = None
+    ) -> QueryInsights:
+        """Micro-batched equivalent of ``facilitator.insights(statement)``."""
+        return self.submit(statement).result(timeout)[0]
+
+    def insights_many(
+        self, statements: Sequence[str], timeout: float | None = None
+    ) -> list[QueryInsights]:
+        """Micro-batched insights for one multi-statement request."""
+        return self.submit(list(statements)).result(timeout)
+
+    # -- stats --------------------------------------------------------------- #
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Current serving counters plus pipeline cache effectiveness."""
+        pipeline_stats = get_pipeline().stats
+        with self._condition:
+            # snapshot under the lock, sort/assemble outside it — the
+            # lock is shared with submit() and the batching worker
+            latencies = list(self._latencies)
+            requests = self._requests
+            batches = self._batches
+            statements = self._statements
+            max_batch_seen = self._max_batch_seen
+            warmed = self._warmed
+            cache_hits = self._cache_hits
+            cache_misses = self._cache_misses
+            cache_len = len(self._insight_cache)
+        latencies.sort()
+        return ServiceStats(
+            requests=requests,
+            statements=statements,
+            batches=batches,
+            mean_batch_size=(statements / batches) if batches else 0.0,
+            max_batch_size=max_batch_seen,
+            latency_p50_ms=round(_percentile(latencies, 0.50), 3),
+            latency_p95_ms=round(_percentile(latencies, 0.95), 3),
+            warmed_statements=warmed,
+            insight_cache={
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_rate": (
+                    round(cache_hits / (cache_hits + cache_misses), 4)
+                    if (cache_hits + cache_misses)
+                    else 0.0
+                ),
+                "size": cache_len,
+                "max_size": self.cache_size,
+            },
+            pipeline={
+                "hits": pipeline_stats.hits,
+                "misses": pipeline_stats.misses,
+                "evictions": pipeline_stats.evictions,
+                "size": pipeline_stats.size,
+                "max_size": pipeline_stats.max_size,
+                "hit_rate": round(pipeline_stats.hit_rate, 4),
+            },
+        )
+
+    # -- worker -------------------------------------------------------------- #
+
+    def _collect_batch(self) -> list[PendingRequest]:
+        """Block for the first request, then gather co-riders.
+
+        Returns an empty list only when the service is stopping and the
+        queue is fully drained.
+        """
+        max_wait_s = self.max_wait_ms / 1000.0
+        with self._condition:
+            while not self._queue and self._running:
+                self._condition.wait()
+            if not self._queue:
+                return []
+            batch = [self._queue.popleft()]
+            size = len(batch[0].statements)
+            deadline = time.monotonic() + max_wait_s
+            while size < self.max_batch:
+                if self._queue:
+                    request = self._queue.popleft()
+                    batch.append(request)
+                    size += len(request.statements)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._running:
+                    break
+                self._condition.wait(remaining)
+            return batch
+
+    def _answer_statements(self, statements: list[str]) -> list[QueryInsights]:
+        """One micro-batch through the insight memo + the facilitator.
+
+        Statements already served stay out of the model entirely; the
+        distinct misses go through one ``insights_batch`` call. Every
+        returned object is a fresh copy so callers own their results.
+        """
+        if not self.cache_size:
+            return self.facilitator.insights_batch(statements)
+        cache = self._insight_cache
+        hits = misses = 0
+        resolved: dict[str, QueryInsights] = {}
+        miss_order: dict[str, None] = {}
+        for statement in statements:
+            if statement in resolved:
+                hits += 1
+            elif statement in cache:
+                cache.move_to_end(statement)
+                resolved[statement] = cache[statement]
+                hits += 1
+            elif statement not in miss_order:
+                miss_order[statement] = None
+                misses += 1
+            else:
+                hits += 1  # in-batch repeat of a miss: computed once
+        if miss_order:
+            computed = self.facilitator.insights_batch(list(miss_order))
+            for insight in computed:
+                resolved[insight.statement] = insight
+                cache[insight.statement] = insight
+            while len(cache) > self.cache_size:
+                cache.popitem(last=False)
+        with self._condition:
+            self._cache_hits += hits
+            self._cache_misses += misses
+        return [resolved[s].copy() for s in statements]
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if not batch:
+                return
+            statements: list[str] = []
+            for request in batch:
+                statements.extend(request.statements)
+            try:
+                results = self._answer_statements(statements)
+            except BaseException as exc:  # delivered to every waiter
+                for request in batch:
+                    request._finish(None, exc)
+                with self._done_cond:
+                    self._done_cond.notify_all()
+                continue
+            offset = 0
+            for request in batch:
+                n = len(request.statements)
+                request._finish(results[offset : offset + n])
+                offset += n
+            with self._done_cond:
+                self._done_cond.notify_all()
+            with self._condition:
+                self._requests += len(batch)
+                self._statements += len(statements)
+                self._batches += 1
+                self._max_batch_seen = max(self._max_batch_seen, len(statements))
+                for request in batch:
+                    if request.latency_ms is not None:
+                        self._latencies.append(request.latency_ms)

@@ -15,6 +15,7 @@ __all__ = [
     "DIGIT_TOKEN",
     "normalize_statement",
     "word_tokens",
+    "char_text",
     "char_tokens",
     "template_of",
 ]
@@ -66,12 +67,22 @@ def word_tokens(statement: str, mask_digits: bool = True) -> list[str]:
     return tokens
 
 
-def char_tokens(statement: str, max_len: int | None = None) -> list[str]:
-    """Character-level tokens (whitespace normalised, case preserved)."""
+def char_text(statement: str, max_len: int | None = None) -> str:
+    """The exact character stream ``char_tokens`` tokenizes, as one str.
+
+    Character-level consumers that treat a str as a sequence of 1-char
+    tokens (the TF-IDF vectorizer's fast path) use this directly so the
+    two stay in sync by construction.
+    """
     text = normalize_statement(statement)
     if max_len is not None:
         text = text[:max_len]
-    return list(text)
+    return text
+
+
+def char_tokens(statement: str, max_len: int | None = None) -> list[str]:
+    """Character-level tokens (whitespace normalised, case preserved)."""
+    return list(char_text(statement, max_len))
 
 
 #: Digit runs including dotted sequences (version-like `1.2.3`), so the

@@ -17,9 +17,17 @@ NGRAM_SEP = "\x1f"
 
 
 def extract_ngrams(
-    tokens: Sequence[str], min_n: int = 1, max_n: int = 5
+    tokens: Sequence[str],
+    min_n: int = 1,
+    max_n: int = 5,
+    *,
+    single_char: bool | None = None,
 ) -> list[str]:
     """All n-grams of ``tokens`` for n in [min_n, max_n], as joined keys.
+
+    ``single_char`` may assert that every token is one character (the
+    char-level tokenizer guarantees it), skipping the auto-detection scan;
+    ``None`` detects it.
 
     >>> extract_ngrams(["a", "b", "c"], 1, 2)
     ['a', 'b', 'c', 'a\\x1fb', 'b\\x1fc']
@@ -30,16 +38,28 @@ def extract_ngrams(
         raise ValueError("max_n must be >= min_n")
     out: list[str] = []
     length = len(tokens)
+    # Single-character tokens (the char-level vectorizer) admit a fast
+    # path: join once, then every n-gram is a slice of the joined string —
+    # same keys, no per-gram tuple slice + join.
+    if single_char is None:
+        single_char = all(len(t) == 1 for t in tokens)
+    joined = NGRAM_SEP.join(tokens) if single_char else None
     for n in range(min_n, max_n + 1):
         if n > length:
             break
         if n == 1:
             out.extend(tokens)
+        elif joined is not None:
+            span = 2 * n - 1
+            out += [
+                joined[i : i + span]
+                for i in range(0, 2 * (length - n) + 1, 2)
+            ]
         else:
-            out.extend(
+            out += [
                 NGRAM_SEP.join(tokens[i : i + n])
                 for i in range(length - n + 1)
-            )
+            ]
     return out
 
 

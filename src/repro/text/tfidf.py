@@ -19,7 +19,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 from scipy import sparse
 
-from repro.sqlang.normalize import char_tokens, word_tokens
+from repro.sqlang.normalize import char_text, char_tokens, word_tokens
 from repro.text.ngrams import extract_ngrams
 
 __all__ = ["TfidfVectorizer"]
@@ -70,6 +70,14 @@ class TfidfVectorizer:
         ]
 
     def _ngrams(self, statement: str) -> list[str]:
+        if self.level == "char":
+            # a str is already a sequence of 1-char tokens — hand the
+            # normalized text over directly instead of exploding it into
+            # a per-character list (char_text == "".join(char_tokens))
+            text = char_text(statement, self.max_len)
+            return extract_ngrams(
+                text, self.min_n, self.max_n, single_char=True
+            )
         return extract_ngrams(
             self._tokenizer(statement), self.min_n, self.max_n
         )
@@ -109,27 +117,36 @@ class TfidfVectorizer:
             raise RuntimeError("TfidfVectorizer must be fitted first")
         indptr = [0]
         indices: list[int] = []
-        data: list[float] = []
+        counts: list[int] = []
+        row_totals: list[int] = []
         vocab = self.vocabulary_
-        idf = self.idf_
+        lookup = vocab.get
         for stmt in statements:
             grams = self._ngrams(stmt)
-            counts: Counter[int] = Counter(
-                vocab[g] for g in grams if g in vocab
-            )
-            total = max(len(grams), 1)
-            for idx, cnt in sorted(counts.items()):
-                indices.append(idx)
-                data.append((cnt / total) * idf[idx])
+            # count raw grams first so the vocab lookup runs once per
+            # distinct gram, not once per occurrence; rows are assembled
+            # unsorted and canonicalized by one C-level sort at the end
+            for gram, count in Counter(grams).items():
+                idx = lookup(gram)
+                if idx is not None:
+                    indices.append(idx)
+                    counts.append(count)
+            row_totals.append(max(len(grams), 1))
             indptr.append(len(indices))
-        return sparse.csr_matrix(
-            (
-                np.asarray(data, dtype=np.float64),
-                np.asarray(indices, dtype=np.int32),
-                np.asarray(indptr, dtype=np.int32),
-            ),
+        indices_arr = np.asarray(indices, dtype=np.int32)
+        indptr_arr = np.asarray(indptr, dtype=np.int32)
+        totals = np.repeat(
+            np.asarray(row_totals, dtype=np.float64), np.diff(indptr_arr)
+        )
+        data = (
+            np.asarray(counts, dtype=np.float64) / totals
+        ) * self.idf_[indices_arr]
+        matrix = sparse.csr_matrix(
+            (data, indices_arr, indptr_arr),
             shape=(len(statements), len(vocab)),
         )
+        matrix.sort_indices()
+        return matrix
 
     def fit_transform(self, statements: Sequence[str]) -> sparse.csr_matrix:
         """Fit on ``statements`` then transform them."""

@@ -21,7 +21,17 @@ from repro.workloads.dedup import (
     sample_one_per_session,
 )
 from repro.workloads.sessionize import Hit, sessionize
-from repro.workloads.io import load_log, load_workload, save_log, save_workload
+from repro.workloads.io import (
+    LogWriter,
+    WorkloadFormatError,
+    WorkloadWriter,
+    iter_log,
+    iter_workload,
+    load_log,
+    load_workload,
+    save_log,
+    save_workload,
+)
 from repro.workloads.compression import CompressedWorkload, compress_workload
 
 __all__ = [
@@ -48,6 +58,11 @@ __all__ = [
     "load_workload",
     "save_log",
     "load_log",
+    "iter_workload",
+    "iter_log",
+    "WorkloadWriter",
+    "LogWriter",
+    "WorkloadFormatError",
     "CompressedWorkload",
     "compress_workload",
 ]

@@ -1,4 +1,4 @@
-"""Workload persistence: JSON-lines readers and writers.
+"""Workload persistence: streaming JSON-lines readers and writers.
 
 The paper's pipeline starts from logged queries on disk (the SDSS SqlLog
 dump, the SQLShare release). This module gives the library the same
@@ -10,13 +10,28 @@ Format: each line is one JSON object. The first line is a header object
 ``{"repro_workload": 1, "name": ...}`` (``"repro_log": 1`` for raw logs)
 so readers can fail fast on the wrong file kind. Missing labels are
 serialized as JSON ``null`` and come back as ``None``.
+
+The core is streaming so million-record logs never need full
+materialization:
+
+- :func:`iter_workload` / :func:`iter_log` are generators yielding one
+  record at a time straight off the file;
+- :class:`WorkloadWriter` / :class:`LogWriter` append records through a
+  chunked buffer without holding the full dataset;
+- paths ending in ``.gz`` are read and written gzip-compressed,
+  transparently, by every entry point.
+
+``load_workload``/``load_log`` (and ``save_*``) are thin materializing
+wrappers over the streaming core for call sites that want whole objects.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
+from collections.abc import Iterable, Iterator
 from pathlib import Path
-from typing import Optional
+from typing import IO, Optional
 
 from repro.workloads.records import LogEntry, QueryRecord, Workload
 
@@ -25,6 +40,12 @@ __all__ = [
     "load_workload",
     "save_log",
     "load_log",
+    "iter_workload",
+    "iter_log",
+    "read_workload_header",
+    "read_log_header",
+    "WorkloadWriter",
+    "LogWriter",
     "WorkloadFormatError",
 ]
 
@@ -32,9 +53,19 @@ _WORKLOAD_MAGIC = "repro_workload"
 _LOG_MAGIC = "repro_log"
 _FORMAT_VERSION = 1
 
+#: Records buffered by the writers before each physical write.
+_WRITE_CHUNK = 512
+
 
 class WorkloadFormatError(ValueError):
     """Raised when a file is not a valid workload/log JSONL file."""
+
+
+def _open_text(path: Path, mode: str) -> IO[str]:
+    """Open ``path`` for line-oriented text I/O; ``.gz`` means gzip."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
 
 
 def _record_to_dict(record: QueryRecord) -> dict:
@@ -64,66 +95,6 @@ def _record_from_dict(data: dict, line_no: int) -> QueryRecord:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WorkloadFormatError(f"bad record on line {line_no}: {exc}") from exc
-
-
-def save_workload(workload: Workload, path: str | Path) -> None:
-    """Write ``workload`` to ``path`` as JSON lines (see module docstring)."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
-        header = {
-            _WORKLOAD_MAGIC: _FORMAT_VERSION,
-            "name": workload.name,
-            "records": len(workload),
-        }
-        handle.write(json.dumps(header) + "\n")
-        for record in workload:
-            handle.write(json.dumps(_record_to_dict(record)) + "\n")
-
-
-def _read_header(path: Path, magic: str) -> dict:
-    with path.open("r", encoding="utf-8") as handle:
-        first = handle.readline()
-    if not first.strip():
-        raise WorkloadFormatError(f"{path}: empty file")
-    try:
-        header = json.loads(first)
-    except json.JSONDecodeError as exc:
-        raise WorkloadFormatError(f"{path}: header is not JSON: {exc}") from exc
-    if not isinstance(header, dict) or magic not in header:
-        raise WorkloadFormatError(
-            f"{path}: missing {magic!r} header (is this the right file kind?)"
-        )
-    if header[magic] != _FORMAT_VERSION:
-        raise WorkloadFormatError(
-            f"{path}: unsupported format version {header[magic]!r}"
-        )
-    return header
-
-
-def load_workload(path: str | Path) -> Workload:
-    """Read a workload written by :func:`save_workload`.
-
-    Raises:
-        WorkloadFormatError: file is missing, empty, or malformed.
-    """
-    path = Path(path)
-    if not path.exists():
-        raise WorkloadFormatError(f"{path}: no such file")
-    header = _read_header(path, _WORKLOAD_MAGIC)
-    records: list[QueryRecord] = []
-    with path.open("r", encoding="utf-8") as handle:
-        next(handle)  # header
-        for line_no, line in enumerate(handle, start=2):
-            if not line.strip():
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise WorkloadFormatError(
-                    f"{path}: line {line_no} is not JSON: {exc}"
-                ) from exc
-            records.append(_record_from_dict(data, line_no))
-    return Workload(str(header.get("name", path.stem)), records)
 
 
 def _entry_to_dict(entry: LogEntry) -> dict:
@@ -161,33 +132,273 @@ def _entry_from_dict(data: dict, line_no: int) -> LogEntry:
         raise WorkloadFormatError(f"bad log entry on line {line_no}: {exc}") from exc
 
 
-def save_log(entries: list[LogEntry], path: str | Path, name: str = "log") -> None:
-    """Write raw (pre-dedup) log entries to ``path`` as JSON lines."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
-        header = {_LOG_MAGIC: _FORMAT_VERSION, "name": name, "entries": len(entries)}
-        handle.write(json.dumps(header) + "\n")
-        for entry in entries:
-            handle.write(json.dumps(_entry_to_dict(entry)) + "\n")
+# -- streaming read core ------------------------------------------------------ #
 
 
-def load_log(path: str | Path) -> list[LogEntry]:
-    """Read log entries written by :func:`save_log`."""
-    path = Path(path)
+def _parse_header(path: Path, first: str, magic: str) -> dict:
+    if not first.strip():
+        raise WorkloadFormatError(f"{path}: empty file")
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise WorkloadFormatError(f"{path}: header is not JSON: {exc}") from exc
+    if not isinstance(header, dict) or magic not in header:
+        raise WorkloadFormatError(
+            f"{path}: missing {magic!r} header (is this the right file kind?)"
+        )
+    if header[magic] != _FORMAT_VERSION:
+        raise WorkloadFormatError(
+            f"{path}: unsupported format version {header[magic]!r}"
+        )
+    return header
+
+
+#: Low-level read failures wrapped into WorkloadFormatError. EOFError is
+#: what gzip raises for a stream truncated mid-write.
+_READ_ERRORS = (EOFError, OSError, UnicodeDecodeError)
+
+
+def _read_header(path: Path, magic: str) -> dict:
     if not path.exists():
         raise WorkloadFormatError(f"{path}: no such file")
-    _read_header(path, _LOG_MAGIC)
-    entries: list[LogEntry] = []
-    with path.open("r", encoding="utf-8") as handle:
-        next(handle)
-        for line_no, line in enumerate(handle, start=2):
+    try:
+        with _open_text(path, "r") as handle:
+            first = handle.readline()
+    except _READ_ERRORS as exc:
+        raise WorkloadFormatError(f"{path}: unreadable: {exc}") from exc
+    return _parse_header(path, first, magic)
+
+
+def _iter_payload_lines(
+    path: Path, magic: str
+) -> Iterator[tuple[int, dict]]:
+    """Parse one file in a single open, one line at a time.
+
+    The first item yielded is ``(1, header)`` (already validated); every
+    subsequent item is ``(line_no, parsed_json)`` for one payload line. The
+    file stays open only while the generator is consumed; at no point is
+    more than one line materialized. Truncated/corrupt files (e.g. a gzip
+    stream cut off mid-write) surface as :class:`WorkloadFormatError`, not
+    raw ``EOFError``/``OSError``.
+    """
+    if not path.exists():
+        raise WorkloadFormatError(f"{path}: no such file")
+    with _open_text(path, "r") as handle:
+        try:
+            first = handle.readline()
+        except _READ_ERRORS as exc:
+            raise WorkloadFormatError(f"{path}: unreadable: {exc}") from exc
+        yield 1, _parse_header(path, first, magic)
+        line_no = 1
+        while True:
+            try:
+                line = handle.readline()
+            except _READ_ERRORS as exc:
+                raise WorkloadFormatError(
+                    f"{path}: truncated or corrupt after line {line_no}: "
+                    f"{exc}"
+                ) from exc
+            if not line:
+                return
+            line_no += 1
             if not line.strip():
                 continue
             try:
-                data = json.loads(line)
+                yield line_no, json.loads(line)
             except json.JSONDecodeError as exc:
                 raise WorkloadFormatError(
                     f"{path}: line {line_no} is not JSON: {exc}"
                 ) from exc
-            entries.append(_entry_from_dict(data, line_no))
-    return entries
+
+
+def read_workload_header(path: str | Path) -> dict:
+    """Validated header object of a workload file (name, counts if known)."""
+    return _read_header(Path(path), _WORKLOAD_MAGIC)
+
+
+def read_log_header(path: str | Path) -> dict:
+    """Validated header object of a raw-log file."""
+    return _read_header(Path(path), _LOG_MAGIC)
+
+
+def iter_workload(path: str | Path) -> Iterator[QueryRecord]:
+    """Stream the records of a workload file, one at a time.
+
+    The header is validated eagerly (missing/foreign files raise here, not
+    at first iteration); body lines are parsed lazily as they are reached.
+
+    Raises:
+        WorkloadFormatError: file is missing, empty, or malformed (bad
+            lines are reported with their line number as they are reached).
+    """
+    path = Path(path)
+    _read_header(path, _WORKLOAD_MAGIC)
+
+    def generate() -> Iterator[QueryRecord]:
+        lines = _iter_payload_lines(path, _WORKLOAD_MAGIC)
+        next(lines)  # header, validated eagerly above
+        for line_no, data in lines:
+            yield _record_from_dict(data, line_no)
+
+    return generate()
+
+
+def iter_log(path: str | Path) -> Iterator[LogEntry]:
+    """Stream the entries of a raw-log file, one at a time.
+
+    Same contract as :func:`iter_workload`: eager header validation, lazy
+    body parsing, transparent ``.gz`` support.
+    """
+    path = Path(path)
+    _read_header(path, _LOG_MAGIC)
+
+    def generate() -> Iterator[LogEntry]:
+        lines = _iter_payload_lines(path, _LOG_MAGIC)
+        next(lines)  # header, validated eagerly above
+        for line_no, data in lines:
+            yield _entry_from_dict(data, line_no)
+
+    return generate()
+
+
+# -- streaming write core ----------------------------------------------------- #
+
+
+class _JsonlWriter:
+    """Chunked append-writer for one JSONL file (context manager).
+
+    Records are buffered and flushed every :data:`_WRITE_CHUNK` appends, so
+    writing a workload of any size holds a bounded number of encoded lines
+    in memory. ``count`` is stamped into nothing (the header goes first and
+    streams can be unbounded) but is tracked for callers to report.
+    """
+
+    magic = ""
+
+    def __init__(
+        self,
+        path: str | Path,
+        name: str,
+        total: Optional[int] = None,
+        chunk_size: int = _WRITE_CHUNK,
+    ):
+        self.path = Path(path)
+        self.count = 0
+        self._chunk_size = max(1, chunk_size)
+        self._buffer: list[str] = []
+        self._handle: IO[str] | None = _open_text(self.path, "w")
+        header: dict = {self.magic: _FORMAT_VERSION, "name": name}
+        if total is not None:
+            header[self._total_key] = total
+        self._handle.write(json.dumps(header) + "\n")
+
+    _total_key = "records"
+
+    def _encode(self, item) -> dict:
+        raise NotImplementedError
+
+    def write(self, item) -> None:
+        """Append one record/entry."""
+        if self._handle is None:
+            raise RuntimeError(f"{self.path}: writer already closed")
+        self._buffer.append(json.dumps(self._encode(item)))
+        self.count += 1
+        if len(self._buffer) >= self._chunk_size:
+            self._flush()
+
+    def write_many(self, items: Iterable) -> int:
+        """Append every item of an iterable (may be a generator); returns
+        how many were written by this call."""
+        before = self.count
+        for item in items:
+            self.write(item)
+        return self.count - before
+
+    def _flush(self) -> None:
+        if self._buffer and self._handle is not None:
+            self._handle.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class WorkloadWriter(_JsonlWriter):
+    """Append :class:`QueryRecord` objects to a workload JSONL file."""
+
+    magic = _WORKLOAD_MAGIC
+    _total_key = "records"
+
+    def __init__(self, path, name="workload", total=None, chunk_size=_WRITE_CHUNK):
+        super().__init__(path, name, total=total, chunk_size=chunk_size)
+
+    def _encode(self, item: QueryRecord) -> dict:
+        return _record_to_dict(item)
+
+
+class LogWriter(_JsonlWriter):
+    """Append :class:`LogEntry` objects to a raw-log JSONL file."""
+
+    magic = _LOG_MAGIC
+    _total_key = "entries"
+
+    def __init__(self, path, name="log", total=None, chunk_size=_WRITE_CHUNK):
+        super().__init__(path, name, total=total, chunk_size=chunk_size)
+
+    def _encode(self, item: LogEntry) -> dict:
+        return _entry_to_dict(item)
+
+
+# -- materializing wrappers --------------------------------------------------- #
+
+
+def save_workload(workload: Workload, path: str | Path) -> None:
+    """Write ``workload`` to ``path`` as JSON lines (see module docstring)."""
+    with WorkloadWriter(path, name=workload.name, total=len(workload)) as writer:
+        writer.write_many(workload)
+
+
+def load_workload(path: str | Path) -> Workload:
+    """Read a workload written by :func:`save_workload` into memory.
+
+    Prefer :func:`iter_workload` when a single pass suffices.
+
+    Raises:
+        WorkloadFormatError: file is missing, empty, or malformed.
+    """
+    path = Path(path)
+    lines = _iter_payload_lines(path, _WORKLOAD_MAGIC)
+    _, header = next(lines)
+    records = [_record_from_dict(data, line_no) for line_no, data in lines]
+    name = header.get("name", path.stem)
+    return Workload(str(name), records)
+
+
+def save_log(entries: Iterable[LogEntry], path: str | Path, name: str = "log") -> None:
+    """Write raw (pre-dedup) log entries to ``path`` as JSON lines.
+
+    ``entries`` may be any iterable, including a generator; only a list
+    gets a total count stamped into the header.
+    """
+    total = len(entries) if isinstance(entries, (list, tuple)) else None
+    with LogWriter(path, name=name, total=total) as writer:
+        writer.write_many(entries)
+
+
+def load_log(path: str | Path) -> list[LogEntry]:
+    """Read log entries written by :func:`save_log` into memory.
+
+    Prefer :func:`iter_log` when a single pass suffices.
+    """
+    lines = _iter_payload_lines(Path(path), _LOG_MAGIC)
+    next(lines)  # header
+    return [_entry_from_dict(data, line_no) for line_no, data in lines]

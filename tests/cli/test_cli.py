@@ -55,6 +55,7 @@ class TestParser:
             "analyze",
             "train",
             "predict",
+            "serve",
             "evaluate",
             "experiment",
             "compress",
@@ -121,6 +122,23 @@ class TestAnalyze:
         assert main(["analyze", "/nonexistent/file.jsonl"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_pipeline_cache_stats_are_surfaced(self, sdss_file, capsys):
+        assert main(["analyze", str(sdss_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Statement-analysis pipeline cache" in out
+        assert "hit rate" in out
+
+    def test_gzip_workload_round_trips_through_cli(self, tmp_path, capsys):
+        path = tmp_path / "sdss.jsonl.gz"
+        rc = main(
+            ["generate", "sdss", "--sessions", "40", "--seed", "6", "-o", str(path)]
+        )
+        assert rc == 0
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # really gzip on disk
+        capsys.readouterr()
+        assert main(["analyze", str(path)]) == 0
+        assert "Structural properties" in capsys.readouterr().out
+
 
 class TestTrainPredict:
     def test_predict_table_output(self, facilitator_file, capsys):
@@ -167,6 +185,27 @@ class TestTrainPredict:
         )
         assert rc == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_predict_rejects_foreign_artifact(self, tmp_path, capsys):
+        path = tmp_path / "not_a_facilitator.bin"
+        path.write_bytes(b"random bytes, not an artifact")
+        rc = main(["predict", str(path), "SELECT 1"])
+        assert rc == 1
+        assert "not a saved repro.facilitator" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_missing_artifact_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["serve", str(tmp_path / "absent.bin")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_rejects_foreign_artifact(self, tmp_path, capsys):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"garbage")
+        rc = main(["serve", str(path)])
+        assert rc == 1
+        assert "not a saved repro.facilitator" in capsys.readouterr().err
 
 
 class TestEvaluate:

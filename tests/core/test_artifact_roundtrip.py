@@ -1,0 +1,173 @@
+"""Artifact round-trips: fit → save → load → bit-identical predictions.
+
+Covers both workload shapes the paper serves (SDSS: four label columns;
+SQLShare: CPU time only) and rejection of stale/wrong-version manifests.
+"""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.core.facilitator import (
+    ARTIFACT_FORMAT,
+    ArtifactFormatError,
+    QueryFacilitator,
+)
+from repro.core.problems import Problem
+from repro.models.factory import ModelScale
+from repro.workloads.sdss import generate_sdss_workload
+from repro.workloads.sqlshare import generate_sqlshare_workload
+
+_SCALE = ModelScale(epochs=2, tfidf_features=1500)
+
+_PROBE_STATEMENTS = [
+    "SELECT * FROM PhotoObj WHERE objId=42",
+    "SELECT TOP 5 ra, dec FROM SpecObj ORDER BY ra DESC",
+    "SELECT COUNT(*) FROM PhotoObj p JOIN SpecObj s ON p.objId=s.objId",
+    "SELCT broken FROM",
+]
+
+
+def _assert_bit_identical(before, after):
+    for b, a in zip(before, after):
+        assert a.error_class == b.error_class
+        assert a.session_class == b.session_class
+        # bit-identical, not approx: same arrays, same codecs, same floats
+        assert a.cpu_time_seconds == b.cpu_time_seconds
+        assert a.answer_size == b.answer_size
+        assert a.elapsed_seconds == b.elapsed_seconds
+        assert a.error_probabilities == b.error_probabilities
+
+
+class TestRoundTripShapes:
+    def test_sdss_shaped_round_trip(self, tmp_path):
+        workload = generate_sdss_workload(n_sessions=100, seed=9)
+        facilitator = QueryFacilitator(model_name="ctfidf", scale=_SCALE).fit(
+            workload
+        )
+        path = tmp_path / "sdss.fac"
+        facilitator.save(path)
+        restored = QueryFacilitator.load(path)
+        assert set(restored.problems) == set(facilitator.problems)
+        _assert_bit_identical(
+            facilitator.insights_batch(_PROBE_STATEMENTS),
+            restored.insights_batch(_PROBE_STATEMENTS),
+        )
+
+    def test_sqlshare_shaped_round_trip(self, tmp_path):
+        workload = generate_sqlshare_workload(n_users=10, seed=11)
+        facilitator = QueryFacilitator(model_name="ctfidf", scale=_SCALE).fit(
+            workload
+        )
+        assert facilitator.problems == [Problem.CPU_TIME]
+        path = tmp_path / "sqlshare.fac"
+        facilitator.save(path)
+        restored = QueryFacilitator.load(path)
+        assert restored.problems == [Problem.CPU_TIME]
+        _assert_bit_identical(
+            facilitator.insights_batch(_PROBE_STATEMENTS),
+            restored.insights_batch(_PROBE_STATEMENTS),
+        )
+
+    def test_baseline_model_round_trip(self, tmp_path):
+        # the cheap models go through the same registry path
+        workload = generate_sdss_workload(n_sessions=60, seed=13)
+        facilitator = QueryFacilitator(model_name="baseline").fit(workload)
+        path = tmp_path / "baseline.fac"
+        facilitator.save(path)
+        restored = QueryFacilitator.load(path)
+        _assert_bit_identical(
+            facilitator.insights_batch(_PROBE_STATEMENTS),
+            restored.insights_batch(_PROBE_STATEMENTS),
+        )
+
+
+def _rewrite_manifest(path, mutate):
+    with zipfile.ZipFile(path) as archive:
+        members = {m: archive.read(m) for m in archive.namelist()}
+    manifest = json.loads(members["manifest.json"])
+    mutate(manifest)
+    members["manifest.json"] = json.dumps(manifest).encode()
+    with zipfile.ZipFile(path, "w") as archive:
+        for member, data in members.items():
+            archive.writestr(member, data)
+
+
+@pytest.fixture(scope="module")
+def saved_artifact(tmp_path_factory):
+    workload = generate_sdss_workload(n_sessions=60, seed=13)
+    facilitator = QueryFacilitator(model_name="baseline").fit(workload)
+    path = tmp_path_factory.mktemp("artifact") / "fac.bin"
+    facilitator.save(path)
+    return path
+
+
+class TestManifestRejection:
+    def test_wrong_version_rejected(self, saved_artifact, tmp_path):
+        path = tmp_path / "future.fac"
+        path.write_bytes(saved_artifact.read_bytes())
+        _rewrite_manifest(path, lambda m: m.update(version=99))
+        with pytest.raises(ArtifactFormatError, match="version 99"):
+            QueryFacilitator.load(path)
+
+    def test_wrong_format_name_rejected(self, saved_artifact, tmp_path):
+        path = tmp_path / "other.fac"
+        path.write_bytes(saved_artifact.read_bytes())
+        _rewrite_manifest(path, lambda m: m.update(format="other.thing"))
+        with pytest.raises(ArtifactFormatError, match=ARTIFACT_FORMAT):
+            QueryFacilitator.load(path)
+
+    def test_missing_head_payload_rejected(self, saved_artifact, tmp_path):
+        path = tmp_path / "dangling.fac"
+        path.write_bytes(saved_artifact.read_bytes())
+
+        def point_at_ghost(manifest):
+            manifest["heads"][0]["payload"] = "heads/ghost.bin"
+
+        _rewrite_manifest(path, point_at_ghost)
+        with pytest.raises(ArtifactFormatError, match="missing payload"):
+            QueryFacilitator.load(path)
+
+    def test_unknown_problem_rejected(self, saved_artifact, tmp_path):
+        path = tmp_path / "alien.fac"
+        path.write_bytes(saved_artifact.read_bytes())
+
+        def rename_problem(manifest):
+            manifest["heads"][0]["problem"] = "FUTURE_PROBLEM"
+
+        _rewrite_manifest(path, rename_problem)
+        with pytest.raises(ArtifactFormatError, match="FUTURE_PROBLEM"):
+            QueryFacilitator.load(path)
+
+    def test_unknown_codec_rejected(self, saved_artifact, tmp_path):
+        path = tmp_path / "codec.fac"
+        path.write_bytes(saved_artifact.read_bytes())
+
+        def rename_codec(manifest):
+            manifest["heads"][0]["codec"] = "zstd-v9"
+
+        _rewrite_manifest(path, rename_codec)
+        with pytest.raises(ArtifactFormatError, match="zstd-v9"):
+            QueryFacilitator.load(path)
+
+
+class TestSimilarIndexRoundTrip:
+    def test_similar_index_survives(self, tmp_path):
+        workload = generate_sdss_workload(n_sessions=60, seed=17)
+        facilitator = QueryFacilitator(
+            model_name="baseline", index_similar=True
+        ).fit(workload)
+        path = tmp_path / "knn.fac"
+        facilitator.save(path)
+        restored = QueryFacilitator.load(path)
+        statement = workload.statements()[0]
+        before = facilitator.similar_queries(statement, k=3)
+        after = restored.similar_queries(statement, k=3)
+        assert [n.record.statement for n in before] == [
+            n.record.statement for n in after
+        ]
+        assert np.allclose(
+            [n.similarity for n in before], [n.similarity for n in after]
+        )

@@ -1,11 +1,18 @@
-"""QueryFacilitator save/load round-trips."""
+"""QueryFacilitator save/load: versioned artifact behavior."""
 
+import json
 import pickle
+import zipfile
 
 import numpy as np
 import pytest
 
-from repro.core.facilitator import QueryFacilitator
+from repro.core.facilitator import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ArtifactFormatError,
+    QueryFacilitator,
+)
 from repro.models.factory import ModelScale
 from repro.workloads.sdss import generate_sdss_workload
 
@@ -41,6 +48,23 @@ class TestFacilitatorPersistence:
         restored = QueryFacilitator.load(path)
         assert restored.problems == fitted_facilitator.problems
         assert restored.model_name == fitted_facilitator.model_name
+        assert restored.scale == fitted_facilitator.scale
+
+    def test_manifest_is_inspectable_json(self, fitted_facilitator, tmp_path):
+        path = tmp_path / "facilitator.pkl"
+        fitted_facilitator.save(path)
+        with zipfile.ZipFile(path) as archive:
+            manifest = json.loads(archive.read("manifest.json"))
+        assert manifest["format"] == ARTIFACT_FORMAT
+        assert manifest["version"] == ARTIFACT_VERSION
+        assert manifest["model_name"] == "ctfidf"
+        problems = {entry["problem"] for entry in manifest["heads"]}
+        assert "ERROR_CLASSIFICATION" in problems
+        error_head = next(
+            e for e in manifest["heads"] if e["problem"] == "ERROR_CLASSIFICATION"
+        )
+        # label vocabulary lives in the manifest, not the binary payload
+        assert "success" in error_head["classes"]
 
     def test_save_unfitted_raises(self, tmp_path):
         with pytest.raises(RuntimeError, match="unfitted"):
@@ -50,13 +74,27 @@ class TestFacilitatorPersistence:
         path = tmp_path / "foreign.pkl"
         with path.open("wb") as handle:
             pickle.dump({"hello": "world"}, handle)
-        with pytest.raises(ValueError, match="not a saved QueryFacilitator"):
+        with pytest.raises(ArtifactFormatError, match="not a saved repro.facilitator"):
             QueryFacilitator.load(path)
 
-    def test_load_rejects_plain_array_pickle(self, tmp_path):
+    def test_load_error_names_the_path(self, tmp_path):
         path = tmp_path / "array.pkl"
         with path.open("wb") as handle:
             pickle.dump(np.arange(5), handle)
+        with pytest.raises(ArtifactFormatError, match="array.pkl"):
+            QueryFacilitator.load(path)
+
+    def test_load_rejects_foreign_zip(self, tmp_path):
+        path = tmp_path / "foreign.zip"
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("readme.txt", "not a facilitator")
+        with pytest.raises(ArtifactFormatError, match="manifest.json"):
+            QueryFacilitator.load(path)
+
+    def test_artifact_format_error_is_value_error(self, tmp_path):
+        # CLI error handling catches ValueError; the format error must be one
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(b"garbage bytes")
         with pytest.raises(ValueError):
             QueryFacilitator.load(path)
 

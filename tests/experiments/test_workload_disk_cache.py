@@ -1,0 +1,52 @@
+"""Experiment drivers route workload (re)generation through streaming I/O.
+
+``REPRO_WORKLOAD_CACHE`` persists generated workloads/logs as gzipped
+JSONL so repeated experiment runs load instead of re-simulating.
+"""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_WORKLOAD_CACHE", str(tmp_path))
+    runner.clear_cache()
+    yield tmp_path
+    runner.clear_cache()
+
+
+_TINY = ExperimentConfig(name="tiny-cache-test", sdss_sessions=40, sqlshare_users=6)
+
+
+class TestWorkloadDiskCache:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKLOAD_CACHE", raising=False)
+        assert runner.workload_cache_dir() is None
+
+    def test_sdss_workload_persists_and_reloads(self, cache_dir):
+        first = runner.sdss_workload(_TINY)
+        files = list(cache_dir.glob("sdss-*.jsonl.gz"))
+        assert len(files) == 1
+        # drop the in-memory cache: the second call must read the file
+        runner.clear_cache()
+        second = runner.sdss_workload(_TINY)
+        assert second.records == first.records
+        assert second.name == first.name
+
+    def test_sdss_log_persists_and_reloads(self, cache_dir):
+        first = runner.sdss_log(_TINY)
+        assert list(cache_dir.glob("sdss-log-*.jsonl.gz"))
+        runner.clear_cache()
+        second = runner.sdss_log(_TINY)
+        assert len(second) == len(first)
+        assert second[0].statement == first[0].statement
+
+    def test_sqlshare_workload_persists_and_reloads(self, cache_dir):
+        first = runner.sqlshare_workload(_TINY)
+        assert list(cache_dir.glob("sqlshare-*.jsonl.gz"))
+        runner.clear_cache()
+        second = runner.sqlshare_workload(_TINY)
+        assert second.records == first.records

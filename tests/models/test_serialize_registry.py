@@ -1,0 +1,115 @@
+"""Unified serialization registry: codecs and artifact containers."""
+
+import numpy as np
+import pytest
+
+from repro.models.serialize import (
+    ArtifactFormatError,
+    codec_names,
+    decode_payload,
+    encode_payload,
+    get_codec,
+    pack_arrays,
+    read_artifact,
+    read_manifest,
+    register_codec,
+    unpack_arrays,
+    write_artifact,
+)
+from repro.nn.layers import Linear
+from repro.nn.serialize import load_module, save_module
+
+
+class TestCodecs:
+    def test_builtin_codecs_registered(self):
+        assert {"pickle", "npz"} <= set(codec_names())
+
+    def test_pickle_round_trip(self):
+        payload = {"a": [1, 2, 3], "b": "text"}
+        data = encode_payload("pickle", payload)
+        assert isinstance(data, bytes)
+        assert decode_payload("pickle", data) == payload
+
+    def test_npz_round_trip_bit_identical(self):
+        arrays = {
+            "weights": np.random.default_rng(0).normal(size=(4, 3)),
+            "bias": np.arange(3, dtype=np.float64),
+        }
+        restored = unpack_arrays(pack_arrays(arrays))
+        assert set(restored) == set(arrays)
+        for name in arrays:
+            np.testing.assert_array_equal(restored[name], arrays[name])
+
+    def test_unknown_codec_is_format_error(self):
+        with pytest.raises(ArtifactFormatError, match="zstd-future"):
+            get_codec("zstd-future")
+
+    def test_corrupt_pickle_is_format_error(self):
+        with pytest.raises(ArtifactFormatError, match="pickle"):
+            decode_payload("pickle", b"\x80garbage")
+
+    def test_corrupt_npz_is_format_error(self):
+        with pytest.raises(ArtifactFormatError, match="npz"):
+            decode_payload("npz", b"not an npz archive")
+
+    def test_custom_codec_registration(self):
+        register_codec(
+            "utf8-test", lambda s: s.encode("utf-8"), lambda b: b.decode("utf-8")
+        )
+        try:
+            assert decode_payload("utf8-test", encode_payload("utf8-test", "hé")) == "hé"
+        finally:
+            from repro.models import serialize
+
+            serialize._CODECS.pop("utf8-test", None)
+
+
+class TestSharedWithNnSerialize:
+    def test_module_file_is_npz_codec_bytes(self, tmp_path):
+        module = Linear(4, 2, np.random.default_rng(3))
+        path = tmp_path / "weights.npz"
+        save_module(module, path)
+        # the weight file on disk IS the registry's npz payload format
+        state = decode_payload("npz", path.read_bytes())
+        assert set(state) == set(module.state_dict())
+        clone = Linear(4, 2, np.random.default_rng(9))
+        load_module(clone, path)
+        for name, array in module.state_dict().items():
+            np.testing.assert_array_equal(clone.state_dict()[name], array)
+
+
+class TestArtifactContainer:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "thing.artifact"
+        manifest = {"format": "repro.test", "version": 3, "extra": [1, 2]}
+        payloads = {"blob.bin": b"\x00\x01", "nested/other.bin": b"abc"}
+        write_artifact(path, manifest, payloads)
+        read_back, members = read_artifact(path, "repro.test", 3)
+        assert read_back["extra"] == [1, 2]
+        assert members == payloads
+
+    def test_manifest_requires_format_and_version(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            write_artifact(tmp_path / "x", {"version": 1}, {})
+
+    def test_wrong_format_name(self, tmp_path):
+        path = tmp_path / "a.artifact"
+        write_artifact(path, {"format": "other", "version": 1})
+        with pytest.raises(ArtifactFormatError, match="expected 'repro.test'"):
+            read_manifest(path, "repro.test", 1)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "a.artifact"
+        write_artifact(path, {"format": "repro.test", "version": 1})
+        with pytest.raises(ArtifactFormatError, match="version 1"):
+            read_manifest(path, "repro.test", 2)
+
+    def test_non_zip_file(self, tmp_path):
+        path = tmp_path / "raw.bin"
+        path.write_bytes(b"loose bytes")
+        with pytest.raises(ArtifactFormatError, match="not a saved repro.test"):
+            read_manifest(path, "repro.test", 1)
+
+    def test_missing_file_is_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            read_manifest(tmp_path / "absent", "repro.test", 1)

@@ -1,0 +1,160 @@
+"""HTTP endpoint over a FacilitatorService: routes, errors, concurrency."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.facilitator import QueryFacilitator
+from repro.serving import FacilitatorService, make_server
+from repro.workloads.sdss import generate_sdss_workload
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    workload = generate_sdss_workload(n_sessions=80, seed=37)
+    facilitator = QueryFacilitator(model_name="baseline").fit(workload)
+    service = FacilitatorService(facilitator, max_batch=16, max_wait_ms=10.0)
+    service.start()
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join()
+    service.stop()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestRoutes:
+    def test_healthz(self, server_url):
+        status, payload = _get(server_url + "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert "error_classification" in payload["problems"]
+
+    def test_post_single_statement(self, server_url):
+        status, payload = _post(
+            server_url + "/insights", {"statement": "SELECT * FROM PhotoObj"}
+        )
+        assert status == 200
+        (insight,) = payload["insights"]
+        assert insight["statement"] == "SELECT * FROM PhotoObj"
+        assert insight["error_class"] is not None
+        assert isinstance(insight["cpu_time_seconds"], float)
+
+    def test_post_statement_list(self, server_url):
+        statements = ["SELECT 1", "SELECT ra FROM SpecObj"]
+        status, payload = _post(
+            server_url + "/insights", {"statements": statements}
+        )
+        assert status == 200
+        assert [i["statement"] for i in payload["insights"]] == statements
+
+    def test_stats_counts_requests(self, server_url):
+        _post(server_url + "/insights", {"statement": "SELECT 1"})
+        status, payload = _get(server_url + "/stats")
+        assert status == 200
+        assert payload["requests"] >= 1
+        assert payload["batches"] >= 1
+        assert "hit_rate" in payload["pipeline"]
+
+    def test_concurrent_posts_are_coalesced(self, server_url):
+        statements = [f"SELECT {i} FROM PhotoObj" for i in range(24)]
+
+        def client(statement):
+            return _post(server_url + "/insights", {"statement": statement})
+
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            responses = list(pool.map(client, statements))
+        assert all(status == 200 for status, _ in responses)
+        _, stats = _get(server_url + "/stats")
+        assert stats["requests"] >= len(statements)
+        assert stats["batches"] < stats["requests"]
+
+
+class TestErrors:
+    def _expect_error(self, fn, code):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fn()
+        assert excinfo.value.code == code
+        return json.loads(excinfo.value.read())
+
+    def test_query_string_is_ignored_in_routing(self, server_url):
+        status, payload = _get(server_url + "/stats?pretty=1")
+        assert status == 200
+        assert "requests" in payload
+        status, payload = _post(
+            server_url + "/insights?src=test",
+            {"statement": "SELECT * FROM PhotoObj"},
+        )
+        assert status == 200
+        assert len(payload["insights"]) == 1
+
+    def test_unknown_get_path_is_404(self, server_url):
+        payload = self._expect_error(lambda: _get(server_url + "/nope"), 404)
+        assert "unknown path" in payload["error"]
+
+    def test_unknown_post_path_is_404(self, server_url):
+        self._expect_error(
+            lambda: _post(server_url + "/other", {"statement": "SELECT 1"}),
+            404,
+        )
+
+    def test_bad_content_length_is_400(self, server_url):
+        request = urllib.request.Request(
+            server_url + "/insights",
+            data=b'{"statement": "SELECT 1"}',
+            method="POST",
+        )
+        request.add_unredirected_header("Content-Length", "abc")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_non_json_body_is_400(self, server_url):
+        def send_garbage():
+            request = urllib.request.Request(
+                server_url + "/insights", data=b"not json", method="POST"
+            )
+            urllib.request.urlopen(request, timeout=30)
+
+        payload = self._expect_error(send_garbage, 400)
+        assert "not JSON" in payload["error"]
+
+    def test_missing_statements_is_400(self, server_url):
+        payload = self._expect_error(
+            lambda: _post(server_url + "/insights", {"wrong_key": 1}), 400
+        )
+        assert "statements" in payload["error"]
+
+    def test_empty_statement_list_is_400(self, server_url):
+        self._expect_error(
+            lambda: _post(server_url + "/insights", {"statements": []}), 400
+        )
+
+    def test_non_string_statements_are_400(self, server_url):
+        self._expect_error(
+            lambda: _post(server_url + "/insights", {"statements": [1, 2]}),
+            400,
+        )

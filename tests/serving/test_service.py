@@ -1,0 +1,167 @@
+"""FacilitatorService micro-batching behavior and stats."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.facilitator import QueryFacilitator
+from repro.serving import FacilitatorService
+from repro.sqlang.pipeline import AnalysisPipeline, get_pipeline, set_pipeline
+from repro.workloads.sdss import generate_sdss_workload
+
+
+@pytest.fixture(scope="module")
+def facilitator() -> QueryFacilitator:
+    workload = generate_sdss_workload(n_sessions=80, seed=31)
+    return QueryFacilitator(model_name="baseline").fit(workload)
+
+
+@pytest.fixture()
+def fresh_pipeline():
+    previous = set_pipeline(AnalysisPipeline(max_size=4096))
+    yield get_pipeline()
+    set_pipeline(previous)
+
+
+STATEMENTS = [
+    "SELECT * FROM PhotoObj WHERE objId=1",
+    "SELECT ra, dec FROM SpecObj",
+    "SELECT COUNT(*) FROM PhotoObj",
+    "SELCT broken FROM",
+]
+
+
+class TestLifecycle:
+    def test_requires_fitted_facilitator(self):
+        with pytest.raises(ValueError, match="fitted"):
+            FacilitatorService(QueryFacilitator())
+
+    def test_submit_before_start_raises(self, facilitator):
+        service = FacilitatorService(facilitator)
+        with pytest.raises(RuntimeError, match="not running"):
+            service.submit("SELECT 1")
+
+    def test_context_manager_starts_and_stops(self, facilitator):
+        service = FacilitatorService(facilitator)
+        with service:
+            insight = service.insights(STATEMENTS[0])
+            assert insight.statement == STATEMENTS[0]
+        # stopped: new submissions are rejected again
+        with pytest.raises(RuntimeError, match="not running"):
+            service.submit("SELECT 1")
+
+    def test_stop_drains_outstanding_requests(self, facilitator):
+        service = FacilitatorService(facilitator, max_wait_ms=50.0).start()
+        pending = [service.submit(s) for s in STATEMENTS]
+        service.stop()
+        for request, statement in zip(pending, STATEMENTS):
+            assert request.result(timeout=5)[0].statement == statement
+
+    def test_invalid_knobs_rejected(self, facilitator):
+        with pytest.raises(ValueError, match="max_batch"):
+            FacilitatorService(facilitator, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            FacilitatorService(facilitator, max_wait_ms=-1)
+
+
+class TestBatchedPredictions:
+    def test_matches_direct_insights_batch(self, facilitator):
+        direct = facilitator.insights_batch(STATEMENTS)
+        with FacilitatorService(facilitator) as service:
+            served = [service.insights(s, timeout=10) for s in STATEMENTS]
+        for d, s in zip(direct, served):
+            assert s.statement == d.statement
+            assert s.error_class == d.error_class
+            assert s.cpu_time_seconds == d.cpu_time_seconds
+            assert s.answer_size == d.answer_size
+            assert s.session_class == d.session_class
+
+    def test_concurrent_requests_coalesce_into_batches(self, facilitator):
+        corpus = STATEMENTS * 16
+        with FacilitatorService(
+            facilitator, max_batch=32, max_wait_ms=20.0
+        ) as service:
+            barrier = threading.Barrier(8)
+
+            def client(statement):
+                barrier.wait()
+                return service.insights(statement, timeout=30)
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(client, corpus))
+            stats = service.stats
+        assert len(results) == len(corpus)
+        assert stats.requests == len(corpus)
+        assert stats.statements == len(corpus)
+        # coalescing happened: strictly fewer forwards than requests
+        assert stats.batches < stats.requests
+        assert stats.max_batch_size > 1
+
+    def test_multi_statement_request(self, facilitator):
+        with FacilitatorService(facilitator) as service:
+            results = service.insights_many(STATEMENTS, timeout=10)
+        assert [r.statement for r in results] == STATEMENTS
+
+    def test_max_batch_respected(self, facilitator):
+        with FacilitatorService(
+            facilitator, max_batch=4, max_wait_ms=100.0
+        ) as service:
+            pending = [service.submit(s) for s in STATEMENTS * 8]
+            for request in pending:
+                request.result(timeout=30)
+            stats = service.stats
+        assert stats.max_batch_size <= 4
+
+
+class TestErrorsAndStats:
+    def test_worker_errors_propagate_to_callers(self, facilitator):
+        service = FacilitatorService(facilitator)
+        boom = RuntimeError("model exploded")
+
+        def exploding_batch(statements):
+            raise boom
+
+        service.facilitator = type(
+            "Broken", (), {"insights_batch": staticmethod(exploding_batch), "heads": facilitator.heads}
+        )()
+        with service:
+            request = service.submit("SELECT 1")
+            with pytest.raises(RuntimeError, match="model exploded"):
+                request.result(timeout=10)
+
+    def test_result_timeout(self):
+        from repro.serving.service import PendingRequest
+
+        request = PendingRequest(["SELECT 1"])
+        with pytest.raises(TimeoutError):
+            request.result(timeout=0.05)
+
+    def test_warm_up_primes_pipeline(self, facilitator, fresh_pipeline):
+        service = FacilitatorService(facilitator)
+        primed = service.warm_up(STATEMENTS, predict=False)
+        assert primed == len(STATEMENTS)
+        assert fresh_pipeline.stats.misses == len(set(STATEMENTS))
+        # a second pass over the same statements is all hits
+        service.warm_up(STATEMENTS, predict=False)
+        assert fresh_pipeline.stats.hits >= len(set(STATEMENTS))
+        assert service.stats.warmed_statements == 2 * len(STATEMENTS)
+
+    def test_stats_shape(self, facilitator):
+        with FacilitatorService(facilitator) as service:
+            service.insights(STATEMENTS[0], timeout=10)
+            stats = service.stats
+        assert stats.requests == 1
+        assert stats.batches == 1
+        assert stats.mean_batch_size == 1.0
+        assert stats.latency_p50_ms >= 0.0
+        assert stats.latency_p95_ms >= stats.latency_p50_ms
+        payload = stats.to_dict()
+        assert set(payload["pipeline"]) == {
+            "hits",
+            "misses",
+            "evictions",
+            "size",
+            "max_size",
+            "hit_rate",
+        }

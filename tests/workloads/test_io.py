@@ -7,9 +7,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.workloads.io import (
+    LogWriter,
     WorkloadFormatError,
+    WorkloadWriter,
+    iter_log,
+    iter_workload,
     load_log,
     load_workload,
+    read_log_header,
+    read_workload_header,
     save_log,
     save_workload,
 )
@@ -194,3 +200,139 @@ class TestLogRoundTrip:
         )
         with pytest.raises(WorkloadFormatError, match="line 2"):
             load_log(path)
+
+
+class TestStreamingIterators:
+    def test_iter_workload_matches_load(self, tmp_path):
+        workload = generate_sdss_workload(n_sessions=40, seed=7)
+        path = tmp_path / "w.jsonl"
+        save_workload(workload, path)
+        assert list(iter_workload(path)) == load_workload(path).records
+
+    def test_iter_log_matches_load(self, tmp_path):
+        entries = generate_sdss_log(n_sessions=15, seed=7)
+        path = tmp_path / "log.jsonl"
+        save_log(entries, path)
+        assert len(list(iter_log(path))) == len(load_log(path))
+
+    def test_iter_is_lazy_one_record_at_a_time(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        save_workload(_sample_workload(), path)
+        iterator = iter_workload(path)
+        first = next(iterator)
+        assert first.statement == "SELECT * FROM PhotoObj"
+        # remaining records have not been parsed yet; consuming continues
+        assert next(iterator).statement == "SELCT nonsense"
+
+    def test_iter_fails_fast_on_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadFormatError, match="no such file"):
+            iter_workload(tmp_path / "absent.jsonl")
+
+    def test_iter_fails_fast_on_wrong_kind(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        save_workload(_sample_workload(), path)
+        with pytest.raises(WorkloadFormatError, match="repro_log"):
+            iter_log(path)
+
+    def test_bad_line_reported_mid_stream(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"repro_workload": 1, "name": "x"})
+            + "\n"
+            + json.dumps({"statement": "SELECT 1"})
+            + "\n{oops\n"
+        )
+        iterator = iter_workload(path)
+        assert next(iterator).statement == "SELECT 1"
+        with pytest.raises(WorkloadFormatError, match="line 3"):
+            next(iterator)
+
+    def test_read_headers(self, tmp_path):
+        wpath = tmp_path / "w.jsonl"
+        save_workload(_sample_workload(), wpath)
+        header = read_workload_header(wpath)
+        assert header["name"] == "sample"
+        assert header["records"] == 2
+        lpath = tmp_path / "l.jsonl"
+        save_log(generate_sdss_log(n_sessions=4, seed=2), lpath, name="raw")
+        assert read_log_header(lpath)["name"] == "raw"
+
+
+class TestGzipTransparency:
+    def test_workload_round_trip_gz(self, tmp_path):
+        workload = generate_sdss_workload(n_sessions=40, seed=9)
+        path = tmp_path / "w.jsonl.gz"
+        save_workload(workload, path)
+        # really compressed: gzip magic bytes on disk
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = load_workload(path)
+        assert loaded.records == workload.records
+        assert loaded.name == workload.name
+
+    def test_log_round_trip_gz(self, tmp_path):
+        entries = generate_sdss_log(n_sessions=10, seed=9)
+        path = tmp_path / "log.jsonl.gz"
+        save_log(entries, path, name="gzlog")
+        streamed = list(iter_log(path))
+        assert len(streamed) == len(entries)
+        assert streamed[0].statement == entries[0].statement
+
+    def test_gz_iter_streams_without_full_load(self, tmp_path):
+        workload = generate_sdss_workload(n_sessions=30, seed=4)
+        path = tmp_path / "w.jsonl.gz"
+        save_workload(workload, path)
+        count = sum(1 for _ in iter_workload(path))
+        assert count == len(workload)
+
+    def test_plain_file_rejected_as_gz(self, tmp_path):
+        path = tmp_path / "w.jsonl.gz"
+        path.write_bytes(b"not gzip at all\n")
+        with pytest.raises(WorkloadFormatError):
+            load_workload(path)
+
+    def test_truncated_gz_is_a_format_error(self, tmp_path):
+        # a gzip stream cut off mid-write (crash) must not leak EOFError
+        workload = generate_sdss_workload(n_sessions=30, seed=4)
+        path = tmp_path / "w.jsonl.gz"
+        save_workload(workload, path)
+        data = path.read_bytes()
+        truncated = tmp_path / "t.jsonl.gz"
+        truncated.write_bytes(data[: len(data) // 2])
+        with pytest.raises(WorkloadFormatError, match="truncated|unreadable"):
+            load_workload(truncated)
+        with pytest.raises(WorkloadFormatError):
+            for _ in iter_workload(truncated):
+                pass
+
+
+class TestAppendWriters:
+    def test_workload_writer_streams_generator(self, tmp_path):
+        workload = generate_sdss_workload(n_sessions=40, seed=5)
+        path = tmp_path / "w.jsonl"
+        with WorkloadWriter(path, name="streamed", chunk_size=16) as writer:
+            written = writer.write_many(r for r in workload)
+        assert written == len(workload)
+        assert writer.count == len(workload)
+        loaded = load_workload(path)
+        assert loaded.name == "streamed"
+        assert loaded.records == workload.records
+
+    def test_log_writer_chunked_appends(self, tmp_path):
+        entries = generate_sdss_log(n_sessions=10, seed=5)
+        path = tmp_path / "log.jsonl"
+        with LogWriter(path, name="chunked", chunk_size=3) as writer:
+            for entry in entries:
+                writer.write(entry)
+        assert len(load_log(path)) == len(entries)
+
+    def test_writer_rejects_after_close(self, tmp_path):
+        writer = WorkloadWriter(tmp_path / "w.jsonl", name="closed")
+        writer.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            writer.write(QueryRecord(statement="SELECT 1"))
+
+    def test_writer_flushes_partial_chunk_on_close(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        with WorkloadWriter(path, name="partial", chunk_size=1000) as writer:
+            writer.write(QueryRecord(statement="SELECT 1"))
+        assert len(load_workload(path)) == 1
