@@ -1,0 +1,557 @@
+"""Training-engine benchmark: fused kernels, bucketed batching, sparse fits.
+
+Times the training hot paths the paper's Section 6 experiments spend their
+budget on, over the same synthetic corpora/seeds as the featurization
+benchmark:
+
+1. **LSTM epoch** — one seeded epoch of a char-level ``clstm``-shaped
+   model (the slowest kernel in the repo: BPTT over ~168 timesteps).
+2. **CNN epoch** — one seeded epoch of a char-level ``ccnn``-shaped
+   regression model.
+3. **Sparse linear fits** — ``LogisticRegression`` / ``HuberLinearRegression``
+   over TF-IDF features of a 2000-statement corpus (featurization itself is
+   excluded; that is PR 3's benchmark).
+4. **End-to-end multi-head training** — ``QueryFacilitator.fit`` over an
+   SDSS workload for both neural families (``clstm`` + ``ccnn``), i.e. the
+   cost of producing one servable artifact.
+
+The "before" column is the pre-change implementation measured on the same
+corpora and stored in ``baseline_training.json`` (recorded with
+``--record-baseline`` before the kernel rewrite, like
+``baseline_seed.json``); the "after" column is re-measured live. The
+baseline also stores seeded loss curves and predictions, and the live run
+re-derives them with length-bucketing disabled (pure op-reordering mode)
+to assert the rewritten kernels are numerically equivalent to the
+pre-change engine. Results land in ``BENCH_training.json`` at the repo
+root.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_training.py
+
+The pytest smoke mode lives in ``test_training_smoke.py`` (tiny sizes,
+asserts bucketed+fused training beats a naive per-epoch re-encoding loop
+and stays deterministic) so tier-1 catches training-perf regressions
+without the full benchmark's runtime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_featurization import make_corpus
+
+from repro.core.facilitator import QueryFacilitator
+from repro.ml.huber import HuberLinearRegression
+from repro.ml.logistic import LogisticRegression
+from repro.models.base import TaskKind
+from repro.models.cnn_model import TextCNNModel
+from repro.models.factory import ModelScale
+from repro.models.lstm_model import TextLSTMModel
+from repro.models.neural_base import NeuralHyperParams
+from repro.nn.optim import AdaMax
+from repro.text.encode import SequenceEncoder, pad_sequences
+from repro.text.tfidf import TfidfVectorizer
+from repro.workloads.sdss import generate_sdss_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_training.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_training.json"
+
+#: Corpus sizes (same generator/seeds as ``baseline_training.json``).
+TRAIN_N = 256
+HOLDOUT_N = 64
+SPARSE_N = 2000
+
+_HYPER_FIELDS = {f.name for f in dataclasses.fields(NeuralHyperParams)}
+
+
+def _hyper(**kwargs) -> NeuralHyperParams:
+    """Build hyper-params, dropping fields this code version lacks.
+
+    Lets the identical script record the baseline against the pre-change
+    implementation (no ``bucket`` field) and measure the rewritten engine.
+    """
+    return NeuralHyperParams(
+        **{k: v for k, v in kwargs.items() if k in _HYPER_FIELDS}
+    )
+
+
+def _neural_hyper(*, epochs: int = 1, **overrides) -> NeuralHyperParams:
+    base = dict(
+        embed_dim=48,
+        epochs=epochs,
+        max_len_char=168,
+        batch_size=16,
+        seed=0,
+    )
+    base.update(overrides)
+    return _hyper(**base)
+
+
+def _neural_corpus(repetition: float = 0.70) -> tuple[list[str], list[str]]:
+    """Training/holdout corpora at a given verbatim-repeat level.
+
+    70% repetition is the paper-realistic regime (Figure 20); the unique
+    corpus is the worst case for duplicate-collapsing batch plans.
+    """
+    seed = 7 if repetition else 11
+    corpus = make_corpus(TRAIN_N + HOLDOUT_N, repetition, seed=seed)
+    return corpus[:TRAIN_N], corpus[TRAIN_N:]
+
+
+def _class_labels(n: int, num_classes: int = 2) -> np.ndarray:
+    return np.random.default_rng(5).integers(0, num_classes, n)
+
+
+def _reg_labels(statements: list[str]) -> np.ndarray:
+    return np.array([float(len(s)) / 40.0 for s in statements])
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    out = fn(*args)
+    return time.perf_counter() - start, out
+
+
+#: timing repeats per measurement — the benchmark box shows ±10%
+#: wall-clock drift minute to minute, so every timed quantity (baseline
+#: and live alike) is the min over this many fresh runs
+REPEATS = 2
+
+
+def _best_of(run_once) -> tuple[float, object]:
+    """Min wall time over :data:`REPEATS` fresh runs; first run's payload.
+
+    ``run_once`` builds its model from scratch each call, so repeats are
+    seeded-identical and the payload (predictions, loss curves) is the
+    same whichever run it comes from.
+    """
+    best_s, payload = run_once()
+    for _ in range(REPEATS - 1):
+        seconds, _ = run_once()
+        best_s = min(best_s, seconds)
+    return best_s, payload
+
+
+# -- neural kernels -------------------------------------------------------- #
+
+
+def bench_lstm(bucket: bool, repetition: float = 0.70) -> dict:
+    """One seeded epoch of a 2-layer char LSTM classifier."""
+    train, hold = _neural_corpus(repetition)
+    labels = _class_labels(TRAIN_N)
+
+    def run_once():
+        model = TextLSTMModel(
+            level="char",
+            task=TaskKind.CLASSIFICATION,
+            num_classes=2,
+            hidden=96,
+            num_layers=2,
+            hyper=_neural_hyper(bucket=bucket),
+        )
+        epoch_s, _ = _timed(model.fit, train, labels)
+        return epoch_s, model
+
+    epoch_s, model = _best_of(run_once)
+    proba = model.predict_proba(hold)
+    return {
+        "epoch_s": round(epoch_s, 4),
+        "loss_history": [round(v, 12) for v in model.history],
+        "proba_head": np.round(proba[:4], 12).tolist(),
+        "proba_checksum": round(float(proba[:, 0].sum()), 10),
+    }
+
+
+def bench_cnn(bucket: bool, repetition: float = 0.70) -> dict:
+    """One seeded epoch of a char CNN regressor (dropout active)."""
+    train, hold = _neural_corpus(repetition)
+    labels = _reg_labels(train)
+
+    def run_once():
+        model = TextCNNModel(
+            level="char",
+            task=TaskKind.REGRESSION,
+            num_kernels=96,
+            hyper=_neural_hyper(bucket=bucket),
+        )
+        epoch_s, _ = _timed(model.fit, train, labels)
+        return epoch_s, model
+
+    epoch_s, model = _best_of(run_once)
+    pred = model.predict(hold)
+    return {
+        "epoch_s": round(epoch_s, 4),
+        "loss_history": [round(v, 12) for v in model.history],
+        "pred_head": np.round(pred[:8], 12).tolist(),
+        "pred_checksum": round(float(pred.sum()), 10),
+    }
+
+
+# -- sparse linear fits ----------------------------------------------------- #
+
+
+def _sparse_features():
+    corpus = make_corpus(SPARSE_N, 0.70, seed=9)
+    vectorizer = TfidfVectorizer(level="char", max_features=12_000)
+    return vectorizer.fit_transform(corpus), corpus
+
+
+def bench_sparse() -> dict:
+    """Logistic / Huber fits on TF-IDF features (featurization excluded)."""
+    features, corpus = _sparse_features()
+    y_class = _class_labels(features.shape[0], num_classes=4)
+    y_reg = _reg_labels(corpus)
+
+    def run_logistic():
+        model = LogisticRegression(num_classes=4, epochs=15, seed=0)
+        seconds, _ = _timed(model.fit, features, y_class)
+        return seconds, model
+
+    def run_huber():
+        model = HuberLinearRegression(epochs=15, seed=0)
+        seconds, _ = _timed(model.fit, features, y_reg)
+        return seconds, model
+
+    logistic_s, logistic = _best_of(run_logistic)
+    logits = logistic.decision_function(features[:64])
+    huber_s, huber = _best_of(run_huber)
+    huber_pred = huber.predict(features[:64])
+    return {
+        "logistic_fit_s": round(logistic_s, 4),
+        "logistic_logits_head": np.round(logits[:2], 12).tolist(),
+        "logistic_logits_checksum": round(float(logits.sum()), 10),
+        "huber_fit_s": round(huber_s, 4),
+        "huber_pred_head": np.round(huber_pred[:8], 12).tolist(),
+        "huber_pred_checksum": round(float(huber_pred.sum()), 10),
+    }
+
+
+# -- end-to-end multi-head training ----------------------------------------- #
+
+
+def _multihead_scale() -> ModelScale:
+    return ModelScale(
+        tfidf_features=8000,
+        embed_dim=32,
+        num_kernels=48,
+        lstm_hidden=48,
+        epochs=3,
+        max_len_char=168,
+        max_len_word=48,
+        batch_size=16,
+        seed=0,
+    )
+
+
+def bench_multihead() -> dict:
+    """Full ``QueryFacilitator.fit`` (all four heads) per neural family."""
+    workload = generate_sdss_workload(n_sessions=300, seed=13)
+    scale = _multihead_scale()
+    out: dict = {"n_statements": len(workload)}
+    total = 0.0
+    for model_name in ("clstm", "ccnn"):
+
+        def run_once():
+            facilitator = QueryFacilitator(model_name=model_name, scale=scale)
+            seconds, _ = _timed(facilitator.fit, workload)
+            return seconds, facilitator
+
+        fit_s, _ = _best_of(run_once)
+        out[f"{model_name}_fit_s"] = round(fit_s, 4)
+        total += fit_s
+    out["end_to_end_s"] = round(total, 4)
+    return out
+
+
+# -- smoke reference + mode ------------------------------------------------- #
+
+
+def naive_fit(model, statements: list[str], labels: np.ndarray):
+    """The naive training loop the engine replaces, as a reference.
+
+    Re-tokenizes and re-encodes every batch of every epoch, and pads
+    every batch to the model's full length cap (fixed-width training).
+    Batch composition matches the engine's legacy (``bucket=False``) mode
+    — same seeded permutations — and LSTM outputs are exactly invariant
+    to trailing padding, so for LSTM models this loop's seeded result is
+    bit-identical to the engine's while doing all the redundant work the
+    engine avoids.
+    """
+    statements = list(statements)
+    vocab = model._build_vocab(statements)
+    model.encoder = SequenceEncoder(vocab, model.level, model._max_len())
+    model.network = model._build_network(len(vocab), vocab.pad_id)
+    optimizer = AdaMax(
+        model.network.parameters(),
+        lr=model.hyper.lr,
+        weight_decay=model.hyper.weight_decay,
+    )
+    targets = model._encode_targets(labels)
+    n = len(statements)
+    batch = model.hyper.batch_size
+    cap = model._max_len()
+    model.network.train()
+    for _ in range(model.hyper.epochs):
+        order = model.rng.permutation(n)
+        for start in range(0, n, batch):
+            chosen = order[start : start + batch]
+            encoded = [
+                model.encoder.encode(statements[i]) for i in chosen
+            ]  # re-encoded every epoch
+            ids = pad_sequences(encoded, pad_id=vocab.pad_id, max_len=cap)
+            if ids.shape[1] < cap:  # fixed-width: always pad to the cap
+                ids = np.pad(
+                    ids,
+                    ((0, 0), (0, cap - ids.shape[1])),
+                    constant_values=vocab.pad_id,
+                )
+            lengths = np.maximum((ids != vocab.pad_id).sum(axis=1), 1)
+            model._train_step(ids, lengths, targets[chosen], None, optimizer)
+    model.network.eval()
+    return model
+
+
+def _smoke_model(bucket: bool):
+    return TextLSTMModel(
+        level="char",
+        task=TaskKind.CLASSIFICATION,
+        num_classes=2,
+        hidden=16,
+        num_layers=1,
+        hyper=_hyper(
+            embed_dim=16,
+            epochs=2,
+            max_len_char=160,
+            batch_size=8,
+            seed=0,
+            bucket=bucket,
+        ),
+    )
+
+
+def run_smoke(n: int = 96) -> dict:
+    """Small-N smoke: engine vs naive loop on a repetitive corpus.
+
+    Wall-clock-ratio only (no checked-in baseline needed); used by the
+    tier-1 smoke test to assert the bucketed+fused engine still beats a
+    naive per-epoch re-encoding fixed-width loop, that the legacy
+    (``bucket=False``) mode matches the naive loop's seeded predictions
+    exactly, and that the fast mode is deterministic.
+    """
+    corpus = make_corpus(n, 0.70, seed=7)
+    labels = _class_labels(n)
+    hold = make_corpus(32, 0.0, seed=3)
+
+    # min-of-2 on both sides: a CI box's scheduler hiccup during a
+    # single run must not flip the wall-clock assertion
+    fast = _smoke_model(bucket=True)
+    t_fast, _ = _timed(fast.fit, corpus, labels)
+    fast_proba = fast.predict_proba(hold)
+
+    fast2 = _smoke_model(bucket=True)
+    t_fast2, _ = _timed(fast2.fit, corpus, labels)
+    t_fast = min(t_fast, t_fast2)
+    deterministic = bool(np.array_equal(fast_proba, fast2.predict_proba(hold)))
+
+    naive = _smoke_model(bucket=False)
+    t_naive, _ = _timed(naive_fit, naive, corpus, labels)
+    naive_proba = naive.predict_proba(hold)
+
+    naive2 = _smoke_model(bucket=False)
+    t_naive2, _ = _timed(naive_fit, naive2, corpus, labels)
+    t_naive = min(t_naive, t_naive2)
+
+    legacy = _smoke_model(bucket=False)
+    legacy.fit(corpus, labels)
+    legacy_proba = legacy.predict_proba(hold)
+
+    return {
+        "n": n,
+        "fast_s": t_fast,
+        "naive_s": t_naive,
+        "speedup_vs_naive": t_naive / t_fast if t_fast > 0 else float("inf"),
+        "invariant_legacy_equals_naive": bool(
+            np.allclose(legacy_proba, naive_proba, rtol=0, atol=1e-12)
+        ),
+        "invariant_fast_deterministic": deterministic,
+    }
+
+
+# -- harness ---------------------------------------------------------------- #
+
+
+def _ratio(before: float | None, after: float | None) -> float | None:
+    if not before or not after:
+        return None
+    return round(before / after, 2)
+
+
+def _close(a, b, rtol=1e-6, atol=1e-9) -> bool:
+    return bool(np.allclose(np.asarray(a), np.asarray(b), rtol=rtol, atol=atol))
+
+
+def record_baseline() -> dict:
+    """Measure the current implementation and store it as the baseline."""
+    baseline = {
+        "recorded": "pre-change training engine (PR 4 state), same corpora/seeds",
+        "lstm": bench_lstm(bucket=False),
+        "lstm_unique": {
+            "epoch_s": bench_lstm(bucket=False, repetition=0.0)["epoch_s"]
+        },
+        "cnn": bench_cnn(bucket=False),
+        "cnn_unique": {
+            "epoch_s": bench_cnn(bucket=False, repetition=0.0)["epoch_s"]
+        },
+        "sparse": bench_sparse(),
+        "multihead": bench_multihead(),
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+def run() -> dict:
+    """Full benchmark; returns the report dict and writes the JSON."""
+    if not BASELINE_PATH.exists():
+        raise SystemExit(
+            "baseline_training.json missing; run with --record-baseline "
+            "against the pre-change implementation first"
+        )
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    # timing runs: the engine as shipped (bucketed batching on)
+    lstm_after = bench_lstm(bucket=True)
+    lstm_unique_after = bench_lstm(bucket=True, repetition=0.0)
+    cnn_after = bench_cnn(bucket=True)
+    cnn_unique_after = bench_cnn(bucket=True, repetition=0.0)
+    sparse_after = bench_sparse()
+    multihead_after = bench_multihead()
+
+    # equivalence runs: bucketing off -> identical batch composition to the
+    # pre-change loop, so only kernel op-reordering separates the curves
+    lstm_eq = bench_lstm(bucket=False)
+    cnn_eq = bench_cnn(bucket=False)
+
+    before_lstm = baseline["lstm"]
+    before_cnn = baseline["cnn"]
+    before_sparse = baseline["sparse"]
+    before_multi = baseline["multihead"]
+
+    invariants = {
+        "lstm_loss_curve_matches_prechange": _close(
+            lstm_eq["loss_history"], before_lstm["loss_history"]
+        ),
+        "lstm_predictions_match_prechange": _close(
+            lstm_eq["proba_head"], before_lstm["proba_head"]
+        )
+        and _close(
+            lstm_eq["proba_checksum"], before_lstm["proba_checksum"], rtol=1e-8
+        ),
+        "cnn_loss_curve_matches_prechange": _close(
+            cnn_eq["loss_history"], before_cnn["loss_history"]
+        ),
+        "cnn_predictions_match_prechange": _close(
+            cnn_eq["pred_head"], before_cnn["pred_head"]
+        )
+        and _close(
+            cnn_eq["pred_checksum"], before_cnn["pred_checksum"], rtol=1e-8
+        ),
+        "logistic_predictions_match_prechange": _close(
+            sparse_after["logistic_logits_head"],
+            before_sparse["logistic_logits_head"],
+        )
+        and _close(
+            sparse_after["logistic_logits_checksum"],
+            before_sparse["logistic_logits_checksum"],
+            rtol=1e-8,
+        ),
+        "huber_predictions_match_prechange": _close(
+            sparse_after["huber_pred_head"], before_sparse["huber_pred_head"]
+        )
+        and _close(
+            sparse_after["huber_pred_checksum"],
+            before_sparse["huber_pred_checksum"],
+            rtol=1e-8,
+        ),
+    }
+
+    speedup = {
+        "lstm_epoch": _ratio(before_lstm["epoch_s"], lstm_after["epoch_s"]),
+        "lstm_epoch_unique": _ratio(
+            baseline.get("lstm_unique", {}).get("epoch_s"),
+            lstm_unique_after["epoch_s"],
+        ),
+        "cnn_epoch": _ratio(before_cnn["epoch_s"], cnn_after["epoch_s"]),
+        "cnn_epoch_unique": _ratio(
+            baseline.get("cnn_unique", {}).get("epoch_s"),
+            cnn_unique_after["epoch_s"],
+        ),
+        "logistic_fit": _ratio(
+            before_sparse["logistic_fit_s"], sparse_after["logistic_fit_s"]
+        ),
+        "huber_fit": _ratio(
+            before_sparse["huber_fit_s"], sparse_after["huber_fit_s"]
+        ),
+        "end_to_end_multihead": _ratio(
+            before_multi["end_to_end_s"], multihead_after["end_to_end_s"]
+        ),
+        "multihead_clstm": _ratio(
+            before_multi["clstm_fit_s"], multihead_after["clstm_fit_s"]
+        ),
+        "multihead_ccnn": _ratio(
+            before_multi["ccnn_fit_s"], multihead_after["ccnn_fit_s"]
+        ),
+    }
+
+    report = {
+        "benchmark": "training",
+        "baseline": (
+            "benchmarks/baseline_training.json "
+            "(pre-change engine, same corpora/seeds)"
+        ),
+        "before": baseline,
+        "after": {
+            "lstm": lstm_after,
+            "lstm_unique": {"epoch_s": lstm_unique_after["epoch_s"]},
+            "cnn": cnn_after,
+            "cnn_unique": {"epoch_s": cnn_unique_after["epoch_s"]},
+            "sparse": sparse_after,
+            "multihead": multihead_after,
+            "lstm_equivalence_mode": lstm_eq,
+            "cnn_equivalence_mode": cnn_eq,
+        },
+        "speedup_before_over_after": speedup,
+        "equivalence_invariants": invariants,
+        "targets": {
+            "lstm_epoch_min": 3.0,
+            "end_to_end_multihead_min": 2.0,
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+if __name__ == "__main__":
+    if "--record-baseline" in sys.argv:
+        result = record_baseline()
+        print(json.dumps(
+            {
+                "lstm_epoch_s": result["lstm"]["epoch_s"],
+                "cnn_epoch_s": result["cnn"]["epoch_s"],
+                "logistic_fit_s": result["sparse"]["logistic_fit_s"],
+                "huber_fit_s": result["sparse"]["huber_fit_s"],
+                "end_to_end_s": result["multihead"]["end_to_end_s"],
+            },
+            indent=2,
+        ))
+    else:
+        result = run()
+        print(json.dumps(result["speedup_before_over_after"], indent=2))
+        print(json.dumps(result["equivalence_invariants"], indent=2))

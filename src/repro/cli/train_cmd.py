@@ -17,8 +17,6 @@ from repro.cli._common import (
     model_name_choices,
     scale_from_args,
 )
-from repro.core.facilitator import QueryFacilitator
-
 __all__ = ["register"]
 
 
@@ -39,16 +37,29 @@ def register(subparsers) -> None:
         choices=model_name_choices(),
         help="paper model to train for every problem (default: ccnn)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "train problem heads concurrently in a process pool of this "
+            "size (default: REPRO_TRAIN_WORKERS, else serial); results "
+            "are identical to serial training"
+        ),
+    )
     add_scale_arguments(parser)
     parser.set_defaults(func=run)
 
 
 def run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import train_facilitator
+
     workload = load_workload_arg(args.workload)
     scale = scale_from_args(args)
-    facilitator = QueryFacilitator(model_name=args.model, scale=scale)
     start = time.perf_counter()
-    facilitator.fit(workload)
+    facilitator = train_facilitator(
+        workload, args.model, scale, workers=args.workers
+    )
     elapsed = time.perf_counter() - start
     facilitator.save(args.output)
     problems = ", ".join(p.name.lower() for p in facilitator.problems)
@@ -56,4 +67,11 @@ def run(args: argparse.Namespace) -> int:
         f"trained {args.model} on {len(workload)} statements "
         f"({problems}) in {elapsed:.1f}s -> {args.output}"
     )
+    for name, stats in facilitator.fit_stats.items():
+        rate = stats["epochs_per_s"]
+        rate_txt = f", {rate:.2f} epochs/s" if rate else ""
+        epochs_txt = (
+            f"{stats['epochs']} epochs" if stats["epochs"] else "fit"
+        )
+        emit(f"  {name}: {stats['seconds']:.2f}s ({epochs_txt}{rate_txt})")
     return 0

@@ -23,10 +23,14 @@ them behind a micro-batching queue or HTTP endpoint, see
 
 from __future__ import annotations
 
+import os
+import time
 from collections.abc import Sequence
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Optional
+
+import numpy as np
 
 from repro.core.heads import ProblemHead
 from repro.core.problems import Problem
@@ -50,6 +54,52 @@ ARTIFACT_FORMAT = "repro.facilitator"
 ARTIFACT_VERSION = 2
 
 _SIMILAR_INDEX_MEMBER = "similar_index.bin"
+
+
+def _limit_worker_blas_threads(threads: int) -> None:
+    """Cap BLAS threading inside a pool worker (pool initializer).
+
+    Without this, every worker inherits OpenBLAS's use-all-cores
+    default, and ``workers × cores`` GEMM threads thrash the scheduler —
+    a pooled run can come out *slower* than serial. The env vars cover
+    lazily-initialized pools (and spawn-context workers); already-spawned
+    inherited pools are additionally capped through ``threadpoolctl``
+    when it is installed.
+    """
+    threads = max(1, threads)
+    for var in (
+        "OMP_NUM_THREADS",
+        "OPENBLAS_NUM_THREADS",
+        "MKL_NUM_THREADS",
+    ):
+        os.environ[var] = str(threads)
+    try:
+        import threadpoolctl
+
+        threadpoolctl.threadpool_limits(threads)
+    except ImportError:
+        pass
+
+
+def _train_head_artifact(
+    problem: Problem,
+    model_name: str,
+    scale: ModelScale,
+    statements: list[str],
+    labels: np.ndarray,
+) -> tuple[dict, bytes, float]:
+    """Train one head and return it in artifact form (pool worker).
+
+    Returning ``(manifest entry, codec payload, seconds)`` instead of the
+    live head keeps the parent↔worker contract identical to the on-disk
+    artifact format: the parent rebuilds the head through the same
+    :mod:`repro.models.serialize` codec registry that ``save``/``load``
+    use, so a pool-trained facilitator is byte-compatible with a serial
+    one by construction.
+    """
+    start = time.perf_counter()
+    head = ProblemHead.train(problem, model_name, scale, statements, labels)
+    return head.manifest_entry(), head.payload(), time.perf_counter() - start
 
 
 @dataclass
@@ -128,6 +178,9 @@ class QueryFacilitator:
         self.index_similar = index_similar
         self.heads: dict[Problem, ProblemHead] = {}
         self.similar_index = None
+        #: per-problem training telemetry filled by :meth:`fit`
+        #: (``{problem_name: {"seconds", "epochs", "epochs_per_s"}}``)
+        self.fit_stats: dict[str, dict] = {}
 
     # -- training ----------------------------------------------------------- #
 
@@ -135,6 +188,7 @@ class QueryFacilitator:
         self,
         workload: Workload,
         problems: Sequence[Problem] | None = None,
+        workers: int | None = None,
     ) -> "QueryFacilitator":
         """Train one head per problem available in ``workload``.
 
@@ -142,9 +196,17 @@ class QueryFacilitator:
             workload: Labelled historical queries.
             problems: Restrict to these problems (default: every problem
                 whose label column is fully present).
+            workers: Train heads concurrently in a process pool of this
+                size. Heads are independent seeded models, so the fitted
+                result is identical to serial training; workers hand
+                their heads back in artifact form (manifest entry +
+                codec payload), merged through the same
+                :mod:`repro.models.serialize` registry the on-disk
+                format uses. ``None``/``1`` trains serially in-process.
         """
         statements = workload.statements()
         wanted = list(problems) if problems is not None else list(Problem)
+        jobs: list[tuple[Problem, np.ndarray]] = []
         for problem in wanted:
             if not self._has_labels(workload, problem):
                 if problems is not None:
@@ -152,19 +214,81 @@ class QueryFacilitator:
                         f"workload {workload.name!r} lacks labels for {problem}"
                     )
                 continue
-            labels = workload.labels(problem.label_column)
-            self.heads[problem] = ProblemHead.train(
-                problem, self.model_name, self.scale, statements, labels
-            )
-        if not self.heads:
+            jobs.append((problem, workload.labels(problem.label_column)))
+        if not jobs:
             raise ValueError(
                 f"workload {workload.name!r} has no usable label columns"
             )
+        self.fit_stats = {}
+        if workers is not None and workers > 1 and len(jobs) > 1:
+            self._fit_parallel(jobs, statements, workers)
+        else:
+            for problem, labels in jobs:
+                start = time.perf_counter()
+                self.heads[problem] = ProblemHead.train(
+                    problem, self.model_name, self.scale, statements, labels
+                )
+                self._record_fit(problem, time.perf_counter() - start)
         if self.index_similar:
             from repro.models.knn import SimilarQueryIndex
 
             self.similar_index = SimilarQueryIndex().fit(workload)
         return self
+
+    def _fit_parallel(
+        self,
+        jobs: list[tuple[Problem, np.ndarray]],
+        statements: list[str],
+        workers: int,
+    ) -> None:
+        """Fan independent head-training jobs out over a process pool."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool_width = min(workers, len(jobs))
+        blas_threads = max(1, (os.cpu_count() or 1) // pool_width)
+        with ProcessPoolExecutor(
+            max_workers=pool_width,
+            initializer=_limit_worker_blas_threads,
+            initargs=(blas_threads,),
+        ) as pool:
+            futures = [
+                (
+                    problem,
+                    pool.submit(
+                        _train_head_artifact,
+                        problem,
+                        self.model_name,
+                        self.scale,
+                        statements,
+                        labels,
+                    ),
+                )
+                for problem, labels in jobs
+            ]
+            for problem, future in futures:  # head order stays deterministic
+                entry, payload, seconds = future.result()
+                self.heads[problem] = ProblemHead.from_artifact(entry, payload)
+                self._record_fit(problem, seconds)
+
+    def _record_fit(self, problem: Problem, seconds: float) -> None:
+        epochs = self._head_epochs(self.heads[problem])
+        self.fit_stats[problem.name.lower()] = {
+            "seconds": seconds,
+            "epochs": epochs,
+            "epochs_per_s": (
+                epochs / seconds if epochs and seconds > 0 else None
+            ),
+        }
+
+    @staticmethod
+    def _head_epochs(head: ProblemHead) -> int | None:
+        """Optimizer epochs the head's model ran, when it exposes them."""
+        model = head.model
+        for attr in ("hyper", "classifier", "regressor"):
+            inner = getattr(model, attr, None)
+            if inner is not None and hasattr(inner, "epochs"):
+                return int(inner.epochs)
+        return None
 
     @staticmethod
     def _has_labels(workload: Workload, problem: Problem) -> bool:

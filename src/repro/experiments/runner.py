@@ -47,6 +47,9 @@ __all__ = [
     "regression_outcome",
     "clear_cache",
     "workload_cache_dir",
+    "train_workers",
+    "train_facilitator",
+    "sdss_facilitator",
 ]
 
 _CACHE: dict[tuple[Any, ...], Any] = {}
@@ -127,6 +130,64 @@ def _disk_cached_log(stem: str, factory) -> list[LogEntry]:
     entries = factory()
     _atomic_save(path, lambda tmp: save_log(entries, tmp, name=stem))
     return entries
+
+
+# -- multi-head training --------------------------------------------------- #
+
+
+def train_workers() -> int | None:
+    """Process-pool width for multi-head training (``REPRO_TRAIN_WORKERS``).
+
+    Facilitator heads are independent seeded models, so fanning them out
+    across processes returns the identical fitted artifact, just faster
+    on multi-core boxes. Unset (or ``<= 1``) trains serially.
+    """
+    value = os.environ.get("REPRO_TRAIN_WORKERS")
+    if not value:
+        return None
+    try:
+        workers = int(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TRAIN_WORKERS must be an integer, got {value!r}"
+        ) from None
+    return workers if workers > 1 else None
+
+
+def train_facilitator(
+    workload,
+    model_name: str = "ccnn",
+    scale=None,
+    problems=None,
+    workers: int | None = None,
+):
+    """Train a multi-head facilitator, heads fanned out over a process pool.
+
+    The experiment-side entry point for end-to-end training: one
+    :class:`~repro.core.facilitator.QueryFacilitator` with every problem
+    head the workload supports, trained concurrently when ``workers``
+    (default: :func:`train_workers`) allows. Workers return their heads
+    in artifact form (manifest entry + codec payload) and the parent
+    merges them through the :mod:`repro.models.serialize` registry, so
+    the result is indistinguishable from serial training.
+    """
+    from repro.core.facilitator import QueryFacilitator
+
+    workers = workers if workers is not None else train_workers()
+    facilitator = QueryFacilitator(model_name=model_name, scale=scale)
+    return facilitator.fit(workload, problems=problems, workers=workers)
+
+
+def sdss_facilitator(
+    config: ExperimentConfig, model_name: str = "ccnn"
+) -> "QueryFacilitator":
+    """Cached multi-head facilitator over the SDSS workload for ``config``."""
+    return _cached(
+        ("facilitator", config, model_name),
+        lambda: train_facilitator(
+            sdss_workload(config), model_name, config.model_scale
+        ),
+    )
 
 
 # -- workloads ------------------------------------------------------------ #

@@ -10,6 +10,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro.ml.sparse_ops import iter_csr_row_blocks
+
 __all__ = ["HuberLinearRegression"]
 
 
@@ -46,6 +48,14 @@ class HuberLinearRegression:
         self.bias: float = 0.0
 
     def fit(self, x: sparse.spmatrix, y: np.ndarray) -> "HuberLinearRegression":
+        """Train with mini-batch Adam on the Huber objective.
+
+        Same batching/update discipline as
+        :class:`~repro.ml.logistic.LogisticRegression`: CSR once, one
+        permuted materialization per epoch so batches are contiguous row
+        slices, Adam through preallocated buffers with the reference
+        expression order (fitted weights unchanged).
+        """
         x = sparse.csr_matrix(x)
         y = np.asarray(y, dtype=np.float64)
         n, num_features = x.shape
@@ -58,14 +68,16 @@ class HuberLinearRegression:
         v_w = np.zeros_like(w)
         m_b = 0.0
         v_b = 0.0
+        scratch = np.empty_like(w)
+        denom = np.empty_like(w)
         beta1, beta2, eps = 0.9, 0.999, 1e-8
         t = 0
         for _ in range(self.epochs):
             order = rng.permutation(n)
-            for start in range(0, n, self.batch_size):
-                batch = order[start : start + self.batch_size]
-                xb = x[batch]
-                yb = y[batch]
+            x_perm = x[order]  # one gather per epoch, then zero-copy blocks
+            y_perm = y[order]
+            for start, xb in iter_csr_row_blocks(x_perm, self.batch_size):
+                yb = y_perm[start : start + self.batch_size]
                 pred = xb @ w + b
                 residual = pred - yb
                 grad_out = np.where(
@@ -73,16 +85,29 @@ class HuberLinearRegression:
                     residual,
                     self.delta * np.sign(residual),
                 ) / len(yb)
-                grad_w = xb.T @ grad_out + self.l2 * w
+                grad_w = xb.T @ grad_out
+                np.multiply(w, self.l2, out=scratch)
+                grad_w += scratch
                 grad_b = float(grad_out.sum())
                 t += 1
                 bias1 = 1.0 - beta1**t
                 bias2 = 1.0 - beta2**t
-                m_w = beta1 * m_w + (1 - beta1) * grad_w
-                v_w = beta2 * v_w + (1 - beta2) * grad_w**2
+                m_w *= beta1
+                np.multiply(grad_w, 1 - beta1, out=scratch)
+                m_w += scratch
+                v_w *= beta2
+                np.multiply(grad_w, grad_w, out=scratch)
+                scratch *= 1 - beta2
+                v_w += scratch
                 m_b = beta1 * m_b + (1 - beta1) * grad_b
                 v_b = beta2 * v_b + (1 - beta2) * grad_b**2
-                w -= self.lr * (m_w / bias1) / (np.sqrt(v_w / bias2) + eps)
+                np.divide(v_w, bias2, out=denom)
+                np.sqrt(denom, out=denom)
+                denom += eps
+                np.divide(m_w, bias1, out=scratch)
+                scratch *= self.lr
+                scratch /= denom
+                w -= scratch
                 b -= self.lr * (m_b / bias1) / (np.sqrt(v_b / bias2) + eps)
         self.weight = w
         self.bias = b

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro.ml.sparse_ops import iter_csr_row_blocks
 from repro.nn.losses import log_softmax, softmax
 
 __all__ = ["LogisticRegression"]
@@ -48,7 +49,16 @@ class LogisticRegression:
         self.bias: np.ndarray | None = None
 
     def fit(self, x: sparse.spmatrix, y: np.ndarray) -> "LogisticRegression":
-        """Train on sparse features ``x`` and integer labels ``y``."""
+        """Train on sparse features ``x`` and integer labels ``y``.
+
+        Converts to CSR once, re-materializes the permuted matrix once
+        per epoch so every mini-batch is a cheap contiguous row slice
+        (instead of a fancy-indexed gather per step), and runs the Adam
+        update through preallocated buffers — no per-step ``(F, C)``
+        temporaries beyond the one sparse-matmul product. The update
+        arithmetic keeps the reference expression order, so fitted
+        weights are unchanged.
+        """
         x = sparse.csr_matrix(x)
         y = np.asarray(y, dtype=np.int64)
         n, num_features = x.shape
@@ -62,28 +72,44 @@ class LogisticRegression:
         v_w = np.zeros_like(w)
         m_b = np.zeros_like(b)
         v_b = np.zeros_like(b)
+        scratch = np.empty_like(w)
+        denom = np.empty_like(w)
         beta1, beta2, eps = 0.9, 0.999, 1e-8
+        rows = np.arange(min(self.batch_size, n))
         t = 0
         for _ in range(self.epochs):
             order = rng.permutation(n)
-            for start in range(0, n, self.batch_size):
-                batch = order[start : start + self.batch_size]
-                xb = x[batch]
-                yb = y[batch]
+            x_perm = x[order]  # one gather per epoch, then zero-copy blocks
+            y_perm = y[order]
+            for start, xb in iter_csr_row_blocks(x_perm, self.batch_size):
+                yb = y_perm[start : start + self.batch_size]
                 logits = xb @ w + b
                 probs = softmax(logits)
-                probs[np.arange(len(yb)), yb] -= 1.0
+                probs[rows[: len(yb)], yb] -= 1.0
                 probs /= len(yb)
-                grad_w = xb.T @ probs + self.l2 * w
+                grad_w = xb.T @ probs  # the one dense (F, C) product
+                np.multiply(w, self.l2, out=scratch)
+                grad_w += scratch
                 grad_b = probs.sum(axis=0)
                 t += 1
                 bias1 = 1.0 - beta1**t
                 bias2 = 1.0 - beta2**t
-                m_w = beta1 * m_w + (1 - beta1) * grad_w
-                v_w = beta2 * v_w + (1 - beta2) * grad_w**2
+                m_w *= beta1
+                np.multiply(grad_w, 1 - beta1, out=scratch)
+                m_w += scratch
+                v_w *= beta2
+                np.multiply(grad_w, grad_w, out=scratch)
+                scratch *= 1 - beta2
+                v_w += scratch
                 m_b = beta1 * m_b + (1 - beta1) * grad_b
                 v_b = beta2 * v_b + (1 - beta2) * grad_b**2
-                w -= self.lr * (m_w / bias1) / (np.sqrt(v_w / bias2) + eps)
+                np.divide(v_w, bias2, out=denom)
+                np.sqrt(denom, out=denom)
+                denom += eps
+                np.divide(m_w, bias1, out=scratch)
+                scratch *= self.lr
+                scratch /= denom
+                w -= scratch
                 b -= self.lr * (m_b / bias1) / (np.sqrt(v_b / bias2) + eps)
         self.weight = w
         self.bias = b

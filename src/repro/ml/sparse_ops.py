@@ -1,0 +1,50 @@
+"""Low-overhead CSR helpers for the mini-batch sparse trainers.
+
+``scipy``'s ``__getitem__`` paths (both fancy row gathers and row
+slices) re-validate and re-allocate on every call, which dominates
+mini-batch epochs where each batch matrix is tiny. A contiguous row
+block of a CSR matrix is already addressable as three array slices, so
+:func:`csr_row_block` rebuilds the batch through the raw
+``(data, indices, indptr)`` constructor with ``copy=False`` — no data
+movement, no validation beyond the cheap shape bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["csr_row_block", "iter_csr_row_blocks"]
+
+
+def csr_row_block(
+    x: sparse.csr_matrix, start: int, stop: int
+) -> sparse.csr_matrix:
+    """Rows ``[start, stop)`` of a CSR matrix as zero-copy array slices.
+
+    The result shares ``data``/``indices`` memory with ``x``; callers
+    must treat it as read-only.
+    """
+    stop = min(stop, x.shape[0])
+    indptr = x.indptr
+    p0 = indptr[start]
+    return sparse.csr_matrix(
+        (
+            x.data[p0 : indptr[stop]],
+            x.indices[p0 : indptr[stop]],
+            indptr[start : stop + 1] - p0,
+        ),
+        shape=(stop - start, x.shape[1]),
+        copy=False,
+    )
+
+
+def iter_csr_row_blocks(
+    x: sparse.csr_matrix, batch_size: int
+) -> Iterator[tuple[int, sparse.csr_matrix]]:
+    """Yield ``(start, block)`` for consecutive row blocks of ``x``."""
+    n = x.shape[0]
+    for start in range(0, n, batch_size):
+        yield start, csr_row_block(x, start, start + batch_size)

@@ -5,13 +5,27 @@ hooks ``_forward`` / ``_backward``; this base class owns vocabulary
 construction, batching, the AdaMax loop with gradient clipping, and
 prediction. Hyper-parameters default to the paper's fixed choices
 (Section 6.1): learning rate 1e-3, batch size 16, embedding size 100.
+
+Training runs off duplicate-collapsed, length-bucketed *batch plans*
+(``bucket=True``, the default): the corpus is encoded and its exact
+duplicate ``(statement, label)`` rows collapsed exactly once per
+``fit`` (real workloads are massively repetitive — Figure 20 — and a
+weight-``k`` row contributes identically to ``k`` copies sharing a
+batch); each epoch then re-buckets the collapsed rows with a fresh
+seeded shuffle, sorting by sequence length within small pools so almost
+no padded timestep is ever computed while batch composition stays
+near-iid. Re-padding a bucket is one vectorized scatter per epoch —
+re-encoding is the cost worth hoisting. ``bucket=False`` reproduces the
+legacy loop — fresh random batches each epoch, padded per batch —
+whose seeded trajectory matches the pre-rewrite implementation step for
+step (the training benchmark asserts this).
 """
 
 from __future__ import annotations
 
 from abc import abstractmethod
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -19,10 +33,10 @@ from repro.models.base import QueryModel, TaskKind
 from repro.nn.losses import HuberLoss, SoftmaxCrossEntropy, softmax
 from repro.nn.module import Module
 from repro.nn.optim import AdaMax, clip_grad_norm
-from repro.text.encode import SequenceEncoder
+from repro.text.encode import SequenceEncoder, pad_sequences
 from repro.text.vocab import Vocabulary, build_char_vocab, build_word_vocab
 
-__all__ = ["NeuralHyperParams", "NeuralTextModel"]
+__all__ = ["NeuralHyperParams", "NeuralTextModel", "PlanBatch", "build_batch_plan"]
 
 
 @dataclass
@@ -40,6 +54,120 @@ class NeuralHyperParams:
     max_vocab_char: int = 512
     max_vocab_word: int = 20_000
     seed: int = 0
+    #: length-bucketed, duplicate-collapsed batch plan (False = legacy
+    #: random batches, the pre-rewrite trajectory)
+    bucket: bool = True
+
+
+@dataclass
+class PlanBatch:
+    """One precomputed training batch (padded once, reused every epoch)."""
+
+    ids: np.ndarray  #: (b, T_bucket) padded id matrix
+    lengths: np.ndarray  #: (b,) true sequence lengths
+    index: np.ndarray  #: rows into the original statements/targets
+    weights: np.ndarray | None = field(default=None)  #: duplicate counts
+
+
+#: batches per shuffled sorting pool — buckets are sorted only inside a
+#: random pool this many batches wide, so batch composition stays
+#: near-iid (plain shuffled SGD) while padding waste still collapses
+BUCKET_POOL = 8
+
+
+def _collapse_duplicates(
+    encoded: Sequence[Sequence[int]],
+    statements: Sequence[str],
+    targets: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge exact duplicate ``(statement, target)`` rows.
+
+    Returns ``(representative row indices, duplicate counts, sequence
+    lengths)``. Epoch-invariant — computed once per fit.
+    """
+    first_row: dict = {}
+    reps: list[int] = []
+    counts: list[int] = []
+    for i, statement in enumerate(statements):
+        key = (statement, targets[i].item())
+        j = first_row.get(key)
+        if j is None:
+            first_row[key] = len(reps)
+            reps.append(i)
+            counts.append(1)
+        else:
+            counts[j] += 1
+    rep_idx = np.asarray(reps, dtype=np.int64)
+    count_arr = np.asarray(counts, dtype=np.float64)
+    lengths = np.fromiter(
+        (max(len(encoded[i]), 1) for i in reps),
+        dtype=np.int64,
+        count=len(reps),
+    )
+    return rep_idx, count_arr, lengths
+
+
+def _bucketed_batches(
+    encoded: Sequence[Sequence[int]],
+    rep_idx: np.ndarray,
+    count_arr: np.ndarray,
+    lengths: np.ndarray,
+    batch_size: int,
+    pad_id: int,
+    rng: np.random.Generator,
+) -> list[PlanBatch]:
+    """One epoch's batches over pre-collapsed rows (fresh seeded shuffle)."""
+    m = len(rep_idx)
+    perm = rng.permutation(m)
+    pool_size = batch_size * BUCKET_POOL
+    chunks = []
+    for pool_start in range(0, m, pool_size):
+        pool = perm[pool_start : pool_start + pool_size]
+        chunks.append(pool[np.argsort(lengths[pool], kind="stable")])
+    order = np.concatenate(chunks) if chunks else perm
+    has_duplicates = bool(count_arr.max() > 1.0) if m else False
+    plan: list[PlanBatch] = []
+    for start in range(0, m, batch_size):
+        sel = order[start : start + batch_size]
+        rows = rep_idx[sel]
+        ids = pad_sequences([encoded[i] for i in rows], pad_id=pad_id)
+        batch_lengths = np.maximum((ids != pad_id).sum(axis=1), 1)
+        plan.append(
+            PlanBatch(
+                ids=ids,
+                lengths=batch_lengths,
+                index=rows,
+                weights=count_arr[sel] if has_duplicates else None,
+            )
+        )
+    return plan
+
+
+def build_batch_plan(
+    encoded: Sequence[Sequence[int]],
+    statements: Sequence[str],
+    targets: np.ndarray,
+    batch_size: int,
+    pad_id: int,
+    rng: np.random.Generator,
+) -> list[PlanBatch]:
+    """Length-bucketed, duplicate-collapsed batches over a training set.
+
+    Exact duplicate ``(statement, target)`` rows are merged into one row
+    whose loss weight is the duplicate count — gradient-identical to the
+    duplicates sharing a batch. The survivors are shuffled (seeded) and
+    stable-sorted by sequence length *within pools of*
+    :data:`BUCKET_POOL` batches, so each batch pads to a near-uniform
+    bucket width while batch membership stays close to an iid shuffle —
+    a global sort would correlate every batch with statement length and
+    measurably shift what the models learn.
+    """
+    rep_idx, count_arr, lengths = _collapse_duplicates(
+        encoded, statements, targets
+    )
+    return _bucketed_batches(
+        encoded, rep_idx, count_arr, lengths, batch_size, pad_id, rng
+    )
 
 
 class NeuralTextModel(QueryModel):
@@ -108,6 +236,102 @@ class NeuralTextModel(QueryModel):
         lengths = (ids != pad_id).sum(axis=1)
         return np.maximum(lengths, 1)
 
+    def _encode_targets(self, labels: np.ndarray) -> np.ndarray:
+        if self.task is TaskKind.CLASSIFICATION:
+            return np.asarray(labels, dtype=np.int64)
+        raw = np.asarray(labels, dtype=np.float64)
+        self._target_center = float(np.median(raw))
+        spread = float(raw.std())
+        self._target_scale = spread if spread > 1e-9 else 1.0
+        return (raw - self._target_center) / self._target_scale
+
+    def _train_step(
+        self,
+        ids: np.ndarray,
+        lengths: np.ndarray,
+        target_batch: np.ndarray,
+        weights: np.ndarray | None,
+        optimizer: AdaMax,
+    ) -> float:
+        output = self._forward(ids, lengths)
+        if self.task is TaskKind.CLASSIFICATION:
+            loss, dout = self._loss(output, target_batch, weights)
+        else:
+            loss, dgrad = self._loss(output[:, 0], target_batch, weights)
+            dout = dgrad[:, None]
+        self.network.zero_grad()
+        self._backward(dout)
+        if self.hyper.clip_norm > 0:
+            clip_grad_norm(self.network.parameters(), self.hyper.clip_norm)
+        optimizer.step()
+        return loss
+
+    def _run_epochs(
+        self,
+        statements: list[str],
+        encoded: list[list[int]],
+        targets: np.ndarray,
+        epochs: int,
+        optimizer: AdaMax,
+        record_history: bool = False,
+    ) -> None:
+        """The shared training loop behind :meth:`fit` and :meth:`finetune`.
+
+        ``bucket=True`` collapses duplicates once, then re-buckets the
+        collapsed rows each epoch with a fresh seeded shuffle (length-
+        sorted within pools, padded per bucket — one vectorized scatter).
+        ``bucket=False`` replays the legacy loop (fresh random batches per
+        epoch, padded per batch) whose seeded trajectory is identical to
+        the pre-rewrite implementation.
+        """
+        assert self.network is not None and self.encoder is not None
+        pad_id = self.encoder.vocab.pad_id
+        n = len(statements)
+        batch = self.hyper.batch_size
+        self.network.train()
+        if self.hyper.bucket:
+            # duplicates collapse once; each epoch re-buckets from the
+            # precomputed encodings with a fresh seeded permutation, so
+            # batch composition stays stochastic like plain shuffled SGD
+            # (padding a bucket is one vectorized scatter — re-encoding
+            # is the cost worth hoisting, re-padding is not)
+            rep_idx, count_arr, lengths = _collapse_duplicates(
+                encoded, statements, targets
+            )
+            for _ in range(epochs):
+                plan = _bucketed_batches(
+                    encoded, rep_idx, count_arr, lengths, batch, pad_id,
+                    self.rng,
+                )
+                epoch_loss = 0.0
+                for b in self.rng.permutation(len(plan)):
+                    pb = plan[b]
+                    epoch_loss += self._train_step(
+                        pb.ids,
+                        pb.lengths,
+                        targets[pb.index],
+                        pb.weights,
+                        optimizer,
+                    )
+                if record_history:
+                    self.history.append(epoch_loss / max(len(plan), 1))
+        else:
+            for _ in range(epochs):
+                order = self.rng.permutation(n)
+                epoch_loss = 0.0
+                steps = 0
+                for start in range(0, n, batch):
+                    chosen = order[start : start + batch]
+                    ids = self._pad([encoded[i] for i in chosen])
+                    lengths = self._lengths(ids, pad_id)
+                    epoch_loss += self._train_step(
+                        ids, lengths, targets[chosen], None, optimizer
+                    )
+                    steps += 1
+                if record_history:
+                    self.history.append(epoch_loss / max(steps, 1))
+        self.network.eval()
+
     def fit(self, statements: Sequence[str], labels: np.ndarray):
         statements = list(statements)
         vocab = self._build_vocab(statements)
@@ -118,45 +342,16 @@ class NeuralTextModel(QueryModel):
             lr=self.hyper.lr,
             weight_decay=self.hyper.weight_decay,
         )
-        if self.task is TaskKind.CLASSIFICATION:
-            targets = np.asarray(labels, dtype=np.int64)
-        else:
-            raw = np.asarray(labels, dtype=np.float64)
-            self._target_center = float(np.median(raw))
-            spread = float(raw.std())
-            self._target_scale = spread if spread > 1e-9 else 1.0
-            targets = (raw - self._target_center) / self._target_scale
+        targets = self._encode_targets(labels)
         encoded = [self.encoder.encode(s) for s in statements]
-        n = len(statements)
-        batch = self.hyper.batch_size
-        self.network.train()
-        for _ in range(self.hyper.epochs):
-            order = self.rng.permutation(n)
-            epoch_loss = 0.0
-            steps = 0
-            for start in range(0, n, batch):
-                chosen = order[start : start + batch]
-                ids = self._pad([encoded[i] for i in chosen])
-                lengths = self._lengths(ids, self.encoder.vocab.pad_id)
-                output = self._forward(ids, lengths)
-                if self.task is TaskKind.CLASSIFICATION:
-                    loss, dout = self._loss(output, targets[chosen])
-                else:
-                    loss, dgrad = self._loss(
-                        output[:, 0], targets[chosen]
-                    )
-                    dout = dgrad[:, None]
-                self.network.zero_grad()
-                self._backward(dout)
-                if self.hyper.clip_norm > 0:
-                    clip_grad_norm(
-                        self.network.parameters(), self.hyper.clip_norm
-                    )
-                optimizer.step()
-                epoch_loss += loss
-                steps += 1
-            self.history.append(epoch_loss / max(steps, 1))
-        self.network.eval()
+        self._run_epochs(
+            statements,
+            encoded,
+            targets,
+            self.hyper.epochs,
+            optimizer,
+            record_history=True,
+        )
         return self
 
     def finetune(
@@ -183,14 +378,7 @@ class NeuralTextModel(QueryModel):
         if self.network is None or self.encoder is None:
             raise RuntimeError("finetune requires a fitted model")
         statements = list(statements)
-        if self.task is TaskKind.CLASSIFICATION:
-            targets = np.asarray(labels, dtype=np.int64)
-        else:
-            raw = np.asarray(labels, dtype=np.float64)
-            self._target_center = float(np.median(raw))
-            spread = float(raw.std())
-            self._target_scale = spread if spread > 1e-9 else 1.0
-            targets = (raw - self._target_center) / self._target_scale
+        targets = self._encode_targets(labels)
         head = getattr(self.network, "head", None)
         if reset_head and head is not None:
             from repro.nn.initializers import glorot_uniform
@@ -205,30 +393,8 @@ class NeuralTextModel(QueryModel):
             weight_decay=self.hyper.weight_decay,
         )
         encoded = [self.encoder.encode(s) for s in statements]
-        n = len(statements)
-        batch = self.hyper.batch_size
         budget = epochs if epochs is not None else max(self.hyper.epochs // 2, 1)
-        self.network.train()
-        for _ in range(budget):
-            order = self.rng.permutation(n)
-            for start in range(0, n, batch):
-                chosen = order[start : start + batch]
-                ids = self._pad([encoded[i] for i in chosen])
-                lengths = self._lengths(ids, self.encoder.vocab.pad_id)
-                output = self._forward(ids, lengths)
-                if self.task is TaskKind.CLASSIFICATION:
-                    _, dout = self._loss(output, targets[chosen])
-                else:
-                    _, dgrad = self._loss(output[:, 0], targets[chosen])
-                    dout = dgrad[:, None]
-                self.network.zero_grad()
-                self._backward(dout)
-                if self.hyper.clip_norm > 0:
-                    clip_grad_norm(
-                        self.network.parameters(), self.hyper.clip_norm
-                    )
-                optimizer.step()
-        self.network.eval()
+        self._run_epochs(statements, encoded, targets, budget, optimizer)
         return self
 
     def _pad(self, sequences: list[list[int]]) -> np.ndarray:

@@ -52,16 +52,6 @@ class TextConv1d(Module):
         self.bias = self.add_param("bias", np.zeros(num_kernels))
         self._cache: tuple | None = None
 
-    def _im2col(self, x: np.ndarray) -> np.ndarray:
-        """(B, T, D) → (B, T-m+1, m*D) window matrix."""
-        batch, time, dim = x.shape
-        m = self.window
-        positions = time - m + 1
-        cols = np.empty((batch, positions, m * dim), dtype=x.dtype)
-        for j in range(m):
-            cols[:, :, j * dim : (j + 1) * dim] = x[:, j : j + positions, :]
-        return cols
-
     def forward(self, x: np.ndarray) -> np.ndarray:
         original_time = x.shape[1]
         if original_time < self.window:  # pad short inputs to one window
@@ -70,53 +60,67 @@ class TextConv1d(Module):
                 [x, np.zeros((x.shape[0], pad, x.shape[2]), dtype=x.dtype)],
                 axis=1,
             )
-        cols = self._im2col(x)
-        linear = cols @ self.weight.value + self.bias.value  # (B, P, K)
+        batch, time, dim = x.shape
+        positions = time - self.window + 1
+        k = self.num_kernels
+        weight = self.weight.value
+        # im2col without the column copy: each window offset contributes
+        # one batched (B, P, D) @ (D, K) GEMM on a contiguous slice view,
+        # accumulated in place — identical math to the (B·P, m·D) matrix
+        # product, with no (B, P, m·D) materialization to build or cache
+        linear = x[:, :positions, :] @ weight[:dim]
+        for j in range(1, self.window):
+            linear += x[:, j : j + positions, :] @ weight[
+                j * dim : (j + 1) * dim
+            ]
+        linear += self.bias.value
         active = linear > 0
-        activation = np.where(active, linear, 0.0)
+        activation = np.maximum(linear, 0.0, out=linear)  # ReLU in place
         if self.pooling == "max":
             pooled_idx = activation.argmax(axis=1)  # (B, K)
-            batch_idx = np.arange(x.shape[0])[:, None]
-            pooled = activation[
-                batch_idx, pooled_idx, np.arange(self.num_kernels)
-            ]
+            batch_idx = np.arange(batch)[:, None]
+            pooled = activation[batch_idx, pooled_idx, np.arange(k)]
         else:
             pooled_idx = None
             pooled = activation.mean(axis=1)
-        self._cache = (cols, active, pooled_idx, x.shape, original_time)
+        self._cache = (x, active, pooled_idx, original_time)
         return pooled
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         """(B, K) grad → (B, T, D) grad w.r.t. the embedding input."""
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        cols, active, pooled_idx, padded_shape, original_time = self._cache
-        batch, positions, _ = cols.shape
-        k = self.num_kernels
+        x, active, pooled_idx, original_time = self._cache
+        batch, positions, k = active.shape
+        dim = self.embed_dim
 
         if self.pooling == "max":
             # route pooled gradient to argmax positions, then through ReLU
-            dact = np.zeros((batch, positions, k))
+            dlinear = np.zeros((batch, positions, k))
             batch_idx = np.arange(batch)[:, None]
-            dact[batch_idx, pooled_idx, np.arange(k)] = dout
+            kernel_idx = np.arange(k)
+            dlinear[batch_idx, pooled_idx, kernel_idx] = np.where(
+                active[batch_idx, pooled_idx, kernel_idx], dout, 0.0
+            )
         else:
-            dact = np.broadcast_to(
+            dlinear = np.broadcast_to(
                 dout[:, None, :] / positions, (batch, positions, k)
-            ).copy()
-        dlinear = np.where(active, dact, 0.0)
+            ) * active  # ReLU mask without materializing the broadcast
 
-        flat_cols = cols.reshape(-1, cols.shape[-1])
-        flat_d = dlinear.reshape(-1, k)
-        self.weight.grad += flat_cols.T @ flat_d
-        self.bias.grad += flat_d.sum(axis=0)
-
-        dcols = dlinear @ self.weight.value.T  # (B, P, m*D)
-        dx = np.zeros(padded_shape)
-        dim = self.embed_dim
+        self.bias.grad += dlinear.sum(axis=(0, 1))
+        # mirror of the forward decomposition: per window offset, one
+        # batched GEMM for the weight-slice gradient and one for the
+        # overlapping input gradient
+        weight = self.weight.value
+        dx = np.zeros(x.shape)
         for j in range(self.window):
-            dx[:, j : j + positions, :] += dcols[
-                :, :, j * dim : (j + 1) * dim
-            ]
+            x_slice = x[:, j : j + positions, :]
+            self.weight.grad[j * dim : (j + 1) * dim] += (
+                x_slice.transpose(0, 2, 1) @ dlinear
+            ).sum(axis=0)
+            dx[:, j : j + positions, :] += dlinear @ weight[
+                j * dim : (j + 1) * dim
+            ].T
         return dx[:, :original_time, :]
 
 

@@ -15,13 +15,22 @@ from repro.nn.module import Module
 __all__ = ["Embedding", "Linear", "Dropout", "Relu", "Tanh", "sigmoid"]
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    exp_x = np.exp(x[~pos])
-    out[~pos] = exp_x / (1.0 + exp_x)
+def sigmoid(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Numerically stable logistic sigmoid.
+
+    Computed as ``(1 + tanh(x/2)) / 2`` — the half-angle identity — which
+    is stable over the whole real line (``tanh`` saturates instead of
+    overflowing) and fully vectorized, unlike the classic two-branch
+    masked formulation whose fancy indexing dominates small-batch hot
+    loops. ``out`` lets callers (the LSTM time loop) write into
+    preallocated cache arrays.
+    """
+    if out is None:
+        out = np.empty_like(x)
+    np.multiply(x, 0.5, out=out)
+    np.tanh(out, out=out)  # tanh saturates instead of overflowing
+    out += 1.0
+    out *= 0.5
     return out
 
 
@@ -57,10 +66,26 @@ class Embedding(Module):
         return self.weight.value[ids]
 
     def backward(self, dout: np.ndarray) -> None:
-        """Accumulate into weight.grad; embeddings have no input gradient."""
+        """Accumulate into weight.grad; embeddings have no input gradient.
+
+        The scatter-add runs as one sorted segment reduction
+        (``argsort`` + ``np.add.reduceat``) instead of ``np.add.at``,
+        whose unbuffered per-element inner loop dominates the CNN/LSTM
+        backward pass at batch scale. Duplicate ids sum exactly as
+        before, up to float addition order.
+        """
         if self._ids is None:
             raise RuntimeError("backward called before forward")
-        np.add.at(self.weight.grad, self._ids, dout)
+        flat_ids = self._ids.ravel()
+        if flat_ids.size:
+            dim = dout.shape[-1]
+            flat_d = np.ascontiguousarray(dout).reshape(-1, dim)
+            order = np.argsort(flat_ids, kind="stable")
+            sorted_ids = flat_ids[order]
+            seg_starts = np.flatnonzero(np.diff(sorted_ids)) + 1
+            seg_starts = np.concatenate(([0], seg_starts))
+            sums = np.add.reduceat(flat_d[order], seg_starts, axis=0)
+            self.weight.grad[sorted_ids[seg_starts]] += sums
         if self.pad_id is not None:
             self.weight.grad[self.pad_id] = 0.0
 

@@ -34,16 +34,31 @@ class SoftmaxCrossEntropy:
     """Mean cross-entropy over integer class targets (Eq. A.3)."""
 
     def __call__(
-        self, logits: np.ndarray, targets: np.ndarray
+        self,
+        logits: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
     ) -> tuple[float, np.ndarray]:
-        """Returns (mean loss, dlogits)."""
+        """Returns (mean loss, dlogits).
+
+        ``weights`` are per-row multiplicities: a row with weight ``k``
+        contributes exactly like ``k`` verbatim copies of it in the batch
+        (the duplicate-collapsed batch plans of
+        :mod:`repro.models.neural_base` rely on this identity). ``None``
+        keeps the plain mean.
+        """
         batch = logits.shape[0]
         log_probs = log_softmax(logits)
         rows = np.arange(batch)
-        loss = -log_probs[rows, targets].mean()
         dlogits = softmax(logits)
         dlogits[rows, targets] -= 1.0
-        return float(loss), dlogits / batch
+        if weights is None:
+            loss = -log_probs[rows, targets].mean()
+            return float(loss), dlogits / batch
+        total = float(weights.sum())
+        loss = -float(weights @ log_probs[rows, targets]) / total
+        dlogits *= weights[:, None]
+        return loss, dlogits / total
 
     @staticmethod
     def eval_loss(probs: np.ndarray, targets: np.ndarray) -> float:
@@ -65,9 +80,16 @@ class HuberLoss:
         self.delta = delta
 
     def __call__(
-        self, predictions: np.ndarray, targets: np.ndarray
+        self,
+        predictions: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
     ) -> tuple[float, np.ndarray]:
-        """Returns (mean loss, dpredictions)."""
+        """Returns (mean loss, dpredictions).
+
+        ``weights`` are per-row multiplicities; a weight-``k`` row matches
+        ``k`` verbatim copies of it (see :class:`SoftmaxCrossEntropy`).
+        """
         residual = predictions - targets
         abs_r = np.abs(residual)
         small = abs_r <= self.delta
@@ -76,10 +98,12 @@ class HuberLoss:
             0.5 * residual**2,
             self.delta * (abs_r - 0.5 * self.delta),
         )
-        grad = np.where(
-            small, residual, self.delta * np.sign(residual)
-        ) / max(len(residual), 1)
-        return float(loss_terms.mean()), grad
+        psi = np.where(small, residual, self.delta * np.sign(residual))
+        if weights is None:
+            return float(loss_terms.mean()), psi / max(len(residual), 1)
+        total = float(weights.sum())
+        loss = float(weights @ loss_terms) / total
+        return loss, weights * psi / total
 
     def eval_loss(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         """Mean Huber loss without the gradient (test-time reporting)."""
@@ -92,13 +116,23 @@ class SquaredLoss:
     Section 4.4.1 ablation compares Huber against."""
 
     def __call__(
-        self, predictions: np.ndarray, targets: np.ndarray
+        self,
+        predictions: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
     ) -> tuple[float, np.ndarray]:
-        """Returns (mean loss, dpredictions)."""
+        """Returns (mean loss, dpredictions).
+
+        ``weights`` are per-row multiplicities; a weight-``k`` row matches
+        ``k`` verbatim copies of it (see :class:`SoftmaxCrossEntropy`).
+        """
         residual = predictions - targets
-        loss = float(0.5 * (residual**2).mean()) if residual.size else 0.0
-        grad = residual / max(len(residual), 1)
-        return loss, grad
+        if weights is None:
+            loss = float(0.5 * (residual**2).mean()) if residual.size else 0.0
+            return loss, residual / max(len(residual), 1)
+        total = float(weights.sum())
+        loss = float(0.5 * (weights @ residual**2)) / total
+        return loss, weights * residual / total
 
     def eval_loss(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         loss, _ = self(predictions, targets)

@@ -19,10 +19,17 @@ def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
 
     Returns the pre-clipping norm. ``max_norm <= 0`` disables clipping
     (mirroring the paper's clipping-rate-0 hyper-parameter option).
+
+    The global norm is accumulated with one BLAS dot per parameter
+    (``np.dot(g, g)`` on the raveled gradient) instead of allocating a
+    ``p.grad**2`` temporary per parameter per step — this runs once per
+    training batch over every weight in the network.
     """
-    total = float(
-        np.sqrt(sum(float((p.grad**2).sum()) for p in params))
-    )
+    total_sq = 0.0
+    for p in params:
+        g = p.grad.ravel()
+        total_sq += np.dot(g, g)
+    total = float(np.sqrt(total_sq))
     if max_norm > 0 and total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
@@ -135,17 +142,26 @@ class AdaMax(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.value) for p in params]
         self._u = [np.zeros_like(p.value) for p in params]
+        self._scratch = [np.empty_like(p.value) for p in params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         b1 = self.beta1
         bias1 = 1.0 - b1**self._t
-        for p, m, u in zip(self.params, self._m, self._u):
+        for p, m, u, s in zip(self.params, self._m, self._u, self._scratch):
             grad = p.grad
             if self.weight_decay > 0:
                 grad = grad + self.weight_decay * p.value
             m *= b1
-            m += (1 - b1) * grad
-            np.maximum(self.beta2 * u, np.abs(grad) + self.eps, out=u)
-            p.value -= (self.lr / bias1) * m / u
+            np.multiply(grad, 1 - b1, out=s)
+            m += s
+            # u = max(β₂·u, |g| + ε), through the scratch buffer — this
+            # runs once per parameter per batch, so no fresh temporaries
+            np.multiply(u, self.beta2, out=u)
+            np.abs(grad, out=s)
+            s += self.eps
+            np.maximum(u, s, out=u)
+            np.multiply(m, self.lr / bias1, out=s)
+            s /= u
+            p.value -= s

@@ -1,0 +1,119 @@
+"""Process-pool head training must be indistinguishable from serial."""
+
+import numpy as np
+import pytest
+
+from repro.core.facilitator import QueryFacilitator
+from repro.core.problems import Problem
+from repro.experiments.runner import train_facilitator
+from repro.models.factory import ModelScale
+from repro.workloads.records import QueryRecord, Workload
+
+_TINY = ModelScale(
+    tfidf_features=500,
+    tfidf_max_len=80,
+    embed_dim=8,
+    num_kernels=4,
+    lstm_hidden=8,
+    epochs=2,
+    max_len_char=48,
+    max_len_word=12,
+    batch_size=8,
+)
+
+
+def _workload(n=24) -> Workload:
+    rng = np.random.default_rng(9)
+    records = []
+    for i in range(n):
+        fails = i % 3 == 0
+        records.append(
+            QueryRecord(
+                statement=(
+                    f"SELECT c{i % 5} FROM T WHERE x > {rng.integers(50)}"
+                ),
+                error_class="syntax" if fails else "success",
+                cpu_time=float(rng.uniform(0.1, 5.0)),
+                answer_size=float(rng.integers(1, 1000)),
+                session_class="A" if i % 2 else "B",
+            )
+        )
+    return Workload(name="tiny", records=records)
+
+
+def _insight_tuples(facilitator, statements):
+    out = []
+    for ins in facilitator.insights_batch(statements):
+        out.append(
+            (
+                ins.error_class,
+                ins.cpu_time_seconds,
+                ins.answer_size,
+                ins.session_class,
+            )
+        )
+    return out
+
+
+class TestParallelHeadTraining:
+    def test_pool_matches_serial(self):
+        workload = _workload()
+        statements = workload.statements()[:6]
+        serial = QueryFacilitator(model_name="ctfidf", scale=_TINY).fit(
+            workload
+        )
+        pooled = QueryFacilitator(model_name="ctfidf", scale=_TINY).fit(
+            workload, workers=2
+        )
+        assert list(serial.heads) == list(pooled.heads)
+        assert _insight_tuples(serial, statements) == _insight_tuples(
+            pooled, statements
+        )
+
+    def test_pool_records_fit_stats(self):
+        facilitator = QueryFacilitator(model_name="ctfidf", scale=_TINY).fit(
+            _workload(), workers=2
+        )
+        assert set(facilitator.fit_stats) == {
+            p.name.lower() for p in facilitator.problems
+        }
+        for stats in facilitator.fit_stats.values():
+            assert stats["seconds"] > 0
+
+    def test_single_worker_stays_in_process(self):
+        facilitator = QueryFacilitator(model_name="ctfidf", scale=_TINY).fit(
+            _workload(), workers=1
+        )
+        assert facilitator.problems  # trained, serially
+        assert all(s["seconds"] > 0 for s in facilitator.fit_stats.values())
+
+    def test_runner_entry_point(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_WORKERS", "2")
+        facilitator = train_facilitator(
+            _workload(), model_name="ctfidf", scale=_TINY
+        )
+        serial = QueryFacilitator(model_name="ctfidf", scale=_TINY).fit(
+            _workload()
+        )
+        statements = _workload().statements()[:5]
+        assert _insight_tuples(facilitator, statements) == _insight_tuples(
+            serial, statements
+        )
+
+    def test_restricted_problem_subset(self):
+        workload = _workload()
+        pooled = QueryFacilitator(model_name="ctfidf", scale=_TINY).fit(
+            workload,
+            problems=[Problem.CPU_TIME, Problem.ANSWER_SIZE],
+            workers=2,
+        )
+        assert set(pooled.problems) == {Problem.CPU_TIME, Problem.ANSWER_SIZE}
+
+    def test_missing_labels_still_raise(self):
+        workload = _workload()
+        for record in workload.records:
+            record.elapsed_time = None
+        with pytest.raises(ValueError):
+            QueryFacilitator(model_name="ctfidf", scale=_TINY).fit(
+                workload, problems=[Problem.ELAPSED_TIME], workers=2
+            )

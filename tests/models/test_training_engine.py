@@ -1,0 +1,163 @@
+"""Behaviour tests for the bucketed, duplicate-collapsing training engine."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import TaskKind
+from repro.models.cnn_model import TextCNNModel
+from repro.models.lstm_model import TextLSTMModel
+from repro.models.neural_base import (
+    NeuralHyperParams,
+    build_batch_plan,
+)
+from repro.nn.losses import HuberLoss, SoftmaxCrossEntropy
+
+_HYPER = NeuralHyperParams(
+    embed_dim=12,
+    epochs=2,
+    max_len_char=40,
+    max_len_word=16,
+    batch_size=4,
+    seed=3,
+)
+
+
+def _plan_for(statements, targets, batch_size=4, seed=0):
+    rng = np.random.default_rng(seed)
+    encoded = [[ord(c) % 50 + 1 for c in s] for s in statements]
+    return build_batch_plan(
+        encoded, statements, np.asarray(targets), batch_size, 0, rng
+    )
+
+
+class TestBatchPlan:
+    def test_covers_every_distinct_row_once(self):
+        statements = [f"SELECT {i} FROM T" for i in range(11)]
+        plan = _plan_for(statements, np.arange(11))
+        seen = np.concatenate([b.index for b in plan])
+        assert sorted(seen.tolist()) == list(range(11))
+        assert all(b.weights is None for b in plan)
+
+    def test_duplicates_collapse_with_counts(self):
+        statements = ["SELECT a FROM T"] * 5 + ["SELECT bb FROM T"] * 2
+        labels = np.array([1] * 5 + [0] * 2)
+        plan = _plan_for(statements, labels)
+        rows = np.concatenate([b.index for b in plan])
+        assert len(rows) == 2  # two distinct (statement, label) pairs
+        weights = np.concatenate(
+            [b.weights for b in plan if b.weights is not None]
+        )
+        assert sorted(weights.tolist()) == [2.0, 5.0]
+
+    def test_same_statement_different_label_stays_separate(self):
+        statements = ["SELECT a FROM T", "SELECT a FROM T"]
+        plan = _plan_for(statements, np.array([0, 1]))
+        rows = np.concatenate([b.index for b in plan])
+        assert len(rows) == 2
+
+    def test_batches_are_length_bucketed(self):
+        rng = np.random.default_rng(0)
+        statements = [
+            "S" * int(n) for n in rng.integers(1, 30, size=40)
+        ]
+        plan = _plan_for(statements, np.arange(40), batch_size=8)
+        # each batch pads to its own bucket max, and (40 rows fit in one
+        # sorting pool) buckets come out in sorted length order: no batch
+        # mixes short and long outliers
+        for b in plan:
+            assert b.ids.shape[1] == b.lengths.max()
+        for prev, nxt in zip(plan, plan[1:]):
+            assert prev.lengths.max() <= nxt.lengths.min()
+
+    def test_deterministic_per_seed(self):
+        statements = [f"SELECT {i % 7} FROM T{i % 3}" for i in range(20)]
+        p1 = _plan_for(statements, np.arange(20) % 4, seed=5)
+        p2 = _plan_for(statements, np.arange(20) % 4, seed=5)
+        for a, b in zip(p1, p2):
+            assert np.array_equal(a.index, b.index)
+            assert np.array_equal(a.ids, b.ids)
+
+
+class TestWeightedLosses:
+    def test_cross_entropy_weights_match_duplicate_expansion(self, rng):
+        logits = rng.standard_normal((3, 4))
+        targets = np.array([1, 0, 3])
+        weights = np.array([2.0, 1.0, 3.0])
+        expanded_logits = np.repeat(logits, [2, 1, 3], axis=0)
+        expanded_targets = np.repeat(targets, [2, 1, 3])
+        loss_w, grad_w = SoftmaxCrossEntropy()(logits, targets, weights)
+        loss_e, grad_e = SoftmaxCrossEntropy()(
+            expanded_logits, expanded_targets
+        )
+        assert loss_w == pytest.approx(loss_e, rel=1e-12)
+        # expanded grads for one source row are identical; their sum must
+        # equal the weighted row's grad
+        assert np.allclose(grad_w[0], grad_e[0] + grad_e[1], rtol=1e-12)
+        assert np.allclose(grad_w[2], grad_e[3:].sum(axis=0), rtol=1e-12)
+
+    def test_huber_weights_match_duplicate_expansion(self, rng):
+        pred = rng.standard_normal(3) * 3
+        targets = rng.standard_normal(3)
+        weights = np.array([4.0, 1.0, 2.0])
+        loss_w, grad_w = HuberLoss()(pred, targets, weights)
+        loss_e, grad_e = HuberLoss()(
+            np.repeat(pred, [4, 1, 2]), np.repeat(targets, [4, 1, 2])
+        )
+        assert loss_w == pytest.approx(loss_e, rel=1e-12)
+        assert grad_w[0] == pytest.approx(4 * grad_e[0], rel=1e-12)
+        assert grad_w[2] == pytest.approx(2 * grad_e[-1], rel=1e-12)
+
+
+class TestEngineTraining:
+    STATEMENTS = [
+        "SELECT a FROM T WHERE x > 1",
+        "SELECT b,c FROM U",
+        "DROP TABLE V",
+        "SELECT COUNT(*) FROM W WHERE y < 2",
+    ] * 5
+
+    def test_bucketed_fit_deterministic(self):
+        labels = np.array(([0, 1, 1, 0] * 5))
+        probas = []
+        for _ in range(2):
+            model = TextLSTMModel(
+                level="char", hidden=8, num_layers=1, hyper=_HYPER
+            )
+            model.fit(self.STATEMENTS, labels)
+            probas.append(model.predict_proba(self.STATEMENTS[:4]))
+        assert np.array_equal(probas[0], probas[1])
+
+    def test_bucketed_regression_learns_and_predicts(self):
+        labels = np.array([float(len(s)) for s in self.STATEMENTS])
+        model = TextCNNModel(
+            task=TaskKind.REGRESSION, num_kernels=8, hyper=_HYPER
+        )
+        model.fit(self.STATEMENTS, labels)
+        pred = model.predict(self.STATEMENTS[:4])
+        assert pred.shape == (4,)
+        assert np.isfinite(pred).all()
+        assert len(model.history) == _HYPER.epochs
+
+    def test_legacy_mode_still_supported(self):
+        hyper = NeuralHyperParams(
+            embed_dim=12,
+            epochs=1,
+            max_len_char=40,
+            batch_size=4,
+            seed=3,
+            bucket=False,
+        )
+        labels = np.array(([0, 1, 1, 0] * 5))
+        model = TextLSTMModel(level="char", hidden=8, num_layers=1, hyper=hyper)
+        model.fit(self.STATEMENTS, labels)
+        assert len(model.history) == 1
+        assert np.isfinite(model.history[0])
+
+    def test_finetune_runs_on_engine(self):
+        labels = np.array(([0, 1, 1, 0] * 5))
+        model = TextLSTMModel(level="char", hidden=8, num_layers=1, hyper=_HYPER)
+        model.fit(self.STATEMENTS, labels)
+        before = model.predict_proba(self.STATEMENTS[:4])
+        model.finetune(self.STATEMENTS, labels, epochs=1)
+        after = model.predict_proba(self.STATEMENTS[:4])
+        assert before.shape == after.shape

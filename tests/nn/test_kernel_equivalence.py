@@ -1,0 +1,151 @@
+"""Fused kernels vs straightforward per-step reference implementations.
+
+The LSTM and conv kernels are heavily restructured for speed (hoisted
+GEMMs, preallocated sequence caches, batched window decomposition). The
+gradient checks bound correctness against numerical derivatives; these
+tests bound the *implementation* against the textbook formulation the
+seed shipped, so a rewrite can only reorder floating-point work, never
+change the math.
+"""
+
+import numpy as np
+
+from gradcheck import assert_close
+from repro.nn.conv import TextConv1d
+from repro.nn.layers import sigmoid
+from repro.nn.lstm import LSTMLayer
+
+TIGHT = 1e-10
+
+
+def reference_lstm_forward(layer: LSTMLayer, x: np.ndarray) -> np.ndarray:
+    """The seed's per-step loop: small matmuls, no fused projections."""
+    batch, time, _ = x.shape
+    k = layer.hidden
+    w, u, b = layer.w.value, layer.u.value, layer.b.value
+    h = np.zeros((batch, k))
+    c = np.zeros((batch, k))
+    out = np.empty((batch, time, k))
+    for t in range(time):
+        z = x[:, t, :] @ w + h @ u + b
+        i = sigmoid(z[:, :k])
+        f = sigmoid(z[:, k : 2 * k])
+        o = sigmoid(z[:, 2 * k : 3 * k])
+        g = np.tanh(z[:, 3 * k :])
+        c = f * c + i * g
+        h = o * np.tanh(c)
+        out[:, t, :] = h
+    return out
+
+
+def reference_conv_forward(conv: TextConv1d, x: np.ndarray) -> np.ndarray:
+    """Direct im2col + matrix product + ReLU + max-over-time."""
+    batch, time, dim = x.shape
+    m = conv.window
+    positions = time - m + 1
+    cols = np.empty((batch, positions, m * dim))
+    for j in range(m):
+        cols[:, :, j * dim : (j + 1) * dim] = x[:, j : j + positions, :]
+    linear = cols @ conv.weight.value + conv.bias.value
+    activation = np.where(linear > 0, linear, 0.0)
+    return activation.max(axis=1)
+
+
+class TestLSTMEquivalence:
+    def test_forward_matches_reference(self, rng):
+        layer = LSTMLayer(5, 6, rng)
+        x = rng.standard_normal((3, 9, 5))
+        assert_close(
+            layer.forward(x), reference_lstm_forward(layer, x), tol=TIGHT
+        )
+
+    def test_forward_padding_invariance(self, rng):
+        """Trailing pad steps must not change earlier hidden states —
+        the property that makes length-bucketed training equivalent."""
+        layer = LSTMLayer(4, 5, rng)
+        x = rng.standard_normal((2, 6, 4))
+        short = layer.forward(x).copy()
+        padded = np.concatenate([x, np.zeros((2, 3, 4))], axis=1)
+        long = layer.forward(padded)
+        assert np.array_equal(short, long[:, :6, :])
+
+    def test_backward_grads_match_reference_loop(self, rng):
+        """Weight grads from the fused flat GEMMs vs per-step accumulation."""
+        layer = LSTMLayer(4, 5, rng)
+        x = rng.standard_normal((2, 7, 4))
+        dh = rng.standard_normal((2, 7, 5))
+        layer.forward(x)
+        layer.zero_grad()
+        dx = layer.backward(dh)
+
+        # reference: accumulate the same quantities step by step from the
+        # cached forward state of a fresh identical layer
+        ref = LSTMLayer(4, 5, rng)
+        ref.w.value[...] = layer.w.value
+        ref.u.value[...] = layer.u.value
+        ref.b.value[...] = layer.b.value
+        k = 5
+        h_seq = reference_lstm_forward(ref, x)
+        # recompute per-step intermediates
+        w, u, b = ref.w.value, ref.u.value, ref.b.value
+        hs = [np.zeros((2, k))]
+        cs = [np.zeros((2, k))]
+        gates = []
+        for t in range(7):
+            z = x[:, t, :] @ w + hs[-1] @ u + b
+            i = sigmoid(z[:, :k])
+            f = sigmoid(z[:, k : 2 * k])
+            o = sigmoid(z[:, 2 * k : 3 * k])
+            g = np.tanh(z[:, 3 * k :])
+            c = f * cs[-1] + i * g
+            gates.append((i, f, o, g, c))
+            cs.append(c)
+            hs.append(o * np.tanh(c))
+        dw = np.zeros_like(w)
+        du = np.zeros_like(u)
+        db = np.zeros_like(b)
+        dx_ref = np.empty_like(x)
+        dh_carry = np.zeros((2, k))
+        dc_carry = np.zeros((2, k))
+        for t in range(6, -1, -1):
+            i, f, o, g, c = gates[t]
+            tanh_c = np.tanh(c)
+            dh_t = dh[:, t, :] + dh_carry
+            do = dh_t * tanh_c
+            dc = dc_carry + dh_t * o * (1 - tanh_c**2)
+            dz = np.concatenate(
+                [
+                    dc * g * i * (1 - i),
+                    dc * cs[t] * f * (1 - f),
+                    do * o * (1 - o),
+                    dc * i * (1 - g**2),
+                ],
+                axis=1,
+            )
+            dw += x[:, t, :].T @ dz
+            du += hs[t].T @ dz
+            db += dz.sum(axis=0)
+            dx_ref[:, t, :] = dz @ w.T
+            dh_carry = dz @ u.T
+            dc_carry = dc * f
+        assert_close(layer.forward(x), h_seq, tol=TIGHT)
+        assert_close(layer.w.grad, dw, tol=1e-8, label="w")
+        assert_close(layer.u.grad, du, tol=1e-8, label="u")
+        assert_close(layer.b.grad, db, tol=1e-8, label="b")
+        assert_close(dx, dx_ref, tol=1e-8, label="dx")
+
+
+class TestConvEquivalence:
+    def test_forward_matches_reference(self, rng):
+        conv = TextConv1d(4, 3, 6, rng)
+        x = rng.standard_normal((2, 10, 4))
+        assert_close(
+            conv.forward(x), reference_conv_forward(conv, x), tol=TIGHT
+        )
+
+    def test_forward_matches_reference_window5(self, rng):
+        conv = TextConv1d(3, 5, 4, rng)
+        x = rng.standard_normal((2, 8, 3))
+        assert_close(
+            conv.forward(x), reference_conv_forward(conv, x), tol=TIGHT
+        )

@@ -92,6 +92,41 @@ class TestEmbedding:
         layer.backward(np.ones((1, 2, 3)))
         assert np.allclose(layer.weight.grad[0], 0.0)
 
+    def test_gradients_numeric(self, rng):
+        """Central-difference check of the segment-reduction scatter,
+        with duplicate ids inside and across rows."""
+        layer = Embedding(7, 3, rng, pad_id=None)
+        ids = np.array([[1, 4, 1, 6], [4, 4, 2, 1]])
+        target = rng.standard_normal((2, 4, 3))
+
+        def loss():
+            return 0.5 * float(((layer.forward(ids) - target) ** 2).sum())
+
+        out = layer.forward(ids)
+        layer.zero_grad()
+        layer.backward(out - target)
+        assert_close(
+            layer.weight.grad,
+            numerical_gradient(loss, layer.weight.value),
+            label="embedding.weight",
+        )
+
+    def test_gradients_numeric_pad_frozen(self, rng):
+        """Same check with a pad row: its gradient must stay pinned at 0."""
+        layer = Embedding(7, 3, rng, pad_id=0)
+        ids = np.array([[1, 0, 3], [0, 3, 3]])
+        target = rng.standard_normal((2, 3, 3))
+        out = layer.forward(ids)
+        layer.zero_grad()
+        layer.backward(out - target)
+
+        def loss():
+            return 0.5 * float(((layer.forward(ids) - target) ** 2).sum())
+
+        numeric = numerical_gradient(loss, layer.weight.value)
+        numeric[0] = 0.0  # the layer freezes the pad row by contract
+        assert_close(layer.weight.grad, numeric, label="embedding.weight")
+
 
 class TestDropout:
     def test_identity_in_eval(self, rng):

@@ -62,6 +62,30 @@ class TestClipGradNorm:
         total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
         assert total == pytest.approx(1.0)
 
+    def test_matches_reference_formulation(self):
+        """Regression for the allocation-free norm: the BLAS-dot version
+        must return the same norm and scaled grads as the naive
+        ``sum((grad**2).sum())`` reference, including on multi-dim and
+        non-contiguous-shaped parameters."""
+        rng = np.random.default_rng(11)
+        params = [
+            Parameter(np.zeros((5, 7))),
+            Parameter(np.zeros(13)),
+            Parameter(np.zeros((2, 3, 4))),
+        ]
+        for p in params:
+            p.grad[...] = rng.standard_normal(p.value.shape) * 3.0
+        reference_norm = float(
+            np.sqrt(sum(float((p.grad**2).sum()) for p in params))
+        )
+        reference_scaled = [
+            p.grad * (1.0 / reference_norm) for p in params
+        ]
+        returned = clip_grad_norm(params, 1.0)
+        assert returned == pytest.approx(reference_norm, rel=1e-12)
+        for p, expected in zip(params, reference_scaled):
+            assert np.allclose(p.grad, expected, rtol=1e-12, atol=0)
+
 
 class TestOptimizerValidation:
     def test_empty_params(self):
