@@ -8,6 +8,7 @@ actually runs:
 - ``train``     — fit a :class:`~repro.core.facilitator.QueryFacilitator`
 - ``predict``   — pre-execution insights for new statements
 - ``serve``     — micro-batching HTTP endpoint over a saved facilitator
+- ``stats``     — telemetry of a running endpoint (or a REPRO_OBS_LOG file)
 - ``evaluate``  — train/test split evaluation with the paper's metrics
 - ``experiment``— regenerate any table/figure of the paper's evaluation
 - ``compress``  — workload compression (Section 8 future work)
@@ -35,6 +36,7 @@ from repro.cli import (
     generate_cmd,
     predict_cmd,
     serve_cmd,
+    stats_cmd,
     train_cmd,
 )
 
@@ -46,6 +48,7 @@ _COMMANDS = (
     train_cmd,
     predict_cmd,
     serve_cmd,
+    stats_cmd,
     evaluate_cmd,
     experiment_cmd,
     compress_cmd,

@@ -5,7 +5,11 @@ pre-execution insights over HTTP with micro-batched inference: concurrent
 ``POST /insights`` requests are coalesced into single ``insights_batch``
 calls (up to ``--max-batch`` statements or ``--max-wait-ms``). ``GET
 /stats`` exposes request counts, batch sizes, latency percentiles, and the
-statement-analysis cache hit rate; ``GET /healthz`` reports liveness.
+statement-analysis cache hit rate (``?trace=1`` adds the last traced
+batch's per-stage breakdown); ``GET /metrics`` is the Prometheus text
+endpoint; ``GET /healthz`` reports liveness and artifact identity. Set
+``REPRO_OBS_LOG=path.jsonl`` to also write one structured access record
+per micro-batch; inspect either surface with ``repro stats``.
 
 Typical workflow::
 
@@ -88,7 +92,8 @@ def run(args: argparse.Namespace) -> int:
         problems = ", ".join(p.name.lower() for p in facilitator.problems)
         emit(
             f"serving {facilitator.model_name} ({problems}) on "
-            f"http://{host}:{port} — POST /insights, GET /stats, GET /healthz"
+            f"http://{host}:{port} — POST /insights, GET /stats, "
+            f"GET /metrics, GET /healthz"
         )
         try:
             server.serve_forever()

@@ -1,0 +1,248 @@
+"""``repro stats`` — inspect a running server's telemetry or an event log.
+
+Point it at a running ``repro serve`` endpoint and it reports the serving
+counters (``GET /stats``) together with a digest of the Prometheus
+registry (``GET /metrics``): pipeline cache effectiveness, queue depth,
+latency histogram percentiles, per-stage span timings. ``--trace`` also
+prints the per-stage breakdown of the most recently traced micro-batch.
+
+Point it at a ``REPRO_OBS_LOG`` JSONL file instead and it summarizes the
+recorded events: per-model training epochs (final loss, throughput),
+per-head fit times, and the serving access records.
+
+Typical usage::
+
+    python -m repro serve facilitator.bin --port 8080 &
+    python -m repro stats http://127.0.0.1:8080
+    python -m repro stats http://127.0.0.1:8080 --trace
+
+    REPRO_OBS_LOG=run.jsonl python -m repro train sdss.jsonl -o f.bin
+    python -m repro stats run.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.cli._common import emit
+
+__all__ = ["register"]
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "stats",
+        help="inspect a serve endpoint's telemetry or a REPRO_OBS_LOG file",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "target",
+        help="base URL of a running `repro serve` (http://host:port) "
+        "or the path of a REPRO_OBS_LOG event file",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="also show the per-stage breakdown of the last traced batch",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the raw combined payload as JSON",
+    )
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.target.startswith(("http://", "https://")):
+        return _report_server(args.target.rstrip("/"), args.trace, args.as_json)
+    return _report_event_log(args.target, args.as_json)
+
+
+# -- live server --------------------------------------------------------------- #
+
+
+def _fetch(url: str) -> bytes:
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.read()
+
+
+def _histogram_quantiles(metrics: dict, name: str) -> dict[str, float]:
+    """p50/p95 (plus count) estimated from one exported histogram family.
+
+    ``parse_text`` keeps histogram series under their suffixed names
+    (``<name>_bucket``/``_sum``/``_count``); this reassembles one
+    unlabeled histogram from them.
+    """
+    from repro.obs.histograms import percentile_from_buckets
+
+    bucket_family = metrics.get(name + "_bucket")
+    count_family = metrics.get(name + "_count")
+    if not bucket_family or not count_family:
+        return {}
+    buckets: list[tuple[float, float]] = []
+    for sample in bucket_family["samples"]:
+        le = sample["labels"].get("le")
+        if le is None:
+            continue
+        bound = float("inf") if le == "+Inf" else float(le)
+        buckets.append((bound, sample["value"]))
+    total = count_family["samples"][0]["value"]
+    if not buckets or not total:
+        return {}
+    buckets.sort()
+    snapshot = {"buckets": buckets, "count": total, "sum": 0.0}
+    return {
+        "count": total,
+        "p50": percentile_from_buckets(snapshot, 0.50),
+        "p95": percentile_from_buckets(snapshot, 0.95),
+    }
+
+
+def _stage_table(metrics: dict) -> list[tuple[str, float, float]]:
+    """(stage, count, total_seconds) rows from repro_stage_seconds."""
+    by_stage: dict[str, dict[str, float]] = {}
+    for suffix, key in (("_count", "count"), ("_sum", "sum")):
+        family = metrics.get("repro_stage_seconds" + suffix)
+        if family is None:
+            continue
+        for sample in family["samples"]:
+            stage = sample["labels"].get("stage")
+            if stage is not None:
+                by_stage.setdefault(stage, {})[key] = sample["value"]
+    rows = [
+        (stage, slot.get("count", 0.0), slot.get("sum", 0.0))
+        for stage, slot in by_stage.items()
+    ]
+    rows.sort(key=lambda row: -row[2])
+    return rows
+
+
+def _report_server(base_url: str, want_trace: bool, as_json: bool) -> int:
+    from repro.obs.textfmt import parse_text
+
+    stats_url = base_url + "/stats" + ("?trace=1" if want_trace else "")
+    try:
+        stats = json.loads(_fetch(stats_url))
+        metrics = parse_text(_fetch(base_url + "/metrics").decode("utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot reach {base_url}: {exc}") from exc
+    if as_json:
+        payload = {"stats": stats, "metrics": metrics}
+        emit(json.dumps(payload, indent=2, default=str))
+        return 0
+    emit(f"serving stats from {base_url}")
+    emit(
+        f"  requests {stats['requests']}  statements {stats['statements']}  "
+        f"batches {stats['batches']}  "
+        f"mean batch {stats['mean_batch_size']:.1f}"
+    )
+    emit(
+        f"  latency window p50 {stats['latency_p50_ms']}ms  "
+        f"p95 {stats['latency_p95_ms']}ms"
+    )
+    memo = stats.get("insight_cache", {})
+    if memo:
+        emit(
+            f"  insight memo: {memo['hits']} hits / {memo['misses']} misses "
+            f"(hit rate {memo['hit_rate']:.0%}, size {memo['size']})"
+        )
+    pipe = stats.get("pipeline", {})
+    if pipe:
+        emit(
+            f"  pipeline cache: {pipe['hits']} hits / {pipe['misses']} misses "
+            f"(hit rate {pipe['hit_rate']:.0%}, "
+            f"size {pipe['size']}/{pipe['max_size']})"
+        )
+    latency = _histogram_quantiles(
+        metrics, "repro_service_request_latency_seconds"
+    )
+    if latency:
+        emit(
+            f"  lifetime latency histogram: ~p50 {latency['p50'] * 1000:.2f}ms"
+            f"  ~p95 {latency['p95'] * 1000:.2f}ms"
+            f"  over {latency['count']:.0f} requests"
+        )
+    stages = _stage_table(metrics)
+    if stages:
+        emit("  stage time (lifetime):")
+        for stage, count, total in stages:
+            mean_ms = (total / count) * 1000.0 if count else 0.0
+            emit(
+                f"    {stage:<20} {count:>8.0f} calls  "
+                f"{total:>9.3f}s total  {mean_ms:>8.3f}ms mean"
+            )
+    if want_trace:
+        trace = stats.get("trace")
+        if not trace:
+            emit("  trace: none captured yet (send a request and retry)")
+        else:
+            emit(
+                f"  last traced batch: {trace['batch_size']} statements, "
+                f"{trace['total_ms']:.2f}ms total "
+                f"({trace['stage_total_ms']:.2f}ms in stages)"
+            )
+            for stage in trace["stages"]:
+                indent = "    " + "  " * stage["depth"]
+                emit(
+                    f"{indent}{stage['stage']:<18} "
+                    f"+{stage['offset_ms']:>7.2f}ms  {stage['ms']:>7.2f}ms"
+                )
+    return 0
+
+
+# -- event-log file ------------------------------------------------------------ #
+
+
+def _report_event_log(path: str, as_json: bool) -> int:
+    from repro.obs.events import read_events
+
+    events = read_events(path)
+    if as_json:
+        emit(json.dumps(events, indent=2, default=str))
+        return 0
+    if not events:
+        emit(f"{path}: no events")
+        return 0
+    by_kind: dict[str, int] = {}
+    for event in events:
+        by_kind[event.get("event", "?")] = by_kind.get(event.get("event", "?"), 0) + 1
+    emit(f"{path}: {len(events)} events")
+    for kind in sorted(by_kind):
+        emit(f"  {kind}: {by_kind[kind]}")
+    epochs = [e for e in events if e.get("event") == "train.epoch"]
+    if epochs:
+        emit("  training epochs (last per model):")
+        last: dict[str, dict] = {}
+        for event in epochs:
+            last[event.get("model", "?")] = event
+        for model in sorted(last):
+            event = last[model]
+            rate = event.get("rows", 0) / event["seconds"] if event.get("seconds") else 0.0
+            emit(
+                f"    {model:<24} epoch {event.get('epoch')}  "
+                f"loss {event.get('loss')}  {event.get('seconds')}s  "
+                f"({rate:.0f} rows/s)"
+            )
+    heads = [e for e in events if e.get("event") == "train.head"]
+    if heads:
+        emit("  fitted heads:")
+        for event in heads:
+            emit(
+                f"    {event.get('problem'):<24} model {event.get('model')}  "
+                f"{event.get('seconds', 0.0):.3f}s"
+            )
+    batches = [e for e in events if e.get("event") == "serve.batch"]
+    if batches:
+        statements = sum(e.get("batch_size", 0) for e in batches)
+        latency = sum(e.get("latency_ms", 0.0) for e in batches)
+        emit(
+            f"  serving: {len(batches)} batches / {statements} statements, "
+            f"mean batch latency {latency / len(batches):.2f}ms"
+        )
+    return 0

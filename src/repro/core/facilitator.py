@@ -37,6 +37,9 @@ from repro.core.problems import Problem
 from repro.models import serialize
 from repro.models.factory import ModelScale
 from repro.models.serialize import ArtifactFormatError
+from repro.obs import events as obs_events
+from repro.obs.registry import get_registry
+from repro.obs.spans import span
 from repro.workloads.records import Workload
 
 __all__ = [
@@ -179,8 +182,14 @@ class QueryFacilitator:
         self.heads: dict[Problem, ProblemHead] = {}
         self.similar_index = None
         #: per-problem training telemetry filled by :meth:`fit`
-        #: (``{problem_name: {"seconds", "epochs", "epochs_per_s"}}``)
+        #: (``{problem_name: {"seconds", "epochs", "epochs_per_s"}}``) —
+        #: a thin view: the same quantities land in the obs registry as
+        #: ``repro_train_head_seconds{problem=...}`` gauges and, when
+        #: ``REPRO_OBS_LOG`` is set, as ``train.head`` JSONL events
         self.fit_stats: dict[str, dict] = {}
+        #: manifest identity when loaded from / saved to an artifact
+        #: (``{"format", "version", "path"}``); ``None`` for in-memory fits
+        self.artifact_meta: dict | None = None
 
     # -- training ----------------------------------------------------------- #
 
@@ -272,13 +281,23 @@ class QueryFacilitator:
 
     def _record_fit(self, problem: Problem, seconds: float) -> None:
         epochs = self._head_epochs(self.heads[problem])
-        self.fit_stats[problem.name.lower()] = {
+        name = problem.name.lower()
+        stats = {
             "seconds": seconds,
             "epochs": epochs,
             "epochs_per_s": (
                 epochs / seconds if epochs and seconds > 0 else None
             ),
         }
+        self.fit_stats[name] = stats
+        get_registry().gauge(
+            "repro_train_head_seconds",
+            "Wall-clock of the most recent fit of this problem head",
+            problem=name,
+        ).set(seconds)
+        obs_events.emit(
+            "train.head", problem=name, model=self.model_name, **stats
+        )
 
     @staticmethod
     def _head_epochs(head: ProblemHead) -> int | None:
@@ -316,25 +335,32 @@ class QueryFacilitator:
         if not self.heads:
             raise RuntimeError("QueryFacilitator must be fitted first")
         statements = list(statements)
-        index_of: dict[str, int] = {}
-        unique: list[str] = []
-        for statement in statements:
-            if statement not in index_of:
-                index_of[statement] = len(unique)
-                unique.append(statement)
-        unique_results = [QueryInsights(statement=s) for s in unique]
+        with span("dedup", statements=len(statements)):
+            index_of: dict[str, int] = {}
+            unique: list[str] = []
+            for statement in statements:
+                if statement not in index_of:
+                    index_of[statement] = len(unique)
+                    unique.append(statement)
+            unique_results = [QueryInsights(statement=s) for s in unique]
         shared_features: dict[bytes, object] = {}
         for head in self.heads.values():
             fingerprint = head.model.feature_fingerprint()
             features = None
             if fingerprint is not None:
                 if fingerprint not in shared_features:
-                    shared_features[fingerprint] = head.model.featurize(unique)
+                    with span("featurize", statements=len(unique)):
+                        shared_features[fingerprint] = head.model.featurize(
+                            unique
+                        )
                 features = shared_features[fingerprint]
-            head.predict_into(unique, unique_results, features=features)
+            head_name = head.problem.name.lower()
+            with span(f"predict:{head_name}", head=head_name):
+                head.predict_into(unique, unique_results, features=features)
         if len(unique) == len(statements):
             return unique_results
-        return [unique_results[index_of[s]].copy() for s in statements]
+        with span("fanout"):
+            return [unique_results[index_of[s]].copy() for s in statements]
 
     def similar_queries(self, statement: str, k: int = 5):
         """The ``k`` most similar historical queries with their outcomes.
@@ -356,6 +382,29 @@ class QueryFacilitator:
     def problems(self) -> list[Problem]:
         """Problems this facilitator was trained for."""
         return list(self.heads)
+
+    @property
+    def artifact_identity(self) -> dict:
+        """Manifest-level identity of the model state being served.
+
+        A fleet health-checker compares this across shards to detect
+        stale artifacts (``GET /healthz`` reports it). For a facilitator
+        loaded from (or saved to) an artifact it carries the manifest's
+        format name/version and the source path; for an in-memory fit the
+        ``path`` is ``None`` but format/version describe what ``save()``
+        would write.
+        """
+        meta = self.artifact_meta or {}
+        return {
+            "format": meta.get("format", ARTIFACT_FORMAT),
+            "version": meta.get("version", ARTIFACT_VERSION),
+            "path": meta.get("path"),
+            "model_name": self.model_name,
+            "models": {
+                head.problem.name.lower(): type(head.model).__name__
+                for head in self.heads.values()
+            },
+        }
 
     # -- persistence --------------------------------------------------------- #
 
@@ -389,6 +438,11 @@ class QueryFacilitator:
                 "pickle", self.similar_index
             )
         serialize.write_artifact(path, manifest, payloads)
+        self.artifact_meta = {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
+            "path": str(path),
+        }
 
     @classmethod
     def load(cls, path: str | Path) -> "QueryFacilitator":
@@ -439,4 +493,9 @@ class QueryFacilitator:
             facilitator.similar_index = serialize.decode_payload(
                 "pickle", payloads[index_member]
             )
+        facilitator.artifact_meta = {
+            "format": manifest.get("format", ARTIFACT_FORMAT),
+            "version": manifest.get("version", ARTIFACT_VERSION),
+            "path": str(path),
+        }
         return facilitator

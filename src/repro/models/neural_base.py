@@ -23,6 +23,7 @@ step (the training benchmark asserts this).
 
 from __future__ import annotations
 
+import time
 from abc import abstractmethod
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -30,6 +31,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.models.base import QueryModel, TaskKind
+from repro.obs import events as obs_events
+from repro.obs.registry import get_registry
 from repro.nn.losses import HuberLoss, SoftmaxCrossEntropy, softmax
 from repro.nn.module import Module
 from repro.nn.optim import AdaMax, clip_grad_norm
@@ -245,6 +248,37 @@ class NeuralTextModel(QueryModel):
         self._target_scale = spread if spread > 1e-9 else 1.0
         return (raw - self._target_center) / self._target_scale
 
+    def _record_epoch(
+        self, epoch: int, mean_loss: float, seconds: float, rows: int
+    ) -> None:
+        """Report one finished epoch to the obs registry (gauges labeled
+        by model class) and, when ``REPRO_OBS_LOG`` is set, the event log."""
+        model = type(self).__name__
+        registry = get_registry()
+        registry.gauge(
+            "repro_train_epoch_loss",
+            "Mean training loss of the most recent epoch",
+            model=model,
+        ).set(mean_loss)
+        registry.gauge(
+            "repro_train_epoch_seconds",
+            "Wall-clock duration of the most recent epoch",
+            model=model,
+        ).set(seconds)
+        registry.gauge(
+            "repro_train_rows_per_second",
+            "Training rows processed per second in the most recent epoch",
+            model=model,
+        ).set(rows / seconds if seconds > 0 else 0.0)
+        obs_events.emit(
+            "train.epoch",
+            model=model,
+            epoch=epoch,
+            loss=round(mean_loss, 6),
+            seconds=round(seconds, 4),
+            rows=rows,
+        )
+
     def _train_step(
         self,
         ids: np.ndarray,
@@ -298,7 +332,8 @@ class NeuralTextModel(QueryModel):
             rep_idx, count_arr, lengths = _collapse_duplicates(
                 encoded, statements, targets
             )
-            for _ in range(epochs):
+            for epoch in range(epochs):
+                epoch_started = time.perf_counter()
                 plan = _bucketed_batches(
                     encoded, rep_idx, count_arr, lengths, batch, pad_id,
                     self.rng,
@@ -313,10 +348,18 @@ class NeuralTextModel(QueryModel):
                         pb.weights,
                         optimizer,
                     )
+                mean_loss = epoch_loss / max(len(plan), 1)
                 if record_history:
-                    self.history.append(epoch_loss / max(len(plan), 1))
+                    self.history.append(mean_loss)
+                self._record_epoch(
+                    epoch,
+                    mean_loss,
+                    time.perf_counter() - epoch_started,
+                    len(rep_idx),
+                )
         else:
-            for _ in range(epochs):
+            for epoch in range(epochs):
+                epoch_started = time.perf_counter()
                 order = self.rng.permutation(n)
                 epoch_loss = 0.0
                 steps = 0
@@ -328,8 +371,15 @@ class NeuralTextModel(QueryModel):
                         ids, lengths, targets[chosen], None, optimizer
                     )
                     steps += 1
+                mean_loss = epoch_loss / max(steps, 1)
                 if record_history:
-                    self.history.append(epoch_loss / max(steps, 1))
+                    self.history.append(mean_loss)
+                self._record_epoch(
+                    epoch,
+                    mean_loss,
+                    time.perf_counter() - epoch_started,
+                    n,
+                )
         self.network.eval()
 
     def fit(self, statements: Sequence[str], labels: np.ndarray):

@@ -16,6 +16,7 @@ import numpy as np
 from repro.ml.huber import HuberLinearRegression
 from repro.ml.logistic import LogisticRegression
 from repro.models.base import QueryModel, TaskKind
+from repro.obs.spans import span
 from repro.text.tfidf import TfidfVectorizer
 
 __all__ = ["TfidfClassifier", "TfidfRegressor"]
@@ -84,7 +85,8 @@ class _TfidfBase(QueryModel):
         return self._fingerprint
 
     def featurize(self, statements: Sequence[str]):
-        return self.vectorizer.transform(list(statements))
+        with span("tfidf", statements=len(statements)):
+            return self.vectorizer.transform(list(statements))
 
 
 class TfidfClassifier(_TfidfBase):

@@ -1,0 +1,94 @@
+"""``repro.obs`` — the unified telemetry core (metrics, traces, events).
+
+Every hot path in this repo (featurize → serve → train) reports into one
+dependency-free instrumentation spine, so a single scrape or snapshot can
+answer both "how is the process doing" and "where did this slow request
+spend its time":
+
+- :class:`MetricsRegistry` (:mod:`repro.obs.registry`) — process-global
+  named **counters**, **gauges**, and fixed-bucket **histograms**, with
+  Prometheus-style labeled families. Increments are one lock + one add;
+  aggregation happens only on read. Components that keep per-instance
+  stats ``attach()`` their live metric objects; derived quantities (queue
+  depth, cache size) are snapshot-time callbacks.
+- :func:`span` (:mod:`repro.obs.spans`) — a ``with span("stage",
+  **tags):`` tracer. Stage durations always land in the
+  ``repro_stage_seconds{stage=...}`` histogram; when a request-scoped
+  :class:`Trace` is active (the serving worker samples one batch at a
+  time), each span also records a per-stage breakdown entry
+  (offset, duration, nesting depth, tags) — ``GET /stats?trace=1``
+  returns it.
+- :mod:`repro.obs.textfmt` — renders a registry snapshot as Prometheus
+  text exposition format 0.0.4 (this is what ``GET /metrics`` serves)
+  and parses it back (this is what ``repro stats <url>`` reads).
+- :mod:`repro.obs.events` — an optional structured JSONL event log gated
+  by the ``REPRO_OBS_LOG`` environment variable: per-epoch training
+  events, per-batch serving access records.
+
+Metric name catalog (see ROADMAP.md "Observability" for the full list):
+``repro_pipeline_cache_*`` (analysis-cache hits/misses/evictions/size),
+``repro_service_*`` (requests, statements, batches, queue depth, batch
+size and request latency histograms, insight-memo hits),
+``repro_http_*`` (per-route request/error counters),
+``repro_stage_seconds`` (per-stage spans: featurize, tfidf, predict:*,
+encode, decode, ...), ``repro_train_*`` (per-epoch loss/duration/rows
+per second), ``repro_io_*`` (workload records/bytes read and written).
+
+Quick start::
+
+    from repro.obs import get_registry, span, render
+
+    requests = get_registry().counter("myapp_requests_total")
+    with span("work", kind="demo"):
+        requests.inc()
+    print(render(get_registry().snapshot()))
+"""
+
+from repro.obs.events import EventLog, emit, get_event_log, read_events
+from repro.obs.histograms import (
+    LATENCY_BUCKETS_S,
+    SIZE_BUCKETS,
+    Histogram,
+    percentile_from_buckets,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.spans import (
+    Trace,
+    current_trace,
+    end_trace,
+    span,
+    start_trace,
+    traced,
+)
+from repro.obs.textfmt import CONTENT_TYPE, parse_text, render
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "LATENCY_BUCKETS_S",
+    "SIZE_BUCKETS",
+    "percentile_from_buckets",
+    "span",
+    "Trace",
+    "traced",
+    "start_trace",
+    "end_trace",
+    "current_trace",
+    "render",
+    "parse_text",
+    "CONTENT_TYPE",
+    "EventLog",
+    "emit",
+    "get_event_log",
+    "read_events",
+]

@@ -1,0 +1,110 @@
+"""Structured JSONL event log, gated by ``REPRO_OBS_LOG``.
+
+Metrics answer "how much / how fast"; events answer "what happened when".
+When the environment variable ``REPRO_OBS_LOG`` names a file, every
+:func:`emit` call appends one JSON object per line::
+
+    {"ts": 1754500000.123, "event": "train.epoch", "model": "CharCNN",
+     "epoch": 2, "loss": 0.41, "seconds": 3.2, "rows_per_s": 5100.0}
+
+Producers in this repo: ``train.epoch`` and ``train.head`` from the
+training loops, ``serve.batch`` access records from the serving worker
+(one line per micro-batch), ``serve.start``/``serve.stop`` from the CLI.
+``repro stats <file>`` summarizes a log; any JSONL tool can read it.
+
+When the variable is unset (the default), :func:`emit` is two dict
+lookups and a ``None`` check — safe to leave on hot-ish paths (it is
+called per epoch and per served batch, never per statement). Writes are
+line-buffered appends under a lock, so concurrent threads interleave
+whole lines, never fragments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = ["EventLog", "get_event_log", "emit", "ENV_VAR", "read_events"]
+
+#: Environment variable naming the JSONL file to append events to.
+ENV_VAR = "REPRO_OBS_LOG"
+
+
+class EventLog:
+    """Append-only JSONL event writer (thread-safe, line-buffered)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", encoding="utf-8", buffering=1)
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event line; non-JSON-safe values become strings."""
+        record = {"ts": time.time(), "event": event, **fields}
+        line = json.dumps(record, default=str)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+_cache_lock = threading.Lock()
+_cached: tuple[str, EventLog] | None = None
+
+
+def get_event_log() -> EventLog | None:
+    """The process event log, or ``None`` when ``REPRO_OBS_LOG`` is unset.
+
+    The open handle is cached per path; changing the variable mid-process
+    (tests do) closes the old log and opens the new one.
+    """
+    global _cached
+    path = os.environ.get(ENV_VAR)
+    if not path:
+        if _cached is not None:
+            with _cache_lock:
+                if _cached is not None:
+                    _cached[1].close()
+                    _cached = None
+        return None
+    cached = _cached
+    if cached is not None and cached[0] == path:
+        return cached[1]
+    with _cache_lock:
+        cached = _cached
+        if cached is not None and cached[0] == path:
+            return cached[1]
+        if cached is not None:
+            cached[1].close()
+        log = EventLog(path)
+        _cached = (path, log)
+        return log
+
+
+def emit(event: str, **fields) -> None:
+    """Emit one event if logging is enabled; no-op (and cheap) otherwise."""
+    log = get_event_log()
+    if log is not None:
+        log.emit(event, **fields)
+
+
+def read_events(path: str) -> list[dict]:
+    """Read a JSONL event log back (skips blank/corrupt trailing lines)."""
+    events: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn final line from a killed process
+    return events

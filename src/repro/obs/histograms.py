@@ -1,0 +1,130 @@
+"""Fixed-bucket histograms: the latency/size primitive behind the registry.
+
+A :class:`Histogram` is the Prometheus histogram shape — cumulative
+``le``-bucket counts plus a running sum and count — over a *fixed* bucket
+layout chosen at construction. Observation is O(log buckets) (one bisect,
+one lock, two adds): cheap enough to sit on every request of the serving
+hot path. Reads are snapshot-on-read; nothing is computed until asked.
+
+Bucket layouts are plain tuples of upper bounds (the implicit ``+Inf``
+bucket is always appended). Two layouts cover the repo's needs:
+
+- :data:`LATENCY_BUCKETS_S` — request/stage wall-clock in seconds,
+  sub-millisecond to minutes (the paper's facilitator sits inline in an
+  interactive SQL workflow, so the interesting mass is 0.1ms–1s);
+- :data:`SIZE_BUCKETS` — batch sizes / row counts, powers of two.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections.abc import Sequence
+
+__all__ = [
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "SIZE_BUCKETS",
+    "percentile_from_buckets",
+]
+
+#: Wall-clock layout (seconds): 0.1ms .. 60s, roughly 1-2-5 per decade.
+LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Count layout (batch sizes, fan-outs): powers of two up to 4096.
+SIZE_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+    2048.0, 4096.0,
+)
+
+
+class Histogram:
+    """Thread-safe fixed-bucket histogram (Prometheus semantics).
+
+    Args:
+        buckets: Strictly increasing upper bounds. An observation lands in
+            the first bucket whose bound is ``>= value`` (Prometheus ``le``
+            semantics); values beyond the last bound land in ``+Inf``.
+    """
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Sequence[float] = LATENCY_BUCKETS_S):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must increase: {bounds}")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> dict:
+        """Cumulative bucket counts plus sum/count, read atomically.
+
+        Returns ``{"buckets": [(bound, cumulative), ...], "sum": float,
+        "count": int}`` where the final bound is ``float("inf")``.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            total_sum = self._sum
+        cumulative: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds + (float("inf"),), counts):
+            running += count
+            cumulative.append((bound, running))
+        return {"buckets": cumulative, "sum": total_sum, "count": total}
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated percentile via linear interpolation within buckets.
+
+        The estimate is exact at bucket boundaries and linear between
+        them; good enough for p50/p95 dashboards, not for SLA contracts
+        (use the raw latency window for those).
+        """
+        return percentile_from_buckets(self.snapshot(), fraction)
+
+    def reset(self) -> None:
+        """Zero every bucket (per-instance stats windows, tests)."""
+        with self._lock:
+            self._counts = [0] * len(self._counts)
+            self._sum = 0.0
+            self._count = 0
+
+
+def percentile_from_buckets(snapshot: dict, fraction: float) -> float:
+    """Percentile estimate from a :meth:`Histogram.snapshot` payload."""
+    buckets = snapshot["buckets"]
+    total = snapshot["count"]
+    if total <= 0:
+        return 0.0
+    rank = fraction * total
+    previous_bound = 0.0
+    previous_cumulative = 0
+    for bound, cumulative in buckets:
+        if cumulative >= rank:
+            if bound == float("inf"):
+                # open-ended bucket: report its lower edge
+                return previous_bound
+            span = cumulative - previous_cumulative
+            if span <= 0:
+                return bound
+            weight = (rank - previous_cumulative) / span
+            return previous_bound + weight * (bound - previous_bound)
+        previous_bound = bound
+        previous_cumulative = cumulative
+    return previous_bound

@@ -1,0 +1,289 @@
+"""MetricsRegistry: process-global named counters, gauges, and histograms.
+
+The registry is the one place every layer's telemetry lands, so one
+scrape (``GET /metrics``) or one snapshot (``repro stats``) sees the whole
+process: pipeline cache effectiveness, serving queue/latency, per-head
+predict time, training progress, workload I/O volume.
+
+Design constraints, in order:
+
+1. **Negligible-overhead increments.** ``counter.inc()`` is one lock
+   acquire and one add; hot paths hold the metric object (one dict lookup
+   at setup, zero per increment). Nothing is formatted, allocated, or
+   aggregated on the write path.
+2. **Snapshot-on-read.** Aggregation (cumulative buckets, callback
+   evaluation) happens only when someone asks — scrapes pay, requests
+   don't.
+3. **Dependency-free.** Pure stdlib; Prometheus semantics (monotonic
+   counters, ``le`` histogram buckets, labeled families) without the
+   client library.
+
+Metric *families* are keyed by name and carry a type, help text, and zero
+or more labeled children; asking for the same ``(name, labels)`` twice
+returns the same object. Components that own their counters (a
+:class:`~repro.serving.service.FacilitatorService`, the shared analysis
+pipeline) ``attach()`` them so the registry exports the live objects
+instead of copies, and read-only quantities (queue depth, cache size) are
+``register_callback`` gauges evaluated at snapshot time.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections.abc import Callable, Sequence
+
+from repro.obs.histograms import LATENCY_BUCKETS_S, Histogram
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+class Counter:
+    """Monotonic counter (thread-safe)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Settable instantaneous value (thread-safe)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Family:
+    """One named metric family: type + help + labeled children."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help: str, buckets):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        # label key -> metric object or zero-arg callable (callback gauge)
+        self.children: dict[tuple, object] = {}
+
+
+class MetricsRegistry:
+    """Named, labeled metric families with snapshot-on-read export."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # -- creation ------------------------------------------------------------ #
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Get-or-create the counter for ``(name, labels)``."""
+        return self._child(name, "counter", help, None, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Get-or-create the gauge for ``(name, labels)``."""
+        return self._child(name, "gauge", help, None, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+        **labels: str,
+    ) -> Histogram:
+        """Get-or-create the histogram for ``(name, labels)``.
+
+        The bucket layout is a family-level property: the first call fixes
+        it and later calls reuse it (mismatched layouts would not sum).
+        """
+        family = self._family(name, "histogram", help, tuple(buckets))
+        return self._resolve(family, labels, lambda: Histogram(family.buckets))
+
+    def register_callback(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        kind: str = "gauge",
+        help: str = "",
+        **labels: str,
+    ) -> None:
+        """Export ``fn()`` under ``(name, labels)``, evaluated per snapshot.
+
+        Re-registering the same ``(name, labels)`` replaces the previous
+        callback — the idiom for "the current default pipeline" or "the
+        most recently started service" owning a name.
+        """
+        if kind not in ("gauge", "counter"):
+            raise ValueError(f"callback kind must be gauge|counter, got {kind!r}")
+        family = self._family(name, kind, help, None)
+        with self._lock:
+            family.children[_label_key(labels)] = fn
+
+    def attach(
+        self,
+        name: str,
+        metric: Counter | Gauge | Histogram,
+        help: str = "",
+        **labels: str,
+    ) -> None:
+        """Bind an existing metric object under ``(name, labels)``.
+
+        Components that keep per-instance metric objects (so their own
+        stats views stay instance-scoped) attach them here; the registry
+        then exports the live object. Rebinding the same ``(name,
+        labels)`` replaces the previous instance — the newest component
+        owns the exported series.
+        """
+        kind = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}.get(
+            type(metric)
+        )
+        if kind is None:
+            raise TypeError(f"cannot attach {type(metric).__name__}")
+        buckets = metric.bounds if isinstance(metric, Histogram) else None
+        family = self._family(name, kind, help, buckets)
+        with self._lock:
+            family.children[_label_key(labels)] = metric
+
+    # -- reading ------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Everything the registry knows, as plain JSON-safe data.
+
+        Returns ``{name: {"type": ..., "help": ..., "samples": [{"labels":
+        {...}, "value": number} ...]}}``; histogram samples carry
+        ``"buckets"``/``"sum"``/``"count"`` instead of ``"value"``.
+        Callback children are evaluated here (and only here); a callback
+        that raises is skipped rather than failing the scrape.
+        """
+        with self._lock:
+            families = [
+                (f.name, f.kind, f.help, list(f.children.items()))
+                for f in self._families.values()
+            ]
+        out: dict[str, dict] = {}
+        for name, kind, help_text, children in sorted(families):
+            samples = []
+            for key, child in sorted(children):
+                labels = dict(key)
+                if isinstance(child, Histogram):
+                    sample = dict(labels=labels, **child.snapshot())
+                elif isinstance(child, (Counter, Gauge)):
+                    sample = {"labels": labels, "value": child.value}
+                else:  # callback
+                    try:
+                        sample = {"labels": labels, "value": float(child())}
+                    except Exception:
+                        continue
+                samples.append(sample)
+            out[name] = {"type": kind, "help": help_text, "samples": samples}
+        return out
+
+    def clear(self) -> None:
+        """Drop every family (test isolation)."""
+        with self._lock:
+            self._families.clear()
+
+    # -- internals ------------------------------------------------------------ #
+
+    def _family(self, name: str, kind: str, help: str, buckets) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                if not _NAME_RE.match(name):
+                    raise ValueError(f"bad metric name {name!r}")
+                family = _Family(name, kind, help, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {family.kind}, not a {kind}"
+                )
+            if help and not family.help:
+                family.help = help
+            return family
+
+    def _child(self, name, kind, help, buckets, labels, factory) -> object:
+        family = self._family(name, kind, help, buckets)
+        return self._resolve(family, labels, factory)
+
+    def _resolve(self, family: _Family, labels: dict, factory):
+        key = _label_key(labels)
+        with self._lock:
+            child = family.children.get(key)
+            if child is None:
+                for label in labels:
+                    if not _LABEL_RE.match(label):
+                        raise ValueError(f"bad label name {label!r}")
+                child = factory()
+                family.children[key] = child
+            elif callable(child) and not isinstance(
+                child, (Counter, Gauge, Histogram)
+            ):
+                raise ValueError(
+                    f"{family.name!r}{dict(key)} is a callback metric"
+                )
+            return child
+
+
+# -- process-global default registry ------------------------------------------ #
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented layer writes into."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (test isolation); returns the old one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

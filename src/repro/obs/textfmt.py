@@ -1,0 +1,184 @@
+"""Prometheus text exposition format over a registry snapshot.
+
+:func:`render` turns :meth:`MetricsRegistry.snapshot` output into the
+text format version 0.0.4 every Prometheus-compatible scraper speaks
+(``# HELP`` / ``# TYPE`` comments, ``name{label="value"} value`` samples,
+cumulative ``_bucket``/``_sum``/``_count`` triplets for histograms), with
+the mandated escaping: ``\\``, ``"`` and newlines in label values, ``\\``
+and newlines in help text.
+
+:func:`parse_text` is the minimal inverse — enough to round-trip what
+:func:`render` emits — so ``repro stats`` can pretty-print a scraped
+``/metrics`` payload and the test suite can assert the output parses.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["render", "parse_text", "CONTENT_TYPE"]
+
+#: The Content-Type a /metrics response must declare.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _escape_help(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_str(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def render(snapshot: dict) -> str:
+    """Registry snapshot → Prometheus text exposition (one big string)."""
+    lines: list[str] = []
+    for name, family in snapshot.items():
+        if family["help"]:
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if family["type"] == "histogram":
+                for bound, cumulative in sample["buckets"]:
+                    le = "+Inf" if bound == float("inf") else _format_value(bound)
+                    lines.append(
+                        f"{name}_bucket{_label_str(labels, {'le': le})} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_str(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_str(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+# -- minimal parser ----------------------------------------------------------- #
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:\\.|[^"\\])*)"\s*(?:,|$)'
+)
+
+
+def _unescape_label(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_text(text: str) -> dict:
+    """Parse Prometheus text exposition into plain sample data.
+
+    Returns ``{metric_name: {"type": str | None, "help": str,
+    "samples": [{"labels": {...}, "value": float}, ...]}}`` where
+    histogram series keep their ``_bucket``/``_sum``/``_count`` suffixed
+    names (this parser reads *samples*, it does not reassemble histogram
+    objects). Raises ``ValueError`` on a malformed line.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            try:
+                _, _, name, kind = line.split(None, 3)
+            except ValueError as exc:
+                raise ValueError(f"line {line_no}: bad TYPE comment") from exc
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {line_no}: bad HELP comment")
+            helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {line_no}: unparseable sample {raw!r}")
+        labels: dict[str, str] = {}
+        label_blob = match.group("labels")
+        if label_blob:
+            pos = 0
+            while pos < len(label_blob):
+                pair = _LABEL_PAIR_RE.match(label_blob, pos)
+                if not pair:
+                    raise ValueError(
+                        f"line {line_no}: bad label set {label_blob!r}"
+                    )
+                labels[pair.group("key")] = _unescape_label(pair.group("value"))
+                pos = pair.end()
+        name = match.group("name")
+        family = families.setdefault(name, {"samples": []})
+        family["samples"].append(
+            {"labels": labels, "value": _parse_value(match.group("value"))}
+        )
+    for name, family in families.items():
+        base = re.sub(r"_(bucket|sum|count)\Z", "", name)
+        family["type"] = types.get(name) or types.get(base)
+        family["help"] = helps.get(name, helps.get(base, ""))
+    return families

@@ -10,16 +10,31 @@ Routes:
 - ``POST /insights`` — body ``{"statements": [...]}`` (or
   ``{"statement": "..."}``); responds ``{"insights": [...]}`` with one
   JSON object per statement (the ``QueryInsights.to_dict`` wire format).
-- ``GET /stats`` — serving counters + pipeline cache effectiveness.
-- ``GET /healthz`` — liveness plus the problems this facilitator answers.
+- ``GET /stats`` — serving counters + pipeline cache effectiveness;
+  ``GET /stats?trace=1`` additionally returns the per-stage breakdown of
+  the most recently traced micro-batch (and asks the worker to trace the
+  next one, so repeated calls keep the sample fresh).
+- ``GET /metrics`` — the whole process's :mod:`repro.obs` registry in
+  Prometheus text exposition format (pipeline cache, service
+  queue/latency, per-stage span histograms, training/I/O counters).
+- ``GET /healthz`` — liveness, the problems this facilitator answers,
+  and the artifact identity (manifest format/version, model names, source
+  path) so a fleet can detect stale shards.
+
+Every route increments ``repro_http_requests_total{route=...}`` (and
+``repro_http_errors_total{route=...}`` on 4xx/5xx); request decode and
+response encode are traced as ``decode``/``encode`` spans.
 """
 
 from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import textfmt
+from repro.obs.registry import get_registry
+from repro.obs.spans import span
 from repro.serving.service import FacilitatorService
 
 __all__ = ["InsightsHTTPServer", "make_server"]
@@ -42,19 +57,43 @@ class InsightsHTTPServer(ThreadingHTTPServer):
 class _InsightsHandler(BaseHTTPRequestHandler):
     server: InsightsHTTPServer
 
+    #: Route label for the metrics counters; set per request at dispatch.
+    _route = "unknown"
+
     # -- plumbing ------------------------------------------------------------ #
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _count_request(self, route: str) -> None:
+        self._route = route
+        get_registry().counter(
+            "repro_http_requests_total",
+            "HTTP requests by route",
+            route=route,
+        ).inc()
+
+    def _count_error(self, status: int) -> None:
+        get_registry().counter(
+            "repro_http_errors_total",
+            "HTTP 4xx/5xx responses by route",
+            route=self._route,
+        ).inc()
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        if status >= 400:
+            self._count_error(status)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        with span("encode"):
+            body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json")
 
     def _read_body_json(self) -> dict | None:
         try:
@@ -69,7 +108,8 @@ class _InsightsHandler(BaseHTTPRequestHandler):
             self._send_json(413, {"error": "request body too large"})
             return None
         try:
-            payload = json.loads(self.rfile.read(length))
+            with span("decode"):
+                payload = json.loads(self.rfile.read(length))
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             self._send_json(400, {"error": f"body is not JSON: {exc}"})
             return None
@@ -81,9 +121,12 @@ class _InsightsHandler(BaseHTTPRequestHandler):
     # -- routes -------------------------------------------------------------- #
 
     def do_POST(self) -> None:
-        if urlsplit(self.path).path.rstrip("/") != "/insights":
+        path = urlsplit(self.path).path.rstrip("/")
+        if path != "/insights":
+            self._count_request("unknown")
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
+        self._count_request("/insights")
         payload = self._read_body_json()
         if payload is None:
             return
@@ -113,10 +156,23 @@ class _InsightsHandler(BaseHTTPRequestHandler):
         )
 
     def do_GET(self) -> None:
-        path = urlsplit(self.path).path.rstrip("/") or "/"
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
         if path == "/stats":
-            self._send_json(200, self.server.service.stats.to_dict())
+            self._count_request("/stats")
+            service = self.server.service
+            payload = service.stats.to_dict()
+            query = parse_qs(parts.query)
+            if query.get("trace", ["0"])[0] not in ("0", "", "false"):
+                payload["trace"] = service.last_trace
+                service.request_trace()  # keep the sample fresh
+            self._send_json(200, payload)
+        elif path == "/metrics":
+            self._count_request("/metrics")
+            text = textfmt.render(get_registry().snapshot())
+            self._send_body(200, text.encode("utf-8"), textfmt.CONTENT_TYPE)
         elif path == "/healthz":
+            self._count_request("/healthz")
             facilitator = self.server.service.facilitator
             self._send_json(
                 200,
@@ -126,9 +182,11 @@ class _InsightsHandler(BaseHTTPRequestHandler):
                     "problems": [
                         p.name.lower() for p in facilitator.problems
                     ],
+                    "artifact": facilitator.artifact_identity,
                 },
             )
         else:
+            self._count_request("unknown")
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
 

@@ -8,12 +8,21 @@ statements or ``max_wait_ms`` after the first arrival, whichever comes
 first — and answers each batch with a single
 :meth:`~repro.core.facilitator.QueryFacilitator.insights_batch` call.
 
-The service also owns the serving-side observability: request counts,
-batch-size distribution, p50/p95 request latency, and the shared
-:mod:`repro.sqlang.pipeline` cache hit rate, all snapshotted by
-:attr:`FacilitatorService.stats`. ``warm_up()`` primes the pipeline cache
-(and the model code paths) before traffic arrives so the first requests
-don't pay cold-cache parses.
+The service reports through the :mod:`repro.obs` registry: request /
+statement / batch counters, a queue-depth gauge, batch-size and request
+latency histograms, and insight-memo hits, all under ``repro_service_*``
+names (the most recently started service owns the exported series).
+:attr:`FacilitatorService.stats` is a thin per-instance view over those
+same metric objects — plus exact p50/p95 percentiles over a bounded
+recent-request ``window`` that :meth:`stats_reset` can clear, so warm-up
+traffic doesn't pollute steady-state numbers. The worker can also sample
+one batch at a time into a per-stage :class:`repro.obs.spans.Trace`
+(``request_trace()`` / ``last_trace``, surfaced as ``GET
+/stats?trace=1``), and emits one ``serve.batch`` access record per
+micro-batch to the ``REPRO_OBS_LOG`` event log when that is set.
+``warm_up()`` primes the pipeline cache (and the model code paths)
+before traffic arrives so the first requests don't pay cold-cache
+parses.
 """
 
 from __future__ import annotations
@@ -25,6 +34,10 @@ from collections.abc import Iterable, Sequence
 from dataclasses import asdict, dataclass
 
 from repro.core.facilitator import QueryFacilitator, QueryInsights
+from repro.obs import events as obs_events
+from repro.obs.histograms import LATENCY_BUCKETS_S, SIZE_BUCKETS, Histogram
+from repro.obs.registry import Counter, get_registry
+from repro.obs.spans import end_trace, span, start_trace
 from repro.sqlang.pipeline import get_pipeline
 
 __all__ = ["FacilitatorService", "ServiceStats", "PendingRequest"]
@@ -48,7 +61,10 @@ class ServiceStats:
         mean_batch_size: Statements per batch on average.
         max_batch_size: Largest micro-batch executed.
         latency_p50_ms / latency_p95_ms: Request latency percentiles over
-            the recent-request window (enqueue → result ready).
+            the recent-request window (enqueue → result ready). Exact
+            over the last ``window`` requests since the last
+            ``stats_reset()``; the cumulative distribution lives in the
+            ``repro_service_request_latency_seconds`` registry histogram.
         insight_cache: Serving-side insight memo counters (hits, misses,
             hit_rate, size) — repeated statements are answered without
             touching the models at all.
@@ -167,6 +183,11 @@ class FacilitatorService:
             statements whose finished insights are kept; LRU-evicted).
             ``0`` disables it. Sound because a loaded facilitator is
             immutable: insights are a pure function of statement text.
+        window: Completed-request latencies retained for the exact
+            p50/p95 in :attr:`stats`. The window (and every ServiceStats
+            counter) restarts at :meth:`stats_reset`, so steady-state
+            percentiles are measurable after warm-up; the registry
+            histograms keep the full monotonic history regardless.
 
     Use as a context manager (or call :meth:`start`/:meth:`stop`)::
 
@@ -180,6 +201,7 @@ class FacilitatorService:
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
         cache_size: int = 8192,
+        window: int = _LATENCY_WINDOW,
     ):
         if not facilitator.heads:
             raise ValueError(
@@ -191,26 +213,42 @@ class FacilitatorService:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
         self.facilitator = facilitator
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.cache_size = cache_size
+        self.window = window
         self._queue: deque[PendingRequest] = deque()
         self._condition = threading.Condition()
         self._done_cond = threading.Condition()
         self._running = False
         self._worker: threading.Thread | None = None
-        # counters (guarded by _condition's lock)
-        self._requests = 0
-        self._statements = 0
-        self._batches = 0
+        # serving metrics: per-instance objects, attach()ed to the global
+        # obs registry on start() so /metrics exports the live service;
+        # ServiceStats reads the same objects (minus reset baselines)
+        self._m_requests = Counter()
+        self._m_statements = Counter()
+        self._m_batches = Counter()
+        self._m_memo_hits = Counter()
+        self._m_memo_misses = Counter()
+        self._m_batch_size = Histogram(SIZE_BUCKETS)
+        self._m_latency = Histogram(LATENCY_BUCKETS_S)
+        # window + non-monotonic bits (guarded by _condition's lock)
         self._max_batch_seen = 0
         self._warmed = 0
-        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._baseline = {
+            "requests": 0, "statements": 0, "batches": 0,
+            "memo_hits": 0, "memo_misses": 0,
+        }
+        # per-stage trace sampling (the worker traces one batch when asked;
+        # the first batch is always captured so /stats?trace=1 has data)
+        self._trace_pending = True
+        self._last_trace: dict | None = None
         # insight memo (only the worker thread mutates it)
         self._insight_cache: OrderedDict[str, QueryInsights] = OrderedDict()
-        self._cache_hits = 0
-        self._cache_misses = 0
 
     @classmethod
     def from_artifact(cls, path, **kwargs) -> "FacilitatorService":
@@ -225,11 +263,60 @@ class FacilitatorService:
             if self._running:
                 return self
             self._running = True
+        self._register_metrics()
         self._worker = threading.Thread(
             target=self._run, name="facilitator-service", daemon=True
         )
         self._worker.start()
         return self
+
+    def _register_metrics(self) -> None:
+        """Bind this instance's metrics into the process-global registry.
+
+        ``attach`` replaces any previous binding, so the most recently
+        started service owns the ``repro_service_*`` series — the right
+        semantics for the one-service-per-process serving deployment (and
+        deterministic for tests that start several).
+        """
+        registry = get_registry()
+        registry.attach(
+            "repro_service_requests_total", self._m_requests,
+            "Requests answered (one submit/insights call each)",
+        )
+        registry.attach(
+            "repro_service_statements_total", self._m_statements,
+            "Statements predicted across all requests",
+        )
+        registry.attach(
+            "repro_service_batches_total", self._m_batches,
+            "Micro-batches executed (insights_batch calls)",
+        )
+        registry.attach(
+            "repro_service_insight_memo_hits_total", self._m_memo_hits,
+            "Statements answered from the serving-side insight memo",
+        )
+        registry.attach(
+            "repro_service_insight_memo_misses_total", self._m_memo_misses,
+            "Distinct statements that had to run through the models",
+        )
+        registry.attach(
+            "repro_service_batch_size", self._m_batch_size,
+            "Statements per executed micro-batch",
+        )
+        registry.attach(
+            "repro_service_request_latency_seconds", self._m_latency,
+            "Request latency, enqueue to result ready",
+        )
+        registry.register_callback(
+            "repro_service_queue_depth",
+            lambda: float(len(self._queue)),
+            help="Requests waiting in the micro-batching queue",
+        )
+        registry.register_callback(
+            "repro_service_insight_memo_size",
+            lambda: float(len(self._insight_cache)),
+            help="Distinct statements held by the insight memo",
+        )
 
     def stop(self) -> None:
         """Drain outstanding requests and stop the worker."""
@@ -332,20 +419,27 @@ class FacilitatorService:
 
     @property
     def stats(self) -> ServiceStats:
-        """Current serving counters plus pipeline cache effectiveness."""
+        """Current serving counters plus pipeline cache effectiveness.
+
+        A thin view over the instance's registry metrics: counters are
+        reported relative to the last :meth:`stats_reset` (the registry
+        series themselves stay monotonic), and percentiles are exact over
+        the retained ``window`` of recent request latencies.
+        """
         pipeline_stats = get_pipeline().stats
         with self._condition:
             # snapshot under the lock, sort/assemble outside it — the
             # lock is shared with submit() and the batching worker
             latencies = list(self._latencies)
-            requests = self._requests
-            batches = self._batches
-            statements = self._statements
+            baseline = dict(self._baseline)
             max_batch_seen = self._max_batch_seen
             warmed = self._warmed
-            cache_hits = self._cache_hits
-            cache_misses = self._cache_misses
             cache_len = len(self._insight_cache)
+        requests = self._m_requests.value - baseline["requests"]
+        statements = self._m_statements.value - baseline["statements"]
+        batches = self._m_batches.value - baseline["batches"]
+        cache_hits = self._m_memo_hits.value - baseline["memo_hits"]
+        cache_misses = self._m_memo_misses.value - baseline["memo_misses"]
         latencies.sort()
         return ServiceStats(
             requests=requests,
@@ -376,6 +470,43 @@ class FacilitatorService:
                 "hit_rate": round(pipeline_stats.hit_rate, 4),
             },
         )
+
+    def stats_reset(self) -> None:
+        """Restart the :attr:`stats` window (counters and percentiles).
+
+        Call after warm-up so p50/p95 (and hit rates) describe
+        steady-state traffic only. The registry metrics are *not* reset —
+        they are monotonic by contract; this only moves the baseline the
+        per-instance view subtracts.
+        """
+        with self._condition:
+            self._latencies.clear()
+            self._max_batch_seen = 0
+            self._warmed = 0
+            self._baseline = {
+                "requests": self._m_requests.value,
+                "statements": self._m_statements.value,
+                "batches": self._m_batches.value,
+                "memo_hits": self._m_memo_hits.value,
+                "memo_misses": self._m_memo_misses.value,
+            }
+
+    # -- tracing ------------------------------------------------------------- #
+
+    def request_trace(self) -> None:
+        """Ask the worker to trace the next micro-batch it executes."""
+        self._trace_pending = True
+
+    @property
+    def last_trace(self) -> dict | None:
+        """Per-stage breakdown of the most recently traced batch.
+
+        ``{"batch_size", "requests", "captured_at", "total_ms",
+        "stage_total_ms", "stages": [...]}`` — see
+        :meth:`repro.obs.spans.Trace.breakdown`. ``None`` until the first
+        batch has run.
+        """
+        return self._last_trace
 
     # -- worker -------------------------------------------------------------- #
 
@@ -419,18 +550,19 @@ class FacilitatorService:
         hits = misses = 0
         resolved: dict[str, QueryInsights] = {}
         miss_order: dict[str, None] = {}
-        for statement in statements:
-            if statement in resolved:
-                hits += 1
-            elif statement in cache:
-                cache.move_to_end(statement)
-                resolved[statement] = cache[statement]
-                hits += 1
-            elif statement not in miss_order:
-                miss_order[statement] = None
-                misses += 1
-            else:
-                hits += 1  # in-batch repeat of a miss: computed once
+        with span("memo", statements=len(statements)):
+            for statement in statements:
+                if statement in resolved:
+                    hits += 1
+                elif statement in cache:
+                    cache.move_to_end(statement)
+                    resolved[statement] = cache[statement]
+                    hits += 1
+                elif statement not in miss_order:
+                    miss_order[statement] = None
+                    misses += 1
+                else:
+                    hits += 1  # in-batch repeat of a miss: computed once
         if miss_order:
             computed = self.facilitator.insights_batch(list(miss_order))
             for insight in computed:
@@ -438,10 +570,28 @@ class FacilitatorService:
                 cache[insight.statement] = insight
             while len(cache) > self.cache_size:
                 cache.popitem(last=False)
-        with self._condition:
-            self._cache_hits += hits
-            self._cache_misses += misses
-        return [resolved[s].copy() for s in statements]
+        if hits:
+            self._m_memo_hits.inc(hits)
+        if misses:
+            self._m_memo_misses.inc(misses)
+        with span("copy"):
+            return [resolved[s].copy() for s in statements]
+
+    def _execute_batch(self, statements: list[str]) -> list[QueryInsights]:
+        """Run one micro-batch, tracing it when a trace was requested."""
+        if not self._trace_pending:
+            return self._answer_statements(statements)
+        self._trace_pending = False
+        trace = start_trace()
+        try:
+            return self._answer_statements(statements)
+        finally:
+            breakdown = end_trace(trace)
+            self._last_trace = {
+                "batch_size": len(statements),
+                "captured_at": time.time(),
+                **breakdown,
+            }
 
     def _run(self) -> None:
         while True:
@@ -451,14 +601,17 @@ class FacilitatorService:
             statements: list[str] = []
             for request in batch:
                 statements.extend(request.statements)
+            memo_hits_before = self._m_memo_hits.value
+            batch_started = time.perf_counter()
             try:
-                results = self._answer_statements(statements)
+                results = self._execute_batch(statements)
             except BaseException as exc:  # delivered to every waiter
                 for request in batch:
                     request._finish(None, exc)
                 with self._done_cond:
                     self._done_cond.notify_all()
                 continue
+            batch_seconds = time.perf_counter() - batch_started
             offset = 0
             for request in batch:
                 n = len(request.statements)
@@ -466,11 +619,24 @@ class FacilitatorService:
                 offset += n
             with self._done_cond:
                 self._done_cond.notify_all()
+            self._m_requests.inc(len(batch))
+            self._m_statements.inc(len(statements))
+            self._m_batches.inc()
+            self._m_batch_size.observe(len(statements))
             with self._condition:
-                self._requests += len(batch)
-                self._statements += len(statements)
-                self._batches += 1
                 self._max_batch_seen = max(self._max_batch_seen, len(statements))
                 for request in batch:
                     if request.latency_ms is not None:
                         self._latencies.append(request.latency_ms)
+            for request in batch:
+                if request.latency_ms is not None:
+                    self._m_latency.observe(request.latency_ms / 1000.0)
+            # one structured access record per batch when REPRO_OBS_LOG is
+            # set — the service-side replacement for an HTTP access log
+            obs_events.emit(
+                "serve.batch",
+                batch_size=len(statements),
+                requests=len(batch),
+                latency_ms=round(batch_seconds * 1000.0, 3),
+                memo_hits=self._m_memo_hits.value - memo_hits_before,
+            )

@@ -112,13 +112,23 @@ def analyze_statement(statement: str) -> StatementAnalysis:
 
 @dataclass(frozen=True, slots=True)
 class PipelineStats:
-    """Cache accounting snapshot."""
+    """Cache + batch fan-out accounting snapshot.
+
+    Per-instance view; the module-level default pipeline additionally
+    exports the same quantities through the process-global
+    :mod:`repro.obs` registry as ``repro_pipeline_cache_*`` /
+    ``repro_pipeline_batch*`` metrics (evaluated at snapshot time, so the
+    cache hot path pays nothing for the export).
+    """
 
     hits: int
     misses: int
     evictions: int
     size: int
     max_size: int
+    batches: int = 0
+    batch_statements: int = 0
+    parallel_batches: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -147,6 +157,9 @@ class AnalysisPipeline:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._batches = 0
+        self._batch_statements = 0
+        self._parallel_batches = 0
 
     # -- single statement --------------------------------------------------- #
 
@@ -190,6 +203,8 @@ class AnalysisPipeline:
         results: dict[bytes, StatementAnalysis] = {}
         miss_text: dict[bytes, str] = {}
         with self._lock:
+            self._batches += 1
+            self._batch_statements += len(statements)
             for key, text in zip(digests, statements):
                 if key in results or key in miss_text:
                     # repeat occurrence inside this batch: served without
@@ -205,13 +220,16 @@ class AnalysisPipeline:
                     self._misses += 1
                     miss_text[key] = text
         if miss_text:
-            computed = self._analyze_misses(
+            computed, parallel = self._analyze_misses(
                 list(miss_text.values()),
                 workers if workers is not None else self.workers,
             )
             for analysis in computed:
                 results[analysis.digest] = analysis
                 self._insert(analysis.digest, analysis)
+            if parallel:
+                with self._lock:
+                    self._parallel_batches += 1
         return [results[key] for key in digests]
 
     def feature_matrix(self, statements: Sequence[str]) -> np.ndarray:
@@ -234,6 +252,9 @@ class AnalysisPipeline:
                 evictions=self._evictions,
                 size=len(self._cache),
                 max_size=self.max_size,
+                batches=self._batches,
+                batch_statements=self._batch_statements,
+                parallel_batches=self._parallel_batches,
             )
 
     def clear(self) -> None:
@@ -241,6 +262,7 @@ class AnalysisPipeline:
         with self._lock:
             self._cache.clear()
             self._hits = self._misses = self._evictions = 0
+            self._batches = self._batch_statements = self._parallel_batches = 0
 
     # -- internals ----------------------------------------------------------- #
 
@@ -257,7 +279,8 @@ class AnalysisPipeline:
     @staticmethod
     def _analyze_misses(
         texts: list[str], workers: int | None
-    ) -> list[StatementAnalysis]:
+    ) -> tuple[list[StatementAnalysis], bool]:
+        """Analyze uncached texts; returns ``(analyses, used_parallel)``."""
         if (
             workers
             and workers > 1
@@ -268,21 +291,68 @@ class AnalysisPipeline:
                 from concurrent.futures import ProcessPoolExecutor
 
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    return list(
-                        pool.map(
-                            analyze_statement,
-                            texts,
-                            chunksize=max(len(texts) // (workers * 4), 16),
-                        )
+                    return (
+                        list(
+                            pool.map(
+                                analyze_statement,
+                                texts,
+                                chunksize=max(len(texts) // (workers * 4), 16),
+                            )
+                        ),
+                        True,
                     )
             except Exception:  # pool unavailable (sandbox): fall back serial
                 pass
-        return [analyze_statement(text) for text in texts]
+        return [analyze_statement(text) for text in texts], False
 
 
 # -- module-level default pipeline ------------------------------------------- #
 
 _default_pipeline = AnalysisPipeline()
+
+
+def _register_pipeline_metrics() -> None:
+    """Export the *default* pipeline's accounting through the obs registry.
+
+    Callbacks read ``get_pipeline().stats`` at snapshot time, so they
+    always follow :func:`set_pipeline` swaps and add zero work to the
+    analyze hot path. Names are the repo's canonical pipeline-cache
+    metric family (see ROADMAP.md "Observability").
+    """
+    from repro.obs.registry import get_registry
+
+    registry = get_registry()
+    exports = (
+        ("repro_pipeline_cache_hits_total", "counter",
+         "Shared analysis-cache hits (incl. in-batch repeats)",
+         lambda: get_pipeline().stats.hits),
+        ("repro_pipeline_cache_misses_total", "counter",
+         "Shared analysis-cache misses (distinct statements analyzed)",
+         lambda: get_pipeline().stats.misses),
+        ("repro_pipeline_cache_evictions_total", "counter",
+         "LRU evictions from the shared analysis cache",
+         lambda: get_pipeline().stats.evictions),
+        ("repro_pipeline_cache_size", "gauge",
+         "Distinct statements currently cached",
+         lambda: get_pipeline().stats.size),
+        ("repro_pipeline_cache_max_size", "gauge",
+         "Analysis cache capacity",
+         lambda: get_pipeline().stats.max_size),
+        ("repro_pipeline_batches_total", "counter",
+         "analyze_batch calls through the shared pipeline",
+         lambda: get_pipeline().stats.batches),
+        ("repro_pipeline_batch_statements_total", "counter",
+         "Statements submitted through analyze_batch (pre-dedup)",
+         lambda: get_pipeline().stats.batch_statements),
+        ("repro_pipeline_parallel_batches_total", "counter",
+         "Batches whose misses fanned out to a process pool",
+         lambda: get_pipeline().stats.parallel_batches),
+    )
+    for name, kind, help_text, fn in exports:
+        registry.register_callback(name, fn, kind=kind, help=help_text)
+
+
+_register_pipeline_metrics()
 
 
 def get_pipeline() -> AnalysisPipeline:

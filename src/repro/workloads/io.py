@@ -33,6 +33,7 @@ from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import IO, Optional
 
+from repro.obs.registry import Counter, get_registry
 from repro.workloads.records import LogEntry, QueryRecord, Workload
 
 __all__ = [
@@ -59,6 +60,24 @@ _WRITE_CHUNK = 512
 
 class WorkloadFormatError(ValueError):
     """Raised when a file is not a valid workload/log JSONL file."""
+
+
+def _io_counter(direction: str, unit: str, magic: str) -> Counter:
+    """Registry counter for one I/O stream, labeled by file kind.
+
+    ``repro_io_{records,bytes}_{read,written}_total{kind="workload"|"log"}``.
+    Callers batch their increments (readers every ~1k lines, writers per
+    flush) so the registry lock is far off the per-record path.
+    """
+    kind = "workload" if magic == _WORKLOAD_MAGIC else "log"
+    return get_registry().counter(
+        f"repro_io_{unit}_{direction}_total",
+        f"Workload-file {unit} {direction}, by file kind",
+        kind=kind,
+    )
+
+#: Payload lines between reader-side counter increments.
+_READ_COUNT_EVERY = 1024
 
 
 def _open_text(path: Path, mode: str) -> IO[str]:
@@ -183,32 +202,48 @@ def _iter_payload_lines(
     """
     if not path.exists():
         raise WorkloadFormatError(f"{path}: no such file")
-    with _open_text(path, "r") as handle:
-        try:
-            first = handle.readline()
-        except _READ_ERRORS as exc:
-            raise WorkloadFormatError(f"{path}: unreadable: {exc}") from exc
-        yield 1, _parse_header(path, first, magic)
-        line_no = 1
-        while True:
+    pending_records = 0
+    pending_bytes = 0
+    try:
+        with _open_text(path, "r") as handle:
             try:
-                line = handle.readline()
+                first = handle.readline()
             except _READ_ERRORS as exc:
-                raise WorkloadFormatError(
-                    f"{path}: truncated or corrupt after line {line_no}: "
-                    f"{exc}"
-                ) from exc
-            if not line:
-                return
-            line_no += 1
-            if not line.strip():
-                continue
-            try:
-                yield line_no, json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise WorkloadFormatError(
-                    f"{path}: line {line_no} is not JSON: {exc}"
-                ) from exc
+                raise WorkloadFormatError(f"{path}: unreadable: {exc}") from exc
+            pending_bytes += len(first)
+            yield 1, _parse_header(path, first, magic)
+            line_no = 1
+            while True:
+                try:
+                    line = handle.readline()
+                except _READ_ERRORS as exc:
+                    raise WorkloadFormatError(
+                        f"{path}: truncated or corrupt after line {line_no}: "
+                        f"{exc}"
+                    ) from exc
+                if not line:
+                    return
+                line_no += 1
+                pending_bytes += len(line)
+                if not line.strip():
+                    continue
+                pending_records += 1
+                if pending_records >= _READ_COUNT_EVERY:
+                    _io_counter("read", "records", magic).inc(pending_records)
+                    _io_counter("read", "bytes", magic).inc(pending_bytes)
+                    pending_records = pending_bytes = 0
+                try:
+                    yield line_no, json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise WorkloadFormatError(
+                        f"{path}: line {line_no} is not JSON: {exc}"
+                    ) from exc
+    finally:
+        # count the tail even when the consumer abandons the generator
+        if pending_records:
+            _io_counter("read", "records", magic).inc(pending_records)
+        if pending_bytes:
+            _io_counter("read", "bytes", magic).inc(pending_bytes)
 
 
 def read_workload_header(path: str | Path) -> dict:
@@ -316,7 +351,10 @@ class _JsonlWriter:
 
     def _flush(self) -> None:
         if self._buffer and self._handle is not None:
-            self._handle.write("\n".join(self._buffer) + "\n")
+            payload = "\n".join(self._buffer) + "\n"
+            self._handle.write(payload)
+            _io_counter("written", "records", self.magic).inc(len(self._buffer))
+            _io_counter("written", "bytes", self.magic).inc(len(payload))
             self._buffer.clear()
 
     def close(self) -> None:

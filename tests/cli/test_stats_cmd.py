@@ -1,0 +1,100 @@
+"""``repro stats``: event-log summaries and live-endpoint reports."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core.facilitator import QueryFacilitator
+from repro.serving import FacilitatorService, make_server
+from repro.workloads.sdss import generate_sdss_workload
+
+
+class TestEventLogMode:
+    def _write_log(self, path):
+        events = [
+            {"ts": 1.0, "event": "train.epoch", "model": "CharCNN",
+             "epoch": 0, "loss": 0.9, "seconds": 2.0, "rows": 1000},
+            {"ts": 2.0, "event": "train.epoch", "model": "CharCNN",
+             "epoch": 1, "loss": 0.5, "seconds": 2.0, "rows": 1000},
+            {"ts": 3.0, "event": "train.head", "problem": "answer_size",
+             "model": "ccnn", "seconds": 4.25},
+            {"ts": 4.0, "event": "serve.batch", "batch_size": 8,
+             "requests": 3, "latency_ms": 12.5, "memo_hits": 2},
+        ]
+        path.write_text(
+            "\n".join(json.dumps(e) for e in events) + "\n", encoding="utf-8"
+        )
+
+    def test_summary(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        self._write_log(path)
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 events" in out
+        assert "train.epoch: 2" in out
+        assert "CharCNN" in out
+        assert "epoch 1" in out  # last epoch per model wins
+        assert "answer_size" in out
+        assert "1 batches / 8 statements" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        self._write_log(path)
+        assert main(["stats", str(path), "--json"]) == 0
+        events = json.loads(capsys.readouterr().out)
+        assert len(events) == 4
+
+    def test_empty_log(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert main(["stats", str(path)]) == 0
+        assert "no events" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["stats", str(tmp_path / "nope.jsonl")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServerMode:
+    @pytest.fixture(scope="class")
+    def server_url(self):
+        workload = generate_sdss_workload(n_sessions=80, seed=51)
+        facilitator = QueryFacilitator(model_name="baseline").fit(workload)
+        service = FacilitatorService(facilitator, max_wait_ms=5.0)
+        service.start()
+        server = make_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        service.insights("SELECT * FROM PhotoObj", timeout=10)
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        thread.join()
+        service.stop()
+
+    def test_pretty_report(self, server_url, capsys):
+        assert main(["stats", server_url]) == 0
+        out = capsys.readouterr().out
+        assert "serving stats from" in out
+        assert "pipeline cache" in out
+        assert "stage time" in out
+
+    def test_trace_report(self, server_url, capsys):
+        assert main(["stats", server_url, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "last traced batch" in out or "none captured" in out
+
+    def test_json_report(self, server_url, capsys):
+        assert main(["stats", server_url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "stats" in payload
+        assert "repro_service_requests_total" in payload["metrics"]
+
+    def test_unreachable_server_fails_cleanly(self, capsys):
+        rc = main(["stats", "http://127.0.0.1:1"])
+        assert rc == 1
+        assert "cannot reach" in capsys.readouterr().err

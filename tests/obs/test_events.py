@@ -1,0 +1,77 @@
+"""REPRO_OBS_LOG event log: gating, concurrency, read-back."""
+
+import json
+import threading
+
+from repro.obs import events as obs_events
+
+
+def test_emit_is_noop_when_unset(monkeypatch, tmp_path):
+    monkeypatch.delenv(obs_events.ENV_VAR, raising=False)
+    obs_events.emit("ghost.event", value=1)
+    assert obs_events.get_event_log() is None
+
+
+def test_emit_appends_jsonl(monkeypatch, tmp_path):
+    path = tmp_path / "events.jsonl"
+    monkeypatch.setenv(obs_events.ENV_VAR, str(path))
+    obs_events.emit("train.epoch", model="X", epoch=0, loss=0.5)
+    obs_events.emit("serve.batch", batch_size=3)
+    monkeypatch.delenv(obs_events.ENV_VAR)
+    obs_events.get_event_log()  # closes the cached handle
+    events = obs_events.read_events(str(path))
+    assert [e["event"] for e in events] == ["train.epoch", "serve.batch"]
+    assert events[0]["model"] == "X"
+    assert all("ts" in e for e in events)
+
+
+def test_env_change_switches_files(monkeypatch, tmp_path):
+    first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    monkeypatch.setenv(obs_events.ENV_VAR, str(first))
+    obs_events.emit("one")
+    monkeypatch.setenv(obs_events.ENV_VAR, str(second))
+    obs_events.emit("two")
+    monkeypatch.delenv(obs_events.ENV_VAR)
+    obs_events.get_event_log()
+    assert [e["event"] for e in obs_events.read_events(str(first))] == ["one"]
+    assert [e["event"] for e in obs_events.read_events(str(second))] == ["two"]
+
+
+def test_non_json_safe_values_become_strings(monkeypatch, tmp_path):
+    path = tmp_path / "events.jsonl"
+    monkeypatch.setenv(obs_events.ENV_VAR, str(path))
+    obs_events.emit("odd", payload={1, 2, 3})
+    monkeypatch.delenv(obs_events.ENV_VAR)
+    obs_events.get_event_log()
+    (event,) = obs_events.read_events(str(path))
+    assert isinstance(event["payload"], str)
+
+
+def test_concurrent_emits_interleave_whole_lines(monkeypatch, tmp_path):
+    path = tmp_path / "events.jsonl"
+    monkeypatch.setenv(obs_events.ENV_VAR, str(path))
+
+    def writer(worker):
+        for i in range(200):
+            obs_events.emit("tick", worker=worker, i=i)
+
+    threads = [
+        threading.Thread(target=writer, args=(w,)) for w in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    monkeypatch.delenv(obs_events.ENV_VAR)
+    obs_events.get_event_log()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 800
+    for line in lines:
+        json.loads(line)  # every line is complete JSON
+
+
+def test_read_events_skips_torn_tail(tmp_path):
+    path = tmp_path / "torn.jsonl"
+    path.write_text('{"event": "ok"}\n{"event": "cut off', encoding="utf-8")
+    events = obs_events.read_events(str(path))
+    assert [e["event"] for e in events] == ["ok"]

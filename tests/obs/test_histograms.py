@@ -1,0 +1,91 @@
+"""Histogram bucket semantics and percentile estimation."""
+
+import pytest
+
+from repro.obs.histograms import (
+    LATENCY_BUCKETS_S,
+    Histogram,
+    percentile_from_buckets,
+)
+
+
+class TestBuckets:
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus `le` semantics: an observation equal to a bound is
+        # counted by that bound's bucket.
+        hist = Histogram(buckets=(1.0, 2.0, 5.0))
+        hist.observe(1.0)
+        hist.observe(2.0)
+        hist.observe(2.0000001)
+        snap = hist.snapshot()
+        cumulative = dict(snap["buckets"])
+        assert cumulative[1.0] == 1
+        assert cumulative[2.0] == 2
+        assert cumulative[5.0] == 3
+
+    def test_overflow_goes_to_inf_bucket(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(100.0)
+        snap = hist.snapshot()
+        assert dict(snap["buckets"])[1.0] == 0
+        assert dict(snap["buckets"])[float("inf")] == 1
+        assert snap["sum"] == 100.0
+
+    def test_cumulative_counts_are_nondecreasing(self):
+        hist = Histogram(buckets=LATENCY_BUCKETS_S)
+        for value in (0.00005, 0.003, 0.003, 0.2, 45.0, 1000.0):
+            hist.observe(value)
+        counts = [c for _, c in hist.snapshot()["buckets"]]
+        assert counts == sorted(counts)
+        assert counts[-1] == 6
+
+    def test_layout_is_validated(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+
+    def test_reset_zeroes_everything(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5)
+        hist.reset()
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["sum"] == 0.0
+
+
+class TestPercentiles:
+    def test_empty_histogram_is_zero(self):
+        assert Histogram(buckets=(1.0,)).percentile(0.5) == 0.0
+
+    def test_interpolates_within_a_bucket(self):
+        hist = Histogram(buckets=(0.0, 10.0))
+        for _ in range(100):
+            hist.observe(5.0)  # all mass in the (0, 10] bucket
+        p50 = hist.percentile(0.5)
+        assert 0.0 < p50 <= 10.0
+        # rank 50 of 100 → halfway through the bucket's span
+        assert p50 == pytest.approx(5.0)
+
+    def test_open_bucket_reports_lower_edge(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(500.0)
+        assert hist.percentile(0.99) == 1.0
+
+    def test_matches_known_distribution(self):
+        hist = Histogram(buckets=(0.001, 0.01, 0.1, 1.0))
+        for _ in range(90):
+            hist.observe(0.005)
+        for _ in range(10):
+            hist.observe(0.5)
+        assert hist.percentile(0.5) <= 0.01
+        assert 0.1 < hist.percentile(0.95) <= 1.0
+
+    def test_snapshot_payload_function_agrees_with_method(self):
+        hist = Histogram(buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.05, 0.5):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert percentile_from_buckets(snap, 0.5) == hist.percentile(0.5)

@@ -1,0 +1,158 @@
+"""MetricsRegistry: families, labels, callbacks, attach, thread-safety."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestMetricObjects:
+    def test_counter_is_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.inc()
+        gauge.dec(0.5)
+        assert gauge.value == 4.0
+
+
+class TestFamilies:
+    def test_same_name_and_labels_return_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", route="/a")
+        b = registry.counter("x_total", route="/a")
+        c = registry.counter("x_total", route="/b")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("g", x="1", y="2")
+        b = registry.gauge("g", y="2", x="1")
+        assert a is b
+
+    def test_kind_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("dual")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("dual")
+
+    def test_bad_names_and_labels_are_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="bad metric name"):
+            registry.counter("1starts_with_digit")
+        with pytest.raises(ValueError, match="bad label name"):
+            registry.counter("fine_total", **{"bad-label": "x"})
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help text", kind="a").inc(2)
+        registry.histogram("h_seconds", buckets=(1.0, 2.0)).observe(1.5)
+        snap = registry.snapshot()
+        assert snap["c_total"]["type"] == "counter"
+        assert snap["c_total"]["help"] == "help text"
+        assert snap["c_total"]["samples"] == [
+            {"labels": {"kind": "a"}, "value": 2}
+        ]
+        (hist,) = snap["h_seconds"]["samples"]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1][0] == float("inf")
+
+    def test_clear_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("gone_total").inc()
+        registry.clear()
+        assert registry.snapshot() == {}
+
+
+class TestCallbacksAndAttach:
+    def test_callback_evaluated_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        box = {"value": 1.0}
+        registry.register_callback("depth", lambda: box["value"])
+        assert registry.snapshot()["depth"]["samples"][0]["value"] == 1.0
+        box["value"] = 7.0
+        assert registry.snapshot()["depth"]["samples"][0]["value"] == 7.0
+
+    def test_raising_callback_is_skipped_not_fatal(self):
+        registry = MetricsRegistry()
+
+        def boom():
+            raise RuntimeError("nope")
+
+        registry.register_callback("broken", boom)
+        registry.counter("ok_total").inc()
+        snap = registry.snapshot()
+        assert snap["broken"]["samples"] == []
+        assert snap["ok_total"]["samples"][0]["value"] == 1
+
+    def test_attach_rebinds_to_newest_instance(self):
+        registry = MetricsRegistry()
+        first, second = Counter(), Counter()
+        first.inc(10)
+        second.inc(1)
+        registry.attach("service_total", first)
+        registry.attach("service_total", second)
+        assert registry.snapshot()["service_total"]["samples"][0]["value"] == 1
+
+    def test_global_registry_swap(self):
+        replacement = MetricsRegistry()
+        previous = set_registry(replacement)
+        try:
+            assert get_registry() is replacement
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_lossless(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammered_total")
+        histogram = registry.histogram("hammered_seconds", buckets=(0.5, 1.0))
+        threads_n, per_thread = 8, 2500
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+                histogram.observe(0.25)
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == threads_n * per_thread
+        snap = histogram.snapshot()
+        assert snap["count"] == threads_n * per_thread
+        assert snap["buckets"][0][1] == threads_n * per_thread
+
+    def test_concurrent_get_or_create_yields_one_object(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(registry.counter("raced_total", worker="same"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(obj) for obj in seen}) == 1

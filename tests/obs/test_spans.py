@@ -1,0 +1,139 @@
+"""span()/Trace: histogram recording, nesting depth, timing monotonicity."""
+
+import time
+
+from repro.obs.registry import MetricsRegistry, set_registry
+from repro.obs.spans import (
+    STAGE_HISTOGRAM,
+    current_trace,
+    span,
+    traced,
+)
+
+
+def _with_fresh_registry(fn):
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        return fn(registry)
+    finally:
+        set_registry(previous)
+
+
+class TestSpanHistogram:
+    def test_span_always_observes_stage_histogram(self):
+        def scenario(registry):
+            with span("stage_a"):
+                pass
+            with span("stage_a"):
+                pass
+            with span("stage_b"):
+                pass
+            samples = registry.snapshot()[STAGE_HISTOGRAM]["samples"]
+            by_stage = {s["labels"]["stage"]: s["count"] for s in samples}
+            assert by_stage == {"stage_a": 2, "stage_b": 1}
+
+        _with_fresh_registry(scenario)
+
+    def test_span_observes_even_when_body_raises(self):
+        def scenario(registry):
+            try:
+                with span("exploding"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            samples = registry.snapshot()[STAGE_HISTOGRAM]["samples"]
+            assert samples[0]["labels"]["stage"] == "exploding"
+            assert samples[0]["count"] == 1
+
+        _with_fresh_registry(scenario)
+
+    def test_tags_do_not_become_histogram_labels(self):
+        def scenario(registry):
+            with span("tagged", batch=999, user="someone"):
+                pass
+            (sample,) = registry.snapshot()[STAGE_HISTOGRAM]["samples"]
+            assert set(sample["labels"]) == {"stage"}
+
+        _with_fresh_registry(scenario)
+
+
+class TestTraces:
+    def test_no_trace_by_default(self):
+        def scenario(registry):
+            assert current_trace() is None
+            with span("untraced"):
+                assert current_trace() is None
+
+        _with_fresh_registry(scenario)
+
+    def test_nesting_depth_is_recorded(self):
+        def scenario(registry):
+            with traced() as trace:
+                with span("outer"):
+                    with span("inner"):
+                        with span("innermost"):
+                            pass
+                with span("sibling"):
+                    pass
+            depths = {r.name: r.depth for r in trace.records}
+            assert depths == {
+                "outer": 0,
+                "inner": 1,
+                "innermost": 2,
+                "sibling": 0,
+            }
+
+        _with_fresh_registry(scenario)
+
+    def test_offsets_and_durations_are_monotonic(self):
+        def scenario(registry):
+            with traced() as trace:
+                with span("first"):
+                    time.sleep(0.002)
+                with span("second"):
+                    time.sleep(0.002)
+            breakdown = trace.breakdown()
+            stages = breakdown["stages"]
+            assert [s["stage"] for s in stages] == ["first", "second"]
+            assert stages[0]["offset_ms"] <= stages[1]["offset_ms"]
+            for stage in stages:
+                assert stage["ms"] >= 2.0 * 0.5  # sleep, minus timer slack
+                assert stage["offset_ms"] >= 0.0
+            assert breakdown["total_ms"] >= breakdown["stage_total_ms"] * 0.9
+
+        _with_fresh_registry(scenario)
+
+    def test_stage_total_counts_only_depth_zero(self):
+        def scenario(registry):
+            with traced() as trace:
+                with span("outer"):
+                    time.sleep(0.002)
+                    with span("inner"):
+                        time.sleep(0.002)
+            breakdown = trace.breakdown()
+            outer = next(
+                s for s in breakdown["stages"] if s["stage"] == "outer"
+            )
+            # inner time is inside outer; summing both would double-bill
+            assert breakdown["stage_total_ms"] == outer["ms"]
+
+        _with_fresh_registry(scenario)
+
+    def test_trace_deactivates_on_exit(self):
+        def scenario(registry):
+            with traced():
+                assert current_trace() is not None
+            assert current_trace() is None
+
+        _with_fresh_registry(scenario)
+
+    def test_tags_land_in_trace_records(self):
+        def scenario(registry):
+            with traced() as trace:
+                with span("work", statements=12):
+                    pass
+            (record,) = trace.records
+            assert record.tags == {"statements": 12}
+
+        _with_fresh_registry(scenario)

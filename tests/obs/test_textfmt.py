@@ -1,0 +1,81 @@
+"""Prometheus text rendering: escaping, histograms, parse round-trip."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.textfmt import CONTENT_TYPE, parse_text, render
+
+
+def test_content_type_declares_version():
+    assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestRender:
+    def test_counter_with_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("http_total", "HTTP requests", route="/a").inc(3)
+        text = render(registry.snapshot())
+        assert "# HELP http_total HTTP requests" in text
+        assert "# TYPE http_total counter" in text
+        assert 'http_total{route="/a"} 3' in text
+        assert text.endswith("\n")
+
+    def test_histogram_emits_bucket_sum_count_triplet(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = render(registry.snapshot())
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.05" in text
+        assert "lat_seconds_count 1" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "weird_total", stage='quote " slash \\ newline \n end'
+        ).inc()
+        text = render(registry.snapshot())
+        assert '\\"' in text
+        assert "\\\\" in text
+        assert "\\n" in text
+        assert "\n end" not in text  # the raw newline must not survive
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("helpful_total", "line one\nline two")
+        text = render(registry.snapshot())
+        assert "# HELP helpful_total line one\\nline two" in text
+
+
+class TestParse:
+    def test_round_trip_preserves_samples_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "help a", kind='tricky "x"\n').inc(2)
+        registry.gauge("b_depth").set(1.5)
+        registry.histogram("c_seconds", buckets=(0.5,)).observe(0.1)
+        parsed = parse_text(render(registry.snapshot()))
+        (a,) = parsed["a_total"]["samples"]
+        assert a["labels"]["kind"] == 'tricky "x"\n'
+        assert a["value"] == 2.0
+        assert parsed["a_total"]["type"] == "counter"
+        assert parsed["a_total"]["help"] == "help a"
+        assert parsed["b_depth"]["samples"][0]["value"] == 1.5
+        # histogram series keep suffixed names; type resolves to the base
+        assert parsed["c_seconds_bucket"]["type"] == "histogram"
+        les = [
+            s["labels"]["le"] for s in parsed["c_seconds_bucket"]["samples"]
+        ]
+        assert les == ["0.5", "+Inf"]
+        assert parsed["c_seconds_count"]["samples"][0]["value"] == 1.0
+
+    def test_inf_values_parse(self):
+        parsed = parse_text("x_bucket{le=\"+Inf\"} 3\ny -Inf\n")
+        assert parsed["x_bucket"]["samples"][0]["value"] == 3.0
+        assert parsed["y"]["samples"][0]["value"] == float("-inf")
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(ValueError):
+            parse_text("this is not a metric line\n")
+        with pytest.raises(ValueError):
+            parse_text('name{unterminated="x} 1\n')

@@ -1,0 +1,250 @@
+"""Serving telemetry: registry export, traces, stats windows, access log."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.facilitator import QueryFacilitator
+from repro.obs import events as obs_events
+from repro.obs.registry import get_registry
+from repro.obs.textfmt import parse_text
+from repro.serving import FacilitatorService, make_server
+from repro.workloads.sdss import generate_sdss_workload
+
+
+@pytest.fixture(scope="module")
+def facilitator() -> QueryFacilitator:
+    workload = generate_sdss_workload(n_sessions=80, seed=43)
+    return QueryFacilitator(model_name="baseline").fit(workload)
+
+
+STATEMENTS = [
+    "SELECT * FROM PhotoObj WHERE objId=7",
+    "SELECT ra, dec FROM SpecObj",
+    "SELECT COUNT(*) FROM PhotoObj",
+]
+
+
+def _registry_value(name, **labels):
+    for sample in get_registry().snapshot()[name]["samples"]:
+        if sample["labels"] == {k: str(v) for k, v in labels.items()}:
+            return sample.get("value", sample.get("count"))
+    return None
+
+
+class TestRegistryExport:
+    def test_service_counters_reach_the_registry(self, facilitator):
+        with FacilitatorService(facilitator) as service:
+            for statement in STATEMENTS:
+                service.insights(statement, timeout=10)
+        snap = get_registry().snapshot()
+        assert (
+            snap["repro_service_requests_total"]["samples"][0]["value"]
+            >= len(STATEMENTS)
+        )
+        (latency,) = snap["repro_service_request_latency_seconds"]["samples"]
+        assert latency["count"] >= len(STATEMENTS)
+        # queue idle after the context manager drained
+        assert snap["repro_service_queue_depth"]["samples"][0]["value"] == 0.0
+
+    def test_newest_service_owns_the_series(self, facilitator):
+        with FacilitatorService(facilitator) as first:
+            first.insights(STATEMENTS[0], timeout=10)
+        with FacilitatorService(facilitator) as second:
+            second.insights(STATEMENTS[0], timeout=10)
+            exported = _registry_value("repro_service_requests_total")
+            assert exported == second.stats.requests
+
+    def test_pipeline_cache_metrics_exported(self, facilitator):
+        with FacilitatorService(facilitator, cache_size=0) as service:
+            service.insights(STATEMENTS[0], timeout=10)
+        snap = get_registry().snapshot()
+        hits = snap["repro_pipeline_cache_hits_total"]["samples"][0]["value"]
+        misses = snap["repro_pipeline_cache_misses_total"]["samples"][0][
+            "value"
+        ]
+        assert hits + misses > 0
+
+    def test_predict_stages_recorded_per_head(self, facilitator):
+        with FacilitatorService(facilitator, cache_size=0) as service:
+            service.insights(STATEMENTS[1], timeout=10)
+        stages = {
+            s["labels"]["stage"]
+            for s in get_registry().snapshot()["repro_stage_seconds"][
+                "samples"
+            ]
+        }
+        assert any(stage.startswith("predict:") for stage in stages)
+        # the baseline model skips shared featurization; dedup always runs
+        assert "dedup" in stages
+
+
+class TestStatsWindow:
+    def test_stats_reset_restarts_the_view_not_the_registry(
+        self, facilitator
+    ):
+        with FacilitatorService(facilitator) as service:
+            for statement in STATEMENTS:
+                service.insights(statement, timeout=10)
+            before = service.stats
+            assert before.requests == len(STATEMENTS)
+            exported_before = _registry_value("repro_service_requests_total")
+            service.stats_reset()
+            after = service.stats
+            assert after.requests == 0
+            assert after.batches == 0
+            assert after.latency_p50_ms == 0.0
+            # monotonic registry series unaffected by the view reset
+            assert (
+                _registry_value("repro_service_requests_total")
+                == exported_before
+            )
+            service.insights(STATEMENTS[0], timeout=10)
+            assert service.stats.requests == 1
+
+    def test_window_bounds_latency_memory(self, facilitator):
+        with FacilitatorService(facilitator, window=4) as service:
+            for _ in range(3):
+                for statement in STATEMENTS:
+                    service.insights(statement, timeout=10)
+            assert len(service._latencies) <= 4
+            assert service.stats.latency_p95_ms >= 0.0
+
+    def test_invalid_window_rejected(self, facilitator):
+        with pytest.raises(ValueError, match="window"):
+            FacilitatorService(facilitator, window=0)
+
+
+class TestTracing:
+    def test_first_batch_is_traced_automatically(self, facilitator):
+        with FacilitatorService(facilitator) as service:
+            service.insights(STATEMENTS[0], timeout=10)
+            trace = service.last_trace
+        assert trace is not None
+        assert trace["batch_size"] == 1
+        stage_names = [s["stage"] for s in trace["stages"]]
+        assert "memo" in stage_names
+        assert any(s.startswith("predict:") for s in stage_names)
+
+    def test_stage_sum_close_to_total(self, facilitator):
+        with FacilitatorService(facilitator, cache_size=0) as service:
+            service.request_trace()
+            service.insights_many(STATEMENTS * 8, timeout=10)
+            trace = service.last_trace
+        # full coverage: depth-0 stages account for ~all of the batch
+        assert trace["stage_total_ms"] <= trace["total_ms"] * 1.01
+        assert trace["stage_total_ms"] >= trace["total_ms"] * 0.5
+
+    def test_request_trace_resamples(self, facilitator):
+        with FacilitatorService(facilitator) as service:
+            service.insights(STATEMENTS[0], timeout=10)
+            first = service.last_trace
+            service.insights(STATEMENTS[1], timeout=10)
+            assert service.last_trace is first  # no new sample requested
+            service.request_trace()
+            service.insights(STATEMENTS[2], timeout=10)
+            assert service.last_trace is not first
+
+
+class TestAccessLog:
+    def test_serve_batch_records_written(
+        self, facilitator, monkeypatch, tmp_path
+    ):
+        path = tmp_path / "access.jsonl"
+        monkeypatch.setenv(obs_events.ENV_VAR, str(path))
+        with FacilitatorService(facilitator) as service:
+            service.insights_many(STATEMENTS, timeout=10)
+        monkeypatch.delenv(obs_events.ENV_VAR)
+        obs_events.get_event_log()  # close the cached handle
+        records = [
+            e
+            for e in obs_events.read_events(str(path))
+            if e["event"] == "serve.batch"
+        ]
+        assert records
+        assert records[0]["batch_size"] == len(STATEMENTS)
+        assert records[0]["requests"] == 1
+        assert records[0]["latency_ms"] >= 0.0
+        assert "memo_hits" in records[0]
+
+
+class TestHTTPSurface:
+    @pytest.fixture(scope="class")
+    def server_url(self, facilitator):
+        service = FacilitatorService(facilitator, max_wait_ms=5.0)
+        service.start()
+        server = make_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        thread.join()
+        service.stop()
+
+    def _get_raw(self, url):
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, response.headers, response.read()
+
+    def _post(self, url, payload):
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode(), method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+
+    def test_metrics_endpoint_serves_prometheus_text(self, server_url):
+        self._post(
+            server_url + "/insights", {"statement": STATEMENTS[0]}
+        )
+        status, headers, body = self._get_raw(server_url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        parsed = parse_text(body.decode("utf-8"))
+        assert "repro_service_requests_total" in parsed
+        assert "repro_pipeline_cache_hits_total" in parsed
+        assert "repro_service_request_latency_seconds_bucket" in parsed
+        assert "repro_http_requests_total" in parsed
+
+    def test_stats_trace_query(self, server_url):
+        self._post(
+            server_url + "/insights", {"statement": STATEMENTS[1]}
+        )
+        status, _, body = self._get_raw(server_url + "/stats?trace=1")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["trace"] is not None
+        assert payload["trace"]["stages"]
+        # without the flag the key is absent (wire shape unchanged)
+        _, _, plain = self._get_raw(server_url + "/stats")
+        assert "trace" not in json.loads(plain)
+
+    def test_healthz_reports_artifact_identity(self, server_url):
+        status, _, body = self._get_raw(server_url + "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        artifact = payload["artifact"]
+        assert artifact["model_name"] == "baseline"
+        assert "format" in artifact
+        assert "version" in artifact
+        assert set(artifact["models"]) == set(payload["problems"])
+
+    def test_route_counters_increment(self, server_url):
+        before = _registry_value(
+            "repro_http_requests_total", route="/healthz"
+        ) or 0
+        self._get_raw(server_url + "/healthz")
+        after = _registry_value("repro_http_requests_total", route="/healthz")
+        assert after == before + 1
+
+    def test_errors_counted_by_route(self, server_url):
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError):
+            self._get_raw(server_url + "/nope")
+        assert (
+            _registry_value("repro_http_errors_total", route="unknown") >= 1
+        )
