@@ -1,0 +1,27 @@
+"""Tier-1 smoke for the sharded serving tier (small N, real processes).
+
+Runs :func:`bench_scale.run_smoke`: two shard workers under closed-loop
+load with one injected worker crash, and asserts the tier stays >= 99%
+available, returns bit-identical answers, and the supervisor actually
+restarted the crashed shard. The full harness
+(``PYTHONPATH=src python benchmarks/bench_scale.py``) regenerates
+``BENCH_scale.json`` with 1/2/4-worker scaling and tail latencies.
+"""
+
+from bench_scale import run_smoke
+
+from conftest import run_once
+
+
+def test_scale_smoke(benchmark):
+    result = run_once(benchmark, run_smoke)
+
+    assert result["requests"] == 100
+    assert result["availability"] >= 0.99, result
+    assert result["mismatched"] == 0, (
+        "sharded responses diverged from single-process serving"
+    )
+    # the injected crash really happened and was survived
+    assert result["restarts"] >= 1
+    assert any(i["reason"] == "crashed" for i in result["incidents"])
+    assert result["latency_p99_ms"] > 0

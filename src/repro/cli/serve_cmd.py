@@ -3,22 +3,36 @@
 Loads a facilitator artifact saved by ``repro train`` and serves
 pre-execution insights over HTTP with micro-batched inference: concurrent
 ``POST /insights`` requests are coalesced into single ``insights_batch``
-calls (up to ``--max-batch`` statements or ``--max-wait-ms``). ``GET
-/stats`` exposes request counts, batch sizes, latency percentiles, and the
-statement-analysis cache hit rate (``?trace=1`` adds the last traced
-batch's per-stage breakdown); ``GET /metrics`` is the Prometheus text
-endpoint; ``GET /healthz`` reports liveness and artifact identity. Set
-``REPRO_OBS_LOG=path.jsonl`` to also write one structured access record
-per micro-batch; inspect either surface with ``repro stats``.
+calls (up to ``--max-batch`` statements or ``--max-wait-ms``).
+
+With ``--workers N`` (N >= 1) the artifact is served by the fault-tolerant
+sharded tier instead of an in-process model: N supervised worker
+processes, sharded by statement digest, with admission control
+(``--queue-depth`` outstanding requests, then HTTP 503 + ``Retry-After``),
+per-request deadlines (``--deadline-ms``), degraded re-routing around
+dead shards, and zero-downtime artifact hot-reload (``POST /reload``, or
+``--watch`` to reload automatically when the artifact file changes).
+``--fault-plan`` (inline JSON or ``@path``) injects scripted worker
+crashes/hangs for chaos drills — see ``repro.serving.faults``.
+
+``GET /stats`` exposes request counts, batch sizes, latency percentiles,
+and cache hit rates (``?trace=1`` adds the last traced batch's per-stage
+breakdown on the single-process service); ``GET /metrics`` is the
+Prometheus text endpoint; ``GET /healthz`` reports liveness, artifact
+identity, and per-worker status. Set ``REPRO_OBS_LOG=path.jsonl`` to also
+write one structured access record per micro-batch; inspect either
+surface with ``repro stats``.
 
 Typical workflow::
 
     python -m repro generate sdss --sessions 2000 -o sdss.jsonl
     python -m repro train sdss.jsonl --model ctfidf -o facilitator.bin
     python -m repro serve facilitator.bin --port 8080 --warm sdss.jsonl
+    python -m repro serve facilitator.bin --workers 4 --watch
 
     curl -s localhost:8080/insights -d '{"statement": "SELECT * FROM PhotoObj"}'
     curl -s localhost:8080/stats
+    curl -s -X POST localhost:8080/reload -d '{"path": "facilitator.bin"}'
 """
 
 from __future__ import annotations
@@ -26,7 +40,6 @@ from __future__ import annotations
 import argparse
 
 from repro.cli._common import emit
-from repro.core.facilitator import QueryFacilitator
 
 __all__ = ["register"]
 
@@ -62,14 +75,103 @@ def register(subparsers) -> None:
         help="prime the analysis cache from this workload JSONL before serving",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="serve from N supervised shard worker processes instead of "
+        "in-process (0 = single-process service; default: 0)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=1024,
+        help="admission high-water mark: outstanding requests beyond this "
+        "are shed with HTTP 503 + Retry-After (sharded tier; default: 1024)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline; expired requests answer 504 "
+        "(sharded tier; default: unbounded)",
+    )
+    parser.add_argument(
+        "--batch-deadline-s",
+        type=float,
+        default=30.0,
+        help="how long one batch may run inside a worker before the "
+        "supervisor declares it hung and replaces it (default: 30s)",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="watch the artifact file and hot-reload (zero downtime) when "
+        "it changes",
+    )
+    parser.add_argument(
+        "--max-body-mb",
+        type=float,
+        default=16.0,
+        help="largest accepted request body in MiB; bigger answers 413 "
+        "(default: 16)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON|@PATH",
+        help="inject scripted faults into shard workers (chaos drills): "
+        "inline JSON or @path to a plan file; also read from the "
+        "REPRO_FAULT_PLAN environment variable",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     parser.set_defaults(func=run)
 
 
-def run(args: argparse.Namespace) -> int:
+def _serve(service, args, banner: str) -> None:
     # imported lazily so `repro --help` stays fast
-    from repro.serving import FacilitatorService, make_server
+    from repro.serving import ArtifactWatcher, make_server
+
+    watcher = None
+    if args.watch:
+        watcher = ArtifactWatcher(
+            service,
+            args.facilitator,
+            on_event=lambda event, detail: emit(f"watch: {event}: {detail}"),
+        ).start()
+    server = make_server(
+        service,
+        host=args.host,
+        port=args.port,
+        quiet=not args.verbose,
+        max_body_bytes=int(args.max_body_mb * 1024 * 1024),
+    )
+    host, port = server.server_address[:2]
+    emit(
+        f"serving {banner} on http://{host}:{port} — POST /insights, "
+        f"POST /reload, GET /stats, GET /metrics, GET /healthz"
+        + (" (watching artifact for changes)" if watcher else "")
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if watcher is not None:
+            watcher.stop()
+        server.server_close()
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.workers > 0:
+        return _run_sharded(args)
+    return _run_single(args)
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    from repro.core.facilitator import QueryFacilitator
+    from repro.serving import FacilitatorService
 
     facilitator = QueryFacilitator.load(args.facilitator)
     service = FacilitatorService(
@@ -77,6 +179,8 @@ def run(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
     )
+    # remembered so POST /reload without a body can re-read the artifact
+    service.artifact_path = args.facilitator
     with service:
         if args.warm:
             from repro.workloads.io import iter_workload
@@ -85,27 +189,55 @@ def run(args: argparse.Namespace) -> int:
                 record.statement for record in iter_workload(args.warm)
             )
             emit(f"warmed analysis cache with {primed} statements")
-        server = make_server(
-            service, host=args.host, port=args.port, quiet=not args.verbose
-        )
-        host, port = server.server_address[:2]
         problems = ", ".join(p.name.lower() for p in facilitator.problems)
-        emit(
-            f"serving {facilitator.model_name} ({problems}) on "
-            f"http://{host}:{port} — POST /insights, GET /stats, "
-            f"GET /metrics, GET /healthz"
-        )
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            pass
-        finally:
-            server.server_close()
+        _serve(service, args, f"{facilitator.model_name} ({problems})")
     stats = service.stats
     emit(
         f"served {stats.requests} requests / {stats.statements} statements "
         f"in {stats.batches} batches "
         f"(p50 {stats.latency_p50_ms}ms, p95 {stats.latency_p95_ms}ms, "
         f"pipeline hit rate {stats.pipeline['hit_rate']:.0%})"
+    )
+    return 0
+
+
+def _run_sharded(args: argparse.Namespace) -> int:
+    from repro.serving import FaultPlan, ShardedFacilitatorService
+
+    fault_plan = None
+    if args.fault_plan:
+        value = args.fault_plan
+        if value.startswith("@"):
+            with open(value[1:], encoding="utf-8") as handle:
+                value = handle.read()
+        fault_plan = FaultPlan.from_json(value)
+        emit(f"fault plan armed: {len(fault_plan.specs)} spec(s)")
+    service = ShardedFacilitatorService(
+        args.facilitator,
+        n_workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.queue_depth,
+        default_deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms else None
+        ),
+        batch_deadline_s=args.batch_deadline_s,
+        fault_plan=fault_plan,
+        warm_path=args.warm,
+    )
+    with service:
+        problems = ", ".join(service.problem_names)
+        _serve(
+            service,
+            args,
+            f"{service.model_name} ({problems}) x{args.workers} shards",
+        )
+    stats = service.stats
+    emit(
+        f"served {stats.requests} requests / {stats.statements} statements "
+        f"in {stats.batches} batches "
+        f"(p50 {stats.latency_p50_ms}ms, p99 {stats.latency_p99_ms}ms, "
+        f"shed {stats.shed}, degraded {stats.degraded}, "
+        f"restarts {stats.restarts})"
     )
     return 0

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import pickle
 import zipfile
 from collections.abc import Callable
@@ -159,13 +160,25 @@ def write_artifact(
 
     ``manifest`` must carry at least ``format`` and ``version`` keys so
     :func:`read_artifact` can validate before touching any payload.
+
+    The write is atomic: the zip is assembled in a same-directory temp
+    file and ``os.replace``d into place, so a crash (or an injected
+    worker kill) mid-save never leaves a truncated artifact at ``path``
+    for a reader to reject — the old file, if any, survives intact.
     """
     if "format" not in manifest or "version" not in manifest:
         raise ValueError("artifact manifest needs 'format' and 'version'")
-    with zipfile.ZipFile(Path(path), "w", zipfile.ZIP_DEFLATED) as archive:
-        archive.writestr(MANIFEST_NAME, json.dumps(manifest, indent=2))
-        for member, data in (payloads or {}).items():
-            archive.writestr(member, data)
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with zipfile.ZipFile(tmp, "w", zipfile.ZIP_DEFLATED) as archive:
+            archive.writestr(MANIFEST_NAME, json.dumps(manifest, indent=2))
+            for member, data in (payloads or {}).items():
+                archive.writestr(member, data)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def read_manifest(

@@ -9,19 +9,62 @@ users. This package is that serving surface:
   ``insights_batch`` call per batch), with warm-up priming of the shared
   sqlang pipeline cache and per-service stats (requests, batch sizes,
   p50/p95 latency, pipeline hit rate);
+- :class:`ShardedFacilitatorService` — the fault-tolerant multi-process
+  tier: N facilitator worker processes sharded by statement digest behind
+  the same micro-batching front end, with admission control (shed +
+  ``Retry-After`` past ``max_pending``), per-request deadlines, degraded
+  re-routing around dead shards, and zero-downtime artifact hot-reload;
+- :class:`Supervisor` / :class:`RestartBackoff` — worker health checks
+  (crash + per-batch-deadline hang detection) and exponential-backoff
+  restarts; :class:`ArtifactWatcher` drives ``repro serve --watch``;
+- :class:`FaultPlan` / :class:`FaultInjector` — env/config-gated fault
+  injection (crash, hang, slow batch, corrupt artifact) for the chaos
+  suite and ``benchmarks/bench_scale.py``;
 - :func:`make_server` / :class:`InsightsHTTPServer` — a dependency-free
   ``http.server`` JSON endpoint (``POST /insights``, ``GET /stats``,
-  ``GET /healthz``) whose handler threads coalesce into the queue;
+  ``GET /healthz``, ``POST /reload``) whose handler threads coalesce into
+  the queue;
 - the ``repro serve`` CLI command wires both to a saved artifact.
 """
 
-from repro.serving.service import FacilitatorService, PendingRequest, ServiceStats
+from repro.serving.service import (
+    FacilitatorService,
+    InsightMemo,
+    PendingRequest,
+    ReloadInProgressError,
+    ServiceOverloadedError,
+    ServiceStats,
+    ServiceUnavailableError,
+)
+from repro.serving.faults import FAULT_PLAN_ENV, FaultInjector, FaultPlan, FaultSpec
+from repro.serving.supervisor import (
+    ArtifactWatcher,
+    RestartBackoff,
+    Supervisor,
+    WorkerProbe,
+)
+from repro.serving.shards import ShardedFacilitatorService, ShardedServiceStats, shard_of
 from repro.serving.http import InsightsHTTPServer, make_server
 
 __all__ = [
     "FacilitatorService",
+    "InsightMemo",
     "PendingRequest",
+    "ReloadInProgressError",
+    "ServiceOverloadedError",
     "ServiceStats",
+    "ServiceUnavailableError",
+    "FAULT_PLAN_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "ArtifactWatcher",
+    "RestartBackoff",
+    "Supervisor",
+    "WorkerProbe",
+    "ShardedFacilitatorService",
+    "ShardedServiceStats",
+    "shard_of",
     "InsightsHTTPServer",
     "make_server",
 ]

@@ -1,0 +1,239 @@
+"""Fault injection for the serving tier (chaos tests and load harnesses).
+
+The resilient-serving claims — a crashed worker loses no requests, a hung
+worker is detected and replaced, a corrupt artifact never reaches a live
+shard — are only testable if those faults can be produced on demand and
+deterministically. This module is that switch: a :class:`FaultPlan` (a
+list of :class:`FaultSpec`) describes *what* goes wrong *where* and
+*when*, and a :class:`FaultInjector` evaluates the plan inside one worker
+process through two hooks:
+
+- :meth:`FaultInjector.on_batch` — called by the shard worker before
+  executing each batch; may **crash** the process (``os._exit``), **hang**
+  it (sleep with the busy flag set, so the supervisor's per-batch deadline
+  fires), or **slow** the batch (added latency).
+- :meth:`FaultInjector.on_reload` — called during artifact validation /
+  swap; a **corrupt_artifact** fault raises
+  :class:`~repro.models.serialize.ArtifactFormatError`, exercising the
+  staged-validation rejection path without actually corrupting a file.
+
+Everything is gated: with no plan (the default, and always in
+production), every hook is a zero-cost no-op. Plans come in
+programmatically or through the ``REPRO_FAULT_PLAN`` environment variable
+(inline JSON, or ``@/path/to/plan.json``), which is how the ``repro
+serve --fault-plan`` flag and the chaos CI jobs reach worker processes.
+
+Plan format (JSON)::
+
+    [
+      {"kind": "crash", "worker": 1, "after_batches": 3},
+      {"kind": "hang", "worker": 2, "after_batches": 5, "sleep_s": 60},
+      {"kind": "slow_batch", "after_batches": 0, "times": 10, "sleep_s": 0.05},
+      {"kind": "corrupt_artifact"}
+    ]
+
+Fields: ``kind`` (required); ``worker`` (int shard id, omitted = any
+worker); ``after_batches`` (fire once the worker has executed this many
+batches); ``times`` (how often the spec fires, default 1);
+``sleep_s`` (hang/slow duration); ``exit_code`` (crash status);
+``incarnation`` (which boot of the worker the spec applies to — 0 is the
+first boot, so a crash spec does not re-fire in the supervisor-restarted
+replacement unless asked to).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.models.serialize import ArtifactFormatError
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+]
+
+#: Environment variable carrying a fault plan (inline JSON or ``@path``).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_KINDS = ("crash", "hang", "slow_batch", "corrupt_artifact")
+
+#: Default injected latencies per kind (seconds). A hang only needs to
+#: outlive the supervisor's per-batch deadline; an hour is "forever".
+_DEFAULT_SLEEP_S = {"hang": 3600.0, "slow_batch": 0.05}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: what, which worker, when, how often."""
+
+    kind: str
+    worker: int | None = None
+    after_batches: int = 0
+    times: int = 1
+    sleep_s: float | None = None
+    exit_code: int = 9
+    incarnation: int | None = 0
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (expected one of {_KINDS})"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.after_batches < 0:
+            raise ValueError(
+                f"after_batches must be >= 0, got {self.after_batches}"
+            )
+
+    @property
+    def delay_s(self) -> float:
+        return (
+            self.sleep_s
+            if self.sleep_s is not None
+            else _DEFAULT_SLEEP_S.get(self.kind, 0.0)
+        )
+
+    def matches(self, worker_id: int | None, incarnation: int) -> bool:
+        if self.worker is not None and self.worker != worker_id:
+            return False
+        if self.incarnation is not None and self.incarnation != incarnation:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind}
+        if self.worker is not None:
+            out["worker"] = self.worker
+        if self.after_batches:
+            out["after_batches"] = self.after_batches
+        if self.times != 1:
+            out["times"] = self.times
+        if self.sleep_s is not None:
+            out["sleep_s"] = self.sleep_s
+        if self.exit_code != 9:
+            out["exit_code"] = self.exit_code
+        if self.incarnation != 0:
+            out["incarnation"] = self.incarnation
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec`; empty plans are no-ops."""
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def from_obj(cls, obj) -> "FaultPlan":
+        """Build a plan from parsed JSON (a list of spec dicts)."""
+        if obj is None:
+            return cls()
+        if isinstance(obj, dict):
+            obj = [obj]
+        if not isinstance(obj, list):
+            raise ValueError(
+                f"fault plan must be a JSON list of specs, got {type(obj).__name__}"
+            )
+        specs = []
+        for entry in obj:
+            if not isinstance(entry, dict):
+                raise ValueError(f"fault spec must be an object, got {entry!r}")
+            unknown = set(entry) - {
+                "kind", "worker", "after_batches", "times",
+                "sleep_s", "exit_code", "incarnation",
+            }
+            if unknown:
+                raise ValueError(f"unknown fault spec fields {sorted(unknown)}")
+            specs.append(FaultSpec(**entry))
+        return cls(tuple(specs))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_obj(json.loads(text))
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan":
+        """Plan from ``REPRO_FAULT_PLAN`` (inline JSON or ``@path``);
+        empty when unset."""
+        environ = os.environ if environ is None else environ
+        value = environ.get(FAULT_PLAN_ENV, "").strip()
+        if not value:
+            return cls()
+        if value.startswith("@"):
+            with open(value[1:], encoding="utf-8") as handle:
+                value = handle.read()
+        return cls.from_json(value)
+
+    def to_json(self) -> str:
+        return json.dumps([spec.to_dict() for spec in self.specs])
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` inside one worker process.
+
+    Trigger counters (batches executed, per-spec fire counts) are local
+    to the process, so a plan is deterministic per worker boot; specs pin
+    ``incarnation`` to control whether they re-fire in supervisor-started
+    replacements.
+    """
+
+    #: ``worker_id`` the staged-validation process identifies as.
+    STAGING = -1
+
+    def __init__(
+        self,
+        plan: FaultPlan | None,
+        worker_id: int | None = None,
+        incarnation: int = 0,
+        sleep=time.sleep,
+    ):
+        self._plan = plan if plan is not None else FaultPlan()
+        self._worker_id = worker_id
+        self._incarnation = incarnation
+        self._sleep = sleep
+        self._batches = 0
+        self._fired = [0] * len(self._plan.specs)
+
+    def _due(self, kinds: tuple[str, ...], batch_index: int | None = None):
+        for i, spec in enumerate(self._plan.specs):
+            if spec.kind not in kinds:
+                continue
+            if not spec.matches(self._worker_id, self._incarnation):
+                continue
+            if self._fired[i] >= spec.times:
+                continue
+            if batch_index is not None and batch_index < spec.after_batches:
+                continue
+            self._fired[i] += 1
+            yield spec
+
+    def on_batch(self) -> None:
+        """Hook before each batch executes: may crash, hang, or slow."""
+        if not self._plan:
+            return
+        index = self._batches
+        self._batches += 1
+        for spec in self._due(("crash", "hang", "slow_batch"), index):
+            if spec.kind == "crash":
+                # die the way a segfault would: no cleanup, no goodbyes
+                os._exit(spec.exit_code)
+            self._sleep(spec.delay_s)
+
+    def on_reload(self, path) -> None:
+        """Hook during artifact validation: may reject the artifact."""
+        if not self._plan:
+            return
+        for _spec in self._due(("corrupt_artifact",)):
+            raise ArtifactFormatError(
+                f"{path}: fault injection rejected this artifact "
+                "(corrupt_artifact)"
+            )

@@ -1,25 +1,40 @@
-"""Stdlib JSON/HTTP endpoint over a :class:`FacilitatorService`.
+"""Stdlib JSON/HTTP endpoint over a facilitator service.
 
 No framework dependency: a :class:`ThreadingHTTPServer` whose handler
 threads submit into the service's micro-batching queue and block until
 their batch runs — which is exactly how concurrent requests coalesce into
-one ``insights_batch`` call.
+one ``insights_batch`` call. The same server fronts either a
+single-process :class:`~repro.serving.service.FacilitatorService` or the
+fault-tolerant :class:`~repro.serving.shards.ShardedFacilitatorService`.
 
 Routes:
 
 - ``POST /insights`` — body ``{"statements": [...]}`` (or
-  ``{"statement": "..."}``); responds ``{"insights": [...]}`` with one
-  JSON object per statement (the ``QueryInsights.to_dict`` wire format).
-- ``GET /stats`` — serving counters + pipeline cache effectiveness;
+  ``{"statement": "..."}``), optional ``"deadline_ms"``; responds
+  ``{"insights": [...]}`` with one JSON object per statement (the
+  ``QueryInsights.to_dict`` wire format) plus, on the sharded tier,
+  ``"degraded": true`` when the answer was served off its home shard
+  while a worker restarts, and the artifact ``"generation"`` that
+  computed it.
+- ``POST /reload`` — body ``{"path": "..."}`` (optional; defaults to the
+  artifact the service was started from): zero-downtime hot swap. A bad
+  artifact is rejected ``400`` by staged validation without touching live
+  shards; a concurrent reload answers ``409``.
+- ``GET /stats`` — serving counters + cache effectiveness;
   ``GET /stats?trace=1`` additionally returns the per-stage breakdown of
-  the most recently traced micro-batch (and asks the worker to trace the
-  next one, so repeated calls keep the sample fresh).
+  the most recently traced micro-batch (single-process service only).
 - ``GET /metrics`` — the whole process's :mod:`repro.obs` registry in
-  Prometheus text exposition format (pipeline cache, service
-  queue/latency, per-stage span histograms, training/I/O counters).
+  Prometheus text exposition format.
 - ``GET /healthz`` — liveness, the problems this facilitator answers,
-  and the artifact identity (manifest format/version, model names, source
-  path) so a fleet can detect stale shards.
+  the artifact identity, and (sharded) per-worker status, so a fleet can
+  detect stale or degraded shards.
+
+Failure semantics are deliberate: overload and not-running map to ``503``
+(overload adds a ``Retry-After`` header), a blown request deadline maps
+to ``504``, and unexpected server faults answer a generic ``500`` that
+names only the exception *type* — internals (paths, model state, stack
+detail) never leak into response bodies. Bodies larger than the
+configurable cap are refused with ``413`` before being read.
 
 Every route increments ``repro_http_requests_total{route=...}`` (and
 ``repro_http_errors_total{route=...}`` on 4xx/5xx); request decode and
@@ -32,15 +47,20 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro.models.serialize import ArtifactFormatError
 from repro.obs import textfmt
 from repro.obs.registry import get_registry
 from repro.obs.spans import span
-from repro.serving.service import FacilitatorService
+from repro.serving.service import (
+    ReloadInProgressError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
 
-__all__ = ["InsightsHTTPServer", "make_server"]
+__all__ = ["InsightsHTTPServer", "make_server", "DEFAULT_MAX_BODY_BYTES"]
 
-#: Request bodies larger than this are rejected outright (64 MiB).
-_MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Default request-body cap (16 MiB — thousands of statements per call).
+DEFAULT_MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
 class InsightsHTTPServer(ThreadingHTTPServer):
@@ -48,9 +68,16 @@ class InsightsHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, service: FacilitatorService, quiet: bool = True):
+    def __init__(
+        self,
+        address,
+        service,
+        quiet: bool = True,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ):
         self.service = service
         self.quiet = quiet
+        self.max_body_bytes = max_body_bytes
         super().__init__(address, _InsightsHandler)
 
 
@@ -81,31 +108,74 @@ class _InsightsHandler(BaseHTTPRequestHandler):
             route=self._route,
         ).inc()
 
-    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict | None = None,
+    ) -> None:
         if status >= 400:
             self._count_error(status)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, extra_headers: dict | None = None
+    ) -> None:
         with span("encode"):
             body = json.dumps(payload).encode("utf-8")
-        self._send_body(status, body, "application/json")
+        self._send_body(status, body, "application/json", extra_headers)
 
-    def _read_body_json(self) -> dict | None:
+    def _send_service_error(self, exc: BaseException) -> None:
+        """Map a service-layer failure onto a truthful status code.
+
+        Unexpected exceptions answer a generic 500 naming only the type —
+        never ``str(exc)``, which can carry file paths and model state.
+        """
+        if isinstance(exc, ServiceOverloadedError):
+            self._send_json(
+                503,
+                {"error": "service overloaded; retry shortly"},
+                {"Retry-After": f"{max(1, round(exc.retry_after_s)):d}"},
+            )
+        elif isinstance(exc, ServiceUnavailableError):
+            self._send_json(
+                503,
+                {"error": "service unavailable (starting, reloading, or stopped)"},
+                {"Retry-After": "1"},
+            )
+        elif isinstance(exc, TimeoutError):
+            self._send_json(504, {"error": "request deadline exceeded"})
+        else:
+            self._send_json(
+                500, {"error": f"internal error ({type(exc).__name__})"}
+            )
+
+    def _read_body_json(self, allow_empty: bool = False) -> dict | None:
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
             self._send_json(400, {"error": "bad Content-Length header"})
             return None
         if length <= 0:
+            if allow_empty:
+                return {}
             self._send_json(400, {"error": "empty request body"})
             return None
-        if length > _MAX_BODY_BYTES:
-            self._send_json(413, {"error": "request body too large"})
+        if length > self.server.max_body_bytes:
+            self._send_json(
+                413,
+                {
+                    "error": "request body too large "
+                    f"(limit {self.server.max_body_bytes} bytes)"
+                },
+            )
             return None
         try:
             with span("decode"):
@@ -122,11 +192,17 @@ class _InsightsHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:
         path = urlsplit(self.path).path.rstrip("/")
-        if path != "/insights":
+        if path == "/insights":
+            self._count_request("/insights")
+            self._post_insights()
+        elif path == "/reload":
+            self._count_request("/reload")
+            self._post_reload()
+        else:
             self._count_request("unknown")
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
-            return
-        self._count_request("/insights")
+
+    def _post_insights(self) -> None:
         payload = self._read_body_json()
         if payload is None:
             return
@@ -146,14 +222,66 @@ class _InsightsHandler(BaseHTTPRequestHandler):
                 },
             )
             return
-        try:
-            insights = self.server.service.insights_many(statements)
-        except Exception as exc:
-            self._send_json(500, {"error": str(exc)})
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+        ):
+            self._send_json(
+                400, {"error": "'deadline_ms' must be a positive number"}
+            )
             return
-        self._send_json(
-            200, {"insights": [insight.to_dict() for insight in insights]}
-        )
+        deadline_s = deadline_ms / 1000.0 if deadline_ms is not None else None
+        try:
+            request = self.server.service.submit(
+                statements, deadline_s=deadline_s
+            )
+            insights = request.result(deadline_s)
+        except Exception as exc:
+            self._send_service_error(exc)
+            return
+        response = {"insights": [insight.to_dict() for insight in insights]}
+        if request.generation is not None:
+            response["generation"] = request.generation
+        if request.degraded:
+            response["degraded"] = True
+        self._send_json(200, response)
+
+    def _post_reload(self) -> None:
+        service = self.server.service
+        if not hasattr(service, "reload"):
+            self._send_json(
+                501, {"error": "this service does not support hot reload"}
+            )
+            return
+        payload = self._read_body_json(allow_empty=True)
+        if payload is None:
+            return
+        path = payload.get("path", getattr(service, "artifact_path", None))
+        if not isinstance(path, str) or not path:
+            self._send_json(
+                400,
+                {
+                    "error": "body needs 'path': str (no default artifact "
+                    "path on this service)"
+                },
+            )
+            return
+        try:
+            result = service.reload(path)
+        except ReloadInProgressError:
+            self._send_json(
+                409, {"error": "a reload is already in progress"}
+            )
+            return
+        except (ArtifactFormatError, OSError) as exc:
+            # staged validation rejected it: the old generation is intact,
+            # and saying why is safe (it names the artifact, not the model)
+            self._send_json(400, {"error": f"artifact rejected: {exc}"})
+            return
+        except Exception as exc:
+            self._send_service_error(exc)
+            return
+        self._send_json(200, {"status": "ok", **result})
 
     def do_GET(self) -> None:
         parts = urlsplit(self.path)
@@ -164,8 +292,11 @@ class _InsightsHandler(BaseHTTPRequestHandler):
             payload = service.stats.to_dict()
             query = parse_qs(parts.query)
             if query.get("trace", ["0"])[0] not in ("0", "", "false"):
-                payload["trace"] = service.last_trace
-                service.request_trace()  # keep the sample fresh
+                if hasattr(service, "last_trace"):
+                    payload["trace"] = service.last_trace
+                    service.request_trace()  # keep the sample fresh
+                else:
+                    payload["trace"] = None
             self._send_json(200, payload)
         elif path == "/metrics":
             self._count_request("/metrics")
@@ -173,33 +304,49 @@ class _InsightsHandler(BaseHTTPRequestHandler):
             self._send_body(200, text.encode("utf-8"), textfmt.CONTENT_TYPE)
         elif path == "/healthz":
             self._count_request("/healthz")
-            facilitator = self.server.service.facilitator
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "model_name": facilitator.model_name,
-                    "problems": [
-                        p.name.lower() for p in facilitator.problems
-                    ],
-                    "artifact": facilitator.artifact_identity,
-                },
-            )
+            self._send_json(200, self._health_payload())
         else:
             self._count_request("unknown")
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
+    def _health_payload(self) -> dict:
+        service = self.server.service
+        facilitator = getattr(service, "facilitator", None)
+        if facilitator is not None:
+            return {
+                "status": "ok",
+                "model_name": facilitator.model_name,
+                "problems": [p.name.lower() for p in facilitator.problems],
+                "artifact": facilitator.artifact_identity,
+            }
+        workers = service.workers
+        up = sum(1 for w in workers if w["up"])
+        status = "ok" if up == len(workers) else ("degraded" if up else "down")
+        return {
+            "status": status,
+            "model_name": service.model_name,
+            "problems": service.problem_names,
+            "artifact": service.artifact_identity,
+            "generation": service.generation,
+            "workers": workers,
+        }
+
 
 def make_server(
-    service: FacilitatorService,
+    service,
     host: str = "127.0.0.1",
     port: int = 8080,
     quiet: bool = True,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
 ) -> InsightsHTTPServer:
     """Bind (but do not start) the JSON endpoint for ``service``.
 
-    ``port=0`` binds an ephemeral port; read ``server.server_address``.
-    Call ``serve_forever()`` to run, ``shutdown()`` from another thread to
+    ``service`` is either a :class:`FacilitatorService` or a
+    :class:`~repro.serving.shards.ShardedFacilitatorService`. ``port=0``
+    binds an ephemeral port; read ``server.server_address``. Call
+    ``serve_forever()`` to run, ``shutdown()`` from another thread to
     stop.
     """
-    return InsightsHTTPServer((host, port), service, quiet=quiet)
+    return InsightsHTTPServer(
+        (host, port), service, quiet=quiet, max_body_bytes=max_body_bytes
+    )

@@ -40,10 +40,50 @@ from repro.obs.registry import Counter, get_registry
 from repro.obs.spans import end_trace, span, start_trace
 from repro.sqlang.pipeline import get_pipeline
 
-__all__ = ["FacilitatorService", "ServiceStats", "PendingRequest"]
+__all__ = [
+    "FacilitatorService",
+    "InsightMemo",
+    "PendingRequest",
+    "ReloadInProgressError",
+    "ServiceOverloadedError",
+    "ServiceStats",
+    "ServiceUnavailableError",
+]
 
 #: How many completed request latencies the stats window retains.
 _LATENCY_WINDOW = 4096
+
+#: Upper bound on any internal condition wait; every blocking loop
+#: re-checks its exit predicate at least this often, so shutdown can
+#: never hang behind a lost notify or a worker that died mid-batch.
+_WAIT_SLICE_S = 0.25
+
+#: Statement used to smoke-test a freshly loaded artifact before a
+#: hot-reload swaps it in (cheap, parses under every dialect we emit).
+_PROBE_STATEMENT = "SELECT 1"
+
+
+class ServiceUnavailableError(RuntimeError):
+    """The service cannot take requests right now (not running, loading,
+    or restarting); the caller should retry after ``retry_after_s``.
+
+    The HTTP layer maps this to ``503 Service Unavailable`` with a
+    ``Retry-After`` header instead of a blanket 500.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceOverloadedError(ServiceUnavailableError):
+    """Admission control shed this request: the queue crossed its
+    high-water mark. Retry after ``retry_after_s`` (HTTP 503 +
+    ``Retry-After``)."""
+
+
+class ReloadInProgressError(RuntimeError):
+    """A hot reload is already running; only one may run at a time."""
 
 #: Statements per ``analyze_batch`` chunk during warm-up (bounds memory
 #: when warming from a streaming workload pass).
@@ -97,6 +137,119 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[index]
 
 
+class InsightMemo:
+    """LRU memo over distinct statement texts, with error isolation.
+
+    The serving-side cache both the single-process service and every
+    shard worker use: repeated statements are answered without touching
+    the models, distinct misses go through one batched compute call, and
+    a failure is isolated to the statements that caused it — when the
+    batch call raises, the misses are retried one at a time so co-batched
+    statements still get answers and only the offending ones carry an
+    exception.
+
+    ``max_size=0`` disables caching but keeps the dedup and isolation
+    semantics. Not thread-safe by itself; each owner (the service worker
+    thread, one shard worker process) is single-threaded over its memo.
+    """
+
+    __slots__ = ("max_size", "_cache")
+
+    def __init__(self, max_size: int):
+        if max_size < 0:
+            raise ValueError(f"max_size must be >= 0, got {max_size}")
+        self.max_size = max_size
+        self._cache: OrderedDict[str, QueryInsights] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def get(self, statement: str) -> QueryInsights | None:
+        """Cached insight for ``statement`` (refreshes LRU order)."""
+        insight = self._cache.get(statement)
+        if insight is not None:
+            self._cache.move_to_end(statement)
+        return insight
+
+    def put(self, statement: str, insight: QueryInsights) -> None:
+        """Remember one computed insight (evicting LRU past ``max_size``)."""
+        if not self.max_size:
+            return
+        self._cache[statement] = insight
+        self._cache.move_to_end(statement)
+        while len(self._cache) > self.max_size:
+            self._cache.popitem(last=False)
+
+    def resolve(
+        self, statements: Sequence[str], compute_batch
+    ) -> tuple[list, int, int]:
+        """Answer ``statements`` through the memo + ``compute_batch``.
+
+        Returns ``(results, hits, misses)`` where ``results`` aligns with
+        ``statements`` and each element is either a fresh
+        :class:`QueryInsights` copy or the exception that statement's
+        computation raised (never cached). ``compute_batch`` receives the
+        list of distinct cache-missing statements and returns one
+        :class:`QueryInsights` per statement, in order.
+        """
+        cache = self._cache
+        hits = misses = 0
+        resolved: dict[str, object] = {}
+        miss_order: dict[str, None] = {}
+        with span("memo", statements=len(statements)):
+            for statement in statements:
+                if statement in resolved:
+                    hits += 1
+                elif statement in cache:
+                    cache.move_to_end(statement)
+                    resolved[statement] = cache[statement]
+                    hits += 1
+                elif statement not in miss_order:
+                    miss_order[statement] = None
+                    misses += 1
+                else:
+                    hits += 1  # in-batch repeat of a miss: computed once
+        if miss_order:
+            for statement, outcome in self._compute(
+                list(miss_order), compute_batch
+            ):
+                resolved[statement] = outcome
+                if self.max_size and isinstance(outcome, QueryInsights):
+                    cache[statement] = outcome
+            while len(cache) > self.max_size:
+                cache.popitem(last=False)
+        with span("copy"):
+            results = [
+                r.copy() if isinstance(r, QueryInsights) else r
+                for r in (resolved[s] for s in statements)
+            ]
+        return results, hits, misses
+
+    @staticmethod
+    def _compute(misses: list[str], compute_batch):
+        """Yield ``(statement, QueryInsights | Exception)`` for each miss.
+
+        The whole batch is tried first (the fast path); if it raises, the
+        misses are recomputed one at a time so a single malformed
+        statement cannot fail its co-batched neighbours.
+        """
+        try:
+            computed = compute_batch(misses)
+        except Exception:
+            for statement in misses:
+                try:
+                    (insight,) = compute_batch([statement])
+                    yield statement, insight
+                except Exception as exc:
+                    yield statement, exc
+            return
+        for statement, insight in zip(misses, computed):
+            yield statement, insight
+
+
 class PendingRequest:
     """Handle for one submitted request; ``result()`` blocks until ready.
 
@@ -115,12 +268,16 @@ class PendingRequest:
         "_error",
         "_enqueued_at",
         "latency_ms",
+        "degraded",
+        "generation",
+        "deadline",
     )
 
     def __init__(
         self,
         statements: list[str],
         done_cond: threading.Condition | None = None,
+        deadline: float | None = None,
     ):
         self.statements = statements
         self._done_cond = done_cond if done_cond is not None else threading.Condition()
@@ -129,6 +286,13 @@ class PendingRequest:
         self._error: BaseException | None = None
         self._enqueued_at = time.perf_counter()
         self.latency_ms: float | None = None
+        #: True when the response was served off its home shard or from
+        #: a fallback memo while a shard was restarting.
+        self.degraded = False
+        #: Artifact generation that answered this request (None until done).
+        self.generation: int | None = None
+        #: Absolute ``time.monotonic()`` deadline, or None for unbounded.
+        self.deadline = deadline
 
     def _finish(
         self,
@@ -233,6 +397,7 @@ class FacilitatorService:
         self._m_batches = Counter()
         self._m_memo_hits = Counter()
         self._m_memo_misses = Counter()
+        self._m_request_errors = Counter()
         self._m_batch_size = Histogram(SIZE_BUCKETS)
         self._m_latency = Histogram(LATENCY_BUCKETS_S)
         # window + non-monotonic bits (guarded by _condition's lock)
@@ -247,8 +412,13 @@ class FacilitatorService:
         # the first batch is always captured so /stats?trace=1 has data)
         self._trace_pending = True
         self._last_trace: dict | None = None
-        # insight memo (only the worker thread mutates it)
-        self._insight_cache: OrderedDict[str, QueryInsights] = OrderedDict()
+        # insight memo (only the worker thread walks it; reload() swaps
+        # the whole object under _condition rather than mutating it)
+        self._memo = InsightMemo(cache_size)
+        # artifact generation: bumped by every successful reload(); the
+        # worker stamps each request with the generation that answered it
+        self._generation = 1
+        self._reload_lock = threading.Lock()
 
     @classmethod
     def from_artifact(cls, path, **kwargs) -> "FacilitatorService":
@@ -300,6 +470,10 @@ class FacilitatorService:
             "Distinct statements that had to run through the models",
         )
         registry.attach(
+            "repro_service_request_errors_total", self._m_request_errors,
+            "Requests that finished with a per-statement analysis error",
+        )
+        registry.attach(
             "repro_service_batch_size", self._m_batch_size,
             "Statements per executed micro-batch",
         )
@@ -314,19 +488,27 @@ class FacilitatorService:
         )
         registry.register_callback(
             "repro_service_insight_memo_size",
-            lambda: float(len(self._insight_cache)),
+            lambda: float(len(self._memo)),
             help="Distinct statements held by the insight memo",
         )
 
-    def stop(self) -> None:
-        """Drain outstanding requests and stop the worker."""
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Drain outstanding requests and stop the worker.
+
+        The join is bounded: the worker re-checks ``_running`` at least
+        every ``_WAIT_SLICE_S`` and fails outstanding requests on any
+        unexpected error, so ``timeout`` is a backstop, not a drain
+        budget. A worker still alive after it (a model call that never
+        returns) is abandoned as a daemon thread rather than hanging the
+        caller.
+        """
         with self._condition:
             if not self._running:
                 return
             self._running = False
             self._condition.notify_all()
         if self._worker is not None:
-            self._worker.join()
+            self._worker.join(timeout)
             self._worker = None
 
     def __enter__(self) -> "FacilitatorService":
@@ -380,17 +562,26 @@ class FacilitatorService:
 
     # -- request path -------------------------------------------------------- #
 
-    def submit(self, statements: str | Sequence[str]) -> PendingRequest:
+    def submit(
+        self,
+        statements: str | Sequence[str],
+        deadline_s: float | None = None,
+    ) -> PendingRequest:
         """Enqueue a request; returns a handle whose ``result()`` blocks.
 
         The service must be running (``start()`` or context manager).
+        ``deadline_s`` is recorded on the request (the sharded tier
+        enforces it; here callers enforce it through ``result(timeout)``).
         """
         if isinstance(statements, str):
             statements = [statements]
-        request = PendingRequest(list(statements), self._done_cond)
+        deadline = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
+        request = PendingRequest(list(statements), self._done_cond, deadline=deadline)
         with self._condition:
             if not self._running:
-                raise RuntimeError(
+                raise ServiceUnavailableError(
                     "FacilitatorService is not running (use `with service:` "
                     "or call start())"
                 )
@@ -434,7 +625,7 @@ class FacilitatorService:
             baseline = dict(self._baseline)
             max_batch_seen = self._max_batch_seen
             warmed = self._warmed
-            cache_len = len(self._insight_cache)
+            cache_len = len(self._memo)
         requests = self._m_requests.value - baseline["requests"]
         statements = self._m_statements.value - baseline["statements"]
         batches = self._m_batches.value - baseline["batches"]
@@ -491,6 +682,62 @@ class FacilitatorService:
                 "memo_misses": self._m_memo_misses.value,
             }
 
+    # -- hot reload ---------------------------------------------------------- #
+
+    @property
+    def generation(self) -> int:
+        """Artifact generation being served (starts at 1, +1 per reload)."""
+        with self._condition:
+            return self._generation
+
+    def reload(self, path) -> dict:
+        """Swap in a new artifact with zero dropped requests.
+
+        The artifact is fully validated before anything changes: it must
+        load (``ArtifactFormatError`` fast-fail — wrong file, stale
+        version, truncated zip) and answer a probe statement. Only then
+        are the facilitator, the insight memo, and the generation counter
+        swapped atomically with respect to the batching worker (which
+        snapshots all three under the lock at the start of each batch), so
+        every response is computed entirely at one generation.
+
+        Returns ``{"generation": int, "artifact": identity-dict}``.
+
+        Raises:
+            ReloadInProgressError: another reload is mid-flight.
+            ArtifactFormatError / OSError: the artifact is unusable (the
+                running service keeps serving the old generation).
+        """
+        if not self._reload_lock.acquire(blocking=False):
+            raise ReloadInProgressError("a reload is already in progress")
+        try:
+            try:
+                candidate = QueryFacilitator.load(path)
+                candidate.insights_batch([_PROBE_STATEMENT])
+            except Exception:
+                self._count_reload("rejected")
+                raise
+            with self._condition:
+                self.facilitator = candidate
+                self._memo = InsightMemo(self.cache_size)
+                self._generation += 1
+                generation = self._generation
+            self._count_reload("ok")
+            return {
+                "generation": generation,
+                "artifact": candidate.artifact_identity,
+            }
+        finally:
+            self._reload_lock.release()
+
+    @staticmethod
+    def _count_reload(outcome: str) -> None:
+        get_registry().counter(
+            "repro_reloads_total",
+            "Artifact hot-reload attempts by outcome",
+            outcome=outcome,
+        ).inc()
+
     # -- tracing ------------------------------------------------------------- #
 
     def request_trace(self) -> None:
@@ -519,7 +766,9 @@ class FacilitatorService:
         max_wait_s = self.max_wait_ms / 1000.0
         with self._condition:
             while not self._queue and self._running:
-                self._condition.wait()
+                # bounded slice, not an unbounded wait: shutdown (or a
+                # lost notify) can never leave the worker parked forever
+                self._condition.wait(_WAIT_SLICE_S)
             if not self._queue:
                 return []
             batch = [self._queue.popleft()]
@@ -537,47 +786,31 @@ class FacilitatorService:
                 self._condition.wait(remaining)
             return batch
 
-    def _answer_statements(self, statements: list[str]) -> list[QueryInsights]:
+    def _answer_statements(self, statements: list[str]) -> list:
         """One micro-batch through the insight memo + the facilitator.
 
         Statements already served stay out of the model entirely; the
         distinct misses go through one ``insights_batch`` call. Every
-        returned object is a fresh copy so callers own their results.
+        returned object is a fresh copy so callers own their results. A
+        statement whose analysis raised comes back as the exception
+        itself — co-batched statements are unaffected (the memo retries
+        misses individually when the batch call fails).
         """
-        if not self.cache_size:
-            return self.facilitator.insights_batch(statements)
-        cache = self._insight_cache
-        hits = misses = 0
-        resolved: dict[str, QueryInsights] = {}
-        miss_order: dict[str, None] = {}
-        with span("memo", statements=len(statements)):
-            for statement in statements:
-                if statement in resolved:
-                    hits += 1
-                elif statement in cache:
-                    cache.move_to_end(statement)
-                    resolved[statement] = cache[statement]
-                    hits += 1
-                elif statement not in miss_order:
-                    miss_order[statement] = None
-                    misses += 1
-                else:
-                    hits += 1  # in-batch repeat of a miss: computed once
-        if miss_order:
-            computed = self.facilitator.insights_batch(list(miss_order))
-            for insight in computed:
-                resolved[insight.statement] = insight
-                cache[insight.statement] = insight
-            while len(cache) > self.cache_size:
-                cache.popitem(last=False)
+        with self._condition:
+            # snapshot both under the lock: reload() swaps them together,
+            # so a batch never mixes an old memo with a new facilitator
+            facilitator = self.facilitator
+            memo = self._memo
+        results, hits, misses = memo.resolve(
+            statements, facilitator.insights_batch
+        )
         if hits:
             self._m_memo_hits.inc(hits)
         if misses:
             self._m_memo_misses.inc(misses)
-        with span("copy"):
-            return [resolved[s].copy() for s in statements]
+        return results
 
-    def _execute_batch(self, statements: list[str]) -> list[QueryInsights]:
+    def _execute_batch(self, statements: list[str]) -> list:
         """Run one micro-batch, tracing it when a trace was requested."""
         if not self._trace_pending:
             return self._answer_statements(statements)
@@ -593,50 +826,95 @@ class FacilitatorService:
                 **breakdown,
             }
 
+    def _fail_requests(
+        self, requests: Iterable[PendingRequest], error: BaseException
+    ) -> None:
+        """Deliver ``error`` to every not-yet-finished request."""
+        failed = 0
+        for request in requests:
+            if not request.done():
+                request._finish(None, error)
+                failed += 1
+        if failed:
+            self._m_request_errors.inc(failed)
+        with self._done_cond:
+            self._done_cond.notify_all()
+
     def _run(self) -> None:
-        while True:
-            batch = self._collect_batch()
-            if not batch:
-                return
-            statements: list[str] = []
-            for request in batch:
-                statements.extend(request.statements)
-            memo_hits_before = self._m_memo_hits.value
-            batch_started = time.perf_counter()
-            try:
-                results = self._execute_batch(statements)
-            except BaseException as exc:  # delivered to every waiter
-                for request in batch:
-                    request._finish(None, exc)
-                with self._done_cond:
-                    self._done_cond.notify_all()
-                continue
-            batch_seconds = time.perf_counter() - batch_started
-            offset = 0
-            for request in batch:
-                n = len(request.statements)
-                request._finish(results[offset : offset + n])
-                offset += n
-            with self._done_cond:
-                self._done_cond.notify_all()
-            self._m_requests.inc(len(batch))
-            self._m_statements.inc(len(statements))
-            self._m_batches.inc()
-            self._m_batch_size.observe(len(statements))
+        batch: list[PendingRequest] = []
+        try:
+            while True:
+                batch = self._collect_batch()
+                if not batch:
+                    return
+                self._run_one_batch(batch)
+                batch = []
+        except BaseException as exc:
+            # the worker loop itself failed (not a per-batch model error,
+            # which _run_one_batch isolates) — fail everything in flight
+            # and queued so no result() call can hang on a dead worker
             with self._condition:
-                self._max_batch_seen = max(self._max_batch_seen, len(statements))
-                for request in batch:
-                    if request.latency_ms is not None:
-                        self._latencies.append(request.latency_ms)
+                self._running = False
+                queued = list(self._queue)
+                self._queue.clear()
+            error = ServiceUnavailableError(
+                f"service worker died: {type(exc).__name__}: {exc}"
+            )
+            self._fail_requests(batch + queued, error)
+
+    def _run_one_batch(self, batch: list[PendingRequest]) -> None:
+        statements: list[str] = []
+        for request in batch:
+            statements.extend(request.statements)
+        generation = self.generation
+        memo_hits_before = self._m_memo_hits.value
+        batch_started = time.perf_counter()
+        try:
+            results = self._execute_batch(statements)
+        except Exception as exc:  # memo isolation failed wholesale
+            # Exception-level wholesale failures poison only this batch;
+            # anything harsher (SystemExit, KeyboardInterrupt) kills the
+            # worker loop so _run can declare the service down.
+            self._fail_requests(batch, exc)
+            return
+        batch_seconds = time.perf_counter() - batch_started
+        errored = 0
+        offset = 0
+        for request in batch:
+            n = len(request.statements)
+            slice_ = results[offset : offset + n]
+            offset += n
+            request.generation = generation
+            error = next(
+                (r for r in slice_ if isinstance(r, BaseException)), None
+            )
+            if error is not None:
+                errored += 1
+                request._finish(None, error)
+            else:
+                request._finish(slice_)
+        with self._done_cond:
+            self._done_cond.notify_all()
+        self._m_requests.inc(len(batch))
+        self._m_statements.inc(len(statements))
+        self._m_batches.inc()
+        if errored:
+            self._m_request_errors.inc(errored)
+        self._m_batch_size.observe(len(statements))
+        with self._condition:
+            self._max_batch_seen = max(self._max_batch_seen, len(statements))
             for request in batch:
                 if request.latency_ms is not None:
-                    self._m_latency.observe(request.latency_ms / 1000.0)
-            # one structured access record per batch when REPRO_OBS_LOG is
-            # set — the service-side replacement for an HTTP access log
-            obs_events.emit(
-                "serve.batch",
-                batch_size=len(statements),
-                requests=len(batch),
-                latency_ms=round(batch_seconds * 1000.0, 3),
-                memo_hits=self._m_memo_hits.value - memo_hits_before,
-            )
+                    self._latencies.append(request.latency_ms)
+        for request in batch:
+            if request.latency_ms is not None:
+                self._m_latency.observe(request.latency_ms / 1000.0)
+        # one structured access record per batch when REPRO_OBS_LOG is
+        # set — the service-side replacement for an HTTP access log
+        obs_events.emit(
+            "serve.batch",
+            batch_size=len(statements),
+            requests=len(batch),
+            latency_ms=round(batch_seconds * 1000.0, 3),
+            memo_hits=self._m_memo_hits.value - memo_hits_before,
+        )

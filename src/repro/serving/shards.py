@@ -1,0 +1,1373 @@
+"""Sharded multi-process serving tier: N facilitator workers, one queue.
+
+One :class:`~repro.serving.service.FacilitatorService` process tops out at
+one core's worth of model time and dies with its process. This module is
+the next order of magnitude: a :class:`ShardedFacilitatorService` runs
+``n_workers`` facilitator worker *processes* behind the same
+micro-batching front end, sharded by statement digest so each worker's
+insight memo and pipeline cache stay hot on its slice of the statement
+space, and supervised so the tier keeps answering through worker crashes,
+hangs, overload, and artifact swaps:
+
+- **Scatter/gather micro-batching** — concurrent requests coalesce
+  exactly as in the single-process service; each micro-batch is
+  deduplicated, answered from the front-end insight memo where possible,
+  and the misses are partitioned by ``blake2b(statement) % n_workers``
+  into per-shard sub-batches that execute in parallel.
+- **Supervision** — a :class:`~repro.serving.supervisor.Supervisor`
+  health-checks every worker (process liveness, heartbeat, and a
+  per-batch deadline that catches *hung* workers, not just dead ones) and
+  restarts failures with exponential backoff + jitter. A dead shard's
+  in-flight sub-batches are re-dispatched to surviving workers — marked
+  ``degraded`` because they ran off their home slice — so no admitted
+  request is lost.
+- **Admission control** — a bounded queue: past ``max_pending``
+  outstanding requests, :meth:`submit` sheds with
+  :class:`~repro.serving.service.ServiceOverloadedError` (HTTP 503 +
+  ``Retry-After``) instead of queueing unboundedly. Per-request deadlines
+  propagate into workers; expired requests fail with ``TimeoutError``
+  rather than waiting forever.
+- **Hot reload** — :meth:`reload` validates the new artifact in a staging
+  process (load + probe prediction; ``ArtifactFormatError`` fast-fail),
+  then quiesces dispatch, drains in-flight batches, swaps every worker,
+  and bumps the generation counter — so every response is computed
+  entirely at one generation and a bad artifact never reaches a live
+  shard. ``repro serve --watch`` drives this from artifact-file changes.
+
+Fault injection (:mod:`repro.serving.faults`) threads through the worker
+loop and the staging validator, which is how the chaos suite and
+``benchmarks/bench_scale.py`` produce crashes, hangs, slow batches, and
+corrupt artifacts on demand.
+
+Exported metrics (beyond the ``repro_service_*`` family the front end
+shares with the single-process service): ``repro_shard_restarts_total``,
+``repro_requests_shed_total``, ``repro_degraded_responses_total``,
+``repro_reloads_total{outcome=}``, ``repro_shard_workers_up``,
+``repro_shard_generation``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import multiprocessing.connection
+import os
+import queue as queue_mod
+import threading
+import time
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import asdict, dataclass, field
+
+from repro.core.facilitator import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    QueryFacilitator,
+    QueryInsights,
+    _limit_worker_blas_threads,
+)
+from repro.models import serialize
+from repro.models.serialize import ArtifactFormatError
+from repro.obs.histograms import LATENCY_BUCKETS_S, SIZE_BUCKETS, Histogram
+from repro.obs.registry import Counter, get_registry
+from repro.serving.faults import FaultInjector, FaultPlan
+from repro.serving.service import (
+    InsightMemo,
+    PendingRequest,
+    ReloadInProgressError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+    _PROBE_STATEMENT,
+    _WAIT_SLICE_S,
+    _percentile,
+)
+from repro.serving.supervisor import RestartBackoff, Supervisor, WorkerProbe
+
+__all__ = ["ShardedFacilitatorService", "ShardedServiceStats", "shard_of"]
+
+#: Re-dispatches one sub-batch may survive before its statements fail.
+_MAX_DISPATCHES = 5
+
+#: Worker boot time allowed before the supervisor starts the hung clock.
+_BOOT_GRACE_S = 60.0
+
+#: Heartbeat staleness (on a ready worker) treated as a hang.
+_HEARTBEAT_TIMEOUT_S = 30.0
+
+
+def shard_of(statement: str, n_shards: int) -> int:
+    """Stable shard id of a statement (blake2b digest, mod ``n_shards``)."""
+    digest = hashlib.blake2b(statement.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+@dataclass(frozen=True)
+class ShardedServiceStats:
+    """Snapshot of the sharded tier's serving counters (``/stats`` wire)."""
+
+    requests: int
+    statements: int
+    batches: int
+    shed: int
+    degraded: int
+    request_errors: int
+    timeouts: int
+    restarts: int
+    generation: int
+    workers: list = field(default_factory=list)
+    outstanding: int = 0
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    insight_cache: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class _Part:
+    """One shard-slice of one micro-batch (distinct statements only)."""
+
+    __slots__ = (
+        "batch_id",
+        "part_id",
+        "home",
+        "statements",
+        "generation",
+        "deadline",
+        "worker_id",
+        "dispatches",
+        "degraded",
+    )
+
+    def __init__(self, batch_id, part_id, home, statements, generation, deadline):
+        self.batch_id = batch_id
+        self.part_id = part_id
+        self.home = home
+        self.statements = statements
+        self.generation = generation
+        self.deadline = deadline
+        self.worker_id: int | None = None
+        self.dispatches = 0
+        self.degraded = False
+
+
+class _Batch:
+    """One dispatched micro-batch awaiting its parts."""
+
+    __slots__ = ("batch_id", "requests", "outcomes", "degraded_stmts", "pending")
+
+    def __init__(self, batch_id, requests):
+        self.batch_id = batch_id
+        self.requests = requests
+        # statement -> QueryInsights | Exception (shared across requests)
+        self.outcomes: dict[str, object] = {}
+        self.degraded_stmts: set[str] = set()
+        self.pending = 0
+
+
+class _WorkerHandle:
+    """Parent-side view of one shard worker process."""
+
+    __slots__ = (
+        "wid",
+        "incarnation",
+        "process",
+        "request_q",
+        "conn",
+        "heartbeat",
+        "busy_since",
+        "generation",
+        "up",
+        "spawned_at",
+        "restarts",
+    )
+
+    def __init__(self, wid):
+        self.wid = wid
+        self.incarnation = -1
+        self.process = None
+        self.request_q = None
+        # per-worker result pipe: a SIGKILL mid-send corrupts only this
+        # worker's own pipe, never a queue shared with survivors
+        self.conn = None
+        self.heartbeat = None
+        self.busy_since = None
+        self.generation = 0
+        self.up = False
+        self.spawned_at = 0.0
+        self.restarts = 0
+
+
+# --------------------------------------------------------------------------- #
+# worker process
+# --------------------------------------------------------------------------- #
+
+
+def _prime_pipeline(warm_path: str) -> None:
+    """Warm the worker's sqlang pipeline cache from a workload file."""
+    from repro.sqlang.pipeline import get_pipeline
+    from repro.workloads.io import iter_workload
+
+    pipeline = get_pipeline()
+    capacity = pipeline.stats.max_size
+    primed = 0
+    chunk: list[str] = []
+    for record in iter_workload(warm_path):
+        chunk.append(record.statement)
+        if len(chunk) >= 512:
+            pipeline.analyze_batch(chunk)
+            primed += len(chunk)
+            chunk.clear()
+            if primed >= capacity:
+                return
+    if chunk:
+        pipeline.analyze_batch(chunk)
+
+
+def _worker_main(
+    wid: int,
+    incarnation: int,
+    cfg: dict,
+    request_q,
+    conn,
+    heartbeat,
+    busy_since,
+) -> None:
+    """Shard worker loop: load artifact, answer sub-batches, obey control
+    messages. Runs in its own process; all replies go through this
+    worker's own result pipe (never a queue shared with other workers, so
+    a SIGKILL mid-send cannot wedge the survivors)."""
+    _limit_worker_blas_threads(cfg.get("blas_threads", 1))
+    plan = (
+        FaultPlan.from_json(cfg["fault_plan"]) if cfg.get("fault_plan") else None
+    )
+    faults = FaultInjector(plan, wid, incarnation)
+    generation = cfg["generation"]
+    try:
+        facilitator = QueryFacilitator.load(cfg["artifact_path"])
+        if cfg.get("warm_path"):
+            _prime_pipeline(cfg["warm_path"])
+    except Exception as exc:
+        conn.send(
+            ("boot_err", wid, incarnation, f"{type(exc).__name__}: {exc}")
+        )
+        return
+    memo = InsightMemo(cfg.get("cache_size", 8192))
+    heartbeat.value = time.monotonic()
+    conn.send(("ready", wid, incarnation, generation, os.getpid()))
+    while True:
+        heartbeat.value = time.monotonic()
+        try:
+            msg = request_q.get(timeout=0.5)
+        except queue_mod.Empty:
+            continue
+        kind = msg[0]
+        if kind == "stop":
+            return
+        if kind == "reload":
+            _, path, new_generation = msg
+            try:
+                faults.on_reload(path)
+                candidate = QueryFacilitator.load(path)
+                candidate.insights_batch([_PROBE_STATEMENT])
+            except Exception as exc:
+                conn.send(
+                    (
+                        "reload_err",
+                        wid,
+                        new_generation,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            facilitator = candidate
+            memo.clear()
+            generation = new_generation
+            conn.send(("reload_ok", wid, new_generation))
+            continue
+        if kind != "batch":
+            continue
+        _, batch_id, part_id, part_generation, statements, deadline = msg
+        busy_since.value = time.monotonic()
+        try:
+            faults.on_batch()
+            if deadline is not None and time.monotonic() > deadline:
+                conn.send(("expired", wid, batch_id, part_id))
+                continue
+            results, _, _ = memo.resolve(
+                statements, facilitator.insights_batch
+            )
+            payload = [
+                r
+                if isinstance(r, QueryInsights)
+                else ("__error__", f"{type(r).__name__}: {r}")
+                for r in results
+            ]
+            conn.send(
+                ("result", wid, batch_id, part_id, generation, payload)
+            )
+        finally:
+            busy_since.value = 0.0
+
+
+def _staging_validate(path: str, fault_plan_json: str | None, conn) -> None:
+    """Staged artifact validation (runs in its own short-lived process).
+
+    Loads the artifact and answers a probe statement; a corrupt, foreign,
+    or stale artifact fails here — before any live shard is touched.
+    """
+    _limit_worker_blas_threads(1)
+    plan = FaultPlan.from_json(fault_plan_json) if fault_plan_json else None
+    faults = FaultInjector(plan, FaultInjector.STAGING)
+    try:
+        faults.on_reload(path)
+        facilitator = QueryFacilitator.load(path)
+        facilitator.insights_batch([_PROBE_STATEMENT])
+        conn.send(("ok", facilitator.artifact_identity))
+    except Exception as exc:
+        conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# the sharded service
+# --------------------------------------------------------------------------- #
+
+
+class ShardedFacilitatorService:
+    """Serve one artifact from ``n_workers`` supervised worker processes.
+
+    The public surface mirrors :class:`FacilitatorService` — ``submit`` /
+    ``insights`` / ``insights_many`` / ``stats`` / context manager — so
+    the HTTP layer and CLI drive either interchangeably; responses are
+    bit-identical to single-process serving because every worker loads
+    the same artifact.
+
+    Args:
+        artifact_path: A facilitator artifact saved by ``repro train`` /
+            :meth:`QueryFacilitator.save`; every worker loads it.
+        n_workers: Shard worker processes.
+        max_batch / max_wait_ms / cache_size / window: As in
+            :class:`FacilitatorService` (``cache_size`` bounds both the
+            front-end memo and each worker's memo).
+        max_pending: Admission high-water mark — outstanding requests
+            beyond this are shed with :class:`ServiceOverloadedError`.
+        default_deadline_s: Deadline applied to requests that don't carry
+            their own (None = unbounded).
+        batch_deadline_s: How long one sub-batch may execute inside a
+            worker before the supervisor declares the worker hung and
+            replaces it.
+        backoff: Restart backoff policy (default
+            :class:`RestartBackoff()`).
+        fault_plan: A :class:`FaultPlan` for chaos testing; falls back to
+            the ``REPRO_FAULT_PLAN`` environment variable; empty = no-op.
+        warm_path: Workload file each worker primes its pipeline cache
+            from at boot.
+        mp_context: ``multiprocessing`` start-method context; default
+            ``forkserver`` (falls back to ``spawn``) — never bare ``fork``,
+            which inherits this process's threads mid-flight.
+    """
+
+    def __init__(
+        self,
+        artifact_path,
+        n_workers: int = 2,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 8192,
+        max_pending: int = 1024,
+        default_deadline_s: float | None = None,
+        batch_deadline_s: float = 30.0,
+        backoff: RestartBackoff | None = None,
+        fault_plan: FaultPlan | None = None,
+        warm_path=None,
+        window: int = 4096,
+        mp_context: str | None = None,
+    ):
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_pending <= 0:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        self.artifact_path = str(artifact_path)
+        # fail fast on a bad artifact before any process spawns; also the
+        # source of /healthz identity without loading payloads here
+        manifest = serialize.read_manifest(
+            self.artifact_path, ARTIFACT_FORMAT, ARTIFACT_VERSION
+        )
+        self.model_name = manifest.get("model_name", "unknown")
+        self.problem_names = [
+            entry["problem"].lower() for entry in manifest.get("heads", [])
+        ]
+        self._artifact_identity = {
+            "format": manifest.get("format"),
+            "version": manifest.get("version"),
+            "path": self.artifact_path,
+            "model_name": self.model_name,
+            "models": {
+                entry["problem"].lower(): entry.get("model_class")
+                for entry in manifest.get("heads", [])
+            },
+        }
+        self.n_workers = n_workers
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.cache_size = cache_size
+        self.max_pending = max_pending
+        self.default_deadline_s = default_deadline_s
+        self.batch_deadline_s = batch_deadline_s
+        self.warm_path = str(warm_path) if warm_path else None
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
+        if mp_context is None:
+            try:
+                self._ctx = mp.get_context("forkserver")
+            except ValueError:  # pragma: no cover - platform without it
+                self._ctx = mp.get_context("spawn")
+        else:
+            self._ctx = mp.get_context(mp_context)
+
+        self._state = threading.Condition()
+        self._done_cond = threading.Condition()
+        self._running = False
+        self._queue: deque[PendingRequest] = deque()
+        self._outstanding = 0
+        self._paused = False
+        self._generation = 1
+        self._batch_seq = 0
+        self._batches: dict[int, _Batch] = {}
+        self._inflight: dict[tuple[int, int], _Part] = {}
+        self._unrouted: deque[_Part] = deque()
+        self._handles = [_WorkerHandle(w) for w in range(n_workers)]
+        self._front_memo = InsightMemo(cache_size)
+        self._dispatcher: threading.Thread | None = None
+        self._collector: threading.Thread | None = None
+        self._reload_lock = threading.Lock()
+        self.supervisor = Supervisor(
+            _Fleet(self),
+            batch_deadline_s=batch_deadline_s,
+            backoff=backoff,
+        )
+        # front-end metrics: same repro_service_* family as the
+        # single-process service (newest service owns the series), plus
+        # the shard-tier counters
+        self._m_requests = Counter()
+        self._m_statements = Counter()
+        self._m_batches = Counter()
+        self._m_memo_hits = Counter()
+        self._m_memo_misses = Counter()
+        self._m_request_errors = Counter()
+        self._m_shed = Counter()
+        self._m_degraded = Counter()
+        self._m_restarts = Counter()
+        self._m_timeouts = Counter()
+        self._m_batch_size = Histogram(SIZE_BUCKETS)
+        self._m_latency = Histogram(LATENCY_BUCKETS_S)
+        self._latencies: deque[float] = deque(maxlen=window)
+
+    # -- lifecycle ----------------------------------------------------------- #
+
+    def start(self, ready_timeout_s: float = 120.0) -> "ShardedFacilitatorService":
+        """Spawn workers and block until at least one shard is serving."""
+        with self._state:
+            if self._running:
+                return self
+            self._running = True
+        self._register_metrics()
+        for handle in self._handles:
+            self._spawn_locked(handle)
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="shard-collector", daemon=True
+        )
+        self._collector.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="shard-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        self.supervisor.start()
+        # wait (bounded) for the full fleet so early requests are not
+        # needlessly degraded; one live shard is enough to start serving
+        deadline = time.monotonic() + ready_timeout_s
+        with self._state:
+            while not all(h.up for h in self._handles):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._state.wait(min(remaining, _WAIT_SLICE_S))
+        if not any(h.up for h in self._handles):
+            self.stop()
+            raise ServiceUnavailableError(
+                f"no shard worker became ready within {ready_timeout_s}s"
+            )
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting work, fail what cannot finish, tear down workers."""
+        with self._state:
+            if not self._running:
+                return
+            self._running = False
+            self._state.notify_all()
+        self.supervisor.stop()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout)
+            self._dispatcher = None
+        # give in-flight batches a bounded drain, then fail the remainder
+        deadline = time.monotonic() + timeout
+        with self._state:
+            while self._batches and time.monotonic() < deadline:
+                self._state.wait(_WAIT_SLICE_S)
+            leftovers = []
+            for batch in self._batches.values():
+                leftovers.extend(batch.requests)
+            self._batches.clear()
+            self._inflight.clear()
+            self._unrouted.clear()
+            queued = list(self._queue)
+            self._queue.clear()
+        error = ServiceUnavailableError("service stopped")
+        for request in leftovers + queued:
+            self._finish_request(request, error=error)
+        for handle in self._handles:
+            if handle.request_q is not None:
+                try:
+                    handle.request_q.put(("stop",))
+                except Exception:
+                    pass
+        for handle in self._handles:
+            process = handle.process
+            if process is not None:
+                process.join(2.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(2.0)
+            handle.up = False
+        if self._collector is not None:
+            self._collector.join(timeout)
+            self._collector = None
+        for handle in self._handles:
+            if handle.request_q is not None:
+                handle.request_q.cancel_join_thread()
+                handle.request_q.close()
+                handle.request_q = None
+            if handle.conn is not None:
+                handle.conn.close()
+                handle.conn = None
+
+    def __enter__(self) -> "ShardedFacilitatorService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _register_metrics(self) -> None:
+        registry = get_registry()
+        for name, metric, help_text in (
+            ("repro_service_requests_total", self._m_requests,
+             "Requests answered (one submit/insights call each)"),
+            ("repro_service_statements_total", self._m_statements,
+             "Statements predicted across all requests"),
+            ("repro_service_batches_total", self._m_batches,
+             "Micro-batches executed"),
+            ("repro_service_insight_memo_hits_total", self._m_memo_hits,
+             "Statements answered from the front-end insight memo"),
+            ("repro_service_insight_memo_misses_total", self._m_memo_misses,
+             "Distinct statements dispatched to shard workers"),
+            ("repro_service_request_errors_total", self._m_request_errors,
+             "Requests that finished with an error"),
+            ("repro_service_batch_size", self._m_batch_size,
+             "Statements per dispatched micro-batch"),
+            ("repro_service_request_latency_seconds", self._m_latency,
+             "Request latency, enqueue to result ready"),
+            ("repro_requests_shed_total", self._m_shed,
+             "Requests shed by admission control (HTTP 503)"),
+            ("repro_degraded_responses_total", self._m_degraded,
+             "Responses served degraded (off-shard or fallback memo)"),
+            ("repro_shard_restarts_total", self._m_restarts,
+             "Shard worker processes restarted by the supervisor"),
+            ("repro_request_timeouts_total", self._m_timeouts,
+             "Requests that exceeded their deadline"),
+        ):
+            registry.attach(name, metric, help_text)
+        registry.register_callback(
+            "repro_service_queue_depth",
+            lambda: float(len(self._queue)),
+            help="Requests waiting in the micro-batching queue",
+        )
+        registry.register_callback(
+            "repro_service_insight_memo_size",
+            lambda: float(len(self._front_memo)),
+            help="Distinct statements held by the front-end insight memo",
+        )
+        registry.register_callback(
+            "repro_shard_workers_up",
+            lambda: float(sum(1 for h in self._handles if h.up)),
+            help="Shard workers currently serving",
+        )
+        registry.register_callback(
+            "repro_shard_generation",
+            lambda: float(self._generation),
+            help="Artifact generation being served",
+        )
+        registry.register_callback(
+            "repro_shard_outstanding_requests",
+            lambda: float(self._outstanding),
+            help="Admitted requests not yet finished",
+        )
+
+    # -- worker process management ------------------------------------------- #
+
+    def _spawn_locked(self, handle: _WorkerHandle) -> None:
+        """Start (or restart) one worker process. Not under ``_state``
+        (process spawn is slow); handle fields are only written here and
+        read elsewhere, with ``up`` as the synchronization point."""
+        handle.incarnation += 1
+        handle.up = False
+        handle.generation = 0
+        handle.request_q = self._ctx.Queue()
+        if handle.conn is not None:
+            handle.conn.close()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        handle.conn = recv_conn
+        handle.heartbeat = self._ctx.Value("d", 0.0)
+        handle.busy_since = self._ctx.Value("d", 0.0)
+        handle.spawned_at = time.monotonic()
+        cfg = {
+            "artifact_path": self.artifact_path,
+            "cache_size": self.cache_size,
+            "warm_path": self.warm_path,
+            "generation": self._generation,
+            "fault_plan": self.fault_plan.to_json() if self.fault_plan else None,
+            "blas_threads": max(1, (os.cpu_count() or 2) // self.n_workers),
+        }
+        handle.process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                handle.wid,
+                handle.incarnation,
+                cfg,
+                handle.request_q,
+                send_conn,
+                handle.heartbeat,
+                handle.busy_since,
+            ),
+            name=f"facilitator-shard-{handle.wid}",
+            daemon=True,
+        )
+        handle.process.start()
+        # the child owns its write end now; without this close the parent
+        # would never see EOF after a worker death
+        send_conn.close()
+
+    def _on_worker_down(self, wid: int, reason: str) -> None:
+        """Supervisor callback: mark the shard down and re-route its work."""
+        with self._state:
+            handle = self._handles[wid]
+            handle.up = False
+            handle.restarts += 1
+            self._m_restarts.inc()
+            orphans = [
+                key
+                for key, part in self._inflight.items()
+                if part.worker_id == wid
+            ]
+            for key in orphans:
+                part = self._inflight.pop(key)
+                part.degraded = True
+                self._route_part_locked(part)
+            self._state.notify_all()
+
+    def _terminate_worker(self, wid: int, reason: str) -> None:
+        handle = self._handles[wid]
+        process = handle.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(2.0)
+
+    def _probe_worker(self, wid: int) -> WorkerProbe:
+        handle = self._handles[wid]
+        process = handle.process
+        if process is None or not process.is_alive():
+            return WorkerProbe(alive=False)
+        now = time.monotonic()
+        busy_candidates = []
+        if not handle.up:
+            boot_s = now - handle.spawned_at
+            if boot_s > _BOOT_GRACE_S:
+                busy_candidates.append(boot_s - _BOOT_GRACE_S)
+        else:
+            busy = handle.busy_since.value
+            if busy > 0.0:
+                busy_candidates.append(now - busy)
+            beat = handle.heartbeat.value
+            if beat > 0.0 and now - beat > _HEARTBEAT_TIMEOUT_S:
+                busy_candidates.append(now - beat)
+        busy_s = max(busy_candidates) if busy_candidates else None
+        return WorkerProbe(alive=True, busy_s=busy_s)
+
+    def _respawn_worker(self, wid: int) -> None:
+        handle = self._handles[wid]
+        process = handle.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(2.0)
+        if not self._running:
+            return
+        self._spawn_locked(handle)
+
+    # -- request path -------------------------------------------------------- #
+
+    def submit(
+        self,
+        statements: str | Sequence[str],
+        deadline_s: float | None = None,
+    ) -> PendingRequest:
+        """Admit one request (or shed it); ``result()`` blocks until done."""
+        if isinstance(statements, str):
+            statements = [statements]
+        deadline_s = (
+            deadline_s if deadline_s is not None else self.default_deadline_s
+        )
+        deadline = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
+        request = PendingRequest(
+            list(statements), self._done_cond, deadline=deadline
+        )
+        with self._state:
+            if not self._running:
+                raise ServiceUnavailableError(
+                    "ShardedFacilitatorService is not running "
+                    "(use `with service:` or call start())"
+                )
+            if self._outstanding >= self.max_pending:
+                self._m_shed.inc()
+                raise ServiceOverloadedError(
+                    f"admission queue is full ({self._outstanding} outstanding "
+                    f">= max_pending={self.max_pending}); retry shortly",
+                    retry_after_s=max(0.1, self.max_wait_ms / 1000.0 * 4),
+                )
+            self._outstanding += 1
+            was_empty = not self._queue
+            self._queue.append(request)
+            if was_empty:
+                self._state.notify_all()
+        return request
+
+    def insights(
+        self, statement: str, timeout: float | None = None
+    ) -> QueryInsights:
+        return self.submit(statement).result(timeout)[0]
+
+    def insights_many(
+        self, statements: Sequence[str], timeout: float | None = None
+    ) -> list[QueryInsights]:
+        return self.submit(list(statements)).result(timeout)
+
+    def _finish_request(
+        self,
+        request: PendingRequest,
+        results=None,
+        error: BaseException | None = None,
+        degraded: bool = False,
+        generation: int | None = None,
+    ) -> None:
+        """Complete one request exactly once and record its telemetry."""
+        with self._done_cond:
+            if request.done():
+                return
+            request.degraded = degraded
+            request.generation = generation
+            request._finish(results, error)
+            self._done_cond.notify_all()
+        with self._state:
+            self._outstanding -= 1
+        self._m_requests.inc()
+        if error is not None:
+            self._m_request_errors.inc()
+            if isinstance(error, TimeoutError):
+                self._m_timeouts.inc()
+        if degraded:
+            self._m_degraded.inc()
+        if request.latency_ms is not None:
+            self._latencies.append(request.latency_ms)
+            self._m_latency.observe(request.latency_ms / 1000.0)
+
+    # -- dispatcher ----------------------------------------------------------- #
+
+    def _dispatch_loop(self) -> None:
+        try:
+            while True:
+                batch_requests = self._collect_batch()
+                if not batch_requests:
+                    return
+                self._dispatch_batch(batch_requests)
+        except BaseException as exc:
+            self._die(exc)
+
+    def _collect_batch(self) -> list[PendingRequest]:
+        """Gather one micro-batch (same coalescing as the single service)."""
+        max_wait_s = self.max_wait_ms / 1000.0
+        with self._state:
+            while self._running and (self._paused or not self._queue):
+                self._state.wait(_WAIT_SLICE_S)
+            if not self._running and not self._queue:
+                return []
+            batch = [self._queue.popleft()]
+            size = len(batch[0].statements)
+            deadline = time.monotonic() + max_wait_s
+            while size < self.max_batch:
+                if self._paused:
+                    break
+                if self._queue:
+                    request = self._queue.popleft()
+                    batch.append(request)
+                    size += len(request.statements)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._running:
+                    break
+                self._state.wait(min(remaining, _WAIT_SLICE_S))
+            return batch
+
+    def _dispatch_batch(self, batch_requests: list[PendingRequest]) -> None:
+        now = time.monotonic()
+        live: list[PendingRequest] = []
+        for request in batch_requests:
+            if request.deadline is not None and now > request.deadline:
+                self._finish_request(
+                    request,
+                    error=TimeoutError(
+                        "request expired before dispatch (deadline exceeded)"
+                    ),
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
+        statements: list[str] = []
+        for request in live:
+            statements.extend(request.statements)
+        unique: dict[str, None] = {}
+        for statement in statements:
+            unique.setdefault(statement)
+        self._m_statements.inc(len(statements))
+        self._m_batches.inc()
+        self._m_batch_size.observe(len(statements))
+        with self._state:
+            self._batch_seq += 1
+            batch = _Batch(self._batch_seq, live)
+            generation = self._generation
+            hits = 0
+            misses: list[str] = []
+            for statement in unique:
+                cached = self._front_memo.get(statement)
+                if cached is not None:
+                    batch.outcomes[statement] = cached
+                    hits += 1
+                else:
+                    misses.append(statement)
+            if hits:
+                self._m_memo_hits.inc(hits)
+            if misses:
+                self._m_memo_misses.inc(len(misses))
+                by_shard: dict[int, list[str]] = {}
+                for statement in misses:
+                    by_shard.setdefault(
+                        shard_of(statement, self.n_workers), []
+                    ).append(statement)
+                part_deadline = None
+                deadlines = [
+                    r.deadline for r in live if r.deadline is not None
+                ]
+                if len(deadlines) == len(live) and deadlines:
+                    part_deadline = max(deadlines)
+                batch.pending = len(by_shard)
+                self._batches[batch.batch_id] = batch
+                for part_id, (home, stmts) in enumerate(
+                    sorted(by_shard.items())
+                ):
+                    part = _Part(
+                        batch.batch_id,
+                        part_id,
+                        home,
+                        stmts,
+                        generation,
+                        part_deadline,
+                    )
+                    self._route_part_locked(part)
+        if not misses:
+            self._complete_batch(batch, generation)
+
+    def _route_part_locked(self, part: _Part) -> None:
+        """Send one sub-batch to its home shard, or the best survivor.
+
+        Caller holds ``_state``. A part that has exhausted its dispatch
+        budget fails its statements instead of bouncing forever.
+        """
+        if part.dispatches >= _MAX_DISPATCHES:
+            self._part_failed_locked(
+                part,
+                ServiceUnavailableError(
+                    f"sub-batch re-dispatched {part.dispatches} times without "
+                    "a surviving worker answering"
+                ),
+            )
+            return
+        handle = self._handles[part.home]
+        if not handle.up:
+            survivors = [h for h in self._handles if h.up]
+            if not survivors:
+                self._unrouted.append(part)
+                return
+            # stable spread of orphaned slices over the survivors
+            handle = survivors[
+                (part.home + part.dispatches) % len(survivors)
+            ]
+            part.degraded = True
+        part.worker_id = handle.wid
+        part.dispatches += 1
+        self._inflight[(part.batch_id, part.part_id)] = part
+        try:
+            handle.request_q.put(
+                (
+                    "batch",
+                    part.batch_id,
+                    part.part_id,
+                    part.generation,
+                    part.statements,
+                    part.deadline,
+                )
+            )
+        except Exception:
+            # queue torn down mid-route (worker being replaced): retry path
+            self._inflight.pop((part.batch_id, part.part_id), None)
+            handle.up = False
+            self._route_part_locked(part)
+
+    def _part_failed_locked(self, part: _Part, error: BaseException) -> None:
+        batch = self._batches.get(part.batch_id)
+        if batch is None:
+            return
+        for statement in part.statements:
+            batch.outcomes[statement] = error
+            if part.degraded:
+                batch.degraded_stmts.add(statement)
+        batch.pending -= 1
+        if batch.pending <= 0:
+            del self._batches[batch.batch_id]
+            generation = self._generation
+            self._state.notify_all()
+            threading.Thread(
+                target=self._complete_batch,
+                args=(batch, generation),
+                daemon=True,
+            ).start()
+
+    def _complete_batch(self, batch: _Batch, generation: int) -> None:
+        """Assemble per-request responses from the batch's outcomes."""
+        for request in batch.requests:
+            if request.done():
+                continue
+            error = None
+            results = []
+            degraded = False
+            for statement in request.statements:
+                outcome = batch.outcomes.get(statement)
+                if outcome is None:
+                    error = ServiceUnavailableError(
+                        "sub-batch lost without an outcome"
+                    )
+                    break
+                if statement in batch.degraded_stmts:
+                    degraded = True
+                if isinstance(outcome, BaseException):
+                    error = outcome
+                    break
+                results.append(outcome.copy())
+            if error is not None:
+                self._finish_request(
+                    request, error=error, degraded=degraded,
+                    generation=generation,
+                )
+            else:
+                self._finish_request(
+                    request, results=results, degraded=degraded,
+                    generation=generation,
+                )
+
+    def _die(self, exc: BaseException) -> None:
+        """Front-end thread crashed: fail everything so nothing hangs."""
+        with self._state:
+            self._running = False
+            requests = list(self._queue)
+            self._queue.clear()
+            for batch in self._batches.values():
+                requests.extend(batch.requests)
+            self._batches.clear()
+            self._inflight.clear()
+            self._unrouted.clear()
+            self._state.notify_all()
+        error = ServiceUnavailableError(
+            f"serving tier failed: {type(exc).__name__}: {exc}"
+        )
+        for request in requests:
+            self._finish_request(request, error=error)
+
+    # -- collector ------------------------------------------------------------ #
+
+    def _collect_loop(self) -> None:
+        try:
+            while True:
+                with self._state:
+                    if not self._running and not self._batches:
+                        return
+                    conns = {
+                        h.conn: h for h in self._handles if h.conn is not None
+                    }
+                if not conns:
+                    time.sleep(0.05)
+                    self._sweep_deadlines()
+                    continue
+                try:
+                    ready = mp.connection.wait(list(conns), timeout=0.1)
+                except OSError:
+                    ready = []
+                for conn in ready:
+                    try:
+                        msg = conn.recv()
+                    except Exception:
+                        # EOF or a send torn by SIGKILL: this pipe is done
+                        # (possibly desynced) — drop it; the supervisor
+                        # notices the dead process and respawns with a
+                        # fresh pipe
+                        with self._state:
+                            handle = conns[conn]
+                            if handle.conn is conn:
+                                handle.conn = None
+                        conn.close()
+                        continue
+                    try:
+                        self._handle_message(msg)
+                    except Exception:
+                        pass  # a torn message must not kill the collector
+                self._sweep_deadlines()
+        except BaseException as exc:
+            self._die(exc)
+
+    def _handle_message(self, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "result":
+            _, wid, batch_id, part_id, generation, payload = msg
+            self._on_result(wid, batch_id, part_id, generation, payload)
+        elif kind == "ready":
+            _, wid, incarnation, generation, pid = msg
+            with self._state:
+                handle = self._handles[wid]
+                if incarnation != handle.incarnation:
+                    return  # stale ready from a replaced process
+                handle.up = True
+                handle.generation = generation
+                unrouted = list(self._unrouted)
+                self._unrouted.clear()
+                for part in unrouted:
+                    self._route_part_locked(part)
+                self._state.notify_all()
+        elif kind == "expired":
+            _, wid, batch_id, part_id = msg
+            with self._state:
+                part = self._inflight.pop((batch_id, part_id), None)
+                if part is not None:
+                    self._part_failed_locked(
+                        part,
+                        TimeoutError("deadline exceeded inside the worker"),
+                    )
+        elif kind in ("reload_ok", "reload_err", "boot_err"):
+            with self._state:
+                if kind == "reload_ok":
+                    _, wid, generation = msg
+                    self._handles[wid].generation = generation
+                elif kind == "reload_err":
+                    _, wid, generation, message = msg
+                    self._handles[wid].generation = -generation  # failed mark
+                else:
+                    _, wid, incarnation, message = msg
+                    # worker could not load the artifact; the process has
+                    # exited — the supervisor will back off and retry
+                self._state.notify_all()
+
+    def _on_result(
+        self, wid, batch_id, part_id, generation, payload
+    ) -> None:
+        completed = None
+        with self._state:
+            part = self._inflight.pop((batch_id, part_id), None)
+            if part is None:
+                return  # duplicate answer after a re-dispatch: ignore
+            if generation != part.generation:
+                # a worker answered at the wrong generation (cannot happen
+                # while reload quiesces dispatch; guard anyway)
+                self._route_part_locked(part)
+                return
+            batch = self._batches.get(batch_id)
+            if batch is None:
+                return
+            for statement, outcome in zip(part.statements, payload):
+                if (
+                    isinstance(outcome, tuple)
+                    and len(outcome) == 2
+                    and outcome[0] == "__error__"
+                ):
+                    batch.outcomes[statement] = RuntimeError(outcome[1])
+                else:
+                    batch.outcomes[statement] = outcome
+                    self._front_memo.put(statement, outcome)
+                if part.degraded:
+                    batch.degraded_stmts.add(statement)
+            batch.pending -= 1
+            if batch.pending <= 0:
+                del self._batches[batch_id]
+                completed = batch
+                self._state.notify_all()
+        if completed is not None:
+            self._complete_batch(completed, generation)
+
+    def _sweep_deadlines(self) -> None:
+        """Fail requests that blew their deadline (queued or in flight)."""
+        now = time.monotonic()
+        expired: list[PendingRequest] = []
+        with self._state:
+            if self._queue and any(
+                r.deadline is not None and now > r.deadline
+                for r in self._queue
+            ):
+                keep: deque[PendingRequest] = deque()
+                for request in self._queue:
+                    if request.deadline is not None and now > request.deadline:
+                        expired.append(request)
+                    else:
+                        keep.append(request)
+                self._queue = keep
+            for batch in self._batches.values():
+                for request in batch.requests:
+                    if (
+                        not request.done()
+                        and request.deadline is not None
+                        and now > request.deadline
+                    ):
+                        expired.append(request)
+        for request in expired:
+            self._finish_request(
+                request, error=TimeoutError("request deadline exceeded")
+            )
+
+    # -- hot reload ----------------------------------------------------------- #
+
+    @property
+    def generation(self) -> int:
+        with self._state:
+            return self._generation
+
+    def reload(self, path, timeout_s: float = 60.0) -> dict:
+        """Zero-downtime artifact swap across every shard.
+
+        1. **Stage**: load + probe the artifact in a separate staging
+           process; a corrupt/foreign/stale file is rejected here and the
+           tier keeps serving the old generation.
+        2. **Quiesce**: pause dispatch and drain in-flight sub-batches
+           (admission stays open — requests queue, or shed past the
+           high-water mark).
+        3. **Swap**: every worker loads the new artifact and confirms; a
+           worker that fails to swap is killed and respawned directly at
+           the new generation.
+        4. **Resume** at ``generation + 1``.
+
+        Because dispatch is paused across the swap, every response is
+        computed entirely at one generation — no mixed-generation batch
+        can exist.
+        """
+        if not self._reload_lock.acquire(blocking=False):
+            raise ReloadInProgressError("a reload is already in progress")
+        try:
+            path = str(path)
+            outcome, detail = self._stage_validate(path, timeout_s)
+            if outcome != "ok":
+                self._count_reload("rejected")
+                raise ArtifactFormatError(
+                    f"{path}: staged validation rejected artifact: {detail}"
+                )
+            identity = detail
+            with self._state:
+                self._paused = True
+            try:
+                new_generation = self._swap_workers(path, timeout_s)
+            except Exception:
+                self._count_reload("failed")
+                raise
+            finally:
+                with self._state:
+                    self._paused = False
+                    self._state.notify_all()
+            identity["path"] = path
+            with self._state:
+                self._artifact_identity = identity
+            self._count_reload("ok")
+            return {"generation": new_generation, "artifact": identity}
+        finally:
+            self._reload_lock.release()
+
+    def _stage_validate(self, path: str, timeout_s: float):
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        plan_json = self.fault_plan.to_json() if self.fault_plan else None
+        process = self._ctx.Process(
+            target=_staging_validate,
+            args=(path, plan_json, child_conn),
+            name="facilitator-staging",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        try:
+            if parent_conn.poll(timeout_s):
+                status, detail = parent_conn.recv()
+                return ("ok", detail) if status == "ok" else ("err", detail)
+            return ("err", f"staging validation timed out after {timeout_s}s")
+        except EOFError:
+            return ("err", "staging validator died without a verdict")
+        finally:
+            parent_conn.close()
+            process.join(2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(2.0)
+
+    def _swap_workers(self, path: str, timeout_s: float) -> int:
+        deadline = time.monotonic() + timeout_s
+        # drain: no in-flight sub-batches may straddle the generations
+        with self._state:
+            while self._batches:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        "in-flight batches did not drain before the reload "
+                        "deadline"
+                    )
+                self._state.wait(_WAIT_SLICE_S)
+            new_generation = self._generation + 1
+            # restarts from here on boot straight into the new artifact
+            self.artifact_path = path
+            self._generation = new_generation
+            self._front_memo = InsightMemo(self.cache_size)
+            up_workers = [h for h in self._handles if h.up]
+            for handle in up_workers:
+                handle.request_q.put(("reload", path, new_generation))
+        for handle in up_workers:
+            while True:
+                with self._state:
+                    generation = handle.generation
+                    still_up = handle.up
+                if generation == new_generation:
+                    break
+                if (
+                    generation == -new_generation
+                    or not still_up
+                    or time.monotonic() > deadline
+                ):
+                    # failed or wedged mid-swap: replace it; the fresh
+                    # process loads the new artifact at boot
+                    self._terminate_worker(handle.wid, "reload")
+                    break
+                time.sleep(_WAIT_SLICE_S / 5)
+        return new_generation
+
+    @staticmethod
+    def _count_reload(outcome: str) -> None:
+        get_registry().counter(
+            "repro_reloads_total",
+            "Artifact hot-reload attempts by outcome",
+            outcome=outcome,
+        ).inc()
+
+    # -- stats ---------------------------------------------------------------- #
+
+    @property
+    def artifact_identity(self) -> dict:
+        with self._state:
+            return dict(self._artifact_identity)
+
+    @property
+    def workers(self) -> list[dict]:
+        """Per-shard worker status (``/stats`` and chaos assertions)."""
+        with self._state:
+            return [
+                {
+                    "worker": h.wid,
+                    "pid": h.process.pid if h.process is not None else None,
+                    "up": h.up,
+                    "incarnation": h.incarnation,
+                    "generation": h.generation,
+                    "restarts": h.restarts,
+                }
+                for h in self._handles
+            ]
+
+    def worker_pids(self) -> list[int | None]:
+        return [w["pid"] for w in self.workers]
+
+    @property
+    def stats(self) -> ShardedServiceStats:
+        with self._state:
+            latencies = sorted(self._latencies)
+            outstanding = self._outstanding
+            generation = self._generation
+            memo_len = len(self._front_memo)
+        hits = self._m_memo_hits.value
+        misses = self._m_memo_misses.value
+        return ShardedServiceStats(
+            requests=self._m_requests.value,
+            statements=self._m_statements.value,
+            batches=self._m_batches.value,
+            shed=self._m_shed.value,
+            degraded=self._m_degraded.value,
+            request_errors=self._m_request_errors.value,
+            timeouts=self._m_timeouts.value,
+            restarts=self._m_restarts.value,
+            generation=generation,
+            workers=self.workers,
+            outstanding=outstanding,
+            latency_p50_ms=round(_percentile(latencies, 0.50), 3),
+            latency_p99_ms=round(_percentile(latencies, 0.99), 3),
+            insight_cache={
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (
+                    round(hits / (hits + misses), 4) if hits + misses else 0.0
+                ),
+                "size": memo_len,
+                "max_size": self.cache_size,
+            },
+        )
+
+
+class _Fleet:
+    """Adapter giving the :class:`Supervisor` its mechanism hooks."""
+
+    def __init__(self, service: ShardedFacilitatorService):
+        self._service = service
+
+    def worker_ids(self):
+        return range(self._service.n_workers)
+
+    def probe(self, wid: int) -> WorkerProbe:
+        return self._service._probe_worker(wid)
+
+    def terminate(self, wid: int, reason: str) -> None:
+        self._service._terminate_worker(wid, reason)
+
+    def on_down(self, wid: int, reason: str) -> None:
+        self._service._on_worker_down(wid, reason)
+
+    def respawn(self, wid: int) -> None:
+        self._service._respawn_worker(wid)

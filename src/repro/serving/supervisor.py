@@ -1,0 +1,271 @@
+"""Worker supervision: health checks, restart backoff, artifact watching.
+
+The :class:`Supervisor` is deliberately mechanism-free: it decides *when*
+a worker is unhealthy (a dead process, or a batch running past its
+deadline — the hung-worker signal) and *when* a replacement may start
+(exponential backoff with jitter, so a crash-looping shard cannot hot-loop
+the fork path), but every side effect — killing a process, re-routing its
+in-flight work, spawning the replacement — goes through the ``fleet``
+object the sharded service hands it. That split keeps restart timing
+testable with a fake clock and a stub fleet, no processes involved.
+
+:class:`RestartBackoff` implements the delay policy: ``base * 2**attempt``
+capped at ``cap``, multiplied by a seeded random jitter factor in
+``[1, 1+jitter]`` so simultaneous crashes across shards do not restart in
+lockstep. Attempts reset once a worker stays healthy for
+``healthy_reset_s``.
+
+:class:`ArtifactWatcher` is the ``repro serve --watch`` mechanism: it
+polls an artifact path's ``(mtime, size)`` signature and calls
+``service.reload(path)`` when it changes — safe against readers seeing a
+half-written file because :func:`repro.models.serialize.write_artifact`
+publishes atomically via ``os.replace``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "ArtifactWatcher",
+    "RestartBackoff",
+    "Supervisor",
+    "WorkerProbe",
+]
+
+
+class RestartBackoff:
+    """Exponential restart delay with jitter and healthy-streak reset."""
+
+    def __init__(
+        self,
+        base_s: float = 0.2,
+        cap_s: float = 30.0,
+        jitter: float = 0.5,
+        healthy_reset_s: float = 60.0,
+        seed: int | None = None,
+    ):
+        if base_s <= 0:
+            raise ValueError(f"base_s must be positive, got {base_s}")
+        if cap_s < base_s:
+            raise ValueError(f"cap_s must be >= base_s, got {cap_s}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.jitter = jitter
+        self.healthy_reset_s = healthy_reset_s
+        self._rng = random.Random(seed)
+
+    def delay_s(self, attempt: int) -> float:
+        """Delay before restart number ``attempt`` (0-based)."""
+        delay = min(self.cap_s, self.base_s * (2.0 ** max(0, attempt)))
+        return delay * (1.0 + self._rng.random() * self.jitter)
+
+
+@dataclass(frozen=True)
+class WorkerProbe:
+    """One health reading of one worker.
+
+    ``busy_s`` is how long the current batch has been executing (``None``
+    when idle) — the hung-worker signal; heartbeats prove liveness of the
+    worker loop, the busy clock bounds time inside a model call.
+    """
+
+    alive: bool
+    busy_s: float | None = None
+
+
+class Supervisor:
+    """Decide worker health and restart timing; the fleet does the work.
+
+    The ``fleet`` must provide:
+
+    - ``worker_ids() -> iterable[int]`` — shards to supervise;
+    - ``probe(wid) -> WorkerProbe`` — current health reading;
+    - ``terminate(wid, reason) -> None`` — kill the worker process and
+      re-route its in-flight work (called for hung workers; crashed ones
+      are already dead);
+    - ``on_down(wid, reason) -> None`` — bookkeeping when a worker is
+      declared down (metrics, degraded-mode routing);
+    - ``respawn(wid) -> None`` — start the replacement process.
+
+    Call :meth:`check` once per poll (the built-in :meth:`run` loop does,
+    driven by real time; tests drive it with a fake clock).
+    """
+
+    def __init__(
+        self,
+        fleet,
+        batch_deadline_s: float = 30.0,
+        poll_interval_s: float = 0.1,
+        backoff: RestartBackoff | None = None,
+        clock=time.monotonic,
+    ):
+        if batch_deadline_s <= 0:
+            raise ValueError(
+                f"batch_deadline_s must be positive, got {batch_deadline_s}"
+            )
+        self.fleet = fleet
+        self.batch_deadline_s = batch_deadline_s
+        self.poll_interval_s = poll_interval_s
+        self.backoff = backoff if backoff is not None else RestartBackoff()
+        self.clock = clock
+        self._state: dict[int, dict] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: (wid, reason) tuples, newest last — chaos tests assert on this.
+        self.incidents: list[tuple[int, str]] = []
+
+    # -- lifecycle ----------------------------------------------------------- #
+
+    def start(self) -> "Supervisor":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="shard-supervisor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            try:
+                self.check()
+            except Exception:
+                # supervision must survive a flaky probe; next poll retries
+                continue
+
+    # -- one supervision pass ------------------------------------------------- #
+
+    def _worker_state(self, wid: int, now: float) -> dict:
+        return self._state.setdefault(
+            wid,
+            {"phase": "up", "attempts": 0, "not_before": 0.0, "up_since": now},
+        )
+
+    def check(self, now: float | None = None) -> None:
+        """One supervision pass over every worker (idempotent, re-entrant
+        only from one thread)."""
+        now = self.clock() if now is None else now
+        for wid in list(self.fleet.worker_ids()):
+            state = self._worker_state(wid, now)
+            if state["phase"] == "up":
+                self._check_up(wid, state, now)
+            elif now >= state["not_before"]:
+                self._try_respawn(wid, state, now)
+
+    def _check_up(self, wid: int, state: dict, now: float) -> None:
+        probe = self.fleet.probe(wid)
+        reason = None
+        if not probe.alive:
+            reason = "crashed"
+        elif probe.busy_s is not None and probe.busy_s > self.batch_deadline_s:
+            reason = "hung"
+            self.fleet.terminate(wid, reason)
+        if reason is None:
+            if (
+                state["attempts"]
+                and now - state["up_since"] >= self.backoff.healthy_reset_s
+            ):
+                state["attempts"] = 0
+            return
+        self.incidents.append((wid, reason))
+        self.fleet.on_down(wid, reason)
+        delay = self.backoff.delay_s(state["attempts"])
+        state["attempts"] += 1
+        state["phase"] = "down"
+        state["not_before"] = now + delay
+
+    def _try_respawn(self, wid: int, state: dict, now: float) -> None:
+        try:
+            self.fleet.respawn(wid)
+        except Exception:
+            # spawn itself failed: back off further and try again
+            delay = self.backoff.delay_s(state["attempts"])
+            state["attempts"] += 1
+            state["not_before"] = now + delay
+            return
+        state["phase"] = "up"
+        state["up_since"] = now
+
+    def restart_attempts(self, wid: int) -> int:
+        state = self._state.get(wid)
+        return 0 if state is None else state["attempts"]
+
+
+class ArtifactWatcher:
+    """Poll an artifact path and hot-reload the service when it changes.
+
+    ``repro serve --watch`` runs one of these next to the server: every
+    ``interval_s`` it stats ``path`` and, when the ``(mtime_ns, size)``
+    signature differs from the generation being served, calls
+    ``service.reload(path)``. Reload failures (a bad artifact dropped into
+    place) are reported through ``on_event`` and do not stop the watcher —
+    the service keeps serving the old generation.
+    """
+
+    def __init__(
+        self,
+        service,
+        path,
+        interval_s: float = 2.0,
+        on_event=None,
+    ):
+        self.service = service
+        self.path = str(path)
+        self.interval_s = interval_s
+        self.on_event = on_event if on_event is not None else lambda *a: None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._signature = self._stat()
+
+    def _stat(self) -> tuple[int, int] | None:
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def start(self) -> "ArtifactWatcher":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="artifact-watcher", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.poll()
+
+    def poll(self) -> bool:
+        """One watch pass; returns True when a reload was triggered."""
+        signature = self._stat()
+        if signature is None or signature == self._signature:
+            return False
+        self._signature = signature
+        try:
+            result = self.service.reload(self.path)
+        except Exception as exc:
+            self.on_event("reload_failed", f"{type(exc).__name__}: {exc}")
+            return True
+        self.on_event("reloaded", f"generation {result['generation']}")
+        return True

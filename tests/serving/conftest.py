@@ -1,0 +1,46 @@
+"""Serving-test fixtures: one small trained artifact shared per session.
+
+The sharded-tier tests spawn real worker processes that each load the
+artifact from disk, so the facilitator is fitted once and saved once; the
+statements/expected pair gives every test the bit-identical single-process
+ground truth to compare against.
+"""
+
+import pytest
+
+from repro.core.facilitator import QueryFacilitator
+from repro.workloads.sdss import generate_sdss_workload
+
+
+@pytest.fixture(scope="session")
+def serving_workload():
+    return generate_sdss_workload(n_sessions=60, seed=31)
+
+
+@pytest.fixture(scope="session")
+def fitted_facilitator(serving_workload):
+    return QueryFacilitator(model_name="baseline").fit(serving_workload)
+
+
+@pytest.fixture(scope="session")
+def artifact_path(fitted_facilitator, tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "facilitator.repro"
+    fitted_facilitator.save(path)
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def serving_statements(serving_workload):
+    return [record.statement for record in serving_workload.records]
+
+
+@pytest.fixture(scope="session")
+def expected_insights(fitted_facilitator, serving_statements):
+    """statement -> ``to_dict()`` ground truth from direct inference."""
+    return {
+        statement: insight.to_dict()
+        for statement, insight in zip(
+            serving_statements,
+            fitted_facilitator.insights_batch(serving_statements),
+        )
+    }

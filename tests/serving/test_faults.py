@@ -1,0 +1,130 @@
+"""Fault plan parsing and injector semantics (no processes involved)."""
+
+import json
+
+import pytest
+
+from repro.models.serialize import ArtifactFormatError
+from repro.serving.faults import FAULT_PLAN_ENV, FaultInjector, FaultPlan, FaultSpec
+
+
+class TestFaultPlanParsing:
+    def test_empty_plan_is_falsy_noop(self):
+        plan = FaultPlan()
+        assert not plan
+        injector = FaultInjector(plan, worker_id=0)
+        injector.on_batch()
+        injector.on_reload("x.bin")  # does not raise
+
+    def test_from_json_round_trip(self):
+        plan = FaultPlan.from_json(
+            '[{"kind": "crash", "worker": 1, "after_batches": 3},'
+            ' {"kind": "hang", "sleep_s": 60, "times": 2}]'
+        )
+        assert len(plan.specs) == 2
+        assert plan.specs[0].kind == "crash"
+        assert plan.specs[0].worker == 1
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_single_spec_object_accepted(self):
+        plan = FaultPlan.from_obj({"kind": "corrupt_artifact"})
+        assert len(plan.specs) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_obj([{"kind": "meteor_strike"}])
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault spec fields"):
+            FaultPlan.from_obj([{"kind": "crash", "surprise": True}])
+
+    def test_from_env_inline_and_file(self, tmp_path):
+        spec = '[{"kind": "slow_batch", "sleep_s": 0.01}]'
+        assert FaultPlan.from_env({FAULT_PLAN_ENV: spec}).specs[0].kind == "slow_batch"
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(spec)
+        plan = FaultPlan.from_env({FAULT_PLAN_ENV: f"@{plan_file}"})
+        assert plan.specs[0].sleep_s == 0.01
+        assert not FaultPlan.from_env({})
+
+
+class TestFaultInjector:
+    def test_crash_fires_after_threshold(self, monkeypatch):
+        exits = []
+        monkeypatch.setattr(
+            "repro.serving.faults.os._exit", lambda code: exits.append(code)
+        )
+        plan = FaultPlan.from_obj(
+            [{"kind": "crash", "worker": 0, "after_batches": 2, "exit_code": 7}]
+        )
+        injector = FaultInjector(plan, worker_id=0)
+        injector.on_batch()
+        injector.on_batch()
+        assert exits == []
+        injector.on_batch()
+        assert exits == [7]
+        injector.on_batch()  # times=1: never again
+        assert exits == [7]
+
+    def test_worker_pinning(self, monkeypatch):
+        exits = []
+        monkeypatch.setattr(
+            "repro.serving.faults.os._exit", lambda code: exits.append(code)
+        )
+        plan = FaultPlan.from_obj([{"kind": "crash", "worker": 3}])
+        other = FaultInjector(plan, worker_id=1)
+        for _ in range(5):
+            other.on_batch()
+        assert exits == []
+        FaultInjector(plan, worker_id=3).on_batch()
+        assert exits == [9]
+
+    def test_incarnation_pinning_prevents_refire_after_restart(self, monkeypatch):
+        exits = []
+        monkeypatch.setattr(
+            "repro.serving.faults.os._exit", lambda code: exits.append(code)
+        )
+        plan = FaultPlan.from_obj([{"kind": "crash", "worker": 0}])
+        # default incarnation pin is 0: the restarted worker (incarnation 1)
+        # must not crash again, or the chaos loop never converges
+        FaultInjector(plan, worker_id=0, incarnation=1).on_batch()
+        assert exits == []
+        FaultInjector(plan, worker_id=0, incarnation=0).on_batch()
+        assert exits == [9]
+
+    def test_hang_and_slow_use_injected_sleep(self):
+        naps = []
+        plan = FaultPlan.from_obj(
+            [
+                {"kind": "hang", "after_batches": 1, "sleep_s": 99.0},
+                {"kind": "slow_batch", "times": 2, "sleep_s": 0.5},
+            ]
+        )
+        injector = FaultInjector(plan, worker_id=0, sleep=naps.append)
+        injector.on_batch()
+        assert naps == [0.5]
+        injector.on_batch()
+        assert naps == [0.5, 99.0, 0.5]
+        injector.on_batch()
+        assert naps == [0.5, 99.0, 0.5]  # both specs exhausted
+
+    def test_hang_default_sleep_is_effectively_forever(self):
+        naps = []
+        plan = FaultPlan.from_obj([{"kind": "hang"}])
+        FaultInjector(plan, worker_id=0, sleep=naps.append).on_batch()
+        assert naps == [3600.0]
+
+    def test_corrupt_artifact_raises_format_error(self):
+        plan = FaultPlan.from_obj([{"kind": "corrupt_artifact"}])
+        injector = FaultInjector(plan, FaultInjector.STAGING)
+        with pytest.raises(ArtifactFormatError, match="fault injection"):
+            injector.on_reload("model.bin")
+        injector.on_reload("model.bin")  # times=1: second reload clean
+
+    def test_plan_json_is_env_safe(self):
+        plan = FaultPlan.from_obj(
+            [{"kind": "crash", "worker": 2, "incarnation": None, "times": 3}]
+        )
+        rehydrated = FaultPlan.from_json(json.dumps(json.loads(plan.to_json())))
+        assert rehydrated == plan
+        assert rehydrated.specs[0].incarnation is None

@@ -1,0 +1,169 @@
+"""Shutdown and concurrency edges of the single-process service.
+
+These pin the robustness guarantees added alongside the sharded tier:
+per-statement error isolation in the micro-batch path, bounded condition
+waits (shutdown can never hang), and clean failure of queued requests
+when the service stops or its worker dies.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.service import (
+    FacilitatorService,
+    InsightMemo,
+    ServiceUnavailableError,
+)
+
+
+@pytest.fixture()
+def service(fitted_facilitator):
+    with FacilitatorService(fitted_facilitator, max_wait_ms=1.0) as service:
+        yield service
+
+
+class TestInsightMemoIsolation:
+    class ExplodingBatch:
+        """Batch compute that fails whole, then succeeds per-statement
+        except for one poisoned statement."""
+
+        def __init__(self, facilitator, poison):
+            self.facilitator = facilitator
+            self.poison = poison
+            self.calls = []
+
+        def __call__(self, statements):
+            self.calls.append(list(statements))
+            if any(s == self.poison for s in statements):
+                raise ValueError(f"cannot analyze {self.poison!r}")
+            return self.facilitator.insights_batch(statements)
+
+    def test_one_bad_statement_does_not_fail_the_batch(
+        self, fitted_facilitator, serving_statements, expected_insights
+    ):
+        memo = InsightMemo(64)
+        poison = serving_statements[1]
+        compute = self.ExplodingBatch(fitted_facilitator, poison)
+        statements = serving_statements[:4]
+        results, hits, misses = memo.resolve(statements, compute)
+        assert misses == 4 and hits == 0
+        for statement, result in zip(statements, results):
+            if statement == poison:
+                assert isinstance(result, ValueError)
+            else:
+                assert result.to_dict() == expected_insights[statement]
+
+    def test_failures_are_never_cached(
+        self, fitted_facilitator, serving_statements
+    ):
+        memo = InsightMemo(64)
+        poison = serving_statements[0]
+        compute = self.ExplodingBatch(fitted_facilitator, poison)
+        first, _, _ = memo.resolve([poison], compute)
+        assert isinstance(first[0], ValueError)
+        # the statement is retried (not served from cache) on the next call
+        calls_before = len(compute.calls)
+        second, _, _ = memo.resolve([poison], compute)
+        assert isinstance(second[0], ValueError)
+        assert len(compute.calls) > calls_before
+
+    def test_service_isolates_errors_per_request(
+        self, fitted_facilitator, serving_statements, expected_insights
+    ):
+        poison = serving_statements[2]
+        compute = self.ExplodingBatch(fitted_facilitator, poison)
+        with FacilitatorService(fitted_facilitator, max_wait_ms=20.0) as service:
+            service.facilitator = type(
+                "F", (), {"insights_batch": staticmethod(compute)}
+            )()
+            good = service.submit(serving_statements[0])
+            bad = service.submit(poison)
+            also_good = service.submit(serving_statements[3])
+            assert good.result(30)[0].to_dict() == expected_insights[
+                serving_statements[0]
+            ]
+            with pytest.raises(ValueError, match="cannot analyze"):
+                bad.result(30)
+            assert also_good.result(30)[0].to_dict() == expected_insights[
+                serving_statements[3]
+            ]
+
+
+class TestShutdownEdges:
+    def test_stop_completes_within_bound_with_empty_queue(
+        self, fitted_facilitator
+    ):
+        service = FacilitatorService(fitted_facilitator).start()
+        started = time.monotonic()
+        service.stop(timeout=5.0)
+        assert time.monotonic() - started < 5.0
+
+    def test_stop_racing_submits_never_hangs(
+        self, fitted_facilitator, serving_statements
+    ):
+        service = FacilitatorService(fitted_facilitator, max_wait_ms=1.0).start()
+        outcomes = []
+
+        def hammer():
+            for statement in serving_statements[:50]:
+                try:
+                    request = service.submit(statement)
+                    request.result(10)
+                    outcomes.append("ok")
+                except (ServiceUnavailableError, RuntimeError):
+                    outcomes.append("rejected")
+                except TimeoutError:
+                    outcomes.append("timeout")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        service.stop(timeout=10.0)
+        for thread in threads:
+            thread.join(30)
+            assert not thread.is_alive(), "client thread hung after stop()"
+        assert outcomes.count("timeout") == 0
+        assert "ok" in outcomes or "rejected" in outcomes
+
+    def test_worker_death_fails_queued_requests(
+        self, fitted_facilitator, serving_statements
+    ):
+        with FacilitatorService(fitted_facilitator, max_wait_ms=1.0) as service:
+            def bomb(statements):
+                raise SystemExit("worker meltdown")
+
+            service.facilitator = type(
+                "F", (), {"insights_batch": staticmethod(bomb)}
+            )()
+            request = service.submit(serving_statements[0])
+            with pytest.raises((ServiceUnavailableError, SystemExit)):
+                request.result(10)
+            # the worker loop is dead: later submits fail cleanly, not hang
+            with pytest.raises(ServiceUnavailableError):
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    service.submit(serving_statements[1]).result(5)
+                    time.sleep(0.05)
+
+    def test_result_timeout_raises(self, service, serving_statements):
+        request = service.submit(serving_statements[0])
+        request.result(30)  # completes fine
+        slow = threading.Event()
+        original = service.facilitator.insights_batch
+
+        def stall(statements):
+            slow.wait(2.0)
+            return original(statements)
+
+        service.facilitator = type(
+            "F", (), {"insights_batch": staticmethod(stall)}
+        )()
+        request = service.submit(serving_statements[1])
+        with pytest.raises(TimeoutError):
+            request.result(0.2)
+        slow.set()
+        # the batch still completes afterwards; the service stays healthy
+        assert request.result(10)

@@ -1,0 +1,236 @@
+"""Sharded serving tier: routing, admission, deadlines, reload, teardown.
+
+Each test spawns real worker processes from the session-scoped artifact;
+the chaos scenarios (kills, hangs, reload-under-load) live in
+``test_chaos.py``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.models.serialize import ArtifactFormatError
+from repro.serving import (
+    FaultPlan,
+    ReloadInProgressError,
+    RestartBackoff,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+    ShardedFacilitatorService,
+    shard_of,
+)
+
+FAST_BACKOFF = dict(base_s=0.05, cap_s=0.5, jitter=0.0, seed=0)
+
+
+def make_service(artifact_path, **kwargs):
+    kwargs.setdefault("n_workers", 2)
+    kwargs.setdefault("max_wait_ms", 1.0)
+    kwargs.setdefault("backoff", RestartBackoff(**FAST_BACKOFF))
+    return ShardedFacilitatorService(artifact_path, **kwargs)
+
+
+class TestShardOf:
+    def test_stable_and_in_range(self):
+        statements = [f"SELECT {i} FROM t" for i in range(200)]
+        first = [shard_of(s, 4) for s in statements]
+        assert first == [shard_of(s, 4) for s in statements]
+        assert all(0 <= shard < 4 for shard in first)
+
+    def test_spreads_across_shards(self):
+        statements = [f"SELECT {i} FROM t" for i in range(200)]
+        assert len({shard_of(s, 4) for s in statements}) == 4
+
+
+class TestShardedRoundTrip:
+    @pytest.fixture(scope="class")
+    def service(self, artifact_path):
+        with make_service(artifact_path) as service:
+            yield service
+
+    def test_bit_identical_to_single_process(
+        self, service, serving_statements, expected_insights
+    ):
+        statements = serving_statements[:32]
+        results = service.insights_many(statements, timeout=60)
+        assert [r.to_dict() for r in results] == [
+            expected_insights[s] for s in statements
+        ]
+
+    def test_concurrent_submitters_coalesce(
+        self, service, serving_statements, expected_insights
+    ):
+        errors = []
+
+        def client(statement):
+            try:
+                insight = service.insights(statement, timeout=60)
+                assert insight.to_dict() == expected_insights[statement]
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(s,))
+            for s in serving_statements[:24]
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert service.stats.batches < service.stats.requests
+
+    def test_repeat_statements_hit_front_memo(self, service, serving_statements):
+        statement = serving_statements[0]
+        service.insights(statement, timeout=60)
+        hits_before = service.stats.insight_cache["hits"]
+        service.insights(statement, timeout=60)
+        assert service.stats.insight_cache["hits"] > hits_before
+
+    def test_healthz_surface(self, service):
+        workers = service.workers
+        assert len(workers) == 2
+        assert all(w["up"] for w in workers)
+        assert service.model_name == "baseline"
+        assert service.artifact_identity["format"] == "repro.facilitator"
+        assert service.generation == 1
+
+    def test_submit_when_stopped_raises(self, artifact_path):
+        service = make_service(artifact_path)
+        with pytest.raises(ServiceUnavailableError, match="not running"):
+            service.submit("SELECT 1")
+
+
+class TestAdmissionAndDeadlines:
+    def test_overload_sheds_with_retry_after(self, artifact_path):
+        # one worker wedged by a hang fault: requests pile up behind it
+        plan = FaultPlan.from_obj([{"kind": "hang", "sleep_s": 2.0}])
+        with make_service(
+            artifact_path,
+            n_workers=1,
+            max_pending=2,
+            batch_deadline_s=60.0,
+            fault_plan=plan,
+        ) as service:
+            held = [service.submit(f"SELECT {i} FROM overload") for i in range(2)]
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                for i in range(20):
+                    held.append(service.submit(f"SELECT {i} FROM spill"))
+            assert excinfo.value.retry_after_s > 0
+            assert service.stats.shed >= 1
+
+    def test_expired_request_times_out(self, artifact_path):
+        plan = FaultPlan.from_obj([{"kind": "hang", "sleep_s": 2.0}])
+        with make_service(
+            artifact_path,
+            n_workers=1,
+            batch_deadline_s=60.0,
+            fault_plan=plan,
+        ) as service:
+            request = service.submit("SELECT 1 FROM t", deadline_s=0.3)
+            with pytest.raises(TimeoutError):
+                request.result(10)
+            assert service.stats.timeouts >= 1
+
+    def test_result_timeout_without_deadline(self, artifact_path):
+        plan = FaultPlan.from_obj([{"kind": "hang", "sleep_s": 2.0}])
+        with make_service(
+            artifact_path,
+            n_workers=1,
+            batch_deadline_s=60.0,
+            fault_plan=plan,
+        ) as service:
+            request = service.submit("SELECT 2 FROM t")
+            with pytest.raises(TimeoutError):
+                request.result(0.3)
+
+
+class TestReload:
+    def test_reload_swaps_generation_and_stays_identical(
+        self, artifact_path, fitted_facilitator, serving_statements,
+        expected_insights, tmp_path,
+    ):
+        with make_service(artifact_path) as service:
+            before = service.insights_many(serving_statements[:8], timeout=60)
+            new_path = tmp_path / "next.repro"
+            fitted_facilitator.save(new_path)
+            outcome = service.reload(new_path)
+            assert outcome["generation"] == 2
+            assert service.generation == 2
+            after_request = service.submit(serving_statements[:8])
+            after = after_request.result(60)
+            assert after_request.generation == 2
+            assert [r.to_dict() for r in before] == [
+                expected_insights[s] for s in serving_statements[:8]
+            ]
+            assert [r.to_dict() for r in after] == [
+                expected_insights[s] for s in serving_statements[:8]
+            ]
+
+    def test_bad_artifact_rejected_in_staging(self, artifact_path, tmp_path):
+        junk = tmp_path / "junk.repro"
+        junk.write_bytes(b"this is not an artifact")
+        with make_service(artifact_path) as service:
+            with pytest.raises(ArtifactFormatError):
+                service.reload(junk)
+            assert service.generation == 1
+            # still serving
+            service.insights("SELECT 1 FROM t", timeout=60)
+
+    def test_corrupt_artifact_fault_rejected_without_touching_workers(
+        self, artifact_path
+    ):
+        plan = FaultPlan.from_obj([{"kind": "corrupt_artifact", "times": 100}])
+        with make_service(artifact_path, fault_plan=plan) as service:
+            with pytest.raises(ArtifactFormatError, match="fault injection"):
+                service.reload(artifact_path)
+            assert service.generation == 1
+            assert all(w["up"] for w in service.workers)
+
+    def test_concurrent_reload_refused(self, artifact_path):
+        with make_service(artifact_path) as service:
+            assert service._reload_lock.acquire(blocking=False)
+            try:
+                with pytest.raises(ReloadInProgressError):
+                    service.reload(artifact_path)
+            finally:
+                service._reload_lock.release()
+
+
+class TestLifecycle:
+    def test_constructor_validates_artifact_up_front(self, tmp_path):
+        junk = tmp_path / "junk.bin"
+        junk.write_bytes(b"nope")
+        with pytest.raises(ArtifactFormatError):
+            ShardedFacilitatorService(junk)
+
+    def test_constructor_validates_params(self, artifact_path):
+        with pytest.raises(ValueError, match="n_workers"):
+            ShardedFacilitatorService(artifact_path, n_workers=0)
+        with pytest.raises(ValueError, match="max_pending"):
+            ShardedFacilitatorService(artifact_path, max_pending=0)
+
+    def test_stop_is_idempotent_and_bounded(self, artifact_path):
+        service = make_service(artifact_path)
+        service.start()
+        started = time.monotonic()
+        service.stop()
+        service.stop()
+        assert time.monotonic() - started < 30
+        assert all(not w["up"] for w in service.workers)
+
+    def test_stop_fails_queued_requests_cleanly(self, artifact_path):
+        plan = FaultPlan.from_obj([{"kind": "hang", "sleep_s": 10.0}])
+        service = make_service(
+            artifact_path, n_workers=1, batch_deadline_s=60.0, fault_plan=plan
+        )
+        service.start()
+        requests = [service.submit(f"SELECT {i} FROM q") for i in range(4)]
+        stopper = threading.Thread(target=service.stop, kwargs={"timeout": 1.0})
+        stopper.start()
+        for request in requests:
+            with pytest.raises((ServiceUnavailableError, TimeoutError)):
+                request.result(30)
+        stopper.join(30)
+        assert not stopper.is_alive()

@@ -1,0 +1,214 @@
+"""Supervisor decision logic with a fake clock and a stub fleet.
+
+No processes: the fleet records every side effect the supervisor asks
+for, and ``check(now=...)`` is driven entirely by hand-advanced time, so
+backoff schedules are asserted exactly.
+"""
+
+import pytest
+
+from repro.serving.supervisor import (
+    ArtifactWatcher,
+    RestartBackoff,
+    Supervisor,
+    WorkerProbe,
+)
+
+
+class StubFleet:
+    def __init__(self, n=2):
+        self.n = n
+        self.probes = {w: WorkerProbe(alive=True) for w in range(n)}
+        self.terminated = []
+        self.downs = []
+        self.respawns = []
+        self.respawn_error = None
+
+    def worker_ids(self):
+        return range(self.n)
+
+    def probe(self, wid):
+        return self.probes[wid]
+
+    def terminate(self, wid, reason):
+        self.terminated.append((wid, reason))
+
+    def on_down(self, wid, reason):
+        self.downs.append((wid, reason))
+
+    def respawn(self, wid):
+        if self.respawn_error is not None:
+            raise self.respawn_error
+        self.respawns.append(wid)
+        self.probes[wid] = WorkerProbe(alive=True)
+
+
+def make_supervisor(fleet, **kwargs):
+    kwargs.setdefault(
+        "backoff", RestartBackoff(base_s=1.0, cap_s=8.0, jitter=0.0, seed=0)
+    )
+    kwargs.setdefault("batch_deadline_s", 5.0)
+    return Supervisor(fleet, **kwargs)
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_with_cap(self):
+        backoff = RestartBackoff(base_s=1.0, cap_s=8.0, jitter=0.0)
+        assert [backoff.delay_s(a) for a in range(5)] == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_jitter_bounded_and_seeded(self):
+        a = RestartBackoff(base_s=1.0, cap_s=8.0, jitter=0.5, seed=42)
+        b = RestartBackoff(base_s=1.0, cap_s=8.0, jitter=0.5, seed=42)
+        delays = [a.delay_s(0) for _ in range(20)]
+        assert delays == [b.delay_s(0) for _ in range(20)]
+        assert all(1.0 <= d <= 1.5 for d in delays)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="base_s"):
+            RestartBackoff(base_s=0)
+        with pytest.raises(ValueError, match="cap_s"):
+            RestartBackoff(base_s=2.0, cap_s=1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            RestartBackoff(jitter=-0.1)
+
+
+class TestSupervisorDecisions:
+    def test_healthy_fleet_untouched(self):
+        fleet = StubFleet()
+        sup = make_supervisor(fleet)
+        for t in range(10):
+            sup.check(now=float(t))
+        assert fleet.downs == [] and fleet.respawns == [] and sup.incidents == []
+
+    def test_crash_detected_and_restarted_after_backoff(self):
+        fleet = StubFleet()
+        sup = make_supervisor(fleet)
+        fleet.probes[1] = WorkerProbe(alive=False)
+        sup.check(now=100.0)
+        assert fleet.downs == [(1, "crashed")]
+        assert sup.incidents == [(1, "crashed")]
+        assert fleet.respawns == []
+        sup.check(now=100.5)  # backoff (1s) not elapsed
+        assert fleet.respawns == []
+        sup.check(now=101.0)
+        assert fleet.respawns == [1]
+        # crashed workers are already dead: no terminate call
+        assert fleet.terminated == []
+
+    def test_hung_worker_is_terminated(self):
+        fleet = StubFleet()
+        sup = make_supervisor(fleet, batch_deadline_s=5.0)
+        fleet.probes[0] = WorkerProbe(alive=True, busy_s=4.0)
+        sup.check(now=0.0)
+        assert fleet.downs == []
+        fleet.probes[0] = WorkerProbe(alive=True, busy_s=5.5)
+        sup.check(now=1.0)
+        assert fleet.terminated == [(0, "hung")]
+        assert fleet.downs == [(0, "hung")]
+
+    def test_backoff_doubles_across_crash_loop(self):
+        fleet = StubFleet(n=1)
+        sup = make_supervisor(fleet)
+        now = 0.0
+        gaps = []
+        for _ in range(4):
+            fleet.probes[0] = WorkerProbe(alive=False)
+            sup.check(now=now)  # declared down, restart scheduled
+            down_at = now
+            while not fleet.respawns:
+                now += 0.25
+                sup.check(now=now)
+            gaps.append(now - down_at)
+            fleet.respawns.clear()
+        assert gaps == [1.0, 2.0, 4.0, 8.0]
+
+    def test_healthy_streak_resets_attempts(self):
+        fleet = StubFleet(n=1)
+        sup = make_supervisor(
+            fleet,
+            backoff=RestartBackoff(
+                base_s=1.0, cap_s=8.0, jitter=0.0, healthy_reset_s=30.0
+            ),
+        )
+        fleet.probes[0] = WorkerProbe(alive=False)
+        sup.check(now=0.0)
+        sup.check(now=1.0)  # respawned, attempts=1
+        assert sup.restart_attempts(0) == 1
+        sup.check(now=30.0)  # healthy streak not yet long enough (29s)
+        assert sup.restart_attempts(0) == 1
+        sup.check(now=31.5)
+        assert sup.restart_attempts(0) == 0
+
+    def test_respawn_failure_backs_off_further(self):
+        fleet = StubFleet(n=1)
+        sup = make_supervisor(fleet)
+        fleet.probes[0] = WorkerProbe(alive=False)
+        sup.check(now=0.0)  # attempts 0 -> 1, retry at 1.0
+        fleet.respawn_error = RuntimeError("fork bomb averted")
+        sup.check(now=1.0)  # respawn raises: attempts -> 2, retry at 3.0
+        assert fleet.respawns == []
+        fleet.respawn_error = None
+        sup.check(now=2.0)
+        assert fleet.respawns == []
+        sup.check(now=3.0)
+        assert fleet.respawns == [0]
+
+    def test_flaky_probe_does_not_kill_the_loop(self):
+        class FlakyFleet(StubFleet):
+            def probe(self, wid):
+                raise OSError("proc fs hiccup")
+
+        sup = make_supervisor(FlakyFleet(n=1))
+        with pytest.raises(OSError):
+            sup.check(now=0.0)  # direct check propagates...
+        sup.start()  # ...but the supervision thread survives it
+        sup.stop()
+
+
+class TestArtifactWatcher:
+    class StubService:
+        def __init__(self):
+            self.reloads = []
+            self.fail_next = False
+
+        def reload(self, path):
+            if self.fail_next:
+                raise ValueError("bad artifact")
+            self.reloads.append(path)
+            return {"generation": len(self.reloads) + 1}
+
+    def test_poll_triggers_reload_only_on_change(self, tmp_path):
+        artifact = tmp_path / "model.bin"
+        artifact.write_bytes(b"v1")
+        service = self.StubService()
+        events = []
+        watcher = ArtifactWatcher(
+            service, artifact, on_event=lambda *a: events.append(a)
+        )
+        assert watcher.poll() is False  # unchanged since construction
+        artifact.write_bytes(b"v2!")
+        assert watcher.poll() is True
+        assert service.reloads == [str(artifact)]
+        assert events == [("reloaded", "generation 2")]
+        assert watcher.poll() is False  # signature now current
+
+    def test_reload_failure_reported_not_raised(self, tmp_path):
+        artifact = tmp_path / "model.bin"
+        artifact.write_bytes(b"v1")
+        service = self.StubService()
+        events = []
+        watcher = ArtifactWatcher(
+            service, artifact, on_event=lambda *a: events.append(a)
+        )
+        service.fail_next = True
+        artifact.write_bytes(b"truncated")
+        assert watcher.poll() is True
+        assert events == [("reload_failed", "ValueError: bad artifact")]
+        # the failed signature is remembered: no reload-storm on a bad file
+        assert watcher.poll() is False
+
+    def test_missing_file_is_not_a_change(self, tmp_path):
+        service = self.StubService()
+        watcher = ArtifactWatcher(service, tmp_path / "ghost.bin")
+        assert watcher.poll() is False
+        assert service.reloads == []
