@@ -1,0 +1,29 @@
+"""Tier-1 smoke for compiled inference plans (small N, fails fast).
+
+Runs :func:`bench_inference.run_smoke` on a 250-statement repetitive
+corpus and asserts the fused plan still (a) beats the per-head loop on
+identical micro-batches and (b) returns the loop's predictions (labels
+exactly, numerics within float32 round-off). The full harness
+(``PYTHONPATH=src python benchmarks/bench_inference.py``) regenerates
+``BENCH_inference.json`` with the ≥3x and sub-second cold-start
+acceptance numbers.
+"""
+
+from bench_inference import run_smoke
+
+from conftest import run_once
+
+
+def test_inference_smoke(benchmark):
+    result = run_once(benchmark, run_smoke, 250)
+
+    fused = result["fused_plan"]
+    assert fused["invariant_plan_equals_loop"], (
+        "fused plan predictions diverged from the per-head loop"
+    )
+    # even at smoke scale the plan must clearly win; the full benchmark
+    # guards the >= 3x acceptance target
+    assert fused["speedup_plan"] > 1.5
+    assert fused["fused_heads"] >= 1
+    # compilation is a load-time cost and must stay far below one batch
+    assert fused["plan_compile_s"] < 0.5

@@ -124,6 +124,16 @@ def register(subparsers) -> None:
         "REPRO_FAULT_PLAN environment variable",
     )
     parser.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="read artifact weight arrays eagerly instead of memory-mapping "
+        "them. By default the server memory-maps the uncompressed float32 "
+        "weight members of v3 artifacts (sub-second cold start; shard "
+        "workers share resident weight pages); older v2 artifacts always "
+        "load eagerly. Use this flag to force eager loads, e.g. when the "
+        "artifact lives on a filesystem where mapped reads are slow",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     parser.set_defaults(func=run)
@@ -170,15 +180,15 @@ def run(args: argparse.Namespace) -> int:
 
 
 def _run_single(args: argparse.Namespace) -> int:
-    from repro.core.facilitator import QueryFacilitator
     from repro.serving import FacilitatorService
 
-    facilitator = QueryFacilitator.load(args.facilitator)
-    service = FacilitatorService(
-        facilitator,
+    service = FacilitatorService.from_artifact(
+        args.facilitator,
+        mmap=not args.no_mmap,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
     )
+    facilitator = service.facilitator
     # remembered so POST /reload without a body can re-read the artifact
     service.artifact_path = args.facilitator
     with service:
@@ -224,6 +234,7 @@ def _run_sharded(args: argparse.Namespace) -> int:
         batch_deadline_s=args.batch_deadline_s,
         fault_plan=fault_plan,
         warm_path=args.warm,
+        mmap=not args.no_mmap,
     )
     with service:
         problems = ", ".join(service.problem_names)

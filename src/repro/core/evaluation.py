@@ -95,8 +95,17 @@ def evaluate_classification(
     test_statements = test.statements()
     for name, model in models.items():
         model.fit(train_statements, y_train)
-        y_pred = model.predict(test_statements)
-        probs = model.predict_proba(test_statements)
+        # featurize the test set once: predict and predict_proba would
+        # otherwise each re-run the TF-IDF pipeline over the same
+        # statements (models without a feature fingerprint — the neural
+        # nets, the baseline — keep the plain two-call path)
+        if model.feature_fingerprint() is not None:
+            features = model.featurize(test_statements)
+            y_pred = model.predict_from_features(features)
+            probs = model.predict_proba_from_features(features)
+        else:
+            y_pred = model.predict(test_statements)
+            probs = model.predict_proba(test_statements)
         outcome.predictions[name] = y_pred
         outcome.reports.append(
             classification_report(

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from collections.abc import Sequence
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -48,13 +49,20 @@ __all__ = [
     "ArtifactFormatError",
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
+    "SUPPORTED_ARTIFACT_VERSIONS",
 ]
 
 #: Artifact manifest ``format`` name for saved facilitators.
 ARTIFACT_FORMAT = "repro.facilitator"
 
 #: Current artifact format version; bump when the layout changes.
-ARTIFACT_VERSION = 2
+#: v3 externalizes model weight arrays into uncompressed float32 ``.npy``
+#: zip members with manifest-recorded offsets, enabling memory-mapped
+#: loads; v2 kept everything inside one compressed pickle per head.
+ARTIFACT_VERSION = 3
+
+#: Versions :meth:`QueryFacilitator.load` still reads.
+SUPPORTED_ARTIFACT_VERSIONS = (2, 3)
 
 _SIMILAR_INDEX_MEMBER = "similar_index.bin"
 
@@ -181,6 +189,16 @@ class QueryFacilitator:
         self.index_similar = index_similar
         self.heads: dict[Problem, ProblemHead] = {}
         self.similar_index = None
+        #: serve batches through the compiled inference plan (compiled
+        #: lazily on first batch; falls back to the per-head loop if
+        #: compilation fails)
+        self.use_plan = True
+        #: numerics policy for the compiled plan — ``np.float32``
+        #: (default) or ``np.float64``, the exact-equivalence escape
+        #: hatch (see :mod:`repro.inference.plan`)
+        self.plan_dtype = np.float32
+        self._plan = None
+        self._plan_failed = False
         #: per-problem training telemetry filled by :meth:`fit`
         #: (``{problem_name: {"seconds", "epochs", "epochs_per_s"}}``) —
         #: a thin view: the same quantities land in the obs registry as
@@ -229,6 +247,7 @@ class QueryFacilitator:
                 f"workload {workload.name!r} has no usable label columns"
             )
         self.fit_stats = {}
+        self.invalidate_plan()
         if workers is not None and workers > 1 and len(jobs) > 1:
             self._fit_parallel(jobs, statements, workers)
         else:
@@ -321,16 +340,53 @@ class QueryFacilitator:
         """Pre-execution insights for a single statement."""
         return self.insights_batch([statement])[0]
 
-    def insights_batch(self, statements: Sequence[str]) -> list[QueryInsights]:
+    def invalidate_plan(self) -> None:
+        """Drop the compiled inference plan (recompiled on next batch)."""
+        self._plan = None
+        self._plan_failed = False
+
+    def _ensure_plan(self):
+        """Lazily compile the inference plan; ``None`` if it can't build.
+
+        A compile failure (an exotic model without the expected weight
+        layout, say) is remembered and reported once through the obs
+        event log; prediction then permanently falls back to the
+        per-head loop instead of retrying per batch.
+        """
+        if self._plan is None and not self._plan_failed:
+            # spanned so the one-off import+compile cost shows up as a
+            # traced stage on whichever request triggers it, instead of
+            # unexplained time in that batch's total
+            with span("plan_compile", model=self.model_name):
+                from repro.inference import compile_plan
+
+                try:
+                    self._plan = compile_plan(self, dtype=self.plan_dtype)
+                except Exception as exc:
+                    self._plan_failed = True
+                    obs_events.emit(
+                        "plan.compile_failed",
+                        model=self.model_name,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+        return self._plan
+
+    def insights_batch(
+        self,
+        statements: Sequence[str],
+        use_plan: bool | None = None,
+    ) -> list[QueryInsights]:
         """Pre-execution insights for many statements at once.
 
         Serving-oriented batch path: duplicate statements inside the batch
         are collapsed before any model runs (real traffic is massively
-        repetitive — Figure 20), and heads whose models share a feature
-        fingerprint (every head, when the facilitator trained them with
-        one model name on one workload) featurize the batch once instead
-        of once per head. Predictions are identical to the naive
-        per-statement loop; only the work is smaller.
+        repetitive — Figure 20), then scored through the compiled
+        inference plan (:mod:`repro.inference`): featurization runs in
+        vectorized counting kernels and every TF-IDF head sharing a
+        feature fingerprint is scored by one fused CSR × dense matmul.
+        ``use_plan=False`` (or ``self.use_plan = False``) forces the
+        reference per-head loop — predictions agree with the plan to
+        float32 tolerance, exactly when ``plan_dtype`` is ``np.float64``.
         """
         if not self.heads:
             raise RuntimeError("QueryFacilitator must be fitted first")
@@ -343,6 +399,26 @@ class QueryFacilitator:
                     index_of[statement] = len(unique)
                     unique.append(statement)
             unique_results = [QueryInsights(statement=s) for s in unique]
+        wants_plan = self.use_plan if use_plan is None else use_plan
+        plan = self._ensure_plan() if wants_plan else None
+        if plan is not None:
+            plan.predict_into(unique, unique_results)
+        else:
+            self._predict_per_head(unique, unique_results)
+        if len(unique) == len(statements):
+            return unique_results
+        with span("fanout"):
+            return [unique_results[index_of[s]].copy() for s in statements]
+
+    def _predict_per_head(
+        self, unique: list[str], unique_results: list[QueryInsights]
+    ) -> None:
+        """Reference prediction loop: one head at a time, shared features.
+
+        Heads whose models share a feature fingerprint featurize the
+        batch once instead of once per head. This is the baseline the
+        compiled plan is validated against.
+        """
         shared_features: dict[bytes, object] = {}
         for head in self.heads.values():
             fingerprint = head.model.feature_fingerprint()
@@ -357,10 +433,6 @@ class QueryFacilitator:
             head_name = head.problem.name.lower()
             with span(f"predict:{head_name}", head=head_name):
                 head.predict_into(unique, unique_results, features=features)
-        if len(unique) == len(statements):
-            return unique_results
-        with span("fanout"):
-            return [unique_results[index_of[s]].copy() for s in statements]
 
     def similar_queries(self, statement: str, k: int = 5):
         """The ``k`` most similar historical queries with their outcomes.
@@ -413,31 +485,39 @@ class QueryFacilitator:
 
         The artifact is a zip container: a human-inspectable
         ``manifest.json`` (format version, model names, scale, label
-        vocabularies, transform parameters) plus one binary payload per
-        head, encoded through the :mod:`repro.models.serialize` codec
-        registry. Raises if called before :meth:`fit`.
+        vocabularies, transform parameters) plus one skeleton payload per
+        head. Each head's large weight arrays are externalized into
+        uncompressed float32 ``.npy`` members whose raw-data offsets are
+        recorded in the manifest, so :meth:`load` can memory-map them
+        (``mmap=True``) instead of unpickling everything up front.
+        Raises if called before :meth:`fit`.
         """
         if not self.heads:
             raise RuntimeError("cannot save an unfitted QueryFacilitator")
+        head_entries: list[dict] = []
+        payloads: dict[str, bytes] = {}
+        arrays: dict[str, np.ndarray] = {}
+        for head in self.heads.values():
+            entry, skeleton, members = head.artifact_payload()
+            head_entries.append(entry)
+            payloads[head.member_name()] = skeleton
+            arrays.update(members)
         manifest = {
             "format": ARTIFACT_FORMAT,
             "version": ARTIFACT_VERSION,
             "model_name": self.model_name,
             "scale": asdict(self.scale),
             "index_similar": self.index_similar,
-            "heads": [head.manifest_entry() for head in self.heads.values()],
+            "heads": head_entries,
             "similar_index": (
                 _SIMILAR_INDEX_MEMBER if self.similar_index is not None else None
             ),
-        }
-        payloads = {
-            head.member_name(): head.payload() for head in self.heads.values()
         }
         if self.similar_index is not None:
             payloads[_SIMILAR_INDEX_MEMBER] = serialize.encode_payload(
                 "pickle", self.similar_index
             )
-        serialize.write_artifact(path, manifest, payloads)
+        serialize.write_artifact(path, manifest, payloads, arrays=arrays)
         self.artifact_meta = {
             "format": ARTIFACT_FORMAT,
             "version": ARTIFACT_VERSION,
@@ -445,8 +525,16 @@ class QueryFacilitator:
         }
 
     @classmethod
-    def load(cls, path: str | Path) -> "QueryFacilitator":
+    def load(cls, path: str | Path, mmap: bool = False) -> "QueryFacilitator":
         """Load a facilitator artifact saved by :meth:`save`.
+
+        With ``mmap=True``, weight arrays of a v3 artifact are
+        memory-mapped straight out of the zip file (they are stored
+        uncompressed at manifest-recorded offsets) instead of read and
+        copied up front — pages fault in on first use, which is what
+        makes cold starts on large artifacts sub-second. Older v2
+        artifacts (one compressed pickle per head) can't be mapped; they
+        load eagerly with a warning.
 
         The format checks catch accidents (wrong file, stale version),
         not attacks: head payloads are pickle-encoded, so — as with any
@@ -458,9 +546,19 @@ class QueryFacilitator:
                 manifest) or carries an unsupported format version.
             OSError: the file does not exist or cannot be read.
         """
-        manifest, payloads = serialize.read_artifact(
-            path, ARTIFACT_FORMAT, ARTIFACT_VERSION
+        manifest = serialize.read_manifest(
+            path, ARTIFACT_FORMAT, SUPPORTED_ARTIFACT_VERSIONS
         )
+        version = manifest.get("version")
+        if mmap and version == 2:
+            warnings.warn(
+                f"{path}: version 2 artifacts store weights inside "
+                "compressed pickles and cannot be memory-mapped; loading "
+                "eagerly (re-save to upgrade to the mappable v3 layout)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            mmap = False
         try:
             scale = ModelScale(**manifest["scale"])
             head_entries = manifest["heads"]
@@ -468,6 +566,21 @@ class QueryFacilitator:
             raise ArtifactFormatError(
                 f"{path}: facilitator manifest is incomplete: {exc}"
             ) from exc
+        wanted = [
+            entry.get("payload")
+            for entry in head_entries
+            if entry.get("payload")
+        ]
+        index_member = manifest.get("similar_index")
+        if index_member:
+            wanted.append(index_member)
+        try:
+            payloads = serialize.read_members(path, wanted)
+        except ArtifactFormatError as exc:
+            raise ArtifactFormatError(
+                f"{path}: manifest references missing payload: {exc}"
+            ) from None
+        arrays = serialize.read_array_members(path, manifest, mmap=mmap)
         facilitator = cls(
             model_name=manifest.get("model_name", "ccnn"),
             scale=scale,
@@ -479,7 +592,9 @@ class QueryFacilitator:
                 raise ArtifactFormatError(
                     f"{path}: manifest references missing payload {member!r}"
                 )
-            head = ProblemHead.from_artifact(entry, payloads[member])
+            head = ProblemHead.from_artifact(
+                entry, payloads[member], arrays=arrays
+            )
             facilitator.heads[head.problem] = head
         if not facilitator.heads:
             raise ArtifactFormatError(f"{path}: artifact contains no heads")

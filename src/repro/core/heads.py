@@ -151,16 +151,58 @@ class ProblemHead:
         """Encoded model bytes for the artifact."""
         return serialize.encode_payload(codec, self.model)
 
+    def artifact_payload(self) -> tuple[dict, bytes, dict[str, np.ndarray]]:
+        """Split persistence for v3 artifacts: skeleton + weight arrays.
+
+        Returns ``(manifest entry, skeleton bytes, {member: array})``.
+        The model pickles with its large numeric arrays externalized
+        (cast float64 → float32, the serving numerics policy) into
+        individually addressable ``.npy`` zip members under
+        ``arrays/<problem>/``, so loaders can memory-map the weights.
+        The entry's ``codec`` is ``pickle-split`` and its ``arrays`` map
+        links each split key to its zip member.
+        """
+        skeleton, arrays = serialize.split_arrays(self.model)
+        prefix = f"arrays/{self.problem.name.lower()}"
+        members = {f"{prefix}/{key}.npy": arr for key, arr in arrays.items()}
+        entry = self.manifest_entry(codec="pickle-split")
+        entry["arrays"] = {
+            key: f"{prefix}/{key}.npy" for key in arrays
+        }
+        return entry, skeleton, members
+
     @classmethod
-    def from_artifact(cls, entry: dict, data: bytes) -> "ProblemHead":
-        """Rebuild a head from its manifest entry and payload bytes."""
+    def from_artifact(
+        cls,
+        entry: dict,
+        data: bytes,
+        arrays: dict[str, np.ndarray] | None = None,
+    ) -> "ProblemHead":
+        """Rebuild a head from its manifest entry and payload bytes.
+
+        ``arrays`` maps artifact member names to loaded (or memory-
+        mapped) arrays; required when the entry's codec is
+        ``pickle-split``.
+        """
         try:
             problem = Problem[entry["problem"]]
         except KeyError:
             raise ArtifactFormatError(
                 f"artifact names unknown problem {entry.get('problem')!r}"
             ) from None
-        model = serialize.decode_payload(entry.get("codec", "pickle"), data)
+        codec = entry.get("codec", "pickle")
+        if codec == "pickle-split":
+            keyed: dict[str, np.ndarray] = {}
+            for key, member in (entry.get("arrays") or {}).items():
+                if arrays is None or member not in arrays:
+                    raise ArtifactFormatError(
+                        f"head payload for {problem.name} references "
+                        f"missing array member {member!r}"
+                    )
+                keyed[key] = arrays[member]
+            model = serialize.join_arrays(data, keyed)
+        else:
+            model = serialize.decode_payload(codec, data)
         if not isinstance(model, QueryModel):
             raise ArtifactFormatError(
                 f"head payload for {problem.name} is "

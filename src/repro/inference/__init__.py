@@ -1,0 +1,14 @@
+"""Compiled inference plans (serving-side execution layer).
+
+Compiles a fitted facilitator's per-problem model zoo into a fused
+scoring plan: one CSR × dense matmul scores every TF-IDF head per
+micro-batch, featurization runs through vectorized counting kernels, and
+neural heads take the no-grad ``infer`` forward. See
+:mod:`repro.inference.plan` for the numerics policy (float32 by default,
+float64 as the exact-equivalence escape hatch).
+"""
+
+from repro.inference.featurize import CompiledVectorizer
+from repro.inference.plan import InferencePlan, compile_plan
+
+__all__ = ["CompiledVectorizer", "InferencePlan", "compile_plan"]

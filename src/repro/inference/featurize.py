@@ -1,0 +1,314 @@
+"""Compiled TF-IDF featurization for inference plans.
+
+:class:`CompiledVectorizer` is the feature stage of a compiled
+:class:`~repro.inference.plan.InferencePlan`: a fitted
+:class:`~repro.text.tfidf.TfidfVectorizer` whose vocabulary has been
+lowered into numpy tables so a whole micro-batch is counted with
+vectorized kernels instead of per-gram Python dictionaries.
+
+Char-level vocabularies compile to a *perfect* integer encoding: the
+distinct characters appearing in vocabulary grams form an alphabet of
+size ``A``; a window of ``n`` characters maps injectively to
+``sum(id_k * (A+1)**k)`` (base ``A+1`` positional encoding, id 0 reserved
+for out-of-alphabet characters — a vocabulary gram never contains a zero
+digit, so windows with unknown characters can never collide with one).
+Counting a batch is then: encode all statements into one code-point
+array, build the window values per ``n`` with a vectorized polynomial
+recurrence, match them against the vocabulary — a direct value → column
+gather for gram lengths whose encoding space is small, binary search
+(``np.searchsorted``) for the rest — and aggregate ``(row, feature)``
+hits with one linear ``np.bincount`` pass (``np.unique`` when the dense
+key space would be too large). The result is **exactly** the count
+matrix the Python
+``Counter`` path produces — no hashing, no collisions — so the compiled
+transform is value-identical (bitwise, per element) to
+``TfidfVectorizer.transform``.
+
+Word-level vocabularies (and degenerate char alphabets whose encoding
+would overflow ``int64``) fall back to the vectorizer's own counting
+pass (:meth:`TfidfVectorizer.transform_counts`); the weighting stage is
+shared either way, so equivalence is structural.
+
+The weighting stage applies the plan's dtype policy: ``idf`` is cast to
+the plan dtype at compile time and the TF ratio is cast *before* the
+multiply, so a plan compiled from float64 weights (a freshly fitted
+model) and a plan compiled from their float32 stored form (a loaded
+artifact) produce bitwise-identical feature matrices — the property the
+artifact roundtrip tests assert end to end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.sqlang.normalize import char_text
+from repro.text.ngrams import NGRAM_SEP
+from repro.text.tfidf import TfidfVectorizer
+
+__all__ = ["CompiledVectorizer"]
+
+#: Window encodings must stay clear of int64 overflow: ``(A+1)**max_n``
+#: below this bound leaves headroom for any digit combination.
+_MAX_ENCODED = 2**62
+
+#: Give up on the table-lookup path when the alphabet needs a lookup
+#: table larger than this many code points (pathological vocabularies).
+_MAX_TABLE = 1 << 20
+
+#: Gram lengths whose encoding space fits under this bound get a direct
+#: value → feature-column table (one gather per window) instead of a
+#: binary search; longer grams keep ``np.searchsorted``.
+_MAX_DIRECT = 1 << 22
+
+#: Aggregate (row, feature) hit keys with ``np.bincount`` (linear, no
+#: sort) while the dense key space stays below this; larger batches fall
+#: back to ``np.unique``.
+_MAX_BINCOUNT = 1 << 24
+
+
+def _char_gram_chars(key: str) -> str:
+    """Characters of a char-level vocab key (separators at odd positions)."""
+    return key[0::2]
+
+
+class CompiledVectorizer:
+    """A fitted TF-IDF vectorizer lowered to vectorized batch kernels.
+
+    Args:
+        vectorizer: Fitted :class:`TfidfVectorizer` to compile.
+        dtype: Output dtype policy of the owning plan (float32 default;
+            float64 is the exact-equivalence escape hatch).
+    """
+
+    def __init__(self, vectorizer: TfidfVectorizer, dtype=np.float32):
+        if vectorizer.idf_ is None:
+            raise ValueError("cannot compile an unfitted vectorizer")
+        self.vectorizer = vectorizer
+        self.dtype = np.dtype(dtype)
+        # canonical cast: float64 → float32 is deterministic, and casting
+        # an already-float32 (loaded) idf is the identity, so plans
+        # compiled before save and after load share bitwise-equal weights
+        self.idf = np.asarray(vectorizer.idf_, dtype=self.dtype)
+        self.num_features = len(vectorizer.vocabulary_)
+        self._fast = False
+        if vectorizer.level == "char":
+            self._compile_char_tables()
+
+    # -- compilation ------------------------------------------------------- #
+
+    def _compile_char_tables(self) -> None:
+        vectorizer = self.vectorizer
+        vocab = vectorizer.vocabulary_
+        alphabet = sorted({c for key in vocab for c in _char_gram_chars(key)})
+        if not alphabet:
+            return
+        base = len(alphabet) + 1
+        max_n = vectorizer.max_n
+        max_cp = ord(alphabet[-1])
+        if base**max_n >= _MAX_ENCODED or max_cp >= _MAX_TABLE:
+            return
+        table = np.zeros(max_cp + 1, dtype=np.int64)
+        for i, ch in enumerate(alphabet):
+            table[ord(ch)] = i + 1
+        id_of = {ch: i + 1 for i, ch in enumerate(alphabet)}
+        # per gram length: sorted window encodings + their feature columns
+        by_n: dict[int, tuple[list[int], list[int]]] = {}
+        for key, col in vocab.items():
+            chars = _char_gram_chars(key)
+            value = 0
+            for k, ch in enumerate(chars):
+                value += id_of[ch] * base**k
+            vals, cols = by_n.setdefault(len(chars), ([], []))
+            vals.append(value)
+            cols.append(col)
+        grams_n: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        direct_n: dict[int, np.ndarray] = {}
+        for n, (vals, cols) in by_n.items():
+            vals_arr = np.asarray(vals, dtype=np.int64)
+            order = np.argsort(vals_arr)
+            grams_n[n] = (
+                vals_arr[order],
+                np.asarray(cols, dtype=np.int64)[order],
+            )
+            space = base**n
+            if space <= _MAX_DIRECT:
+                # every window value is < base**n, so a flat value →
+                # column table turns the vocab probe into one gather
+                lut = np.full(space, -1, dtype=np.int32)
+                lut[vals_arr] = cols
+                direct_n[n] = lut
+        self._direct_n = direct_n
+        self._base = base
+        self._table = table
+        self._grams_n = grams_n
+        self._min_n = vectorizer.min_n
+        self._max_n = max_n
+        self._fast = True
+
+    # -- transform --------------------------------------------------------- #
+
+    def transform(self, statements: Sequence[str]) -> sparse.csr_matrix:
+        """TF-IDF matrix in the plan dtype, canonically sorted per row."""
+        if self._fast:
+            indices, indptr, counts, row_totals = self._count_char_batch(
+                statements
+            )
+        else:
+            indices, indptr, counts, row_totals = (
+                self.vectorizer.transform_counts(statements)
+            )
+        return self._assemble(len(statements), indices, indptr, counts,
+                              row_totals, canonical=self._fast)
+
+    def _assemble(
+        self,
+        n_rows: int,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        counts: np.ndarray,
+        row_totals: np.ndarray,
+        canonical: bool = False,
+    ) -> sparse.csr_matrix:
+        totals = np.repeat(row_totals, np.diff(indptr))
+        tf = counts / totals  # float64, exact integer ratios either path
+        if self.dtype == np.float64:
+            data = tf * self.idf[indices]
+        else:
+            # cast the ratio first: float32(tf) * float32(idf) depends only
+            # on values that survive the float32 artifact roundtrip
+            data = tf.astype(self.dtype) * self.idf[indices]
+        matrix = sparse.csr_matrix(
+            (data, indices, indptr), shape=(n_rows, self.num_features)
+        )
+        if canonical:
+            # the fast path emits row-major keys with ascending columns,
+            # so the CSR is already in canonical order — skip the scan
+            matrix.has_sorted_indices = True
+        else:
+            matrix.sort_indices()
+        return matrix
+
+    def _count_char_batch(
+        self, statements: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized equivalent of ``TfidfVectorizer.transform_counts``."""
+        vectorizer = self.vectorizer
+        texts = [char_text(s, vectorizer.max_len) for s in statements]
+        lengths = np.asarray([len(t) for t in texts], dtype=np.int64)
+        n_rows = len(texts)
+        min_n, max_n = self._min_n, self._max_n
+        # row totals: all grams of every length, even out-of-vocab ones
+        row_totals = np.zeros(n_rows, dtype=np.int64)
+        for n in range(min_n, max_n + 1):
+            row_totals += np.maximum(lengths - n + 1, 0)
+        row_totals = np.maximum(row_totals, 1).astype(np.float64)
+
+        total = int(lengths.sum())
+        if total == 0:
+            return (
+                np.zeros(0, dtype=np.int32),
+                np.zeros(n_rows + 1, dtype=np.int32),
+                np.zeros(0, dtype=np.float64),
+                row_totals,
+            )
+        # one flat code-point array for the whole batch ("utf-32-le" emits
+        # no BOM, so the buffer is exactly one uint32 per character)
+        codes = np.frombuffer(
+            "".join(texts).encode("utf-32-le"), dtype="<u4"
+        )
+        table = self._table
+        if int(codes.max()) < len(table):
+            ids = table[codes]
+        else:
+            ids = np.where(
+                codes < len(table),
+                table[np.minimum(codes, len(table) - 1)],
+                0,
+            )
+        # chars left in the row at each position, for boundary masking of
+        # multi-char windows
+        starts = np.zeros(n_rows, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        row_of = np.repeat(np.arange(n_rows, dtype=np.int64), lengths)
+        ends = starts + lengths
+        room = ends[row_of] - np.arange(total, dtype=np.int64)
+
+        base = self._base
+        hit_rows: list[np.ndarray] = []
+        hit_cols: list[np.ndarray] = []
+        values = ids.copy()  # window encodings, grown one char at a time
+        for n in range(1, max_n + 1):
+            width = total - (n - 1)
+            if width <= 0:
+                break
+            if n > 1:
+                values[:width] += ids[n - 1 :] * base ** (n - 1)
+            if n < min_n:
+                continue
+            grams = self._grams_n.get(n)
+            if grams is None:
+                continue
+            vals_n = values[:width]
+            lut = self._direct_n.get(n)
+            if lut is not None:
+                hit = lut[vals_n]
+                matched = hit >= 0
+                if n > 1:
+                    matched &= room[:width] >= n
+                idx = np.flatnonzero(matched)
+                if idx.size:
+                    hit_rows.append(row_of[idx])
+                    hit_cols.append(hit[idx])
+                continue
+            sorted_vals, cols = grams
+            pos = np.searchsorted(sorted_vals, vals_n)
+            # clip-take folds the pos == len bound into one comparison:
+            # an over-the-end probe compares against the largest vocab
+            # value, which a larger-than-it window can never equal
+            matched = sorted_vals.take(pos, mode="clip") == vals_n
+            matched &= room[:width] >= n
+            idx = np.flatnonzero(matched)
+            if idx.size:
+                hit_rows.append(row_of[idx])
+                hit_cols.append(cols[pos[idx]])
+        if not hit_rows:
+            return (
+                np.zeros(0, dtype=np.int32),
+                np.zeros(n_rows + 1, dtype=np.int32),
+                np.zeros(0, dtype=np.float64),
+                row_totals,
+            )
+        rows = np.concatenate(hit_rows)
+        cols = np.concatenate(hit_cols)
+        # aggregate duplicate (row, feature) hits into counts; the combined
+        # key orders row-major with ascending columns, i.e. canonical CSR
+        num_features = self.num_features
+        keys = rows * np.int64(num_features) + cols
+        key_space = n_rows * num_features
+        if key_space <= _MAX_BINCOUNT:
+            # linear aggregation, and row/column recovery without int64
+            # division: per-row nnz comes from a row-shaped nonzero count,
+            # columns from subtracting each row's key base
+            dense = np.bincount(keys, minlength=key_space)
+            unique_keys = np.flatnonzero(dense)
+            counts = dense[unique_keys]
+            per_row = np.count_nonzero(
+                dense.reshape(n_rows, num_features), axis=1
+            )
+            indptr = np.zeros(n_rows + 1, dtype=np.int32)
+            np.cumsum(per_row, out=indptr[1:])
+            row_base = np.repeat(
+                np.arange(n_rows, dtype=np.int64) * num_features, per_row
+            )
+            indices = (unique_keys - row_base).astype(np.int32)
+        else:
+            unique_keys, counts = np.unique(keys, return_counts=True)
+            unique_rows = unique_keys // num_features
+            indices = (unique_keys % num_features).astype(np.int32)
+            indptr = np.searchsorted(
+                unique_rows, np.arange(n_rows + 1, dtype=np.int64)
+            ).astype(np.int32)
+        return indices, indptr, counts.astype(np.float64), row_totals

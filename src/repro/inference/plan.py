@@ -1,0 +1,214 @@
+"""Compiled inference plans: fused cross-head scoring for serving.
+
+A fitted :class:`~repro.core.facilitator.QueryFacilitator` is a zoo of
+per-problem heads that, served naively, each re-run featurize → transform
+→ predict on every micro-batch. :func:`compile_plan` compiles that zoo
+once — at load (or first batch) — into an :class:`InferencePlan`:
+
+- **TF-IDF heads sharing a feature fingerprint fuse into one block.**
+  Every head's weight matrix is stacked column-wise into a single
+  ``(vocab, Σ num_outputs)`` dense block, so scoring *all* heads is one
+  CSR × dense matmul per micro-batch; per-head output slices then get
+  softmax/argmax/identity decoding. Featurization itself runs through
+  :class:`~repro.inference.featurize.CompiledVectorizer` — the vocabulary
+  lowered into vectorized counting kernels.
+- **Neural and baseline heads pass through** their normal
+  ``predict_into`` path (neural models use the no-grad ``infer`` forward,
+  which skips the BPTT caches).
+
+Numerics policy: the plan computes the fused block in float32 by default.
+Weights, biases, idf, and the TF ratio are all cast to float32 *at
+compile time*, regardless of whether the source model holds float64
+(fresh fit) or float32 (loaded from a v3 artifact) — float64→float32
+casting is deterministic, so both compile to bitwise-identical plans and
+facilitator predictions survive a save/load roundtrip bit-for-bit.
+Probabilities and regressions agree with the per-head float64 loop to
+~1e-6 relative; label decisions agree exactly away from decision-boundary
+ties. ``compile_plan(facilitator, dtype=np.float64)`` is the documented
+exact-equivalence escape hatch: a float64 plan is *bitwise* equal to the
+per-head loop, because a CSR × dense product computes each output column
+independently in the same accumulation order (column slices of the fused
+product equal the per-head products exactly) and the softmax code is
+shared.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.heads import REGRESSION_INSIGHT_ATTRS, ProblemHead
+from repro.core.problems import Problem
+from repro.inference.featurize import CompiledVectorizer
+from repro.ml.logistic import softmax_into
+from repro.models.tfidf_model import TfidfClassifier, TfidfRegressor
+from repro.obs.spans import span
+
+__all__ = ["InferencePlan", "compile_plan"]
+
+
+@dataclass
+class _Segment:
+    """One head's output columns inside a fused score block."""
+
+    head: ProblemHead
+    lo: int
+    hi: int
+    #: precomputed ``str(c)`` keys for the error-probability dict
+    class_names: list[str] | None = None
+
+
+@dataclass
+class _FusedBlock:
+    """All TF-IDF heads sharing one feature fingerprint, fused."""
+
+    vectorizer: CompiledVectorizer
+    weight: np.ndarray  #: (F, total_outputs), plan dtype, C-order
+    bias: np.ndarray  #: (total_outputs,), plan dtype
+    segments: list[_Segment] = field(default_factory=list)
+
+
+class InferencePlan:
+    """Compiled scoring plan for one facilitator's model zoo.
+
+    Build with :func:`compile_plan`. ``predict_into`` mirrors the
+    semantics of the facilitator's per-head loop (same
+    :class:`QueryInsights` fields, same obs span stages) over the fused
+    execution.
+    """
+
+    def __init__(
+        self,
+        blocks: list[_FusedBlock],
+        passthrough: list[ProblemHead],
+        dtype: np.dtype,
+    ):
+        self.blocks = blocks
+        self.passthrough = passthrough
+        self.dtype = dtype
+
+    @property
+    def fused_heads(self) -> int:
+        """Number of heads scored by fused matmuls."""
+        return sum(len(b.segments) for b in self.blocks)
+
+    def predict_into(self, statements: Sequence[str], results: list) -> None:
+        """Write every head's predictions into the aligned results."""
+        for block in self.blocks:
+            with span("featurize", statements=len(statements)):
+                with span("tfidf", statements=len(statements)):
+                    features = block.vectorizer.transform(statements)
+            with span("predict:fused", heads=len(block.segments)):
+                scores = features @ block.weight
+                scores += block.bias
+            for segment in block.segments:
+                head = segment.head
+                head_name = head.problem.name.lower()
+                with span(f"predict:{head_name}", head=head_name):
+                    self._decode(segment, scores, results)
+        for head in self.passthrough:
+            head_name = head.problem.name.lower()
+            with span(f"predict:{head_name}", head=head_name):
+                head.predict_into(statements, results, features=None)
+
+    @staticmethod
+    def _decode(
+        segment: _Segment, scores: np.ndarray, results: list
+    ) -> None:
+        head = segment.head
+        block = scores[:, segment.lo : segment.hi]
+        if head.problem.is_classification:
+            assert head.encoder is not None
+            if head.problem is Problem.ERROR_CLASSIFICATION:
+                probs = softmax_into(np.ascontiguousarray(block))
+                names = head.encoder.inverse(probs.argmax(axis=1))
+                class_names = segment.class_names or []
+                # one C-level tolist beats n_rows × n_classes float() calls
+                rows = probs.tolist()
+                for i, result in enumerate(results):
+                    result.error_class = str(names[i])
+                    result.error_probabilities = dict(
+                        zip(class_names, rows[i])
+                    )
+            else:
+                names = head.encoder.inverse(block.argmax(axis=1))
+                for i, result in enumerate(results):
+                    result.session_class = str(names[i])
+            return
+        assert head.transform is not None
+        pred = np.maximum(
+            head.transform.inverse(block[:, 0]), 0.0
+        ).tolist()
+        attr = REGRESSION_INSIGHT_ATTRS[head.problem]
+        for i, result in enumerate(results):
+            setattr(result, attr, pred[i])
+
+
+def _fusable(head: ProblemHead) -> bool:
+    model = head.model
+    if isinstance(model, TfidfClassifier):
+        return model.classifier.weight is not None
+    if isinstance(model, TfidfRegressor):
+        return model.regressor.weight is not None
+    return False
+
+
+def compile_plan(facilitator, dtype=np.float32) -> InferencePlan:
+    """Compile a fitted facilitator's heads into an :class:`InferencePlan`.
+
+    Args:
+        facilitator: A fitted ``QueryFacilitator`` (duck-typed: anything
+            with a ``heads`` mapping of :class:`ProblemHead`).
+        dtype: Numerics policy for the fused TF-IDF blocks. ``np.float32``
+            (default) halves memory traffic and matches stored artifacts;
+            ``np.float64`` is the exact escape hatch — bitwise equal to
+            the per-head loop.
+    """
+    dtype = np.dtype(dtype)
+    groups: dict[bytes, list[ProblemHead]] = {}
+    passthrough: list[ProblemHead] = []
+    for head in facilitator.heads.values():
+        fingerprint = (
+            head.model.feature_fingerprint() if _fusable(head) else None
+        )
+        if fingerprint is None:
+            passthrough.append(head)
+        else:
+            groups.setdefault(fingerprint, []).append(head)
+    blocks: list[_FusedBlock] = []
+    for heads in groups.values():
+        vectorizer = CompiledVectorizer(
+            heads[0].model.vectorizer, dtype=dtype
+        )
+        columns: list[np.ndarray] = []
+        biases: list[np.ndarray] = []
+        segments: list[_Segment] = []
+        offset = 0
+        for head in heads:
+            if isinstance(head.model, TfidfClassifier):
+                w = head.model.classifier.weight
+                b = head.model.classifier.bias
+            else:
+                w = head.model.regressor.weight[:, None]
+                b = np.asarray([head.model.regressor.bias])
+            columns.append(np.asarray(w, dtype=dtype))
+            biases.append(np.asarray(b, dtype=dtype))
+            segment = _Segment(head, offset, offset + w.shape[1])
+            if head.encoder is not None:
+                segment.class_names = [
+                    str(c) for c in head.encoder.classes_
+                ]
+            segments.append(segment)
+            offset += w.shape[1]
+        blocks.append(
+            _FusedBlock(
+                vectorizer=vectorizer,
+                weight=np.ascontiguousarray(np.concatenate(columns, axis=1)),
+                bias=np.concatenate(biases),
+                segments=segments,
+            )
+        )
+    return InferencePlan(blocks, passthrough, dtype)

@@ -13,7 +13,24 @@ from scipy import sparse
 from repro.ml.sparse_ops import iter_csr_row_blocks
 from repro.nn.losses import log_softmax, softmax
 
-__all__ = ["LogisticRegression"]
+__all__ = ["LogisticRegression", "softmax_into"]
+
+
+def softmax_into(scores: np.ndarray) -> np.ndarray:
+    """Row-wise softmax computed in place over ``scores``.
+
+    Identical operation sequence to :func:`repro.nn.losses.softmax`
+    (max-shift, exp, normalize) so the two are value-equal — but the
+    shifted/exponentiated intermediates reuse the input buffer instead of
+    allocating fresh ``(n, C)`` temporaries per call. The serving-path
+    primitive behind :meth:`LogisticRegression.predict_proba_into` and
+    the fused inference plan's classification decode.
+    """
+    peak = scores.max(axis=-1, keepdims=True)
+    np.subtract(scores, peak, out=scores)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    return scores
 
 
 class LogisticRegression:
@@ -126,8 +143,21 @@ class LogisticRegression:
         return sparse.csr_matrix(x) @ w + b
 
     def predict_proba(self, x: sparse.spmatrix) -> np.ndarray:
-        """Class probabilities."""
-        return softmax(self.decision_function(x))
+        """Class probabilities (in-place softmax over the logits buffer)."""
+        return softmax_into(self.decision_function(x))
+
+    def predict_proba_into(
+        self, x: sparse.spmatrix, out: np.ndarray
+    ) -> np.ndarray:
+        """Write class probabilities into the preallocated ``out`` buffer.
+
+        ``out`` must be ``(n_rows, num_classes)`` float; beyond the one
+        unavoidable sparse-matmul product, no per-call temporaries are
+        allocated — the softmax runs in place on ``out``.
+        """
+        w, b = self._require_fitted()
+        np.add(sparse.csr_matrix(x) @ w, b, out=out)
+        return softmax_into(out)
 
     def predict_log_proba(self, x: sparse.spmatrix) -> np.ndarray:
         """Log class probabilities."""

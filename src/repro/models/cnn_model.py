@@ -53,6 +53,12 @@ class _CNNNetwork(Module):
         dropped = self.dropout.forward(pooled)
         return self.head.forward(dropped)
 
+    def infer(self, ids: np.ndarray) -> np.ndarray:
+        """No-grad forward: same math, no backward caches allocated."""
+        embedded = self.embedding.infer(ids)
+        pooled = self.conv.infer(embedded)
+        return self.head.infer(self.dropout.infer(pooled))
+
     def backward(self, dout: np.ndarray) -> None:
         dpooled = self.dropout.backward(self.head.backward(dout))
         dembedded = self.conv.backward(dpooled)
@@ -110,6 +116,13 @@ class TextCNNModel(NeuralTextModel):
         del lengths  # max-over-time pooling is length-agnostic
         assert self._net is not None
         return self._net.forward(ids)
+
+    def _forward_infer(
+        self, ids: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        del lengths
+        assert self._net is not None
+        return self._net.infer(ids)
 
     def _backward(self, dout: np.ndarray) -> None:
         assert self._net is not None

@@ -51,6 +51,12 @@ class _LSTMNetwork(Module):
         last = gather_last(h_seq, lengths)
         return self.head.forward(last)
 
+    def infer(self, ids: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """No-grad forward: same math, no BPTT caches allocated."""
+        embedded = self.embedding.infer(ids)
+        h_seq = self.lstm.infer(embedded)
+        return self.head.infer(gather_last(h_seq, lengths))
+
     def backward(self, dout: np.ndarray) -> None:
         assert self._lengths is not None
         dlast = self.head.backward(dout)
@@ -102,6 +108,12 @@ class TextLSTMModel(NeuralTextModel):
     def _forward(self, ids: np.ndarray, lengths: np.ndarray) -> np.ndarray:
         assert self._net is not None
         return self._net.forward(ids, lengths)
+
+    def _forward_infer(
+        self, ids: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        assert self._net is not None
+        return self._net.infer(ids, lengths)
 
     def _backward(self, dout: np.ndarray) -> None:
         assert self._net is not None

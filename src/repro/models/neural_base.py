@@ -218,6 +218,18 @@ class NeuralTextModel(QueryModel):
     def _backward(self, dout: np.ndarray) -> None:
         """Backprop from (B, out_dim) output gradient."""
 
+    def _forward_infer(
+        self, ids: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        """No-grad forward used by prediction.
+
+        Subclasses override to route through the layers' ``infer``
+        methods, which run the identical floating-point computation as
+        ``forward`` without allocating BPTT caches. The default falls
+        back to :meth:`_forward` for networks without an infer path.
+        """
+        return self._forward(ids, lengths)
+
     # -- shared machinery -------------------------------------------------- #
 
     def _build_vocab(self, statements: Sequence[str]) -> Vocabulary:
@@ -465,7 +477,7 @@ class NeuralTextModel(QueryModel):
         for start in range(0, len(encoded), batch):
             ids = self._pad(encoded[start : start + batch])
             lengths = self._lengths(ids, self.encoder.vocab.pad_id)
-            outputs.append(self._forward(ids, lengths))
+            outputs.append(self._forward_infer(ids, lengths))
         if not outputs:
             return np.zeros((0, self.out_dim))
         return np.concatenate(outputs, axis=0)

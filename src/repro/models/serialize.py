@@ -24,8 +24,10 @@ import io
 import json
 import os
 import pickle
+import struct
+import warnings
 import zipfile
-from collections.abc import Callable
+from collections.abc import Callable, Collection
 from pathlib import Path
 from typing import Any
 
@@ -41,9 +43,13 @@ __all__ = [
     "decode_payload",
     "pack_arrays",
     "unpack_arrays",
+    "split_arrays",
+    "join_arrays",
     "write_artifact",
     "read_artifact",
     "read_manifest",
+    "read_members",
+    "read_array_members",
     "MANIFEST_NAME",
 ]
 
@@ -148,18 +154,136 @@ register_codec(
 register_codec("npz", pack_arrays, unpack_arrays)
 
 
+# -- split pickles: object skeleton + externalized weight arrays --------------- #
+
+#: arrays smaller than this stay inline in the pickle skeleton — zip
+#: member overhead (local header + manifest entry) isn't worth paying
+#: for a handful of scalars
+SPLIT_MIN_BYTES = 2048
+
+
+class _ArraySplitter(pickle.Pickler):
+    """Pickler that externalizes large numeric arrays via persistent ids.
+
+    Every ndarray of at least ``min_bytes`` whose dtype is numeric/bool is
+    replaced in the stream by a persistent id ``a<n>`` and collected in
+    ``self.arrays``; with ``float32=True`` float64 payloads are cast down
+    on the way out (the serving numerics policy — see
+    :mod:`repro.inference.plan`). Identical array objects dedupe to one
+    entry, mirroring pickle's memo semantics.
+    """
+
+    def __init__(self, buffer: io.BytesIO, min_bytes: int, float32: bool):
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self.min_bytes = min_bytes
+        self.float32 = float32
+        self.arrays: dict[str, np.ndarray] = {}
+        self._seen: dict[int, str] = {}
+
+    def persistent_id(self, obj: Any):  # noqa: D102 (pickle hook)
+        if not (
+            isinstance(obj, np.ndarray)
+            and type(obj) is np.ndarray
+            and obj.nbytes >= self.min_bytes
+            and obj.dtype.kind in "fiub"
+        ):
+            return None
+        key = self._seen.get(id(obj))
+        if key is None:
+            arr = obj
+            if self.float32 and arr.dtype == np.float64:
+                arr = arr.astype(np.float32)
+            key = f"a{len(self.arrays)}"
+            self.arrays[key] = np.ascontiguousarray(arr)
+            self._seen[id(obj)] = key
+        return key
+
+
+class _ArrayJoiner(pickle.Unpickler):
+    """Inverse of :class:`_ArraySplitter`: persistent ids → arrays."""
+
+    def __init__(self, buffer: io.BytesIO, arrays):
+        super().__init__(buffer)
+        self._arrays = arrays
+
+    def persistent_load(self, pid: str) -> np.ndarray:
+        try:
+            return self._arrays[pid]
+        except KeyError:
+            raise ArtifactFormatError(
+                f"split pickle references missing array member {pid!r}"
+            ) from None
+
+
+def split_arrays(
+    obj: Any,
+    min_bytes: int = SPLIT_MIN_BYTES,
+    float32: bool = True,
+) -> tuple[bytes, dict[str, np.ndarray]]:
+    """Pickle ``obj`` with its large arrays externalized.
+
+    Returns ``(skeleton bytes, {key: array})``. The skeleton is a normal
+    pickle stream except that each externalized array is a persistent-id
+    reference; :func:`join_arrays` reassembles the object, accepting
+    either eager arrays or ``np.memmap`` views — this is what makes
+    memory-mapped artifact loading possible without teaching every model
+    class about storage.
+    """
+    buffer = io.BytesIO()
+    splitter = _ArraySplitter(buffer, min_bytes, float32)
+    splitter.dump(obj)
+    return buffer.getvalue(), splitter.arrays
+
+
+def join_arrays(skeleton: bytes, arrays) -> Any:
+    """Reassemble an object from :func:`split_arrays` output.
+
+    ``arrays`` is any mapping from key to ndarray-like (eager arrays or
+    memmap views).
+    """
+    try:
+        return _ArrayJoiner(io.BytesIO(skeleton), arrays).load()
+    except ArtifactFormatError:
+        raise
+    except Exception as exc:
+        raise ArtifactFormatError(
+            f"corrupt split-pickle payload: {exc}"
+        ) from exc
+
+
 # -- versioned zip artifacts --------------------------------------------------- #
+
+
+def _npy_bytes(arr: np.ndarray) -> bytes:
+    """Serialize one array in ``.npy`` format (no pickle objects)."""
+    buffer = io.BytesIO()
+    np.lib.format.write_array(buffer, arr, allow_pickle=False)
+    return buffer.getvalue()
+
+
+#: size of a zip local file header before the variable-length name/extra
+_LOCAL_HEADER_SIZE = 30
+_LOCAL_HEADER_SIGNATURE = b"PK\x03\x04"
 
 
 def write_artifact(
     path: str | Path,
     manifest: dict,
     payloads: dict[str, bytes] | None = None,
+    arrays: dict[str, np.ndarray] | None = None,
 ) -> None:
     """Write a versioned artifact: ``manifest.json`` + binary members.
 
     ``manifest`` must carry at least ``format`` and ``version`` keys so
     :func:`read_artifact` can validate before touching any payload.
+
+    ``arrays`` members are written *uncompressed* (``ZIP_STORED``) in
+    ``.npy`` format, and the manifest gains an ``arrays`` index recording
+    each member's raw-data byte offset, dtype, and shape — which is what
+    lets :func:`read_array_members` memory-map weights straight out of
+    the zip file without inflating anything. Array members are written
+    before the manifest so the offsets are known when the manifest is
+    serialized (zip readers address members by name, not position).
 
     The write is atomic: the zip is assembled in a same-directory temp
     file and ``os.replace``d into place, so a crash (or an injected
@@ -172,6 +296,29 @@ def write_artifact(
     tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
     try:
         with zipfile.ZipFile(tmp, "w", zipfile.ZIP_DEFLATED) as archive:
+            array_index: dict[str, dict] = {}
+            for member, arr in (arrays or {}).items():
+                arr = np.ascontiguousarray(arr)
+                raw = _npy_bytes(arr)
+                archive.writestr(
+                    member, raw, compress_type=zipfile.ZIP_STORED
+                )
+                info = archive.getinfo(member)
+                data_offset = (
+                    info.header_offset
+                    + _LOCAL_HEADER_SIZE
+                    + len(info.filename.encode("utf-8"))
+                    + len(info.extra)
+                )
+                array_index[member] = {
+                    # offset of the flat array data: past the npy header
+                    "offset": data_offset + (len(raw) - arr.nbytes),
+                    "dtype": arr.dtype.str,
+                    "shape": list(arr.shape),
+                }
+            if array_index:
+                manifest = dict(manifest)
+                manifest["arrays"] = array_index
             archive.writestr(MANIFEST_NAME, json.dumps(manifest, indent=2))
             for member, data in (payloads or {}).items():
                 archive.writestr(member, data)
@@ -182,9 +329,15 @@ def write_artifact(
 
 
 def read_manifest(
-    path: str | Path, expected_format: str, expected_version: int
+    path: str | Path,
+    expected_format: str,
+    expected_version: int | Collection[int],
 ) -> dict:
     """Read and validate just the manifest of an artifact file.
+
+    ``expected_version`` may be a single version or a collection of
+    supported versions (readers that keep back-compat with older
+    on-disk layouts pass the full supported set).
 
     Raises:
         ArtifactFormatError: not a zip artifact, manifest missing/corrupt,
@@ -218,17 +371,25 @@ def read_manifest(
             f"{path}: artifact format is {manifest.get('format')!r}, "
             f"expected {expected_format!r}"
         )
-    if manifest.get("version") != expected_version:
+    supported = (
+        (expected_version,)
+        if isinstance(expected_version, int)
+        else tuple(expected_version)
+    )
+    if manifest.get("version") not in supported:
+        versions = ", ".join(str(v) for v in sorted(supported))
         raise ArtifactFormatError(
             f"{path}: unsupported {expected_format} version "
-            f"{manifest.get('version')!r} (this library reads version "
-            f"{expected_version})"
+            f"{manifest.get('version')!r} (this library reads "
+            f"version{'s' if len(supported) > 1 else ''} {versions})"
         )
     return manifest
 
 
 def read_artifact(
-    path: str | Path, expected_format: str, expected_version: int
+    path: str | Path,
+    expected_format: str,
+    expected_version: int | Collection[int],
 ) -> tuple[dict, dict[str, bytes]]:
     """Read an artifact written by :func:`write_artifact`.
 
@@ -241,3 +402,144 @@ def read_artifact(
             if member != MANIFEST_NAME:
                 payloads[member] = archive.read(member)
     return manifest, payloads
+
+
+def read_members(
+    path: str | Path, members: Collection[str]
+) -> dict[str, bytes]:
+    """Read just the named zip members (no manifest validation).
+
+    Missing members raise :class:`ArtifactFormatError` naming the member.
+    """
+    data: dict[str, bytes] = {}
+    with zipfile.ZipFile(Path(path)) as archive:
+        for member in members:
+            try:
+                data[member] = archive.read(member)
+            except KeyError:
+                raise ArtifactFormatError(
+                    f"{path}: artifact is missing member {member!r}"
+                ) from None
+    return data
+
+
+def _validated_data_offset(
+    path: Path, handle, info: zipfile.ZipInfo, entry: dict, member: str
+) -> int:
+    """Re-derive the array-data offset from the on-disk headers.
+
+    Walks the zip *local* file header (whose name/extra lengths may
+    differ from the central directory's) and the npy header behind it,
+    and cross-checks the result plus dtype/shape against the manifest
+    entry. A mismatch means the manifest's offsets no longer describe
+    this file — memory-mapping would silently read garbage — so it is an
+    :class:`ArtifactFormatError` naming the member.
+    """
+    handle.seek(info.header_offset)
+    header = handle.read(_LOCAL_HEADER_SIZE)
+    if len(header) != _LOCAL_HEADER_SIZE or not header.startswith(
+        _LOCAL_HEADER_SIGNATURE
+    ):
+        raise ArtifactFormatError(
+            f"{path}: corrupt local header for array member {member!r}"
+        )
+    name_len, extra_len = struct.unpack("<HH", header[26:30])
+    handle.seek(info.header_offset + _LOCAL_HEADER_SIZE + name_len + extra_len)
+    try:
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            header = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            header = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise ValueError(f"unsupported npy format version {version}")
+        shape, fortran, dtype = header
+    except ValueError as exc:
+        raise ArtifactFormatError(
+            f"{path}: corrupt npy header for array member {member!r}: {exc}"
+        ) from exc
+    data_offset = handle.tell()
+    if (
+        data_offset != entry["offset"]
+        or fortran
+        or dtype.str != entry["dtype"]
+        or list(shape) != list(entry["shape"])
+    ):
+        raise ArtifactFormatError(
+            f"{path}: manifest offset/layout for array member {member!r} "
+            "does not match the file (corrupt or hand-edited artifact); "
+            "refusing to memory-map"
+        )
+    return data_offset
+
+
+def read_array_members(
+    path: str | Path, manifest: dict, mmap: bool = False
+) -> dict[str, np.ndarray]:
+    """Load the artifact's array members listed in ``manifest['arrays']``.
+
+    With ``mmap=False`` each member is read eagerly through the npy
+    parser. With ``mmap=True`` the flat array data is memory-mapped
+    straight out of the zip file at the manifest-recorded offset —
+    possible because :func:`write_artifact` stores array members
+    uncompressed — after re-deriving the offset from the on-disk zip and
+    npy headers (a mismatch raises :class:`ArtifactFormatError` naming
+    the member). Members that turn out to be compressed (an artifact
+    rewritten by a generic zip tool) fall back to eager reads with a
+    warning rather than failing.
+    """
+    path = Path(path)
+    index = manifest.get("arrays") or {}
+    arrays: dict[str, np.ndarray] = {}
+    if not index:
+        return arrays
+    with zipfile.ZipFile(path) as archive:
+        if mmap:
+            with path.open("rb") as handle:
+                for member, entry in index.items():
+                    try:
+                        info = archive.getinfo(member)
+                    except KeyError:
+                        raise ArtifactFormatError(
+                            f"{path}: artifact is missing array member "
+                            f"{member!r}"
+                        ) from None
+                    if info.compress_type != zipfile.ZIP_STORED:
+                        warnings.warn(
+                            f"{path}: array member {member!r} is "
+                            "compressed; falling back to an eager read "
+                            "(memory-mapping needs stored members)",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        arrays[member] = _read_npy_member(archive, member)
+                        continue
+                    offset = _validated_data_offset(
+                        path, handle, info, entry, member
+                    )
+                    arrays[member] = np.memmap(
+                        path,
+                        dtype=np.dtype(entry["dtype"]),
+                        mode="r",
+                        offset=offset,
+                        shape=tuple(entry["shape"]),
+                    )
+        else:
+            for member in index:
+                arrays[member] = _read_npy_member(archive, member)
+    return arrays
+
+
+def _read_npy_member(archive: zipfile.ZipFile, member: str) -> np.ndarray:
+    try:
+        with archive.open(member) as stream:
+            return np.lib.format.read_array(stream, allow_pickle=False)
+    except KeyError:
+        raise ArtifactFormatError(
+            f"{archive.filename}: artifact is missing array member "
+            f"{member!r}"
+        ) from None
+    except ValueError as exc:
+        raise ArtifactFormatError(
+            f"{archive.filename}: corrupt array member {member!r}: {exc}"
+        ) from exc

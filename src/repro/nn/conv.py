@@ -86,6 +86,35 @@ class TextConv1d(Module):
         self._cache = (x, active, pooled_idx, original_time)
         return pooled
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """No-grad forward: identical FLOPs and order, no backward cache.
+
+        Skips the ``(B, P, K)`` ReLU activity mask and the argmax index
+        bookkeeping the backward pass needs; the pooled values are the
+        same elements :meth:`forward` selects, so outputs are bitwise
+        equal.
+        """
+        original_time = x.shape[1]
+        if original_time < self.window:
+            pad = self.window - original_time
+            x = np.concatenate(
+                [x, np.zeros((x.shape[0], pad, x.shape[2]), dtype=x.dtype)],
+                axis=1,
+            )
+        _, time, dim = x.shape
+        positions = time - self.window + 1
+        weight = self.weight.value
+        linear = x[:, :positions, :] @ weight[:dim]
+        for j in range(1, self.window):
+            linear += x[:, j : j + positions, :] @ weight[
+                j * dim : (j + 1) * dim
+            ]
+        linear += self.bias.value
+        activation = np.maximum(linear, 0.0, out=linear)
+        if self.pooling == "max":
+            return activation.max(axis=1)
+        return activation.mean(axis=1)
+
     def backward(self, dout: np.ndarray) -> np.ndarray:
         """(B, K) grad → (B, T, D) grad w.r.t. the embedding input."""
         if self._cache is None:
@@ -150,6 +179,10 @@ class MultiKernelTextConv(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return np.concatenate([conv.forward(x) for conv in self.convs], axis=1)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """No-grad forward: concatenated pooled outputs, no caches."""
+        return np.concatenate([conv.infer(x) for conv in self.convs], axis=1)
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         dx: np.ndarray | None = None

@@ -65,6 +65,10 @@ class Embedding(Module):
         self._ids = ids
         return self.weight.value[ids]
 
+    def infer(self, ids: np.ndarray) -> np.ndarray:
+        """No-grad forward: same lookup, no backward cache retained."""
+        return self.weight.value[ids]
+
     def backward(self, dout: np.ndarray) -> None:
         """Accumulate into weight.grad; embeddings have no input gradient.
 
@@ -105,6 +109,10 @@ class Linear(Module):
         self._x = x
         return x @ self.weight.value + self.bias.value
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """No-grad forward: identical math, no input cached."""
+        return x @ self.weight.value + self.bias.value
+
     def backward(self, dout: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward called before forward")
@@ -136,6 +144,10 @@ class Dropout(Module):
             self.rng.random(x.shape) < keep
         ).astype(np.float64) / keep
         return x * self._mask
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """No-grad forward: inference-time dropout is the identity."""
+        return x
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         if self._mask is None:

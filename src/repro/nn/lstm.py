@@ -98,6 +98,53 @@ class LSTMLayer(Module):
         self._cache = (xt, gates, cs, tanh_cs, hs)
         return hs.transpose(1, 0, 2)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """No-grad forward: identical op order, no BPTT cache slabs.
+
+        Mirrors :meth:`forward` step for step — same fused input GEMM,
+        same per-step recurrent matmul and nonlinearity sequence — but
+        allocates only the output ``hs`` slab plus rolling per-step
+        buffers, skipping the ``(T, B, 4K)`` gates and the ``cs`` /
+        ``tanh_cs`` slabs the backward pass needs. Outputs are bitwise
+        equal to :meth:`forward`.
+        """
+        batch, time, _ = x.shape
+        k = self.hidden
+        w, u, b = self.w.value, self.u.value, self.b.value
+
+        xt = np.ascontiguousarray(x.transpose(1, 0, 2))
+        zx = xt.reshape(batch * time, self.in_dim) @ w
+        zx += b
+        zx = zx.reshape(time, batch, 4 * k)
+
+        hs = np.empty((time, batch, k))
+        h = np.zeros((batch, k))
+        c = np.zeros((batch, k))
+        c_new = np.empty((batch, k))
+        z = np.empty((batch, 4 * k))
+        gate = np.empty((batch, 4 * k))
+        scratch = np.empty((batch, k))
+        z_sig = z[:, : 3 * k]
+        z_g = z[:, 3 * k :]
+        sig_t = gate[:, : 3 * k]
+        i_t = gate[:, :k]
+        f_t = gate[:, k : 2 * k]
+        o_t = gate[:, 2 * k : 3 * k]
+        g_t = gate[:, 3 * k :]
+        for t in range(time):
+            np.matmul(h, u, out=z)
+            z += zx[t]
+            sigmoid(z_sig, out=sig_t)
+            np.tanh(z_g, out=g_t)
+            np.multiply(f_t, c, out=c_new)
+            np.multiply(i_t, g_t, out=scratch)
+            c_new += scratch
+            np.tanh(c_new, out=scratch)  # tanh(c) reuses the i·g scratch
+            np.multiply(o_t, scratch, out=hs[t])
+            h = hs[t]
+            c, c_new = c_new, c
+        return hs.transpose(1, 0, 2)
+
     def backward(self, dh_seq: np.ndarray) -> np.ndarray:
         """Gradient of the hidden sequence → gradient of the input sequence."""
         if self._cache is None:
@@ -191,6 +238,13 @@ class StackedLSTM(Module):
         out = x
         for layer in self.layers:
             out = layer.forward(out)
+        return out
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """No-grad forward through every layer (no BPTT caches)."""
+        out = x
+        for layer in self.layers:
+            out = layer.infer(out)
         return out
 
     def backward(self, dh_seq: np.ndarray) -> np.ndarray:

@@ -419,11 +419,24 @@ class FacilitatorService:
         # worker stamps each request with the generation that answered it
         self._generation = 1
         self._reload_lock = threading.Lock()
+        #: how :meth:`reload` loads replacement artifacts; set by
+        #: :meth:`from_artifact` so a service booted with memory-mapped
+        #: weights keeps that policy across hot reloads
+        self.mmap = False
 
     @classmethod
-    def from_artifact(cls, path, **kwargs) -> "FacilitatorService":
-        """Service over an artifact saved by ``QueryFacilitator.save``."""
-        return cls(QueryFacilitator.load(path), **kwargs)
+    def from_artifact(
+        cls, path, mmap: bool = False, **kwargs
+    ) -> "FacilitatorService":
+        """Service over an artifact saved by ``QueryFacilitator.save``.
+
+        ``mmap=True`` memory-maps the artifact's weight arrays (v3
+        artifacts; older versions warn and load eagerly) — the fast cold
+        start path. The same policy is reused by :meth:`reload`.
+        """
+        service = cls(QueryFacilitator.load(path, mmap=mmap), **kwargs)
+        service.mmap = mmap
+        return service
 
     # -- lifecycle ----------------------------------------------------------- #
 
@@ -712,7 +725,11 @@ class FacilitatorService:
             raise ReloadInProgressError("a reload is already in progress")
         try:
             try:
-                candidate = QueryFacilitator.load(path)
+                candidate = QueryFacilitator.load(path, mmap=self.mmap)
+                # the probe also compiles the candidate's inference plan
+                # while the old generation is still serving, so the swap
+                # never exposes a plan-less facilitator to the worker —
+                # and responses never mix plan generations
                 candidate.insights_batch([_PROBE_STATEMENT])
             except Exception:
                 self._count_reload("rejected")

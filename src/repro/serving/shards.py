@@ -61,7 +61,7 @@ from dataclasses import asdict, dataclass, field
 
 from repro.core.facilitator import (
     ARTIFACT_FORMAT,
-    ARTIFACT_VERSION,
+    SUPPORTED_ARTIFACT_VERSIONS,
     QueryFacilitator,
     QueryInsights,
     _limit_worker_blas_threads,
@@ -244,7 +244,9 @@ def _worker_main(
     faults = FaultInjector(plan, wid, incarnation)
     generation = cfg["generation"]
     try:
-        facilitator = QueryFacilitator.load(cfg["artifact_path"])
+        facilitator = QueryFacilitator.load(
+            cfg["artifact_path"], mmap=cfg.get("mmap", False)
+        )
         if cfg.get("warm_path"):
             _prime_pipeline(cfg["warm_path"])
     except Exception as exc:
@@ -268,7 +270,12 @@ def _worker_main(
             _, path, new_generation = msg
             try:
                 faults.on_reload(path)
-                candidate = QueryFacilitator.load(path)
+                candidate = QueryFacilitator.load(
+                    path, mmap=cfg.get("mmap", False)
+                )
+                # probe compiles the candidate's inference plan before
+                # the swap, so no served batch ever sees a half-staged
+                # generation
                 candidate.insights_batch([_PROBE_STATEMENT])
             except Exception as exc:
                 conn.send(
@@ -384,6 +391,7 @@ class ShardedFacilitatorService:
         warm_path=None,
         window: int = 4096,
         mp_context: str | None = None,
+        mmap: bool = False,
     ):
         if n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
@@ -395,7 +403,7 @@ class ShardedFacilitatorService:
         # fail fast on a bad artifact before any process spawns; also the
         # source of /healthz identity without loading payloads here
         manifest = serialize.read_manifest(
-            self.artifact_path, ARTIFACT_FORMAT, ARTIFACT_VERSION
+            self.artifact_path, ARTIFACT_FORMAT, SUPPORTED_ARTIFACT_VERSIONS
         )
         self.model_name = manifest.get("model_name", "unknown")
         self.problem_names = [
@@ -419,6 +427,10 @@ class ShardedFacilitatorService:
         self.default_deadline_s = default_deadline_s
         self.batch_deadline_s = batch_deadline_s
         self.warm_path = str(warm_path) if warm_path else None
+        #: workers memory-map artifact weight arrays (v3 artifacts; each
+        #: worker process maps the same file, so resident weight pages
+        #: are shared across the shard fleet instead of copied per worker)
+        self.mmap = mmap
         self.fault_plan = (
             fault_plan if fault_plan is not None else FaultPlan.from_env()
         )
@@ -639,6 +651,7 @@ class ShardedFacilitatorService:
             "artifact_path": self.artifact_path,
             "cache_size": self.cache_size,
             "warm_path": self.warm_path,
+            "mmap": self.mmap,
             "generation": self._generation,
             "fault_plan": self.fault_plan.to_json() if self.fault_plan else None,
             "blas_threads": max(1, (os.cpu_count() or 2) // self.n_workers),

@@ -111,16 +111,25 @@ class TfidfVectorizer:
         self.idf_ = np.maximum(idf, 0.0)
         return self
 
-    def transform(self, statements: Sequence[str]) -> sparse.csr_matrix:
-        """TF-IDF matrix of shape ``(len(statements), num_features)``."""
+    def transform_counts(
+        self, statements: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Raw vocab-gram counts per statement, before TF-IDF weighting.
+
+        Returns ``(indices, indptr, counts, row_totals)`` — the CSR
+        structure of the count matrix plus each row's total gram count
+        (``max(len(grams), 1)``, the TF normalizer). :meth:`transform`
+        and the compiled inference plan (:mod:`repro.inference`) both
+        build their weighted matrices from this one counting pass, so the
+        two stay value-identical by construction.
+        """
         if self.idf_ is None:
             raise RuntimeError("TfidfVectorizer must be fitted first")
         indptr = [0]
         indices: list[int] = []
         counts: list[int] = []
         row_totals: list[int] = []
-        vocab = self.vocabulary_
-        lookup = vocab.get
+        lookup = self.vocabulary_.get
         for stmt in statements:
             grams = self._ngrams(stmt)
             # count raw grams first so the vocab lookup runs once per
@@ -133,17 +142,23 @@ class TfidfVectorizer:
                     counts.append(count)
             row_totals.append(max(len(grams), 1))
             indptr.append(len(indices))
-        indices_arr = np.asarray(indices, dtype=np.int32)
-        indptr_arr = np.asarray(indptr, dtype=np.int32)
-        totals = np.repeat(
-            np.asarray(row_totals, dtype=np.float64), np.diff(indptr_arr)
+        return (
+            np.asarray(indices, dtype=np.int32),
+            np.asarray(indptr, dtype=np.int32),
+            np.asarray(counts, dtype=np.float64),
+            np.asarray(row_totals, dtype=np.float64),
         )
-        data = (
-            np.asarray(counts, dtype=np.float64) / totals
-        ) * self.idf_[indices_arr]
+
+    def transform(self, statements: Sequence[str]) -> sparse.csr_matrix:
+        """TF-IDF matrix of shape ``(len(statements), num_features)``."""
+        indices_arr, indptr_arr, counts, row_totals = self.transform_counts(
+            statements
+        )
+        totals = np.repeat(row_totals, np.diff(indptr_arr))
+        data = (counts / totals) * self.idf_[indices_arr]
         matrix = sparse.csr_matrix(
             (data, indices_arr, indptr_arr),
-            shape=(len(statements), len(vocab)),
+            shape=(len(statements), len(self.vocabulary_)),
         )
         matrix.sort_indices()
         return matrix

@@ -1,0 +1,162 @@
+"""Artifact back-compat and the v3 memory-mappable layout.
+
+v3 artifacts externalize weight arrays into uncompressed float32 ``.npy``
+zip members with manifest-recorded raw-data offsets. Loaders must keep
+reading the older v2 layout (one compressed full-precision pickle per
+head), fall back with a warning when asked to map something unmappable,
+and refuse — naming the member — when the manifest's offsets no longer
+match the file.
+"""
+
+import json
+import zipfile
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.core.facilitator import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ArtifactFormatError,
+    QueryFacilitator,
+)
+from repro.models import serialize
+from repro.models.factory import ModelScale
+from repro.workloads.sdss import generate_sdss_workload
+
+_SCALE = ModelScale(epochs=2, tfidf_features=1500)
+
+STATEMENTS = [
+    "SELECT objID FROM PhotoObj WHERE ra BETWEEN 1 AND 2",
+    "SELECT TOP 5 ra, dec FROM SpecObj ORDER BY ra DESC",
+    "SELCT broken FROM",
+]
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    workload = generate_sdss_workload(n_sessions=60, seed=13)
+    return QueryFacilitator(model_name="ctfidf", scale=_SCALE).fit(workload)
+
+
+@pytest.fixture(scope="module")
+def v3_path(fitted, tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "v3.fac"
+    fitted.save(path)
+    return path
+
+
+def _write_v2(facilitator, path):
+    """Emulate the pre-v3 ``save()``: full-precision pickle per head."""
+    payloads = {
+        head.member_name(): head.payload()
+        for head in facilitator.heads.values()
+    }
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "version": 2,
+        "model_name": facilitator.model_name,
+        "scale": asdict(facilitator.scale),
+        "index_similar": facilitator.index_similar,
+        "heads": [
+            head.manifest_entry() for head in facilitator.heads.values()
+        ],
+        "similar_index": None,
+    }
+    serialize.write_artifact(path, manifest, payloads)
+
+
+def _rewrite_zip(src, dst, *, drop=None, shift=False):
+    """Re-pack an artifact zip, optionally dropping a member or shifting
+    every member's position (keeps compress types, keeps the manifest
+    verbatim — so its recorded offsets go stale)."""
+    with zipfile.ZipFile(src) as archive:
+        entries = [
+            (info.filename, archive.read(info.filename), info.compress_type)
+            for info in archive.infolist()
+        ]
+    with zipfile.ZipFile(dst, "w") as archive:
+        if shift:
+            archive.writestr("padding.bin", b"\0" * 64)
+        for name, raw, compress_type in entries:
+            if drop is not None and name == drop:
+                continue
+            archive.writestr(
+                zipfile.ZipInfo(name), raw, compress_type=compress_type
+            )
+
+
+class TestV2BackCompat:
+    def test_v2_artifact_loads(self, fitted, tmp_path):
+        path = tmp_path / "v2.fac"
+        _write_v2(fitted, path)
+        restored = QueryFacilitator.load(path)
+        assert restored.artifact_meta["version"] == 2
+        # v2 stores float64 weights; the plan casts at compile time, so
+        # predictions match the in-memory facilitator bit for bit
+        before = fitted.insights_batch(STATEMENTS)
+        after = restored.insights_batch(STATEMENTS)
+        for want, got in zip(before, after):
+            assert got.error_class == want.error_class
+            assert got.session_class == want.session_class
+            assert got.cpu_time_seconds == want.cpu_time_seconds
+            assert got.answer_size == want.answer_size
+            assert got.error_probabilities == want.error_probabilities
+
+    def test_v2_mmap_warns_and_falls_back(self, fitted, tmp_path):
+        path = tmp_path / "v2.fac"
+        _write_v2(fitted, path)
+        with pytest.warns(RuntimeWarning, match="cannot be memory-mapped"):
+            restored = QueryFacilitator.load(path, mmap=True)
+        assert restored.insights_batch(STATEMENTS)
+
+
+class TestV3Layout:
+    def test_array_members_stored_float32(self, v3_path):
+        with zipfile.ZipFile(v3_path) as archive:
+            manifest = json.loads(archive.read("manifest.json"))
+            assert manifest["version"] == ARTIFACT_VERSION
+            arrays = manifest["arrays"]
+            assert arrays
+            for member, entry in arrays.items():
+                info = archive.getinfo(member)
+                assert info.compress_type == zipfile.ZIP_STORED
+                assert np.dtype(entry["dtype"]) == np.float32
+                assert entry["offset"] > info.header_offset
+
+    def test_mmap_load_maps_weights(self, fitted, v3_path):
+        restored = QueryFacilitator.load(v3_path, mmap=True)
+        weights = [
+            head.model.classifier.weight
+            for head in restored.heads.values()
+            if hasattr(head.model, "classifier")
+        ]
+        assert weights
+        assert all(isinstance(w, np.memmap) for w in weights)
+        before = fitted.insights_batch(STATEMENTS)
+        after = restored.insights_batch(STATEMENTS)
+        for want, got in zip(before, after):
+            assert got.error_class == want.error_class
+            assert got.cpu_time_seconds == want.cpu_time_seconds
+
+
+class TestCorruption:
+    def test_stale_offsets_rejected_by_name(self, v3_path, tmp_path):
+        moved = tmp_path / "shifted.fac"
+        _rewrite_zip(v3_path, moved, shift=True)
+        # eager loads only address members by name, so they still work
+        assert QueryFacilitator.load(moved).insights_batch(STATEMENTS)
+        # mapping validates manifest offsets against the file and refuses
+        with pytest.raises(ArtifactFormatError, match=r"arrays/"):
+            QueryFacilitator.load(moved, mmap=True)
+
+    def test_missing_array_member_rejected_by_name(self, v3_path, tmp_path):
+        with zipfile.ZipFile(v3_path) as archive:
+            manifest = json.loads(archive.read("manifest.json"))
+        victim = next(iter(manifest["arrays"]))
+        pruned = tmp_path / "pruned.fac"
+        _rewrite_zip(v3_path, pruned, drop=victim)
+        for mmap in (False, True):
+            with pytest.raises(ArtifactFormatError, match="missing array"):
+                QueryFacilitator.load(pruned, mmap=mmap)

@@ -1,0 +1,222 @@
+"""Compiled plan ↔ per-head loop equivalence.
+
+The :class:`~repro.inference.InferencePlan` must be an observably
+faithful replacement for the legacy shared-features per-head loop:
+identical label decisions, probabilities and regressions within float32
+tolerance, and *bitwise* identical under the float64 escape-hatch plan.
+Covered across head combos (pure ctfidf; mixed ctfidf + wtfidf + neural)
+and both workload shapes the paper serves (SDSS: all five problems;
+SQLShare: CPU time only).
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.facilitator import QueryFacilitator
+from repro.core.heads import ProblemHead
+from repro.core.problems import Problem
+from repro.inference import CompiledVectorizer, compile_plan
+from repro.models.factory import ModelScale
+from repro.text.tfidf import TfidfVectorizer
+from repro.workloads.sdss import generate_sdss_workload
+
+_SCALE = ModelScale(epochs=2, tfidf_features=1500)
+#: Smallest neural head that trains in seconds, for the mixed zoo.
+_NEURAL_SCALE = ModelScale(
+    epochs=1,
+    tfidf_features=1500,
+    embed_dim=12,
+    num_kernels=8,
+    max_len_char=60,
+)
+
+STATEMENTS = [
+    "SELECT objID FROM PhotoObj WHERE ra BETWEEN 1 AND 2",
+    "SELECT TOP 5 ra, dec FROM SpecObj ORDER BY ra DESC",
+    "SELECT COUNT(*) FROM PhotoObj p JOIN SpecObj s ON p.objId=s.objId",
+    "SELCT broken FROM",
+    "select   ra , dec from photoobj where dec < -1.5",
+    "SELECT objID FROM PhotoObj WHERE ra BETWEEN 1 AND 2",
+]
+
+_REGRESSION_ATTRS = ("cpu_time_seconds", "answer_size", "elapsed_seconds")
+
+
+def _assert_equivalent(loop, plan, rel=1e-5):
+    """Exact labels; numerics within float32 round-off of the f64 loop."""
+    for want, got in zip(loop, plan):
+        assert got.statement == want.statement
+        assert got.error_class == want.error_class
+        assert got.session_class == want.session_class
+        for attr in _REGRESSION_ATTRS:
+            expected = getattr(want, attr)
+            actual = getattr(got, attr)
+            if expected is None:
+                assert actual is None
+            else:
+                assert actual == pytest.approx(expected, rel=rel)
+        if want.error_probabilities is None:
+            assert got.error_probabilities is None
+        else:
+            assert set(got.error_probabilities) == set(
+                want.error_probabilities
+            )
+            for name, p in want.error_probabilities.items():
+                assert got.error_probabilities[name] == pytest.approx(
+                    p, rel=rel, abs=1e-6
+                )
+
+
+def _assert_bitwise(loop, plan):
+    for want, got in zip(loop, plan):
+        assert got.error_class == want.error_class
+        assert got.session_class == want.session_class
+        for attr in _REGRESSION_ATTRS:
+            assert getattr(got, attr) == getattr(want, attr)
+        assert got.error_probabilities == want.error_probabilities
+
+
+def _with_fresh_plan(facilitator, dtype=None):
+    """Shallow copy sharing the heads but with its own plan slot."""
+    clone = copy.copy(facilitator)
+    clone._plan = None
+    clone._plan_failed = False
+    if dtype is not None:
+        clone.plan_dtype = dtype
+    return clone
+
+
+@pytest.fixture(scope="module")
+def sdss_fac(sdss_workload_small):
+    return QueryFacilitator(model_name="ctfidf", scale=_SCALE).fit(
+        sdss_workload_small
+    )
+
+
+@pytest.fixture(scope="module")
+def sqlshare_fac(sqlshare_workload_small):
+    return QueryFacilitator(model_name="ctfidf", scale=_SCALE).fit(
+        sqlshare_workload_small
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_fac():
+    """ctfidf + wtfidf + neural zoo: two fused blocks + one passthrough."""
+    workload = generate_sdss_workload(n_sessions=60, seed=33)
+    facilitator = QueryFacilitator(model_name="ctfidf", scale=_SCALE).fit(
+        workload,
+        problems=[Problem.ERROR_CLASSIFICATION, Problem.CPU_TIME],
+    )
+    statements = workload.statements()
+    facilitator.heads[Problem.SESSION_CLASSIFICATION] = ProblemHead.train(
+        Problem.SESSION_CLASSIFICATION,
+        "wtfidf",
+        _SCALE,
+        statements,
+        workload.labels(Problem.SESSION_CLASSIFICATION.label_column),
+    )
+    facilitator.heads[Problem.ANSWER_SIZE] = ProblemHead.train(
+        Problem.ANSWER_SIZE,
+        "ccnn",
+        _NEURAL_SCALE,
+        statements,
+        workload.labels(Problem.ANSWER_SIZE.label_column),
+    )
+    facilitator.invalidate_plan()
+    return facilitator
+
+
+class TestFloat32Plan:
+    def test_sdss_plan_matches_loop(self, sdss_fac):
+        loop = sdss_fac.insights_batch(STATEMENTS, use_plan=False)
+        plan = sdss_fac.insights_batch(STATEMENTS, use_plan=True)
+        _assert_equivalent(loop, plan)
+
+    def test_sdss_fuses_every_head_into_one_block(self, sdss_fac):
+        plan = compile_plan(sdss_fac)
+        # every ctfidf head shares one feature fingerprint → one matmul
+        assert len(plan.blocks) == 1
+        assert plan.fused_heads == len(sdss_fac.heads)
+        assert plan.passthrough == []
+        assert plan.blocks[0].weight.dtype == np.float32
+        assert plan.blocks[0].weight.flags["C_CONTIGUOUS"]
+
+    def test_sqlshare_plan_matches_loop(self, sqlshare_fac):
+        assert sqlshare_fac.problems == [Problem.CPU_TIME]
+        loop = sqlshare_fac.insights_batch(STATEMENTS, use_plan=False)
+        plan = sqlshare_fac.insights_batch(STATEMENTS, use_plan=True)
+        _assert_equivalent(loop, plan)
+
+    def test_plan_lifecycle(self, sqlshare_fac):
+        facilitator = _with_fresh_plan(sqlshare_fac)
+        facilitator.insights_batch(STATEMENTS, use_plan=False)
+        assert facilitator._plan is None  # loop path never compiles
+        facilitator.insights_batch(STATEMENTS, use_plan=True)
+        assert facilitator._plan is not None
+        facilitator.invalidate_plan()
+        assert facilitator._plan is None
+
+
+class TestFloat64EscapeHatch:
+    def test_sdss_float64_plan_bitwise_exact(self, sdss_fac):
+        facilitator = _with_fresh_plan(sdss_fac, dtype=np.float64)
+        loop = facilitator.insights_batch(STATEMENTS, use_plan=False)
+        plan = facilitator.insights_batch(STATEMENTS, use_plan=True)
+        assert facilitator._plan.dtype == np.float64
+        _assert_bitwise(loop, plan)
+
+    def test_mixed_float64_plan_bitwise_exact(self, mixed_fac):
+        facilitator = _with_fresh_plan(mixed_fac, dtype=np.float64)
+        loop = facilitator.insights_batch(STATEMENTS, use_plan=False)
+        plan = facilitator.insights_batch(STATEMENTS, use_plan=True)
+        _assert_bitwise(loop, plan)
+
+
+class TestMixedZoo:
+    def test_blocks_and_passthrough(self, mixed_fac):
+        plan = compile_plan(mixed_fac)
+        # ctfidf error+cpu heads fuse; the wtfidf head has a different
+        # feature fingerprint so it forms its own block; the neural head
+        # passes through its no-grad predict path
+        assert len(plan.blocks) == 2
+        assert plan.fused_heads == 3
+        assert [h.problem for h in plan.passthrough] == [Problem.ANSWER_SIZE]
+
+    def test_plan_matches_loop(self, mixed_fac):
+        loop = mixed_fac.insights_batch(STATEMENTS, use_plan=False)
+        plan = mixed_fac.insights_batch(STATEMENTS, use_plan=True)
+        _assert_equivalent(loop, plan)
+
+
+class TestCompiledVectorizer:
+    def test_char_level_float64_exact(self, sdss_fac):
+        vectorizer = next(iter(sdss_fac.heads.values())).model.vectorizer
+        legacy = vectorizer.transform(list(STATEMENTS))
+        compiled = CompiledVectorizer(vectorizer, dtype=np.float64)
+        features = compiled.transform(STATEMENTS)
+        assert features.shape == legacy.shape
+        assert (features != legacy).nnz == 0
+
+    def test_char_level_float32_close(self, sdss_fac):
+        vectorizer = next(iter(sdss_fac.heads.values())).model.vectorizer
+        legacy = vectorizer.transform(list(STATEMENTS))
+        features = CompiledVectorizer(vectorizer, dtype=np.float32).transform(
+            STATEMENTS
+        )
+        np.testing.assert_allclose(
+            features.toarray(), legacy.toarray(), rtol=1e-6, atol=1e-7
+        )
+
+    def test_word_level_fallback_exact(self):
+        corpus = generate_sdss_workload(n_sessions=10, seed=3).statements()
+        vectorizer = TfidfVectorizer(
+            level="word", max_features=500, min_n=1, max_n=2, max_len=60
+        )
+        vectorizer.fit_transform(corpus)
+        legacy = vectorizer.transform(list(STATEMENTS))
+        compiled = CompiledVectorizer(vectorizer, dtype=np.float64)
+        features = compiled.transform(STATEMENTS)
+        assert (features != legacy).nnz == 0

@@ -1,0 +1,83 @@
+"""Hot reload × inference plans: staged recompiles, no generation mixing.
+
+Reloading an artifact must hand the service a facilitator whose plan was
+already compiled (the pre-swap probe does it), so no request ever runs
+half on the old plan and half on the new one; the mmap policy chosen at
+boot must survive reloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.facilitator import QueryFacilitator
+from repro.models.factory import ModelScale
+from repro.serving import FacilitatorService
+from repro.workloads.sdss import generate_sdss_workload
+
+_SCALE = ModelScale(epochs=2, tfidf_features=1500)
+
+STATEMENTS = [
+    "SELECT objID FROM PhotoObj WHERE ra BETWEEN 1 AND 2",
+    "SELECT TOP 5 ra, dec FROM SpecObj ORDER BY ra DESC",
+    "SELCT broken FROM",
+]
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    root = tmp_path_factory.mktemp("plan-reload")
+    paths = []
+    for generation, seed in enumerate((5, 6), start=1):
+        workload = generate_sdss_workload(n_sessions=60, seed=seed)
+        facilitator = QueryFacilitator(model_name="ctfidf", scale=_SCALE).fit(
+            workload
+        )
+        path = root / f"gen{generation}.fac"
+        facilitator.save(path)
+        paths.append(path)
+    return paths
+
+
+def test_reload_recompiles_plan_before_swap(artifacts):
+    gen1, gen2 = artifacts
+    with FacilitatorService.from_artifact(gen1, mmap=True) as service:
+        assert service.mmap is True
+        service.insights_many(STATEMENTS, timeout=30)
+        old = service.facilitator
+        assert old._plan is not None  # first batch compiled it
+        service.reload(gen2)
+        new = service.facilitator
+        assert new is not old
+        # staged: the reload probe compiled the candidate's plan before
+        # the atomic swap, so the first post-reload batch never races a
+        # compile and never touches the old plan
+        assert new._plan is not None
+        assert new._plan is not old._plan
+        assert service.generation == 2
+        # the reload honored the boot-time mmap policy
+        head = next(
+            h for h in new.heads.values() if hasattr(h.model, "classifier")
+        )
+        assert isinstance(head.model.classifier.weight, np.memmap)
+        # post-reload responses come from the new artifact's plan,
+        # bit-for-bit (both sides run the float32 plan path)
+        served = service.insights_many(STATEMENTS, timeout=30)
+    expected = QueryFacilitator.load(gen2).insights_batch(STATEMENTS)
+    for want, got in zip(expected, served):
+        assert got.error_class == want.error_class
+        assert got.session_class == want.session_class
+        assert got.cpu_time_seconds == want.cpu_time_seconds
+        assert got.answer_size == want.answer_size
+        assert got.error_probabilities == want.error_probabilities
+
+
+def test_responses_stamped_with_one_generation(artifacts):
+    gen1, gen2 = artifacts
+    with FacilitatorService.from_artifact(gen1) as service:
+        first = service.submit(STATEMENTS)
+        first.result(timeout=30)
+        assert first.generation == 1
+        service.reload(gen2)
+        second = service.submit(STATEMENTS)
+        second.result(timeout=30)
+        assert second.generation == 2
