@@ -8,6 +8,7 @@ actually runs:
 - ``train``     — fit a :class:`~repro.core.facilitator.QueryFacilitator`
 - ``predict``   — pre-execution insights for new statements
 - ``serve``     — micro-batching HTTP endpoint over a saved facilitator
+- ``worker``    — one fleet shard worker agent (for ``serve --fleet``)
 - ``stats``     — telemetry of a running endpoint (or a REPRO_OBS_LOG file)
 - ``evaluate``  — train/test split evaluation with the paper's metrics
 - ``experiment``— regenerate any table/figure of the paper's evaluation
@@ -38,6 +39,7 @@ from repro.cli import (
     serve_cmd,
     stats_cmd,
     train_cmd,
+    worker_cmd,
 )
 
 __all__ = ["main", "build_parser"]
@@ -48,6 +50,7 @@ _COMMANDS = (
     train_cmd,
     predict_cmd,
     serve_cmd,
+    worker_cmd,
     stats_cmd,
     evaluate_cmd,
     experiment_cmd,

@@ -74,8 +74,12 @@ def read_statements(args: argparse.Namespace) -> list[str]:
 
 
 def emit(text: str) -> None:
-    """Print a block of report text (kept separate for test capture)."""
-    print(text)
+    """Print a block of report text (kept separate for test capture).
+
+    Flushed eagerly so launchers reading a piped ``repro serve`` banner
+    (e.g. to learn an ephemeral port) see it at bind time.
+    """
+    print(text, flush=True)
 
 
 def model_name_choices() -> list[str]:

@@ -15,6 +15,19 @@ dead shards, and zero-downtime artifact hot-reload (``POST /reload``, or
 ``--fault-plan`` (inline JSON or ``@path``) injects scripted worker
 crashes/hangs for chaos drills — see ``repro.serving.faults``.
 
+With ``--fleet host:port,...`` the shard workers are *remote*: one
+``repro worker --listen`` agent per endpoint, driven over the
+length-prefixed JSON/TCP fleet protocol with the same supervision —
+heartbeat loss marks a remote shard crashed, its slices re-route to
+surviving shards, and the controller reconnects under backoff.
+
+``--frontend async`` swaps the thread-per-connection HTTP front for the
+asyncio front end: one event loop multiplexes thousands of keep-alive
+HTTP/1.1 connections (pipelining included), reaps idle and slowloris
+connections (``--idle-timeout-s`` / ``--header-timeout-s``), and caps
+concurrently open connections (``--conn-cap``, 503 above it). Same
+routes, same response bytes.
+
 ``GET /stats`` exposes request counts, batch sizes, latency percentiles,
 and cache hit rates (``?trace=1`` adds the last traced batch's per-stage
 breakdown on the single-process service); ``GET /metrics`` is the
@@ -134,6 +147,45 @@ def register(subparsers) -> None:
         "artifact lives on a filesystem where mapped reads are slow",
     )
     parser.add_argument(
+        "--fleet",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="serve from remote fleet worker agents (`repro worker "
+        "--listen`) at these endpoints, one shard per endpoint, instead "
+        "of local worker processes; supervision, degraded re-routing, "
+        "deadlines, and hot reload behave exactly as with --workers",
+    )
+    parser.add_argument(
+        "--frontend",
+        choices=("thread", "async"),
+        default="thread",
+        help="HTTP front end: 'thread' (stdlib thread-per-connection) or "
+        "'async' (one asyncio event loop multiplexing thousands of "
+        "keep-alive connections; default: thread)",
+    )
+    parser.add_argument(
+        "--idle-timeout-s",
+        type=float,
+        default=60.0,
+        help="async frontend: close a keep-alive connection idle this "
+        "long between requests (default: 60s)",
+    )
+    parser.add_argument(
+        "--header-timeout-s",
+        type=float,
+        default=10.0,
+        help="async frontend: reap a connection whose partial request "
+        "stalls this long mid-read — the slowloris guard (default: 10s)",
+    )
+    parser.add_argument(
+        "--conn-cap",
+        type=int,
+        default=1024,
+        help="async frontend: maximum concurrently open connections; "
+        "connections beyond it are answered 503 and closed "
+        "(default: 1024)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     parser.set_defaults(func=run)
@@ -141,7 +193,7 @@ def register(subparsers) -> None:
 
 def _serve(service, args, banner: str) -> None:
     # imported lazily so `repro --help` stays fast
-    from repro.serving import ArtifactWatcher, make_server
+    from repro.serving import ArtifactWatcher, make_async_server, make_server
 
     watcher = None
     if args.watch:
@@ -150,13 +202,27 @@ def _serve(service, args, banner: str) -> None:
             args.facilitator,
             on_event=lambda event, detail: emit(f"watch: {event}: {detail}"),
         ).start()
-    server = make_server(
-        service,
-        host=args.host,
-        port=args.port,
-        quiet=not args.verbose,
-        max_body_bytes=int(args.max_body_mb * 1024 * 1024),
-    )
+    max_body_bytes = int(args.max_body_mb * 1024 * 1024)
+    if args.frontend == "async":
+        server = make_async_server(
+            service,
+            host=args.host,
+            port=args.port,
+            quiet=not args.verbose,
+            max_body_bytes=max_body_bytes,
+            idle_timeout_s=args.idle_timeout_s,
+            header_timeout_s=args.header_timeout_s,
+            max_connections=args.conn_cap,
+        )
+        banner += " [async frontend]"
+    else:
+        server = make_server(
+            service,
+            host=args.host,
+            port=args.port,
+            quiet=not args.verbose,
+            max_body_bytes=max_body_bytes,
+        )
     host, port = server.server_address[:2]
     emit(
         f"serving {banner} on http://{host}:{port} — POST /insights, "
@@ -174,6 +240,8 @@ def _serve(service, args, banner: str) -> None:
 
 
 def run(args: argparse.Namespace) -> int:
+    if args.fleet:
+        return _run_sharded(args)
     if args.workers > 0:
         return _run_sharded(args)
     return _run_single(args)
@@ -212,7 +280,12 @@ def _run_single(args: argparse.Namespace) -> int:
 
 
 def _run_sharded(args: argparse.Namespace) -> int:
-    from repro.serving import FaultPlan, ShardedFacilitatorService
+    from repro.serving import (
+        FaultPlan,
+        FleetFacilitatorService,
+        ShardedFacilitatorService,
+        parse_endpoints,
+    )
 
     fault_plan = None
     if args.fault_plan:
@@ -222,9 +295,7 @@ def _run_sharded(args: argparse.Namespace) -> int:
                 value = handle.read()
         fault_plan = FaultPlan.from_json(value)
         emit(f"fault plan armed: {len(fault_plan.specs)} spec(s)")
-    service = ShardedFacilitatorService(
-        args.facilitator,
-        n_workers=args.workers,
+    common = dict(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_pending=args.queue_depth,
@@ -236,13 +307,20 @@ def _run_sharded(args: argparse.Namespace) -> int:
         warm_path=args.warm,
         mmap=not args.no_mmap,
     )
+    if args.fleet:
+        endpoints = parse_endpoints(args.fleet)
+        service = FleetFacilitatorService(
+            args.facilitator, endpoints=endpoints, **common
+        )
+        tier = f"fleet of {len(endpoints)} remote shard(s)"
+    else:
+        service = ShardedFacilitatorService(
+            args.facilitator, n_workers=args.workers, **common
+        )
+        tier = f"x{args.workers} shards"
     with service:
         problems = ", ".join(service.problem_names)
-        _serve(
-            service,
-            args,
-            f"{service.model_name} ({problems}) x{args.workers} shards",
-        )
+        _serve(service, args, f"{service.model_name} ({problems}) {tier}")
     stats = service.stats
     emit(
         f"served {stats.requests} requests / {stats.statements} statements "

@@ -137,15 +137,35 @@ def _report_server(base_url: str, want_trace: bool, as_json: bool) -> int:
         emit(json.dumps(payload, indent=2, default=str))
         return 0
     emit(f"serving stats from {base_url}")
-    emit(
+    # the sharded/fleet tier reports a different stats shape: no
+    # mean_batch_size, p99 tail instead of p95, plus per-shard rows
+    line = (
         f"  requests {stats['requests']}  statements {stats['statements']}  "
-        f"batches {stats['batches']}  "
-        f"mean batch {stats['mean_batch_size']:.1f}"
+        f"batches {stats['batches']}"
     )
+    if "mean_batch_size" in stats:
+        line += f"  mean batch {stats['mean_batch_size']:.1f}"
+    emit(line)
+    tail = "p95" if "latency_p95_ms" in stats else "p99"
     emit(
         f"  latency window p50 {stats['latency_p50_ms']}ms  "
-        f"p95 {stats['latency_p95_ms']}ms"
+        f"{tail} {stats[f'latency_{tail}_ms']}ms"
     )
+    workers = stats.get("workers")
+    if workers:
+        up = sum(1 for worker in workers if worker["up"])
+        emit(
+            f"  shards: {up}/{len(workers)} up  "
+            f"generation {stats.get('generation')}  "
+            f"restarts {stats.get('restarts', 0)}  "
+            f"degraded responses {stats.get('degraded', 0)}"
+        )
+        for worker in workers:
+            where = worker.get("endpoint") or f"pid {worker.get('pid')}"
+            emit(
+                f"    shard {worker['worker']} {worker['state']:<10} "
+                f"({where}, incarnation {worker.get('incarnation')})"
+            )
     memo = stats.get("insight_cache", {})
     if memo:
         emit(
@@ -168,6 +188,18 @@ def _report_server(base_url: str, want_trace: bool, as_json: bool) -> int:
             f"  ~p95 {latency['p95'] * 1000:.2f}ms"
             f"  over {latency['count']:.0f} requests"
         )
+    # the latency split: where a request's time actually went — waiting
+    # for its micro-batch to dispatch vs the batch computing
+    for label, name in (
+        ("queue wait", "repro_service_queue_wait_seconds"),
+        ("compute", "repro_service_compute_seconds"),
+    ):
+        part = _histogram_quantiles(metrics, name)
+        if part:
+            emit(
+                f"  {label:<10} ~p50 {part['p50'] * 1000:.2f}ms"
+                f"  ~p95 {part['p95'] * 1000:.2f}ms"
+            )
     stages = _stage_table(metrics)
     if stages:
         emit("  stage time (lifetime):")

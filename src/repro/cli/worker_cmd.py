@@ -1,0 +1,70 @@
+"""``repro worker`` — run one fleet shard worker agent over TCP.
+
+A worker agent is the remote half of ``repro serve --fleet``: it listens
+on ``--listen HOST:PORT`` for a controller connection, loads the
+facilitator artifact the controller's hello names, and answers shard
+sub-batches over the length-prefixed JSON protocol
+(:mod:`repro.serving.fleet`). The controller supervises it exactly like
+an in-process shard worker: heartbeat loss (agent killed, host gone,
+network partition) marks the shard crashed, its in-flight slices
+re-route to surviving shards, and reconnects retry under exponential
+backoff — so a fleet of these agents spread across hosts behaves like
+one ``--workers N`` tier that happens to span machines.
+
+The agent is artifact-agnostic at start: it loads whatever artifact the
+controller's hello (or a later hot reload) names, by path on *this*
+host, and keeps it loaded across reconnects so respawns are fast.
+
+Typical topology (one agent per host, one controller)::
+
+    # on each worker host
+    python -m repro worker --listen 0.0.0.0:7070
+
+    # on the frontend host
+    python -m repro serve facilitator.bin \\
+        --fleet workerhost1:7070,workerhost2:7070
+
+``--listen`` with port 0 binds an ephemeral port; the agent prints the
+bound address (``fleet worker listening on HOST:PORT``) so scripts and
+tests can discover it.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["register"]
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "worker",
+        help="run one fleet shard worker agent (for `repro serve --fleet`)",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--listen",
+        default="127.0.0.1:7070",
+        metavar="HOST:PORT",
+        help="address to accept the controller connection on "
+        "(port 0 = ephemeral, printed at start; default: 127.0.0.1:7070)",
+    )
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.serving.fleet import FleetWorkerAgent, parse_endpoints
+
+    ((host, port),) = parse_endpoints(args.listen)
+    agent = FleetWorkerAgent(host, port)
+    bound_host, bound_port = agent.address
+    # flushed eagerly: launchers parse this line to learn an ephemeral port
+    print(f"fleet worker listening on {bound_host}:{bound_port}", flush=True)
+    try:
+        agent.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        agent.close()
+    return 0

@@ -163,6 +163,25 @@ class QueryInsights:
             "elapsed_seconds": self.elapsed_seconds,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryInsights":
+        """Inverse of :meth:`to_dict` (the fleet TCP wire format).
+
+        ``likely_to_fail`` is derived, never stored, so a decoded insight
+        re-encodes bit-identically — remote fleet workers answer with the
+        exact bytes an in-process worker would. JSON float round-trips
+        are exact (repr-based), so no precision is lost either way.
+        """
+        return cls(
+            statement=payload["statement"],
+            error_class=payload.get("error_class"),
+            error_probabilities=dict(payload.get("error_probabilities") or {}),
+            cpu_time_seconds=payload.get("cpu_time_seconds"),
+            answer_size=payload.get("answer_size"),
+            session_class=payload.get("session_class"),
+            elapsed_seconds=payload.get("elapsed_seconds"),
+        )
+
 
 class QueryFacilitator:
     """Train per-problem models on a workload; predict query properties.

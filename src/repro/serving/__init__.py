@@ -24,7 +24,17 @@ users. This package is that serving surface:
   ``http.server`` JSON endpoint (``POST /insights``, ``GET /stats``,
   ``GET /healthz``, ``POST /reload``) whose handler threads coalesce into
   the queue;
-- the ``repro serve`` CLI command wires both to a saved artifact.
+- :func:`make_async_server` / :class:`AsyncInsightsServer` — the same
+  endpoint on one asyncio event loop: thousands of keep-alive HTTP/1.1
+  connections (pipelining, idle timeouts, slowloris reaping, zero-copy
+  response buffers) multiplexed without a thread per connection;
+- :class:`FleetFacilitatorService` / :class:`FleetWorkerAgent` — the
+  sharded tier's worker protocol over length-prefixed JSON/TCP, so
+  ``repro serve --fleet host:port,...`` routes shard slices to remote
+  ``repro worker --listen`` agents with identical supervision,
+  re-routing, deadline, and hot-reload semantics;
+- the ``repro serve`` / ``repro worker`` CLI commands wire it all to a
+  saved artifact.
 """
 
 from repro.serving.service import (
@@ -45,6 +55,12 @@ from repro.serving.supervisor import (
 )
 from repro.serving.shards import ShardedFacilitatorService, ShardedServiceStats, shard_of
 from repro.serving.http import InsightsHTTPServer, make_server
+from repro.serving.aio import AsyncInsightsServer, make_async_server
+from repro.serving.fleet import (
+    FleetFacilitatorService,
+    FleetWorkerAgent,
+    parse_endpoints,
+)
 
 __all__ = [
     "FacilitatorService",
@@ -67,4 +83,9 @@ __all__ = [
     "shard_of",
     "InsightsHTTPServer",
     "make_server",
+    "AsyncInsightsServer",
+    "make_async_server",
+    "FleetFacilitatorService",
+    "FleetWorkerAgent",
+    "parse_endpoints",
 ]

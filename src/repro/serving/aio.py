@@ -1,0 +1,610 @@
+"""Asyncio front end: thousands of keep-alive connections on one loop.
+
+The stdlib :class:`~http.server.ThreadingHTTPServer` front in
+``serving/http.py`` spends a Python thread per *connection*. That is the
+wrong cost model for the paper's deployment shape — an editor plugin
+holds a keep-alive connection open per user and fires a request only at
+keystroke pauses, so almost every connection is idle at any instant.  A
+thousand mostly-idle clients cost a thousand blocked threads (stack
+memory, scheduler churn, GIL wakeups) before the micro-batching backend
+sees any load at all.
+
+:class:`AsyncInsightsServer` multiplexes every connection on a single
+event loop (epoll/kqueue under the hood via the selector event loop):
+
+* **Incremental HTTP/1.1 parsing with pipelining.** Request bytes
+  accumulate in one per-connection ``bytearray``; each complete request
+  is spliced off the front, so a client that pipelines N requests gets N
+  responses in order on one connection. The body cap is enforced from
+  the ``Content-Length`` header *before* the body is read (same 413
+  semantics as the thread server).
+* **Idle timeouts and a slowloris reaper.** Every read is bounded: a
+  connection with no buffered bytes may idle for ``idle_timeout_s``
+  between requests, but once a partial request is buffered each
+  subsequent read must arrive within ``header_timeout_s`` — a client
+  trickling one header byte per second is reaped, not collected.
+* **Thread-free result bridge.** ``POST /insights`` submits to the
+  existing micro-batching queue on the loop, then awaits completion via
+  one shared waiter thread that watches the service's done-condition and
+  resolves asyncio futures (``call_soon_threadsafe``); a thousand
+  in-flight requests cost one thread, not a thousand.  Services without
+  the shared condition fall back to ``loop.run_in_executor``. Either
+  way the queue, batching, and response bytes are exactly the threaded
+  path's.
+* **Zero-copy response assembly.** Responses build into a reusable
+  per-connection ``bytearray`` (pre-encoded status lines and common
+  headers) written as a ``memoryview`` — no per-response string
+  concatenation. If the transport has to buffer (slow reader), the
+  buffer's ownership is handed to the transport and a fresh one is
+  allocated, so reuse never mutates in-flight bytes.
+
+The routing/validation/error-mapping core is the same
+:class:`~repro.serving.http.InsightsAPI` the threaded server uses, so
+status codes and bodies cannot drift between fronts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from http import HTTPStatus
+
+from repro.obs.registry import get_registry
+from repro.serving.http import (
+    DEFAULT_MAX_BODY_BYTES,
+    ApiResponse,
+    InsightsAPI,
+    _connection_metrics,
+)
+
+__all__ = ["AsyncInsightsServer", "make_async_server"]
+
+#: Reads may return up to this much at once; large bodies arrive in chunks.
+_READ_CHUNK = 64 * 1024
+
+#: Cap on the request head (request line + headers) before 431.
+_MAX_HEAD_BYTES = 32 * 1024
+
+#: Bridge wake-up slice when no request deadline is nearer.
+_BRIDGE_SLICE_S = 0.25
+
+_CRLF2 = b"\r\n\r\n"
+
+
+def _status_line(code: int) -> bytes:
+    try:
+        phrase = HTTPStatus(code).phrase
+    except ValueError:
+        phrase = "Unknown"
+    return f"HTTP/1.1 {code} {phrase}\r\n".encode("latin-1")
+
+
+#: Pre-encoded status lines for every code the API can answer.
+_STATUS_LINES = {
+    code: _status_line(code)
+    for code in (200, 400, 404, 405, 408, 409, 413, 431, 500, 501, 503, 504)
+}
+
+_H_CONTENT_TYPE = b"Content-Type: "
+_H_CONTENT_LENGTH = b"Content-Length: "
+_H_CONNECTION_CLOSE = b"Connection: close\r\n"
+_CRLF = b"\r\n"
+
+#: Fully pre-encoded rejection for connections over the cap — sent
+#: without touching the parser or the API core.
+_CAP_BODY = b'{"error": "connection limit reached; retry shortly"}'
+_PRE_503_CAP = (
+    _STATUS_LINES[503]
+    + b"Content-Type: application/json\r\n"
+    + b"Retry-After: 1\r\n"
+    + _H_CONTENT_LENGTH
+    + str(len(_CAP_BODY)).encode("ascii")
+    + _CRLF
+    + _H_CONNECTION_CLOSE
+    + _CRLF
+    + _CAP_BODY
+)
+
+
+class _ProtocolError(Exception):
+    """Malformed framing; carries the response to send before closing."""
+
+    def __init__(self, response: ApiResponse):
+        super().__init__(response.status)
+        self.response = response
+
+
+class _ResultBridge:
+    """One waiter thread resolving asyncio futures for pending requests.
+
+    Every :class:`~repro.serving.service.PendingRequest` of a service
+    shares one ``threading.Condition`` (notified once per finished
+    micro-batch), so a single thread can wait on it and complete any
+    number of asyncio futures via ``call_soon_threadsafe`` — the async
+    front end never blocks a loop thread or an executor slot on a
+    result. Deadlines are enforced here too: a watched request past its
+    timeout fails with ``TimeoutError`` exactly like the threaded
+    ``result(timeout)`` path (504 at the API layer).
+    """
+
+    def __init__(self, done_cond: threading.Condition):
+        self._cond = done_cond
+        # id(request) -> (request, loop, future, absolute deadline | None)
+        self._watched: dict = {}
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+
+    def wait(self, request, loop: asyncio.AbstractEventLoop, timeout_s):
+        """Future resolving when ``request`` completes (or times out)."""
+        future = loop.create_future()
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        with self._cond:
+            self._watched[id(request)] = (request, loop, future, deadline)
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._run, name="aio-result-bridge", daemon=True
+                )
+                self._thread.start()
+            self._cond.notify_all()
+        return future
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+
+    @staticmethod
+    def _resolve_many(ripe: list) -> None:
+        for future, error in ripe:
+            if future.done():  # connection died and cancelled the future
+                continue
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(None)
+
+    def _run(self) -> None:
+        with self._cond:
+            while not self._stopping:
+                now = time.monotonic()
+                #: loop -> [(future, error), ...]; one threadsafe wakeup
+                #: resolves every request a micro-batch finished, instead
+                #: of one loop callback per request
+                ripe: dict = {}
+                drop = []
+                next_deadline = None
+                for key, slot in self._watched.items():
+                    request, loop, future, deadline = slot
+                    if request.done():
+                        ripe.setdefault(loop, []).append((future, None))
+                        drop.append(key)
+                    elif deadline is not None and now >= deadline:
+                        ripe.setdefault(loop, []).append(
+                            (
+                                future,
+                                TimeoutError(
+                                    "request was not answered within the "
+                                    "timeout"
+                                ),
+                            )
+                        )
+                        drop.append(key)
+                    elif deadline is not None:
+                        next_deadline = (
+                            deadline
+                            if next_deadline is None
+                            else min(next_deadline, deadline)
+                        )
+                for key in drop:
+                    del self._watched[key]
+                for loop, batch in ripe.items():
+                    with contextlib.suppress(RuntimeError):
+                        # RuntimeError: the loop was closed mid-shutdown
+                        loop.call_soon_threadsafe(self._resolve_many, batch)
+                wait_s = _BRIDGE_SLICE_S
+                if next_deadline is not None:
+                    wait_s = min(wait_s, max(0.001, next_deadline - now))
+                self._cond.wait(wait_s)
+
+
+def _parse_head(buf: bytearray, head_end: int):
+    """(method, target, version, headers) from the head bytes in ``buf``.
+
+    Raises :class:`ValueError` on a malformed request line; header lines
+    that don't parse are skipped (matching the stdlib's leniency).
+    """
+    head = bytes(buf[:head_end]).decode("latin-1")
+    lines = head.split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ValueError(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return method, target, version, headers
+
+
+def _route_label(target: str) -> str:
+    path = target.split("?", 1)[0].rstrip("/")
+    return path if path in ("/insights", "/reload") else "unknown"
+
+
+class AsyncInsightsServer:
+    """Single-loop asyncio server for the insights API.
+
+    Drop-in lifecycle twin of :class:`~repro.serving.http.InsightsHTTPServer`:
+    the constructor binds (``port=0`` for ephemeral; read
+    ``server_address``), ``serve_forever()`` blocks running the loop
+    (call it from a dedicated thread), ``shutdown()`` is thread-safe,
+    ``server_close()`` releases the loop.
+
+    Args:
+        address: ``(host, port)`` to bind.
+        service: A ``FacilitatorService``-shaped object (``submit``,
+            ``stats``, optional ``reload``).
+        quiet: Suppress per-connection exception logging.
+        max_body_bytes: Request-body cap (413 above it, pre-read).
+        idle_timeout_s: How long a keep-alive connection may sit with no
+            buffered request bytes before it is closed.
+        header_timeout_s: Per-read bound once a partial request is
+            buffered — the slowloris reaper.
+        max_connections: Open-connection cap; connections over it get an
+            immediate pre-encoded 503 and are closed.
+    """
+
+    def __init__(
+        self,
+        address,
+        service,
+        quiet: bool = True,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        idle_timeout_s: float = 60.0,
+        header_timeout_s: float = 10.0,
+        max_connections: int = 1024,
+    ):
+        self.service = service
+        self.quiet = quiet
+        self.max_body_bytes = max_body_bytes
+        self.idle_timeout_s = idle_timeout_s
+        self.header_timeout_s = header_timeout_s
+        self.max_connections = max_connections
+        self.api = InsightsAPI(service, max_body_bytes=max_body_bytes)
+
+        self.connections_total, self.connections_open = _connection_metrics()
+        self.connections_reaped = get_registry().counter(
+            "repro_http_connections_reaped_total",
+            "Connections closed by the idle/slow-client reaper",
+        )
+        self.connections_rejected = get_registry().counter(
+            "repro_http_connections_rejected_total",
+            "Connections refused with 503 at the open-connection cap",
+        )
+
+        done_cond = getattr(service, "_done_cond", None)
+        self._bridge = (
+            _ResultBridge(done_cond)
+            if isinstance(done_cond, threading.Condition)
+            else None
+        )
+
+        self._loop = asyncio.new_event_loop()
+        if quiet:
+            self._loop.set_exception_handler(lambda loop, ctx: None)
+        self._conn_tasks: set[asyncio.Task] = set()
+        # task -> {"wait_start": float|None, "mid_request": bool}; scanned
+        # by the one reaper task instead of arming a timeout per read
+        self._conn_meta: dict[asyncio.Task, dict] = {}
+        self._closing = False
+        self._shutdown_event = asyncio.Event()
+        host, port = address
+        self._server = self._loop.run_until_complete(
+            asyncio.start_server(
+                self._handle_connection, host, port, backlog=1024
+            )
+        )
+        self.server_address = self._server.sockets[0].getsockname()[:2]
+
+    # -- lifecycle ------------------------------------------------------------ #
+
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`shutdown` (blocks)."""
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self._main())
+
+    async def _main(self) -> None:
+        reaper = self._loop.create_task(self._reap_stale())
+        await self._shutdown_event.wait()
+        self._closing = True
+        self._server.close()
+        await self._server.wait_closed()
+        reaper.cancel()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        await asyncio.gather(
+            reaper, *self._conn_tasks, return_exceptions=True
+        )
+
+    def shutdown(self) -> None:
+        """Stop :meth:`serve_forever` from any thread."""
+        with contextlib.suppress(RuntimeError):
+            self._loop.call_soon_threadsafe(self._shutdown_event.set)
+
+    def server_close(self) -> None:
+        """Release the listening socket, bridge thread, and loop."""
+        if self._bridge is not None:
+            self._bridge.stop()
+        if self._loop.is_closed() or self._loop.is_running():
+            return
+        self._server.close()
+        with contextlib.suppress(Exception):
+            self._loop.run_until_complete(self._server.wait_closed())
+        with contextlib.suppress(Exception):
+            self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+        self._loop.close()
+
+    # -- connection handling --------------------------------------------------- #
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self.connections_total.inc()
+        self.connections_open.inc()
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        meta = {"wait_start": None, "mid_request": False}
+        self._conn_meta[task] = meta
+        try:
+            if len(self._conn_tasks) > self.max_connections:
+                self.connections_rejected.inc()
+                writer.write(_PRE_503_CAP)
+                with contextlib.suppress(Exception):
+                    await writer.drain()
+                return
+            await self._serve_connection(reader, writer, meta)
+        except asyncio.CancelledError:
+            pass  # server shutdown or reaped by _reap_stale
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-exchange
+        finally:
+            self._conn_meta.pop(task, None)
+            self._conn_tasks.discard(task)
+            self.connections_open.dec()
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _serve_connection(self, reader, writer, meta) -> None:
+        buf = bytearray()
+        head = bytearray()  # reusable response-head buffer
+        while not self._closing:
+            try:
+                parsed = await self._read_request(reader, buf, meta)
+            except _ProtocolError as exc:
+                self._write_response(writer, head, exc.response, close=True)
+                with contextlib.suppress(Exception):
+                    await writer.drain()
+                return
+            if parsed is None:
+                return  # EOF, idle timeout, or reaped
+            method, target, body, keep_alive = parsed
+            response = await self._dispatch(method, target, body)
+            close = self._closing or not keep_alive
+            head = self._write_response(writer, head, response, close)
+            if writer.transport.get_write_buffer_size() > 0:
+                await writer.drain()
+            if close:
+                return
+
+    async def _read_request(self, reader, buf: bytearray, meta):
+        """Splice one complete request off ``buf``, reading as needed.
+
+        Returns ``(method, target, body, keep_alive)``, or ``None`` on
+        EOF between requests. A connection that overstays its idle or
+        slow-client budget mid-read is cancelled by :meth:`_reap_stale`.
+        Raises :class:`_ProtocolError` for malformed framing that
+        deserves an error response.
+        """
+        # 1. the head: everything up to the blank line
+        while True:
+            head_end = buf.find(_CRLF2)
+            if head_end >= 0:
+                break
+            if len(buf) > _MAX_HEAD_BYTES:
+                raise _ProtocolError(
+                    self._framing_error(
+                        "unknown", 431, "request header block too large"
+                    )
+                )
+            chunk = await self._bounded_read(reader, meta, bool(buf))
+            if not chunk:
+                return None
+            buf += chunk
+        try:
+            method, target, version, headers = _parse_head(buf, head_end)
+        except ValueError as exc:
+            raise _ProtocolError(
+                self._framing_error("unknown", 400, str(exc))
+            ) from None
+        route = _route_label(target)
+
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise _ProtocolError(
+                self._framing_error(
+                    route, 501, "chunked transfer encoding not supported"
+                )
+            )
+        try:
+            length = int(headers.get("content-length") or 0)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            raise _ProtocolError(
+                self._framing_error(route, 400, "bad Content-Length header")
+            ) from None
+        if length > self.max_body_bytes:
+            # refuse from the header, before the body crosses the wire;
+            # the unread body poisons the stream, so the caller closes
+            self.api._count_request(route)
+            raise _ProtocolError(self.api.body_too_large(route))
+
+        # 2. the body: read until the full request is buffered
+        total = head_end + len(_CRLF2) + length
+        while len(buf) < total:
+            chunk = await self._bounded_read(reader, meta, True)
+            if not chunk:
+                return None
+            buf += chunk
+        body = bytes(buf[head_end + len(_CRLF2) : total])
+        del buf[:total]  # pipelined successors stay buffered
+
+        connection = headers.get("connection", "").lower()
+        if version == "HTTP/1.0":
+            keep_alive = connection == "keep-alive"
+        else:
+            keep_alive = connection != "close"
+        return method, target, body, keep_alive
+
+    async def _bounded_read(self, reader, meta, mid_request: bool):
+        """One read, time-stamped so the reaper can enforce the budget.
+
+        ``asyncio.wait_for`` here would arm a fresh task + timer per
+        read — measurable per-request overhead at thousands of
+        keep-alive connections. Instead the read is plain and the single
+        :meth:`_reap_stale` task cancels connections that overstay.
+        """
+        meta["mid_request"] = mid_request
+        meta["wait_start"] = self._loop.time()
+        try:
+            return await reader.read(_READ_CHUNK)
+        finally:
+            meta["wait_start"] = None
+
+    async def _reap_stale(self) -> None:
+        """Cancel connections that sat in a read past their budget.
+
+        One task for the whole server; the scan interval halves the
+        tighter timeout so a reap lands at most 1.5x the nominal budget
+        after the deadline — the contract is "bounded", not "exact".
+        """
+        interval = max(
+            0.05, min(self.header_timeout_s, self.idle_timeout_s) / 2
+        )
+        while True:
+            await asyncio.sleep(interval)
+            now = self._loop.time()
+            for task, meta in list(self._conn_meta.items()):
+                started = meta["wait_start"]
+                if started is None or task.done():
+                    continue
+                budget = (
+                    self.header_timeout_s
+                    if meta["mid_request"]
+                    else self.idle_timeout_s
+                )
+                if now - started > budget:
+                    if meta["mid_request"]:
+                        self.connections_reaped.inc()
+                    task.cancel()
+
+    def _framing_error(self, route: str, status: int, message: str):
+        self.api._count_request(route)
+        return self.api._json(route, status, {"error": message})
+
+    # -- dispatch -------------------------------------------------------------- #
+
+    async def _dispatch(self, method: str, target: str, body: bytes):
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if method == "POST" and path == "/insights":
+            # split submit (fast, on the loop — keeps micro-batches
+            # forming) from the await on the result (bridge thread)
+            self.api._count_request("/insights")
+            statements, deadline_s, error = self.api.parse_insights(body)
+            if error is not None:
+                return error
+            try:
+                request = self.api.submit(statements, deadline_s=deadline_s)
+                insights = await self._await_result(request, deadline_s)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                return self.api.insights_error(exc)
+            return self.api.finish_insights(request, insights)
+        if method == "POST" and path == "/reload":
+            # staged artifact validation takes seconds; keep it off the loop
+            return await self._loop.run_in_executor(
+                None, self.api.handle, method, target, body
+            )
+        # stats/metrics/healthz/404/405: quick, answered inline
+        return self.api.handle(method, target, body)
+
+    async def _await_result(self, request, deadline_s):
+        if self._bridge is not None:
+            await self._bridge.wait(request, self._loop, deadline_s)
+            return request.result(timeout=0.0)
+        return await self._loop.run_in_executor(
+            None, request.result, deadline_s
+        )
+
+    # -- response assembly ----------------------------------------------------- #
+
+    def _write_response(
+        self, writer, head: bytearray, response: ApiResponse, close: bool
+    ) -> bytearray:
+        """Assemble into the reusable head buffer; returns the buffer to
+        reuse next time (a fresh one if the transport kept ours)."""
+        status, content_type, body, extra_headers = response
+        head.clear()
+        head += _STATUS_LINES.get(status) or _status_line(status)
+        head += _H_CONTENT_TYPE
+        head += content_type.encode("latin-1")
+        head += _CRLF
+        head += _H_CONTENT_LENGTH
+        head += str(len(body)).encode("ascii")
+        head += _CRLF
+        for name, value in (extra_headers or {}).items():
+            head += f"{name}: {value}\r\n".encode("latin-1")
+        if close:
+            head += _H_CONNECTION_CLOSE
+        head += _CRLF
+        writer.write(memoryview(head))
+        if body:
+            writer.write(body)
+        if writer.transport.get_write_buffer_size() > 0:
+            # the transport buffered our memoryview (slow reader): hand
+            # it the buffer and build the next response in a fresh one
+            return bytearray()
+        return head
+
+
+def make_async_server(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    idle_timeout_s: float = 60.0,
+    header_timeout_s: float = 10.0,
+    max_connections: int = 1024,
+) -> AsyncInsightsServer:
+    """Bind (but do not start) the asyncio front end for ``service``.
+
+    Same contract as :func:`repro.serving.http.make_server`: ``port=0``
+    binds an ephemeral port (read ``server.server_address``), call
+    ``serve_forever()`` from a thread, ``shutdown()`` to stop.
+    """
+    return AsyncInsightsServer(
+        (host, port),
+        service,
+        quiet=quiet,
+        max_body_bytes=max_body_bytes,
+        idle_timeout_s=idle_timeout_s,
+        header_timeout_s=header_timeout_s,
+        max_connections=max_connections,
+    )

@@ -1,0 +1,546 @@
+"""Fleet transport: the sharded tier's worker protocol over TCP.
+
+``ShardedFacilitatorService`` proves the supervision mechanics — health
+probes, backoff restarts, degraded re-routes, deadlines, staged hot
+reloads — against local worker *processes*. This module carries the
+same protocol to remote hosts, the dbgrid-style backend/frontend split
+the ROADMAP names: a controller (``repro serve --fleet host:port,...``)
+routes shard slices over TCP to worker agents (``repro worker
+--listen``), one agent per shard.
+
+The wire format is deliberately boring: each message is a 4-byte
+big-endian length prefix followed by a UTF-8 JSON body (no external
+codecs). Messages are the exact tuples the in-process tier already
+exchanges (``batch``/``result``/``ready``/``reload``/…) with
+:class:`~repro.core.facilitator.QueryInsights` embedded as tagged
+``to_dict()`` payloads — and since ``to_dict`` emits raw fields and
+JSON float round-trips are repr-exact, a fleet response is bit-identical
+to an in-process one.
+
+Integration is a quacking trick, not a rewrite.
+:class:`_FleetChannel` wraps the socket with ``fileno()`` (so the
+collector's ``multiprocessing.connection.wait`` loop polls it alongside
+real pipes), ``recv()`` (one framed message, converted back to tuples),
+``put()`` (the dispatcher's request-queue verb), and no-op queue
+teardown methods. :class:`FleetFacilitatorService` then subclasses the
+sharded service overriding only the five process-lifecycle hooks —
+spawn becomes connect+hello, probe becomes heartbeat-staleness, so
+heartbeat loss is judged exactly like a SIGKILLed local worker: the
+supervisor marks the shard crashed, re-routes its in-flight slices to
+survivors (degraded), and reconnects under backoff. Scatter/gather,
+admission control, deadline sweeps, and generation-fenced hot reload
+are inherited verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+
+from repro.core.facilitator import QueryFacilitator, QueryInsights
+from repro.obs.registry import get_registry
+from repro.serving.faults import FaultInjector, FaultPlan
+from repro.serving.service import InsightMemo, _PROBE_STATEMENT
+from repro.serving.shards import (
+    _BOOT_GRACE_S,
+    ShardedFacilitatorService,
+    _WorkerHandle,
+)
+from repro.serving.supervisor import WorkerProbe
+
+__all__ = [
+    "FleetFacilitatorService",
+    "FleetWorkerAgent",
+    "parse_endpoints",
+]
+
+#: Upper bound on one frame; a corrupt length prefix fails fast instead
+#: of allocating gigabytes.
+_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Blocking-read bound on an established channel; a frame that stalls
+#: longer is treated as a torn connection.
+_IO_TIMEOUT_S = 30.0
+
+#: Agent heartbeat period. The controller's staleness threshold
+#: (``heartbeat_timeout_s``) must comfortably exceed this.
+_HEARTBEAT_PERIOD_S = 0.5
+
+
+def parse_endpoints(spec: str) -> list[tuple[str, int]]:
+    """``"host:port,host:port"`` → ``[(host, port), ...]``."""
+    endpoints = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, sep, port = part.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"bad fleet endpoint {part!r} (expected host:port)"
+            )
+        endpoints.append((host, int(port)))
+    if not endpoints:
+        raise ValueError(f"no endpoints in fleet spec {spec!r}")
+    return endpoints
+
+
+# --------------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------------- #
+
+
+def _to_wire(obj):
+    """Make one protocol tuple JSON-able (insights become tagged dicts)."""
+    if isinstance(obj, QueryInsights):
+        return {"__insight__": obj.to_dict()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_wire(item) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _to_wire(value) for key, value in obj.items()}
+    return obj
+
+
+def _from_wire(obj):
+    """Inverse of :func:`_to_wire` (tagged dicts back to insights;
+    2-lists tagged ``__error__`` back to the tuples ``_on_result`` keys on)."""
+    if isinstance(obj, dict):
+        if len(obj) == 1 and "__insight__" in obj:
+            return QueryInsights.from_dict(obj["__insight__"])
+        return {key: _from_wire(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        if len(obj) == 2 and obj[0] == "__error__":
+            return ("__error__", obj[1])
+        return [_from_wire(item) for item in obj]
+    return obj
+
+
+def _send_frame(sock: socket.socket, lock: threading.Lock, msg) -> None:
+    data = json.dumps(_to_wire(msg), separators=(",", ":")).encode("utf-8")
+    frame = len(data).to_bytes(4, "big") + data
+    with lock:
+        sock.sendall(frame)
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise EOFError("fleet channel closed")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> tuple:
+    length = int.from_bytes(_read_exact(sock, 4), "big")
+    if length > _MAX_FRAME_BYTES:
+        raise EOFError(f"fleet frame too large ({length} bytes)")
+    return tuple(_from_wire(json.loads(_read_exact(sock, length))))
+
+
+# --------------------------------------------------------------------------- #
+# controller side
+# --------------------------------------------------------------------------- #
+
+
+class _FleetChannel:
+    """One worker's TCP link, shaped like its local mp plumbing.
+
+    Exposes ``fileno()``/``recv()`` so the sharded collector's
+    ``multiprocessing.connection.wait`` loop treats it as a result pipe,
+    and ``put()``/``cancel_join_thread()``/``close()`` so the dispatch,
+    reload, and teardown paths treat it as the worker's request queue —
+    the entire sharded data plane runs over it unmodified.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self.closed = False
+        #: Last time any frame (heartbeat or payload) arrived — the
+        #: controller-side liveness clock. Heartbeats carry the worker's
+        #: *elapsed* busy seconds, so hung detection needs no cross-host
+        #: clock agreement.
+        self.last_recv = time.monotonic()
+        self.busy_s = 0.0
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def put(self, msg) -> None:
+        _send_frame(self._sock, self._send_lock, msg)
+
+    def recv(self) -> tuple:
+        msg = _recv_frame(self._sock)
+        self.last_recv = time.monotonic()
+        if msg and msg[0] == "heartbeat":
+            self.busy_s = float(msg[2]) if len(msg) > 2 else 0.0
+        return msg
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def cancel_join_thread(self) -> None:  # queue-teardown protocol no-op
+        pass
+
+
+class FleetFacilitatorService(ShardedFacilitatorService):
+    """The sharded tier with remote TCP agents as its shard workers.
+
+    Args:
+        artifact_path: Facilitator artifact; the controller validates the
+            manifest (and stages reloads) locally, agents load their own
+            copy by the same path.
+        endpoints: ``[(host, port), ...]`` — one running ``repro worker
+            --listen`` agent per shard; shard *i* is the *i*-th endpoint.
+        connect_timeout_s: TCP connect budget per (re)spawn attempt; a
+            refused connect leaves the shard down and the supervisor's
+            backoff schedules the retry.
+        heartbeat_timeout_s: Channel silence past this marks the remote
+            shard **crashed** — the same verdict, re-route, and respawn
+            path a SIGKILLed local worker takes.
+
+    Everything else (batching knobs, ``max_pending``, deadlines,
+    ``fault_plan`` for the *controller-side* staging validator, …) is
+    inherited from :class:`ShardedFacilitatorService`.
+    """
+
+    def __init__(
+        self,
+        artifact_path,
+        endpoints,
+        connect_timeout_s: float = 2.0,
+        heartbeat_timeout_s: float = 10.0,
+        **kwargs,
+    ):
+        endpoints = [
+            endpoint if isinstance(endpoint, tuple) else tuple(endpoint)
+            for endpoint in endpoints
+        ]
+        if not endpoints:
+            raise ValueError("fleet needs at least one worker endpoint")
+        kwargs["n_workers"] = len(endpoints)
+        super().__init__(artifact_path, **kwargs)
+        self._endpoints = endpoints
+        self.connect_timeout_s = connect_timeout_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+
+    # -- lifecycle hooks: connect instead of fork ----------------------------- #
+
+    def _spawn_locked(self, handle: _WorkerHandle) -> None:
+        """(Re)connect one shard's agent and say hello.
+
+        A failed connect leaves ``handle.conn`` unset: the next probe
+        reports the shard dead and the supervisor retries under backoff —
+        identical cadence to a crash-looping local worker.
+        """
+        handle.incarnation += 1
+        handle.generation = 0
+        handle.spawned_at = time.monotonic()
+        handle.process = None
+        with self._state:
+            handle.up = False
+            channel, handle.conn, handle.request_q = handle.conn, None, None
+        if channel is not None:
+            channel.close()
+        host, port = self._endpoints[handle.wid]
+        try:
+            sock = socket.create_connection(
+                (host, port), timeout=self.connect_timeout_s
+            )
+        except OSError:
+            return
+        sock.settimeout(_IO_TIMEOUT_S)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        channel = _FleetChannel(sock)
+        cfg = {
+            "artifact_path": self.artifact_path,
+            "cache_size": self.cache_size,
+            "warm_path": self.warm_path,
+            "mmap": self.mmap,
+            "generation": self._generation,
+            "fault_plan": (
+                self.fault_plan.to_json() if self.fault_plan else None
+            ),
+            # agents translate controller deadlines into their own clock
+            "now": time.monotonic(),
+        }
+        try:
+            channel.put(("hello", handle.wid, handle.incarnation, cfg))
+        except OSError:
+            channel.close()
+            return
+        with self._state:
+            handle.conn = channel
+            handle.request_q = channel
+
+    def _probe_worker(self, wid: int) -> WorkerProbe:
+        handle = self._handles[wid]
+        channel = handle.conn
+        if channel is None or channel.closed:
+            return WorkerProbe(alive=False)
+        now = time.monotonic()
+        if now - channel.last_recv > self.heartbeat_timeout_s:
+            # heartbeat loss is indistinguishable from a remote SIGKILL;
+            # give it the identical verdict (crashed → re-route + backoff)
+            return WorkerProbe(alive=False)
+        busy_candidates = []
+        if not handle.up:
+            boot_s = now - handle.spawned_at
+            if boot_s > _BOOT_GRACE_S:
+                busy_candidates.append(boot_s - _BOOT_GRACE_S)
+        elif channel.busy_s > 0.0:
+            busy_candidates.append(channel.busy_s)
+        busy_s = max(busy_candidates) if busy_candidates else None
+        return WorkerProbe(alive=True, busy_s=busy_s)
+
+    def _terminate_worker(self, wid: int, reason: str) -> None:
+        handle = self._handles[wid]
+        with self._state:
+            channel, handle.conn, handle.request_q = handle.conn, None, None
+        if channel is not None:
+            try:
+                channel.put(("stop",))
+            except Exception:
+                pass
+            channel.close()
+
+    def _respawn_worker(self, wid: int) -> None:
+        self._terminate_worker(wid, "respawn")
+        if not self._running:
+            return
+        self._spawn_locked(self._handles[wid])
+
+    # -- reporting ------------------------------------------------------------ #
+
+    @property
+    def workers(self) -> list[dict]:
+        rows = ShardedFacilitatorService.workers.fget(self)
+        for row, (host, port) in zip(rows, self._endpoints):
+            row["endpoint"] = f"{host}:{port}"
+        return rows
+
+
+# --------------------------------------------------------------------------- #
+# agent side
+# --------------------------------------------------------------------------- #
+
+
+class FleetWorkerAgent:
+    """``repro worker --listen``: one shard's compute behind a TCP port.
+
+    Serves one controller connection at a time (the controller owns the
+    shard). Each connection starts with a ``hello`` carrying the worker
+    config; the agent loads the artifact (answering ``boot_err`` on
+    failure), replies ``ready``, then answers ``batch``/``reload``
+    messages exactly like the in-process worker loop — plus a heartbeat
+    thread so the controller can tell a healthy-but-idle agent from a
+    dead host. A dropped connection just returns the agent to accept():
+    the supervisor's respawn is a reconnect, and the already-loaded
+    facilitator makes it fast.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._listener = socket.create_server((host, port), backlog=4)
+        self._listener.settimeout(0.5)
+        self.address = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        # survives reconnects: (path, mmap, mtime) -> loaded facilitator
+        self._loaded_key = None
+        self._facilitator = None
+        self._m_batches = get_registry().counter(
+            "repro_fleet_agent_batches_total",
+            "Sub-batches answered by this fleet worker agent",
+        )
+
+    def shutdown(self) -> None:
+        self._stop.set()
+
+    def close(self) -> None:
+        self._stop.set()
+        self._listener.close()
+
+    def serve_forever(self) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    sock, _peer = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                try:
+                    self._serve_controller(sock)
+                except Exception:
+                    pass  # torn controller; go back to accepting
+                finally:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+        finally:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    # -- one controller session ---------------------------------------------- #
+
+    def _load(self, cfg: dict):
+        key = (cfg["artifact_path"], bool(cfg.get("mmap")))
+        if self._loaded_key == key and self._facilitator is not None:
+            return self._facilitator
+        facilitator = QueryFacilitator.load(
+            cfg["artifact_path"], mmap=bool(cfg.get("mmap"))
+        )
+        if cfg.get("warm_path"):
+            from repro.serving.shards import _prime_pipeline
+
+            _prime_pipeline(cfg["warm_path"])
+        self._loaded_key = key
+        self._facilitator = facilitator
+        return facilitator
+
+    def _serve_controller(self, sock: socket.socket) -> None:
+        sock.settimeout(_IO_TIMEOUT_S)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_lock = threading.Lock()
+        try:
+            hello = _recv_frame(sock)
+        except (EOFError, OSError, ValueError):
+            return
+        if not hello or hello[0] != "hello":
+            return
+        _, wid, incarnation, cfg = hello
+        plan = (
+            FaultPlan.from_json(cfg["fault_plan"])
+            if cfg.get("fault_plan")
+            else None
+        )
+        faults = FaultInjector(plan, wid, incarnation)
+        # controller-clock offset: deadlines arrive in the controller's
+        # time.monotonic() domain and must be compared in ours
+        clock_offset = time.monotonic() - float(cfg.get("now") or 0.0)
+        try:
+            facilitator = self._load(cfg)
+        except Exception as exc:
+            self._send(
+                sock,
+                send_lock,
+                ("boot_err", wid, incarnation, f"{type(exc).__name__}: {exc}"),
+            )
+            return
+        memo = InsightMemo(cfg.get("cache_size", 8192))
+        generation = cfg["generation"]
+        self._send(
+            sock, send_lock, ("ready", wid, incarnation, generation, os.getpid())
+        )
+
+        busy_since = [0.0]  # boxed for the heartbeat thread
+        session_over = threading.Event()
+
+        def _heartbeat() -> None:
+            while not session_over.wait(_HEARTBEAT_PERIOD_S):
+                busy = busy_since[0]
+                busy_s = time.monotonic() - busy if busy > 0.0 else 0.0
+                try:
+                    _send_frame(sock, send_lock, ("heartbeat", wid, busy_s))
+                except Exception:
+                    return
+
+        beat = threading.Thread(
+            target=_heartbeat, name="fleet-agent-heartbeat", daemon=True
+        )
+        beat.start()
+        try:
+            while not self._stop.is_set():
+                try:
+                    msg = _recv_frame(sock)
+                except socket.timeout:
+                    continue
+                except (EOFError, OSError, ValueError):
+                    return
+                kind = msg[0]
+                if kind == "stop":
+                    return
+                if kind == "reload":
+                    _, path, new_generation = msg
+                    try:
+                        faults.on_reload(path)
+                        candidate = QueryFacilitator.load(
+                            path, mmap=bool(cfg.get("mmap"))
+                        )
+                        candidate.insights_batch([_PROBE_STATEMENT])
+                    except Exception as exc:
+                        self._send(
+                            sock,
+                            send_lock,
+                            (
+                                "reload_err",
+                                wid,
+                                new_generation,
+                                f"{type(exc).__name__}: {exc}",
+                            ),
+                        )
+                        continue
+                    facilitator = candidate
+                    self._loaded_key = (path, bool(cfg.get("mmap")))
+                    self._facilitator = candidate
+                    memo.clear()
+                    generation = new_generation
+                    self._send(
+                        sock, send_lock, ("reload_ok", wid, new_generation)
+                    )
+                    continue
+                if kind != "batch":
+                    continue
+                _, batch_id, part_id, _part_generation, statements, deadline = msg
+                busy_since[0] = time.monotonic()
+                try:
+                    faults.on_batch()
+                    if (
+                        deadline is not None
+                        and time.monotonic() > deadline + clock_offset
+                    ):
+                        self._send(
+                            sock, send_lock, ("expired", wid, batch_id, part_id)
+                        )
+                        continue
+                    results, _, _ = memo.resolve(
+                        list(statements), facilitator.insights_batch
+                    )
+                    payload = [
+                        r
+                        if isinstance(r, QueryInsights)
+                        else ("__error__", f"{type(r).__name__}: {r}")
+                        for r in results
+                    ]
+                    self._m_batches.inc()
+                    self._send(
+                        sock,
+                        send_lock,
+                        ("result", wid, batch_id, part_id, generation, payload),
+                    )
+                finally:
+                    busy_since[0] = 0.0
+        finally:
+            session_over.set()
+
+    @staticmethod
+    def _send(sock, lock, msg) -> None:
+        try:
+            _send_frame(sock, lock, msg)
+        except OSError:
+            pass

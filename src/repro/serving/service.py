@@ -267,6 +267,7 @@ class PendingRequest:
         "_results",
         "_error",
         "_enqueued_at",
+        "dispatched_at",
         "latency_ms",
         "degraded",
         "generation",
@@ -285,6 +286,10 @@ class PendingRequest:
         self._results: list[QueryInsights] | None = None
         self._error: BaseException | None = None
         self._enqueued_at = time.perf_counter()
+        #: ``time.perf_counter()`` when the batching worker dispatched the
+        #: micro-batch carrying this request (None until then) — the
+        #: boundary between queue-wait and compute in the latency split.
+        self.dispatched_at: float | None = None
         self.latency_ms: float | None = None
         #: True when the response was served off its home shard or from
         #: a fallback memo while a shard was restarting.
@@ -400,6 +405,11 @@ class FacilitatorService:
         self._m_request_errors = Counter()
         self._m_batch_size = Histogram(SIZE_BUCKETS)
         self._m_latency = Histogram(LATENCY_BUCKETS_S)
+        # the latency split: time spent waiting for dispatch vs time the
+        # micro-batch actually computed (total = queue_wait + compute +
+        # result pickup, which the total histogram above keeps)
+        self._m_queue_wait = Histogram(LATENCY_BUCKETS_S)
+        self._m_compute = Histogram(LATENCY_BUCKETS_S)
         # window + non-monotonic bits (guarded by _condition's lock)
         self._max_batch_seen = 0
         self._warmed = 0
@@ -493,6 +503,16 @@ class FacilitatorService:
         registry.attach(
             "repro_service_request_latency_seconds", self._m_latency,
             "Request latency, enqueue to result ready",
+        )
+        registry.attach(
+            "repro_service_queue_wait_seconds", self._m_queue_wait,
+            "Time a request waited in the micro-batching queue before "
+            "its batch dispatched",
+        )
+        registry.attach(
+            "repro_service_compute_seconds", self._m_compute,
+            "Time a request's micro-batch spent computing (dispatch to "
+            "results ready)",
         )
         registry.register_callback(
             "repro_service_queue_depth",
@@ -886,6 +906,8 @@ class FacilitatorService:
         generation = self.generation
         memo_hits_before = self._m_memo_hits.value
         batch_started = time.perf_counter()
+        for request in batch:
+            request.dispatched_at = batch_started
         try:
             results = self._execute_batch(statements)
         except Exception as exc:  # memo isolation failed wholesale
@@ -926,6 +948,10 @@ class FacilitatorService:
         for request in batch:
             if request.latency_ms is not None:
                 self._m_latency.observe(request.latency_ms / 1000.0)
+            self._m_queue_wait.observe(
+                max(0.0, batch_started - request._enqueued_at)
+            )
+            self._m_compute.observe(batch_seconds)
         # one structured access record per batch when REPRO_OBS_LOG is
         # set — the service-side replacement for an HTTP access log
         obs_events.emit(

@@ -478,6 +478,8 @@ class ShardedFacilitatorService:
         self._m_timeouts = Counter()
         self._m_batch_size = Histogram(SIZE_BUCKETS)
         self._m_latency = Histogram(LATENCY_BUCKETS_S)
+        self._m_queue_wait = Histogram(LATENCY_BUCKETS_S)
+        self._m_compute = Histogram(LATENCY_BUCKETS_S)
         self._latencies: deque[float] = deque(maxlen=window)
 
     # -- lifecycle ----------------------------------------------------------- #
@@ -594,6 +596,10 @@ class ShardedFacilitatorService:
              "Statements per dispatched micro-batch"),
             ("repro_service_request_latency_seconds", self._m_latency,
              "Request latency, enqueue to result ready"),
+            ("repro_service_queue_wait_seconds", self._m_queue_wait,
+             "Time a request waited for dispatch to shard workers"),
+            ("repro_service_compute_seconds", self._m_compute,
+             "Time a request's scattered sub-batches spent in workers"),
             ("repro_requests_shed_total", self._m_shed,
              "Requests shed by admission control (HTTP 503)"),
             ("repro_degraded_responses_total", self._m_degraded,
@@ -808,6 +814,15 @@ class ShardedFacilitatorService:
         if request.latency_ms is not None:
             self._latencies.append(request.latency_ms)
             self._m_latency.observe(request.latency_ms / 1000.0)
+        now = time.perf_counter()
+        if request.dispatched_at is not None:
+            self._m_queue_wait.observe(
+                max(0.0, request.dispatched_at - request._enqueued_at)
+            )
+            self._m_compute.observe(max(0.0, now - request.dispatched_at))
+        else:
+            # finished before dispatch (expired / stopped): all queue wait
+            self._m_queue_wait.observe(max(0.0, now - request._enqueued_at))
 
     # -- dispatcher ----------------------------------------------------------- #
 
@@ -861,8 +876,10 @@ class ShardedFacilitatorService:
                 live.append(request)
         if not live:
             return
+        dispatched_at = time.perf_counter()
         statements: list[str] = []
         for request in live:
+            request.dispatched_at = dispatched_at
             statements.extend(request.statements)
         unique: dict[str, None] = {}
         for statement in statements:
@@ -1312,13 +1329,31 @@ class ShardedFacilitatorService:
 
     @property
     def workers(self) -> list[dict]:
-        """Per-shard worker status (``/stats`` and chaos assertions)."""
+        """Per-shard worker status (``/stats``, ``/healthz``, chaos asserts).
+
+        ``state`` is the one-word health a fleet scraper keys on:
+        ``restarting`` (process down, supervisor backing off toward a
+        respawn), ``degraded`` (this worker serves, but a sibling shard is
+        down so its slice re-routes here cold, or this worker is mid-swap
+        at a stale generation), or ``up``.
+        """
         with self._state:
+            generation = self._generation
+            any_down = any(not h.up for h in self._handles)
             return [
                 {
                     "worker": h.wid,
                     "pid": h.process.pid if h.process is not None else None,
                     "up": h.up,
+                    "state": (
+                        "restarting"
+                        if not h.up
+                        else (
+                            "degraded"
+                            if any_down or h.generation != generation
+                            else "up"
+                        )
+                    ),
                     "incarnation": h.incarnation,
                     "generation": h.generation,
                     "restarts": h.restarts,

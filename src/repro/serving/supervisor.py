@@ -7,7 +7,12 @@ deadline — the hung-worker signal) and *when* a replacement may start
 the fork path), but every side effect — killing a process, re-routing its
 in-flight work, spawning the replacement — goes through the ``fleet``
 object the sharded service hands it. That split keeps restart timing
-testable with a fake clock and a stub fleet, no processes involved.
+testable with a fake clock and a stub fleet, no processes involved — and
+makes the protocol transport-agnostic: the same supervisor drives local
+worker processes (``ShardedFacilitatorService``) and remote TCP worker
+agents (:mod:`repro.serving.fleet`), where ``probe`` reads heartbeat
+staleness instead of process liveness, ``terminate`` closes a socket
+instead of killing a pid, and ``respawn`` reconnects instead of forking.
 
 :class:`RestartBackoff` implements the delay policy: ``base * 2**attempt``
 capped at ``cap``, multiplied by a seeded random jitter factor in

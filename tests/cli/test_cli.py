@@ -56,6 +56,7 @@ class TestParser:
             "train",
             "predict",
             "serve",
+            "worker",
             "stats",
             "evaluate",
             "experiment",

@@ -7,7 +7,11 @@ import pytest
 
 from repro.cli import main
 from repro.core.facilitator import QueryFacilitator
-from repro.serving import FacilitatorService, make_server
+from repro.serving import (
+    FacilitatorService,
+    ShardedFacilitatorService,
+    make_server,
+)
 from repro.workloads.sdss import generate_sdss_workload
 
 
@@ -98,3 +102,37 @@ class TestServerMode:
         rc = main(["stats", "http://127.0.0.1:1"])
         assert rc == 1
         assert "cannot reach" in capsys.readouterr().err
+
+
+class TestShardedServerMode:
+    """The sharded/fleet stats shape (no mean_batch_size, p99 tail,
+    per-shard rows) must render, not crash."""
+
+    @pytest.fixture(scope="class")
+    def server_url(self, tmp_path_factory):
+        workload = generate_sdss_workload(n_sessions=80, seed=51)
+        facilitator = QueryFacilitator(model_name="baseline").fit(workload)
+        artifact = tmp_path_factory.mktemp("stats") / "fac.repro"
+        facilitator.save(artifact)
+        service = ShardedFacilitatorService(
+            artifact, n_workers=1, max_wait_ms=5.0
+        )
+        service.start()
+        server = make_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        service.insights("SELECT * FROM PhotoObj", timeout=30)
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        thread.join()
+        service.stop()
+
+    def test_pretty_report_renders_shards(self, server_url, capsys):
+        assert main(["stats", server_url]) == 0
+        out = capsys.readouterr().out
+        assert "serving stats from" in out
+        assert "p99" in out
+        assert "shards: 1/1 up" in out
+        assert "shard 0 up" in out

@@ -1,0 +1,353 @@
+"""Async front end: keep-alive, pipelining, reaping, caps, bit-parity.
+
+Raw sockets throughout — the point of these tests is the connection
+lifecycle (reuse, pipelined responses in order, slowloris reaping,
+oversized-body refusal), which urllib would hide. The parity tests
+assert the async server's response bodies are byte-identical to the
+threaded server's for the same service, which is the tentpole's
+correctness claim.
+"""
+
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serving import FacilitatorService, make_async_server, make_server
+
+
+@pytest.fixture(scope="module")
+def service(fitted_facilitator):
+    service = FacilitatorService(
+        fitted_facilitator, max_batch=16, max_wait_ms=5.0
+    )
+    service.start()
+    yield service
+    service.stop()
+
+
+@pytest.fixture(scope="module")
+def aio_server(service):
+    server = make_async_server(
+        service,
+        host="127.0.0.1",
+        port=0,
+        idle_timeout_s=30.0,
+        header_timeout_s=1.0,
+        max_connections=64,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    thread.join(10)
+    assert not thread.is_alive(), "async server did not shut down"
+    server.server_close()
+
+
+@pytest.fixture(scope="module")
+def thread_server(service):
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(10)
+
+
+def _connect(server, timeout=30.0):
+    host, port = server.server_address[:2]
+    sock = socket.create_connection((host, port), timeout=timeout)
+    return sock
+
+
+def _request_bytes(method, target, payload=None):
+    body = b"" if payload is None else json.dumps(payload).encode()
+    head = (
+        f"{method} {target} HTTP/1.1\r\n"
+        f"Host: test\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode()
+    return head + body
+
+
+def _read_response(reader):
+    """(status, headers, body) parsed off a socket makefile reader."""
+    status_line = reader.readline()
+    if not status_line:
+        return None
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = reader.read(int(headers.get("content-length", 0)))
+    return status, headers, body
+
+
+def _roundtrip(server, method, target, payload=None):
+    sock = _connect(server)
+    try:
+        sock.sendall(_request_bytes(method, target, payload))
+        with sock.makefile("rb") as reader:
+            return _read_response(reader)
+    finally:
+        sock.close()
+
+
+class TestRoutesParity:
+    """Every route answers on the async front with the threaded bodies."""
+
+    def test_healthz(self, aio_server):
+        status, _, body = _roundtrip(aio_server, "GET", "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert "error_classification" in payload["problems"]
+
+    def test_insights(self, aio_server):
+        status, _, body = _roundtrip(
+            aio_server,
+            "POST",
+            "/insights",
+            {"statement": "SELECT * FROM PhotoObj"},
+        )
+        assert status == 200
+        (insight,) = json.loads(body)["insights"]
+        assert insight["statement"] == "SELECT * FROM PhotoObj"
+        assert insight["error_class"] is not None
+
+    def test_stats_and_metrics(self, aio_server):
+        _roundtrip(aio_server, "POST", "/insights", {"statement": "SELECT 1"})
+        status, _, body = _roundtrip(aio_server, "GET", "/stats")
+        assert status == 200
+        assert json.loads(body)["requests"] >= 1
+        status, _, body = _roundtrip(aio_server, "GET", "/metrics")
+        assert status == 200
+        text = body.decode()
+        assert "repro_http_connections_open" in text
+        assert "repro_http_connections_total" in text
+        # the queue-wait/compute latency split is exported
+        assert "repro_service_queue_wait_seconds_count" in text
+        assert "repro_service_compute_seconds_count" in text
+
+    def test_unknown_path_404_and_method_405(self, aio_server):
+        status, _, body = _roundtrip(aio_server, "GET", "/nope")
+        assert status == 404
+        assert "unknown path" in json.loads(body)["error"]
+        status, _, _ = _roundtrip(aio_server, "DELETE", "/insights")
+        assert status == 405
+
+    def test_bad_json_400(self, aio_server):
+        sock = _connect(aio_server)
+        try:
+            body = b"{nope"
+            head = (
+                "POST /insights HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode()
+            sock.sendall(head + body)
+            with sock.makefile("rb") as reader:
+                status, _, payload = _read_response(reader)
+        finally:
+            sock.close()
+        assert status == 400
+        assert "not JSON" in json.loads(payload)["error"]
+
+    def test_bodies_bit_identical_to_threaded_server(
+        self, aio_server, thread_server, serving_statements
+    ):
+        statements = serving_statements[:12]
+        payload = {"statements": statements}
+        s1, _, body_async = _roundtrip(
+            aio_server, "POST", "/insights", payload
+        )
+        s2, _, body_thread = _roundtrip(
+            thread_server, "POST", "/insights", payload
+        )
+        assert (s1, s2) == (200, 200)
+        assert body_async == body_thread, (
+            "async and threaded fronts must serve byte-identical insights"
+        )
+
+    def test_insights_match_direct_inference(
+        self, aio_server, serving_statements, expected_insights
+    ):
+        statements = serving_statements[12:24]
+        status, _, body = _roundtrip(
+            aio_server, "POST", "/insights", {"statements": statements}
+        )
+        assert status == 200
+        for statement, insight in zip(
+            statements, json.loads(body)["insights"]
+        ):
+            assert insight == expected_insights[statement]
+
+
+class TestConnectionLifecycle:
+    def test_keep_alive_reuses_one_connection(self, aio_server):
+        before = aio_server.connections_total.value
+        sock = _connect(aio_server)
+        try:
+            with sock.makefile("rb") as reader:
+                for i in range(5):
+                    sock.sendall(
+                        _request_bytes(
+                            "POST", "/insights", {"statement": f"SELECT {i}"}
+                        )
+                    )
+                    status, headers, body = _read_response(reader)
+                    assert status == 200
+                    (insight,) = json.loads(body)["insights"]
+                    assert insight["statement"] == f"SELECT {i}"
+                    assert headers.get("connection") != "close"
+        finally:
+            sock.close()
+        assert aio_server.connections_total.value == before + 1
+
+    def test_pipelined_requests_answer_in_order(self, aio_server):
+        statements = [f"SELECT {i} FROM SpecObj" for i in range(4)]
+        blob = b"".join(
+            _request_bytes("POST", "/insights", {"statement": s})
+            for s in statements
+        )
+        sock = _connect(aio_server)
+        try:
+            sock.sendall(blob)  # all four before reading anything
+            with sock.makefile("rb") as reader:
+                for expected in statements:
+                    status, _, body = _read_response(reader)
+                    assert status == 200
+                    (insight,) = json.loads(body)["insights"]
+                    assert insight["statement"] == expected
+        finally:
+            sock.close()
+
+    def test_connection_close_is_honored(self, aio_server):
+        sock = _connect(aio_server)
+        try:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            with sock.makefile("rb") as reader:
+                status, headers, _ = _read_response(reader)
+                assert status == 200
+                assert headers.get("connection") == "close"
+                assert reader.read(1) == b""  # server closed
+        finally:
+            sock.close()
+
+    def test_slowloris_connection_is_reaped(self, aio_server):
+        reaped_before = aio_server.connections_reaped.value
+        sock = _connect(aio_server, timeout=10.0)
+        try:
+            # trickle a partial request line, then stall past
+            # header_timeout_s (1s on this server)
+            sock.sendall(b"POST /insights HTTP/1.1\r\nContent-")
+            started = time.monotonic()
+            assert sock.recv(1024) == b"", "reaper should close the socket"
+            elapsed = time.monotonic() - started
+        finally:
+            sock.close()
+        assert elapsed < 8.0, "reap must come from header timeout, not idle"
+        assert aio_server.connections_reaped.value == reaped_before + 1
+
+    def test_oversized_body_is_413_before_read(self, service):
+        server = make_async_server(
+            service, host="127.0.0.1", port=0, max_body_bytes=1024
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            sock = _connect(server)
+            try:
+                # only headers on the wire: the refusal must come from
+                # Content-Length alone, before any body bytes are sent
+                sock.sendall(
+                    b"POST /insights HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 10485760\r\n\r\n"
+                )
+                with sock.makefile("rb") as reader:
+                    status, headers, body = _read_response(reader)
+                    assert status == 413
+                    assert "too large" in json.loads(body)["error"]
+                    assert headers.get("connection") == "close"
+                    assert reader.read(1) == b""
+            finally:
+                sock.close()
+        finally:
+            server.shutdown()
+            thread.join(10)
+            server.server_close()
+
+    def test_connection_cap_answers_503(self, service):
+        server = make_async_server(
+            service, host="127.0.0.1", port=0, max_connections=2
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        held = []
+        try:
+            for _ in range(2):
+                sock = _connect(server)
+                # prove the connection is established and serving
+                sock.sendall(_request_bytes("GET", "/healthz"))
+                reader = sock.makefile("rb")
+                status, _, _ = _read_response(reader)
+                assert status == 200
+                held.append((sock, reader))
+            extra = _connect(server)
+            try:
+                with extra.makefile("rb") as reader:
+                    response = _read_response(reader)
+                    assert response is not None, "cap rejection must answer"
+                    status, headers, body = response
+                    assert status == 503
+                    assert headers.get("retry-after") == "1"
+                    assert "connection limit" in json.loads(body)["error"]
+            finally:
+                extra.close()
+            assert server.connections_rejected.value >= 1
+        finally:
+            for sock, reader in held:
+                reader.close()
+                sock.close()
+            server.shutdown()
+            thread.join(10)
+            server.server_close()
+
+    def test_many_concurrent_keepalive_clients(self, aio_server, service):
+        """32 keep-alive connections, 4 requests each, all coalescing."""
+        requests_before = service.stats.requests
+
+        def client(cid):
+            sock = _connect(aio_server)
+            try:
+                with sock.makefile("rb") as reader:
+                    for i in range(4):
+                        statement = f"SELECT {cid} /* {i} */ FROM PhotoObj"
+                        sock.sendall(
+                            _request_bytes(
+                                "POST", "/insights", {"statement": statement}
+                            )
+                        )
+                        status, _, body = _read_response(reader)
+                        assert status == 200
+                        (insight,) = json.loads(body)["insights"]
+                        assert insight["statement"] == statement
+            finally:
+                sock.close()
+            return True
+
+        with ThreadPoolExecutor(max_workers=32) as pool:
+            assert all(pool.map(client, range(32)))
+        stats = service.stats
+        assert stats.requests >= requests_before + 128

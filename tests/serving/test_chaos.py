@@ -15,12 +15,22 @@ live in test_shards.py / test_supervisor.py).
 
 import os
 import signal
+import subprocess
+import sys
 import threading
 import time
+from pathlib import Path
 
 import pytest
 
-from repro.serving import FaultPlan, RestartBackoff, ShardedFacilitatorService
+import repro
+from repro.serving import (
+    FaultPlan,
+    FleetFacilitatorService,
+    FleetWorkerAgent,
+    RestartBackoff,
+    ShardedFacilitatorService,
+)
 
 
 class LoadHarness:
@@ -82,7 +92,14 @@ class LoadHarness:
         for thread in threads:
             thread.start()
         if mid_load is not None:
-            time.sleep(0.3)
+            # progress-based trigger: fire once ~1/6 of the load has
+            # completed, so the fault lands mid-stream on fast and slow
+            # boxes alike (a wall-clock sleep races warm caches)
+            target = max(1, (self.n_clients * self.requests_each) // 6)
+            while self.total < target and any(
+                thread.is_alive() for thread in threads
+            ):
+                time.sleep(0.01)
             mid_load()
         for thread in threads:
             thread.join(180)
@@ -197,3 +214,145 @@ class TestChaos:
             request = service.submit(serving_statements[:2])
             request.result(60)
             assert request.generation == 2
+
+
+def spawn_agent_process(port=0):
+    """One `repro worker` agent subprocess; returns (proc, (host, port)).
+
+    A real subprocess (not a thread) so the test can SIGKILL it — the
+    remote-host analog of killing a shard worker process.
+    """
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--listen",
+         f"127.0.0.1:{port}"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    # "fleet worker listening on HOST:PORT", flushed at bind time
+    line = proc.stdout.readline().strip()
+    host, _, bound_port = line.rsplit(" ", 1)[-1].rpartition(":")
+    return proc, (host, int(bound_port))
+
+
+class TestFleetChaos:
+    """The chaos claims hold when the shard workers are remote agents."""
+
+    def test_remote_sigkill_reroutes_and_recovers(
+        self, artifact_path, serving_statements, expected_insights
+    ):
+        procs, endpoints = [], []
+        for _ in range(3):
+            proc, endpoint = spawn_agent_process()
+            procs.append(proc)
+            endpoints.append(endpoint)
+        service = FleetFacilitatorService(
+            artifact_path,
+            endpoints=endpoints,
+            max_wait_ms=1.0,
+            cache_size=0,  # no front-memo: every request crosses TCP
+            backoff=RestartBackoff(base_s=0.05, cap_s=0.5, jitter=0.0, seed=0),
+        )
+        try:
+            with service:
+                harness = LoadHarness(
+                    service, serving_statements, expected_insights
+                )
+
+                def kill_agent_zero():
+                    # SIGKILL the remote agent: the kernel tears the TCP
+                    # stream, the controller sees EOF/heartbeat loss and
+                    # must hand down the same "crashed" verdict a local
+                    # SIGKILL gets
+                    procs[0].kill()
+                    procs[0].wait(10)
+
+                harness.run(mid_load=kill_agent_zero)
+
+                assert harness.total == 180
+                assert harness.mismatched == 0, (
+                    "fleet responses must stay bit-identical to "
+                    "single-process serving"
+                )
+                assert harness.availability >= 0.99, harness.failures
+                reasons = {r for _, r in service.supervisor.incidents}
+                assert "crashed" in reasons
+                assert harness.degraded >= 1
+                # bring a fresh agent up on the dead shard's endpoint
+                # (SO_REUSEADDR: same port) — the supervisor's backoff
+                # reconnect must restore full capacity, no intervention
+                proc, _ = spawn_agent_process(port=endpoints[0][1])
+                procs.append(proc)
+                assert wait_for_full_capacity(service), service.workers
+                statement = serving_statements[0]
+                insight = service.insights(statement, timeout=60)
+                assert insight.to_dict() == expected_insights[statement]
+        finally:
+            service.stop()
+            for proc in procs:
+                proc.kill()
+                proc.wait(10)
+                proc.stdout.close()
+
+    def test_fleet_hot_reload_drops_nothing(
+        self, artifact_path, fitted_facilitator, serving_statements,
+        expected_insights, tmp_path,
+    ):
+        # in-thread agents: reload semantics need the TCP transport, not
+        # process isolation
+        agents = [FleetWorkerAgent("127.0.0.1", 0) for _ in range(2)]
+        threads = [
+            threading.Thread(target=agent.serve_forever, daemon=True)
+            for agent in agents
+        ]
+        for thread in threads:
+            thread.start()
+        service = FleetFacilitatorService(
+            artifact_path,
+            endpoints=[agent.address for agent in agents],
+            max_wait_ms=1.0,
+            cache_size=0,
+            backoff=RestartBackoff(base_s=0.05, cap_s=0.5, jitter=0.0, seed=0),
+        )
+        next_path = tmp_path / "next.repro"
+        fitted_facilitator.save(next_path)
+        try:
+            with service:
+                reloaded = threading.Event()
+                harness = LoadHarness(
+                    service, serving_statements, expected_insights,
+                    n_clients=4, requests_each=25,
+                    gate=reloaded, gated_tail=5,
+                )
+                reload_outcome = {}
+
+                def reload_mid_load():
+                    try:
+                        reload_outcome.update(service.reload(next_path))
+                    finally:
+                        reloaded.set()
+
+                harness.run(mid_load=reload_mid_load)
+
+                assert reload_outcome["generation"] == 2
+                assert harness.failures == [], harness.failures
+                assert harness.mismatched == 0
+                assert harness.total == 100
+                # no response mixes generations, and both actually served
+                assert harness.generations <= {1, 2}
+                assert None not in harness.generations
+                assert 2 in harness.generations
+        finally:
+            service.stop()
+            for agent in agents:
+                agent.shutdown()
+            for thread in threads:
+                thread.join(10)
+            for agent in agents:
+                agent.close()

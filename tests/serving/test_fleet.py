@@ -1,0 +1,210 @@
+"""Fleet TCP transport: framing, wire codec, remote agents, healthz.
+
+These tests run :class:`FleetWorkerAgent` instances in threads of this
+process and point a :class:`FleetFacilitatorService` controller at their
+TCP endpoints — real sockets, real framing, no subprocesses. The violent
+scenarios (SIGKILLing a worker agent subprocess, fleet hot reload under
+load) live in ``test_chaos.py`` so CI's chaos step covers them.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.facilitator import QueryInsights
+from repro.serving import (
+    FleetFacilitatorService,
+    FleetWorkerAgent,
+    RestartBackoff,
+    parse_endpoints,
+)
+from repro.serving.fleet import (
+    _from_wire,
+    _recv_frame,
+    _send_frame,
+    _to_wire,
+)
+
+FAST_BACKOFF = dict(base_s=0.05, cap_s=0.5, jitter=0.0, seed=0)
+
+
+def start_agents(n):
+    """n in-thread worker agents; returns (agents, threads, endpoints)."""
+    agents = [FleetWorkerAgent("127.0.0.1", 0) for _ in range(n)]
+    threads = [
+        threading.Thread(target=agent.serve_forever, daemon=True)
+        for agent in agents
+    ]
+    for thread in threads:
+        thread.start()
+    return agents, threads, [agent.address for agent in agents]
+
+
+def stop_agents(agents, threads):
+    for agent in agents:
+        agent.shutdown()
+    for thread in threads:
+        thread.join(10)
+    for agent in agents:
+        agent.close()
+
+
+class TestEndpointParsing:
+    def test_parses_list(self):
+        assert parse_endpoints("h1:7070, h2:8080,127.0.0.1:9") == [
+            ("h1", 7070),
+            ("h2", 8080),
+            ("127.0.0.1", 9),
+        ]
+
+    @pytest.mark.parametrize("spec", ["", "h1", "h1:", "h1:x", ":7070"])
+    def test_rejects_malformed(self, spec):
+        with pytest.raises(ValueError):
+            parse_endpoints(spec)
+
+
+class TestWireCodec:
+    def test_insight_round_trips_bit_identically(self):
+        insight = QueryInsights(
+            statement="SELECT top 10 * FROM PhotoObj",
+            error_class="no_error",
+            error_probabilities={"no_error": 0.9125318, "timeout": 0.0874682},
+            cpu_time_seconds=0.4036718614327953,
+            answer_size=118.0,
+            session_class="browser",
+            elapsed_seconds=1.25,
+        )
+        decoded = _from_wire(_to_wire(insight))
+        assert isinstance(decoded, QueryInsights)
+        assert decoded.to_dict() == insight.to_dict()
+        # derived field reconstructed from probabilities, not shipped
+        assert decoded.likely_to_fail == insight.likely_to_fail
+
+    def test_error_outcome_round_trips_as_tuple(self):
+        wire = _to_wire(("__error__", "ValueError: boom"))
+        assert _from_wire(wire) == ("__error__", "ValueError: boom")
+
+    def test_frames_survive_a_real_socket(self):
+        left, right = socket.socketpair()
+        try:
+            lock = threading.Lock()
+            messages = [
+                ("hello", 0, 1, {"path": "x", "now": 12.5}),
+                ("batch", 3, 1, 1, ["SELECT 1"], None),
+                ("heartbeat", 0, 0.25),
+            ]
+            for message in messages:
+                _send_frame(left, lock, message)
+            for expected in messages:
+                received = _recv_frame(right)
+                assert received == tuple(expected)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestFleetRoundTrip:
+    @pytest.fixture(scope="class")
+    def fleet_rig(self, artifact_path):
+        agents, threads, endpoints = start_agents(2)
+        service = FleetFacilitatorService(
+            artifact_path,
+            endpoints=endpoints,
+            max_wait_ms=1.0,
+            backoff=RestartBackoff(**FAST_BACKOFF),
+        )
+        with service:
+            yield service, agents
+        stop_agents(agents, threads)
+
+    @pytest.fixture(scope="class")
+    def fleet(self, fleet_rig):
+        return fleet_rig[0]
+
+    def test_bit_identical_to_single_process(
+        self, fleet, serving_statements, expected_insights
+    ):
+        statements = serving_statements[:32]
+        results = fleet.insights_many(statements, timeout=60)
+        assert [r.to_dict() for r in results] == [
+            expected_insights[s] for s in statements
+        ]
+
+    def test_workers_surface_reports_endpoints(self, fleet):
+        workers = fleet.workers
+        assert len(workers) == 2
+        for row in workers:
+            assert row["up"]
+            assert row["state"] == "up"
+            host, _, port = row["endpoint"].partition(":")
+            assert host == "127.0.0.1"
+            assert int(port) > 0
+        assert fleet.generation == 1
+
+    def test_agent_batch_counter_advances(self, fleet_rig, serving_statements):
+        service, agents = fleet_rig
+        before = sum(agent._m_batches.value for agent in agents)
+        service.insights_many(serving_statements[32:40], timeout=60)
+        assert sum(agent._m_batches.value for agent in agents) > before
+
+
+class TestFleetResilience:
+    def test_unreachable_endpoint_degrades_then_recovers(
+        self, artifact_path, serving_statements, expected_insights
+    ):
+        agents, threads, endpoints = start_agents(1)
+        # second endpoint: a bound-but-never-accepting port (refused after
+        # close) — that shard stays down, traffic re-routes to shard 0
+        placeholder = socket.create_server(("127.0.0.1", 0))
+        dead = placeholder.getsockname()[:2]
+        placeholder.close()
+        service = FleetFacilitatorService(
+            artifact_path,
+            endpoints=[endpoints[0], dead],
+            max_wait_ms=1.0,
+            connect_timeout_s=0.2,
+            backoff=RestartBackoff(**FAST_BACKOFF),
+        )
+        try:
+            # short ready timeout: one live shard is enough to serve, no
+            # point waiting start()'s full grace for a dead endpoint
+            service.start(ready_timeout_s=2.0)
+            statements = serving_statements[:16]
+            results = service.insights_many(statements, timeout=60)
+            assert [r.to_dict() for r in results] == [
+                expected_insights[s] for s in statements
+            ]
+            assert service.stats.degraded > 0
+            states = {w["worker"]: w["state"] for w in service.workers}
+            # the dead shard is restarting; the survivor serves, but
+            # reports degraded because the tier is running a shard short
+            assert states[1] == "restarting"
+            assert states[0] == "degraded"
+        finally:
+            service.stop()
+            stop_agents(agents, threads)
+
+    def test_agent_survives_controller_disconnect(self, artifact_path):
+        agents, threads, endpoints = start_agents(1)
+        try:
+            first = FleetFacilitatorService(
+                artifact_path,
+                endpoints=endpoints,
+                max_wait_ms=1.0,
+                backoff=RestartBackoff(**FAST_BACKOFF),
+            )
+            with first:
+                first.insights("SELECT 1 FROM reconnect", timeout=60)
+            # controller went away; a new controller reuses the same agent
+            second = FleetFacilitatorService(
+                artifact_path,
+                endpoints=endpoints,
+                max_wait_ms=1.0,
+                backoff=RestartBackoff(**FAST_BACKOFF),
+            )
+            with second:
+                insight = second.insights("SELECT 2 FROM reconnect", timeout=60)
+                assert insight.statement == "SELECT 2 FROM reconnect"
+        finally:
+            stop_agents(agents, threads)

@@ -1,6 +1,7 @@
 """HTTP endpoint over a FacilitatorService: routes, errors, concurrency."""
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -78,6 +79,40 @@ class TestRoutes:
         assert payload["requests"] >= 1
         assert payload["batches"] >= 1
         assert "hit_rate" in payload["pipeline"]
+
+    def test_keep_alive_serves_many_requests_per_connection(self, server_url):
+        # raw socket: urllib opens a fresh connection per request, which
+        # is exactly what keep-alive is supposed to avoid
+        host, _, port = server_url.rpartition("//")[2].partition(":")
+        sock = socket.create_connection((host, int(port)), timeout=30)
+        try:
+            with sock.makefile("rb") as reader:
+                for i in range(3):
+                    body = json.dumps(
+                        {"statement": f"SELECT {i} FROM keepalive"}
+                    ).encode()
+                    sock.sendall(
+                        b"POST /insights HTTP/1.1\r\nHost: t\r\n"
+                        b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+                    )
+                    status_line = reader.readline()
+                    assert b"200" in status_line
+                    headers = {}
+                    while True:
+                        line = reader.readline()
+                        if line in (b"\r\n", b""):
+                            break
+                        name, _, value = line.decode().partition(":")
+                        headers[name.strip().lower()] = value.strip()
+                    # HTTP/1.1 default: the server must NOT close on us
+                    assert headers.get("connection") != "close"
+                    payload = json.loads(
+                        reader.read(int(headers["content-length"]))
+                    )
+                    (insight,) = payload["insights"]
+                    assert insight["statement"] == f"SELECT {i} FROM keepalive"
+        finally:
+            sock.close()
 
     def test_concurrent_posts_are_coalesced(self, server_url):
         statements = [f"SELECT {i} FROM PhotoObj" for i in range(24)]
