@@ -451,7 +451,7 @@ class AsyncInsightsServer:
         if length > self.max_body_bytes:
             # refuse from the header, before the body crosses the wire;
             # the unread body poisons the stream, so the caller closes
-            self.api._count_request(route)
+            # (body_too_large counts the request itself)
             raise _ProtocolError(self.api.body_too_large(route))
 
         # 2. the body: read until the full request is buffered

@@ -39,6 +39,7 @@ import os
 import socket
 import threading
 import time
+from collections import deque
 
 from repro.core.facilitator import QueryFacilitator, QueryInsights
 from repro.obs.registry import get_registry
@@ -156,6 +157,14 @@ class _FleetChannel:
     and ``put()``/``cancel_join_thread()``/``close()`` so the dispatch,
     reload, and teardown paths treat it as the worker's request queue —
     the entire sharded data plane runs over it unmodified.
+
+    Frame reads happen on a dedicated per-channel reader thread, never
+    on the collector: the collector polls a readiness pipe that gets one
+    byte per *complete* queued frame, so ``recv()`` always returns
+    instantly and one shard trickling a large result over a slow link
+    cannot stall collection (or starve the liveness clock) for the
+    others. The reader thread also swallows heartbeats in place —
+    ``last_recv``/``busy_s`` advance without ever waking the collector.
     """
 
     def __init__(self, sock: socket.socket):
@@ -163,23 +172,58 @@ class _FleetChannel:
         self._send_lock = threading.Lock()
         self.closed = False
         #: Last time any frame (heartbeat or payload) arrived — the
-        #: controller-side liveness clock. Heartbeats carry the worker's
-        #: *elapsed* busy seconds, so hung detection needs no cross-host
-        #: clock agreement.
+        #: controller-side liveness clock, advanced by the reader thread
+        #: so it never depends on collector progress. Heartbeats carry
+        #: the worker's *elapsed* busy seconds, so hung detection needs
+        #: no cross-host clock agreement.
         self.last_recv = time.monotonic()
         self.busy_s = 0.0
+        #: Complete frames (or the terminal exception) awaiting recv().
+        self._frames: deque = deque()
+        self._pipe_r, self._pipe_w = os.pipe()
+        self._reader = threading.Thread(
+            target=self._read_loop, name="fleet-channel-reader", daemon=True
+        )
+        self._reader.start()
 
     def fileno(self) -> int:
-        return self._sock.fileno()
+        return self._pipe_r
 
     def put(self, msg) -> None:
         _send_frame(self._sock, self._send_lock, msg)
 
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                msg = _recv_frame(self._sock)
+            except Exception as exc:
+                self._frames.append(
+                    exc
+                    if isinstance(exc, (EOFError, OSError))
+                    else EOFError(f"{type(exc).__name__}: {exc}")
+                )
+                self._signal()
+                return
+            self.last_recv = time.monotonic()
+            if msg and msg[0] == "heartbeat":
+                self.busy_s = float(msg[2]) if len(msg) > 2 else 0.0
+                continue
+            self._frames.append(msg)
+            self._signal()
+
+    def _signal(self) -> None:
+        try:
+            os.write(self._pipe_w, b"\x00")
+        except OSError:
+            pass  # channel closed while the reader was signalling
+
     def recv(self) -> tuple:
-        msg = _recv_frame(self._sock)
-        self.last_recv = time.monotonic()
-        if msg and msg[0] == "heartbeat":
-            self.busy_s = float(msg[2]) if len(msg) > 2 else 0.0
+        os.read(self._pipe_r, 1)
+        if not self._frames:
+            raise EOFError("fleet channel closed")
+        msg = self._frames.popleft()
+        if isinstance(msg, BaseException):
+            raise msg
         return msg
 
     def close(self) -> None:
@@ -191,6 +235,11 @@ class _FleetChannel:
         except OSError:
             pass
         self._sock.close()
+        for fd in (self._pipe_r, self._pipe_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
 
     def cancel_join_thread(self) -> None:  # queue-teardown protocol no-op
         pass
@@ -357,8 +406,13 @@ class FleetWorkerAgent:
         self._listener.settimeout(0.5)
         self.address = self._listener.getsockname()[:2]
         self._stop = threading.Event()
-        # survives reconnects: (path, mmap, mtime) -> loaded facilitator
+        # survives reconnects: identity (path, mmap, mtime_ns+size) and
+        # generation of the loaded facilitator — a hello whose artifact
+        # bytes or generation differ forces a fresh load, so an agent
+        # that was down across a controller reload can never answer
+        # ``ready`` at the new generation while serving old weights
         self._loaded_key = None
+        self._loaded_generation = None
         self._facilitator = None
         self._m_batches = get_registry().counter(
             "repro_fleet_agent_batches_total",
@@ -398,9 +452,24 @@ class FleetWorkerAgent:
 
     # -- one controller session ---------------------------------------------- #
 
+    @staticmethod
+    def _artifact_key(path, mmap) -> tuple:
+        """Cache key naming the artifact *bytes*, not just the path."""
+        try:
+            st = os.stat(path)
+            stamp = (st.st_mtime_ns, st.st_size)
+        except OSError:
+            stamp = None  # unstatable: never treat as a cache hit
+        return (str(path), bool(mmap), stamp)
+
     def _load(self, cfg: dict):
-        key = (cfg["artifact_path"], bool(cfg.get("mmap")))
-        if self._loaded_key == key and self._facilitator is not None:
+        key = self._artifact_key(cfg["artifact_path"], cfg.get("mmap"))
+        if (
+            self._facilitator is not None
+            and key[2] is not None
+            and self._loaded_key == key
+            and self._loaded_generation == cfg["generation"]
+        ):
             return self._facilitator
         facilitator = QueryFacilitator.load(
             cfg["artifact_path"], mmap=bool(cfg.get("mmap"))
@@ -410,12 +479,28 @@ class FleetWorkerAgent:
 
             _prime_pipeline(cfg["warm_path"])
         self._loaded_key = key
+        self._loaded_generation = cfg["generation"]
         self._facilitator = facilitator
         return facilitator
 
     def _serve_controller(self, sock: socket.socket) -> None:
         sock.settimeout(_IO_TIMEOUT_S)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # a controller host that dies without RST/FIN (power loss,
+        # partition) must not wedge the agent in a dead session: TCP
+        # keepalive fails the socket in ~seconds where supported
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        for name, value in (
+            ("TCP_KEEPIDLE", 5),
+            ("TCP_KEEPINTVL", 2),
+            ("TCP_KEEPCNT", 3),
+        ):
+            option = getattr(socket, name, None)
+            if option is not None:
+                try:
+                    sock.setsockopt(socket.IPPROTO_TCP, option, value)
+                except OSError:
+                    pass
         send_lock = threading.Lock()
         try:
             hello = _recv_frame(sock)
@@ -458,6 +543,14 @@ class FleetWorkerAgent:
                 try:
                     _send_frame(sock, send_lock, ("heartbeat", wid, busy_s))
                 except Exception:
+                    # controller unreachable: tear the session down so
+                    # the blocked recv unblocks and the agent returns to
+                    # accept() for the replacement controller
+                    session_over.set()
+                    try:
+                        sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
                     return
 
         beat = threading.Thread(
@@ -465,7 +558,7 @@ class FleetWorkerAgent:
         )
         beat.start()
         try:
-            while not self._stop.is_set():
+            while not (self._stop.is_set() or session_over.is_set()):
                 try:
                     msg = _recv_frame(sock)
                 except socket.timeout:
@@ -496,7 +589,10 @@ class FleetWorkerAgent:
                         )
                         continue
                     facilitator = candidate
-                    self._loaded_key = (path, bool(cfg.get("mmap")))
+                    self._loaded_key = self._artifact_key(
+                        path, cfg.get("mmap")
+                    )
+                    self._loaded_generation = new_generation
                     self._facilitator = candidate
                     memo.clear()
                     generation = new_generation

@@ -16,6 +16,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from repro.obs.registry import get_registry
 from repro.serving import FacilitatorService, make_async_server, make_server
 
 
@@ -266,11 +267,15 @@ class TestConnectionLifecycle:
         )
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()
+        requests_total = get_registry().counter(
+            "repro_http_requests_total", route="/insights"
+        )
         try:
             sock = _connect(server)
             try:
                 # only headers on the wire: the refusal must come from
                 # Content-Length alone, before any body bytes are sent
+                before = requests_total.value
                 sock.sendall(
                     b"POST /insights HTTP/1.1\r\nHost: t\r\n"
                     b"Content-Length: 10485760\r\n\r\n"
@@ -281,6 +286,8 @@ class TestConnectionLifecycle:
                     assert "too large" in json.loads(body)["error"]
                     assert headers.get("connection") == "close"
                     assert reader.read(1) == b""
+                # counted exactly once, like the threaded front
+                assert requests_total.value == before + 1
             finally:
                 sock.close()
         finally:

@@ -7,8 +7,13 @@ scenarios (SIGKILLing a worker agent subprocess, fleet hot reload under
 load) live in ``test_chaos.py`` so CI's chaos step covers them.
 """
 
+import json
+import multiprocessing.connection
+import os
+import shutil
 import socket
 import threading
+import time
 
 import pytest
 
@@ -20,6 +25,7 @@ from repro.serving import (
     parse_endpoints,
 )
 from repro.serving.fleet import (
+    _FleetChannel,
     _from_wire,
     _recv_frame,
     _send_frame,
@@ -102,6 +108,84 @@ class TestWireCodec:
         finally:
             left.close()
             right.close()
+
+
+class TestFleetChannel:
+    def test_slow_frame_never_blocks_recv_and_heartbeats_keep_liveness(self):
+        """One shard trickling a large frame must not stall collection.
+
+        The channel's reader thread owns the blocking socket reads:
+        ``fileno()`` only signals once a *complete* frame is queued (so
+        the collector's ``recv()`` returns instantly), and heartbeats
+        advance ``last_recv`` without waking the collector at all.
+        """
+        left, right = socket.socketpair()
+        channel = _FleetChannel(right)
+        try:
+            lock = threading.Lock()
+            # heartbeat: liveness advances, collector is not woken
+            floor = time.monotonic()
+            _send_frame(left, lock, ("heartbeat", 0, 0.25))
+            deadline = time.monotonic() + 5
+            while channel.busy_s != 0.25 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert channel.busy_s == 0.25
+            assert channel.last_recv >= floor
+            assert not multiprocessing.connection.wait([channel], timeout=0.1)
+
+            # a frame arriving in halves only signals once complete
+            data = json.dumps(
+                _to_wire(("result", 0, 1, 0, 1, []))
+            ).encode("utf-8")
+            frame = len(data).to_bytes(4, "big") + data
+            left.sendall(frame[: len(frame) // 2])
+            assert not multiprocessing.connection.wait([channel], timeout=0.2)
+            left.sendall(frame[len(frame) // 2 :])
+            assert multiprocessing.connection.wait([channel], timeout=5)
+            started = time.monotonic()
+            assert channel.recv()[0] == "result"
+            assert time.monotonic() - started < 1.0
+
+            # EOF surfaces as the terminal exception on the next recv
+            left.close()
+            assert multiprocessing.connection.wait([channel], timeout=5)
+            with pytest.raises((EOFError, OSError)):
+                channel.recv()
+        finally:
+            channel.close()
+            left.close()
+
+
+class TestAgentArtifactCache:
+    def test_reconnect_at_new_generation_reloads_artifact(
+        self, artifact_path, tmp_path
+    ):
+        """An agent that was down across a reload must not serve stale
+        weights from its reconnect cache: a hello whose generation or
+        artifact bytes differ forces a fresh load."""
+        path = tmp_path / "artifact.repro"
+        shutil.copy(artifact_path, path)
+        agent = FleetWorkerAgent("127.0.0.1", 0)
+        try:
+            cfg = {
+                "artifact_path": str(path),
+                "mmap": False,
+                "generation": 1,
+            }
+            first = agent._load(cfg)
+            assert agent._load(cfg) is first  # same bytes + generation: hit
+
+            # same path+generation, new bytes (the reload-while-down case)
+            stat = os.stat(path)
+            os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+            second = agent._load(cfg)
+            assert second is not first
+
+            # same bytes, bumped generation (respawned mid-swap case)
+            third = agent._load(dict(cfg, generation=2))
+            assert third is not second
+        finally:
+            agent.close()
 
 
 class TestFleetRoundTrip:
