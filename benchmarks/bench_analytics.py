@@ -1,0 +1,449 @@
+"""Workload-analytics benchmark: the chunked map-combine-reduce engine.
+
+Measures the PR's three claims and records them in ``BENCH_analytics.json``
+at the repo root:
+
+1. **Template mining** — the seed implementation (uncached regex passes
+   per hit, a ``list[str]`` of every member statement per template,
+   ``np.mean`` at the end) versus the engine's streaming aggregate
+   (digest LRU + memo + per-template counters + one example), serial,
+   warm-LRU and pooled, on three corpus shapes: the paper-realistic
+   70%-repetitive bot corpus (bounded template pool — Figure 20's SDSS
+   regime), a structurally heterogeneous 70%-repetitive corpus
+   (SQLShare-ish, thousands of rare templates) and an all-unique corpus
+   (the caches' worst case). Reports must agree field for field. Target:
+   pooled ≥ 3x the seed loop on the repetitive corpus **given cores** —
+   the pooled gain is bounded by ``min(workers, host_cpus)``, so on a
+   1-core host the pooled arm reads as sharding overhead, not capacity
+   (same framing as ``bench_scale.py``), and the core-independent
+   evidence is the serial/warm algorithmic speedup plus the pooled
+   bit-identity invariant.
+2. **Bulk insights** — scoring a workload one ``facilitator.insights()``
+   call at a time (the only offline option before this PR: per-statement
+   featurization, per-head loop) versus :func:`repro.analytics.insights.bulk_insights`
+   (chunked ``insights_batch`` through the compiled plan). Outputs must be
+   JSON-identical modulo the plan's float32 round-off — both arms are also
+   run plan-off to record exact equality. Target: ≥ 2x.
+3. **Flat memory** — tracemalloc peak of an engine pass over a generated
+   log stream as the log grows 10x with the aggregate held constant (fixed
+   sessions × templates, growing hits). Target: peak within ±20%.
+
+Speedups here are algorithmic (cache + counters + batching), not
+parallelism: CI boxes often expose one core (``host_cpus`` is recorded),
+so the pooled arm mainly demonstrates bit-identity under fan-out, and its
+time is reported rather than gated.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_analytics.py [N]
+
+The pytest smoke mode lives in ``test_analytics_smoke.py`` (small N,
+asserts the engine beats the seed loop and streaming == in-memory) so
+tier-1 catches regressions without the full benchmark's runtime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import time
+import tracemalloc
+from collections.abc import Iterator
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+import numpy as np
+
+from bench_featurization import make_corpus
+from bench_serving import REPETITION, train_facilitator
+
+from repro.analysis.templates import mine_log_templates
+from repro.analysis.repetition import repetition_histogram_of_log
+from repro.analytics.insights import bulk_insights
+from repro.sqlang.normalize import _template_of_uncached, template_cache_clear
+from repro.workloads.records import LogEntry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_analytics.json"
+
+#: Hits per synthetic session in the benchmark logs.
+SESSION_LENGTH = 10
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    out = fn(*args)
+    return time.perf_counter() - start, out
+
+
+#: Bot/admin query shapes: each masks to ONE template under ``template_of``
+#: (constants vary, structure does not) — the SDSS regime of Figure 20,
+#: where a handful of programmatic templates dominate the log.
+BOT_SHAPES = [
+    "SELECT objID, ra, dec FROM PhotoObj WHERE ra BETWEEN {a} AND {b}",
+    "SELECT TOP {k} * FROM SpecObj WHERE z > {a} AND zConf > {b}",
+    "SELECT p.objID FROM PhotoObj p JOIN SpecObj s ON p.objID = s.bestObjID"
+    " WHERE s.z BETWEEN {a} AND {b}",
+    "SELECT count(*) FROM PhotoObj WHERE htmid BETWEEN {k} AND {j}",
+    "SELECT name FROM RunQA WHERE run = {k} AND field = {j}",
+    "SELECT u, g, r, i FROM Star WHERE g - r > {a} AND r < {b}",
+    "EXEC spGetSDSS {k}, {j}, '{s}'",
+    "SELECT dbo.fGetNearbyObjEq({a}, {b}, {c})",
+]
+
+
+def make_bot_statements(n: int, repetition: float, seed: int = 7) -> list[str]:
+    """SDSS-bot-shaped corpus: a bounded masked-template pool.
+
+    Distinct statements are the shapes above instantiated with random
+    constants; ``repetition`` fraction of hits are verbatim re-submissions
+    of earlier statements. Distinct-statement count grows with ``n`` but
+    the mined template count stays ~``len(BOT_SHAPES)`` — the shape that
+    dominates real SDSS traffic (Figure 20 / Appendix B.3).
+    """
+    rng = np.random.default_rng(seed)
+    n_unique = max(1, int(round(n * (1.0 - repetition))))
+    unique = [
+        BOT_SHAPES[int(rng.integers(len(BOT_SHAPES)))].format(
+            a=round(float(rng.uniform(0, 360)), 4),
+            b=round(float(rng.uniform(0, 360)), 4),
+            c=round(float(rng.uniform(0, 5)), 4),
+            k=int(rng.integers(10**6)),
+            j=int(rng.integers(10**6)),
+            s=f"tag{int(rng.integers(10**4))}",
+        )
+        for _ in range(n_unique)
+    ]
+    corpus = list(unique)
+    while len(corpus) < n:
+        corpus.append(unique[int(rng.integers(len(unique)))])
+    rng.shuffle(corpus)
+    return corpus
+
+
+def make_log(
+    n: int, repetition: float, seed: int = 7, shape: str = "bot"
+) -> list[LogEntry]:
+    """A synthetic raw log cut into sessions.
+
+    ``shape="bot"`` uses :func:`make_bot_statements` (bounded template
+    pool); ``shape="mixed"`` uses ``make_corpus`` (structurally
+    heterogeneous statements — thousands of rare templates, the
+    SQLShare-ish worst case for template-level caching).
+    """
+    if shape == "bot":
+        corpus = make_bot_statements(n, repetition, seed=seed)
+    else:
+        corpus = make_corpus(n, repetition, seed=seed)
+    rng = np.random.default_rng(seed)
+    cpu = rng.exponential(2.0, size=n)
+    return [
+        LogEntry(
+            statement=s,
+            session_id=i // SESSION_LENGTH,
+            session_class="bot" if (i // SESSION_LENGTH) % 3 else "human",
+            error_class="success",
+            answer_size=1.0,
+            cpu_time=float(cpu[i]),
+            ip=f"10.0.{(i // SESSION_LENGTH) % 256}.{(i // SESSION_LENGTH) // 256}",
+            timestamp=float(i),
+        )
+        for i, s in enumerate(corpus)
+    ]
+
+
+# -- arm 1: template mining --------------------------------------------------- #
+
+
+def seed_mine_log_templates(entries: list[LogEntry]) -> list[dict]:
+    """The pre-engine implementation, reproduced as the baseline arm.
+
+    Faithful to the seed's costs: three regex passes per hit (no cache),
+    every member statement retained per template, distinct counting via a
+    set over the full string lists, means via ``np.mean`` at the end.
+    """
+    statements: dict[str, list[str]] = {}
+    cpu_times: dict[str, list[float]] = {}
+    classes: dict[str, dict[str, int]] = {}
+    for entry in entries:
+        template = _template_of_uncached(entry.statement)
+        statements.setdefault(template, []).append(entry.statement)
+        if entry.cpu_time is not None:
+            cpu_times.setdefault(template, []).append(float(entry.cpu_time))
+        if entry.session_class is not None:
+            per = classes.setdefault(template, {})
+            per[entry.session_class] = per.get(entry.session_class, 0) + 1
+    report = [
+        {
+            "template": template,
+            "count": len(members),
+            "distinct_statements": len(set(members)),
+            "example": members[0],
+            "mean_cpu_time": (
+                float(np.mean(cpu_times[template]))
+                if template in cpu_times
+                else None
+            ),
+            "session_classes": classes.get(template, {}),
+        }
+        for template, members in statements.items()
+    ]
+    report.sort(key=lambda row: (-row["count"], row["template"]))
+    return report
+
+
+def _as_rows(stats) -> list[dict]:
+    """TemplateStats → seed-report-shaped dicts (outside any timed region)."""
+    return [dataclasses.asdict(s) for s in stats]
+
+
+def _reports_agree(seed_report: list[dict], engine_report: list[dict]) -> bool:
+    """Field-for-field agreement modulo float representation of the mean."""
+    if len(seed_report) != len(engine_report):
+        return False
+    for a, b in zip(seed_report, engine_report):
+        if (
+            a["template"] != b["template"]
+            or a["count"] != b["count"]
+            or a["distinct_statements"] != b["distinct_statements"]
+            or a["example"] != b["example"]
+            or a["session_classes"] != b["session_classes"]
+        ):
+            return False
+        ma, mb = a["mean_cpu_time"], b["mean_cpu_time"]
+        if (ma is None) != (mb is None):
+            return False
+        if ma is not None and abs(ma - mb) > 1e-9 * max(abs(ma), 1.0):
+            return False
+    return True
+
+
+def bench_template_mining(
+    n: int, repetition: float, workers: int = 2, shape: str = "bot"
+) -> dict:
+    """Seed loop vs engine (serial and pooled) on one synthetic log."""
+    entries = make_log(n, repetition, shape=shape)
+    # interleave the arms' repeats so slow-neighbour drift on shared CI
+    # hosts biases every arm alike; take each arm's best. The engine arms
+    # clear the template LRU first: each repeat is the cold single pass,
+    # same footing as the cacheless seed arm.
+    t_seed = t_engine = t_warm = t_pooled = math.inf
+    for _ in range(3):
+        t, seed_report = _timed(seed_mine_log_templates, entries)
+        t_seed = min(t_seed, t)
+        template_cache_clear()
+        t, engine_stats = _timed(mine_log_templates, entries)
+        t_engine = min(t_engine, t)
+        # warm arm: the LRU is primed by the cold run just above — the
+        # steady state when the same log is analysed again (repetition
+        # pass, template pass, experiment reruns)
+        t, _ = _timed(mine_log_templates, entries)
+        t_warm = min(t_warm, t)
+        template_cache_clear()
+        t, pooled_stats = _timed(
+            lambda: mine_log_templates(entries, workers=workers)
+        )
+        t_pooled = min(t_pooled, t)
+    engine_serial = _as_rows(engine_stats)
+    engine_pooled = _as_rows(pooled_stats)
+    return {
+        "n_hits": n,
+        "corpus_shape": shape,
+        "repetition_level": repetition,
+        "n_templates": len(seed_report),
+        "seed_loop_s": round(t_seed, 4),
+        "engine_serial_s": round(t_engine, 4),
+        "engine_warm_lru_s": round(t_warm, 4),
+        "engine_pooled_s": round(t_pooled, 4),
+        "pooled_workers": workers,
+        "speedup_engine_vs_seed": round(t_seed / t_engine, 2) if t_engine else None,
+        "speedup_warm_vs_seed": round(t_seed / t_warm, 2) if t_warm else None,
+        "speedup_pooled_vs_seed": round(t_seed / t_pooled, 2) if t_pooled else None,
+        "invariant_engine_equals_seed": _reports_agree(
+            seed_report, engine_serial
+        ),
+        "invariant_pooled_equals_serial": engine_pooled == engine_serial,
+    }
+
+
+# -- arm 2: bulk insights ------------------------------------------------------ #
+
+
+def naive_insights_loop(facilitator, statements: list[str], path: Path) -> None:
+    """The only offline option before this PR: one statement at a time."""
+    with path.open("w", encoding="utf-8") as out:
+        for statement in statements:
+            insight = facilitator.insights_batch([statement], use_plan=False)[0]
+            out.write(json.dumps(insight.to_dict(), sort_keys=True) + "\n")
+
+
+def bench_bulk_insights(n: int, workers: int = 2, chunk_size: int = 512) -> dict:
+    """Per-statement loop vs chunked compiled-plan bulk scoring.
+
+    ``chunk_size`` is set below the default so the bulk arms actually
+    stream in several chunks at bench scale (batching gains saturate well
+    before 512 statements, so this does not flatter the bulk arm).
+    """
+    facilitator = train_facilitator()
+    statements = make_corpus(n, REPETITION, seed=7)
+    with TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        artifact = tmp / "fac.bin"
+        facilitator.save(artifact)
+        t_naive, _ = _timed(
+            naive_insights_loop, facilitator, statements, tmp / "naive.jsonl"
+        )
+        t_bulk, serial_stats = _timed(
+            lambda: bulk_insights(
+                artifact, statements, tmp / "bulk.jsonl", chunk_size=chunk_size
+            )
+        )
+        t_pooled, pooled_stats = _timed(
+            lambda: bulk_insights(
+                artifact,
+                statements,
+                tmp / "pooled.jsonl",
+                chunk_size=chunk_size,
+                workers=workers,
+            )
+        )
+        bulk_lines = (tmp / "bulk.jsonl").read_text().splitlines()
+        pooled_lines = (tmp / "pooled.jsonl").read_text().splitlines()
+        # exact-parity leg: the plan scores in float32, so compare the
+        # chunked path against the naive loop with the plan off too
+        exact = tmp / "exact.jsonl"
+        bulk_insights(
+            artifact,
+            statements,
+            exact,
+            chunk_size=chunk_size,
+            facilitator=_plan_off(facilitator),
+        )
+        naive_lines = (tmp / "naive.jsonl").read_text().splitlines()
+        exact_lines = exact.read_text().splitlines()
+    return {
+        "n_statements": n,
+        "naive_loop_s": round(t_naive, 4),
+        "bulk_serial_s": round(t_bulk, 4),
+        "bulk_pooled_s": round(t_pooled, 4),
+        "pooled_workers": workers,
+        "pooled_pool_started": pooled_stats.pooled,
+        "naive_throughput_stmt_per_s": round(n / t_naive, 1),
+        "bulk_throughput_stmt_per_s": round(n / t_bulk, 1),
+        "speedup_bulk_vs_naive": round(t_naive / t_bulk, 2) if t_bulk else None,
+        "invariant_pooled_equals_serial": pooled_lines == bulk_lines,
+        "invariant_chunked_equals_naive_plan_off": exact_lines == naive_lines,
+        "chunks": serial_stats.chunks,
+    }
+
+
+def _plan_off(facilitator):
+    facilitator.use_plan = False
+    return facilitator
+
+
+# -- arm 3: flat memory -------------------------------------------------------- #
+
+
+def stream_log(n: int, n_templates: int = 200, n_sessions: int = 50) -> Iterator[LogEntry]:
+    """A log generator with size-independent aggregate state.
+
+    The distinct statements and session count are fixed while ``n`` grows,
+    so a streaming pass's peak memory must stay flat — any growth is the
+    engine accidentally retaining records.
+    """
+    pool = make_corpus(n_templates, 0.0, seed=13)
+    for i in range(n):
+        yield LogEntry(
+            statement=pool[i % n_templates],
+            session_id=i % n_sessions,
+            session_class="bot",
+            error_class="success",
+            answer_size=1.0,
+            cpu_time=0.5,
+            ip=f"10.0.0.{i % n_sessions}",
+            timestamp=float(i // n_sessions),
+        )
+
+
+def traced_peak(fn, *args) -> tuple[int, object]:
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    out = fn(*args)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak, out
+
+
+def bench_flat_memory(base_n: int, growth: int = 10) -> dict:
+    """Streaming peak at N vs growth×N records over a fixed aggregate."""
+
+    def scan(n: int):
+        return repetition_histogram_of_log(stream_log(n), chunk_size=2048)
+
+    peak_small, hist_small = traced_peak(scan, base_n)
+    peak_large, hist_large = traced_peak(scan, base_n * growth)
+    # both logs sample the same sessions/templates, so the histograms
+    # must have the same shape (same totals: one sample per session)
+    return {
+        "base_records": base_n,
+        "grown_records": base_n * growth,
+        "growth_factor": growth,
+        "peak_bytes_base": peak_small,
+        "peak_bytes_grown": peak_large,
+        "peak_ratio_grown_vs_base": round(peak_large / peak_small, 3),
+        "invariant_sample_totals_equal": (
+            sum(hist_small.values()) == sum(hist_large.values())
+        ),
+    }
+
+
+# -- drivers ------------------------------------------------------------------ #
+
+
+def run(n: int = 20000) -> dict:
+    """Full benchmark; returns the report dict and writes the JSON."""
+    report = {
+        "benchmark": "analytics",
+        "host_cpus": os.cpu_count(),
+        "template_mining_repetitive": bench_template_mining(n, REPETITION),
+        "template_mining_heterogeneous": bench_template_mining(
+            n, REPETITION, shape="mixed"
+        ),
+        "template_mining_unique": bench_template_mining(n // 4, 0.0),
+        "bulk_insights": bench_bulk_insights(max(n // 10, 500)),
+        "flat_memory": bench_flat_memory(base_n=max(n, 10000)),
+        "targets": {
+            "template_mining_pooled_speedup_min": 3.0,
+            "template_mining_pooled_note": (
+                "pooled speedup is bounded by min(workers, host_cpus); on "
+                "hosts with one core the pooled arm time-slices a single "
+                "core and records pure sharding overhead — the serial and "
+                "warm-LRU speedups are the core-count-independent evidence"
+            ),
+            "bulk_insights_speedup_min": 2.0,
+            "flat_memory_peak_ratio_max": 1.2,
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def run_smoke(n: int = 3000) -> dict:
+    """Small-N variant for the tier-1 smoke test (no JSON written)."""
+    return {
+        "host_cpus": os.cpu_count(),
+        "template_mining_repetitive": bench_template_mining(n, REPETITION),
+        "bulk_insights": bench_bulk_insights(250),
+        "flat_memory": bench_flat_memory(base_n=2000),
+    }
+
+
+if __name__ == "__main__":
+    import sys
+
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+    result = run(size)
+    print(json.dumps(result, indent=2))

@@ -1,0 +1,47 @@
+"""Tier-1 smoke for the workload-analytics engine (small N, fails fast).
+
+Runs :func:`bench_analytics.run_smoke` — template mining on a 3000-hit
+70%-repetitive bot corpus, bulk insights over 250 statements, and the
+traced-peak-memory arm — and asserts the engine still (a) beats the seed
+per-hit loop algorithmically, (b) produces bit-identical results
+streaming, pooled and in-memory, and (c) keeps peak memory flat as the
+log grows 10x. The pooled ≥1.5x gate only applies on hosts with enough
+cores to parallelize (speedup is bounded by ``min(workers, host_cpus)``);
+single-core CI boxes are covered by the serial and warm-LRU gates, which
+are core-count independent. The full harness
+(``PYTHONPATH=src python benchmarks/bench_analytics.py``) regenerates
+``BENCH_analytics.json`` with the acceptance numbers.
+"""
+
+from bench_analytics import run_smoke
+
+from conftest import run_once
+
+
+def test_analytics_smoke(benchmark):
+    result = run_once(benchmark, run_smoke)
+
+    mining = result["template_mining_repetitive"]
+    assert mining["invariant_engine_equals_seed"], (
+        "engine template report diverged from the seed implementation"
+    )
+    assert mining["invariant_pooled_equals_serial"], (
+        "pooled template mining diverged from the serial pass"
+    )
+    # algorithmic win, independent of core count: cold single pass and
+    # the warm-LRU steady state (re-analysis of the same log)
+    assert mining["speedup_engine_vs_seed"] > 1.3
+    assert mining["speedup_warm_vs_seed"] > 2.0
+    if result["host_cpus"] and result["host_cpus"] >= 4:
+        assert mining["speedup_pooled_vs_seed"] > 1.5
+
+    insights = result["bulk_insights"]
+    assert insights["invariant_pooled_equals_serial"]
+    assert insights["invariant_chunked_equals_naive_plan_off"]
+    assert insights["speedup_bulk_vs_naive"] > 1.5
+
+    memory = result["flat_memory"]
+    assert memory["invariant_sample_totals_equal"]
+    # the full benchmark gates ±20% at scale; smoke allows a little slack
+    # because the base run is only a handful of chunks
+    assert memory["peak_ratio_grown_vs_base"] < 1.35

@@ -1,20 +1,38 @@
-"""Statement repetition analysis (Figure 20 / Appendix B.3)."""
+"""Statement repetition analysis (Figure 20 / Appendix B.3).
+
+Engine-backed: the histogram is computed in one chunked pass with
+O(sessions + distinct statements-per-session) memory, so gzipped streams
+from :func:`repro.workloads.io.iter_log` flow straight in without a list
+copy. The per-session sample is drawn uniformly over the session's hits
+(the mergeable weighted draw of
+:class:`~repro.analytics.aggregators.RepetitionAggregator`), deterministic
+given ``seed`` and independent of chunk boundaries.
+"""
 
 from __future__ import annotations
 
-import numpy as np
+from collections.abc import Iterable
 
-from repro.workloads.dedup import repetition_histogram, sample_one_per_session
+from repro.analytics.core import DEFAULT_CHUNK_SIZE, ChunkedScan
+from repro.analytics.aggregators import RepetitionAggregator
 from repro.workloads.records import LogEntry
 
 __all__ = ["repetition_histogram_of_log"]
 
 
 def repetition_histogram_of_log(
-    log: list[LogEntry], seed: int = 0
+    log: Iterable[LogEntry],
+    seed: int = 0,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 0,
 ) -> dict[str, int]:
     """Figure 20 from a raw log: sample one hit per session, then bucket
-    sampled entries by how often their statement recurs."""
-    rng = np.random.default_rng(seed)
-    sampled = sample_one_per_session(log, rng)
-    return repetition_histogram(sampled)
+    sampled entries by how often their statement recurs.
+
+    ``log`` may be any iterable of entries, including the generator from
+    :func:`repro.workloads.io.iter_log`; ``workers`` fans the pass out to
+    a process pool with bit-identical results.
+    """
+    scan = ChunkedScan(log, chunk_size=chunk_size, workers=workers)
+    return scan.run({"repetition": RepetitionAggregator(seed=seed)})["repetition"]

@@ -6,19 +6,32 @@ statements repeat, and whole sessions are template-generated. Grouping by
 template (digits and string literals masked, case folded) is how a DBA
 separates mechanical traffic from genuinely new queries; this module turns
 that observation into a report.
+
+Mining runs through the :mod:`repro.analytics` chunked map-combine-reduce
+engine: the input may be any iterable (a materialized list, a
+:class:`~repro.workloads.records.Workload`, or a gzipped stream from
+:func:`repro.workloads.io.iter_log`), memory stays O(templates) — the seed
+implementation's per-template statement-string lists are replaced by
+per-template counters, one example and a blake2b distinct-statement digest
+set — and ``workers=N`` fans chunks out to a process pool with bit-identical
+results.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
-import numpy as np
+from repro.analytics.core import DEFAULT_CHUNK_SIZE, ChunkedScan
+from repro.analytics.aggregators import TemplateAggregator, _TemplateGroup
+from repro.workloads.records import LogEntry, QueryRecord, Workload
 
-from repro.sqlang.normalize import template_of
-from repro.workloads.records import LogEntry, Workload
-
-__all__ = ["TemplateStats", "mine_workload_templates", "mine_log_templates"]
+__all__ = [
+    "TemplateStats",
+    "mine_workload_templates",
+    "mine_log_templates",
+    "summarize_template_groups",
+]
 
 
 @dataclass
@@ -39,66 +52,68 @@ class TemplateStats:
         return self.count > 1 and self.distinct_statements > 1
 
 
-def _summarize(
-    groups: dict[str, list],
-    statements: dict[str, list[str]],
-    cpu: dict[str, list[float]],
-    classes: dict[str, Counter],
-    top: int | None,
+def summarize_template_groups(
+    groups: dict[str, _TemplateGroup], top: int | None = None
 ) -> list[TemplateStats]:
-    stats = []
-    for template, members in groups.items():
-        cpu_values = [v for v in cpu[template] if v is not None]
-        stats.append(
-            TemplateStats(
-                template=template,
-                count=len(members),
-                distinct_statements=len(set(statements[template])),
-                example=statements[template][0],
-                mean_cpu_time=(
-                    float(np.mean(cpu_values)) if cpu_values else None
-                ),
-                session_classes=dict(classes[template]),
-            )
+    """Sorted ``TemplateStats`` report from a finalized template aggregate."""
+    stats = [
+        TemplateStats(
+            template=template,
+            count=group.count,
+            distinct_statements=len(group.digests),
+            example=group.example,
+            mean_cpu_time=(
+                group.cpu_sum.value / group.cpu_count
+                if group.cpu_count
+                else None
+            ),
+            session_classes=dict(group.classes),
         )
+        for template, group in groups.items()
+    ]
     stats.sort(key=lambda s: (-s.count, s.template))
     return stats[:top] if top is not None else stats
 
 
+def _mine(
+    records: Iterable,
+    weighted: bool,
+    top: int | None,
+    chunk_size: int,
+    workers: int,
+) -> list[TemplateStats]:
+    scan = ChunkedScan(records, chunk_size=chunk_size, workers=workers)
+    groups = scan.run({"templates": TemplateAggregator(weighted=weighted)})
+    return summarize_template_groups(groups["templates"], top=top)
+
+
 def mine_workload_templates(
-    workload: Workload, top: int | None = None
+    workload: Workload | Iterable[QueryRecord],
+    top: int | None = None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 0,
 ) -> list[TemplateStats]:
     """Group a deduplicated workload's statements by template.
 
     ``count`` weighs each record by its ``num_duplicates`` so the report
-    reflects the raw log volume, not just unique statements.
+    reflects the raw log volume, not just unique statements. ``workload``
+    may be any iterable of records (``iter_workload`` streams included);
+    ``workers`` fans the scan out to a process pool.
     """
-    groups: dict[str, list] = defaultdict(list)
-    statements: dict[str, list[str]] = defaultdict(list)
-    cpu: dict[str, list[float]] = defaultdict(list)
-    classes: dict[str, Counter] = defaultdict(Counter)
-    for record in workload:
-        template = template_of(record.statement)
-        groups[template].extend([record] * record.num_duplicates)
-        statements[template].append(record.statement)
-        cpu[template].append(record.cpu_time)
-        if record.session_class is not None:
-            classes[template][record.session_class] += record.num_duplicates
-    return _summarize(groups, statements, cpu, classes, top)
+    return _mine(workload, True, top, chunk_size, workers)
 
 
 def mine_log_templates(
-    entries: list[LogEntry], top: int | None = None
+    entries: Iterable[LogEntry],
+    top: int | None = None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 0,
 ) -> list[TemplateStats]:
-    """Group raw (pre-dedup) log entries by template."""
-    groups: dict[str, list] = defaultdict(list)
-    statements: dict[str, list[str]] = defaultdict(list)
-    cpu: dict[str, list[float]] = defaultdict(list)
-    classes: dict[str, Counter] = defaultdict(Counter)
-    for entry in entries:
-        template = template_of(entry.statement)
-        groups[template].append(entry)
-        statements[template].append(entry.statement)
-        cpu[template].append(entry.cpu_time)
-        classes[template][entry.session_class] += 1
-    return _summarize(groups, statements, cpu, classes, top)
+    """Group raw (pre-dedup) log entries by template.
+
+    ``entries`` may be any iterable — pass ``iter_log(path)`` to mine a
+    gzipped on-disk log without materializing it.
+    """
+    return _mine(entries, False, top, chunk_size, workers)

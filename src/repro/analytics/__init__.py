@@ -1,0 +1,56 @@
+"""Out-of-core parallel workload analytics (map-combine-reduce engine).
+
+The paper's own data problem is scale: the SDSS log it draws on has 194M
+entries, and the Figure 20 / Appendix B.3 analyses (repetition, templates,
+sessions) are exactly the passes a DBA runs over such a log. This package
+runs every full-log analysis in **one chunked pass with bounded memory**:
+
+- :class:`~repro.analytics.core.ChunkedScan` reads any record iterable
+  (typically :func:`repro.workloads.io.iter_log` /
+  :func:`~repro.workloads.io.iter_workload`, so gzipped logs stream
+  straight in) in configurable chunks, optionally fans chunks out to
+  ``forkserver`` worker processes, and merges per-chunk partial aggregates
+  in chunk order — peak memory is O(chunk × workers + aggregate),
+  independent of log size;
+- :mod:`repro.analytics.aggregators` implements the
+  ``map_chunk()/combine()/finalize()`` reducer protocol for template
+  mining, repetition histograms, session statistics, label statistics and
+  the structural feature matrix — all mergeable, all bit-identical between
+  streaming, pooled and in-memory execution;
+- :mod:`repro.analytics.insights` is the batch analogue of the serving
+  path: score an entire workload through the compiled
+  :class:`~repro.inference.plan.InferencePlan` in streaming chunks
+  (``repro insights``).
+"""
+
+from repro.analytics.core import (
+    ChunkAggregator,
+    ChunkedScan,
+    ExactSum,
+    ScanStats,
+)
+from repro.analytics.aggregators import (
+    LabelStats,
+    LabelStatsAggregator,
+    RepetitionAggregator,
+    SessionStatsAggregator,
+    SessionSummary,
+    StructuralMatrixAggregator,
+    TemplateAggregator,
+)
+from repro.analytics.insights import bulk_insights
+
+__all__ = [
+    "ChunkAggregator",
+    "ChunkedScan",
+    "ExactSum",
+    "ScanStats",
+    "TemplateAggregator",
+    "RepetitionAggregator",
+    "SessionStatsAggregator",
+    "SessionSummary",
+    "LabelStats",
+    "LabelStatsAggregator",
+    "StructuralMatrixAggregator",
+    "bulk_insights",
+]

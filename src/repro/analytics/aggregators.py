@@ -1,0 +1,629 @@
+"""Mergeable aggregators for the full-log analysis passes.
+
+Each class implements the :class:`~repro.analytics.core.ChunkAggregator`
+protocol for one of the analyses the paper (and a DBA) runs over a raw
+log: template mining (Appendix B.3), the Figure 20 repetition histogram,
+sessionization statistics (Section 2), label distributions (Figure 6) and
+the structural feature matrix behind workload compression's k-center
+selection. All of them honour the engine's bit-identity contract: the
+finalized result is a pure function of the input record *sequence*,
+independent of chunk boundaries and of whether chunks were mapped inline
+or in a process pool.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from operator import attrgetter
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.analytics.core import ChunkAggregator, ExactSum
+from repro.sqlang.normalize import template_and_digest
+from repro.workloads.sessionize import SESSION_GAP_SECONDS
+
+__all__ = [
+    "TemplateAggregator",
+    "RepetitionAggregator",
+    "SessionStatsAggregator",
+    "SessionSummary",
+    "LabelStats",
+    "LabelStatsAggregator",
+    "StructuralMatrixAggregator",
+]
+
+
+def _digest(text: str) -> bytes:
+    """16-byte blake2b digest of a statement (the distinct-statement key)."""
+    return blake2b(text.encode("utf-8", "surrogatepass"), digest_size=16).digest()
+
+
+# -- template mining ---------------------------------------------------------- #
+
+
+class _TemplateGroup:
+    """Mergeable per-template counters (no statement strings retained).
+
+    Replaces the seed implementation's per-template ``list[str]`` of every
+    member statement: distinct statements are tracked as a set of 16-byte
+    digests, the example is the first statement in stream order, and the
+    CPU mean accumulates through an :class:`ExactSum` so the merged mean
+    is chunk-invariant.
+    """
+
+    __slots__ = (
+        "count",
+        "digests",
+        "example",
+        "cpu_sum",
+        "cpu_count",
+        "classes",
+    )
+
+    def __init__(self, example: str):
+        self.count = 0
+        self.digests: set[bytes] = set()
+        self.example = example
+        self.cpu_sum = ExactSum()
+        self.cpu_count = 0
+        self.classes: Counter = Counter()
+
+    def merge(self, other: "_TemplateGroup") -> None:
+        # ``self`` is from the earlier chunk, so its example wins
+        self.count += other.count
+        self.digests |= other.digests
+        self.cpu_sum.merge(other.cpu_sum)
+        self.cpu_count += other.cpu_count
+        self.classes.update(other.classes)
+
+    def __getstate__(self):
+        return (
+            self.count,
+            self.digests,
+            self.example,
+            self.cpu_sum,
+            self.cpu_count,
+            self.classes,
+        )
+
+    def __setstate__(self, state):
+        (
+            self.count,
+            self.digests,
+            self.example,
+            self.cpu_sum,
+            self.cpu_count,
+            self.classes,
+        ) = state
+
+
+class TemplateAggregator(ChunkAggregator):
+    """Group statements by template with O(templates) memory.
+
+    Args:
+        weighted: ``True`` for deduplicated workloads
+            (:class:`~repro.workloads.records.QueryRecord`): counts and
+            class tallies weigh each record by ``num_duplicates``, CPU
+            time contributes once per record — the exact semantics of the
+            pre-engine ``mine_workload_templates``. ``False`` for raw
+            logs (:class:`~repro.workloads.records.LogEntry`): every hit
+            counts once.
+
+    The finalized value is the aggregate mapping
+    ``template -> _TemplateGroup``;
+    :func:`repro.analysis.templates.summarize_template_groups` turns it
+    into the sorted ``TemplateStats`` report.
+    """
+
+    #: Cross-chunk (statement -> (template, digest)) memo cap. Statements
+    #: recur across chunks (Figure 20), and the memo skips even the
+    #: digest+lock cost of the template_of LRU on those; it saturates (no
+    #: eviction) so an adversarial all-unique log is bounded too. Purely a
+    #: speed cache: results never depend on it.
+    _MEMO_MAX = 65536
+
+    def __init__(self, weighted: bool = False):
+        self.weighted = weighted
+        self._memo: dict[str, tuple[str, bytes]] = {}
+
+    # workers re-warm their own memo; only configuration crosses the pickle
+    def __getstate__(self):
+        return {"weighted": self.weighted}
+
+    def __setstate__(self, state):
+        self.weighted = state["weighted"]
+        self._memo = {}
+
+    def map_chunk(self, records: list) -> dict[str, _TemplateGroup]:
+        if self.weighted:
+            return self._map_weighted(records)
+        return self._map_unweighted(records)
+
+    def _map_weighted(self, records: list) -> dict[str, _TemplateGroup]:
+        groups: dict[str, _TemplateGroup] = {}
+        for record in records:
+            statement = record.statement
+            template, digest = template_and_digest(statement)
+            group = groups.get(template)
+            if group is None:
+                group = groups[template] = _TemplateGroup(statement)
+            weight = record.num_duplicates
+            group.count += weight
+            group.digests.add(digest)
+            cpu = record.cpu_time
+            if cpu is not None:
+                group.cpu_sum.add(float(cpu))
+                group.cpu_count += 1
+            cls = record.session_class
+            if cls is not None:
+                group.classes[cls] += weight
+        return groups
+
+    def _map_unweighted(self, records: list) -> dict[str, _TemplateGroup]:
+        """Raw-log path: per-record work only where values differ per hit.
+
+        Raw logs are massively repetitive (Figure 20), so templates,
+        digests, hit counts and example selection run once per *distinct*
+        statement (``Counter``/``zip`` do the per-hit work at C speed);
+        only CPU accumulation — where every hit carries its own value —
+        walks the records in Python.
+        """
+        statements = [r.statement for r in records]
+        hit_counts = Counter(statements)
+        groups: dict[str, _TemplateGroup] = {}
+        group_list: list[_TemplateGroup] = []
+        code_of: dict[str, int] = {}  # template -> index into group_list
+        code_by_statement: dict[str, int] = {}
+        template_by_statement: dict[str, str] = {}
+        memo = self._memo
+        # hit_counts preserves first-occurrence order, so the statement
+        # that creates each group is the stream-first example
+        for statement, count in hit_counts.items():
+            cached = memo.get(statement)
+            if cached is None:
+                # the digest comes free: it is template_of's LRU key
+                cached = template_and_digest(statement)
+                if len(memo) < self._MEMO_MAX:
+                    memo[statement] = cached
+            template, digest = cached
+            template_by_statement[statement] = template
+            group = groups.get(template)
+            if group is None:
+                group = groups[template] = _TemplateGroup(statement)
+                code_of[template] = len(group_list)
+                group_list.append(group)
+            code_by_statement[statement] = code_of[template]
+            group.count += count
+            group.digests.add(digest)
+        templates = [template_by_statement[s] for s in statements]
+        # class tallies entirely at C speed; drop the None column after
+        class_pairs = Counter(
+            zip(templates, map(attrgetter("session_class"), records))
+        )
+        for (template, cls), count in class_pairs.items():
+            if cls is not None:
+                groups[template].classes[cls] += count
+        self._accumulate_cpu(
+            records, statements, templates, groups, group_list,
+            code_by_statement,
+        )
+        return groups
+
+    @staticmethod
+    def _accumulate_cpu(
+        records, statements, templates, groups, group_list, code_by_statement
+    ) -> None:
+        """Per-template CPU sums, exactly, with numpy doing the grouping.
+
+        Fast path (every record has a cpu_time — true of real raw logs):
+        one argsort over per-hit template codes groups the values, and
+        each group's slice is absorbed in a few fsum passes
+        (:meth:`ExactSum.add_all`). Records with ``cpu_time=None`` fall
+        back to a per-hit Python gather. Both paths produce the exact
+        multiset sum, so the result is identical either way.
+        """
+        n = len(records)
+        try:
+            cpus = np.fromiter(
+                map(attrgetter("cpu_time"), records),
+                dtype=np.float64,
+                count=n,
+            )
+        except TypeError:
+            cpu_lists: dict[str, list] = {}
+            for template, cpu in zip(
+                templates, map(attrgetter("cpu_time"), records)
+            ):
+                if cpu is not None:
+                    values = cpu_lists.get(template)
+                    if values is None:
+                        values = cpu_lists[template] = []
+                    values.append(cpu)
+            for template, values in cpu_lists.items():
+                group = groups[template]
+                group.cpu_count += len(values)
+                group.cpu_sum.add_all(values)
+            return
+        codes = np.fromiter(
+            map(code_by_statement.__getitem__, statements),
+            dtype=np.intp,
+            count=n,
+        )
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        sorted_cpus = cpus[order].tolist()
+        bounds = [0, *(np.nonzero(np.diff(sorted_codes))[0] + 1).tolist(), n]
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            group = group_list[sorted_codes[lo]]
+            group.cpu_count += hi - lo
+            group.cpu_sum.add_all(sorted_cpus[lo:hi])
+
+    def combine(
+        self,
+        acc: Optional[dict[str, _TemplateGroup]],
+        partial: dict[str, _TemplateGroup],
+    ) -> dict[str, _TemplateGroup]:
+        if acc is None:
+            return partial
+        for template, group in partial.items():
+            mine = acc.get(template)
+            if mine is None:
+                acc[template] = group
+            else:
+                mine.merge(group)
+        return acc
+
+    def finalize(
+        self, acc: Optional[dict[str, _TemplateGroup]]
+    ) -> dict[str, _TemplateGroup]:
+        return acc if acc is not None else {}
+
+
+# -- repetition histogram (Figure 20) ----------------------------------------- #
+
+
+class RepetitionAggregator(ChunkAggregator):
+    """Figure 20 with O(distinct (session, statement) pairs) memory.
+
+    Samples one hit per session — uniformly over the session's hits, like
+    ``sample_one_per_session`` — then buckets samples by how often the
+    sampled statement recurs across samples.
+
+    The sampler is the mergeable form of that uniform draw: per session,
+    each distinct statement keeps only its hit count; at finalize the
+    winner is drawn by the weighted max-key (Gumbel/bottom-k) trick with
+    ``key = u ** (1/count)``, ``u = hash01(seed, session, statement)`` —
+    picking statement ``s`` with probability ``count_s / total``, which is
+    exactly a uniform draw over hits. Deterministic given ``seed`` and
+    independent of chunk boundaries, so streaming == pooled == in-memory.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def map_chunk(self, records: list) -> dict[int, Counter]:
+        per_session: dict[int, Counter] = {}
+        for entry in records:
+            counts = per_session.get(entry.session_id)
+            if counts is None:
+                counts = per_session[entry.session_id] = Counter()
+            counts[_digest(entry.statement)] += 1
+        return per_session
+
+    def combine(
+        self, acc: Optional[dict[int, Counter]], partial: dict[int, Counter]
+    ) -> dict[int, Counter]:
+        if acc is None:
+            return partial
+        for session_id, counts in partial.items():
+            mine = acc.get(session_id)
+            if mine is None:
+                acc[session_id] = counts
+            else:
+                mine.update(counts)
+        return acc
+
+    def _hash01(self, session_id: int, statement_digest: bytes) -> float:
+        h = blake2b(digest_size=8)
+        h.update(self.seed.to_bytes(8, "little", signed=True))
+        h.update(int(session_id).to_bytes(8, "little", signed=True))
+        h.update(statement_digest)
+        # map to (0, 1]; +1 keeps log(u) finite for the 0 bucket
+        return (int.from_bytes(h.digest(), "little") + 1) / 2.0**64
+
+    def finalize(self, acc: Optional[dict[int, Counter]]) -> dict[str, int]:
+        from repro.workloads.dedup import REPETITION_BINS
+
+        sampled: Counter = Counter()
+        if acc:
+            for session_id, counts in acc.items():
+                best_key = -np.inf
+                best_digest = b""
+                for statement_digest, count in counts.items():
+                    # max of u**(1/n) == max of log(u)/n, tie-broken by
+                    # digest so the draw is fully deterministic
+                    key = np.log(self._hash01(session_id, statement_digest)) / count
+                    if key > best_key or (
+                        key == best_key and statement_digest > best_digest
+                    ):
+                        best_key = key
+                        best_digest = statement_digest
+                sampled[best_digest] += 1
+        histogram = {label: 0 for label, _, _ in REPETITION_BINS}
+        for repetitions in sampled.values():
+            for label, lo, hi in REPETITION_BINS:
+                if repetitions >= lo and (hi is None or repetitions <= hi):
+                    histogram[label] += repetitions
+                    break
+        return histogram
+
+
+# -- sessionization statistics ------------------------------------------------ #
+
+
+@dataclass(frozen=True)
+class SessionSummary:
+    """Aggregate session statistics for one log pass (Section 2)."""
+
+    n_sessions: int
+    n_hits: int
+    mean_hits_per_session: float
+    max_hits_per_session: int
+    mean_duration_seconds: float
+    max_duration_seconds: float
+
+
+@dataclass
+class _IpSessions:
+    """Per-IP mergeable partial: closed sessions + the open boundary ones.
+
+    ``sessions`` rows are ``(start_ts, end_ts, n_hits)``. The first and
+    last rows are the chunk-boundary sessions: when the next chunk's first
+    hit for this IP lands within the gap of ``last_end``, the two boundary
+    sessions merge — the chunk-boundary-splits-a-session case.
+    """
+
+    sessions: list[tuple[float, float, int]] = field(default_factory=list)
+
+
+class SessionStatsAggregator(ChunkAggregator):
+    """Streaming per-IP gap-split session statistics.
+
+    Requires hits in non-decreasing timestamp order per IP (true of real
+    query logs and of the SDSS generator); out-of-order input across chunk
+    boundaries raises rather than silently miscounting. The per-chunk map
+    is vectorized: one argsort + diff over the chunk's timestamp array
+    replaces the per-hit Python chains of :func:`repro.workloads.sessionize.sessionize`.
+    """
+
+    def __init__(self, gap_seconds: float = SESSION_GAP_SECONDS):
+        if gap_seconds <= 0:
+            raise ValueError("gap_seconds must be positive")
+        self.gap_seconds = float(gap_seconds)
+
+    def map_chunk(self, records: list) -> dict[str, _IpSessions]:
+        ips = np.asarray([r.ip for r in records], dtype=object)
+        ts = np.asarray([r.timestamp for r in records], dtype=np.float64)
+        # stable sort by ip (grouping) keeping arrival order inside each
+        # ip; timestamps are already non-decreasing per ip by contract
+        order = np.argsort(ips, kind="stable")
+        ips = ips[order]
+        ts = ts[order]
+        out: dict[str, _IpSessions] = {}
+        if len(records) == 0:
+            return out
+        # group boundaries where the ip changes
+        change = np.nonzero(ips[1:] != ips[:-1])[0] + 1
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [len(ips)]))
+        for lo, hi in zip(starts, ends):
+            times = ts[lo:hi]
+            if np.any(np.diff(times) < 0):
+                raise ValueError(
+                    "SessionStatsAggregator needs hits in timestamp order "
+                    f"per IP (violated within a chunk for {ips[lo]!r})"
+                )
+            # split where the gap exceeds the threshold
+            splits = np.nonzero(np.diff(times) > self.gap_seconds)[0] + 1
+            bounds = np.concatenate(([0], splits, [len(times)]))
+            sessions = [
+                (float(times[a]), float(times[b - 1]), int(b - a))
+                for a, b in zip(bounds[:-1], bounds[1:])
+            ]
+            out[str(ips[lo])] = _IpSessions(sessions)
+        return out
+
+    def combine(
+        self,
+        acc: Optional[dict[str, _IpSessions]],
+        partial: dict[str, _IpSessions],
+    ) -> dict[str, _IpSessions]:
+        if acc is None:
+            return partial
+        for ip, theirs in partial.items():
+            mine = acc.get(ip)
+            if mine is None:
+                acc[ip] = theirs
+                continue
+            last_start, last_end, last_hits = mine.sessions[-1]
+            first_start, first_end, first_hits = theirs.sessions[0]
+            if first_start < last_end:
+                raise ValueError(
+                    "SessionStatsAggregator needs hits in timestamp order "
+                    f"per IP (violated across chunks for {ip!r})"
+                )
+            if first_start - last_end <= self.gap_seconds:
+                # the chunk boundary split one session: rejoin it
+                mine.sessions[-1] = (
+                    last_start,
+                    first_end,
+                    last_hits + first_hits,
+                )
+                mine.sessions.extend(theirs.sessions[1:])
+            else:
+                mine.sessions.extend(theirs.sessions)
+        return acc
+
+    def finalize(self, acc: Optional[dict[str, _IpSessions]]) -> SessionSummary:
+        if not acc:
+            return SessionSummary(0, 0, 0.0, 0, 0.0, 0.0)
+        hits: list[int] = []
+        durations: list[float] = []
+        for per_ip in acc.values():
+            for start, end, n in per_ip.sessions:
+                hits.append(n)
+                durations.append(end - start)
+        hits_arr = np.asarray(hits, dtype=np.int64)
+        dur_arr = np.asarray(durations, dtype=np.float64)
+        return SessionSummary(
+            n_sessions=int(hits_arr.size),
+            n_hits=int(hits_arr.sum()),
+            mean_hits_per_session=float(hits_arr.mean()),
+            max_hits_per_session=int(hits_arr.max()),
+            mean_duration_seconds=float(dur_arr.mean()),
+            max_duration_seconds=float(dur_arr.max()),
+        )
+
+
+# -- label statistics ---------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RegressionStats:
+    """Streaming summary of one regression label column."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+
+
+@dataclass(frozen=True)
+class LabelStats:
+    """Class distributions + regression label summaries for one pass."""
+
+    class_counts: dict[str, dict[str, int]]
+    regression: dict[str, RegressionStats]
+
+
+class _LabelAcc:
+    __slots__ = ("classes", "sums", "counts", "mins", "maxs")
+
+    def __init__(self, class_columns, value_columns):
+        self.classes = {c: Counter() for c in class_columns}
+        self.sums = {c: ExactSum() for c in value_columns}
+        self.counts = {c: 0 for c in value_columns}
+        self.mins = {c: np.inf for c in value_columns}
+        self.maxs = {c: -np.inf for c in value_columns}
+
+    def __getstate__(self):
+        return (self.classes, self.sums, self.counts, self.mins, self.maxs)
+
+    def __setstate__(self, state):
+        self.classes, self.sums, self.counts, self.mins, self.maxs = state
+
+
+class LabelStatsAggregator(ChunkAggregator):
+    """Class tallies and regression summaries in one streaming pass.
+
+    Mirrors :func:`repro.analysis.label_analysis.regression_label_summary`'s
+    sentinel handling: negative regression values (answer size ``-1`` for
+    failed queries) are excluded. Records whose label is ``None`` are
+    skipped per column.
+    """
+
+    CLASS_COLUMNS = ("error_class", "session_class")
+    VALUE_COLUMNS = ("answer_size", "cpu_time", "elapsed_time")
+
+    def map_chunk(self, records: list) -> _LabelAcc:
+        acc = _LabelAcc(self.CLASS_COLUMNS, self.VALUE_COLUMNS)
+        for record in records:
+            for column in self.CLASS_COLUMNS:
+                value = getattr(record, column, None)
+                if value is not None:
+                    acc.classes[column][str(value)] += 1
+            for column in self.VALUE_COLUMNS:
+                value = getattr(record, column, None)
+                if value is None or value < 0:
+                    continue
+                value = float(value)
+                acc.sums[column].add(value)
+                acc.counts[column] += 1
+                if value < acc.mins[column]:
+                    acc.mins[column] = value
+                if value > acc.maxs[column]:
+                    acc.maxs[column] = value
+        return acc
+
+    def combine(self, acc: Optional[_LabelAcc], partial: _LabelAcc) -> _LabelAcc:
+        if acc is None:
+            return partial
+        for column in self.CLASS_COLUMNS:
+            acc.classes[column].update(partial.classes[column])
+        for column in self.VALUE_COLUMNS:
+            acc.sums[column].merge(partial.sums[column])
+            acc.counts[column] += partial.counts[column]
+            acc.mins[column] = min(acc.mins[column], partial.mins[column])
+            acc.maxs[column] = max(acc.maxs[column], partial.maxs[column])
+        return acc
+
+    def finalize(self, acc: Optional[_LabelAcc]) -> LabelStats:
+        if acc is None:
+            acc = _LabelAcc(self.CLASS_COLUMNS, self.VALUE_COLUMNS)
+        regression = {}
+        for column in self.VALUE_COLUMNS:
+            count = acc.counts[column]
+            if count:
+                regression[column] = RegressionStats(
+                    count=count,
+                    mean=acc.sums[column].value / count,
+                    minimum=acc.mins[column],
+                    maximum=acc.maxs[column],
+                )
+        return LabelStats(
+            class_counts={
+                c: dict(acc.classes[c]) for c in self.CLASS_COLUMNS
+            },
+            regression=regression,
+        )
+
+
+# -- structural feature matrix ------------------------------------------------- #
+
+
+class StructuralMatrixAggregator(ChunkAggregator):
+    """The (n_records, 10) structural feature matrix, built chunk-wise.
+
+    Each chunk featurizes through the shared
+    :class:`~repro.sqlang.pipeline.AnalysisPipeline` — repeats are cache
+    hits, pooled workers each warm their own cache — and the finalized
+    matrix is the in-order concatenation of the per-chunk blocks, exactly
+    equal to one monolithic ``feature_matrix`` call (featurization is a
+    pure per-statement function). This is the k-center compression input
+    for logs too large to materialize.
+    """
+
+    def map_chunk(self, records: list) -> np.ndarray:
+        from repro.sqlang.pipeline import get_pipeline
+
+        return get_pipeline().feature_matrix([r.statement for r in records])
+
+    def combine(
+        self, acc: Optional[list[np.ndarray]], partial: np.ndarray
+    ) -> list[np.ndarray]:
+        if acc is None:
+            return [partial]
+        acc.append(partial)
+        return acc
+
+    def finalize(self, acc: Optional[list[np.ndarray]]) -> np.ndarray:
+        from repro.sqlang.features import FEATURE_NAMES
+
+        if not acc:
+            return np.zeros((0, len(FEATURE_NAMES)), dtype=np.float64)
+        if len(acc) == 1:
+            return acc[0]
+        return np.concatenate(acc, axis=0)

@@ -1,0 +1,354 @@
+"""The chunked map-combine-reduce scan driver and its reducer protocol.
+
+One :class:`ChunkedScan` pass can run any number of
+:class:`ChunkAggregator` reductions over the same stream of records: the
+driver cuts the input into chunks, calls each aggregator's pure
+``map_chunk`` on every chunk (inline, or in a ``forkserver`` process
+pool), and merges the per-chunk partials through ``combine`` **in chunk
+order** — so results never depend on worker scheduling, and a pooled run
+is bit-identical to a serial one by construction.
+
+Memory discipline: the driver holds at most ``max(2 × workers, 1)``
+chunks in flight plus the running aggregates, so a pass over a 100M-entry
+log peaks at O(chunk_size × workers + aggregate), independent of log
+size.
+
+Floating-point discipline: aggregators that average values use
+:class:`ExactSum` — a mergeable Shewchuk/fsum accumulator whose final
+value is the correctly rounded sum of the input multiset, *independent of
+chunk boundaries* — which is what makes streaming, pooled and in-memory
+means bit-identical rather than merely close.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.registry import get_registry
+from repro.obs.spans import span
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ChunkAggregator",
+    "ChunkedScan",
+    "ExactSum",
+    "ScanStats",
+]
+
+#: Default records per chunk. ~8k keeps per-chunk Python overhead (pool
+#: pickling, span bookkeeping) far below the per-record map work while a
+#: chunk of LogEntry objects stays a few MB.
+DEFAULT_CHUNK_SIZE = 8192
+
+
+class ExactSum:
+    """Mergeable exact float accumulator (Shewchuk partials).
+
+    ``add`` maintains a list of non-overlapping partials (the same
+    invariant ``math.fsum`` keeps internally); ``merge`` folds another
+    accumulator's partials in, which is exact. ``value`` is therefore the
+    correctly rounded sum of every value ever added, no matter how the
+    additions were split across chunks or processes.
+    """
+
+    __slots__ = ("partials",)
+
+    def __init__(self, partials: Iterable[float] | None = None):
+        self.partials: list[float] = []
+        if partials:
+            for x in partials:
+                self.add(x)
+
+    def add(self, x: float) -> None:
+        partials = self.partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def add_all(self, values: Iterable[float]) -> None:
+        """Absorb many values in a few C passes — still exactly.
+
+        fsum distillation: take the correctly rounded sum of the residual
+        multiset, absorb it, subtract it from the residual, repeat.
+        ``math.fsum`` returns ``0.0`` exactly when the residual sums to
+        zero (every exact sum of doubles is a representable multiple of
+        the smallest subnormal), so on termination the absorbed parts
+        equal the exact multiset sum — identical to ``add()``-ing each
+        value, at a fraction of the per-value Python cost.
+        """
+        residual = [float(v) for v in values]
+        while True:
+            s = math.fsum(residual)
+            if s == 0.0:
+                return
+            self.add(s)
+            residual.append(-s)
+
+    def merge(self, other: "ExactSum") -> "ExactSum":
+        for x in other.partials:
+            self.add(x)
+        return self
+
+    @property
+    def value(self) -> float:
+        return math.fsum(self.partials)
+
+    # plain-list state so partials survive the worker → parent pickle
+    def __getstate__(self) -> list[float]:
+        return self.partials
+
+    def __setstate__(self, state: list[float]) -> None:
+        self.partials = list(state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExactSum({self.value!r})"
+
+
+class ChunkAggregator:
+    """One mergeable reduction over a record stream.
+
+    Subclasses implement three methods:
+
+    - ``map_chunk(records) -> partial`` — a **pure** function of one chunk
+      (it runs in worker processes, so it and its return value must
+      pickle);
+    - ``combine(acc, partial) -> acc`` — merge one chunk's partial into
+      the running aggregate. Called in the parent process, strictly in
+      chunk order; ``acc`` is ``None`` for the first chunk.
+    - ``finalize(acc) -> result`` — turn the merged aggregate into the
+      pass's result. ``acc`` is ``None`` when the input was empty.
+
+    The contract that makes pooled == serial == in-memory bit-identical:
+    ``combine`` must be associative over adjacent partials, and the result
+    must not depend on where chunk boundaries fell (use :class:`ExactSum`
+    for float accumulation, counters/sets/concatenation for the rest).
+    """
+
+    def map_chunk(self, records: list) -> Any:
+        raise NotImplementedError
+
+    def combine(self, acc: Any, partial: Any) -> Any:
+        raise NotImplementedError
+
+    def finalize(self, acc: Any) -> Any:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScanStats:
+    """Accounting for one completed scan."""
+
+    chunks: int
+    records: int
+    workers: int
+    pooled: bool
+
+
+# -- worker-side glue --------------------------------------------------------- #
+
+_WORKER_AGGREGATORS: Mapping[str, ChunkAggregator] | None = None
+
+
+def _pool_init(aggregators: Mapping[str, ChunkAggregator]) -> None:
+    global _WORKER_AGGREGATORS
+    _WORKER_AGGREGATORS = aggregators
+
+
+def _pool_map(task: tuple[int, list]) -> tuple[int, dict[str, Any]]:
+    index, records = task
+    assert _WORKER_AGGREGATORS is not None
+    return index, {
+        name: agg.map_chunk(records)
+        for name, agg in _WORKER_AGGREGATORS.items()
+    }
+
+
+class ChunkedScan:
+    """One streaming pass over a record iterable, any number of reductions.
+
+    Args:
+        records: Any iterable of records — a list, or a generator such as
+            :func:`repro.workloads.io.iter_log` so gzipped logs stream in
+            without materialization.
+        chunk_size: Records per chunk (positive).
+        workers: ``0``/``None`` maps chunks inline; ``N ≥ 1`` fans chunks
+            out to N ``forkserver`` processes (falling back to serial if a
+            pool cannot start, e.g. in a sandbox). Results are identical
+            either way.
+
+    Usage::
+
+        scan = ChunkedScan(iter_log("sdss_log.jsonl.gz"), workers=4)
+        out = scan.run({"templates": TemplateAggregator(),
+                        "repetition": RepetitionAggregator(seed=0)})
+        out["templates"], out["repetition"]
+    """
+
+    def __init__(
+        self,
+        records: Iterable,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        workers: int | None = None,
+    ):
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self._records = records
+        self.chunk_size = chunk_size
+        self.workers = int(workers or 0)
+        self.last_stats: ScanStats | None = None
+        registry = get_registry()
+        self._chunks_total = registry.counter(
+            "repro_analytics_chunks_total",
+            "Chunks mapped by the analytics engine",
+        )
+        self._records_total = registry.counter(
+            "repro_analytics_records_total",
+            "Records scanned by the analytics engine",
+        )
+        self._workers_busy = registry.gauge(
+            "repro_analytics_workers_busy",
+            "Analytics map tasks currently in flight",
+        )
+
+    # -- chunking ------------------------------------------------------------ #
+
+    def _chunks(self) -> Iterator[list]:
+        buffer: list = []
+        for record in self._records:
+            buffer.append(record)
+            if len(buffer) >= self.chunk_size:
+                yield buffer
+                buffer = []
+        if buffer:
+            yield buffer
+
+    # -- execution ----------------------------------------------------------- #
+
+    def run(self, aggregators: Mapping[str, ChunkAggregator]) -> dict[str, Any]:
+        """Execute the pass; returns ``{name: finalized result}``."""
+        if not aggregators:
+            raise ValueError("ChunkedScan.run needs at least one aggregator")
+        accs: dict[str, Any] = {name: None for name in aggregators}
+        with span("analytics:scan", aggregators=len(aggregators)):
+            if self.workers >= 1:
+                chunks, records, pooled = self._run_pooled(aggregators, accs)
+            else:
+                chunks, records = self._run_serial(aggregators, accs)
+                pooled = False
+            with span("analytics:finalize"):
+                results = {
+                    name: agg.finalize(accs[name])
+                    for name, agg in aggregators.items()
+                }
+        self.last_stats = ScanStats(
+            chunks=chunks, records=records, workers=self.workers, pooled=pooled
+        )
+        return results
+
+    def _run_serial(
+        self,
+        aggregators: Mapping[str, ChunkAggregator],
+        accs: dict[str, Any],
+    ) -> tuple[int, int]:
+        chunks = records = 0
+        for chunk in self._chunks():
+            chunk_len = len(chunk)
+            with span("analytics:map", records=chunk_len):
+                partials = {
+                    name: agg.map_chunk(chunk)
+                    for name, agg in aggregators.items()
+                }
+            # release before the generator builds the next buffer, so the
+            # steady-state peak is one chunk + aggregate, not two chunks
+            chunk = None
+            with span("analytics:combine"):
+                for name, agg in aggregators.items():
+                    accs[name] = agg.combine(accs[name], partials[name])
+            chunks += 1
+            records += chunk_len
+            self._chunks_total.inc()
+            self._records_total.inc(chunk_len)
+        return chunks, records
+
+    def _run_pooled(
+        self,
+        aggregators: Mapping[str, ChunkAggregator],
+        accs: dict[str, Any],
+    ) -> tuple[int, int, bool]:
+        pool = self._make_pool(aggregators)
+        if pool is None:
+            chunks, records = self._run_serial(aggregators, accs)
+            return chunks, records, False
+        chunks = records = 0
+        # combine strictly in chunk order regardless of completion order
+        next_index = 0
+        done: dict[int, dict[str, Any]] = {}
+        in_flight: list = []
+        max_in_flight = max(2 * self.workers, 2)
+
+        def drain(block_for_first: bool) -> None:
+            nonlocal next_index
+            while in_flight and (block_for_first or in_flight[0].done()):
+                index, partials = in_flight.pop(0).result()
+                done[index] = partials
+                block_for_first = False
+                self._workers_busy.set(len(in_flight))
+                while next_index in done:
+                    with span("analytics:combine"):
+                        for name, agg in aggregators.items():
+                            accs[name] = agg.combine(
+                                accs[name], done[next_index][name]
+                            )
+                    del done[next_index]
+                    next_index += 1
+
+        try:
+            with pool:
+                for chunk in self._chunks():
+                    if len(in_flight) >= max_in_flight:
+                        drain(block_for_first=True)
+                    in_flight.append(pool.submit(_pool_map, (chunks, chunk)))
+                    self._workers_busy.set(len(in_flight))
+                    chunks += 1
+                    records += len(chunk)
+                    self._chunks_total.inc()
+                    self._records_total.inc(len(chunk))
+                while in_flight:
+                    drain(block_for_first=True)
+        finally:
+            self._workers_busy.set(0)
+        return chunks, records, True
+
+    def _make_pool(self, aggregators: Mapping[str, ChunkAggregator]):
+        """A forkserver pool primed with the aggregators, or ``None``.
+
+        ``None`` (pool unavailable — sandboxed environment, missing
+        semaphores) degrades to the serial path with identical results.
+        """
+        try:
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                ctx = mp.get_context("forkserver")
+            except ValueError:  # pragma: no cover - platform without forkserver
+                ctx = mp.get_context("spawn")
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_pool_init,
+                initargs=(dict(aggregators),),
+            )
+        except Exception:  # pragma: no cover - sandbox fallback
+            return None

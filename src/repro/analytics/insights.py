@@ -1,0 +1,262 @@
+"""Bulk offline insights: score a whole workload through a compiled plan.
+
+The batch analogue of the serving path: where ``repro serve`` answers one
+micro-batch at a time, :func:`bulk_insights` streams an entire on-disk
+workload (or raw log) through the PR 8 compiled
+:class:`~repro.inference.plan.InferencePlan` in chunks and appends one
+JSON line per record to an output file — backfilling pre-execution
+insights over historical logs at workload scale.
+
+Memory is bounded exactly like the analytics scan: one chunk of
+statements per worker plus the writer buffer. ``workers=N`` fans chunks
+out to ``forkserver`` processes that each load the artifact once
+(memory-mapped, so N workers share the page cache for the weight arrays);
+results are written strictly in input order and are bit-identical to the
+serial pass (a loaded facilitator is a pure function of statement text,
+and the float32 plan is deterministic).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO
+
+from repro.analytics.core import DEFAULT_CHUNK_SIZE
+from repro.obs.registry import get_registry
+from repro.obs.spans import span
+
+__all__ = ["BulkInsightsStats", "bulk_insights", "iter_statements"]
+
+
+@dataclass(frozen=True)
+class BulkInsightsStats:
+    """Accounting for one completed bulk-insights run."""
+
+    records: int
+    chunks: int
+    workers: int
+    pooled: bool
+    out_path: str
+
+
+def iter_statements(path: str | Path) -> Iterator[str]:
+    """Stream the statement column of a workload or raw-log file.
+
+    Sniffs the header so both file kinds work: workloads yield one
+    statement per deduplicated record, logs one per hit.
+    """
+    from repro.workloads.io import (
+        iter_log,
+        iter_workload,
+        read_log_header,
+        WorkloadFormatError,
+    )
+
+    path = Path(path)
+    try:
+        read_log_header(path)
+        records: Iterable = iter_log(path)
+    except WorkloadFormatError:
+        records = iter_workload(path)
+    for record in records:
+        yield record.statement
+
+
+def _open_out(path: Path) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return path.open("w", encoding="utf-8")
+
+
+# -- worker-side glue --------------------------------------------------------- #
+
+_WORKER_FACILITATOR = None
+
+
+def _insights_init(artifact_path: str, mmap: bool) -> None:
+    global _WORKER_FACILITATOR
+    from repro.core.facilitator import QueryFacilitator
+
+    _WORKER_FACILITATOR = QueryFacilitator.load(artifact_path, mmap=mmap)
+
+
+def _insights_map(task: tuple[int, list[str]]) -> tuple[int, list[str]]:
+    index, statements = task
+    assert _WORKER_FACILITATOR is not None
+    return index, _score_chunk(_WORKER_FACILITATOR, statements)
+
+
+def _score_chunk(facilitator, statements: list[str]) -> list[str]:
+    """One chunk → JSON lines, via the compiled-plan batch path."""
+    insights = facilitator.insights_batch(statements)
+    return [
+        json.dumps(insight.to_dict(), sort_keys=True) for insight in insights
+    ]
+
+
+def _chunked(statements: Iterable[str], chunk_size: int) -> Iterator[list[str]]:
+    buffer: list[str] = []
+    for statement in statements:
+        buffer.append(statement)
+        if len(buffer) >= chunk_size:
+            yield buffer
+            buffer = []
+    if buffer:
+        yield buffer
+
+
+def bulk_insights(
+    artifact_path: str | Path,
+    statements: Iterable[str],
+    out_path: str | Path,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 0,
+    mmap: bool = True,
+    facilitator=None,
+) -> BulkInsightsStats:
+    """Score every statement through the artifact's compiled plan.
+
+    Args:
+        artifact_path: Saved facilitator artifact (``repro train`` output).
+        statements: Any statement iterable — use :func:`iter_statements`
+            to stream them off a workload/log file.
+        out_path: Output JSONL file, one
+            :meth:`~repro.core.facilitator.QueryInsights.to_dict` object
+            per input record, in input order; ``.gz`` writes gzip.
+        chunk_size: Statements per scoring batch.
+        workers: ``0`` scores in-process; ``N ≥ 1`` fans chunks to N
+            ``forkserver`` workers that each load the artifact once
+            (mmap-shared weights). Falls back to serial if a pool cannot
+            start. Output is identical either way.
+        mmap: Memory-map artifact weight arrays on load.
+        facilitator: Already-loaded facilitator to reuse for the serial
+            path (skips the load); ignored when a pool is used.
+
+    Returns:
+        :class:`BulkInsightsStats` for the completed run.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    out_path = Path(out_path)
+    registry = get_registry()
+    chunks_total = registry.counter(
+        "repro_analytics_chunks_total",
+        "Chunks mapped by the analytics engine",
+    )
+    records_total = registry.counter(
+        "repro_analytics_records_total",
+        "Records scanned by the analytics engine",
+    )
+    chunks = records = 0
+    pooled = False
+    with span("analytics:insights", workers=workers):
+        with _open_out(out_path) as out:
+            if workers >= 1:
+                writer = _pooled_lines(
+                    str(artifact_path), statements, chunk_size, workers, mmap
+                )
+            else:
+                writer = None
+            if writer is not None:
+                pooled = True
+                for lines in writer:
+                    out.write("\n".join(lines) + "\n")
+                    chunks += 1
+                    records += len(lines)
+                    chunks_total.inc()
+                    records_total.inc(len(lines))
+            else:
+                if facilitator is None:
+                    from repro.core.facilitator import QueryFacilitator
+
+                    facilitator = QueryFacilitator.load(
+                        artifact_path, mmap=mmap
+                    )
+                for chunk in _chunked(statements, chunk_size):
+                    lines = _score_chunk(facilitator, chunk)
+                    out.write("\n".join(lines) + "\n")
+                    chunks += 1
+                    records += len(lines)
+                    chunks_total.inc()
+                    records_total.inc(len(lines))
+    return BulkInsightsStats(
+        records=records,
+        chunks=chunks,
+        workers=workers,
+        pooled=pooled,
+        out_path=str(out_path),
+    )
+
+
+def _pooled_lines(
+    artifact_path: str,
+    statements: Iterable[str],
+    chunk_size: int,
+    workers: int,
+    mmap: bool,
+) -> Iterator[list[str]] | None:
+    """Generator of in-order scored chunks from a worker pool, or ``None``.
+
+    ``None`` means the pool could not start (sandbox); the caller scores
+    serially instead. In-flight chunks are bounded at ``2 × workers`` so
+    memory stays O(chunk × workers).
+    """
+    try:
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            ctx = mp.get_context("forkserver")
+        except ValueError:  # pragma: no cover - platform without forkserver
+            ctx = mp.get_context("spawn")
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_insights_init,
+            initargs=(artifact_path, mmap),
+        )
+    except Exception:  # pragma: no cover - sandbox fallback
+        return None
+
+    busy_gauge = get_registry().gauge(
+        "repro_analytics_workers_busy",
+        "Analytics map tasks currently in flight",
+    )
+
+    def generate() -> Iterator[list[str]]:
+        next_index = 0
+        done: dict[int, list[str]] = {}
+        in_flight: list = []
+        max_in_flight = max(2 * workers, 2)
+        try:
+            with pool:
+                submitted = 0
+                for chunk in _chunked(statements, chunk_size):
+                    while len(in_flight) >= max_in_flight:
+                        index, lines = in_flight.pop(0).result()
+                        done[index] = lines
+                        busy_gauge.set(len(in_flight))
+                        while next_index in done:
+                            yield done.pop(next_index)
+                            next_index += 1
+                    in_flight.append(
+                        pool.submit(_insights_map, (submitted, chunk))
+                    )
+                    busy_gauge.set(len(in_flight))
+                    submitted += 1
+                while in_flight:
+                    index, lines = in_flight.pop(0).result()
+                    done[index] = lines
+                    busy_gauge.set(len(in_flight))
+                    while next_index in done:
+                        yield done.pop(next_index)
+                        next_index += 1
+        finally:
+            busy_gauge.set(0)
+
+    return generate()

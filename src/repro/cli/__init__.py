@@ -5,8 +5,10 @@ actually runs:
 
 - ``generate``  — synthesize an SDSS/SQLShare-shaped workload to a JSONL file
 - ``analyze``   — the Section 4.3 workload analysis for a workload file
+- ``templates`` — mine statement templates from a workload or raw log
 - ``train``     — fit a :class:`~repro.core.facilitator.QueryFacilitator`
 - ``predict``   — pre-execution insights for new statements
+- ``insights``  — bulk-score a whole workload file through an artifact
 - ``serve``     — micro-batching HTTP endpoint over a saved facilitator
 - ``worker``    — one fleet shard worker agent (for ``serve --fleet``)
 - ``stats``     — telemetry of a running endpoint (or a REPRO_OBS_LOG file)
@@ -35,9 +37,11 @@ from repro.cli import (
     evaluate_cmd,
     experiment_cmd,
     generate_cmd,
+    insights_cmd,
     predict_cmd,
     serve_cmd,
     stats_cmd,
+    templates_cmd,
     train_cmd,
     worker_cmd,
 )
@@ -47,8 +51,10 @@ __all__ = ["main", "build_parser"]
 _COMMANDS = (
     generate_cmd,
     analyze_cmd,
+    templates_cmd,
     train_cmd,
     predict_cmd,
+    insights_cmd,
     serve_cmd,
     worker_cmd,
     stats_cmd,

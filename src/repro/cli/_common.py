@@ -11,12 +11,43 @@ from repro.workloads.io import load_workload
 from repro.workloads.records import Workload
 
 __all__ = [
+    "add_engine_arguments",
     "add_scale_arguments",
     "scale_from_args",
     "load_workload_arg",
     "read_statements",
     "emit",
 ]
+
+
+def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Analytics-engine knobs shared by ``analyze``/``templates``/``insights``.
+
+    Commands that scan a workload or log do so through the chunked
+    map-combine-reduce engine (:mod:`repro.analytics`); these two flags
+    control its fan-out. Results are bit-identical for every setting.
+    """
+    group = parser.add_argument_group("analytics engine")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "fan chunks out to N forkserver processes "
+            "(0 = scan in-process; output is identical either way)"
+        ),
+    )
+    group.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="RECORDS",
+        help=(
+            "records per engine chunk (default 8192); peak memory is "
+            "O(chunk-size x workers + aggregate state)"
+        ),
+    )
 
 
 def add_scale_arguments(parser: argparse.ArgumentParser) -> None:

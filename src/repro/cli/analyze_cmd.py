@@ -19,9 +19,8 @@ from repro.analysis.label_analysis import (
     class_distribution,
     regression_label_summary,
 )
-from repro.analysis.repetition import repetition_histogram_of_log
 from repro.analysis.structural import StructuralTable, structural_table
-from repro.cli._common import emit
+from repro.cli._common import add_engine_arguments, emit
 from repro.evalx.reporting import format_table
 from repro.sqlang.pipeline import get_pipeline
 from repro.workloads.io import iter_log, load_workload
@@ -50,6 +49,7 @@ def register(subparsers) -> None:
         default=None,
         help="also print the top-N statement templates (Appendix B.3)",
     )
+    add_engine_arguments(parser)
     parser.set_defaults(func=run)
 
 
@@ -175,19 +175,73 @@ def _pipeline_section() -> str:
     )
 
 
-def run(args: argparse.Namespace) -> int:
-    if args.repetition:
-        entries = list(iter_log(args.workload))
-        histogram = repetition_histogram_of_log(entries)
-        rows = [[bucket, count] for bucket, count in histogram.items()]
+def _analyze_log(args: argparse.Namespace) -> int:
+    """Raw-log mode: stream the gzipped log through ONE engine scan.
+
+    Repetition and (optionally) template aggregates ride the same chunked
+    pass, so the log is read once and never materialized.
+    """
+    from repro.analytics.aggregators import (
+        RepetitionAggregator,
+        TemplateAggregator,
+    )
+    from repro.analytics.core import DEFAULT_CHUNK_SIZE, ChunkedScan
+    from repro.analysis.templates import summarize_template_groups
+
+    aggregators = {"repetition": RepetitionAggregator()}
+    if args.templates is not None:
+        aggregators["templates"] = TemplateAggregator(weighted=False)
+    scan = ChunkedScan(
+        iter_log(args.workload),
+        chunk_size=args.chunk_size or DEFAULT_CHUNK_SIZE,
+        workers=args.workers,
+    )
+    results = scan.run(aggregators)
+    rows = [[bucket, count] for bucket, count in results["repetition"].items()]
+    emit(
+        format_table(
+            ["times repeated", "statements"],
+            rows,
+            title="Statement repetition (Figure 20)",
+        )
+    )
+    if args.templates is not None:
+        stats = summarize_template_groups(
+            results["templates"], top=args.templates
+        )
+        emit("")
         emit(
-            format_table(
-                ["times repeated", "statements"],
-                rows,
-                title="Statement repetition (Figure 20)",
+            format_template_table(
+                stats, title=f"Top {args.templates} templates (Appendix B.3)"
             )
         )
-        return 0
+    return 0
+
+
+def format_template_table(stats, title: str) -> str:
+    """The template report table shared by ``analyze`` and ``templates``."""
+    rows = [
+        [
+            " ".join(s.template.split())[:44],
+            s.count,
+            s.distinct_statements,
+            "-" if s.mean_cpu_time is None else f"{s.mean_cpu_time:.2f}",
+            max(s.session_classes, key=s.session_classes.get)
+            if s.session_classes
+            else "-",
+        ]
+        for s in stats
+    ]
+    return format_table(
+        ["template", "hits", "variants", "mean cpu", "top class"],
+        rows,
+        title=title,
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.repetition:
+        return _analyze_log(args)
 
     workload = load_workload(args.workload)
     emit(f"workload {workload.name!r}: {len(workload)} unique statements\n")
@@ -204,27 +258,19 @@ def run(args: argparse.Namespace) -> int:
         emit("")
         emit(session)
     if args.templates is not None:
+        from repro.analytics.core import DEFAULT_CHUNK_SIZE
         from repro.analysis.templates import mine_workload_templates
 
-        stats = mine_workload_templates(workload, top=args.templates)
-        rows = [
-            [
-                " ".join(s.template.split())[:44],
-                s.count,
-                s.distinct_statements,
-                "-" if s.mean_cpu_time is None else f"{s.mean_cpu_time:.2f}",
-                max(s.session_classes, key=s.session_classes.get)
-                if s.session_classes
-                else "-",
-            ]
-            for s in stats
-        ]
+        stats = mine_workload_templates(
+            workload,
+            top=args.templates,
+            chunk_size=args.chunk_size or DEFAULT_CHUNK_SIZE,
+            workers=args.workers,
+        )
         emit("")
         emit(
-            format_table(
-                ["template", "hits", "variants", "mean cpu", "top class"],
-                rows,
-                title=f"Top {args.templates} templates (Appendix B.3)",
+            format_template_table(
+                stats, title=f"Top {args.templates} templates (Appendix B.3)"
             )
         )
     emit("")

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cli._common import emit, load_workload_arg
+from repro.cli._common import add_engine_arguments, emit, load_workload_arg
 from repro.workloads.compression import (
     STRATEGIES,
     compress_workload,
@@ -42,13 +42,19 @@ def register(subparsers) -> None:
         help="selection strategy (default kcenter)",
     )
     parser.add_argument("--seed", type=int, default=0, help="sampling seed")
+    add_engine_arguments(parser)
     parser.set_defaults(func=run)
 
 
 def run(args: argparse.Namespace) -> int:
     workload = load_workload_arg(args.workload)
     compressed = compress_workload(
-        workload, ratio=args.ratio, strategy=args.strategy, seed=args.seed
+        workload,
+        ratio=args.ratio,
+        strategy=args.strategy,
+        seed=args.seed,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
     )
     records = []
     for record, weight in zip(compressed.workload.records, compressed.weights):

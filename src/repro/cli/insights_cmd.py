@@ -1,0 +1,69 @@
+"""``repro insights`` — bulk pre-execution insights for a whole workload.
+
+The batch analogue of ``repro predict``: stream every statement of a
+workload (or raw log) through a saved facilitator's compiled inference
+plan and write one JSON insight object per record, in input order, to a
+JSONL file (``.gz`` writes gzip). Scoring runs in engine-sized chunks so
+memory stays flat however large the input; ``--workers`` fans chunks out
+to processes that each memory-map the artifact once, and the output is
+bit-identical to the serial pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._common import add_engine_arguments, emit
+
+__all__ = ["register"]
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "insights",
+        help="bulk-score a workload file through a saved facilitator",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "workload",
+        help="workload or raw-log JSONL file to score (.gz ok)",
+    )
+    parser.add_argument(
+        "--artifact",
+        required=True,
+        help="saved facilitator artifact (repro train output)",
+    )
+    parser.add_argument(
+        "--out",
+        required=True,
+        help="output JSONL path, one insight object per input record "
+        "(.gz writes gzip)",
+    )
+    parser.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="load artifact arrays into memory instead of mmap",
+    )
+    add_engine_arguments(parser)
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.analytics.core import DEFAULT_CHUNK_SIZE
+    from repro.analytics.insights import bulk_insights, iter_statements
+
+    stats = bulk_insights(
+        args.artifact,
+        iter_statements(args.workload),
+        args.out,
+        chunk_size=args.chunk_size or DEFAULT_CHUNK_SIZE,
+        workers=args.workers,
+        mmap=not args.no_mmap,
+    )
+    mode = f"{stats.workers} workers" if stats.pooled else "in-process"
+    emit(
+        f"scored {stats.records} statements in {stats.chunks} chunks "
+        f"({mode}) -> {stats.out_path}"
+    )
+    return 0

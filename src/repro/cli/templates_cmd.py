@@ -1,0 +1,78 @@
+"""``repro templates`` — mine statement templates from a workload or log.
+
+The Appendix B.3 template report as a first-class command: group every
+statement by its constant-masked template and print the heaviest groups.
+The input is streamed through the chunked analytics engine, so a
+multi-gigabyte gzipped log mines in O(templates) memory; ``--workers``
+fans chunks out to a process pool with bit-identical results.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analytics.core import DEFAULT_CHUNK_SIZE
+from repro.cli._common import add_engine_arguments, emit
+from repro.cli.analyze_cmd import format_template_table
+from repro.workloads.io import (
+    WorkloadFormatError,
+    iter_log,
+    iter_workload,
+    read_log_header,
+)
+
+__all__ = ["register"]
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "templates",
+        help="mine statement templates from a workload or raw log",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "input",
+        help="workload or raw-log JSONL file (.gz ok; kind is sniffed)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        metavar="N",
+        default=20,
+        help="print the N heaviest templates (default 20)",
+    )
+    add_engine_arguments(parser)
+    parser.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.analysis.templates import (
+        mine_log_templates,
+        mine_workload_templates,
+    )
+
+    chunk_size = args.chunk_size or DEFAULT_CHUNK_SIZE
+    try:
+        read_log_header(args.input)
+        is_log = True
+    except WorkloadFormatError:
+        is_log = False
+    if is_log:
+        stats = mine_log_templates(
+            iter_log(args.input),
+            top=args.top,
+            chunk_size=chunk_size,
+            workers=args.workers,
+        )
+        title = f"Top {args.top} templates (raw log hits)"
+    else:
+        stats = mine_workload_templates(
+            iter_workload(args.input),
+            top=args.top,
+            chunk_size=chunk_size,
+            workers=args.workers,
+        )
+        title = f"Top {args.top} templates (duplicate-weighted)"
+    emit(format_template_table(stats, title=title))
+    return 0

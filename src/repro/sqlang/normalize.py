@@ -10,6 +10,9 @@ The paper applies every model at two granularities (Definition 1):
 from __future__ import annotations
 
 import re
+import threading
+from collections import OrderedDict
+from hashlib import blake2b
 
 __all__ = [
     "DIGIT_TOKEN",
@@ -18,6 +21,9 @@ __all__ = [
     "char_text",
     "char_tokens",
     "template_of",
+    "template_and_digest",
+    "template_cache_clear",
+    "template_cache_stats",
 ]
 
 #: Marker substituted for digit runs in word-level tokenization.
@@ -91,6 +97,50 @@ _TEMPLATE_DIGIT_RE = re.compile(r"\d+(?:\.\d+)*")
 #: Hex literals collapse as a whole (SDSS object ids are hex constants);
 #: matched before the digit pass so `0x112d07...` → `0` not `0x0d0...`.
 _TEMPLATE_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+")
+_TEMPLATE_STRING_RE = re.compile(r"'[^']*'")
+
+#: Distinct statements retained by the template LRU. Real logs are
+#: massively repetitive (Figure 20), so a bounded cache turns the three
+#: regex passes into one digest lookup for the dominant case.
+_TEMPLATE_CACHE_MAX = 65536
+
+_template_cache: OrderedDict[bytes, str] = OrderedDict()
+_template_lock = threading.Lock()
+_template_hits = 0
+_template_misses = 0
+
+
+def _template_of_uncached(statement: str) -> str:
+    masked = _TEMPLATE_HEX_RE.sub("0", statement)
+    masked = _TEMPLATE_DIGIT_RE.sub("0", masked)
+    masked = _TEMPLATE_STRING_RE.sub("'?'", masked)
+    return normalize_statement(masked).lower()
+
+
+def template_and_digest(statement: str) -> tuple[str, bytes]:
+    """``(template, blake2b-16 digest of the exact statement text)``.
+
+    The digest is the LRU key, so callers that also need a
+    distinct-statement digest (the template aggregator's sketch) get it
+    for free instead of hashing the statement twice.
+    """
+    global _template_hits, _template_misses
+    key = blake2b(
+        statement.encode("utf-8", "surrogatepass"), digest_size=16
+    ).digest()
+    with _template_lock:
+        cached = _template_cache.get(key)
+        if cached is not None:
+            _template_cache.move_to_end(key)
+            _template_hits += 1
+            return cached, key
+        _template_misses += 1
+    template = _template_of_uncached(statement)
+    with _template_lock:
+        _template_cache[key] = template
+        while len(_template_cache) > _TEMPLATE_CACHE_MAX:
+            _template_cache.popitem(last=False)
+    return template, key
 
 
 def template_of(statement: str) -> str:
@@ -99,8 +149,51 @@ def template_of(statement: str) -> str:
     Number and hex literals become ``0``, string literals become ``'?'``.
     Used to detect statement repetition in logs (Appendix B.3): bot and
     admin sessions resubmit the same template with different constants.
+
+    ``template_of`` is a pure function called once per raw hit with
+    massively repetitive inputs, so results are memoized in a bounded LRU
+    keyed on the blake2b digest of the exact statement text (the same
+    digest-keyed pattern as the shared
+    :class:`~repro.sqlang.pipeline.AnalysisPipeline`); cached and uncached
+    results are identical by construction.
     """
-    masked = _TEMPLATE_HEX_RE.sub("0", statement)
-    masked = _TEMPLATE_DIGIT_RE.sub("0", masked)
-    masked = re.sub(r"'[^']*'", "'?'", masked)
-    return normalize_statement(masked).lower()
+    return template_and_digest(statement)[0]
+
+
+def template_cache_clear() -> None:
+    """Empty the template LRU (benchmarks measuring the cold pass)."""
+    with _template_lock:
+        _template_cache.clear()
+
+
+def template_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the ``template_of`` LRU."""
+    with _template_lock:
+        return {
+            "hits": _template_hits,
+            "misses": _template_misses,
+            "size": len(_template_cache),
+            "max_size": _TEMPLATE_CACHE_MAX,
+        }
+
+
+def _register_template_metrics() -> None:
+    """Export the LRU counters as snapshot-time obs callbacks."""
+    from repro.obs.registry import get_registry
+
+    registry = get_registry()
+    registry.register_callback(
+        "repro_template_cache_hits_total",
+        lambda: template_cache_stats()["hits"],
+        kind="counter",
+        help="template_of LRU hits",
+    )
+    registry.register_callback(
+        "repro_template_cache_misses_total",
+        lambda: template_cache_stats()["misses"],
+        kind="counter",
+        help="template_of LRU misses (templates computed)",
+    )
+
+
+_register_template_metrics()

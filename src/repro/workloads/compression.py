@@ -77,15 +77,32 @@ class CompressedWorkload:
         return out
 
 
-def structural_feature_matrix(workload: Workload) -> np.ndarray:
+def structural_feature_matrix(
+    workload: Workload, *, chunk_size: int | None = None, workers: int = 0
+) -> np.ndarray:
     """Z-normalized structural feature matrix (n_records, 10).
 
     Constant features normalize to zero so they do not contribute to
-    distances.
+    distances. With ``chunk_size``/``workers`` set, the raw matrix is
+    built chunk-wise through the analytics engine (one
+    :class:`~repro.analytics.aggregators.StructuralMatrixAggregator`
+    pass), so featurization of a workload-scale input is cached and
+    parallel; the result is identical to the monolithic path.
     """
-    matrix = get_pipeline().feature_matrix(
-        [record.statement for record in workload]
-    )
+    if chunk_size is not None or workers:
+        from repro.analytics.core import DEFAULT_CHUNK_SIZE, ChunkedScan
+        from repro.analytics.aggregators import StructuralMatrixAggregator
+
+        scan = ChunkedScan(
+            workload,
+            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+            workers=workers,
+        )
+        matrix = scan.run({"matrix": StructuralMatrixAggregator()})["matrix"]
+    else:
+        matrix = get_pipeline().feature_matrix(
+            [record.statement for record in workload]
+        )
     if matrix.shape[0] == 0:
         return matrix
     mean = matrix.mean(axis=0)
@@ -163,6 +180,9 @@ def compress_workload(
     ratio: float = 0.1,
     strategy: str = "kcenter",
     seed: int = 0,
+    *,
+    workers: int = 0,
+    chunk_size: int | None = None,
 ) -> CompressedWorkload:
     """Compress ``workload`` to roughly ``ratio`` of its size.
 
@@ -171,6 +191,10 @@ def compress_workload(
         ratio: Target kept fraction in (0, 1].
         strategy: One of :data:`STRATEGIES`.
         seed: Randomness seed (tie-breaking, sampling).
+        workers: Process count for the chunked k-center featurization
+            pass (0 = in-process); selection itself is unchanged.
+        chunk_size: Records per engine chunk for that pass (None =
+            engine default). Output is identical for every setting.
 
     Returns:
         A :class:`CompressedWorkload` whose weights sum to ``len(workload)``.
@@ -209,7 +233,9 @@ def compress_workload(
             kept_indices=kept,
         )
 
-    matrix = structural_feature_matrix(workload)
+    matrix = structural_feature_matrix(
+        workload, chunk_size=chunk_size, workers=workers
+    )
     kept = _kcenter_select(matrix, k, rng)
     assignment = _assign_to_centers(matrix, kept)
     weights = np.bincount(assignment, minlength=len(kept)).astype(np.float64)

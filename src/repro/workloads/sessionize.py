@@ -9,9 +9,10 @@ ids from them — the preprocessing step the paper's pipeline assumes.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Optional
+
+import numpy as np
 
 __all__ = ["Hit", "sessionize", "SESSION_GAP_SECONDS"]
 
@@ -45,19 +46,34 @@ def sessionize(
     """
     if gap_seconds <= 0:
         raise ValueError("gap_seconds must be positive")
-    by_ip: dict[str, list[Hit]] = defaultdict(list)
-    for hit in hits:
-        by_ip[hit.ip].append(hit)
-    sessions: list[list[Hit]] = []
-    for ip in sorted(by_ip):
-        ordered = sorted(by_ip[ip], key=lambda h: (h.timestamp, h.index))
-        current: list[Hit] = []
-        for hit in ordered:
-            if current and hit.timestamp - current[-1].timestamp > gap_seconds:
-                sessions.append(current)
-                current = []
-            current.append(hit)
-        if current:
-            sessions.append(current)
+    hits = list(hits)
+    if not hits:
+        return {}
+    # One vectorized gap-split instead of per-hit Python chains: lexsort
+    # groups hits by IP ordered by (timestamp, index) — the same per-IP
+    # order the old sorted() produced — then one diff() finds every
+    # session boundary at once.
+    ips = np.asarray([h.ip for h in hits], dtype=object)
+    ts = np.asarray([h.timestamp for h in hits], dtype=np.float64)
+    idx = np.asarray([h.index for h in hits], dtype=np.int64)
+    order = np.lexsort((idx, ts, ips))
+    ips = ips[order]
+    ts = ts[order]
+    hit_arr = np.empty(len(hits), dtype=object)
+    hit_arr[:] = hits
+    hit_arr = hit_arr[order]
+    new_session = np.empty(len(hits), dtype=bool)
+    new_session[0] = True
+    new_session[1:] = (ips[1:] != ips[:-1]) | (
+        (ts[1:] - ts[:-1]) > gap_seconds
+    )
+    bounds = np.nonzero(new_session)[0]
+    ends = np.concatenate((bounds[1:], [len(hits)]))
+    sessions = [
+        list(hit_arr[lo:hi]) for lo, hi in zip(bounds, ends)
+    ]
+    # session ids in order of each session's first hit (ties by IP), as
+    # before — the (timestamp, ip) pair is unique per session because two
+    # same-IP sessions cannot share a first timestamp
     sessions.sort(key=lambda chain: (chain[0].timestamp, chain[0].ip))
     return {sid: chain for sid, chain in enumerate(sessions)}

@@ -1,0 +1,173 @@
+"""Aggregator unit tests: semantics each parity test takes for granted."""
+
+import pickle
+
+from repro.analytics.aggregators import (
+    RepetitionAggregator,
+    TemplateAggregator,
+)
+from repro.analytics.core import ChunkedScan
+from repro.sqlang.normalize import template_cache_stats, template_of
+from repro.workloads.records import LogEntry, QueryRecord
+
+
+def entry(statement, session_id=0, cpu=1.0, cls="human"):
+    return LogEntry(
+        statement=statement,
+        session_id=session_id,
+        session_class=cls,
+        error_class="success",
+        answer_size=1.0,
+        cpu_time=cpu,
+    )
+
+
+def record(statement, dupes=1, cpu=1.0, cls="human"):
+    return QueryRecord(
+        statement=statement,
+        error_class="success",
+        session_class=cls,
+        answer_size=1.0,
+        cpu_time=cpu,
+        num_duplicates=dupes,
+    )
+
+
+class TestTemplateAggregator:
+    def scan(self, records, weighted, chunk_size=3):
+        scan = ChunkedScan(records, chunk_size=chunk_size)
+        return scan.run({"t": TemplateAggregator(weighted=weighted)})["t"]
+
+    def test_unweighted_counts_hits(self):
+        groups = self.scan(
+            [entry("SELECT 1"), entry("SELECT 2"), entry("SELECT 99")],
+            weighted=False,
+        )
+        (group,) = groups.values()
+        assert group.count == 3
+        assert len(group.digests) == 3  # three distinct statements
+
+    def test_weighted_counts_duplicates(self):
+        groups = self.scan(
+            [record("SELECT 1", dupes=5), record("SELECT 2", dupes=2)],
+            weighted=True,
+        )
+        (group,) = groups.values()
+        assert group.count == 7
+        assert group.classes == {"human": 7}
+
+    def test_cpu_contributes_once_per_record_even_weighted(self):
+        groups = self.scan(
+            [record("SELECT 1", dupes=5, cpu=2.0), record("SELECT 2", cpu=4.0)],
+            weighted=True,
+        )
+        (group,) = groups.values()
+        assert group.cpu_count == 2
+        assert group.cpu_sum.value == 6.0
+
+    def test_example_is_first_in_stream_order(self):
+        entries = [entry(f"SELECT {i}") for i in range(10)]
+        for chunk_size in (1, 3, 10):
+            groups = self.scan(entries, weighted=False, chunk_size=chunk_size)
+            (group,) = groups.values()
+            assert group.example == "SELECT 0"
+
+    def test_same_statement_one_digest(self):
+        groups = self.scan(
+            [entry("SELECT 1"), entry("SELECT 1"), entry("SELECT 1")],
+            weighted=False,
+        )
+        (group,) = groups.values()
+        assert group.count == 3
+        assert len(group.digests) == 1
+
+    def test_groups_pickle(self):
+        groups = self.scan([entry("SELECT 1", cpu=0.5)], weighted=False)
+        clone = pickle.loads(pickle.dumps(groups))
+        (a,), (b,) = groups.values(), clone.values()
+        assert (a.count, a.digests, a.cpu_sum.value) == (
+            b.count,
+            b.digests,
+            b.cpu_sum.value,
+        )
+
+
+class TestRepetitionAggregator:
+    def scan(self, entries, seed=0, chunk_size=3):
+        scan = ChunkedScan(entries, chunk_size=chunk_size)
+        return scan.run({"r": RepetitionAggregator(seed=seed)})["r"]
+
+    def test_single_statement_sessions_bucket_by_recurrence(self):
+        # 4 sessions all submitting the same statement: every sample is that
+        # statement, repeated 4 times across samples -> all in the "4-20" bin
+        entries = [entry("SELECT A", session_id=i) for i in range(4)]
+        histogram = self.scan(entries)
+        assert histogram["4-20"] == 4
+        assert sum(histogram.values()) == 4
+
+    def test_unique_statements_land_in_bin_one(self):
+        entries = [entry(f"SELECT {i} FROM t{i}", session_id=i) for i in range(5)]
+        histogram = self.scan(entries)
+        assert histogram["1"] == 5
+
+    def test_seed_changes_draw_not_total(self):
+        entries = [
+            entry(f"SELECT {i % 3}", session_id=i // 4) for i in range(40)
+        ]
+        a = self.scan(entries, seed=0)
+        b = self.scan(entries, seed=99)
+        assert sum(a.values()) == sum(b.values()) == 10
+
+    def test_draw_is_uniform_over_hits(self):
+        # one session: statement X 9 times, Y once. Over many seeds the
+        # weighted max-key draw must pick X ~90% of the time — i.e. the
+        # sample is uniform over *hits*, like sample_one_per_session.
+        import numpy as np
+
+        entries = [entry("SELECT X", session_id=0) for _ in range(9)]
+        entries.append(entry("SELECT Y", session_id=0))
+        counts = RepetitionAggregator().map_chunk(entries)[0]
+        x_digest, y_digest = sorted(counts, key=counts.get, reverse=True)
+        picked_x = 0
+        trials = 400
+        for seed in range(trials):
+            probe = RepetitionAggregator(seed=seed)
+            key_x = np.log(probe._hash01(0, x_digest)) / counts[x_digest]
+            key_y = np.log(probe._hash01(0, y_digest)) / counts[y_digest]
+            if key_x > key_y:
+                picked_x += 1
+        assert 0.82 < picked_x / trials < 0.97
+
+
+class TestTemplateCache:
+    def test_cached_equals_uncached(self):
+        statements = [
+            "SELECT * FROM PhotoObj WHERE objId=0x112d07 AND ra > 123.4",
+            "select name from t where label = 'abc' and v = 1e-5",
+        ]
+        from repro.sqlang.normalize import _template_of_uncached
+
+        for statement in statements:
+            assert template_of(statement) == _template_of_uncached(statement)
+            # second call serves from cache, still identical
+            assert template_of(statement) == _template_of_uncached(statement)
+
+    def test_hits_and_misses_advance(self):
+        before = template_cache_stats()
+        template_of("SELECT unique_marker_a FROM t WHERE x = 1")
+        mid = template_cache_stats()
+        assert mid["misses"] >= before["misses"] + 1
+        template_of("SELECT unique_marker_a FROM t WHERE x = 1")
+        after = template_cache_stats()
+        assert after["hits"] >= mid["hits"] + 1
+
+    def test_size_is_bounded(self):
+        stats = template_cache_stats()
+        assert stats["size"] <= stats["max_size"]
+
+    def test_metrics_exported(self):
+        from repro.obs.registry import get_registry
+
+        snapshot = get_registry().snapshot()
+        assert "repro_template_cache_hits_total" in snapshot
+        assert "repro_template_cache_misses_total" in snapshot

@@ -1,0 +1,166 @@
+"""Engine-level tests: ExactSum, chunking, ordering, stats, metrics."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.analytics.core import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkAggregator,
+    ChunkedScan,
+    ExactSum,
+)
+from repro.obs.registry import get_registry
+
+
+class ConcatAggregator(ChunkAggregator):
+    """Order-sensitive reduction: concatenates records across chunks.
+
+    If the driver ever combined out of chunk order, the result would
+    differ from the input sequence — the sharpest possible ordering probe.
+    """
+
+    def map_chunk(self, records):
+        return list(records)
+
+    def combine(self, acc, partial):
+        if acc is None:
+            return partial
+        acc.extend(partial)
+        return acc
+
+    def finalize(self, acc):
+        return acc if acc is not None else []
+
+
+class SumAggregator(ChunkAggregator):
+    def map_chunk(self, records):
+        s = ExactSum()
+        for x in records:
+            s.add(float(x))
+        return s
+
+    def combine(self, acc, partial):
+        if acc is None:
+            return partial
+        return acc.merge(partial)
+
+    def finalize(self, acc):
+        return acc.value if acc is not None else 0.0
+
+
+class TestExactSum:
+    def test_exact_on_cancellation(self):
+        values = [1e16, 1.0, -1e16, 1e-8] * 100
+        s = ExactSum()
+        for v in values:
+            s.add(v)
+        assert s.value == math.fsum(values)
+        # naive accumulation gets this wrong — the case ExactSum exists for
+        assert s.value != sum(values)
+
+    @pytest.mark.parametrize("split", [1, 3, 7, 50])
+    def test_merge_is_chunk_invariant(self, split):
+        values = [0.1 * i - 3.7 for i in range(101)] + [1e15, -1e15, 0.3]
+        whole = ExactSum()
+        for v in values:
+            whole.add(v)
+        merged = ExactSum()
+        for lo in range(0, len(values), split):
+            part = ExactSum()
+            for v in values[lo : lo + split]:
+                part.add(v)
+            merged.merge(part)
+        assert merged.value == whole.value == math.fsum(values)
+
+    def test_pickle_roundtrip(self):
+        s = ExactSum([1e16, 1.0, 1e-16])
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone.value == s.value
+        clone.add(2.0)
+        assert clone.value == ExactSum([1e16, 1.0, 1e-16, 2.0]).value
+
+    def test_empty_is_zero(self):
+        assert ExactSum().value == 0.0
+
+
+class TestChunkedScan:
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ChunkedScan([], chunk_size=0)
+
+    def test_rejects_empty_aggregator_map(self):
+        with pytest.raises(ValueError, match="aggregator"):
+            ChunkedScan([1, 2, 3]).run({})
+
+    def test_empty_input_finalizes_none(self):
+        out = ChunkedScan(iter([]), chunk_size=4).run(
+            {"cat": ConcatAggregator(), "sum": SumAggregator()}
+        )
+        assert out == {"cat": [], "sum": 0.0}
+
+    def test_serial_preserves_order_across_chunks(self):
+        records = list(range(1000))
+        scan = ChunkedScan(iter(records), chunk_size=7)
+        out = scan.run({"cat": ConcatAggregator()})
+        assert out["cat"] == records
+        assert scan.last_stats.chunks == math.ceil(1000 / 7)
+        assert scan.last_stats.records == 1000
+        assert scan.last_stats.pooled is False
+
+    def test_pooled_matches_serial(self):
+        records = list(range(500))
+        serial = ChunkedScan(iter(records), chunk_size=13).run(
+            {"cat": ConcatAggregator(), "sum": SumAggregator()}
+        )
+        pooled_scan = ChunkedScan(iter(records), chunk_size=13, workers=2)
+        pooled = pooled_scan.run(
+            {"cat": ConcatAggregator(), "sum": SumAggregator()}
+        )
+        assert pooled == serial
+        assert pooled_scan.last_stats.chunks == math.ceil(500 / 13)
+        assert pooled_scan.last_stats.records == 500
+
+    def test_default_chunk_size_single_chunk(self):
+        records = list(range(100))
+        scan = ChunkedScan(records)
+        out = scan.run({"cat": ConcatAggregator()})
+        assert out["cat"] == records
+        assert scan.last_stats.chunks == 1
+        assert DEFAULT_CHUNK_SIZE > 100
+
+    @staticmethod
+    def _metric(snapshot, name):
+        family = snapshot.get(name)
+        if family is None:
+            return 0
+        return sum(s["value"] for s in family["samples"])
+
+    def test_metrics_counters_advance(self):
+        registry = get_registry()
+        before = registry.snapshot()
+        chunks0 = self._metric(before, "repro_analytics_chunks_total")
+        records0 = self._metric(before, "repro_analytics_records_total")
+        ChunkedScan(iter(range(50)), chunk_size=10).run(
+            {"sum": SumAggregator()}
+        )
+        after = registry.snapshot()
+        assert self._metric(after, "repro_analytics_chunks_total") == chunks0 + 5
+        assert (
+            self._metric(after, "repro_analytics_records_total") == records0 + 50
+        )
+        assert self._metric(after, "repro_analytics_workers_busy") == 0
+
+    def test_generator_input_is_consumed_lazily(self):
+        seen = []
+
+        def gen():
+            for i in range(30):
+                seen.append(i)
+                yield i
+
+        scan = ChunkedScan(gen(), chunk_size=10)
+        out = scan.run({"cat": ConcatAggregator()})
+        assert out["cat"] == list(range(30))
+        assert seen == list(range(30))

@@ -1,0 +1,101 @@
+"""Bulk offline insights: streaming parity with the per-statement path."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.analytics.insights import bulk_insights, iter_statements
+from repro.core.facilitator import QueryFacilitator
+from repro.models.factory import ModelScale
+from repro.workloads.io import save_log, save_workload
+from repro.workloads.sdss import generate_sdss_log, generate_sdss_workload
+
+_SCALE = ModelScale(epochs=2, tfidf_features=1500)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_sdss_workload(n_sessions=80, seed=17)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory, workload):
+    path = tmp_path_factory.mktemp("insights") / "fac.bin"
+    QueryFacilitator(model_name="ctfidf", scale=_SCALE).fit(workload).save(path)
+    return path
+
+
+def read_lines(path):
+    if str(path).endswith(".gz"):
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return fh.read().splitlines()
+    return path.read_text(encoding="utf-8").splitlines()
+
+
+class TestBulkInsights:
+    def test_matches_per_statement_loop(self, artifact, workload, tmp_path):
+        statements = [r.statement for r in workload][:60]
+        out = tmp_path / "bulk.jsonl"
+        stats = bulk_insights(artifact, statements, out, chunk_size=17)
+        assert stats.records == 60
+        assert stats.pooled is False
+        lines = read_lines(out)
+        facilitator = QueryFacilitator.load(artifact)
+        expected = [
+            json.dumps(facilitator.insights(s).to_dict(), sort_keys=True)
+            for s in statements
+        ]
+        assert lines == expected
+
+    def test_chunkings_and_pool_bit_identical(self, artifact, workload, tmp_path):
+        statements = [r.statement for r in workload][:50]
+        outputs = []
+        for name, kwargs in (
+            ("a.jsonl", dict(chunk_size=7)),
+            ("b.jsonl", dict(chunk_size=10**6)),
+            ("c.jsonl", dict(chunk_size=11, workers=2)),
+        ):
+            out = tmp_path / name
+            bulk_insights(artifact, statements, out, **kwargs)
+            outputs.append(read_lines(out))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_gz_output(self, artifact, workload, tmp_path):
+        statements = [r.statement for r in workload][:10]
+        out = tmp_path / "bulk.jsonl.gz"
+        bulk_insights(artifact, statements, out, chunk_size=4)
+        assert out.read_bytes()[:2] == b"\x1f\x8b"
+        lines = read_lines(out)
+        assert len(lines) == 10
+        assert "cpu_time_seconds" in json.loads(lines[0])
+
+    def test_empty_input(self, artifact, tmp_path):
+        out = tmp_path / "empty.jsonl"
+        stats = bulk_insights(artifact, [], out, chunk_size=8)
+        assert stats.records == 0
+        assert read_lines(out) == []
+
+    def test_reuses_preloaded_facilitator(self, artifact, workload, tmp_path):
+        statements = [r.statement for r in workload][:5]
+        facilitator = QueryFacilitator.load(artifact)
+        out = tmp_path / "reuse.jsonl"
+        stats = bulk_insights(
+            artifact, statements, out, facilitator=facilitator
+        )
+        assert stats.records == 5
+
+
+class TestIterStatements:
+    def test_sniffs_workload(self, workload, tmp_path):
+        path = tmp_path / "wl.jsonl.gz"
+        save_workload(workload, path)
+        statements = list(iter_statements(path))
+        assert statements == [r.statement for r in workload]
+
+    def test_sniffs_raw_log(self, tmp_path):
+        log = generate_sdss_log(n_sessions=20, seed=23)
+        path = tmp_path / "log.jsonl.gz"
+        save_log(log, path)
+        statements = list(iter_statements(path))
+        assert statements == [e.statement for e in log]

@@ -1,0 +1,284 @@
+"""Golden parity suite: streaming / pooled == in-memory, bit for bit.
+
+The engine's contract is that every analysis result is a pure function of
+the input record *sequence* — independent of chunk boundaries, of whether
+the input was a materialized list or a gzipped generator, and of whether
+chunks were mapped inline or in a process pool. These tests pin that
+contract on SDSS- and SQLShare-shaped corpora plus the awkward edges:
+empty input, a single chunk, and a chunk boundary that splits a session.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.repetition import repetition_histogram_of_log
+from repro.analysis.templates import mine_log_templates, mine_workload_templates
+from repro.analytics.aggregators import (
+    LabelStatsAggregator,
+    RepetitionAggregator,
+    SessionStatsAggregator,
+    StructuralMatrixAggregator,
+    TemplateAggregator,
+)
+from repro.analytics.core import ChunkedScan
+from repro.workloads.compression import structural_feature_matrix
+from repro.workloads.io import iter_log, save_log
+from repro.workloads.records import LogEntry
+from repro.workloads.sessionize import SESSION_GAP_SECONDS
+
+
+def template_key(stats):
+    """A fully comparable projection of a TemplateStats list."""
+    return [dataclasses.astuple(s) + (s.session_classes,) for s in stats]
+
+
+class TestTemplateParity:
+    def test_workload_chunkings_agree(self, sqlshare_workload_small):
+        base = mine_workload_templates(sqlshare_workload_small)
+        for chunk_size in (1, 13, 100, 10**6):
+            chunked = mine_workload_templates(
+                sqlshare_workload_small, chunk_size=chunk_size
+            )
+            assert template_key(chunked) == template_key(base)
+
+    def test_workload_pooled_agrees(self, sqlshare_workload_small):
+        base = mine_workload_templates(sqlshare_workload_small)
+        pooled = mine_workload_templates(
+            sqlshare_workload_small, chunk_size=37, workers=2
+        )
+        assert template_key(pooled) == template_key(base)
+
+    def test_workload_iterable_agrees(self, sqlshare_workload_small):
+        base = mine_workload_templates(sqlshare_workload_small)
+        streamed = mine_workload_templates(
+            iter(list(sqlshare_workload_small)), chunk_size=11
+        )
+        assert template_key(streamed) == template_key(base)
+
+    def test_log_gzip_stream_agrees(self, sdss_log_small, tmp_path):
+        path = tmp_path / "log.jsonl.gz"
+        save_log(sdss_log_small, path)
+        in_memory = mine_log_templates(sdss_log_small)
+        streamed = mine_log_templates(iter_log(path), chunk_size=97)
+        assert template_key(streamed) == template_key(in_memory)
+
+    def test_log_pooled_agrees(self, sdss_log_small):
+        in_memory = mine_log_templates(sdss_log_small)
+        pooled = mine_log_templates(sdss_log_small, chunk_size=53, workers=2)
+        assert template_key(pooled) == template_key(in_memory)
+
+    def test_mean_cpu_bit_identical_across_chunkings(self, sdss_log_small):
+        base = {
+            s.template: s.mean_cpu_time for s in mine_log_templates(sdss_log_small)
+        }
+        for chunk_size in (7, 31):
+            other = {
+                s.template: s.mean_cpu_time
+                for s in mine_log_templates(sdss_log_small, chunk_size=chunk_size)
+            }
+            # == on floats, not approx: ExactSum makes the mean exact
+            assert other == base
+
+    def test_empty_input(self):
+        assert mine_log_templates([]) == []
+        assert mine_workload_templates([]) == []
+
+
+class TestRepetitionParity:
+    def test_chunkings_and_pool_agree(self, sdss_log_small):
+        base = repetition_histogram_of_log(sdss_log_small, seed=3)
+        for kwargs in (
+            dict(chunk_size=1),
+            dict(chunk_size=29),
+            dict(chunk_size=10**6),
+            dict(chunk_size=41, workers=2),
+        ):
+            assert (
+                repetition_histogram_of_log(sdss_log_small, seed=3, **kwargs)
+                == base
+            )
+
+    def test_gzip_stream_agrees(self, sdss_log_small, tmp_path):
+        path = tmp_path / "log.jsonl.gz"
+        save_log(sdss_log_small, path)
+        base = repetition_histogram_of_log(sdss_log_small, seed=1)
+        assert (
+            repetition_histogram_of_log(iter_log(path), seed=1, chunk_size=73)
+            == base
+        )
+
+    def test_totals_sessions(self, sdss_log_small):
+        histogram = repetition_histogram_of_log(sdss_log_small, chunk_size=17)
+        assert sum(histogram.values()) == len(
+            {e.session_id for e in sdss_log_small}
+        )
+
+    def test_empty_log_is_zero_histogram(self):
+        histogram = repetition_histogram_of_log([])
+        assert set(histogram.values()) == {0}
+
+
+def session_scan(entries, chunk_size, workers=0):
+    scan = ChunkedScan(entries, chunk_size=chunk_size, workers=workers)
+    return scan.run({"sessions": SessionStatsAggregator()})["sessions"]
+
+
+def make_entry(ip, timestamp, session_id=0, statement="SELECT 1"):
+    return LogEntry(
+        statement=statement,
+        session_id=session_id,
+        session_class="human",
+        error_class="success",
+        answer_size=1.0,
+        cpu_time=0.1,
+        ip=ip,
+        timestamp=float(timestamp),
+    )
+
+
+class TestSessionParity:
+    def test_chunkings_agree_on_sdss_log(self, sdss_log_small):
+        base = session_scan(sdss_log_small, chunk_size=10**6)
+        for chunk_size in (1, 7, 100):
+            assert session_scan(sdss_log_small, chunk_size=chunk_size) == base
+        assert session_scan(sdss_log_small, chunk_size=19, workers=2) == base
+        assert base.n_hits == len(sdss_log_small)
+
+    def test_chunk_boundary_splits_a_session(self):
+        # one IP, hits 100s apart: a single session however it is chunked
+        entries = [make_entry("10.0.0.1", 1000.0 + 100 * i) for i in range(10)]
+        whole = session_scan(entries, chunk_size=len(entries))
+        assert whole.n_sessions == 1
+        assert whole.n_hits == 10
+        for chunk_size in (1, 3, 5, 9):
+            assert session_scan(entries, chunk_size=chunk_size) == whole
+
+    def test_boundary_gap_still_splits(self):
+        # two sessions separated by > gap, cut exactly at the gap
+        entries = [
+            make_entry("10.0.0.1", 0.0),
+            make_entry("10.0.0.1", 10.0),
+            make_entry("10.0.0.1", 10.0 + SESSION_GAP_SECONDS + 1),
+            make_entry("10.0.0.1", 20.0 + SESSION_GAP_SECONDS + 1),
+        ]
+        for chunk_size in (1, 2, 3, 4):
+            summary = session_scan(entries, chunk_size=chunk_size)
+            assert summary.n_sessions == 2
+            assert summary.n_hits == 4
+
+    def test_interleaved_ips_across_chunks(self):
+        entries = []
+        for i in range(20):
+            entries.append(make_entry("a", float(i)))
+            entries.append(make_entry("b", float(i) + 0.5))
+        base = session_scan(entries, chunk_size=len(entries))
+        assert base.n_sessions == 2
+        for chunk_size in (1, 3, 7):
+            assert session_scan(entries, chunk_size=chunk_size) == base
+
+    def test_out_of_order_across_chunks_raises(self):
+        entries = [
+            make_entry("a", 100.0),
+            make_entry("a", 200.0),
+            make_entry("a", 50.0),  # goes backwards in the second chunk
+            make_entry("a", 60.0),
+        ]
+        with pytest.raises(ValueError, match="timestamp order"):
+            session_scan(entries, chunk_size=2)
+
+    def test_out_of_order_within_chunk_raises(self):
+        entries = [make_entry("a", 100.0), make_entry("a", 50.0)]
+        with pytest.raises(ValueError, match="timestamp order"):
+            session_scan(entries, chunk_size=10)
+
+    def test_empty_log(self):
+        summary = session_scan([], chunk_size=8)
+        assert summary.n_sessions == 0
+        assert summary.n_hits == 0
+
+
+class TestLabelParity:
+    def scan(self, records, chunk_size, workers=0):
+        scan = ChunkedScan(records, chunk_size=chunk_size, workers=workers)
+        return scan.run({"labels": LabelStatsAggregator()})["labels"]
+
+    def test_chunkings_agree_bit_identically(self, sdss_workload_small):
+        records = list(sdss_workload_small)
+        base = self.scan(records, chunk_size=10**6)
+        for chunk_size in (1, 17, 101):
+            assert self.scan(records, chunk_size=chunk_size) == base
+        assert self.scan(records, chunk_size=23, workers=2) == base
+
+    def test_matches_naive_reference(self, sdss_workload_small):
+        records = list(sdss_workload_small)
+        stats = self.scan(records, chunk_size=31)
+        classes = [r.error_class for r in records if r.error_class is not None]
+        assert stats.class_counts["error_class"] == {
+            c: classes.count(c) for c in set(classes)
+        }
+        cpu = [
+            float(r.cpu_time)
+            for r in records
+            if r.cpu_time is not None and r.cpu_time >= 0
+        ]
+        reg = stats.regression["cpu_time"]
+        assert reg.count == len(cpu)
+        assert reg.minimum == min(cpu)
+        assert reg.maximum == max(cpu)
+        assert reg.mean == pytest.approx(np.mean(cpu), rel=1e-12)
+
+    def test_empty_input(self):
+        stats = self.scan([], chunk_size=4)
+        assert stats.regression == {}
+        assert stats.class_counts == {"error_class": {}, "session_class": {}}
+
+
+class TestStructuralMatrixParity:
+    def test_engine_matrix_equals_monolithic(self, sqlshare_workload_small):
+        base = structural_feature_matrix(sqlshare_workload_small)
+        for kwargs in (
+            dict(chunk_size=13),
+            dict(chunk_size=10**6),
+            dict(chunk_size=29, workers=2),
+        ):
+            chunked = structural_feature_matrix(
+                sqlshare_workload_small, **kwargs
+            )
+            np.testing.assert_array_equal(chunked, base)
+
+    def test_raw_aggregator_on_log_entries(self, sdss_log_small):
+        subset = sdss_log_small[:100]
+        scan = ChunkedScan(subset, chunk_size=9)
+        matrix = scan.run({"m": StructuralMatrixAggregator()})["m"]
+        assert matrix.shape[0] == 100
+
+    def test_empty_workload_matrix(self):
+        scan = ChunkedScan([], chunk_size=9)
+        matrix = scan.run({"m": StructuralMatrixAggregator()})["m"]
+        assert matrix.shape[0] == 0
+
+
+class TestCombinedScan:
+    def test_one_pass_many_aggregators_matches_separate(self, sdss_log_small):
+        scan = ChunkedScan(sdss_log_small, chunk_size=43)
+        combined = scan.run(
+            {
+                "templates": TemplateAggregator(weighted=False),
+                "repetition": RepetitionAggregator(seed=2),
+                "sessions": SessionStatsAggregator(),
+            }
+        )
+        assert combined["repetition"] == repetition_histogram_of_log(
+            sdss_log_small, seed=2
+        )
+        assert combined["sessions"] == session_scan(
+            sdss_log_small, chunk_size=10**6
+        )
+        separate = mine_log_templates(sdss_log_small)
+        from repro.analysis.templates import summarize_template_groups
+
+        assert template_key(
+            summarize_template_groups(combined["templates"])
+        ) == template_key(separate)

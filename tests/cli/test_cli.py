@@ -53,8 +53,10 @@ class TestParser:
         assert set(choices) == {
             "generate",
             "analyze",
+            "templates",
             "train",
             "predict",
+            "insights",
             "serve",
             "worker",
             "stats",
@@ -120,6 +122,26 @@ class TestAnalyze:
         assert main(["analyze", str(log_path), "--repetition"]) == 0
         assert "repetition" in capsys.readouterr().out.lower()
 
+    def test_repetition_and_templates_in_one_pass(self, tmp_path, capsys):
+        log_path = tmp_path / "log.jsonl"
+        main(["generate", "sdss", "--sessions", "30", "--raw-log", "-o", str(log_path)])
+        capsys.readouterr()
+        rc = main(
+            [
+                "analyze",
+                str(log_path),
+                "--repetition",
+                "--templates",
+                "5",
+                "--chunk-size",
+                "64",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repetition" in out.lower()
+        assert "templates" in out.lower()
+
     def test_missing_file_is_reported(self, capsys):
         assert main(["analyze", "/nonexistent/file.jsonl"]) == 1
         assert "error:" in capsys.readouterr().err
@@ -140,6 +162,65 @@ class TestAnalyze:
         capsys.readouterr()
         assert main(["analyze", str(path)]) == 0
         assert "Structural properties" in capsys.readouterr().out
+
+
+class TestTemplatesCmd:
+    def test_workload_input(self, sdss_file, capsys):
+        assert main(["templates", str(sdss_file), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "duplicate-weighted" in out
+        assert "template" in out
+
+    def test_log_input_sniffed(self, tmp_path, capsys):
+        log_path = tmp_path / "log.jsonl"
+        main(["generate", "sdss", "--sessions", "25", "--raw-log", "-o", str(log_path)])
+        capsys.readouterr()
+        assert main(["templates", str(log_path), "--chunk-size", "32"]) == 0
+        assert "raw log hits" in capsys.readouterr().out
+
+    def test_missing_file_is_reported(self, capsys):
+        assert main(["templates", "/nonexistent/file.jsonl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInsightsCmd:
+    def test_bulk_scoring_writes_jsonl(
+        self, facilitator_file, sdss_file, tmp_path, capsys
+    ):
+        out_path = tmp_path / "insights.jsonl"
+        rc = main(
+            [
+                "insights",
+                str(sdss_file),
+                "--artifact",
+                str(facilitator_file),
+                "--out",
+                str(out_path),
+                "--chunk-size",
+                "64",
+            ]
+        )
+        assert rc == 0
+        assert "scored" in capsys.readouterr().out
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == len(load_workload(sdss_file))
+        insight = json.loads(lines[0])
+        assert "cpu_time_seconds" in insight
+        assert "error_class" in insight
+
+    def test_missing_artifact_is_reported(self, sdss_file, tmp_path, capsys):
+        rc = main(
+            [
+                "insights",
+                str(sdss_file),
+                "--artifact",
+                "/nonexistent/fac.bin",
+                "--out",
+                str(tmp_path / "o.jsonl"),
+            ]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestTrainPredict:
